@@ -1,0 +1,46 @@
+//! Criterion benches: pipeline-stage throughput (candidate generation,
+//! pre-checks, and a full tiny-scale training session) — the costs the
+//! paper's filtering design trades between.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nada_core::{train_design, NadaConfig, RunScale, TrainRunConfig};
+use nada_llm::{LlmClient, MockLlm, Prompt};
+use nada_traces::dataset::{DatasetKind, DatasetScale, TraceDataset};
+use std::hint::black_box;
+
+fn bench_pipeline_stages(c: &mut Criterion) {
+    let prompt = Prompt::state(nada_dsl::seeds::PENSIEVE_STATE_SOURCE);
+
+    c.bench_function("pipeline/generate_one_candidate", |b| {
+        let mut llm = MockLlm::gpt4(1);
+        b.iter(|| black_box(llm.generate(&prompt)))
+    });
+
+    c.bench_function("pipeline/compilation_check", |b| {
+        let mut llm = MockLlm::gpt4(2);
+        let pool: Vec<String> =
+            (0..64).map(|_| llm.generate(&prompt).code).collect();
+        let mut i = 0;
+        b.iter_batched(
+            || {
+                let code = pool[i % pool.len()].clone();
+                i += 1;
+                code
+            },
+            |code| black_box(nada_dsl::compile_state(&code).is_ok()),
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("pipeline/tiny_training_session", |b| {
+        let cfg = NadaConfig::new(DatasetKind::Starlink, RunScale::Tiny, 1);
+        let dataset = TraceDataset::synthesize(DatasetKind::Starlink, DatasetScale::Tiny, 1);
+        let run_cfg = TrainRunConfig::from(&cfg);
+        let state = nada_dsl::seeds::pensieve_state();
+        let arch = nada_dsl::seeds::pensieve_arch();
+        b.iter(|| black_box(train_design(&state, &arch, &dataset, &run_cfg, 7).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_pipeline_stages);
+criterion_main!(benches);

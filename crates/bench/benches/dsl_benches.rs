@@ -1,0 +1,46 @@
+//! Criterion benches: DSL compile and the training-loop hot path (eval).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nada_dsl::{compile_state, seeds};
+use std::hint::black_box;
+
+fn bench_dsl(c: &mut Criterion) {
+    c.bench_function("dsl/compile_pensieve_state", |b| {
+        b.iter(|| black_box(compile_state(seeds::PENSIEVE_STATE_SOURCE).unwrap()))
+    });
+
+    c.bench_function("dsl/eval_pensieve_state", |b| {
+        let state = seeds::pensieve_state();
+        let inputs = state.schema_midpoint_inputs();
+        b.iter(|| black_box(state.eval_f32(&inputs).unwrap()))
+    });
+
+    c.bench_function("dsl/eval_feature_rich_state", |b| {
+        let state = compile_state(
+            "state rich { input throughput_mbps: vec[8]; input buffer_history_s: vec[8]; \
+             input download_time_s: vec[8]; \
+             feature a = ema(throughput_mbps, 0.5) / 8.0; \
+             feature b = trend(buffer_history_s) / 10.0; \
+             feature c = predict_next(download_time_s) / 10.0; \
+             feature d = zscore(throughput_mbps); \
+             feature e = last(savgol(buffer_history_s)) / 60.0; \
+             feature f = harmonic_mean(throughput_mbps) / 8.0; }",
+        )
+        .unwrap();
+        let inputs = state.schema_midpoint_inputs();
+        b.iter(|| black_box(state.eval_f32(&inputs).unwrap()))
+    });
+
+    c.bench_function("dsl/normalization_check", |b| {
+        let state = seeds::pensieve_state();
+        let cfg = nada_dsl::FuzzConfig::default();
+        b.iter(|| black_box(nada_dsl::normalization_check(&state, &cfg)))
+    });
+
+    c.bench_function("dsl/compile_arch", |b| {
+        b.iter(|| black_box(nada_dsl::compile_arch(seeds::PENSIEVE_ARCH_SOURCE).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_dsl);
+criterion_main!(benches);

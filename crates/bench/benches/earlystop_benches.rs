@@ -1,0 +1,58 @@
+//! Criterion benches: early-stopping classifier fit and inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nada_earlystop::classifiers::{Classifier, DesignSample, FitConfig, RewardCnnClassifier};
+use nada_earlystop::embed::embed_code;
+use nada_earlystop::features::preprocess;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn synthetic_pool(n: usize) -> (Vec<DesignSample>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut samples = Vec::new();
+    let mut finals = Vec::new();
+    for _ in 0..n {
+        let q: f64 = rng.gen();
+        let curve: Vec<f64> =
+            (0..100).map(|t| q * t as f64 / 100.0 + 0.2 * rng.gen::<f64>()).collect();
+        samples.push(DesignSample {
+            reward_curve: curve,
+            code: "state s { feature f = throughput_mbps / 8.0; }".into(),
+        });
+        finals.push(q);
+    }
+    (samples, finals)
+}
+
+fn bench_earlystop(c: &mut Criterion) {
+    let (samples, finals) = synthetic_pool(100);
+    let cfg = FitConfig { top_fraction: 0.05, epochs: 10, ..FitConfig::default() };
+
+    c.bench_function("earlystop/fit_reward_cnn_100x10ep", |b| {
+        b.iter(|| {
+            let mut clf = RewardCnnClassifier::new(&cfg);
+            clf.fit(&samples, &finals, &cfg);
+            black_box(clf.threshold())
+        })
+    });
+
+    c.bench_function("earlystop/predict_one_curve", |b| {
+        let mut clf = RewardCnnClassifier::new(&cfg);
+        clf.fit(&samples, &finals, &cfg);
+        b.iter(|| black_box(clf.score(&samples[0])))
+    });
+
+    c.bench_function("earlystop/preprocess_curve_1000_to_32", |b| {
+        let curve: Vec<f64> = (0..1000).map(|i| (i as f64).sin()).collect();
+        b.iter(|| black_box(preprocess(&curve, 32)))
+    });
+
+    c.bench_function("earlystop/embed_code_block", |b| {
+        let code = nada_dsl::seeds::PENSIEVE_STATE_SOURCE;
+        b.iter(|| black_box(embed_code(code)))
+    });
+}
+
+criterion_group!(benches, bench_earlystop);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benches: neural-network forward/backward and A2C updates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nada_nn::layers::Layer;
+use nada_nn::{A2cConfig, A2cTrainer, ActorCritic, ArchConfig, EpisodeBuffer, FeatureShape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn pensieve_shapes() -> Vec<FeatureShape> {
+    vec![
+        FeatureShape::Temporal(8),
+        FeatureShape::Temporal(8),
+        FeatureShape::Temporal(6),
+        FeatureShape::Scalar,
+        FeatureShape::Scalar,
+        FeatureShape::Scalar,
+    ]
+}
+
+fn features() -> Vec<Vec<f32>> {
+    vec![vec![0.2; 8], vec![0.4; 8], vec![0.3; 6], vec![0.5], vec![0.9], vec![0.25]]
+}
+
+fn bench_nn(c: &mut Criterion) {
+    let quick = ArchConfig::pensieve_original().scaled_down(8);
+
+    c.bench_function("nn/actor_critic_forward_quick", |b| {
+        let mut net = ActorCritic::build(&quick, &pensieve_shapes(), 6, 1);
+        let f = features();
+        b.iter(|| black_box(net.forward(&f)))
+    });
+
+    c.bench_function("nn/actor_critic_forward_paper_width", |b| {
+        let mut net =
+            ActorCritic::build(&ArchConfig::pensieve_original(), &pensieve_shapes(), 6, 1);
+        let f = features();
+        b.iter(|| black_box(net.forward(&f)))
+    });
+
+    c.bench_function("nn/a2c_update_48_steps", |b| {
+        let net = ActorCritic::build(&quick, &pensieve_shapes(), 6, 1);
+        let mut trainer = A2cTrainer::new(net, A2cConfig::default(), 1);
+        let mut ep = EpisodeBuffer::new();
+        for t in 0..48 {
+            ep.push(features(), t % 6, 1.0);
+        }
+        b.iter(|| black_box(trainer.update(std::slice::from_ref(&ep))))
+    });
+
+    for name in ["conv1d", "rnn", "lstm"] {
+        c.bench_function(&format!("nn/temporal_branch_fwd_bwd/{name}"), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut layer: Box<dyn Layer> = match name {
+                "conv1d" => Box::new(nada_nn::layers::Conv1d::new(8, 16, 4, &mut rng)),
+                "rnn" => Box::new(nada_nn::layers::Rnn::new(8, 16, &mut rng)),
+                _ => Box::new(nada_nn::layers::Lstm::new(8, 16, &mut rng)),
+            };
+            let x = [0.5f32; 8];
+            b.iter(|| {
+                let y = layer.forward(&x);
+                black_box(layer.backward(&y))
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_nn);
+criterion_main!(benches);

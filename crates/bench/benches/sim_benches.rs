@@ -1,0 +1,45 @@
+//! Criterion benches: simulator and emulator throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nada_sim::prelude::*;
+use nada_traces::Trace;
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let trace = Trace::from_uniform("bench", 1.0, &vec![8.0; 4000]).unwrap();
+    let manifest = VideoManifest::pensieve_like(Ladder::broadband(), 48, 1);
+
+    c.bench_function("sim/episode_48_chunks", |b| {
+        b.iter(|| {
+            let mut env = AbrEnv::new_sim(&manifest, &trace, QoeLin::default(), 7);
+            let s = run_episode(&mut env, BufferBased::default());
+            black_box(s.mean_reward)
+        })
+    });
+
+    c.bench_function("emu/episode_48_chunks", |b| {
+        b.iter(|| {
+            let mut env = AbrEnv::new_emu(&manifest, &trace, QoeLin::default(), 7);
+            let s = run_episode(&mut env, BufferBased::default());
+            black_box(s.mean_reward)
+        })
+    });
+
+    c.bench_function("sim/mpc_episode_48_chunks", |b| {
+        b.iter(|| {
+            let mut env = AbrEnv::new_sim(&manifest, &trace, QoeLin::default(), 7);
+            let s = run_episode(&mut env, RobustMpc::default());
+            black_box(s.mean_reward)
+        })
+    });
+
+    c.bench_function("sim/single_fetch_1mb", |b| {
+        b.iter(|| {
+            let mut t = SimTransport::deterministic(&trace);
+            black_box(t.fetch(1_000_000.0).delay_s)
+        })
+    });
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

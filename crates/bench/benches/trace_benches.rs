@@ -1,0 +1,40 @@
+//! Criterion benches: trace synthesis and I/O.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nada_traces::io::cooked::{read_cooked, write_cooked};
+use nada_traces::io::mahimahi::write_mahimahi;
+use nada_traces::synth::{FccSynth, Nr5gSynth, StarlinkSynth, TraceSynthesizer};
+use std::hint::black_box;
+
+fn bench_traces(c: &mut Criterion) {
+    c.bench_function("traces/synth_fcc_360s", |b| {
+        let s = FccSynth::default();
+        b.iter(|| black_box(s.generate(1, 360.0)))
+    });
+
+    c.bench_function("traces/synth_starlink_360s", |b| {
+        let s = StarlinkSynth::default();
+        b.iter(|| black_box(s.generate(1, 360.0)))
+    });
+
+    c.bench_function("traces/synth_5g_360s", |b| {
+        let s = Nr5gSynth::default();
+        b.iter(|| black_box(s.generate(1, 360.0)))
+    });
+
+    c.bench_function("traces/cooked_round_trip", |b| {
+        let t = FccSynth::default().generate(2, 360.0);
+        b.iter(|| {
+            let text = write_cooked(&t);
+            black_box(read_cooked("rt", &text).unwrap())
+        })
+    });
+
+    c.bench_function("traces/mahimahi_write_360s", |b| {
+        let t = StarlinkSynth::default().generate(3, 360.0);
+        b.iter(|| black_box(write_mahimahi(&t)))
+    });
+}
+
+criterion_group!(benches, bench_traces);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Regenerates the paper's figure4 (quick scale by default; `--full` for
+//! paper scale).
+
+fn main() {
+    let opts = nada_bench::cli::parse_args(std::env::args());
+    print!("{}", nada_bench::experiments::figure4::run(&opts));
+}

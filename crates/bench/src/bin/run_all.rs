@@ -1,0 +1,26 @@
+//! Runs every table/figure harness plus the ablations in one process,
+//! printing each report (the source for EXPERIMENTS.md).
+
+use nada_bench::experiments as exp;
+use std::time::Instant;
+
+fn main() {
+    let opts = nada_bench::cli::parse_args(std::env::args());
+    let runs: Vec<(&str, fn(&nada_bench::cli::HarnessOptions) -> String)> = vec![
+        ("table1", exp::table1::run),
+        ("table2", exp::table2::run),
+        ("table3", exp::table3::run),
+        ("figure3", exp::figure3::run),
+        ("figure4", exp::figure4::run),
+        ("table4", exp::table4::run),
+        ("table5", exp::table5::run),
+        ("figure5", exp::figure5::run),
+        ("ablations", exp::ablations::run),
+    ];
+    for (name, run) in runs {
+        let t0 = Instant::now();
+        let report = run(&opts);
+        println!("{report}");
+        println!("[{name} completed in {:?}]\n", t0.elapsed());
+    }
+}

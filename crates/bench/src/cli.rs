@@ -1,0 +1,72 @@
+//! Tiny argument parsing shared by every harness binary.
+
+use nada_core::RunScale;
+
+/// Parsed harness options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HarnessOptions {
+    /// `Quick` by default; `--full` selects the paper-scale configuration.
+    pub scale: RunScale,
+    /// Master seed (`--seed N`), default 1.
+    pub seed: u64,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        Self { scale: RunScale::Quick, seed: 1 }
+    }
+}
+
+/// Parses `std::env::args()`-style arguments. Unknown flags abort with a
+/// usage message (a harness run is expensive; silently ignoring a typo'd
+/// flag would waste the run).
+pub fn parse_args<I: Iterator<Item = String>>(mut args: I) -> HarnessOptions {
+    let mut opts = HarnessOptions::default();
+    let _argv0 = args.next();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => opts.scale = RunScale::Paper,
+            "--quick" => opts.scale = RunScale::Quick,
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage("--seed needs a value"));
+                opts.seed = v.parse().unwrap_or_else(|_| usage("--seed needs an integer"));
+            }
+            "--help" | "-h" => usage("") ,
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    opts
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: <harness> [--full | --quick] [--seed N]");
+    eprintln!("  --full   paper-scale run (cluster-sized; default is quick)");
+    eprintln!("  --seed N master seed (default 1)");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> HarnessOptions {
+        parse_args(std::iter::once("bin".to_string()).chain(args.iter().map(|s| s.to_string())))
+    }
+
+    #[test]
+    fn defaults_are_quick_seed_one() {
+        let o = parse(&[]);
+        assert_eq!(o.scale, RunScale::Quick);
+        assert_eq!(o.seed, 1);
+    }
+
+    #[test]
+    fn full_and_seed() {
+        let o = parse(&["--full", "--seed", "42"]);
+        assert_eq!(o.scale, RunScale::Paper);
+        assert_eq!(o.seed, 42);
+    }
+}

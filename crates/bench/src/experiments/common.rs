@@ -1,0 +1,76 @@
+//! Shared experiment plumbing.
+
+use crate::cli::HarnessOptions;
+use nada_core::{Nada, NadaConfig, SearchOutcome};
+use nada_llm::{LlmClient, MockLlm};
+use nada_traces::dataset::DatasetKind;
+
+/// The two models the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Model {
+    /// GPT-3.5-calibrated mock.
+    Gpt35,
+    /// GPT-4-calibrated mock.
+    Gpt4,
+}
+
+impl Model {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Model::Gpt35 => "w/ GPT-3.5",
+            Model::Gpt4 => "w/ GPT-4",
+        }
+    }
+
+    /// Builds the calibrated mock client.
+    pub fn client(&self, seed: u64) -> MockLlm {
+        match self {
+            Model::Gpt35 => MockLlm::gpt35(seed),
+            Model::Gpt4 => MockLlm::gpt4(seed),
+        }
+    }
+}
+
+/// Builds the pipeline for a dataset at the harness scale.
+pub fn nada_for(kind: DatasetKind, opts: &HarnessOptions) -> Nada {
+    Nada::new(NadaConfig::new(kind, opts.scale, opts.seed))
+}
+
+/// Runs a state search for `(dataset, model)`.
+pub fn search_states(kind: DatasetKind, model: Model, opts: &HarnessOptions) -> SearchOutcome {
+    let nada = nada_for(kind, opts);
+    let mut llm = model.client(opts.seed ^ kind as u64 as u64 ^ 0x57A7);
+    nada.run_state_search(&mut llm)
+}
+
+/// Runs an architecture search for `(dataset, model)`.
+pub fn search_archs(kind: DatasetKind, model: Model, opts: &HarnessOptions) -> SearchOutcome {
+    let nada = nada_for(kind, opts);
+    let mut llm = model.client(opts.seed ^ kind as u64 ^ 0xA4C4);
+    nada.run_arch_search(&mut llm)
+}
+
+/// Generates `n` candidates of a kind from a model without evaluation
+/// (Table 2 / ablation workloads).
+pub fn generate_pool(
+    model: Model,
+    kind: nada_llm::DesignKind,
+    n: usize,
+    seed: u64,
+) -> Vec<nada_core::Candidate> {
+    let mut llm = model.client(seed);
+    let prompt = match kind {
+        nada_llm::DesignKind::State => {
+            nada_llm::Prompt::state(nada_dsl::seeds::PENSIEVE_STATE_SOURCE)
+        }
+        nada_llm::DesignKind::Architecture => {
+            nada_llm::Prompt::architecture(nada_dsl::seeds::PENSIEVE_ARCH_SOURCE)
+        }
+    };
+    llm.generate_batch(&prompt, n)
+        .into_iter()
+        .enumerate()
+        .map(|(id, c)| nada_core::Candidate { id, kind, code: c.code, reasoning: c.reasoning })
+        .collect()
+}

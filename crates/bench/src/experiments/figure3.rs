@@ -1,0 +1,34 @@
+//! Figure 3: test-score-vs-epoch curves for the best generated states.
+
+use crate::cli::HarnessOptions;
+use crate::experiments::common::{search_states, Model};
+use nada_core::score::median_curve;
+use nada_traces::dataset::DatasetKind;
+use std::fmt::Write as _;
+
+/// Reproduces Figure 3 as TSV blocks: for each (model, dataset), the median
+/// test-score curve of the original design and of the best generated state
+/// across training sessions.
+pub fn run(opts: &HarnessOptions) -> String {
+    let mut out = String::from("== Figure 3: best generated states vs original (simulation) ==\n");
+    for model in [Model::Gpt35, Model::Gpt4] {
+        for kind in DatasetKind::ALL {
+            let outcome = search_states(kind, model, opts);
+            let orig = median_curve(&outcome.original.sessions);
+            let best = median_curve(&outcome.best.sessions);
+            let _ = writeln!(out, "# panel: {} / {}", model.name(), kind.name());
+            let _ = writeln!(out, "epoch\toriginal\tbest_generated");
+            for (o, b) in orig.iter().zip(&best) {
+                let _ = writeln!(out, "{}\t{:.4}\t{:.4}", o.epoch, o.test_score, b.test_score);
+            }
+            let _ = writeln!(
+                out,
+                "# final: original={:.3} best={:.3} improvement={:+.1}%\n",
+                outcome.original.test_score,
+                outcome.best.test_score,
+                outcome.improvement_pct()
+            );
+        }
+    }
+    out
+}

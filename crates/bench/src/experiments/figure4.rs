@@ -1,0 +1,43 @@
+//! Figure 4: best generated neural-network architectures vs the original.
+//!
+//! Per §3.3 the architecture investigation is restricted to GPT-3.5, and
+//! the normalization check does not apply.
+
+use crate::cli::HarnessOptions;
+use crate::experiments::common::{search_archs, Model};
+use nada_core::score::median_curve;
+use nada_traces::dataset::DatasetKind;
+use std::fmt::Write as _;
+
+/// Reproduces Figure 4 as TSV blocks (GPT-3.5 only, as in the paper).
+pub fn run(opts: &HarnessOptions) -> String {
+    let mut out = String::from(
+        "== Figure 4: best generated architectures vs original (GPT-3.5, simulation) ==\n",
+    );
+    for kind in DatasetKind::ALL {
+        let outcome = search_archs(kind, Model::Gpt35, opts);
+        let orig = median_curve(&outcome.original.sessions);
+        let best = median_curve(&outcome.best.sessions);
+        let _ = writeln!(out, "# panel: {}", kind.name());
+        let _ = writeln!(out, "epoch\toriginal\tbest_generated");
+        for (o, b) in orig.iter().zip(&best) {
+            let _ = writeln!(out, "{}\t{:.4}\t{:.4}", o.epoch, o.test_score, b.test_score);
+        }
+        let _ = writeln!(
+            out,
+            "# final: original={:.3} best={:.3} improvement={:+.1}%  (compilable {}/{})",
+            outcome.original.test_score,
+            outcome.best.test_score,
+            outcome.improvement_pct(),
+            outcome.precheck.compilable,
+            outcome.precheck.total,
+        );
+        if let Some(c) = &outcome.best.candidate {
+            for line in c.code.lines() {
+                let _ = writeln!(out, "#   {line}");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}

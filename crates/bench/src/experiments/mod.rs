@@ -1,0 +1,16 @@
+//! One module per paper table/figure, plus the ablation suite.
+//!
+//! Every experiment is a function from [`crate::cli::HarnessOptions`] to a
+//! printable report string, so the per-experiment binaries and `run_all`
+//! share one implementation.
+
+pub mod ablations;
+pub mod common;
+pub mod figure3;
+pub mod figure4;
+pub mod figure5;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;

@@ -1,0 +1,39 @@
+//! Table 1: the trace datasets.
+
+use crate::cli::HarnessOptions;
+use nada_core::report::TextTable;
+use nada_traces::dataset::{DatasetKind, TraceDataset};
+
+/// Synthesizes every dataset at the harness scale and prints measured
+/// statistics next to the paper's Table 1.
+pub fn run(opts: &HarnessOptions) -> String {
+    let mut table = TextTable::new(vec![
+        "Dataset",
+        "TrainTraces",
+        "TrainHours",
+        "TestTraces",
+        "TestHours",
+        "Mbps(meas)",
+        "Mbps(paper)",
+        "TrainEpochs",
+        "TestInterval",
+    ]);
+    for kind in DatasetKind::ALL {
+        let spec = kind.paper_spec();
+        let scale = nada_core::NadaConfig::new(kind, opts.scale, opts.seed).dataset_scale();
+        let ds = TraceDataset::synthesize(kind, scale, opts.seed);
+        let st = ds.stats();
+        table.row(vec![
+            kind.name().to_string(),
+            format!("{} (paper {})", st.train_traces, spec.train_traces),
+            format!("{:.1} (paper {:.1})", st.train_hours, spec.train_hours),
+            format!("{} (paper {})", st.test_traces, spec.test_traces),
+            format!("{:.1} (paper {:.1})", st.test_hours, spec.test_hours),
+            format!("{:.2}", st.mean_throughput_mbps),
+            format!("{:.1}", spec.mean_throughput_mbps),
+            format!("{}", spec.train_epochs),
+            format!("{}", spec.test_interval),
+        ]);
+    }
+    format!("== Table 1: network trace datasets ({:?} scale) ==\n{}", opts.scale, table.render())
+}

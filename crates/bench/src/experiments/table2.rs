@@ -1,0 +1,42 @@
+//! Table 2: compilation / normalization pass rates of generated states.
+
+use crate::cli::HarnessOptions;
+use crate::experiments::common::{generate_pool, Model};
+use crate::paper;
+use nada_core::report::TextTable;
+use nada_core::{Nada, NadaConfig, RunScale};
+use nada_llm::DesignKind;
+use nada_traces::dataset::DatasetKind;
+
+/// Generates a state pool per model and runs the pre-checks.
+pub fn run(opts: &HarnessOptions) -> String {
+    // Table 2 is about the generator, not training; the candidate count is
+    // the only scale-dependent knob.
+    let n = match opts.scale {
+        RunScale::Paper => 3000,
+        RunScale::Quick => 600,
+        RunScale::Tiny => 60,
+    };
+    let nada = Nada::new(NadaConfig::new(DatasetKind::Fcc, opts.scale, opts.seed));
+    let mut table = TextTable::new(vec![
+        "Nada",
+        "Total",
+        "Compilable",
+        "Compil.%(paper)",
+        "WellNormalized",
+        "Norm.%(paper)",
+    ]);
+    for (model, paper_row) in [Model::Gpt35, Model::Gpt4].iter().zip(&paper::TABLE2) {
+        let pool = generate_pool(*model, DesignKind::State, n, opts.seed ^ 0x7AB2);
+        let (_, stats) = nada.precheck_all(&pool);
+        table.row(vec![
+            model.name().to_string(),
+            format!("{}", stats.total),
+            format!("{} ({:.1}%)", stats.compilable, stats.compilable_pct()),
+            format!("{:.1}%", 100.0 * paper_row.compilable as f64 / paper_row.total as f64),
+            format!("{} ({:.1}%)", stats.normalized, stats.normalized_pct()),
+            format!("{:.1}%", 100.0 * paper_row.normalized as f64 / paper_row.total as f64),
+        ]);
+    }
+    format!("== Table 2: pre-check pass rates ({n} states per model) ==\n{}", table.render())
+}

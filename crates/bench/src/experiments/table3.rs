@@ -1,0 +1,48 @@
+//! Table 3: simulation test scores of the best generated states.
+
+use crate::cli::HarnessOptions;
+use crate::experiments::common::{search_states, Model};
+use crate::paper;
+use nada_core::pipeline::improvement_pct;
+use nada_core::report::{fmt_pct, fmt_score, TextTable};
+use nada_traces::dataset::DatasetKind;
+
+/// Runs a state search per (dataset, model) and prints the final-score
+/// table with the paper's values alongside.
+pub fn run(opts: &HarnessOptions) -> String {
+    let mut table = TextTable::new(vec![
+        "Dataset", "Method", "Score", "Impr.", "Score(paper)", "Impr.(paper)",
+    ]);
+    for (kind, paper_row) in DatasetKind::ALL.iter().zip(&paper::TABLE3) {
+        let mut original_reported = false;
+        for model in [Model::Gpt35, Model::Gpt4] {
+            let outcome = search_states(*kind, model, opts);
+            if !original_reported {
+                table.row(vec![
+                    kind.name().to_string(),
+                    "Original".to_string(),
+                    fmt_score(outcome.original.test_score),
+                    "-".to_string(),
+                    fmt_score(paper_row.original),
+                    "-".to_string(),
+                ]);
+                original_reported = true;
+            }
+            let paper_score =
+                if model == Model::Gpt35 { paper_row.gpt35 } else { paper_row.gpt4 };
+            table.row(vec![
+                kind.name().to_string(),
+                model.name().to_string(),
+                fmt_score(outcome.best.test_score),
+                fmt_pct(outcome.improvement_pct()),
+                fmt_score(paper_score),
+                fmt_pct(improvement_pct(paper_row.original, paper_score)),
+            ]);
+        }
+    }
+    format!(
+        "== Table 3: best generated states, simulation ({:?} scale) ==\n{}",
+        opts.scale,
+        table.render()
+    )
+}

@@ -1,0 +1,63 @@
+//! Table 4: emulation results of the best generated states.
+//!
+//! Policies are trained in the simulator (as in Table 3) and then evaluated
+//! in the HTTP/TCP emulator — the reproduction's stand-in for dash.js over
+//! Mahimahi. The paper skips FCC here because its simulation gains were
+//! already statistically insignificant; we follow suit.
+
+use crate::cli::HarnessOptions;
+use crate::experiments::common::{nada_for, search_states, Model};
+use crate::paper;
+use nada_core::pipeline::improvement_pct;
+use nada_core::report::{fmt_pct, fmt_score, TextTable};
+use nada_dsl::{compile_state, seeds};
+use nada_traces::dataset::DatasetKind;
+
+const EMULATED: [DatasetKind; 3] =
+    [DatasetKind::Starlink, DatasetKind::Lte4g, DatasetKind::Nr5g];
+
+/// Runs the emulation comparison for Starlink/4G/5G.
+pub fn run(opts: &HarnessOptions) -> String {
+    let mut table = TextTable::new(vec![
+        "Dataset", "Method", "Score", "Impr.", "Score(paper)", "Impr.(paper)",
+    ]);
+    let arch = seeds::pensieve_arch();
+    for (kind, paper_row) in EMULATED.iter().zip(&paper::TABLE4) {
+        let nada = nada_for(*kind, opts);
+        let original_state = seeds::pensieve_state();
+        let original_emu = nada
+            .emulation_score(&original_state, &arch)
+            .expect("original design must train");
+        table.row(vec![
+            kind.name().to_string(),
+            "Original".to_string(),
+            fmt_score(original_emu),
+            "-".to_string(),
+            fmt_score(paper_row.original),
+            "-".to_string(),
+        ]);
+        for model in [Model::Gpt35, Model::Gpt4] {
+            let outcome = search_states(*kind, model, opts);
+            let best_state = compile_state(&outcome.best.code)
+                .expect("search winners already passed the compilation check");
+            let emu = nada
+                .emulation_score(&best_state, &arch)
+                .unwrap_or(f64::NEG_INFINITY);
+            let paper_score =
+                if model == Model::Gpt35 { paper_row.gpt35 } else { paper_row.gpt4 };
+            table.row(vec![
+                kind.name().to_string(),
+                model.name().to_string(),
+                fmt_score(emu),
+                fmt_pct(improvement_pct(original_emu, emu)),
+                fmt_score(paper_score),
+                fmt_pct(improvement_pct(paper_row.original, paper_score)),
+            ]);
+        }
+    }
+    format!(
+        "== Table 4: best generated states, emulation ({:?} scale) ==\n{}",
+        opts.scale,
+        table.render()
+    )
+}

@@ -1,0 +1,116 @@
+//! Table 5: combining generated states with generated architectures.
+//!
+//! The paper crosses the top-30 GPT-3.5 states with the top-30 GPT-3.5
+//! architectures (900 combinations); the quick scale crosses top-3 × top-3.
+//! Candidate pools are regenerated deterministically from the same seeds the
+//! searches used, so ranked candidate ids resolve back to code.
+
+use crate::cli::HarnessOptions;
+use crate::experiments::common::{nada_for, Model};
+use crate::paper;
+use nada_core::pipeline::improvement_pct;
+use nada_core::report::{fmt_pct, TextTable};
+use nada_core::{CompiledDesign, RunScale, SearchOutcome};
+use nada_dsl::CompiledState;
+use nada_llm::DesignKind;
+use nada_nn::ArchConfig;
+use nada_traces::dataset::DatasetKind;
+
+/// Runs the combination study per dataset (GPT-3.5, as in the paper).
+pub fn run(opts: &HarnessOptions) -> String {
+    let top_n = match opts.scale {
+        RunScale::Paper => 30,
+        _ => 3,
+    };
+    let mut table = TextTable::new(vec![
+        "Dataset",
+        "State",
+        "NeuralNet",
+        "Combined",
+        "State(paper)",
+        "NN(paper)",
+        "Comb.(paper)",
+    ]);
+    for (kind, paper_row) in DatasetKind::ALL.iter().zip(&paper::TABLE5) {
+        let nada = nada_for(*kind, opts);
+
+        // State search (same LLM seeding as `common::search_states`).
+        let mut llm_s = Model::Gpt35.client(opts.seed ^ *kind as u64 ^ 0x57A7);
+        let state_outcome = nada.run_state_search(&mut llm_s);
+        let top_states = resolve_states(&nada, &state_outcome, opts, *kind, top_n);
+
+        // Architecture search (same seeding as `common::search_archs`).
+        let mut llm_a = Model::Gpt35.client(opts.seed ^ *kind as u64 ^ 0xA4C4);
+        let arch_outcome = nada.run_arch_search(&mut llm_a);
+        let top_archs = resolve_archs(&nada, &arch_outcome, opts, *kind, top_n);
+
+        let combined_score = nada
+            .evaluate_combinations(&top_states, &top_archs)
+            .map(|(_, _, score)| score)
+            .unwrap_or(f64::NEG_INFINITY);
+        let original = state_outcome.original.test_score;
+        table.row(vec![
+            kind.name().to_string(),
+            fmt_pct(state_outcome.improvement_pct()),
+            fmt_pct(arch_outcome.improvement_pct()),
+            fmt_pct(improvement_pct(original, combined_score)),
+            fmt_pct(paper_row.state_pct),
+            fmt_pct(paper_row.arch_pct),
+            fmt_pct(paper_row.combined_pct),
+        ]);
+    }
+    format!(
+        "== Table 5: combining GPT-3.5 states and architectures ({:?} scale) ==\n{}",
+        opts.scale,
+        table.render()
+    )
+}
+
+/// Resolves the top-ranked state candidates back to compiled programs by
+/// regenerating the candidate pool with the search's deterministic seed.
+fn resolve_states(
+    nada: &nada_core::Nada,
+    outcome: &SearchOutcome,
+    opts: &HarnessOptions,
+    kind: DatasetKind,
+    top_n: usize,
+) -> Vec<(usize, CompiledState)> {
+    let mut llm = Model::Gpt35.client(opts.seed ^ kind as u64 ^ 0x57A7);
+    let pool = nada.generate_candidates(&mut llm, DesignKind::State);
+    outcome
+        .ranked
+        .iter()
+        .take(top_n)
+        .filter_map(|(id, _)| {
+            let cand = pool.iter().find(|c| c.id == *id)?;
+            match nada_core::prechecks::precheck(cand, &nada.config().fuzz).ok()? {
+                CompiledDesign::State(s) => Some((*id, *s)),
+                CompiledDesign::Arch(_) => None,
+            }
+        })
+        .collect()
+}
+
+/// Resolves the top-ranked architecture candidates back to configs.
+fn resolve_archs(
+    nada: &nada_core::Nada,
+    outcome: &SearchOutcome,
+    opts: &HarnessOptions,
+    kind: DatasetKind,
+    top_n: usize,
+) -> Vec<(usize, ArchConfig)> {
+    let mut llm = Model::Gpt35.client(opts.seed ^ kind as u64 ^ 0xA4C4);
+    let pool = nada.generate_candidates(&mut llm, DesignKind::Architecture);
+    outcome
+        .ranked
+        .iter()
+        .take(top_n)
+        .filter_map(|(id, _)| {
+            let cand = pool.iter().find(|c| c.id == *id)?;
+            match nada_core::prechecks::precheck(cand, &nada.config().fuzz).ok()? {
+                CompiledDesign::Arch(a) => Some((*id, a)),
+                CompiledDesign::State(_) => None,
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,14 @@
+//! Benchmark harness for the NADA reproduction.
+//!
+//! Each table/figure of the paper's evaluation has a binary that
+//! regenerates it (`cargo run --release -p nada-bench --bin table3`), all
+//! backed by the [`experiments`] library so `run_all` can execute the whole
+//! evaluation in one process. [`paper`] holds the published numbers so
+//! every harness prints `paper=` next to `measured=`.
+//!
+//! Default scale is `Quick` (workstation-sized); pass `--full` for the
+//! paper-scale configuration (cluster-sized — expect days).
+
+pub mod cli;
+pub mod experiments;
+pub mod paper;

@@ -1,0 +1,72 @@
+//! Binding simulator observations to state-program inputs.
+//!
+//! The DSL's [`nada_dsl::abr_schema`] declares nine inputs in a fixed
+//! order; [`observation_inputs`] produces exactly that binding from a
+//! simulator [`Observation`]. This is the only place where the two vocabularies
+//! meet, so schema evolution is a one-file change.
+
+use nada_dsl::Value;
+use nada_sim::obs::Observation;
+
+/// Converts an observation into the schema-ordered input binding.
+pub fn observation_inputs(obs: &Observation) -> Vec<Value> {
+    vec![
+        Value::Vector(obs.throughput_mbps.clone()),
+        Value::Vector(obs.download_time_s.clone()),
+        Value::Vector(obs.buffer_history_s.clone()),
+        Value::Vector(obs.next_chunk_sizes_bytes.clone()),
+        Value::Scalar(obs.buffer_s),
+        Value::Scalar(obs.chunks_remaining as f64),
+        Value::Scalar(obs.total_chunks as f64),
+        Value::Scalar(obs.last_bitrate_kbps),
+        Value::Scalar(obs.max_bitrate_kbps()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nada_dsl::{abr_schema, seeds};
+    use nada_sim::obs::HISTORY_LEN;
+
+    fn sample_obs() -> Observation {
+        Observation {
+            throughput_mbps: vec![4.0; HISTORY_LEN],
+            download_time_s: vec![1.5; HISTORY_LEN],
+            buffer_history_s: vec![12.0; HISTORY_LEN],
+            next_chunk_sizes_bytes: vec![500_000.0; 6],
+            buffer_s: 22.0,
+            chunks_remaining: 24,
+            total_chunks: 48,
+            last_bitrate_kbps: 1200.0,
+            ladder_kbps: vec![300.0, 750.0, 1200.0, 1850.0, 2850.0, 4300.0],
+        }
+    }
+
+    #[test]
+    fn binding_matches_schema_order_and_shapes() {
+        let inputs = observation_inputs(&sample_obs());
+        let schema = abr_schema();
+        assert_eq!(inputs.len(), schema.len());
+        for (value, spec) in inputs.iter().zip(schema.specs()) {
+            let ok = match spec.ty {
+                nada_dsl::InputType::Scalar => matches!(value, Value::Scalar(_)),
+                nada_dsl::InputType::Vec(n) => {
+                    matches!(value, Value::Vector(v) if v.len() == n)
+                }
+            };
+            assert!(ok, "binding shape mismatch for `{}`", spec.name);
+        }
+    }
+
+    #[test]
+    fn pensieve_seed_state_evaluates_on_real_binding() {
+        let state = seeds::pensieve_state();
+        let features = state.eval(&observation_inputs(&sample_obs())).unwrap();
+        assert_eq!(features.len(), 6);
+        // Spot-check Pensieve's normalization: buffer 22 s / 10 = 2.2.
+        assert_eq!(features[1], Value::Scalar(2.2));
+        // last quality: 1200/4300.
+        assert_eq!(features[0], Value::Scalar(1200.0 / 4300.0));
+    }
+}

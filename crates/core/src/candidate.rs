@@ -1,0 +1,80 @@
+//! Candidate designs and their lifecycle.
+
+use nada_dsl::{CompiledState, DslError};
+use nada_llm::DesignKind;
+use nada_nn::ArchConfig;
+
+// Re-export for downstream signatures.
+pub use nada_dsl::interp::CompiledState as StateDesign;
+
+/// One LLM-generated design, as it enters the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Stable index within its generation batch.
+    pub id: usize,
+    /// State or architecture.
+    pub kind: DesignKind,
+    /// The generated code block.
+    pub code: String,
+    /// The model's chain-of-thought text, if any.
+    pub reasoning: Option<String>,
+}
+
+/// A candidate that survived the pre-checks, compiled to its executable form.
+#[derive(Debug, Clone)]
+pub enum CompiledDesign {
+    /// A compiled state program.
+    State(Box<CompiledState>),
+    /// A compiled architecture description.
+    Arch(ArchConfig),
+}
+
+impl CompiledDesign {
+    /// The design kind.
+    pub fn kind(&self) -> DesignKind {
+        match self {
+            CompiledDesign::State(_) => DesignKind::State,
+            CompiledDesign::Arch(_) => DesignKind::Architecture,
+        }
+    }
+}
+
+/// Why a candidate was filtered out before training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RejectReason {
+    /// Failed the compilation check (lex/parse/check/trial-run error).
+    CompileError(DslError),
+    /// Failed the normalization fuzz check: a feature exceeded `T`.
+    Unnormalized {
+        /// Offending feature name.
+        feature: String,
+        /// Observed magnitude.
+        value: f64,
+    },
+    /// The fuzzer triggered a runtime error the trial run missed.
+    FuzzEvalError(DslError),
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::CompileError(e) => write!(f, "compilation check failed: {e}"),
+            RejectReason::Unnormalized { feature, value } => {
+                write!(f, "normalization check failed: `{feature}` reached {value:.3e}")
+            }
+            RejectReason::FuzzEvalError(e) => write!(f, "fuzzing triggered runtime error: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reject_reasons_render() {
+        let r = RejectReason::Unnormalized { feature: "raw".into(), value: 2.9e7 };
+        assert!(r.to_string().contains("raw"));
+        assert!(r.to_string().contains("normalization"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Run configuration: one struct, two scales.
+
+use nada_dsl::FuzzConfig;
+use nada_nn::A2cConfig;
+use nada_traces::dataset::{DatasetKind, DatasetScale};
+
+/// How big a run is. The paper's numbers (3 000 candidates, 40 000 epochs,
+/// 5 seeds) need a cluster; `Quick` preserves every pipeline stage and all
+/// relative comparisons at workstation scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum RunScale {
+    /// Paper-scale counts (Table 1 epochs, 3 000 candidates, 5 seeds).
+    Paper,
+    /// Workstation-scale: reduced candidates/epochs/seeds, width-reduced
+    /// networks, quick datasets.
+    Quick,
+    /// Minimal settings for unit tests.
+    Tiny,
+}
+
+/// Complete configuration of a NADA run on one dataset.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NadaConfig {
+    /// Target network environment.
+    pub dataset: DatasetKind,
+    /// Run scale.
+    pub scale: RunScale,
+    /// Number of LLM candidates to generate per design kind.
+    pub n_candidates: usize,
+    /// RL training epochs (one epoch = one episode batch).
+    pub train_epochs: usize,
+    /// Epochs between checkpoint evaluations (Table 1's "Test Interval").
+    pub test_interval: usize,
+    /// Episodes per A2C update batch.
+    pub episodes_per_epoch: usize,
+    /// Independent training sessions per design (paper: 5).
+    pub n_seeds: usize,
+    /// Early-phase epochs fed to the early-stopping model (paper: first
+    /// 10 000 of 40 000).
+    pub early_epochs: usize,
+    /// Designs fully trained up-front to fit the early-stopping model.
+    pub n_probe: usize,
+    /// Width divisor applied to architectures (1 = paper widths).
+    pub arch_scale_factor: usize,
+    /// Number of test traces used per checkpoint evaluation (caps cost).
+    pub eval_traces: usize,
+    /// A2C hyperparameters (`a2c.entropy_coeff` is the anneal start).
+    pub a2c: A2cConfig,
+    /// Entropy bonus at the end of training (linear anneal).
+    pub entropy_end: f32,
+    /// Normalization-check fuzzing parameters (threshold T = 100).
+    pub fuzz: FuzzConfig,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl NadaConfig {
+    /// Builds the configuration for a dataset at the given scale, deriving
+    /// epoch counts from the paper's Table 1.
+    pub fn new(dataset: DatasetKind, scale: RunScale, seed: u64) -> Self {
+        let spec = dataset.paper_spec();
+        match scale {
+            RunScale::Paper => Self {
+                dataset,
+                scale,
+                n_candidates: 3_000,
+                train_epochs: spec.train_epochs,
+                test_interval: spec.test_interval,
+                episodes_per_epoch: 4,
+                n_seeds: 5,
+                early_epochs: spec.train_epochs / 4,
+                n_probe: 64,
+                arch_scale_factor: 1,
+                eval_traces: usize::MAX,
+                a2c: A2cConfig { lr: 1e-3, entropy_coeff: 0.3, ..A2cConfig::default() },
+                entropy_end: 0.02,
+                fuzz: FuzzConfig::default(),
+                seed,
+            },
+            RunScale::Quick => Self {
+                dataset,
+                scale,
+                n_candidates: 48,
+                train_epochs: (spec.train_epochs / 50).max(400),
+                test_interval: (spec.test_interval / 25).max(10),
+                episodes_per_epoch: 4,
+                n_seeds: 3,
+                early_epochs: (spec.train_epochs / 200).max(100),
+                n_probe: 10,
+                arch_scale_factor: 8,
+                eval_traces: 6,
+                a2c: A2cConfig { lr: 1e-3, entropy_coeff: 0.3, ..A2cConfig::default() },
+                entropy_end: 0.02,
+                fuzz: FuzzConfig::default(),
+                seed,
+            },
+            RunScale::Tiny => Self {
+                dataset,
+                scale,
+                n_candidates: 8,
+                train_epochs: 30,
+                test_interval: 10,
+                episodes_per_epoch: 1,
+                n_seeds: 2,
+                early_epochs: 10,
+                n_probe: 3,
+                arch_scale_factor: 16,
+                eval_traces: 2,
+                a2c: A2cConfig { lr: 2e-3, ..A2cConfig::default() },
+                entropy_end: 0.01,
+                fuzz: FuzzConfig::default(),
+                seed,
+            },
+        }
+    }
+
+    /// Matching dataset-synthesis scale.
+    pub fn dataset_scale(&self) -> DatasetScale {
+        match self.scale {
+            RunScale::Paper => DatasetScale::Paper,
+            RunScale::Quick => DatasetScale::Quick,
+            RunScale::Tiny => DatasetScale::Tiny,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_table1() {
+        let cfg = NadaConfig::new(DatasetKind::Fcc, RunScale::Paper, 0);
+        assert_eq!(cfg.train_epochs, 40_000);
+        assert_eq!(cfg.test_interval, 500);
+        assert_eq!(cfg.n_seeds, 5);
+        assert_eq!(cfg.n_candidates, 3_000);
+        let sl = NadaConfig::new(DatasetKind::Starlink, RunScale::Paper, 0);
+        assert_eq!(sl.train_epochs, 4_000);
+        assert_eq!(sl.test_interval, 100);
+    }
+
+    #[test]
+    fn quick_scale_is_proportional() {
+        let cfg = NadaConfig::new(DatasetKind::Fcc, RunScale::Quick, 0);
+        assert!(cfg.train_epochs < 1_000);
+        assert!(cfg.early_epochs < cfg.train_epochs);
+        assert!(cfg.test_interval < cfg.train_epochs);
+    }
+
+    #[test]
+    fn early_phase_is_a_prefix() {
+        for scale in [RunScale::Paper, RunScale::Quick, RunScale::Tiny] {
+            for ds in DatasetKind::ALL {
+                let cfg = NadaConfig::new(ds, scale, 1);
+                assert!(
+                    cfg.early_epochs <= cfg.train_epochs,
+                    "{ds:?}/{scale:?}: early {} > total {}",
+                    cfg.early_epochs,
+                    cfg.train_epochs
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! The NADA pipeline — the paper's primary contribution.
+//!
+//! NADA (Network Algorithm Design Automation via LLMs) takes an existing
+//! network algorithm (Pensieve ABR), asks an LLM for a pool of alternative
+//! designs for its state representation and neural-network architecture,
+//! then filters and evaluates them efficiently (Figure 1):
+//!
+//! ```text
+//!  LLM ──► candidate pool ──► compilation check ──► normalization check
+//!                                                        │
+//!        ranked designs ◄── full training ◄── early-stopped batch training
+//! ```
+//!
+//! Crate layout:
+//!
+//! * [`config`] — run scales (paper vs quick) and every knob in one place;
+//! * [`candidate`] — candidate designs and their lifecycle states;
+//! * [`bind`] — gluing the simulator's observations to state programs;
+//! * [`prechecks`] — §2.2's compilation and fuzzing-normalization checks;
+//! * [`train`] — A2C training of one design on one dataset (one seed);
+//! * [`eval`] — checkpoint evaluation on held-out traces;
+//! * [`score`] — §3.1's scoring protocol (mean of last 10 checkpoints,
+//!   median over seeds);
+//! * [`pipeline`] — the orchestrator: generate → filter → early-stopped
+//!   batch training → full training → ranking; plus design combination
+//!   (Table 5);
+//! * [`report`] — plain-text table rendering for the benchmark harnesses.
+
+pub mod bind;
+pub mod candidate;
+pub mod config;
+pub mod eval;
+pub mod pipeline;
+pub mod prechecks;
+pub mod report;
+pub mod score;
+pub mod train;
+
+pub use candidate::{Candidate, CompiledDesign, RejectReason};
+pub use config::{NadaConfig, RunScale};
+pub use pipeline::{Nada, PrecheckStats, SearchOutcome};
+pub use train::{train_design, TrainError, TrainOutcome, TrainRunConfig};

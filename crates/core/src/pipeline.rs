@@ -1,0 +1,594 @@
+//! The NADA orchestrator (paper Figure 1).
+//!
+//! End-to-end flow for one dataset:
+//!
+//! 1. **Generate** a candidate pool from an [`LlmClient`] (state or
+//!    architecture code blocks);
+//! 2. **Pre-check** every candidate (compilation + normalization, §2.2);
+//! 3. **Probe**: fully train a small prefix of survivors to fit the
+//!    early-stopping model (the paper trains its classifier on designs with
+//!    known outcomes from earlier runs);
+//! 4. **Early-stopped batch training**: every remaining survivor trains for
+//!    the first `K` epochs; the Reward-Only 1D-CNN decides who continues;
+//! 5. **Full evaluation**: the top designs get the complete §3.1 protocol
+//!    (multiple seeded sessions, checkpoint smoothing, median);
+//! 6. **Rank** and report against the original design.
+//!
+//! Training runs fan out across CPU cores; results are deterministic
+//! because every session derives its own seed and aggregation order is
+//! fixed by candidate id.
+
+use crate::candidate::{Candidate, CompiledDesign, RejectReason};
+use crate::config::NadaConfig;
+use crate::eval::evaluate_policy_emu;
+use crate::prechecks::precheck;
+use crate::score::{final_test_score, median, smoothed_score};
+use crate::train::{train_design, DesignTrainer, TrainOutcome, TrainRunConfig};
+use nada_dsl::{seeds, CompiledState};
+use nada_earlystop::classifiers::{Classifier, DesignSample, FitConfig, RewardCnnClassifier};
+use nada_llm::{DesignKind, LlmClient, Prompt};
+use nada_nn::ArchConfig;
+use nada_traces::dataset::TraceDataset;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Table 2 row: pre-check pass counts for one candidate pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PrecheckStats {
+    /// Candidates generated.
+    pub total: usize,
+    /// Candidates passing the compilation check.
+    pub compilable: usize,
+    /// Candidates passing both checks (equals `compilable` for
+    /// architecture pools, where the normalization check does not apply).
+    pub normalized: usize,
+}
+
+impl PrecheckStats {
+    /// Compilable percentage.
+    pub fn compilable_pct(&self) -> f64 {
+        100.0 * self.compilable as f64 / self.total.max(1) as f64
+    }
+
+    /// Both-checks percentage.
+    pub fn normalized_pct(&self) -> f64 {
+        100.0 * self.normalized as f64 / self.total.max(1) as f64
+    }
+}
+
+/// A fully evaluated design.
+#[derive(Debug, Clone)]
+pub struct DesignResult {
+    /// The candidate (None for the original seed design).
+    pub candidate: Option<Candidate>,
+    /// The design's code block.
+    pub code: String,
+    /// Per-seed training sessions.
+    pub sessions: Vec<TrainOutcome>,
+    /// §3.1 final test score.
+    pub test_score: f64,
+}
+
+/// Early-stopping bookkeeping for one search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Designs stopped at the early-phase boundary.
+    pub early_stopped: usize,
+    /// Designs trained to completion (probes + survivors).
+    pub fully_trained: usize,
+    /// Designs that errored mid-training.
+    pub failed: usize,
+    /// Total training epochs actually spent.
+    pub epochs_spent: usize,
+    /// Epochs avoided thanks to early stopping.
+    pub epochs_saved: usize,
+}
+
+/// Everything a search produces (feeds Tables 3–5 and Figures 3–4).
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Which component was searched.
+    pub kind: DesignKind,
+    /// Pre-check statistics (Table 2).
+    pub precheck: PrecheckStats,
+    /// The original design under the same protocol.
+    pub original: DesignResult,
+    /// The best generated design.
+    pub best: DesignResult,
+    /// Survivor scores from the screening phase `(candidate id, score)`,
+    /// best first.
+    pub ranked: Vec<(usize, f64)>,
+    /// Early-stopping bookkeeping.
+    pub stats: SearchStats,
+}
+
+impl SearchOutcome {
+    /// Percent improvement of the best design over the original
+    /// (sign-safe: improvements of negative baselines are still positive).
+    pub fn improvement_pct(&self) -> f64 {
+        improvement_pct(self.original.test_score, self.best.test_score)
+    }
+}
+
+/// Percent improvement with the paper's convention.
+pub fn improvement_pct(original: f64, new: f64) -> f64 {
+    100.0 * (new - original) / original.abs().max(1e-9)
+}
+
+/// The NADA pipeline bound to one dataset.
+pub struct Nada {
+    cfg: NadaConfig,
+    dataset: TraceDataset,
+}
+
+impl Nada {
+    /// Creates a pipeline, synthesizing the dataset for `cfg`.
+    pub fn new(cfg: NadaConfig) -> Self {
+        let dataset = TraceDataset::synthesize(cfg.dataset, cfg.dataset_scale(), cfg.seed);
+        Self { cfg, dataset }
+    }
+
+    /// Creates a pipeline over externally provided traces.
+    pub fn with_dataset(cfg: NadaConfig, dataset: TraceDataset) -> Self {
+        Self { cfg, dataset }
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &NadaConfig {
+        &self.cfg
+    }
+
+    /// The bound dataset.
+    pub fn dataset(&self) -> &TraceDataset {
+        &self.dataset
+    }
+
+    /// Asks the LLM for `n_candidates` designs of `kind` (§2.1 prompts).
+    pub fn generate_candidates(
+        &self,
+        llm: &mut dyn LlmClient,
+        kind: DesignKind,
+    ) -> Vec<Candidate> {
+        let prompt = match kind {
+            DesignKind::State => Prompt::state(seeds::PENSIEVE_STATE_SOURCE),
+            DesignKind::Architecture => Prompt::architecture(seeds::PENSIEVE_ARCH_SOURCE),
+        };
+        llm.generate_batch(&prompt, self.cfg.n_candidates)
+            .into_iter()
+            .enumerate()
+            .map(|(id, c)| Candidate { id, kind, code: c.code, reasoning: c.reasoning })
+            .collect()
+    }
+
+    /// Runs both pre-checks over a pool, returning survivors and Table 2
+    /// statistics.
+    pub fn precheck_all(
+        &self,
+        candidates: &[Candidate],
+    ) -> (Vec<(Candidate, CompiledDesign)>, PrecheckStats) {
+        let mut stats =
+            PrecheckStats { total: candidates.len(), compilable: 0, normalized: 0 };
+        let mut accepted = Vec::new();
+        for cand in candidates {
+            match precheck(cand, &self.cfg.fuzz) {
+                Ok(design) => {
+                    stats.compilable += 1;
+                    stats.normalized += 1;
+                    accepted.push((cand.clone(), design));
+                }
+                Err(RejectReason::Unnormalized { .. })
+                | Err(RejectReason::FuzzEvalError(_)) => {
+                    stats.compilable += 1;
+                }
+                Err(RejectReason::CompileError(_)) => {}
+            }
+        }
+        (accepted, stats)
+    }
+
+    /// Trains one design with the full §3.1 protocol (`n_seeds` sessions in
+    /// parallel) and returns the sessions plus the final test score.
+    pub fn evaluate_design_full(
+        &self,
+        state: &CompiledState,
+        arch: &ArchConfig,
+    ) -> Result<(Vec<TrainOutcome>, f64), crate::train::TrainError> {
+        let run_cfg = TrainRunConfig::from(&self.cfg);
+        let seeds: Vec<u64> =
+            (0..self.cfg.n_seeds).map(|i| self.cfg.seed.wrapping_add(1000 + i as u64)).collect();
+        let sessions: Result<Vec<TrainOutcome>, _> = parallel_map(seeds, &|seed| {
+            train_design(state, arch, &self.dataset, &run_cfg, seed)
+        })
+        .into_iter()
+        .collect();
+        let sessions = sessions?;
+        let score = final_test_score(&sessions);
+        Ok((sessions, score))
+    }
+
+    /// The original Pensieve design under the full protocol.
+    pub fn train_original(&self) -> DesignResult {
+        let state = seeds::pensieve_state();
+        let arch = seeds::pensieve_arch();
+        let (sessions, test_score) = self
+            .evaluate_design_full(&state, &arch)
+            .expect("the seed design must train cleanly");
+        DesignResult {
+            candidate: None,
+            code: seeds::PENSIEVE_STATE_SOURCE.to_string(),
+            sessions,
+            test_score,
+        }
+    }
+
+    /// Full state search: generate → filter → early-stopped screening →
+    /// full evaluation of the finalists (original architecture throughout).
+    pub fn run_state_search(&self, llm: &mut dyn LlmClient) -> SearchOutcome {
+        let candidates = self.generate_candidates(llm, DesignKind::State);
+        let (accepted, precheck_stats) = self.precheck_all(&candidates);
+        let arch = seeds::pensieve_arch();
+        let pool: Vec<(Candidate, CompiledState, ArchConfig)> = accepted
+            .into_iter()
+            .filter_map(|(cand, design)| match design {
+                CompiledDesign::State(s) => Some((cand, *s, arch.clone())),
+                CompiledDesign::Arch(_) => None,
+            })
+            .collect();
+        self.search(DesignKind::State, precheck_stats, pool)
+    }
+
+    /// Full architecture search (original state throughout). Per §3.3 the
+    /// normalization check does not apply to architecture pools.
+    pub fn run_arch_search(&self, llm: &mut dyn LlmClient) -> SearchOutcome {
+        let candidates = self.generate_candidates(llm, DesignKind::Architecture);
+        let (accepted, precheck_stats) = self.precheck_all(&candidates);
+        let state = seeds::pensieve_state();
+        let pool: Vec<(Candidate, CompiledState, ArchConfig)> = accepted
+            .into_iter()
+            .filter_map(|(cand, design)| match design {
+                CompiledDesign::Arch(a) => Some((cand, state.clone(), a)),
+                CompiledDesign::State(_) => None,
+            })
+            .collect();
+        self.search(DesignKind::Architecture, precheck_stats, pool)
+    }
+
+    fn search(
+        &self,
+        kind: DesignKind,
+        precheck_stats: PrecheckStats,
+        pool: Vec<(Candidate, CompiledState, ArchConfig)>,
+    ) -> SearchOutcome {
+        let run_cfg = TrainRunConfig::from(&self.cfg);
+        let original = self.train_original();
+        let mut stats = SearchStats::default();
+
+        // ---- Phase A: probes train fully to fit the early-stopping model.
+        let n_probe = self.cfg.n_probe.min(pool.len());
+        let (probes, rest) = pool.split_at(n_probe);
+        let probe_results: Vec<(usize, Option<TrainOutcome>)> =
+            parallel_map(probes.to_vec(), &|(cand, state, arch)| {
+                let out = train_design(
+                    &state,
+                    &arch,
+                    &self.dataset,
+                    &run_cfg,
+                    self.cfg.seed.wrapping_add(7000 + cand.id as u64),
+                )
+                .ok();
+                (cand.id, out)
+            });
+        for (_, out) in &probe_results {
+            match out {
+                Some(o) => {
+                    stats.fully_trained += 1;
+                    stats.epochs_spent += o.reward_curve.len();
+                }
+                None => stats.failed += 1,
+            }
+        }
+
+        // Fit the Reward-Only classifier on probe outcomes (when feasible).
+        let classifier = {
+            let samples: Vec<DesignSample> = probe_results
+                .iter()
+                .filter_map(|(_, o)| o.as_ref())
+                .map(|o| DesignSample {
+                    reward_curve: o.early_curve(self.cfg.early_epochs).to_vec(),
+                    code: String::new(),
+                })
+                .collect();
+            let finals: Vec<f64> = probe_results
+                .iter()
+                .filter_map(|(_, o)| o.as_ref())
+                .map(|o| smoothed_score(&o.checkpoints))
+                .collect();
+            if samples.len() >= 4 {
+                let fit = FitConfig {
+                    // Small pools: "top 1 %" degenerates to the single best
+                    // probe; keep the paper's 20 % smoothing.
+                    top_fraction: 0.01,
+                    seed: self.cfg.seed,
+                    ..FitConfig::default()
+                };
+                let mut clf = RewardCnnClassifier::new(&fit);
+                clf.fit(&samples, &finals, &fit);
+                Some(clf)
+            } else {
+                None
+            }
+        };
+
+        // ---- Phase B: screen the remaining pool with early stopping.
+        let screened: Vec<(usize, Option<TrainOutcome>, bool)> =
+            parallel_map(rest.to_vec(), &|(cand, state, arch)| {
+                let mut session = DesignTrainer::new(
+                    &state,
+                    &arch,
+                    &self.dataset,
+                    run_cfg,
+                    self.cfg.seed.wrapping_add(7000 + cand.id as u64),
+                );
+                if session.run_until(self.cfg.early_epochs).is_err() {
+                    return (cand.id, None, false);
+                }
+                let keep = match &classifier {
+                    Some(clf) => {
+                        let mut clf = clf.clone();
+                        clf.keep(&DesignSample {
+                            reward_curve: session.outcome().reward_curve.clone(),
+                            code: String::new(),
+                        })
+                    }
+                    None => true,
+                };
+                if !keep {
+                    return (cand.id, Some(session.into_outcome()), false);
+                }
+                match session.run_until(self.cfg.train_epochs) {
+                    Ok(()) => (cand.id, Some(session.into_outcome()), true),
+                    Err(_) => (cand.id, None, false),
+                }
+            });
+        for (_, out, completed) in &screened {
+            match (out, completed) {
+                (Some(o), true) => {
+                    stats.fully_trained += 1;
+                    stats.epochs_spent += o.reward_curve.len();
+                }
+                (Some(o), false) => {
+                    stats.early_stopped += 1;
+                    stats.epochs_spent += o.reward_curve.len();
+                    stats.epochs_saved += self.cfg.train_epochs - o.reward_curve.len();
+                }
+                (None, _) => stats.failed += 1,
+            }
+        }
+
+        // ---- Rank every completed design by its screening score.
+        let mut ranked: Vec<(usize, f64)> = probe_results
+            .iter()
+            .filter_map(|(id, o)| o.as_ref().map(|o| (*id, smoothed_score(&o.checkpoints))))
+            .chain(screened.iter().filter_map(|(id, o, completed)| {
+                if *completed {
+                    o.as_ref().map(|o| (*id, smoothed_score(&o.checkpoints)))
+                } else {
+                    None
+                }
+            }))
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0)));
+
+        // ---- Full §3.1 protocol for the finalists.
+        let top_k = 3.min(ranked.len());
+        let finalists: Vec<(Candidate, CompiledState, ArchConfig)> = ranked[..top_k]
+            .iter()
+            .filter_map(|(id, _)| pool.iter().find(|(c, _, _)| c.id == *id).cloned())
+            .collect();
+        let finals: Vec<Option<DesignResult>> =
+            parallel_map(finalists, &|(cand, state, arch)| {
+                self.evaluate_design_full(&state, &arch).ok().map(|(sessions, score)| {
+                    DesignResult {
+                        code: cand.code.clone(),
+                        candidate: Some(cand),
+                        sessions,
+                        test_score: score,
+                    }
+                })
+            });
+        stats.epochs_spent += finals.iter().flatten().count() * self.cfg.n_seeds * self.cfg.train_epochs;
+
+        let best = finals
+            .into_iter()
+            .flatten()
+            .max_by(|a, b| a.test_score.partial_cmp(&b.test_score).expect("finite scores"))
+            .unwrap_or_else(|| original.clone());
+
+        SearchOutcome { kind, precheck: precheck_stats, original, best, ranked, stats }
+    }
+
+    /// Table 5: cross-combine top states with top architectures, screen
+    /// each pair with one session, and run the full protocol on the best.
+    pub fn evaluate_combinations(
+        &self,
+        states: &[(usize, CompiledState)],
+        archs: &[(usize, ArchConfig)],
+    ) -> Option<(usize, usize, f64)> {
+        let run_cfg = TrainRunConfig::from(&self.cfg);
+        let pairs: Vec<(usize, usize, CompiledState, ArchConfig)> = states
+            .iter()
+            .flat_map(|(sid, s)| {
+                archs.iter().map(move |(aid, a)| (*sid, *aid, s.clone(), a.clone()))
+            })
+            .collect();
+        let scored: Vec<Option<(usize, usize, f64)>> =
+            parallel_map(pairs, &|(sid, aid, state, arch)| {
+                let out = train_design(
+                    &state,
+                    &arch,
+                    &self.dataset,
+                    &run_cfg,
+                    self.cfg.seed.wrapping_add(9000 + (sid * 37 + aid) as u64),
+                )
+                .ok()?;
+                Some((sid, aid, smoothed_score(&out.checkpoints)))
+            });
+        let (sid, aid, _) = scored
+            .into_iter()
+            .flatten()
+            .max_by(|a, b| a.2.partial_cmp(&b.2).expect("finite scores"))?;
+        // Full protocol on the winning pair.
+        let state = states.iter().find(|(i, _)| *i == sid)?.1.clone();
+        let arch = archs.iter().find(|(i, _)| *i == aid)?.1.clone();
+        let (_, score) = self.evaluate_design_full(&state, &arch).ok()?;
+        Some((sid, aid, score))
+    }
+
+    /// Table 4: trains a design in simulation (multi-seed) and evaluates
+    /// the resulting policies in the HTTP/TCP emulator, returning the
+    /// median emulation score.
+    pub fn emulation_score(
+        &self,
+        state: &CompiledState,
+        arch: &ArchConfig,
+    ) -> Result<f64, crate::train::TrainError> {
+        let run_cfg = TrainRunConfig::from(&self.cfg);
+        let seeds: Vec<u64> =
+            (0..self.cfg.n_seeds).map(|i| self.cfg.seed.wrapping_add(1000 + i as u64)).collect();
+        let scores: Result<Vec<f64>, _> = parallel_map(seeds, &|seed| {
+            let mut session = DesignTrainer::new(state, arch, &self.dataset, run_cfg, seed);
+            session.run_until(run_cfg.train_epochs)?;
+            let manifest = session.manifest().clone();
+            let n_eval = run_cfg.eval_traces;
+            let test = &self.dataset.test;
+            evaluate_policy_emu(session.policy_mut(), state, &manifest, test, n_eval)
+        })
+        .into_iter()
+        .collect();
+        Ok(median(&scores?))
+    }
+}
+
+/// Order-preserving parallel map over an owned vector using scoped threads.
+/// Deterministic: each item's computation is self-contained; slot `i` in the
+/// output always corresponds to item `i`.
+pub fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("no poisoned locks: workers do not panic while holding them")
+                    .take()
+                    .expect("each slot is taken exactly once");
+                let result = f(item);
+                *out[i].lock().expect("result slot lock") = Some(result);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| m.into_inner().expect("scope joined").expect("all slots filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RunScale;
+    use nada_llm::MockLlm;
+    use nada_traces::dataset::DatasetKind;
+
+    fn tiny_nada(seed: u64) -> Nada {
+        Nada::new(NadaConfig::new(DatasetKind::Fcc, RunScale::Tiny, seed))
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let xs: Vec<usize> = (0..100).collect();
+        let ys = parallel_map(xs, &|x| x * 2);
+        assert_eq!(ys, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn precheck_all_matches_manual_counts() {
+        let nada = tiny_nada(1);
+        let mut llm = MockLlm::gpt35(1);
+        let candidates = nada.generate_candidates(&mut llm, DesignKind::State);
+        assert_eq!(candidates.len(), nada.config().n_candidates);
+        let (accepted, stats) = nada.precheck_all(&candidates);
+        assert_eq!(stats.total, candidates.len());
+        assert!(stats.compilable >= stats.normalized);
+        assert_eq!(accepted.len(), stats.normalized);
+    }
+
+    #[test]
+    fn original_design_trains_under_full_protocol() {
+        let nada = tiny_nada(2);
+        let original = nada.train_original();
+        assert_eq!(original.sessions.len(), nada.config().n_seeds);
+        assert!(original.test_score.is_finite());
+    }
+
+    #[test]
+    fn state_search_completes_and_ranks() {
+        let nada = tiny_nada(3);
+        let mut llm = MockLlm::perfect(3);
+        let outcome = nada.run_state_search(&mut llm);
+        assert_eq!(outcome.kind, DesignKind::State);
+        assert_eq!(outcome.precheck.total, nada.config().n_candidates);
+        assert!(!outcome.ranked.is_empty());
+        assert!(outcome.best.test_score.is_finite());
+        assert!(outcome.stats.fully_trained > 0);
+    }
+
+    #[test]
+    fn arch_search_completes() {
+        let nada = tiny_nada(4);
+        let mut llm = MockLlm::perfect(4);
+        let outcome = nada.run_arch_search(&mut llm);
+        assert_eq!(outcome.kind, DesignKind::Architecture);
+        // Architecture pools skip the normalization check, so both counts
+        // match.
+        assert_eq!(outcome.precheck.compilable, outcome.precheck.normalized);
+        assert!(outcome.best.test_score.is_finite());
+    }
+
+    #[test]
+    fn improvement_pct_is_sign_safe() {
+        assert!((improvement_pct(0.308, 0.472) - 53.2467).abs() < 0.01);
+        // Negative baseline (Table 4 Starlink): improvement is positive.
+        assert!(improvement_pct(-0.0482, 0.0899) > 0.0);
+    }
+
+    #[test]
+    fn combinations_pick_a_pair() {
+        let nada = tiny_nada(5);
+        let state = seeds::pensieve_state();
+        let arch = seeds::pensieve_arch();
+        let result = nada.evaluate_combinations(
+            &[(0, state.clone()), (1, state)],
+            &[(0, arch)],
+        );
+        let (sid, aid, score) = result.expect("a pair must win");
+        assert!(sid < 2 && aid == 0);
+        assert!(score.is_finite());
+    }
+}

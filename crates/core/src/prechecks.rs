@@ -1,0 +1,78 @@
+//! The paper's two pre-checks (§2.2).
+//!
+//! 1. **Compilation check** — "a trial run of the LLM-generated code. Any
+//!    code that triggers an exception is immediately excluded": here,
+//!    lex/parse/type-check plus the interpreter's trial run.
+//! 2. **Normalization check** — fuzz the state code with random inputs and
+//!    reject if any feature exceeds `T = 100`. "This normalization check is
+//!    applied only to state generation code, not the code that defines the
+//!    neural network architecture."
+
+use crate::candidate::{Candidate, CompiledDesign, RejectReason};
+use nada_dsl::fuzz::NormCheckOutcome;
+use nada_dsl::{compile_arch, compile_state, normalization_check, FuzzConfig};
+use nada_llm::DesignKind;
+
+/// Runs both pre-checks on one candidate.
+pub fn precheck(candidate: &Candidate, fuzz: &FuzzConfig) -> Result<CompiledDesign, RejectReason> {
+    match candidate.kind {
+        DesignKind::State => {
+            let compiled =
+                compile_state(&candidate.code).map_err(RejectReason::CompileError)?;
+            match normalization_check(&compiled, fuzz) {
+                NormCheckOutcome::Pass => Ok(CompiledDesign::State(Box::new(compiled))),
+                NormCheckOutcome::TooLarge { feature, value } => {
+                    Err(RejectReason::Unnormalized { feature, value })
+                }
+                NormCheckOutcome::EvalError(e) => Err(RejectReason::FuzzEvalError(e)),
+            }
+        }
+        DesignKind::Architecture => {
+            let cfg = compile_arch(&candidate.code).map_err(RejectReason::CompileError)?;
+            Ok(CompiledDesign::Arch(cfg))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nada_dsl::seeds::{PENSIEVE_ARCH_SOURCE, PENSIEVE_STATE_SOURCE};
+
+    fn cand(kind: DesignKind, code: &str) -> Candidate {
+        Candidate { id: 0, kind, code: code.into(), reasoning: None }
+    }
+
+    #[test]
+    fn seed_designs_pass_both_checks() {
+        let fuzz = FuzzConfig::default();
+        assert!(precheck(&cand(DesignKind::State, PENSIEVE_STATE_SOURCE), &fuzz).is_ok());
+        assert!(
+            precheck(&cand(DesignKind::Architecture, PENSIEVE_ARCH_SOURCE), &fuzz).is_ok()
+        );
+    }
+
+    #[test]
+    fn syntax_errors_are_compile_rejects() {
+        let fuzz = FuzzConfig::default();
+        let r = precheck(&cand(DesignKind::State, "state x { feature f = ; }"), &fuzz);
+        assert!(matches!(r, Err(RejectReason::CompileError(_))));
+    }
+
+    #[test]
+    fn unnormalized_states_are_fuzz_rejects() {
+        let fuzz = FuzzConfig::default();
+        let code = "state raw { input next_chunk_sizes_bytes: vec[6]; \
+                    feature s = next_chunk_sizes_bytes; }";
+        let r = precheck(&cand(DesignKind::State, code), &fuzz);
+        assert!(matches!(r, Err(RejectReason::Unnormalized { .. })));
+    }
+
+    #[test]
+    fn architectures_skip_the_normalization_check() {
+        // An arch candidate can't be "unnormalized" — only compile-rejected.
+        let fuzz = FuzzConfig::default();
+        let r = precheck(&cand(DesignKind::Architecture, "network n { garbage }"), &fuzz);
+        assert!(matches!(r, Err(RejectReason::CompileError(_))));
+    }
+}

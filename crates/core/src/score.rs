@@ -1,0 +1,106 @@
+//! The §3.1 scoring protocol.
+//!
+//! "During each session, we periodically evaluate model checkpoints on the
+//! test traces and calculate the average reward from the last 10
+//! checkpoints. The median of these smoothed rewards from the five sessions
+//! is reported as the final 'test score'."
+
+use crate::train::{Checkpoint, TrainOutcome};
+
+/// Checkpoints averaged into the smoothed score (paper: last 10).
+pub const SMOOTH_WINDOW: usize = 10;
+
+/// Mean test score over the last [`SMOOTH_WINDOW`] checkpoints (or all of
+/// them when fewer exist).
+pub fn smoothed_score(checkpoints: &[Checkpoint]) -> f64 {
+    assert!(!checkpoints.is_empty(), "no checkpoints to score");
+    let tail = &checkpoints[checkpoints.len().saturating_sub(SMOOTH_WINDOW)..];
+    tail.iter().map(|c| c.test_score).sum::<f64>() / tail.len() as f64
+}
+
+/// Median over a set of values (mean of the two central values for even
+/// counts).
+pub fn median(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "median of an empty set");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("scores must be finite"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// The paper's final test score: median across sessions of the smoothed
+/// per-session score.
+pub fn final_test_score(sessions: &[TrainOutcome]) -> f64 {
+    let smoothed: Vec<f64> =
+        sessions.iter().map(|s| smoothed_score(&s.checkpoints)).collect();
+    median(&smoothed)
+}
+
+/// Median test-score curve across sessions, aligned by checkpoint index —
+/// the series plotted in Figures 3 and 4.
+pub fn median_curve(sessions: &[TrainOutcome]) -> Vec<Checkpoint> {
+    assert!(!sessions.is_empty(), "no sessions");
+    let n_ckpt = sessions.iter().map(|s| s.checkpoints.len()).min().unwrap_or(0);
+    (0..n_ckpt)
+        .map(|i| {
+            let scores: Vec<f64> =
+                sessions.iter().map(|s| s.checkpoints[i].test_score).collect();
+            Checkpoint { epoch: sessions[0].checkpoints[i].epoch, test_score: median(&scores) }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(scores: &[f64]) -> TrainOutcome {
+        TrainOutcome {
+            reward_curve: vec![],
+            checkpoints: scores
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| Checkpoint { epoch: (i + 1) * 10, test_score: s })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn smoothing_uses_the_last_window() {
+        let scores: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        // Last 10 of 0..20 are 10..20, mean 14.5.
+        assert!((smoothed_score(&outcome(&scores).checkpoints) - 14.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothing_handles_short_histories() {
+        assert!((smoothed_score(&outcome(&[1.0, 3.0]).checkpoints) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn final_score_is_median_of_smoothed() {
+        let sessions =
+            vec![outcome(&[1.0]), outcome(&[5.0]), outcome(&[2.0])];
+        assert_eq!(final_test_score(&sessions), 2.0);
+    }
+
+    #[test]
+    fn median_curve_aligns_checkpoints() {
+        let sessions = vec![outcome(&[1.0, 10.0]), outcome(&[3.0, 20.0]), outcome(&[2.0, 30.0])];
+        let curve = median_curve(&sessions);
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[0].test_score, 2.0);
+        assert_eq!(curve[1].test_score, 20.0);
+        assert_eq!(curve[0].epoch, 10);
+    }
+}

@@ -1,0 +1,321 @@
+//! Training one candidate design: A2C over the ABR simulator.
+//!
+//! One "epoch" = one batch of full-video episodes (the paper's unit in
+//! Table 1). Training uses `env.py` semantics — random trace, random start
+//! offset, delay noise, stochastic policy — while checkpoint evaluations
+//! use `fixed_env.py` semantics — deterministic replay from the trace
+//! start with a greedy policy.
+//!
+//! [`DesignTrainer`] is *resumable*: the early-stopping mechanism trains
+//! every design for the first `K` epochs, consults the classifier, and only
+//! promising designs continue — without re-running the prefix.
+
+use crate::bind::observation_inputs;
+use crate::config::NadaConfig;
+use crate::eval::{evaluate_policy, manifest_for};
+use nada_dsl::{CompiledState, DslError};
+use nada_nn::{A2cConfig, A2cTrainer, ActorCritic, ArchConfig, EpisodeBuffer};
+use nada_sim::prelude::*;
+use nada_traces::dataset::TraceDataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Per-run training knobs (a slice of [`NadaConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainRunConfig {
+    /// Total training epochs.
+    pub train_epochs: usize,
+    /// Epochs between checkpoint evaluations.
+    pub test_interval: usize,
+    /// Episodes per A2C update.
+    pub episodes_per_epoch: usize,
+    /// Max test traces per checkpoint evaluation.
+    pub eval_traces: usize,
+    /// Width divisor applied to architectures.
+    pub arch_scale_factor: usize,
+    /// A2C hyperparameters (`a2c.entropy_coeff` is the anneal start).
+    pub a2c: A2cConfig,
+    /// Entropy bonus at the end of training (linear anneal, Pensieve-style).
+    pub entropy_end: f32,
+}
+
+impl From<&NadaConfig> for TrainRunConfig {
+    fn from(c: &NadaConfig) -> Self {
+        Self {
+            train_epochs: c.train_epochs,
+            test_interval: c.test_interval,
+            episodes_per_epoch: c.episodes_per_epoch,
+            eval_traces: c.eval_traces,
+            arch_scale_factor: c.arch_scale_factor,
+            a2c: c.a2c,
+            entropy_end: c.entropy_end,
+        }
+    }
+}
+
+/// Training failure: the design behaved like generated code that throws at
+/// runtime (e.g. a feature became non-finite on real inputs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// The state program failed to evaluate during training.
+    StateEval(DslError),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::StateEval(e) => write!(f, "state evaluation failed mid-training: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// One checkpoint evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Checkpoint {
+    /// Training epoch at which the checkpoint was taken.
+    pub epoch: usize,
+    /// Mean per-chunk `QoE_lin` over the evaluated test traces.
+    pub test_score: f64,
+}
+
+/// Result of one training session (one seed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainOutcome {
+    /// Mean per-chunk training reward for every epoch (the early-stopping
+    /// model consumes a prefix of this curve).
+    pub reward_curve: Vec<f64>,
+    /// Periodic test evaluations.
+    pub checkpoints: Vec<Checkpoint>,
+}
+
+impl TrainOutcome {
+    /// The early-phase reward curve (first `k` epochs).
+    pub fn early_curve(&self, k: usize) -> &[f64] {
+        &self.reward_curve[..k.min(self.reward_curve.len())]
+    }
+}
+
+/// A resumable training session for one `(state, arch)` design and seed.
+pub struct DesignTrainer<'a> {
+    state: &'a CompiledState,
+    dataset: &'a TraceDataset,
+    manifest: VideoManifest,
+    cfg: TrainRunConfig,
+    trainer: A2cTrainer,
+    rng: StdRng,
+    epoch: usize,
+    outcome: TrainOutcome,
+    /// Learner-side reward scale: `QoE_lin` magnitudes span ~0.3 (broadband
+    /// ladder) to ~53 (5G ladder); scaling by the top ladder rate keeps the
+    /// critic's target range comparable across datasets. Reported curves
+    /// and test scores stay in raw QoE units.
+    reward_scale: f64,
+}
+
+impl<'a> DesignTrainer<'a> {
+    /// Builds the network (width-scaled per config) and prepares a session.
+    pub fn new(
+        state: &'a CompiledState,
+        arch: &ArchConfig,
+        dataset: &'a TraceDataset,
+        cfg: TrainRunConfig,
+        seed: u64,
+    ) -> Self {
+        let manifest = manifest_for(dataset.kind);
+        let arch_scaled = arch.scaled_down(cfg.arch_scale_factor);
+        let net = ActorCritic::build(
+            &arch_scaled,
+            &state.feature_shapes(),
+            manifest.ladder().len(),
+            seed,
+        );
+        let trainer = A2cTrainer::new(net, cfg.a2c, seed);
+        let reward_scale = 1000.0 / manifest.ladder().max_kbps();
+        Self {
+            state,
+            dataset,
+            manifest,
+            cfg,
+            trainer,
+            rng: StdRng::seed_from_u64(seed ^ 0x7124_1000_0000_0011),
+            epoch: 0,
+            outcome: TrainOutcome { reward_curve: Vec::new(), checkpoints: Vec::new() },
+            reward_scale,
+        }
+    }
+
+    /// Epochs completed so far.
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// Progress so far.
+    pub fn outcome(&self) -> &TrainOutcome {
+        &self.outcome
+    }
+
+    /// Finishes the session, yielding the accumulated outcome.
+    pub fn into_outcome(self) -> TrainOutcome {
+        self.outcome
+    }
+
+    /// The underlying policy trainer (for emulation evaluation of trained
+    /// policies).
+    pub fn policy_mut(&mut self) -> &mut A2cTrainer {
+        &mut self.trainer
+    }
+
+    /// The compiled state this session trains.
+    pub fn state(&self) -> &CompiledState {
+        self.state
+    }
+
+    /// The dataset's manifest.
+    pub fn manifest(&self) -> &VideoManifest {
+        &self.manifest
+    }
+
+    /// Trains until `target_epoch` (inclusive of checkpoint evaluations on
+    /// the Table 1 cadence).
+    pub fn run_until(&mut self, target_epoch: usize) -> Result<(), TrainError> {
+        while self.epoch < target_epoch {
+            // Linear entropy anneal over the configured horizon.
+            let progress = (self.epoch as f32 / self.cfg.train_epochs.max(1) as f32).min(1.0);
+            let coeff = self.cfg.a2c.entropy_coeff
+                + (self.cfg.entropy_end - self.cfg.a2c.entropy_coeff) * progress;
+            self.trainer.set_entropy_coeff(coeff);
+            let mut episodes = Vec::with_capacity(self.cfg.episodes_per_epoch);
+            let mut epoch_reward = 0.0f64;
+            let mut epoch_steps = 0usize;
+            for _ in 0..self.cfg.episodes_per_epoch {
+                let trace =
+                    &self.dataset.train[self.rng.gen_range(0..self.dataset.train.len())];
+                let mut env = AbrEnv::new_sim(
+                    &self.manifest,
+                    trace,
+                    QoeLin::default(),
+                    self.rng.gen::<u64>(),
+                );
+                let mut obs = env.initial_observation();
+                let mut buf = EpisodeBuffer::new();
+                loop {
+                    let feats = self
+                        .state
+                        .eval_f32(&observation_inputs(&obs))
+                        .map_err(TrainError::StateEval)?;
+                    let action = self.trainer.act_stochastic(&feats);
+                    let step = env.step(action);
+                    epoch_reward += step.reward;
+                    epoch_steps += 1;
+                    buf.push(feats, action, (step.reward * self.reward_scale) as f32);
+                    obs = step.obs;
+                    if step.done {
+                        break;
+                    }
+                }
+                episodes.push(buf);
+            }
+            self.trainer.update(&episodes);
+            self.outcome.reward_curve.push(epoch_reward / epoch_steps.max(1) as f64);
+            self.epoch += 1;
+
+            if self.epoch % self.cfg.test_interval == 0 {
+                let score = evaluate_policy(
+                    &mut self.trainer,
+                    self.state,
+                    &self.manifest,
+                    &self.dataset.test,
+                    self.cfg.eval_traces,
+                )?;
+                self.outcome
+                    .checkpoints
+                    .push(Checkpoint { epoch: self.epoch, test_score: score });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Trains one `(state, arch)` design on `dataset` for one seed, to
+/// completion.
+pub fn train_design(
+    state: &CompiledState,
+    arch: &ArchConfig,
+    dataset: &TraceDataset,
+    cfg: &TrainRunConfig,
+    seed: u64,
+) -> Result<TrainOutcome, TrainError> {
+    let mut session = DesignTrainer::new(state, arch, dataset, *cfg, seed);
+    session.run_until(cfg.train_epochs)?;
+    Ok(session.into_outcome())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nada_dsl::seeds;
+    use nada_traces::dataset::{DatasetKind, DatasetScale};
+
+    fn tiny_cfg() -> TrainRunConfig {
+        TrainRunConfig {
+            train_epochs: 20,
+            test_interval: 10,
+            episodes_per_epoch: 1,
+            eval_traces: 2,
+            arch_scale_factor: 16,
+            a2c: A2cConfig::default(),
+            entropy_end: 0.01,
+        }
+    }
+
+    #[test]
+    fn training_produces_curves_and_checkpoints() {
+        let ds = TraceDataset::synthesize(DatasetKind::Fcc, DatasetScale::Tiny, 3);
+        let state = seeds::pensieve_state();
+        let arch = seeds::pensieve_arch();
+        let out = train_design(&state, &arch, &ds, &tiny_cfg(), 7).unwrap();
+        assert_eq!(out.reward_curve.len(), 20);
+        assert_eq!(out.checkpoints.len(), 2);
+        assert!(out.reward_curve.iter().all(|r| r.is_finite()));
+        assert!(out.checkpoints.iter().all(|c| c.test_score.is_finite()));
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let ds = TraceDataset::synthesize(DatasetKind::Starlink, DatasetScale::Tiny, 4);
+        let state = seeds::pensieve_state();
+        let arch = seeds::pensieve_arch();
+        let a = train_design(&state, &arch, &ds, &tiny_cfg(), 5).unwrap();
+        let b = train_design(&state, &arch, &ds, &tiny_cfg(), 5).unwrap();
+        assert_eq!(a, b);
+        let c = train_design(&state, &arch, &ds, &tiny_cfg(), 6).unwrap();
+        assert_ne!(a.reward_curve, c.reward_curve);
+    }
+
+    #[test]
+    fn resumed_training_matches_uninterrupted_training() {
+        // The early-stopping mechanism depends on this: pausing at K and
+        // resuming must be invisible.
+        let ds = TraceDataset::synthesize(DatasetKind::Fcc, DatasetScale::Tiny, 5);
+        let state = seeds::pensieve_state();
+        let arch = seeds::pensieve_arch();
+        let straight = train_design(&state, &arch, &ds, &tiny_cfg(), 9).unwrap();
+        let mut resumed = DesignTrainer::new(&state, &arch, &ds, tiny_cfg(), 9);
+        resumed.run_until(7).unwrap();
+        resumed.run_until(20).unwrap();
+        assert_eq!(straight, resumed.into_outcome());
+    }
+
+    #[test]
+    fn early_curve_is_a_prefix() {
+        let ds = TraceDataset::synthesize(DatasetKind::Fcc, DatasetScale::Tiny, 3);
+        let state = seeds::pensieve_state();
+        let arch = seeds::pensieve_arch();
+        let out = train_design(&state, &arch, &ds, &tiny_cfg(), 7).unwrap();
+        assert_eq!(out.early_curve(5), &out.reward_curve[..5]);
+        assert_eq!(out.early_curve(999).len(), 20);
+    }
+}

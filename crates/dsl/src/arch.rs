@@ -1,0 +1,206 @@
+//! Compiling architecture programs to [`nada_nn::ArchConfig`].
+
+use crate::ast::{ArchProgram, LayerSpec};
+use crate::error::DslError;
+use crate::parser::parse_arch;
+use nada_nn::{Activation, ArchConfig, BranchKind, HeadMode};
+
+/// Parses and compiles an architecture code block.
+pub fn compile_arch(source: &str) -> Result<ArchConfig, DslError> {
+    let program = parse_arch(source)?;
+    compile_arch_program(&program)
+}
+
+/// Compiles an already-parsed architecture program.
+pub fn compile_arch_program(program: &ArchProgram) -> Result<ArchConfig, DslError> {
+    let temporal_branch = branch_kind(&program.temporal, /* allow_temporal */ true)?;
+    let scalar_branch = branch_kind(&program.scalar, /* allow_temporal */ false)?;
+    let temporal_activation = activation_of(&program.temporal)?;
+    let scalar_activation = activation_of(&program.scalar)?;
+
+    if program.hidden.is_empty() {
+        return Err(DslError::MissingSection { section: "hidden" });
+    }
+    let mut hidden_units = None;
+    let mut hidden_activation = Activation::Relu;
+    for h in &program.hidden {
+        if h.layer != "dense" {
+            return Err(DslError::BadArchParam {
+                message: format!("hidden layers must be dense, got `{}`", h.layer),
+            });
+        }
+        let units = positive_int_param(h, "units")?;
+        match hidden_units {
+            None => hidden_units = Some(units),
+            Some(u) if u == units => {}
+            Some(u) => {
+                return Err(DslError::BadArchParam {
+                    message: format!("hidden layers must share a width ({u} vs {units})"),
+                })
+            }
+        }
+        hidden_activation = activation_of(h)?;
+    }
+
+    Ok(ArchConfig {
+        temporal_branch,
+        temporal_activation,
+        scalar_branch,
+        scalar_activation,
+        hidden_units: hidden_units.expect("checked non-empty hidden stack"),
+        hidden_layers: program.hidden.len(),
+        hidden_activation,
+        heads: if program.shared_heads { HeadMode::Shared } else { HeadMode::Separate },
+    })
+}
+
+fn branch_kind(spec: &LayerSpec, allow_temporal: bool) -> Result<BranchKind, DslError> {
+    match spec.layer.as_str() {
+        "conv1d" if allow_temporal => Ok(BranchKind::Conv1d {
+            filters: positive_int_param(spec, "filters")?,
+            kernel: positive_int_param(spec, "kernel")?,
+        }),
+        "rnn" if allow_temporal => Ok(BranchKind::Rnn { units: positive_int_param(spec, "units")? }),
+        "lstm" if allow_temporal => {
+            Ok(BranchKind::Lstm { units: positive_int_param(spec, "units")? })
+        }
+        "dense" => Ok(BranchKind::Dense { units: positive_int_param(spec, "units")? }),
+        other if allow_temporal => Err(DslError::BadArchParam {
+            message: format!("unknown temporal layer `{other}`"),
+        }),
+        other => Err(DslError::BadArchParam {
+            message: format!("scalar branches must be dense, got `{other}`"),
+        }),
+    }
+}
+
+fn positive_int_param(spec: &LayerSpec, name: &str) -> Result<usize, DslError> {
+    let v = spec.param(name).ok_or_else(|| DslError::BadArchParam {
+        message: format!("`{}` is missing parameter `{name}`", spec.layer),
+    })?;
+    if v < 1.0 || v.fract() != 0.0 || v > 100_000.0 {
+        return Err(DslError::BadArchParam {
+            message: format!("`{name}` must be a positive integer, got {v}"),
+        });
+    }
+    Ok(v as usize)
+}
+
+fn activation_of(spec: &LayerSpec) -> Result<Activation, DslError> {
+    let Some((name, params)) = &spec.activation else {
+        return Ok(Activation::Linear);
+    };
+    match name.as_str() {
+        "relu" => Ok(Activation::Relu),
+        "tanh" => Ok(Activation::Tanh),
+        "sigmoid" => Ok(Activation::Sigmoid),
+        "linear" => Ok(Activation::Linear),
+        "leaky_relu" => {
+            let alpha = params
+                .iter()
+                .find(|(n, _)| n == "alpha")
+                .map(|(_, v)| *v)
+                .unwrap_or(0.01);
+            if !(0.0..1.0).contains(&alpha) {
+                return Err(DslError::BadArchParam {
+                    message: format!("leaky_relu alpha must be in [0, 1), got {alpha}"),
+                });
+            }
+            Ok(Activation::LeakyRelu { alpha: alpha as f32 })
+        }
+        other => Err(DslError::BadArchParam {
+            message: format!("unknown activation `{other}`"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeds::PENSIEVE_ARCH_SOURCE;
+
+    #[test]
+    fn compiles_pensieve_original() {
+        let cfg = compile_arch(PENSIEVE_ARCH_SOURCE).unwrap();
+        assert_eq!(cfg, ArchConfig::pensieve_original());
+    }
+
+    #[test]
+    fn compiles_rnn_variant() {
+        let cfg = compile_arch(
+            "network starlink_rnn { temporal rnn(units=64); scalar dense(units=128) -> relu; \
+             hidden dense(units=128) -> relu; heads separate; }",
+        )
+        .unwrap();
+        assert_eq!(cfg.temporal_branch, BranchKind::Rnn { units: 64 });
+    }
+
+    #[test]
+    fn compiles_shared_heads_and_leaky_relu() {
+        let cfg = compile_arch(
+            "network g5 { temporal conv1d(filters=128, kernel=4) -> leaky_relu(alpha=0.05); \
+             scalar dense(units=256) -> leaky_relu(alpha=0.05); \
+             hidden dense(units=256) -> leaky_relu(alpha=0.05); heads shared; }",
+        )
+        .unwrap();
+        assert_eq!(cfg.heads, HeadMode::Shared);
+        assert_eq!(cfg.hidden_units, 256);
+        assert!(matches!(cfg.temporal_activation, Activation::LeakyRelu { .. }));
+    }
+
+    #[test]
+    fn multiple_hidden_layers_count() {
+        let cfg = compile_arch(
+            "network deep { temporal conv1d(filters=32, kernel=4) -> relu; \
+             scalar dense(units=32) -> relu; hidden dense(units=64) -> relu; \
+             hidden dense(units=64) -> tanh; heads separate; }",
+        )
+        .unwrap();
+        assert_eq!(cfg.hidden_layers, 2);
+    }
+
+    #[test]
+    fn rejects_scalar_conv() {
+        let e = compile_arch(
+            "network bad { temporal conv1d(filters=32, kernel=4); \
+             scalar conv1d(filters=8, kernel=2); hidden dense(units=32); heads separate; }",
+        );
+        assert!(matches!(e, Err(DslError::BadArchParam { .. })));
+    }
+
+    #[test]
+    fn rejects_zero_filters() {
+        let e = compile_arch(
+            "network bad { temporal conv1d(filters=0, kernel=4); scalar dense(units=8); \
+             hidden dense(units=8); heads separate; }",
+        );
+        assert!(matches!(e, Err(DslError::BadArchParam { .. })));
+    }
+
+    #[test]
+    fn rejects_mismatched_hidden_widths() {
+        let e = compile_arch(
+            "network bad { temporal dense(units=8); scalar dense(units=8); \
+             hidden dense(units=8); hidden dense(units=16); heads separate; }",
+        );
+        assert!(matches!(e, Err(DslError::BadArchParam { .. })));
+    }
+
+    #[test]
+    fn rejects_unknown_activation() {
+        let e = compile_arch(
+            "network bad { temporal dense(units=8) -> swish; scalar dense(units=8); \
+             hidden dense(units=8); heads separate; }",
+        );
+        assert!(matches!(e, Err(DslError::BadArchParam { .. })));
+    }
+
+    #[test]
+    fn missing_params_are_compile_errors() {
+        let e = compile_arch(
+            "network bad { temporal conv1d(kernel=4); scalar dense(units=8); \
+             hidden dense(units=8); heads separate; }",
+        );
+        assert!(matches!(e, Err(DslError::BadArchParam { .. })));
+    }
+}

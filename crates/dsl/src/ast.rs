@@ -1,0 +1,135 @@
+//! Abstract syntax trees for state and architecture programs.
+
+/// Shape annotation on an input declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputType {
+    /// A single number.
+    Scalar,
+    /// A vector of the given length.
+    Vec(usize),
+}
+
+impl InputType {
+    /// Human-readable shape name used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            InputType::Scalar => "scalar".to_string(),
+            InputType::Vec(n) => format!("vec[{n}]"),
+        }
+    }
+}
+
+/// `input <name>: <type>;`
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputDecl {
+    /// Input name (must exist in the environment's schema).
+    pub name: String,
+    /// Declared shape (must match the schema).
+    pub ty: InputType,
+}
+
+/// `feature <name> = <expr>;`
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureDecl {
+    /// Feature name (unique within the program).
+    pub name: String,
+    /// Defining expression.
+    pub expr: Expr,
+}
+
+/// Expression grammar: arithmetic over inputs, literals and stdlib calls.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Number(f64),
+    /// Reference to a declared input (or an earlier feature).
+    Ident(String),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Binary arithmetic.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Stdlib function call.
+    Call {
+        /// Function name.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+}
+
+/// Binary arithmetic operators (elementwise, with scalar broadcasting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+impl BinOp {
+    /// Symbol used by the pretty-printer.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        }
+    }
+}
+
+/// A parsed state program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateProgram {
+    /// Program name from the header.
+    pub name: String,
+    /// Declared inputs, in order.
+    pub inputs: Vec<InputDecl>,
+    /// Declared features, in order — this order defines the network's
+    /// branch layout.
+    pub features: Vec<FeatureDecl>,
+}
+
+/// A parsed architecture program (surface form of [`nada_nn::ArchConfig`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchProgram {
+    /// Program name from the header.
+    pub name: String,
+    /// `temporal <layer> [-> <activation>];`
+    pub temporal: LayerSpec,
+    /// `scalar <layer> [-> <activation>];`
+    pub scalar: LayerSpec,
+    /// `hidden <layer> [-> <activation>];` — one entry per hidden layer.
+    pub hidden: Vec<LayerSpec>,
+    /// `heads separate;` or `heads shared;`
+    pub shared_heads: bool,
+}
+
+/// One layer call with named parameters and an optional activation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerSpec {
+    /// Layer function name (`conv1d`, `rnn`, `lstm`, `dense`).
+    pub layer: String,
+    /// Named parameters, e.g. `filters=128`.
+    pub params: Vec<(String, f64)>,
+    /// Post-layer activation name and its parameters, if any.
+    pub activation: Option<(String, Vec<(String, f64)>)>,
+}
+
+impl LayerSpec {
+    /// Looks up a named parameter.
+    pub fn param(&self, name: &str) -> Option<f64> {
+        self.params.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+}

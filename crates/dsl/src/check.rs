@@ -1,0 +1,209 @@
+//! Static checking of state programs: names, shapes, literal arguments.
+
+use crate::ast::{Expr, InputType, StateProgram};
+use crate::error::DslError;
+use crate::schema::InputSchema;
+use crate::stdlib::{function_shape, literal_arg_indices};
+use crate::value::{binary_shape, Shape};
+
+/// A state program that passed all static checks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckedState {
+    /// The validated program.
+    pub program: StateProgram,
+    /// Shape of each feature, in declaration order.
+    pub shapes: Vec<Shape>,
+    /// For each declared input, its index in the schema's binding order.
+    pub input_bindings: Vec<usize>,
+}
+
+impl From<InputType> for Shape {
+    fn from(t: InputType) -> Shape {
+        match t {
+            InputType::Scalar => Shape::Scalar,
+            InputType::Vec(n) => Shape::Vector(n),
+        }
+    }
+}
+
+/// Statically checks `program` against `schema`.
+pub fn check_state(program: StateProgram, schema: &InputSchema) -> Result<CheckedState, DslError> {
+    if program.features.is_empty() {
+        return Err(DslError::EmptyProgram);
+    }
+
+    // Inputs: unique, known, shape-consistent with the schema.
+    let mut input_bindings = Vec::with_capacity(program.inputs.len());
+    let mut env: Vec<(String, Shape)> = Vec::new();
+    for decl in &program.inputs {
+        if env.iter().any(|(n, _)| n == &decl.name) {
+            return Err(DslError::Duplicate { name: decl.name.clone() });
+        }
+        let (idx, spec) = schema
+            .lookup(&decl.name)
+            .ok_or_else(|| DslError::UnknownInput { name: decl.name.clone() })?;
+        if spec.ty != decl.ty {
+            return Err(DslError::InputShapeMismatch {
+                name: decl.name.clone(),
+                declared: decl.ty.describe(),
+                expected: spec.ty.describe(),
+            });
+        }
+        input_bindings.push(idx);
+        env.push((decl.name.clone(), decl.ty.into()));
+    }
+
+    // Features: unique, reference only earlier names, shape-check bodies.
+    let mut shapes = Vec::with_capacity(program.features.len());
+    for feat in &program.features {
+        if env.iter().any(|(n, _)| n == &feat.name) {
+            return Err(DslError::Duplicate { name: feat.name.clone() });
+        }
+        let shape = expr_shape(&feat.expr, &env)?;
+        shapes.push(shape);
+        env.push((feat.name.clone(), shape));
+    }
+
+    Ok(CheckedState { program, shapes, input_bindings })
+}
+
+/// Infers the shape of an expression under `env` (inputs + earlier features).
+pub fn expr_shape(expr: &Expr, env: &[(String, Shape)]) -> Result<Shape, DslError> {
+    match expr {
+        Expr::Number(_) => Ok(Shape::Scalar),
+        Expr::Ident(name) => env
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| *s)
+            .ok_or_else(|| DslError::UnknownInput { name: name.clone() }),
+        Expr::Neg(inner) => expr_shape(inner, env),
+        Expr::Binary { op, lhs, rhs } => {
+            let l = expr_shape(lhs, env)?;
+            let r = expr_shape(rhs, env)?;
+            binary_shape(*op, l, r)
+        }
+        Expr::Call { name, args } => {
+            let mut shapes = Vec::with_capacity(args.len());
+            for a in args {
+                shapes.push(expr_shape(a, env)?);
+            }
+            let mut literals = vec![None; args.len()];
+            for &i in literal_arg_indices(name) {
+                if i < args.len() {
+                    literals[i] = literal_value(&args[i]);
+                    if literals[i].is_none() {
+                        return Err(DslError::ExpectedLiteral { name: name.clone(), arg: i });
+                    }
+                }
+            }
+            function_shape(name, &shapes, &literals)
+        }
+    }
+}
+
+/// Extracts a compile-time numeric literal (`2.5` or `-2.5`).
+pub fn literal_value(expr: &Expr) -> Option<f64> {
+    match expr {
+        Expr::Number(n) => Some(*n),
+        Expr::Neg(inner) => literal_value(inner).map(|v| -v),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_state;
+    use crate::schema::abr_schema;
+
+    fn check(src: &str) -> Result<CheckedState, DslError> {
+        check_state(parse_state(src).unwrap(), &abr_schema())
+    }
+
+    #[test]
+    fn accepts_well_formed_program() {
+        let c = check(
+            "state s { input throughput_mbps: vec[8]; input buffer_s: scalar; \
+             feature t = throughput_mbps / 8.0; feature b = buffer_s / 10.0; }",
+        )
+        .unwrap();
+        assert_eq!(c.shapes, vec![Shape::Vector(8), Shape::Scalar]);
+        assert_eq!(c.input_bindings, vec![0, 4]);
+    }
+
+    #[test]
+    fn rejects_unknown_input() {
+        let e = check("state s { input wifi_rssi: scalar; feature f = wifi_rssi; }");
+        assert!(matches!(e, Err(DslError::UnknownInput { .. })));
+    }
+
+    #[test]
+    fn rejects_wrong_input_shape() {
+        let e = check("state s { input buffer_s: vec[8]; feature f = mean(buffer_s); }");
+        assert!(matches!(e, Err(DslError::InputShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_undeclared_reference() {
+        let e = check("state s { feature f = buffer_s; }");
+        assert!(matches!(e, Err(DslError::UnknownInput { .. })));
+    }
+
+    #[test]
+    fn rejects_duplicate_feature() {
+        let e = check(
+            "state s { input buffer_s: scalar; feature f = buffer_s; feature f = buffer_s; }",
+        );
+        assert!(matches!(e, Err(DslError::Duplicate { .. })));
+    }
+
+    #[test]
+    fn rejects_empty_program() {
+        let e = check("state s { input buffer_s: scalar; }");
+        assert!(matches!(e, Err(DslError::EmptyProgram)));
+    }
+
+    #[test]
+    fn features_can_reference_earlier_features() {
+        let c = check(
+            "state s { input throughput_mbps: vec[8]; \
+             feature sm = ema(throughput_mbps, 0.5); feature tr = trend(sm); }",
+        )
+        .unwrap();
+        assert_eq!(c.shapes[1], Shape::Scalar);
+    }
+
+    #[test]
+    fn rejects_forward_reference() {
+        let e = check(
+            "state s { input buffer_s: scalar; feature a = b; feature b = buffer_s; }",
+        );
+        assert!(matches!(e, Err(DslError::UnknownInput { .. })));
+    }
+
+    #[test]
+    fn rejects_vector_length_conflict() {
+        let e = check(
+            "state s { input throughput_mbps: vec[8]; input next_chunk_sizes_bytes: vec[6]; \
+             feature f = throughput_mbps + next_chunk_sizes_bytes; }",
+        );
+        assert!(matches!(e, Err(DslError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_non_literal_alpha() {
+        let e = check(
+            "state s { input throughput_mbps: vec[8]; input buffer_s: scalar; \
+             feature f = ema(throughput_mbps, buffer_s); }",
+        );
+        assert!(matches!(e, Err(DslError::ExpectedLiteral { .. })));
+    }
+
+    #[test]
+    fn negative_literals_are_literals() {
+        let c = check(
+            "state s { input buffer_s: scalar; feature f = clip(buffer_s, -1.0, 1.0); }",
+        );
+        assert!(c.is_ok());
+    }
+}

@@ -1,0 +1,155 @@
+//! DSL error taxonomy.
+//!
+//! Each variant corresponds to a failure mode of the paper's compilation
+//! check: what an exception from `exec`-ing generated Python would surface.
+
+use std::fmt;
+
+/// Any error produced while lexing, parsing, checking, compiling or running
+/// a design code block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DslError {
+    /// Invalid character or malformed literal.
+    Lex {
+        /// 1-based source line.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// Token stream does not match the grammar.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// A feature references an input the schema does not provide.
+    UnknownInput {
+        /// The undefined name.
+        name: String,
+    },
+    /// A declared input does not match the schema's shape for that name.
+    InputShapeMismatch {
+        /// The input name.
+        name: String,
+        /// Shape declared in the program.
+        declared: String,
+        /// Shape required by the schema.
+        expected: String,
+    },
+    /// Call to a function the stdlib does not define.
+    UnknownFunction {
+        /// The undefined function name.
+        name: String,
+    },
+    /// Wrong number of arguments.
+    Arity {
+        /// Function name.
+        name: String,
+        /// Arguments expected.
+        expected: usize,
+        /// Arguments given.
+        got: usize,
+    },
+    /// An operation was applied to incompatible shapes (e.g. adding vectors
+    /// of different lengths).
+    ShapeMismatch {
+        /// Human-readable description of the conflict.
+        message: String,
+    },
+    /// An argument that must be a numeric literal (e.g. EMA's alpha) wasn't.
+    ExpectedLiteral {
+        /// Function name.
+        name: String,
+        /// Index of the offending argument.
+        arg: usize,
+    },
+    /// A literal argument is outside its legal range.
+    BadLiteral {
+        /// Function name.
+        name: String,
+        /// Explanation.
+        message: String,
+    },
+    /// Duplicate input or feature name.
+    Duplicate {
+        /// The repeated name.
+        name: String,
+    },
+    /// The program declares no features.
+    EmptyProgram,
+    /// A trial/real run produced a non-finite value.
+    NonFinite {
+        /// The feature whose evaluation misbehaved.
+        feature: String,
+    },
+    /// The runtime was handed the wrong number or shapes of inputs.
+    BadBinding {
+        /// Explanation.
+        message: String,
+    },
+    /// An architecture program is missing a required section.
+    MissingSection {
+        /// Section name (`temporal`, `scalar`, `hidden` or `heads`).
+        section: &'static str,
+    },
+    /// An architecture parameter is invalid (e.g. `filters=0`).
+    BadArchParam {
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DslError::Lex { line, message } => write!(f, "lex error (line {line}): {message}"),
+            DslError::Parse { line, message } => {
+                write!(f, "parse error (line {line}): {message}")
+            }
+            DslError::UnknownInput { name } => write!(f, "unknown input `{name}`"),
+            DslError::InputShapeMismatch { name, declared, expected } => write!(
+                f,
+                "input `{name}` declared as {declared} but the environment provides {expected}"
+            ),
+            DslError::UnknownFunction { name } => write!(f, "unknown function `{name}`"),
+            DslError::Arity { name, expected, got } => {
+                write!(f, "`{name}` expects {expected} argument(s), got {got}")
+            }
+            DslError::ShapeMismatch { message } => write!(f, "shape mismatch: {message}"),
+            DslError::ExpectedLiteral { name, arg } => {
+                write!(f, "`{name}` argument {arg} must be a numeric literal")
+            }
+            DslError::BadLiteral { name, message } => {
+                write!(f, "bad literal argument to `{name}`: {message}")
+            }
+            DslError::Duplicate { name } => write!(f, "duplicate definition of `{name}`"),
+            DslError::EmptyProgram => write!(f, "program defines no features"),
+            DslError::NonFinite { feature } => {
+                write!(f, "feature `{feature}` evaluated to a non-finite value")
+            }
+            DslError::BadBinding { message } => write!(f, "bad input binding: {message}"),
+            DslError::MissingSection { section } => {
+                write!(f, "architecture is missing its `{section}` section")
+            }
+            DslError::BadArchParam { message } => {
+                write!(f, "bad architecture parameter: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DslError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DslError::Arity { name: "ema".into(), expected: 2, got: 1 };
+        assert_eq!(e.to_string(), "`ema` expects 2 argument(s), got 1");
+        let e = DslError::Parse { line: 3, message: "expected `;`".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

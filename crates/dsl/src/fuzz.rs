@@ -1,0 +1,193 @@
+//! The fuzzing-based normalization check (paper §2.2).
+//!
+//! "We test the code with random inputs ('fuzzing'), and check whether any
+//! output contains a feature value exceeding a predefined threshold T (set
+//! to 100 in our study)." Inputs are drawn uniformly from each schema
+//! entry's realistic range — including raw byte counts and kbps values — so
+//! a state that forwards unnormalized magnitudes is caught exactly as in
+//! the paper.
+
+use crate::interp::CompiledState;
+use crate::value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fuzzing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FuzzConfig {
+    /// Number of random input vectors to try.
+    pub runs: usize,
+    /// Rejection threshold `T` on `|feature value|` (paper: 100).
+    pub threshold: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        Self { runs: 24, threshold: 100.0, seed: 0 }
+    }
+}
+
+const FUZZ_SEED: u64 = 0xF022_5EED_0000_000C;
+
+/// Outcome of the normalization check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NormCheckOutcome {
+    /// Every feature stayed within `[-T, T]` on every fuzz run.
+    Pass,
+    /// A feature exceeded the threshold.
+    TooLarge {
+        /// Name of the offending feature.
+        feature: String,
+        /// The violating magnitude.
+        value: f64,
+    },
+    /// Evaluation itself failed on a fuzzed input (counts as a failed
+    /// design, same as the paper's runtime exceptions).
+    EvalError(crate::error::DslError),
+}
+
+/// Draws one random input binding from the schema's fuzz ranges.
+pub fn random_inputs(state: &CompiledState, rng: &mut StdRng) -> Vec<Value> {
+    state
+        .schema()
+        .specs()
+        .iter()
+        .map(|spec| {
+            let draw = |rng: &mut StdRng| {
+                if spec.fuzz_lo == spec.fuzz_hi {
+                    spec.fuzz_lo
+                } else {
+                    rng.gen_range(spec.fuzz_lo..=spec.fuzz_hi)
+                }
+            };
+            match spec.ty {
+                crate::ast::InputType::Scalar => Value::Scalar(draw(rng)),
+                crate::ast::InputType::Vec(n) => {
+                    Value::Vector((0..n).map(|_| draw(rng)).collect())
+                }
+            }
+        })
+        .collect()
+}
+
+/// Runs the paper's normalization check on a compiled state program.
+pub fn normalization_check(state: &CompiledState, cfg: &FuzzConfig) -> NormCheckOutcome {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ FUZZ_SEED);
+    for _ in 0..cfg.runs {
+        let inputs = random_inputs(state, &mut rng);
+        let features = match state.eval(&inputs) {
+            Ok(f) => f,
+            Err(e) => return NormCheckOutcome::EvalError(e),
+        };
+        for (value, name) in features.iter().zip(state.feature_names()) {
+            let mag = value.max_abs();
+            if mag > cfg.threshold {
+                return NormCheckOutcome::TooLarge { feature: name.to_string(), value: mag };
+            }
+        }
+    }
+    NormCheckOutcome::Pass
+}
+
+impl Default for NormCheckOutcome {
+    fn default() -> Self {
+        NormCheckOutcome::Pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::compile_state;
+
+    impl FuzzConfig {
+        /// Test helper with a fixed seed.
+        pub fn seeded(seed: u64) -> Self {
+            Self { seed, ..Self::default() }
+        }
+    }
+
+    #[test]
+    fn normalized_state_passes() {
+        let s = compile_state(
+            "state ok { input throughput_mbps: vec[8]; feature t = throughput_mbps / 150.0; }",
+        )
+        .unwrap();
+        assert_eq!(normalization_check(&s, &FuzzConfig::default()), NormCheckOutcome::Pass);
+    }
+
+    #[test]
+    fn raw_chunk_sizes_fail_like_the_paper_example() {
+        // §2.2's example: chunk sizes in bytes, "over one million".
+        let s = compile_state(
+            "state bad { input next_chunk_sizes_bytes: vec[6]; \
+             feature sizes = next_chunk_sizes_bytes; }",
+        )
+        .unwrap();
+        match normalization_check(&s, &FuzzConfig::default()) {
+            NormCheckOutcome::TooLarge { value, .. } => {
+                assert!(value > 1e6, "raw byte features should exceed a million, got {value}")
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn raw_bitrate_fails() {
+        let s = compile_state(
+            "state bad { input last_bitrate_kbps: scalar; feature b = last_bitrate_kbps; }",
+        )
+        .unwrap();
+        assert!(matches!(
+            normalization_check(&s, &FuzzConfig::default()),
+            NormCheckOutcome::TooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn borderline_scaling_depends_on_threshold() {
+        // throughput/2 can reach 75 — passes at T=100, fails at T=10.
+        let s = compile_state(
+            "state edge { input throughput_mbps: vec[8]; feature t = throughput_mbps / 2.0; }",
+        )
+        .unwrap();
+        assert_eq!(normalization_check(&s, &FuzzConfig::default()), NormCheckOutcome::Pass);
+        let strict = FuzzConfig { threshold: 10.0, ..FuzzConfig::default() };
+        assert!(matches!(
+            normalization_check(&s, &strict),
+            NormCheckOutcome::TooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn fuzzing_catches_what_the_trial_run_misses() {
+        // 1/(throughput - 75) is finite at the midpoint trial (75 exactly
+        // would be hit only by the fuzzer's random draws near 75 making the
+        // value huge).
+        let s = compile_state(
+            "state sneaky { input throughput_mbps: vec[8]; \
+             feature f = recip(mean(throughput_mbps) - 74.9); }",
+        )
+        .unwrap();
+        // With enough runs some draw lands near 74.9 and the magnitude
+        // explodes past T.
+        let cfg = FuzzConfig { runs: 2000, ..FuzzConfig::default() };
+        assert!(matches!(
+            normalization_check(&s, &cfg),
+            NormCheckOutcome::TooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn check_is_deterministic_per_seed() {
+        let s = compile_state(
+            "state ok { input buffer_s: scalar; feature b = buffer_s / 60.0; }",
+        )
+        .unwrap();
+        let a = normalization_check(&s, &FuzzConfig::seeded(5));
+        let b = normalization_check(&s, &FuzzConfig::seeded(5));
+        assert_eq!(a, b);
+    }
+}

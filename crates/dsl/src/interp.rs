@@ -1,0 +1,263 @@
+//! Compilation and evaluation of state programs.
+//!
+//! [`compile_state`] is this reproduction's "compilation check" (§2.2): it
+//! lexes, parses, statically checks and *trial-runs* a code block, rejecting
+//! anything that would throw when `exec`'d. The resulting [`CompiledState`]
+//! is the hot-path object: the training loop calls [`CompiledState::eval_f32`]
+//! once per chunk decision.
+
+use crate::ast::Expr;
+use crate::check::{check_state, CheckedState};
+use crate::error::DslError;
+use crate::parser::parse_state;
+use crate::schema::{abr_schema, InputSchema};
+use crate::stdlib::function_eval;
+use crate::value::{binary_eval, Value};
+use nada_nn::FeatureShape;
+
+/// A state program ready for evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledState {
+    checked: CheckedState,
+    schema: InputSchema,
+}
+
+/// Compiles a state code block against the standard ABR schema, including
+/// the trial run with mid-range inputs.
+pub fn compile_state(source: &str) -> Result<CompiledState, DslError> {
+    compile_state_with_schema(source, abr_schema())
+}
+
+/// Compiles against a custom schema (for non-ABR tasks or tests).
+pub fn compile_state_with_schema(
+    source: &str,
+    schema: InputSchema,
+) -> Result<CompiledState, DslError> {
+    let program = parse_state(source)?;
+    let checked = check_state(program, &schema)?;
+    let compiled = CompiledState { checked, schema };
+    // Trial run: mid-range inputs must evaluate without runtime errors.
+    let trial = compiled.schema_midpoint_inputs();
+    compiled.eval(&trial)?;
+    Ok(compiled)
+}
+
+impl CompiledState {
+    /// The program's declared name.
+    pub fn name(&self) -> &str {
+        &self.checked.program.name
+    }
+
+    /// The validated AST.
+    pub fn program(&self) -> &crate::ast::StateProgram {
+        &self.checked.program
+    }
+
+    /// Names of the produced features, in order.
+    pub fn feature_names(&self) -> Vec<&str> {
+        self.checked.program.features.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Feature shapes in the form the network builder consumes.
+    pub fn feature_shapes(&self) -> Vec<FeatureShape> {
+        self.checked
+            .shapes
+            .iter()
+            .map(|s| match s {
+                crate::value::Shape::Scalar => FeatureShape::Scalar,
+                crate::value::Shape::Vector(n) => FeatureShape::Temporal(*n),
+            })
+            .collect()
+    }
+
+    /// The schema this program was compiled against.
+    pub fn schema(&self) -> &InputSchema {
+        &self.schema
+    }
+
+    /// Mid-range inputs used by the compile-time trial run.
+    pub fn schema_midpoint_inputs(&self) -> Vec<Value> {
+        self.schema
+            .specs()
+            .iter()
+            .map(|spec| {
+                let mid = (spec.fuzz_lo + spec.fuzz_hi) / 2.0;
+                match spec.ty {
+                    crate::ast::InputType::Scalar => Value::Scalar(mid),
+                    crate::ast::InputType::Vec(n) => Value::Vector(vec![mid; n]),
+                }
+            })
+            .collect()
+    }
+
+    /// Evaluates the program. `inputs` must be ordered and shaped per the
+    /// schema (one [`Value`] per schema entry).
+    pub fn eval(&self, inputs: &[Value]) -> Result<Vec<Value>, DslError> {
+        if inputs.len() != self.schema.len() {
+            return Err(DslError::BadBinding {
+                message: format!(
+                    "expected {} inputs, got {}",
+                    self.schema.len(),
+                    inputs.len()
+                ),
+            });
+        }
+        // Environment: declared inputs first, then features as they compute.
+        let mut env: Vec<(&str, Value)> =
+            Vec::with_capacity(self.checked.program.inputs.len() + self.checked.shapes.len());
+        for (decl, &idx) in
+            self.checked.program.inputs.iter().zip(&self.checked.input_bindings)
+        {
+            let value = &inputs[idx];
+            let expected: crate::value::Shape = decl.ty.into();
+            if value.shape() != expected {
+                return Err(DslError::BadBinding {
+                    message: format!(
+                        "input `{}` bound to {} but declared {}",
+                        decl.name,
+                        value.shape().describe(),
+                        expected.describe()
+                    ),
+                });
+            }
+            env.push((decl.name.as_str(), value.clone()));
+        }
+        let mut out = Vec::with_capacity(self.checked.program.features.len());
+        for feat in &self.checked.program.features {
+            let v = eval_expr(&feat.expr, &env)?;
+            if !v.is_finite() {
+                return Err(DslError::NonFinite { feature: feat.name.clone() });
+            }
+            env.push((feat.name.as_str(), v.clone()));
+            out.push(v);
+        }
+        Ok(out)
+    }
+
+    /// Evaluates and converts to the `f32` per-feature vectors the policy
+    /// network consumes.
+    pub fn eval_f32(&self, inputs: &[Value]) -> Result<Vec<Vec<f32>>, DslError> {
+        Ok(self
+            .eval(inputs)?
+            .into_iter()
+            .map(|v| v.as_slice().iter().map(|&x| x as f32).collect())
+            .collect())
+    }
+}
+
+fn eval_expr(expr: &Expr, env: &[(&str, Value)]) -> Result<Value, DslError> {
+    match expr {
+        Expr::Number(n) => Ok(Value::Scalar(*n)),
+        Expr::Ident(name) => env
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
+            .ok_or_else(|| DslError::UnknownInput { name: name.clone() }),
+        Expr::Neg(inner) => {
+            let v = eval_expr(inner, env)?;
+            Ok(match v {
+                Value::Scalar(x) => Value::Scalar(-x),
+                Value::Vector(xs) => Value::Vector(xs.into_iter().map(|x| -x).collect()),
+            })
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let l = eval_expr(lhs, env)?;
+            let r = eval_expr(rhs, env)?;
+            binary_eval(*op, &l, &r)
+        }
+        Expr::Call { name, args } => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval_expr(a, env)?);
+            }
+            function_eval(name, &vals)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiles_and_evaluates_simple_program() {
+        let c = compile_state(
+            "state s { input throughput_mbps: vec[8]; input buffer_s: scalar; \
+             feature thr = throughput_mbps / 8.0; feature buf = buffer_s / 10.0; }",
+        )
+        .unwrap();
+        let mut inputs = c.schema_midpoint_inputs();
+        inputs[0] = Value::Vector(vec![8.0; 8]);
+        inputs[4] = Value::Scalar(25.0);
+        let out = c.eval(&inputs).unwrap();
+        assert_eq!(out[0], Value::Vector(vec![1.0; 8]));
+        assert_eq!(out[1], Value::Scalar(2.5));
+    }
+
+    #[test]
+    fn eval_f32_matches_shapes() {
+        let c = compile_state(
+            "state s { input throughput_mbps: vec[8]; feature t = trend(throughput_mbps); \
+             feature h = throughput_mbps / 8.0; }",
+        )
+        .unwrap();
+        let out = c.eval_f32(&c.schema_midpoint_inputs()).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].len(), 1);
+        assert_eq!(out[1].len(), 8);
+        assert_eq!(
+            c.feature_shapes(),
+            vec![FeatureShape::Scalar, FeatureShape::Temporal(8)]
+        );
+    }
+
+    #[test]
+    fn division_by_zero_fails_trial_run() {
+        // chunks_remaining midpoint is 24, but 1/(x - 24) at the midpoint
+        // divides by zero: the trial run must reject this program.
+        let e = compile_state(
+            "state s { input chunks_remaining: scalar; \
+             feature f = 1.0 / (chunks_remaining - 24.0); }",
+        );
+        assert!(matches!(e, Err(DslError::NonFinite { .. })));
+    }
+
+    #[test]
+    fn parse_errors_surface_as_compile_failures() {
+        assert!(compile_state("state s { feature = ; }").is_err());
+        assert!(compile_state("this is not a program").is_err());
+    }
+
+    #[test]
+    fn eval_rejects_wrong_binding_count() {
+        let c = compile_state(
+            "state s { input buffer_s: scalar; feature f = buffer_s; }",
+        )
+        .unwrap();
+        let e = c.eval(&[Value::Scalar(1.0)]);
+        assert!(matches!(e, Err(DslError::BadBinding { .. })));
+    }
+
+    #[test]
+    fn eval_rejects_misshapen_binding() {
+        let c = compile_state(
+            "state s { input throughput_mbps: vec[8]; feature f = mean(throughput_mbps); }",
+        )
+        .unwrap();
+        let mut inputs = c.schema_midpoint_inputs();
+        inputs[0] = Value::Vector(vec![1.0; 3]); // wrong length
+        assert!(matches!(c.eval(&inputs), Err(DslError::BadBinding { .. })));
+    }
+
+    #[test]
+    fn feature_chaining_evaluates_in_order() {
+        let c = compile_state(
+            "state s { input throughput_mbps: vec[8]; \
+             feature sm = ema(throughput_mbps, 0.5); feature last_sm = last(sm); }",
+        )
+        .unwrap();
+        let out = c.eval(&c.schema_midpoint_inputs()).unwrap();
+        assert!(matches!(out[1], Value::Scalar(_)));
+    }
+}

@@ -1,0 +1,162 @@
+//! Hand-written lexer for the design DSL.
+
+use crate::error::DslError;
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Tokenizes `source`, returning the token stream ending with `Eof`.
+/// `#` starts a comment running to end of line.
+pub fn lex(source: &str) -> Result<Vec<Token>, DslError> {
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '{' => push(&mut tokens, TokenKind::LBrace, line, &mut i),
+            '}' => push(&mut tokens, TokenKind::RBrace, line, &mut i),
+            '(' => push(&mut tokens, TokenKind::LParen, line, &mut i),
+            ')' => push(&mut tokens, TokenKind::RParen, line, &mut i),
+            '[' => push(&mut tokens, TokenKind::LBracket, line, &mut i),
+            ']' => push(&mut tokens, TokenKind::RBracket, line, &mut i),
+            ';' => push(&mut tokens, TokenKind::Semi, line, &mut i),
+            ':' => push(&mut tokens, TokenKind::Colon, line, &mut i),
+            ',' => push(&mut tokens, TokenKind::Comma, line, &mut i),
+            '=' => push(&mut tokens, TokenKind::Eq, line, &mut i),
+            '+' => push(&mut tokens, TokenKind::Plus, line, &mut i),
+            '*' => push(&mut tokens, TokenKind::Star, line, &mut i),
+            '/' => push(&mut tokens, TokenKind::Slash, line, &mut i),
+            '-' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '>' {
+                    tokens.push(Token { kind: TokenKind::Arrow, line });
+                    i += 2;
+                } else {
+                    push(&mut tokens, TokenKind::Minus, line, &mut i);
+                }
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                let mut seen_dot = false;
+                let mut seen_exp = false;
+                while i < bytes.len() {
+                    let d = bytes[i];
+                    if d.is_ascii_digit() {
+                        i += 1;
+                    } else if d == '.' && !seen_dot && !seen_exp {
+                        seen_dot = true;
+                        i += 1;
+                    } else if (d == 'e' || d == 'E') && !seen_exp && i > start {
+                        seen_exp = true;
+                        i += 1;
+                        if i < bytes.len() && (bytes[i] == '+' || bytes[i] == '-') {
+                            i += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let value: f64 = text.parse().map_err(|_| DslError::Lex {
+                    line,
+                    message: format!("malformed number `{text}`"),
+                })?;
+                tokens.push(Token { kind: TokenKind::Number(value), line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let kind = match Keyword::from_ident(&text) {
+                    Some(k) => TokenKind::Keyword(k),
+                    None => TokenKind::Ident(text),
+                };
+                tokens.push(Token { kind, line });
+            }
+            other => {
+                return Err(DslError::Lex {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, line });
+    Ok(tokens)
+}
+
+fn push(tokens: &mut Vec<Token>, kind: TokenKind, line: usize, i: &mut usize) {
+    tokens.push(Token { kind, line });
+    *i += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_state_header() {
+        let ks = kinds("state foo {");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword(Keyword::State),
+                TokenKind::Ident("foo".into()),
+                TokenKind::LBrace,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers_including_scientific() {
+        let ks = kinds("1 2.5 1e6 3.2e-4");
+        assert_eq!(
+            ks[..4],
+            [
+                TokenKind::Number(1.0),
+                TokenKind::Number(2.5),
+                TokenKind::Number(1e6),
+                TokenKind::Number(3.2e-4)
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_vs_minus() {
+        let ks = kinds("a -> b - c");
+        assert!(ks.contains(&TokenKind::Arrow));
+        assert!(ks.contains(&TokenKind::Minus));
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let toks = lex("# header\nfeature x = 1.0;\n").unwrap();
+        assert_eq!(toks[0].line, 2);
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        assert!(matches!(lex("feature x = $;"), Err(DslError::Lex { .. })));
+    }
+
+    #[test]
+    fn rejects_malformed_number() {
+        assert!(matches!(lex("x = 1e;"), Err(DslError::Lex { .. })));
+    }
+}

@@ -1,0 +1,54 @@
+//! Design DSL for the NADA reproduction: the "code block" medium.
+//!
+//! In the paper, LLMs emit Python functions — state representations and
+//! TensorFlow network builders — which NADA `exec`s, fuzzes, and trains. A
+//! Rust reproduction cannot execute arbitrary Python, so candidate designs
+//! are expressed in a small, purpose-built DSL with the same two program
+//! kinds and the same failure modes:
+//!
+//! * **state programs** (`state <name> { input …; feature …; }`) declare
+//!   which raw ABR inputs they read and compute a list of features — each a
+//!   scalar or a vector — via arithmetic and a feature-engineering standard
+//!   library (EMA, variance, trend, Savitzky–Golay smoothing, linear-
+//!   regression prediction, normalization helpers…). The interpreter
+//!   ([`interp`]) turns an input binding into the feature matrix the policy
+//!   network consumes.
+//! * **architecture programs** (`network <name> { temporal …; scalar …;
+//!   hidden …; heads …; }`) describe the branch-merge actor-critic topology
+//!   and compile ([`arch`]) to an [`nada_nn::ArchConfig`].
+//!
+//! "Compilation check" = lex + parse + type/shape check + a trial run —
+//! the same observable behaviour as `exec`-ing generated Python and catching
+//! exceptions. The [`fuzz`] module generates realistic random ABR inputs for
+//! the paper's normalization check (§2.2, threshold `T = 100`).
+//!
+//! ```
+//! use nada_dsl::{compile_state, seeds};
+//!
+//! let program = compile_state(seeds::PENSIEVE_STATE_SOURCE).unwrap();
+//! assert_eq!(program.feature_shapes().len(), 6);
+//! ```
+
+pub mod arch;
+pub mod ast;
+pub mod check;
+pub mod error;
+pub mod fuzz;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod schema;
+pub mod seeds;
+pub mod stdlib;
+pub mod token;
+pub mod value;
+
+pub use arch::compile_arch;
+pub use ast::{ArchProgram, Expr, FeatureDecl, InputDecl, InputType, StateProgram};
+pub use check::CheckedState;
+pub use error::DslError;
+pub use fuzz::{normalization_check, FuzzConfig};
+pub use interp::{compile_state, CompiledState};
+pub use schema::{abr_schema, InputSchema, InputSpec};
+pub use value::Value;

@@ -1,0 +1,158 @@
+//! Canonical pretty-printing of programs back to source text.
+//!
+//! Generated designs travel as source strings (they are "code blocks"); the
+//! printer guarantees a parse → print → parse fixed point, which the
+//! property tests in `tests/` exercise.
+
+use crate::ast::{ArchProgram, Expr, InputType, LayerSpec, StateProgram};
+use std::fmt::Write as _;
+
+/// Renders a state program as canonical DSL source.
+pub fn print_state(p: &StateProgram) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "state {} {{", p.name);
+    for i in &p.inputs {
+        let ty = match i.ty {
+            InputType::Scalar => "scalar".to_string(),
+            InputType::Vec(n) => format!("vec[{n}]"),
+        };
+        let _ = writeln!(out, "  input {}: {};", i.name, ty);
+    }
+    for f in &p.features {
+        let _ = writeln!(out, "  feature {} = {};", f.name, print_expr(&f.expr));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders an expression with minimal parentheses (children of lower
+/// precedence get wrapped).
+pub fn print_expr(e: &Expr) -> String {
+    print_prec(e, 0)
+}
+
+fn precedence(e: &Expr) -> u8 {
+    match e {
+        Expr::Binary { op, .. } => match op {
+            crate::ast::BinOp::Add | crate::ast::BinOp::Sub => 1,
+            crate::ast::BinOp::Mul | crate::ast::BinOp::Div => 2,
+        },
+        Expr::Neg(_) => 3,
+        _ => 4,
+    }
+}
+
+fn print_prec(e: &Expr, parent: u8) -> String {
+    let own = precedence(e);
+    let body = match e {
+        Expr::Number(n) => format_number(*n),
+        Expr::Ident(s) => s.clone(),
+        Expr::Neg(inner) => format!("-{}", print_prec(inner, own)),
+        Expr::Binary { op, lhs, rhs } => format!(
+            "{} {} {}",
+            print_prec(lhs, own),
+            op.symbol(),
+            // Right operand of -, / needs parens at equal precedence.
+            print_prec(rhs, own + 1)
+        ),
+        Expr::Call { name, args } => {
+            let rendered: Vec<String> = args.iter().map(|a| print_prec(a, 0)).collect();
+            format!("{name}({})", rendered.join(", "))
+        }
+    };
+    if own < parent {
+        format!("({body})")
+    } else {
+        body
+    }
+}
+
+/// Formats a float so it re-lexes as a number (always keeps a decimal point
+/// or exponent).
+fn format_number(n: f64) -> String {
+    if n == n.trunc() && n.abs() < 1e15 {
+        format!("{n:.1}")
+    } else {
+        format!("{n}")
+    }
+}
+
+/// Renders an architecture program as canonical DSL source.
+pub fn print_arch(p: &ArchProgram) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "network {} {{", p.name);
+    let _ = writeln!(out, "  temporal {};", print_layer(&p.temporal));
+    let _ = writeln!(out, "  scalar {};", print_layer(&p.scalar));
+    for h in &p.hidden {
+        let _ = writeln!(out, "  hidden {};", print_layer(h));
+    }
+    let _ = writeln!(out, "  heads {};", if p.shared_heads { "shared" } else { "separate" });
+    out.push_str("}\n");
+    out
+}
+
+fn print_layer(l: &LayerSpec) -> String {
+    let params: Vec<String> =
+        l.params.iter().map(|(n, v)| format!("{n}={}", format_number(*v))).collect();
+    let mut s = format!("{}({})", l.layer, params.join(", "));
+    if let Some((act, act_params)) = &l.activation {
+        if act_params.is_empty() {
+            let _ = write!(s, " -> {act}");
+        } else {
+            let ps: Vec<String> = act_params
+                .iter()
+                .map(|(n, v)| format!("{n}={}", format_number(*v)))
+                .collect();
+            let _ = write!(s, " -> {act}({})", ps.join(", "));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_arch, parse_state};
+    use crate::seeds::{PENSIEVE_ARCH_SOURCE, PENSIEVE_STATE_SOURCE};
+
+    #[test]
+    fn state_round_trips() {
+        let p = parse_state(PENSIEVE_STATE_SOURCE).unwrap();
+        let printed = print_state(&p);
+        let reparsed = parse_state(&printed).unwrap();
+        assert_eq!(p, reparsed);
+    }
+
+    #[test]
+    fn arch_round_trips() {
+        let p = parse_arch(PENSIEVE_ARCH_SOURCE).unwrap();
+        let printed = print_arch(&p);
+        let reparsed = parse_arch(&printed).unwrap();
+        assert_eq!(p, reparsed);
+    }
+
+    #[test]
+    fn parenthesization_preserves_tree() {
+        let src = "state s { input buffer_s: scalar; \
+                   feature f = (buffer_s + 1.0) * 2.0 - 3.0 / (buffer_s - 0.5); }";
+        let p = parse_state(src).unwrap();
+        let reparsed = parse_state(&print_state(&p)).unwrap();
+        assert_eq!(p, reparsed);
+    }
+
+    #[test]
+    fn subtraction_chains_keep_associativity() {
+        let src = "state s { feature f = 1.0 - 2.0 - 3.0; }";
+        let p = parse_state(src).unwrap();
+        let reparsed = parse_state(&print_state(&p)).unwrap();
+        assert_eq!(p, reparsed, "printed: {}", print_state(&p));
+    }
+
+    #[test]
+    fn numbers_relex_as_numbers() {
+        let src = "state s { feature f = 2.0 * 3.0; }";
+        let p = parse_state(src).unwrap();
+        let printed = print_state(&p);
+        assert!(printed.contains("2.0"), "{printed}");
+    }
+}

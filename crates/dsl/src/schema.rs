@@ -1,0 +1,165 @@
+//! Input schema: what the ABR environment offers to state programs.
+//!
+//! The schema is the contract between the environment (`nada-sim`'s
+//! `Observation`) and state programs: every input a program may declare,
+//! its shape, and a realistic value range used by the fuzzing-based
+//! normalization check. Note that `buffer_history_s` is available even
+//! though the original Pensieve state ignores it — §4 of the paper
+//! highlights buffer-history features as NADA's most interesting discovery.
+
+use crate::ast::InputType;
+
+/// One available input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputSpec {
+    /// Input name as referenced in programs.
+    pub name: &'static str,
+    /// Shape provided by the environment.
+    pub ty: InputType,
+    /// Lower bound of realistic values (per element), for fuzzing.
+    pub fuzz_lo: f64,
+    /// Upper bound of realistic values (per element), for fuzzing.
+    pub fuzz_hi: f64,
+    /// What the input means (also used in generated prompt text).
+    pub doc: &'static str,
+}
+
+/// An ordered set of available inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputSchema {
+    specs: Vec<InputSpec>,
+}
+
+impl InputSchema {
+    /// Builds a schema from specs.
+    pub fn new(specs: Vec<InputSpec>) -> Self {
+        Self { specs }
+    }
+
+    /// All specs, in binding order.
+    pub fn specs(&self) -> &[InputSpec] {
+        &self.specs
+    }
+
+    /// Number of inputs.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True if the schema is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Finds a spec and its binding index by name.
+    pub fn lookup(&self, name: &str) -> Option<(usize, &InputSpec)> {
+        self.specs.iter().enumerate().find(|(_, s)| s.name == name)
+    }
+}
+
+/// History length offered by the environment (Pensieve's `S_LEN`).
+pub const HISTORY_LEN: usize = 8;
+/// Number of ladder levels (both paper ladders have six).
+pub const N_LEVELS: usize = 6;
+
+/// The ABR input schema used throughout this reproduction.
+///
+/// Fuzz ranges are deliberately *raw* magnitudes — chunk sizes up to tens of
+/// megabytes, bitrates up to 53 000 kbps — so that a state program that
+/// forgets to normalize fails the paper's `T = 100` check exactly like the
+/// "chunk sizes in bytes" example in §2.2.
+pub fn abr_schema() -> InputSchema {
+    InputSchema::new(vec![
+        InputSpec {
+            name: "throughput_mbps",
+            ty: InputType::Vec(HISTORY_LEN),
+            fuzz_lo: 0.0,
+            fuzz_hi: 150.0,
+            doc: "throughput measured for each of the last 8 chunk downloads, Mbps",
+        },
+        InputSpec {
+            name: "download_time_s",
+            ty: InputType::Vec(HISTORY_LEN),
+            fuzz_lo: 0.0,
+            fuzz_hi: 30.0,
+            doc: "download delay of each of the last 8 chunks, seconds",
+        },
+        InputSpec {
+            name: "buffer_history_s",
+            ty: InputType::Vec(HISTORY_LEN),
+            fuzz_lo: 0.0,
+            fuzz_hi: 60.0,
+            doc: "playback buffer level after each of the last 8 downloads, seconds",
+        },
+        InputSpec {
+            name: "next_chunk_sizes_bytes",
+            ty: InputType::Vec(N_LEVELS),
+            fuzz_lo: 0.0,
+            fuzz_hi: 3.0e7,
+            doc: "encoded size of the next chunk at each quality, bytes",
+        },
+        InputSpec {
+            name: "buffer_s",
+            ty: InputType::Scalar,
+            fuzz_lo: 0.0,
+            fuzz_hi: 60.0,
+            doc: "current playback buffer, seconds",
+        },
+        InputSpec {
+            name: "chunks_remaining",
+            ty: InputType::Scalar,
+            fuzz_lo: 0.0,
+            fuzz_hi: 48.0,
+            doc: "chunks left in the video",
+        },
+        InputSpec {
+            name: "total_chunks",
+            ty: InputType::Scalar,
+            fuzz_lo: 48.0,
+            fuzz_hi: 48.0,
+            doc: "total chunks in the video",
+        },
+        InputSpec {
+            name: "last_bitrate_kbps",
+            ty: InputType::Scalar,
+            fuzz_lo: 300.0,
+            fuzz_hi: 53_000.0,
+            doc: "bitrate of the previously selected chunk, kbps",
+        },
+        InputSpec {
+            name: "max_bitrate_kbps",
+            ty: InputType::Scalar,
+            fuzz_lo: 4_300.0,
+            fuzz_hi: 53_000.0,
+            doc: "highest ladder bitrate, kbps",
+        },
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_has_nine_inputs() {
+        let s = abr_schema();
+        assert_eq!(s.len(), 9);
+        assert!(s.lookup("buffer_history_s").is_some());
+        assert!(s.lookup("nonexistent").is_none());
+    }
+
+    #[test]
+    fn fuzz_ranges_are_ordered() {
+        for spec in abr_schema().specs() {
+            assert!(spec.fuzz_lo <= spec.fuzz_hi, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn raw_magnitudes_exceed_normalization_threshold() {
+        // The whole point of the fuzz ranges: raw sizes/bitrates are > 100.
+        let s = abr_schema();
+        assert!(s.lookup("next_chunk_sizes_bytes").unwrap().1.fuzz_hi > 100.0);
+        assert!(s.lookup("last_bitrate_kbps").unwrap().1.fuzz_hi > 100.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Seed programs: the original Pensieve design expressed in the DSL.
+//!
+//! These are the "existing algorithm implementation" NADA starts from
+//! (paper §2.1). The state program reproduces Pensieve's normalization
+//! exactly: bitrates relative to the ladder maximum, buffer and download
+//! times divided by 10, throughput in MB/s (Mbps / 8), chunk sizes in MB,
+//! and remaining chunks as a fraction. The architecture program is
+//! Figure 2's topology.
+
+use crate::arch::compile_arch;
+use crate::interp::{compile_state, CompiledState};
+use nada_nn::ArchConfig;
+
+/// Pensieve's original state representation (paper Figure 2, left side).
+pub const PENSIEVE_STATE_SOURCE: &str = "\
+state pensieve_original {
+  # Raw measurements offered by the environment.
+  input throughput_mbps: vec[8];        # past chunk throughputs, Mbps
+  input download_time_s: vec[8];        # past chunk download delays, seconds
+  input next_chunk_sizes_bytes: vec[6]; # next chunk size per quality, bytes
+  input buffer_s: scalar;               # playback buffer, seconds
+  input chunks_remaining: scalar;       # chunks left in the video
+  input total_chunks: scalar;           # total chunks in the video
+  input last_bitrate_kbps: scalar;      # previously selected bitrate, kbps
+  input max_bitrate_kbps: scalar;       # highest ladder bitrate, kbps
+
+  # Pensieve's hand-designed normalization.
+  feature last_quality = last_bitrate_kbps / max_bitrate_kbps;
+  feature buffer = buffer_s / 10.0;
+  feature throughput = throughput_mbps / 8.0;
+  feature download_time = download_time_s / 10.0;
+  feature next_sizes_mb = next_chunk_sizes_bytes / 1000000.0;
+  feature remaining = chunks_remaining / total_chunks;
+}
+";
+
+/// Pensieve's original actor-critic architecture (paper Figure 2).
+pub const PENSIEVE_ARCH_SOURCE: &str = "\
+network pensieve_original {
+  temporal conv1d(filters=128, kernel=4) -> relu;
+  scalar dense(units=128) -> relu;
+  hidden dense(units=128) -> relu;
+  heads separate;
+}
+";
+
+/// Compiles the original state program.
+///
+/// # Panics
+/// Panics if the bundled source is invalid — covered by tests, so this
+/// cannot happen in a released build.
+pub fn pensieve_state() -> CompiledState {
+    compile_state(PENSIEVE_STATE_SOURCE).expect("bundled Pensieve state must compile")
+}
+
+/// Compiles the original architecture program.
+///
+/// # Panics
+/// Panics if the bundled source is invalid (covered by tests).
+pub fn pensieve_arch() -> ArchConfig {
+    compile_arch(PENSIEVE_ARCH_SOURCE).expect("bundled Pensieve architecture must compile")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuzz::{normalization_check, FuzzConfig, NormCheckOutcome};
+    use nada_nn::FeatureShape;
+
+    #[test]
+    fn pensieve_state_compiles_with_expected_shapes() {
+        let s = pensieve_state();
+        assert_eq!(s.name(), "pensieve_original");
+        assert_eq!(
+            s.feature_shapes(),
+            vec![
+                FeatureShape::Scalar,
+                FeatureShape::Scalar,
+                FeatureShape::Temporal(8),
+                FeatureShape::Temporal(8),
+                FeatureShape::Temporal(6),
+                FeatureShape::Scalar,
+            ]
+        );
+    }
+
+    #[test]
+    fn pensieve_state_is_well_normalized() {
+        let s = pensieve_state();
+        let outcome = normalization_check(&s, &FuzzConfig::default());
+        assert_eq!(outcome, NormCheckOutcome::Pass, "the seed design must pass its own check");
+    }
+
+    #[test]
+    fn pensieve_arch_matches_figure_2() {
+        assert_eq!(pensieve_arch(), ArchConfig::pensieve_original());
+    }
+}

@@ -1,0 +1,371 @@
+//! The feature-engineering standard library.
+//!
+//! These are the operations the paper reports LLMs reaching for when
+//! improving Pensieve's state: exponential moving averages, variance,
+//! linear-regression trend/prediction (the `statsmodel` example), the
+//! Savitzky–Golay filter (the `scipy` example), buffer differences, and
+//! normalization helpers (`clip`, `remap`, `zscore`).
+
+use crate::error::DslError;
+use crate::value::{Shape, Value};
+
+/// Indices of arguments that must be numeric literals (known at check time).
+pub fn literal_arg_indices(name: &str) -> &'static [usize] {
+    match name {
+        "ema" | "tail" => &[1],
+        "clip" | "remap" => &[1, 2],
+        _ => &[],
+    }
+}
+
+/// Arity of a stdlib function, or `None` if the function does not exist.
+pub fn arity(name: &str) -> Option<usize> {
+    Some(match name {
+        "ema" | "tail" => 2,
+        "clip" | "remap" => 3,
+        "mean" | "variance" | "std" | "min" | "max" | "sum" | "last" | "first"
+        | "harmonic_mean" | "trend" | "predict_next" | "diff" | "savgol" | "zscore"
+        | "log1p" | "sqrt" | "abs" | "recip" => 1,
+        _ => return None,
+    })
+}
+
+/// Static shape rule. `literals[i]` carries the value of argument `i` when
+/// the grammar requires it to be a literal.
+pub fn function_shape(
+    name: &str,
+    args: &[Shape],
+    literals: &[Option<f64>],
+) -> Result<Shape, DslError> {
+    let expected = arity(name).ok_or_else(|| DslError::UnknownFunction { name: name.into() })?;
+    if args.len() != expected {
+        return Err(DslError::Arity { name: name.into(), expected, got: args.len() });
+    }
+    let vec_len = |s: Shape| match s {
+        Shape::Vector(n) => Ok(n),
+        Shape::Scalar => Err(DslError::ShapeMismatch {
+            message: format!("`{name}` requires a vector argument"),
+        }),
+    };
+    match name {
+        "ema" => {
+            let n = vec_len(args[0])?;
+            let alpha = literals[1].ok_or(DslError::ExpectedLiteral { name: name.into(), arg: 1 })?;
+            if !(0.0..=1.0).contains(&alpha) || alpha == 0.0 {
+                return Err(DslError::BadLiteral {
+                    name: name.into(),
+                    message: format!("alpha must be in (0, 1], got {alpha}"),
+                });
+            }
+            Ok(Shape::Vector(n))
+        }
+        "tail" => {
+            let n = vec_len(args[0])?;
+            let k = literals[1].ok_or(DslError::ExpectedLiteral { name: name.into(), arg: 1 })?;
+            if k.fract() != 0.0 || k < 1.0 {
+                return Err(DslError::BadLiteral {
+                    name: name.into(),
+                    message: format!("k must be a positive integer, got {k}"),
+                });
+            }
+            let k = k as usize;
+            if k > n {
+                return Err(DslError::ShapeMismatch {
+                    message: format!("tail({k}) of a vec[{n}]"),
+                });
+            }
+            Ok(Shape::Vector(k))
+        }
+        "mean" | "variance" | "std" | "min" | "max" | "sum" | "last" | "first"
+        | "harmonic_mean" | "trend" | "predict_next" => {
+            vec_len(args[0])?;
+            Ok(Shape::Scalar)
+        }
+        "diff" => {
+            let n = vec_len(args[0])?;
+            if n < 2 {
+                return Err(DslError::ShapeMismatch {
+                    message: "diff needs a vector of at least 2 elements".into(),
+                });
+            }
+            Ok(Shape::Vector(n - 1))
+        }
+        "savgol" | "zscore" => Ok(Shape::Vector(vec_len(args[0])?)),
+        "clip" | "remap" => {
+            let lo = literals[1].ok_or(DslError::ExpectedLiteral { name: name.into(), arg: 1 })?;
+            let hi = literals[2].ok_or(DslError::ExpectedLiteral { name: name.into(), arg: 2 })?;
+            if lo >= hi {
+                return Err(DslError::BadLiteral {
+                    name: name.into(),
+                    message: format!("bounds must satisfy lo < hi, got [{lo}, {hi}]"),
+                });
+            }
+            Ok(args[0])
+        }
+        "log1p" | "sqrt" | "abs" | "recip" => Ok(args[0]),
+        _ => Err(DslError::UnknownFunction { name: name.into() }),
+    }
+}
+
+/// Runtime evaluation. Shapes are assumed already validated by
+/// [`function_shape`]; violations found here indicate interpreter bugs and
+/// surface as `ShapeMismatch` errors rather than panics.
+pub fn function_eval(name: &str, args: &[Value]) -> Result<Value, DslError> {
+    let vector = |i: usize| -> Result<&[f64], DslError> {
+        match &args[i] {
+            Value::Vector(v) => Ok(v),
+            Value::Scalar(_) => Err(DslError::ShapeMismatch {
+                message: format!("`{name}` expected a vector argument"),
+            }),
+        }
+    };
+    let scalar = |i: usize| args[i].expect_scalar();
+    let map = |v: &Value, f: &dyn Fn(f64) -> f64| match v {
+        Value::Scalar(x) => Value::Scalar(f(*x)),
+        Value::Vector(xs) => Value::Vector(xs.iter().map(|&x| f(x)).collect()),
+    };
+    Ok(match name {
+        "ema" => {
+            let xs = vector(0)?;
+            let alpha = scalar(1);
+            let mut acc = xs.first().copied().unwrap_or(0.0);
+            Value::Vector(
+                xs.iter()
+                    .map(|&x| {
+                        acc = alpha * x + (1.0 - alpha) * acc;
+                        acc
+                    })
+                    .collect(),
+            )
+        }
+        "tail" => {
+            let xs = vector(0)?;
+            let k = scalar(1) as usize;
+            Value::Vector(xs[xs.len() - k..].to_vec())
+        }
+        "mean" => Value::Scalar(mean(vector(0)?)),
+        "variance" => Value::Scalar(variance(vector(0)?)),
+        "std" => Value::Scalar(variance(vector(0)?).sqrt()),
+        "min" => Value::Scalar(vector(0)?.iter().copied().fold(f64::INFINITY, f64::min)),
+        "max" => Value::Scalar(vector(0)?.iter().copied().fold(f64::NEG_INFINITY, f64::max)),
+        "sum" => Value::Scalar(vector(0)?.iter().sum()),
+        "last" => Value::Scalar(*vector(0)?.last().expect("checked non-empty")),
+        "first" => Value::Scalar(*vector(0)?.first().expect("checked non-empty")),
+        "harmonic_mean" => {
+            let xs = vector(0)?;
+            let denom: f64 = xs.iter().map(|&x| 1.0 / x.max(1e-9)).sum();
+            Value::Scalar(xs.len() as f64 / denom)
+        }
+        "trend" => Value::Scalar(ols(vector(0)?).0),
+        "predict_next" => {
+            let xs = vector(0)?;
+            let (slope, intercept) = ols(xs);
+            Value::Scalar(intercept + slope * xs.len() as f64)
+        }
+        "diff" => {
+            let xs = vector(0)?;
+            Value::Vector(xs.windows(2).map(|w| w[1] - w[0]).collect())
+        }
+        "savgol" => Value::Vector(savgol5(vector(0)?)),
+        "zscore" => {
+            let xs = vector(0)?;
+            let m = mean(xs);
+            let s = variance(xs).sqrt().max(1e-9);
+            Value::Vector(xs.iter().map(|&x| (x - m) / s).collect())
+        }
+        "clip" => {
+            let (lo, hi) = (scalar(1), scalar(2));
+            map(&args[0], &|x| x.clamp(lo, hi))
+        }
+        "remap" => {
+            // Affine map of the nominal [0, 1] range onto [lo, hi]; the
+            // paper's discovered FCC states use remap(x, -1, 1).
+            let (lo, hi) = (scalar(1), scalar(2));
+            map(&args[0], &|x| lo + x * (hi - lo))
+        }
+        "log1p" => map(&args[0], &|x| (1.0 + x.max(0.0)).ln()),
+        "sqrt" => map(&args[0], &|x| x.max(0.0).sqrt()),
+        "abs" => map(&args[0], &f64::abs),
+        "recip" => map(&args[0], &|x| 1.0 / (x + 1e-6)),
+        _ => return Err(DslError::UnknownFunction { name: name.into() }),
+    })
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn variance(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Ordinary least squares of `xs` against indices `0..n`; returns
+/// `(slope, intercept)`. A single point has slope 0.
+fn ols(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    if xs.len() < 2 {
+        return (0.0, xs.first().copied().unwrap_or(0.0));
+    }
+    let x_mean = (n - 1.0) / 2.0;
+    let y_mean = mean(xs);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (i, &y) in xs.iter().enumerate() {
+        let dx = i as f64 - x_mean;
+        num += dx * (y - y_mean);
+        den += dx * dx;
+    }
+    let slope = num / den;
+    (slope, y_mean - slope * x_mean)
+}
+
+/// Savitzky–Golay smoothing with a 5-point quadratic window
+/// (coefficients [-3, 12, 17, 12, -3] / 35). Edge points where the window
+/// does not fit are passed through unchanged; vectors shorter than 5 are
+/// returned as-is.
+fn savgol5(xs: &[f64]) -> Vec<f64> {
+    if xs.len() < 5 {
+        return xs.to_vec();
+    }
+    const C: [f64; 5] = [-3.0, 12.0, 17.0, 12.0, -3.0];
+    let mut out = xs.to_vec();
+    for i in 2..xs.len() - 2 {
+        let mut acc = 0.0;
+        for (k, c) in C.iter().enumerate() {
+            acc += c * xs[i + k - 2];
+        }
+        out[i] = acc / 35.0;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(xs: &[f64]) -> Value {
+        Value::Vector(xs.to_vec())
+    }
+
+    #[test]
+    fn ema_smooths_toward_recent() {
+        let y = function_eval("ema", &[v(&[0.0, 0.0, 10.0]), Value::Scalar(0.5)]).unwrap();
+        let ys = y.expect_vector();
+        assert!(ys[2] > ys[1], "ema should move toward the spike");
+        assert!(ys[2] < 10.0, "ema should not overshoot");
+    }
+
+    #[test]
+    fn trend_of_linear_ramp_is_slope() {
+        let y = function_eval("trend", &[v(&[1.0, 3.0, 5.0, 7.0])]).unwrap();
+        assert!((y.expect_scalar() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predict_next_extrapolates_ramp() {
+        let y = function_eval("predict_next", &[v(&[1.0, 2.0, 3.0, 4.0])]).unwrap();
+        assert!((y.expect_scalar() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diff_shortens_by_one() {
+        let y = function_eval("diff", &[v(&[1.0, 4.0, 9.0])]).unwrap();
+        assert_eq!(y.expect_vector(), &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn savgol_preserves_linear_signals() {
+        let xs: Vec<f64> = (0..8).map(|i| 2.0 * i as f64).collect();
+        let y = function_eval("savgol", &[v(&xs)]).unwrap();
+        for (a, b) in y.expect_vector().iter().zip(&xs) {
+            assert!((a - b).abs() < 1e-9, "quadratic SG filter must keep linear data");
+        }
+    }
+
+    #[test]
+    fn savgol_damps_noise() {
+        let xs = [0.0, 10.0, 0.0, 10.0, 0.0, 10.0, 0.0, 10.0];
+        let y = function_eval("savgol", &[v(&xs)]).unwrap();
+        let ys = y.expect_vector();
+        // interior points pulled toward the mean (5.0)
+        assert!((ys[3] - 5.0).abs() < (xs[3] - 5.0).abs());
+    }
+
+    #[test]
+    fn zscore_standardizes() {
+        let y = function_eval("zscore", &[v(&[1.0, 2.0, 3.0])]).unwrap();
+        let ys = y.expect_vector();
+        assert!(ys[0] < 0.0 && ys[2] > 0.0);
+        assert!((ys.iter().sum::<f64>()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remap_zero_one_to_sym_range() {
+        let y = function_eval(
+            "remap",
+            &[Value::Scalar(0.5), Value::Scalar(-1.0), Value::Scalar(1.0)],
+        )
+        .unwrap();
+        assert_eq!(y.expect_scalar(), 0.0);
+    }
+
+    #[test]
+    fn clip_bounds() {
+        let y = function_eval(
+            "clip",
+            &[v(&[-5.0, 0.5, 5.0]), Value::Scalar(0.0), Value::Scalar(1.0)],
+        )
+        .unwrap();
+        assert_eq!(y.expect_vector(), &[0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn shape_rules_enforce_vectors() {
+        assert!(function_shape("mean", &[Shape::Scalar], &[None]).is_err());
+        assert_eq!(
+            function_shape("diff", &[Shape::Vector(8)], &[None]).unwrap(),
+            Shape::Vector(7)
+        );
+    }
+
+    #[test]
+    fn ema_rejects_bad_alpha() {
+        let r = function_shape(
+            "ema",
+            &[Shape::Vector(8), Shape::Scalar],
+            &[None, Some(1.5)],
+        );
+        assert!(matches!(r, Err(DslError::BadLiteral { .. })));
+    }
+
+    #[test]
+    fn tail_rejects_oversize_k() {
+        let r = function_shape(
+            "tail",
+            &[Shape::Vector(4), Shape::Scalar],
+            &[None, Some(9.0)],
+        );
+        assert!(matches!(r, Err(DslError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn unknown_function_is_reported() {
+        assert!(matches!(
+            function_shape("explode", &[], &[]),
+            Err(DslError::UnknownFunction { .. })
+        ));
+    }
+
+    #[test]
+    fn harmonic_mean_guards_zero() {
+        let y = function_eval("harmonic_mean", &[v(&[0.0, 1.0])]).unwrap();
+        assert!(y.expect_scalar().is_finite());
+    }
+
+    #[test]
+    fn recip_guards_zero() {
+        let y = function_eval("recip", &[Value::Scalar(0.0)]).unwrap();
+        assert!(y.expect_scalar().is_finite());
+    }
+}

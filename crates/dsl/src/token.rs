@@ -1,0 +1,131 @@
+//! Token definitions for the design DSL.
+
+use std::fmt;
+
+/// A lexical token with its source line (1-based) for error reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line where the token starts.
+    pub line: usize,
+}
+
+/// The lexical vocabulary of both program kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `state`, `network`, `input`, `feature`, … — see [`Keyword`].
+    Keyword(Keyword),
+    /// An identifier (input, feature, or function name).
+    Ident(String),
+    /// A numeric literal.
+    Number(f64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `->`
+    Arrow,
+    /// End of input sentinel.
+    Eof,
+}
+
+/// Reserved words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    /// Starts a state program.
+    State,
+    /// Starts an architecture program.
+    Network,
+    /// Declares an input inside a state program.
+    Input,
+    /// Declares a feature inside a state program.
+    Feature,
+    /// Scalar input type.
+    Scalar,
+    /// Vector input type (`vec[N]`).
+    Vec,
+    /// Architecture: temporal branch section.
+    Temporal,
+    /// Architecture: hidden stack section.
+    Hidden,
+    /// Architecture: heads section.
+    Heads,
+    /// Architecture: separate actor/critic networks.
+    Separate,
+    /// Architecture: shared trunk.
+    Shared,
+}
+
+impl Keyword {
+    /// Resolves an identifier to a keyword, if reserved.
+    ///
+    /// `scalar` doubles as a type name and an architecture section header;
+    /// the parser disambiguates by context.
+    pub fn from_ident(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "state" => Keyword::State,
+            "network" => Keyword::Network,
+            "input" => Keyword::Input,
+            "feature" => Keyword::Feature,
+            "scalar" => Keyword::Scalar,
+            "vec" => Keyword::Vec,
+            "temporal" => Keyword::Temporal,
+            "hidden" => Keyword::Hidden,
+            "heads" => Keyword::Heads,
+            "separate" => Keyword::Separate,
+            "shared" => Keyword::Shared,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "keyword `{k:?}`"),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Number(n) => write!(f, "number `{n}`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Arrow => write!(f, "`->`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Runtime values and shape algebra.
+
+use crate::ast::BinOp;
+use crate::error::DslError;
+
+/// A runtime value: scalar or vector of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A single number.
+    Scalar(f64),
+    /// A vector of numbers.
+    Vector(Vec<f64>),
+}
+
+/// A static shape, mirrored by [`Value`] at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// Single number.
+    Scalar,
+    /// Vector with the given length.
+    Vector(usize),
+}
+
+impl Shape {
+    /// Human-readable name for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Shape::Scalar => "scalar".into(),
+            Shape::Vector(n) => format!("vec[{n}]"),
+        }
+    }
+}
+
+impl Value {
+    /// The value's shape.
+    pub fn shape(&self) -> Shape {
+        match self {
+            Value::Scalar(_) => Shape::Scalar,
+            Value::Vector(v) => Shape::Vector(v.len()),
+        }
+    }
+
+    /// View as a flat slice of numbers (scalar = slice of one).
+    pub fn as_slice(&self) -> &[f64] {
+        match self {
+            Value::Scalar(_) => std::slice::from_ref(match self {
+                Value::Scalar(x) => x,
+                Value::Vector(_) => unreachable!(),
+            }),
+            Value::Vector(v) => v,
+        }
+    }
+
+    /// Extracts the scalar payload.
+    ///
+    /// # Panics
+    /// Panics when called on a vector (shape checking prevents this in
+    /// checked programs).
+    pub fn expect_scalar(&self) -> f64 {
+        match self {
+            Value::Scalar(x) => *x,
+            Value::Vector(_) => panic!("expected scalar, found vector"),
+        }
+    }
+
+    /// Extracts the vector payload.
+    ///
+    /// # Panics
+    /// Panics when called on a scalar.
+    pub fn expect_vector(&self) -> &[f64] {
+        match self {
+            Value::Vector(v) => v,
+            Value::Scalar(_) => panic!("expected vector, found scalar"),
+        }
+    }
+
+    /// True if every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.as_slice().iter().all(|x| x.is_finite())
+    }
+
+    /// Largest absolute element.
+    pub fn max_abs(&self) -> f64 {
+        self.as_slice().iter().fold(0.0, |a, &x| a.max(x.abs()))
+    }
+}
+
+/// Static shape rule for binary arithmetic: scalars broadcast over vectors;
+/// vector-vector requires equal lengths.
+pub fn binary_shape(op: BinOp, lhs: Shape, rhs: Shape) -> Result<Shape, DslError> {
+    match (lhs, rhs) {
+        (Shape::Scalar, Shape::Scalar) => Ok(Shape::Scalar),
+        (Shape::Vector(n), Shape::Scalar) | (Shape::Scalar, Shape::Vector(n)) => {
+            Ok(Shape::Vector(n))
+        }
+        (Shape::Vector(a), Shape::Vector(b)) if a == b => Ok(Shape::Vector(a)),
+        (a, b) => Err(DslError::ShapeMismatch {
+            message: format!(
+                "cannot apply `{}` to {} and {}",
+                op.symbol(),
+                a.describe(),
+                b.describe()
+            ),
+        }),
+    }
+}
+
+/// Runtime counterpart of [`binary_shape`].
+pub fn binary_eval(op: BinOp, lhs: &Value, rhs: &Value) -> Result<Value, DslError> {
+    let f = |a: f64, b: f64| match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => a / b,
+    };
+    match (lhs, rhs) {
+        (Value::Scalar(a), Value::Scalar(b)) => Ok(Value::Scalar(f(*a, *b))),
+        (Value::Vector(v), Value::Scalar(b)) => {
+            Ok(Value::Vector(v.iter().map(|&a| f(a, *b)).collect()))
+        }
+        (Value::Scalar(a), Value::Vector(v)) => {
+            Ok(Value::Vector(v.iter().map(|&b| f(*a, b)).collect()))
+        }
+        (Value::Vector(a), Value::Vector(b)) => {
+            if a.len() != b.len() {
+                return Err(DslError::ShapeMismatch {
+                    message: format!(
+                        "vector lengths differ: {} vs {}",
+                        a.len(),
+                        b.len()
+                    ),
+                });
+            }
+            Ok(Value::Vector(a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcasting_rules() {
+        assert_eq!(binary_shape(BinOp::Add, Shape::Scalar, Shape::Scalar), Ok(Shape::Scalar));
+        assert_eq!(
+            binary_shape(BinOp::Mul, Shape::Vector(8), Shape::Scalar),
+            Ok(Shape::Vector(8))
+        );
+        assert!(binary_shape(BinOp::Add, Shape::Vector(8), Shape::Vector(6)).is_err());
+    }
+
+    #[test]
+    fn elementwise_eval() {
+        let v = Value::Vector(vec![2.0, 4.0]);
+        let s = Value::Scalar(2.0);
+        assert_eq!(binary_eval(BinOp::Div, &v, &s).unwrap(), Value::Vector(vec![1.0, 2.0]));
+        assert_eq!(
+            binary_eval(BinOp::Sub, &s, &v).unwrap(),
+            Value::Vector(vec![0.0, -2.0])
+        );
+    }
+
+    #[test]
+    fn vector_vector_requires_equal_len() {
+        let a = Value::Vector(vec![1.0, 2.0]);
+        let b = Value::Vector(vec![1.0, 2.0, 3.0]);
+        assert!(binary_eval(BinOp::Add, &a, &b).is_err());
+    }
+
+    #[test]
+    fn finiteness_and_max_abs() {
+        assert!(Value::Scalar(1.0).is_finite());
+        assert!(!Value::Vector(vec![1.0, f64::NAN]).is_finite());
+        assert_eq!(Value::Vector(vec![-5.0, 3.0]).max_abs(), 5.0);
+    }
+
+    #[test]
+    fn as_slice_covers_both_variants() {
+        assert_eq!(Value::Scalar(7.0).as_slice(), &[7.0]);
+        assert_eq!(Value::Vector(vec![1.0, 2.0]).as_slice(), &[1.0, 2.0]);
+    }
+}

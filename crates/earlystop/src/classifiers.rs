@@ -1,0 +1,483 @@
+//! The five early-stopping methods compared in Figure 5.
+
+use crate::embed::{embed_code, EMBED_DIM};
+use crate::features::preprocess;
+use crate::labels::{smoothed_labels, top_fraction_labels};
+use crate::threshold::calibrate_fnr0;
+use nada_nn::layers::{Activation, ActivationLayer, AnyLayer, Dense, Layer, Sequential};
+use nada_nn::{Adam, CurveClassifier};
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, SeedableRng};
+
+/// One candidate design as seen by the early-stopping model: the training
+/// rewards from its first `K` episodes plus its source code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSample {
+    /// Per-episode training rewards from the early phase of training.
+    pub reward_curve: Vec<f64>,
+    /// The design's code block (for the text-based methods).
+    pub code: String,
+}
+
+/// Hyperparameters shared by every method's fit procedure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitConfig {
+    /// Ground-truth positive fraction (paper: top 1 %).
+    pub top_fraction: f64,
+    /// Label-smoothing positive fraction used for training (paper: 20 %).
+    pub smooth_fraction: f64,
+    /// Length reward curves are resampled to.
+    pub curve_len: usize,
+    /// Training epochs for the learned classifiers.
+    pub epochs: usize,
+    /// Learning rate for the learned classifiers.
+    pub lr: f32,
+    /// Seed for initialization and shuffling.
+    pub seed: u64,
+    /// Ablation switch: `false` trains directly on the (heavily imbalanced)
+    /// top-1 % labels, as §2.2 warns against.
+    pub label_smoothing: bool,
+    /// Safety margin subtracted from the calibrated threshold, in units of
+    /// the training-score standard deviation. The paper's protocol is
+    /// margin 0 (threshold exactly at the weakest training positive);
+    /// small training folds benefit from a cushion because the weakest
+    /// positive's score does not transfer exactly to held-out designs.
+    pub threshold_margin: f64,
+}
+
+impl Default for FitConfig {
+    fn default() -> Self {
+        Self {
+            top_fraction: 0.01,
+            smooth_fraction: 0.20,
+            curve_len: 32,
+            epochs: 40,
+            lr: 3e-3,
+            seed: 0,
+            label_smoothing: true,
+            threshold_margin: 0.0,
+        }
+    }
+}
+
+/// A fitted early-stopping decision rule.
+pub trait Classifier {
+    /// Method name (Figure 5 labels).
+    fn name(&self) -> &'static str;
+
+    /// Trains on `samples` with ground-truth `final_scores`, then calibrates
+    /// the FNR-0 threshold per §2.2.
+    fn fit(&mut self, samples: &[DesignSample], final_scores: &[f64], cfg: &FitConfig);
+
+    /// Promise score (higher = keep training).
+    fn score(&mut self, sample: &DesignSample) -> f64;
+
+    /// Calibrated decision threshold.
+    fn threshold(&self) -> f64;
+
+    /// Keep (don't early-stop) if the score clears the threshold.
+    fn keep(&mut self, sample: &DesignSample) -> bool {
+        self.score(sample) >= self.threshold()
+    }
+}
+
+/// The five methods of §3.4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EarlyStopMethod {
+    /// 1D-CNN over the early reward curve (the paper's winner).
+    RewardOnly,
+    /// MLP over a code embedding.
+    TextOnly,
+    /// MLP over embedding ⊕ reward-curve features.
+    TextReward,
+    /// Threshold on the maximum early reward.
+    HeuristicMax,
+    /// Threshold on the final early-phase reward.
+    HeuristicLast,
+}
+
+impl EarlyStopMethod {
+    /// All methods in Figure 5's order.
+    pub const ALL: [EarlyStopMethod; 5] = [
+        EarlyStopMethod::RewardOnly,
+        EarlyStopMethod::TextOnly,
+        EarlyStopMethod::TextReward,
+        EarlyStopMethod::HeuristicMax,
+        EarlyStopMethod::HeuristicLast,
+    ];
+
+    /// Figure 5 label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EarlyStopMethod::RewardOnly => "Reward Only",
+            EarlyStopMethod::TextOnly => "Text Only",
+            EarlyStopMethod::TextReward => "Text + Reward",
+            EarlyStopMethod::HeuristicMax => "Heuristic Max",
+            EarlyStopMethod::HeuristicLast => "Heuristic Last",
+        }
+    }
+
+    /// Instantiates an unfitted classifier for this method.
+    pub fn build(&self, cfg: &FitConfig) -> Box<dyn Classifier> {
+        match self {
+            EarlyStopMethod::RewardOnly => Box::new(RewardCnnClassifier::new(cfg)),
+            EarlyStopMethod::TextOnly => Box::new(TextOnlyClassifier::new(cfg)),
+            EarlyStopMethod::TextReward => Box::new(CombinedClassifier::new(cfg)),
+            EarlyStopMethod::HeuristicMax => {
+                Box::new(HeuristicClassifier::new(HeuristicKind::Max))
+            }
+            EarlyStopMethod::HeuristicLast => {
+                Box::new(HeuristicClassifier::new(HeuristicKind::Last))
+            }
+        }
+    }
+}
+
+/// Shared fit epilogue: calibrate the FNR-0 threshold on training scores
+/// against the *top-1 %* labels (after training on smoothed labels).
+fn calibrate<C: Classifier + ?Sized>(
+    clf: &mut C,
+    samples: &[DesignSample],
+    final_scores: &[f64],
+    cfg: &FitConfig,
+) -> f64 {
+    let hard = top_fraction_labels(final_scores, cfg.top_fraction);
+    if !hard.iter().any(|&b| b) {
+        return f64::NEG_INFINITY;
+    }
+    let scores: Vec<f64> = samples.iter().map(|s| clf.score(s)).collect();
+    let base = calibrate_fnr0(&scores, &hard);
+    if cfg.threshold_margin == 0.0 {
+        return base;
+    }
+    let n = scores.len() as f64;
+    let mean = scores.iter().sum::<f64>() / n;
+    let std = (scores.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n).sqrt();
+    base - cfg.threshold_margin * std
+}
+
+fn training_targets(final_scores: &[f64], cfg: &FitConfig) -> Vec<f32> {
+    if cfg.label_smoothing {
+        smoothed_labels(final_scores, cfg.smooth_fraction)
+    } else {
+        top_fraction_labels(final_scores, cfg.top_fraction)
+            .into_iter()
+            .map(|b| if b { 1.0 } else { 0.0 })
+            .collect()
+    }
+}
+
+/// "Reward Only": the paper's early-stopping model — a 1D-CNN over the
+/// standardized early reward curve.
+#[derive(Clone)]
+pub struct RewardCnnClassifier {
+    clf: CurveClassifier,
+    curve_len: usize,
+    threshold: f64,
+}
+
+impl RewardCnnClassifier {
+    /// Creates an unfitted classifier.
+    pub fn new(cfg: &FitConfig) -> Self {
+        Self {
+            clf: CurveClassifier::new(cfg.curve_len, cfg.seed),
+            curve_len: cfg.curve_len,
+            threshold: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Classifier for RewardCnnClassifier {
+    fn name(&self) -> &'static str {
+        "Reward Only"
+    }
+
+    fn fit(&mut self, samples: &[DesignSample], final_scores: &[f64], cfg: &FitConfig) {
+        let xs: Vec<Vec<f32>> =
+            samples.iter().map(|s| preprocess(&s.reward_curve, self.curve_len)).collect();
+        let ys = training_targets(final_scores, cfg);
+        self.clf.train(&xs, &ys, cfg.epochs, cfg.lr, cfg.seed);
+        self.threshold = calibrate(self, samples, final_scores, cfg);
+    }
+
+    fn score(&mut self, sample: &DesignSample) -> f64 {
+        self.clf.predict(&preprocess(&sample.reward_curve, self.curve_len)) as f64
+    }
+
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+/// A small MLP binary classifier over arbitrary fixed-length features
+/// (shared by the text-based methods).
+#[derive(Clone)]
+struct MlpBinary {
+    net: Sequential,
+    in_dim: usize,
+}
+
+impl MlpBinary {
+    fn new(in_dim: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x111B_0000_0000_000E);
+        let hidden = 32;
+        let net = Sequential::new(vec![
+            AnyLayer::Dense(Dense::new(in_dim, hidden, &mut rng)),
+            AnyLayer::Act(ActivationLayer::new(Activation::Relu, hidden)),
+            AnyLayer::Dense(Dense::new(hidden, 1, &mut rng)),
+        ]);
+        Self { net, in_dim }
+    }
+
+    fn predict(&mut self, x: &[f32]) -> f32 {
+        assert_eq!(x.len(), self.in_dim, "mlp input length mismatch");
+        let logit = self.net.forward(x)[0];
+        1.0 / (1.0 + (-logit).exp())
+    }
+
+    fn train(&mut self, xs: &[Vec<f32>], ys: &[f32], epochs: usize, lr: f32, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x111B_7141_0000_000F);
+        let mut opt = Adam::new(lr);
+        let batch = 16.min(xs.len().max(1));
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        for _ in 0..epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(batch) {
+                for &i in chunk {
+                    let logit = self.net.forward(&xs[i])[0];
+                    let p = 1.0 / (1.0 + (-logit).exp());
+                    let d = (p - ys[i]) / chunk.len() as f32;
+                    let _ = self.net.backward(&[d]);
+                }
+                let mut params = self.net.params_mut();
+                opt.step(&mut params);
+            }
+        }
+    }
+}
+
+/// "Text Only": classifier over the code embedding.
+#[derive(Clone)]
+pub struct TextOnlyClassifier {
+    mlp: MlpBinary,
+    threshold: f64,
+}
+
+impl TextOnlyClassifier {
+    /// Creates an unfitted classifier.
+    pub fn new(cfg: &FitConfig) -> Self {
+        Self { mlp: MlpBinary::new(EMBED_DIM, cfg.seed), threshold: f64::NEG_INFINITY }
+    }
+}
+
+impl Classifier for TextOnlyClassifier {
+    fn name(&self) -> &'static str {
+        "Text Only"
+    }
+
+    fn fit(&mut self, samples: &[DesignSample], final_scores: &[f64], cfg: &FitConfig) {
+        let xs: Vec<Vec<f32>> = samples.iter().map(|s| embed_code(&s.code)).collect();
+        let ys = training_targets(final_scores, cfg);
+        self.mlp.train(&xs, &ys, cfg.epochs, cfg.lr, cfg.seed);
+        self.threshold = calibrate(self, samples, final_scores, cfg);
+    }
+
+    fn score(&mut self, sample: &DesignSample) -> f64 {
+        self.mlp.predict(&embed_code(&sample.code)) as f64
+    }
+
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+/// "Text + Reward": classifier over embedding ⊕ curve features.
+#[derive(Clone)]
+pub struct CombinedClassifier {
+    mlp: MlpBinary,
+    curve_len: usize,
+    threshold: f64,
+}
+
+impl CombinedClassifier {
+    /// Creates an unfitted classifier.
+    pub fn new(cfg: &FitConfig) -> Self {
+        Self {
+            mlp: MlpBinary::new(EMBED_DIM + cfg.curve_len, cfg.seed),
+            curve_len: cfg.curve_len,
+            threshold: f64::NEG_INFINITY,
+        }
+    }
+
+    fn features(&self, sample: &DesignSample) -> Vec<f32> {
+        let mut x = embed_code(&sample.code);
+        x.extend(preprocess(&sample.reward_curve, self.curve_len));
+        x
+    }
+}
+
+impl Classifier for CombinedClassifier {
+    fn name(&self) -> &'static str {
+        "Text + Reward"
+    }
+
+    fn fit(&mut self, samples: &[DesignSample], final_scores: &[f64], cfg: &FitConfig) {
+        let xs: Vec<Vec<f32>> = samples.iter().map(|s| self.features(s)).collect();
+        let ys = training_targets(final_scores, cfg);
+        self.mlp.train(&xs, &ys, cfg.epochs, cfg.lr, cfg.seed);
+        self.threshold = calibrate(self, samples, final_scores, cfg);
+    }
+
+    fn score(&mut self, sample: &DesignSample) -> f64 {
+        let x = self.features(sample);
+        self.mlp.predict(&x) as f64
+    }
+
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+/// Which reward statistic a heuristic thresholds on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeuristicKind {
+    /// Maximum reward over the early phase.
+    Max,
+    /// Reward of the final early-phase episode.
+    Last,
+}
+
+/// "Heuristic Max" / "Heuristic Last": no learning, just the FNR-0
+/// threshold on a raw curve statistic.
+#[derive(Clone)]
+pub struct HeuristicClassifier {
+    kind: HeuristicKind,
+    threshold: f64,
+}
+
+impl HeuristicClassifier {
+    /// Creates an unfitted heuristic.
+    pub fn new(kind: HeuristicKind) -> Self {
+        Self { kind, threshold: f64::NEG_INFINITY }
+    }
+}
+
+impl Classifier for HeuristicClassifier {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            HeuristicKind::Max => "Heuristic Max",
+            HeuristicKind::Last => "Heuristic Last",
+        }
+    }
+
+    fn fit(&mut self, samples: &[DesignSample], final_scores: &[f64], cfg: &FitConfig) {
+        self.threshold = calibrate(self, samples, final_scores, cfg);
+    }
+
+    fn score(&mut self, sample: &DesignSample) -> f64 {
+        match self.kind {
+            HeuristicKind::Max => {
+                sample.reward_curve.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            }
+            HeuristicKind::Last => sample.reward_curve.last().copied().unwrap_or(0.0),
+        }
+    }
+
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic pool: quality q in [0,1]; reward curve ramps toward q with
+    /// noise; good designs carry a telltale token for the text methods.
+    pub(crate) fn synthetic_pool(n: usize, seed: u64) -> (Vec<DesignSample>, Vec<f64>) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut samples = Vec::new();
+        let mut finals = Vec::new();
+        for _ in 0..n {
+            let q: f64 = rng.gen();
+            let len = rng.gen_range(40..80);
+            let curve: Vec<f64> = (0..len)
+                .map(|t| {
+                    let progress = t as f64 / len as f64;
+                    q * progress * 3.0 + 0.3 * rng.gen::<f64>()
+                })
+                .collect();
+            let motif = if q > 0.7 { "trend(buffer_history_s)" } else { "throughput_mbps" };
+            samples.push(DesignSample {
+                reward_curve: curve,
+                code: format!("state s {{ feature f = {motif} / 10.0; }}"),
+            });
+            finals.push(q + 0.05 * rng.gen::<f64>());
+        }
+        (samples, finals)
+    }
+
+    #[test]
+    fn reward_only_achieves_zero_train_fnr_and_positive_tnr() {
+        let (samples, finals) = synthetic_pool(150, 1);
+        let cfg = FitConfig { top_fraction: 0.05, ..Default::default() };
+        let mut clf = RewardCnnClassifier::new(&cfg);
+        clf.fit(&samples, &finals, &cfg);
+        let labels = top_fraction_labels(&finals, cfg.top_fraction);
+        let mut c = crate::metrics::ConfusionCounts::default();
+        for (s, l) in samples.iter().zip(&labels) {
+            c.record(clf.keep(s), *l);
+        }
+        assert_eq!(c.false_negative_rate(), 0.0, "train FNR must be 0 by construction");
+        assert!(c.true_negative_rate() > 0.3, "TNR {} too low", c.true_negative_rate());
+    }
+
+    #[test]
+    fn heuristic_max_scores_the_peak() {
+        let mut h = HeuristicClassifier::new(HeuristicKind::Max);
+        let s = DesignSample { reward_curve: vec![0.1, 5.0, 2.0], code: String::new() };
+        assert_eq!(h.score(&s), 5.0);
+    }
+
+    #[test]
+    fn heuristic_last_scores_the_tail() {
+        let mut h = HeuristicClassifier::new(HeuristicKind::Last);
+        let s = DesignSample { reward_curve: vec![0.1, 5.0, 2.0], code: String::new() };
+        assert_eq!(h.score(&s), 2.0);
+    }
+
+    #[test]
+    fn all_methods_build_and_fit() {
+        let (samples, finals) = synthetic_pool(80, 2);
+        let cfg = FitConfig { top_fraction: 0.05, epochs: 8, ..Default::default() };
+        for method in EarlyStopMethod::ALL {
+            let mut clf = method.build(&cfg);
+            clf.fit(&samples, &finals, &cfg);
+            let score = clf.score(&samples[0]);
+            assert!(score.is_finite(), "{} produced non-finite score", method.label());
+            assert!(clf.threshold().is_finite() || clf.threshold() == f64::NEG_INFINITY);
+        }
+    }
+
+    #[test]
+    fn text_only_picks_up_motif_correlation() {
+        let (samples, finals) = synthetic_pool(200, 3);
+        let cfg = FitConfig { top_fraction: 0.05, epochs: 60, ..Default::default() };
+        let mut clf = TextOnlyClassifier::new(&cfg);
+        clf.fit(&samples, &finals, &cfg);
+        // Score of a known-good motif vs a known-weak one.
+        let good = DesignSample {
+            reward_curve: vec![0.0],
+            code: "state s { feature f = trend(buffer_history_s) / 10.0; }".into(),
+        };
+        let bad = DesignSample {
+            reward_curve: vec![0.0],
+            code: "state s { feature f = throughput_mbps / 10.0; }".into(),
+        };
+        assert!(
+            clf.score(&good) > clf.score(&bad),
+            "text classifier failed to associate the good motif"
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! §3.4's cross-validation protocol and the Figure 5 comparison driver.
+//!
+//! "We first collect 2000 algorithm designs … and conduct a five-fold cross
+//! validation. In each fold, 20% of the designs, or 400 samples, are used
+//! for training." Note the inversion relative to usual k-fold: each fold
+//! *trains* on one part and *tests* on the other four.
+
+use crate::classifiers::{DesignSample, EarlyStopMethod, FitConfig};
+use crate::labels::top_fraction_labels;
+use crate::metrics::ConfusionCounts;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, SeedableRng};
+
+/// Cross-validation settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossValConfig {
+    /// Number of folds (paper: 5).
+    pub folds: usize,
+    /// Per-method fit settings.
+    pub fit: FitConfig,
+}
+
+impl Default for CrossValConfig {
+    fn default() -> Self {
+        Self { folds: 5, fit: FitConfig::default() }
+    }
+}
+
+/// One Figure 5 row: a method's held-out error/savings rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodReport {
+    /// Method display name.
+    pub method: String,
+    /// Held-out false-negative rate (top designs lost).
+    pub fnr: f64,
+    /// Held-out true-negative rate (suboptimal designs stopped).
+    pub tnr: f64,
+    /// Fraction of all designs early-stopped.
+    pub savings: f64,
+}
+
+/// Runs the full §3.4 comparison: for each method, k-fold train/test with
+/// confusion counts pooled across folds.
+pub fn evaluate_methods(
+    samples: &[DesignSample],
+    final_scores: &[f64],
+    methods: &[EarlyStopMethod],
+    cfg: &CrossValConfig,
+) -> Vec<MethodReport> {
+    assert_eq!(samples.len(), final_scores.len(), "sample/score count mismatch");
+    assert!(samples.len() >= cfg.folds * 2, "not enough samples for {} folds", cfg.folds);
+
+    // Ground truth is a global property of the design pool.
+    let truth = top_fraction_labels(final_scores, cfg.fit.top_fraction);
+
+    // Deterministic shuffled fold assignment.
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    let mut rng = StdRng::seed_from_u64(cfg.fit.seed ^ 0xC505_5A11_0000_0010);
+    order.shuffle(&mut rng);
+    let fold_of = |pos: usize| pos % cfg.folds;
+
+    methods
+        .iter()
+        .map(|method| {
+            let mut counts = ConfusionCounts::default();
+            for fold in 0..cfg.folds {
+                let train_idx: Vec<usize> = order
+                    .iter()
+                    .enumerate()
+                    .filter(|(pos, _)| fold_of(*pos) == fold)
+                    .map(|(_, &i)| i)
+                    .collect();
+                let test_idx: Vec<usize> = order
+                    .iter()
+                    .enumerate()
+                    .filter(|(pos, _)| fold_of(*pos) != fold)
+                    .map(|(_, &i)| i)
+                    .collect();
+
+                let train_samples: Vec<DesignSample> =
+                    train_idx.iter().map(|&i| samples[i].clone()).collect();
+                let train_finals: Vec<f64> =
+                    train_idx.iter().map(|&i| final_scores[i]).collect();
+
+                let mut fit_cfg = cfg.fit;
+                fit_cfg.seed = cfg.fit.seed.wrapping_add(fold as u64);
+                let mut clf = method.build(&fit_cfg);
+                clf.fit(&train_samples, &train_finals, &fit_cfg);
+
+                for &i in &test_idx {
+                    counts.record(clf.keep(&samples[i]), truth[i]);
+                }
+            }
+            MethodReport {
+                method: method.label().to_string(),
+                fnr: counts.false_negative_rate(),
+                tnr: counts.true_negative_rate(),
+                savings: counts.savings_fraction(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Synthetic pool mirroring the classifier unit tests: curve shape and
+    /// a code motif both correlate with final score.
+    fn pool(n: usize, seed: u64) -> (Vec<DesignSample>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut samples = Vec::new();
+        let mut finals = Vec::new();
+        for _ in 0..n {
+            let q: f64 = rng.gen();
+            let len = rng.gen_range(40..80);
+            let curve: Vec<f64> = (0..len)
+                .map(|t| q * 3.0 * (t as f64 / len as f64) + 0.3 * rng.gen::<f64>())
+                .collect();
+            let motif =
+                if q > 0.7 { "trend(buffer_history_s)" } else { "throughput_mbps" };
+            samples.push(DesignSample {
+                reward_curve: curve,
+                code: format!("state s {{ feature f = {motif} / 10.0; }}"),
+            });
+            finals.push(q);
+        }
+        (samples, finals)
+    }
+
+    #[test]
+    fn produces_one_report_per_method() {
+        let (samples, finals) = pool(120, 1);
+        let cfg = CrossValConfig {
+            folds: 3,
+            fit: FitConfig { top_fraction: 0.05, epochs: 10, ..Default::default() },
+        };
+        let reports =
+            evaluate_methods(&samples, &finals, &EarlyStopMethod::ALL, &cfg);
+        assert_eq!(reports.len(), 5);
+        for r in &reports {
+            assert!((0.0..=1.0).contains(&r.fnr), "{}: fnr {}", r.method, r.fnr);
+            assert!((0.0..=1.0).contains(&r.tnr), "{}: tnr {}", r.method, r.tnr);
+        }
+    }
+
+    #[test]
+    fn reward_only_stops_most_suboptimal_designs() {
+        let (samples, finals) = pool(200, 2);
+        let cfg = CrossValConfig {
+            folds: 4,
+            fit: FitConfig { top_fraction: 0.05, epochs: 30, ..Default::default() },
+        };
+        let reports = evaluate_methods(
+            &samples,
+            &finals,
+            &[EarlyStopMethod::RewardOnly],
+            &cfg,
+        );
+        let r = &reports[0];
+        assert!(r.tnr > 0.4, "Reward Only TNR {} too low on separable data", r.tnr);
+        assert!(r.fnr < 0.6, "Reward Only FNR {} too high", r.fnr);
+    }
+
+    #[test]
+    fn heuristics_are_cheap_but_work_on_separable_data() {
+        let (samples, finals) = pool(150, 3);
+        let cfg = CrossValConfig {
+            folds: 3,
+            fit: FitConfig { top_fraction: 0.05, epochs: 1, ..Default::default() },
+        };
+        let reports = evaluate_methods(
+            &samples,
+            &finals,
+            &[EarlyStopMethod::HeuristicMax, EarlyStopMethod::HeuristicLast],
+            &cfg,
+        );
+        for r in &reports {
+            assert!(r.tnr > 0.1, "{} TNR {} too low", r.method, r.tnr);
+        }
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let (samples, finals) = pool(100, 4);
+        let cfg = CrossValConfig {
+            folds: 3,
+            fit: FitConfig { top_fraction: 0.05, epochs: 5, ..Default::default() },
+        };
+        let a = evaluate_methods(&samples, &finals, &[EarlyStopMethod::RewardOnly], &cfg);
+        let b = evaluate_methods(&samples, &finals, &[EarlyStopMethod::RewardOnly], &cfg);
+        assert_eq!(a, b);
+    }
+}

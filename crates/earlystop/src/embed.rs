@@ -1,0 +1,82 @@
+//! Code embedding: a hashed bag-of-tokens stand-in for
+//! `text-embedding-ada-002` (the paper's "Text Only" feature source).
+//!
+//! The embedding must capture *which constructs* a design uses (functions,
+//! inputs, constants) so a classifier can correlate motifs with outcomes.
+//! A hashed bag-of-tokens with L2 normalization does exactly that while
+//! remaining deterministic and dependency-free.
+
+/// Dimensionality of the hashed embedding.
+pub const EMBED_DIM: usize = 64;
+
+/// Embeds a code block into a fixed-size, L2-normalized vector.
+pub fn embed_code(code: &str) -> Vec<f32> {
+    let mut v = vec![0.0f32; EMBED_DIM];
+    for token in tokenize(code) {
+        let h = fnv1a(token.as_bytes());
+        let idx = (h % EMBED_DIM as u64) as usize;
+        // Sign from an independent bit decorrelates colliding tokens.
+        let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+        v[idx] += sign;
+    }
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        v.iter_mut().for_each(|x| *x /= norm);
+    }
+    v
+}
+
+/// Splits code into identifier/number tokens (punctuation is structural
+/// noise for this purpose).
+fn tokenize(code: &str) -> impl Iterator<Item = String> + '_ {
+    code.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '.'))
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_string())
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedding_is_deterministic_and_normalized() {
+        let a = embed_code("state s { feature f = ema(throughput_mbps, 0.5); }");
+        let b = embed_code("state s { feature f = ema(throughput_mbps, 0.5); }");
+        assert_eq!(a, b);
+        let norm: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn different_motifs_embed_differently() {
+        let a = embed_code("feature f = ema(throughput_mbps, 0.5);");
+        let b = embed_code("feature f = trend(buffer_history_s);");
+        let dot: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!(dot < 0.99, "distinct code should not embed identically (dot {dot})");
+    }
+
+    #[test]
+    fn similar_code_embeds_similarly() {
+        let a = embed_code("feature f = ema(throughput_mbps, 0.5) / 8.0;");
+        let b = embed_code("feature g = ema(throughput_mbps, 0.5) / 4.0;");
+        let c = embed_code("network n { temporal lstm(units=64); }");
+        let dot_ab: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let dot_ac: f32 = a.iter().zip(&c).map(|(x, y)| x * y).sum();
+        assert!(dot_ab > dot_ac, "related code should be closer ({dot_ab} vs {dot_ac})");
+    }
+
+    #[test]
+    fn empty_code_embeds_to_zero() {
+        let v = embed_code("");
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+}

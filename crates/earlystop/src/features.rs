@@ -1,0 +1,99 @@
+//! Reward-curve preprocessing: resampling and per-curve standardization.
+
+/// Linearly resamples `curve` to exactly `len` points. Shorter curves are
+/// interpolated, longer ones are decimated; a single-point curve is
+/// broadcast.
+pub fn resample(curve: &[f64], len: usize) -> Vec<f32> {
+    assert!(len >= 1, "target length must be positive");
+    assert!(!curve.is_empty(), "cannot resample an empty curve");
+    if curve.len() == 1 {
+        return vec![curve[0] as f32; len];
+    }
+    let scale = (curve.len() - 1) as f64 / (len - 1).max(1) as f64;
+    (0..len)
+        .map(|i| {
+            let x = i as f64 * scale;
+            let lo = x.floor() as usize;
+            let hi = (lo + 1).min(curve.len() - 1);
+            let frac = x - lo as f64;
+            (curve[lo] * (1.0 - frac) + curve[hi] * frac) as f32
+        })
+        .collect()
+}
+
+/// Per-curve standardization: subtract the mean, divide by the standard
+/// deviation (guarded). Training-reward scales differ by orders of
+/// magnitude across datasets (FCC ≈ 1 vs 5G ≈ 28), so per-curve
+/// standardization lets one classifier serve all environments — what lets
+/// the paper pool 2 000 designs from four trace sets.
+pub fn standardize(curve: &mut [f32]) {
+    let n = curve.len() as f32;
+    let mean: f32 = curve.iter().sum::<f32>() / n;
+    let var: f32 = curve.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+    let std = var.sqrt().max(1e-6);
+    for x in curve.iter_mut() {
+        *x = (*x - mean) / std;
+    }
+}
+
+/// Full preprocessing: resample to `len`, then standardize.
+pub fn preprocess(curve: &[f64], len: usize) -> Vec<f32> {
+    let mut out = resample(curve, len);
+    standardize(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resample_preserves_endpoints() {
+        let out = resample(&[1.0, 2.0, 3.0], 5);
+        assert_eq!(out.len(), 5);
+        assert!((out[0] - 1.0).abs() < 1e-6);
+        assert!((out[4] - 3.0).abs() < 1e-6);
+        assert!((out[2] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn resample_decimates_long_curves() {
+        let long: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let out = resample(&long, 10);
+        assert_eq!(out.len(), 10);
+        assert!(out.windows(2).all(|w| w[1] > w[0]), "monotonicity preserved");
+    }
+
+    #[test]
+    fn single_point_broadcasts() {
+        assert_eq!(resample(&[7.0], 4), vec![7.0f32; 4]);
+    }
+
+    #[test]
+    fn standardize_zeroes_mean_and_units_std() {
+        let mut xs = vec![1.0f32, 2.0, 3.0, 4.0];
+        standardize(&mut xs);
+        let mean: f32 = xs.iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6);
+        let var: f32 = xs.iter().map(|x| x * x).sum::<f32>() / 4.0;
+        assert!((var - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn standardize_is_scale_invariant() {
+        let mut a = vec![1.0f32, 2.0, 3.0];
+        let mut b = vec![100.0f32, 200.0, 300.0];
+        standardize(&mut a);
+        standardize(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-5, "pattern should survive scaling");
+        }
+    }
+
+    #[test]
+    fn flat_curve_does_not_blow_up() {
+        let mut xs = vec![5.0f32; 8];
+        standardize(&mut xs);
+        assert!(xs.iter().all(|x| x.is_finite()));
+    }
+}

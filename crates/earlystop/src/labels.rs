@@ -1,0 +1,69 @@
+//! Ground-truth labeling and the paper's label-smoothing trick.
+
+/// Marks the top `fraction` of `scores` as positive (at least one design is
+/// always positive). Ties at the cutoff are broken by index order to keep
+/// the labeling deterministic.
+pub fn top_fraction_labels(scores: &[f64], fraction: f64) -> Vec<bool> {
+    assert!(!scores.is_empty(), "cannot label an empty score set");
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    let n_pos = ((scores.len() as f64 * fraction).ceil() as usize).clamp(1, scores.len());
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).expect("scores must be finite").then(a.cmp(&b))
+    });
+    let mut labels = vec![false; scores.len()];
+    for &i in order.iter().take(n_pos) {
+        labels[i] = true;
+    }
+    labels
+}
+
+/// The paper's smoothing: *training* targets mark the top `smooth_fraction`
+/// (20 %) positive instead of the top `top_fraction` (1 %). Returned as
+/// soft targets in `[0, 1]` for logistic training.
+pub fn smoothed_labels(scores: &[f64], smooth_fraction: f64) -> Vec<f32> {
+    top_fraction_labels(scores, smooth_fraction)
+        .into_iter()
+        .map(|b| if b { 1.0 } else { 0.0 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_one_percent_of_200_is_two() {
+        let scores: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let labels = top_fraction_labels(&scores, 0.01);
+        assert_eq!(labels.iter().filter(|&&b| b).count(), 2);
+        assert!(labels[199] && labels[198]);
+        assert!(!labels[0]);
+    }
+
+    #[test]
+    fn at_least_one_positive() {
+        let labels = top_fraction_labels(&[5.0, 1.0, 3.0], 0.0001);
+        assert_eq!(labels, vec![true, false, false]);
+    }
+
+    #[test]
+    fn smoothing_expands_the_positive_class() {
+        let scores: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let hard = top_fraction_labels(&scores, 0.01);
+        let soft = smoothed_labels(&scores, 0.20);
+        let hard_pos = hard.iter().filter(|&&b| b).count();
+        let soft_pos = soft.iter().filter(|&&s| s > 0.5).count();
+        assert_eq!(hard_pos, 1);
+        assert_eq!(soft_pos, 20);
+    }
+
+    #[test]
+    fn ties_are_deterministic() {
+        let scores = vec![1.0, 1.0, 1.0, 1.0];
+        let a = top_fraction_labels(&scores, 0.5);
+        let b = top_fraction_labels(&scores, 0.5);
+        assert_eq!(a, b);
+        assert_eq!(a.iter().filter(|&&x| x).count(), 2);
+    }
+}

@@ -1,0 +1,40 @@
+//! Early-stopping subsystem for the NADA reproduction (paper §2.2, §3.4).
+//!
+//! Training every LLM-generated design to convergence is the dominant cost
+//! of the pipeline. NADA trains a binary classifier that looks at the first
+//! `K` episodes of a design's training-reward curve and predicts whether the
+//! design can rank among the top performers; designs predicted unpromising
+//! are stopped early.
+//!
+//! The paper's protocol, reproduced here:
+//!
+//! 1. ground truth: designs in the **top 1 %** of final scores are positive;
+//! 2. **label smoothing**: the classifier is *trained* with the top 20 %
+//!    marked positive to fight the 1:99 class imbalance;
+//! 3. **threshold calibration**: revert to top-1 % labels and raise the
+//!    decision threshold until the training set has a **0 % false-negative
+//!    rate**, maximizing the true-negative rate subject to that;
+//! 4. evaluation by k-fold cross-validation where each fold *trains* on
+//!    20 % and tests on the remaining 80 % (§3.4).
+//!
+//! Five methods are compared, as in Figure 5: a reward-curve 1D-CNN
+//! ("Reward Only" — the paper's winner), a code-embedding classifier
+//! ("Text Only"), their combination ("Text + Reward"), and two heuristics
+//! ("Heuristic Max", "Heuristic Last").
+
+pub mod classifiers;
+pub mod crossval;
+pub mod embed;
+pub mod features;
+pub mod labels;
+pub mod metrics;
+pub mod threshold;
+
+pub use classifiers::{
+    CombinedClassifier, DesignSample, EarlyStopMethod, HeuristicKind, HeuristicClassifier,
+    RewardCnnClassifier, TextOnlyClassifier,
+};
+pub use crossval::{evaluate_methods, CrossValConfig, MethodReport};
+pub use labels::{smoothed_labels, top_fraction_labels};
+pub use metrics::ConfusionCounts;
+pub use threshold::calibrate_fnr0;

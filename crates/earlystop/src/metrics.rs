@@ -1,0 +1,98 @@
+//! Confusion-matrix metrics as defined in §3.4.
+//!
+//! * **false negative rate** — fraction of top-performing designs
+//!   incorrectly rejected (early-stopped);
+//! * **true negative rate** — fraction of suboptimal designs correctly
+//!   stopped early.
+
+/// Confusion counts for the "promising" (positive) class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionCounts {
+    /// Promising designs kept (correct).
+    pub tp: usize,
+    /// Promising designs early-stopped (the costly mistake).
+    pub fn_: usize,
+    /// Unpromising designs early-stopped (the savings).
+    pub tn: usize,
+    /// Unpromising designs kept (wasted training).
+    pub fp: usize,
+}
+
+impl ConfusionCounts {
+    /// Accumulates one (prediction, truth) pair. `predicted_promising`
+    /// means the design is *kept* (not early-stopped).
+    pub fn record(&mut self, predicted_promising: bool, actually_top: bool) {
+        match (predicted_promising, actually_top) {
+            (true, true) => self.tp += 1,
+            (false, true) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+            (true, false) => self.fp += 1,
+        }
+    }
+
+    /// Fraction of top designs incorrectly rejected; 0 when there are no
+    /// positives.
+    pub fn false_negative_rate(&self) -> f64 {
+        let pos = self.tp + self.fn_;
+        if pos == 0 {
+            0.0
+        } else {
+            self.fn_ as f64 / pos as f64
+        }
+    }
+
+    /// Fraction of suboptimal designs correctly stopped; 0 when there are
+    /// no negatives.
+    pub fn true_negative_rate(&self) -> f64 {
+        let neg = self.tn + self.fp;
+        if neg == 0 {
+            0.0
+        } else {
+            self.tn as f64 / neg as f64
+        }
+    }
+
+    /// Fraction of all designs early-stopped — the compute saved.
+    pub fn savings_fraction(&self) -> f64 {
+        let total = self.tp + self.fn_ + self.tn + self.fp;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tn + self.fn_) as f64 / total as f64
+        }
+    }
+
+    /// Total evaluated designs.
+    pub fn total(&self) -> usize {
+        self.tp + self.fn_ + self.tn + self.fp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_match_hand_arithmetic() {
+        let mut c = ConfusionCounts::default();
+        // 2 positives: one kept, one lost. 8 negatives: 7 stopped, 1 kept.
+        c.record(true, true);
+        c.record(false, true);
+        for _ in 0..7 {
+            c.record(false, false);
+        }
+        c.record(true, false);
+        assert!((c.false_negative_rate() - 0.5).abs() < 1e-12);
+        assert!((c.true_negative_rate() - 0.875).abs() < 1e-12);
+        assert!((c.savings_fraction() - 0.8).abs() < 1e-12);
+        assert_eq!(c.total(), 10);
+    }
+
+    #[test]
+    fn empty_counts_do_not_divide_by_zero() {
+        let c = ConfusionCounts::default();
+        assert_eq!(c.false_negative_rate(), 0.0);
+        assert_eq!(c.true_negative_rate(), 0.0);
+        assert_eq!(c.savings_fraction(), 0.0);
+    }
+}

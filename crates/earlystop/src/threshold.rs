@@ -1,0 +1,70 @@
+//! FNR-0 threshold calibration (paper §2.2).
+//!
+//! "Since overlooking a performant design has a worse impact than
+//! unnecessarily evaluating a suboptimal design, the threshold is increased
+//! to maximize the true negative rate … while maintaining a 0 % false
+//! negative rate." With scores where higher = more promising, the largest
+//! threshold with zero training false negatives is just below the lowest
+//! positive score.
+
+/// Returns the decision threshold: designs with `score >= threshold` are
+/// kept. Guarantees zero false negatives on `(scores, labels)` while
+/// stopping as many negatives as possible.
+///
+/// # Panics
+/// Panics if inputs are empty, lengths differ, or no positive labels exist.
+pub fn calibrate_fnr0(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "score/label length mismatch");
+    assert!(!scores.is_empty(), "cannot calibrate on an empty set");
+    let min_pos = scores
+        .iter()
+        .zip(labels)
+        .filter(|(_, &l)| l)
+        .map(|(&s, _)| s)
+        .fold(f64::INFINITY, f64::min);
+    assert!(min_pos.is_finite(), "calibration requires at least one positive design");
+    // Nudge below the lowest positive so `>=` keeps it despite float noise.
+    min_pos - 1e-9 * (1.0 + min_pos.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ConfusionCounts;
+
+    #[test]
+    fn zero_false_negatives_on_training_set() {
+        let scores = vec![0.1, 0.9, 0.4, 0.95, 0.2, 0.5];
+        let labels = vec![false, true, false, true, false, false];
+        let thr = calibrate_fnr0(&scores, &labels);
+        let mut c = ConfusionCounts::default();
+        for (s, l) in scores.iter().zip(&labels) {
+            c.record(*s >= thr, *l);
+        }
+        assert_eq!(c.false_negative_rate(), 0.0);
+        // Everything below 0.9 is stopped: 4 of 4 negatives.
+        assert_eq!(c.true_negative_rate(), 1.0);
+    }
+
+    #[test]
+    fn overlapping_scores_sacrifice_tnr_not_fnr() {
+        // A negative scores above the weakest positive: it must be kept
+        // (hurting TNR) so that no positive is lost.
+        let scores = vec![0.3, 0.8, 0.5];
+        let labels = vec![true, false, false];
+        let thr = calibrate_fnr0(&scores, &labels);
+        assert!(thr <= 0.3);
+        let mut c = ConfusionCounts::default();
+        for (s, l) in scores.iter().zip(&labels) {
+            c.record(*s >= thr, *l);
+        }
+        assert_eq!(c.false_negative_rate(), 0.0);
+        assert_eq!(c.true_negative_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one positive")]
+    fn requires_a_positive() {
+        let _ = calibrate_fnr0(&[0.1, 0.2], &[false, false]);
+    }
+}

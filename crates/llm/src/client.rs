@@ -1,0 +1,61 @@
+//! The provider-agnostic LLM interface.
+
+use crate::prompt::Prompt;
+
+/// Which of Pensieve's two components a design targets (paper §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum DesignKind {
+    /// RL state representation code block.
+    State,
+    /// Actor-critic neural-network architecture code block.
+    Architecture,
+}
+
+impl DesignKind {
+    /// Display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DesignKind::State => "state",
+            DesignKind::Architecture => "architecture",
+        }
+    }
+}
+
+/// One model response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// The generated code block (DSL source).
+    pub code: String,
+    /// Free-text "reasoning" preceding the code (present when the prompt
+    /// requested chain-of-thought; mirrors the paper's CoT strategy of
+    /// generating ideas in natural language before code).
+    pub reasoning: Option<String>,
+}
+
+/// A source of design code blocks. Implemented by [`crate::mock::MockLlm`]
+/// and [`crate::replay::ReplayClient`]; a production HTTP client would
+/// implement the same trait.
+pub trait LlmClient {
+    /// The model identifier (e.g. `"gpt-3.5"`), used in reports.
+    fn model_name(&self) -> &str;
+
+    /// Generates one design for the given prompt.
+    fn generate(&mut self, prompt: &Prompt) -> Completion;
+
+    /// Generates a batch of `n` designs (candidate pools in the paper are
+    /// 3 000 designs per model).
+    fn generate_batch(&mut self, prompt: &Prompt, n: usize) -> Vec<Completion> {
+        (0..n).map(|_| self.generate(prompt)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_kind_names() {
+        assert_eq!(DesignKind::State.name(), "state");
+        assert_eq!(DesignKind::Architecture.name(), "architecture");
+    }
+}

@@ -1,0 +1,172 @@
+//! Architecture-design mutation engine.
+//!
+//! Motifs follow the paper's §4 summary of discovered architectures: wider
+//! hidden layers with Leaky ReLU (FCC), an RNN replacing the 1-D CNN
+//! (Starlink), an LSTM (4G), and shared hidden layers with separate output
+//! heads (5G), plus filter/kernel/width jitter.
+
+use nada_dsl::ast::{ArchProgram, LayerSpec};
+use nada_dsl::parser::parse_arch;
+use nada_dsl::pretty::print_arch;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng};
+
+/// Applies `n_mutations` random architecture mutations to the seed code
+/// block. Returns the new source and mutation descriptions.
+pub fn generate(rng: &mut StdRng, seed_code: &str, n_mutations: usize) -> (String, Vec<String>) {
+    let Ok(mut program) = parse_arch(seed_code) else {
+        return (seed_code.to_string(), vec!["echoed unparseable seed".into()]);
+    };
+    program.name = format!("{}_v{}", program.name, rng.gen_range(1000..10_000));
+
+    let mut applied = Vec::new();
+    for _ in 0..n_mutations {
+        applied.push(mutate(rng, &mut program));
+    }
+    (print_arch(&program), applied)
+}
+
+fn mutate(rng: &mut StdRng, p: &mut ArchProgram) -> String {
+    match rng.gen_range(0..8) {
+        0 => {
+            let filters = *[16usize, 32, 64, 128, 256].choose(rng).expect("non-empty");
+            let kernel = rng.gen_range(2..=5);
+            p.temporal = layer(
+                "conv1d",
+                vec![("filters", filters as f64), ("kernel", kernel as f64)],
+                Some(random_activation(rng)),
+            );
+            format!("use a {filters}-filter kernel-{kernel} 1D CNN for temporal inputs")
+        }
+        1 => {
+            let units = *[32usize, 64, 128].choose(rng).expect("non-empty");
+            p.temporal = layer("rnn", vec![("units", units as f64)], None);
+            format!("replace the 1D CNN with a {units}-unit RNN")
+        }
+        2 => {
+            let units = *[32usize, 64, 128].choose(rng).expect("non-empty");
+            p.temporal = layer("lstm", vec![("units", units as f64)], None);
+            format!("replace the 1D CNN with a {units}-unit LSTM")
+        }
+        3 => {
+            let units = *[32usize, 64, 128, 256].choose(rng).expect("non-empty");
+            p.scalar = layer("dense", vec![("units", units as f64)], Some(random_activation(rng)));
+            format!("resize scalar branches to {units} units")
+        }
+        4 => {
+            let units = *[64usize, 128, 256].choose(rng).expect("non-empty");
+            let act = random_activation(rng);
+            let depth = p.hidden.len();
+            p.hidden = (0..depth.max(1))
+                .map(|_| layer("dense", vec![("units", units as f64)], Some(act.clone())))
+                .collect();
+            format!("resize hidden layers to {units} units")
+        }
+        5 => {
+            if p.hidden.len() < 3 {
+                let template = p.hidden.last().cloned().unwrap_or_else(|| {
+                    layer("dense", vec![("units", 128.0)], Some(("relu".into(), vec![])))
+                });
+                p.hidden.push(template);
+                "deepen the hidden stack".into()
+            } else {
+                p.hidden.pop();
+                "shallow the hidden stack".into()
+            }
+        }
+        6 => {
+            let act = random_activation(rng);
+            let name = act.0.clone();
+            for h in &mut p.hidden {
+                h.activation = Some(act.clone());
+            }
+            if p.temporal.layer == "conv1d" || p.temporal.layer == "dense" {
+                p.temporal.activation = Some(act.clone());
+            }
+            p.scalar.activation = Some(act);
+            format!("switch activations to {name}")
+        }
+        _ => {
+            p.shared_heads = !p.shared_heads;
+            if p.shared_heads {
+                "share hidden layers between actor and critic with separate output heads".into()
+            } else {
+                "use fully separate actor and critic networks".into()
+            }
+        }
+    }
+}
+
+fn layer(
+    name: &str,
+    params: Vec<(&str, f64)>,
+    activation: Option<(String, Vec<(String, f64)>)>,
+) -> LayerSpec {
+    LayerSpec {
+        layer: name.to_string(),
+        params: params.into_iter().map(|(n, v)| (n.to_string(), v)).collect(),
+        activation,
+    }
+}
+
+fn random_activation(rng: &mut StdRng) -> (String, Vec<(String, f64)>) {
+    match rng.gen_range(0..4) {
+        0 => ("relu".into(), vec![]),
+        1 => {
+            let alpha = *[0.01, 0.05, 0.1, 0.2].choose(rng).expect("non-empty");
+            ("leaky_relu".into(), vec![("alpha".into(), alpha)])
+        }
+        2 => ("tanh".into(), vec![]),
+        _ => ("sigmoid".into(), vec![]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nada_dsl::compile_arch;
+    use nada_dsl::seeds::PENSIEVE_ARCH_SOURCE;
+    use nada_nn::BranchKind;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clean_mutations_always_compile() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..120 {
+            let (code, desc) = generate(&mut rng, PENSIEVE_ARCH_SOURCE, 1 + i % 4);
+            compile_arch(&code)
+                .unwrap_or_else(|e| panic!("mutation {desc:?} broke compile: {e}\n{code}"));
+        }
+    }
+
+    #[test]
+    fn all_paper_motifs_are_reachable() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (mut saw_rnn, mut saw_lstm, mut saw_shared, mut saw_leaky) =
+            (false, false, false, false);
+        for _ in 0..300 {
+            let (code, _) = generate(&mut rng, PENSIEVE_ARCH_SOURCE, 2);
+            if let Ok(cfg) = compile_arch(&code) {
+                saw_rnn |= matches!(cfg.temporal_branch, BranchKind::Rnn { .. });
+                saw_lstm |= matches!(cfg.temporal_branch, BranchKind::Lstm { .. });
+                saw_shared |= cfg.heads == nada_nn::HeadMode::Shared;
+                saw_leaky |= matches!(
+                    cfg.hidden_activation,
+                    nada_nn::Activation::LeakyRelu { .. }
+                );
+            }
+        }
+        assert!(saw_rnn, "RNN motif unreachable");
+        assert!(saw_lstm, "LSTM motif unreachable");
+        assert!(saw_shared, "shared-heads motif unreachable");
+        assert!(saw_leaky, "leaky-relu motif unreachable");
+    }
+
+    #[test]
+    fn mutations_are_diverse() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let distinct: std::collections::HashSet<String> =
+            (0..40).map(|_| generate(&mut rng, PENSIEVE_ARCH_SOURCE, 2).0).collect();
+        assert!(distinct.len() > 25, "only {} distinct archs", distinct.len());
+    }
+}

@@ -1,0 +1,108 @@
+//! Syntax/semantic defect injection.
+//!
+//! LLM-generated code frequently "fails to compile or execute" (paper §1).
+//! These corruptions reproduce the common failure classes: missing
+//! punctuation, misspelled identifiers, unbalanced parentheses, references
+//! to undefined names, and wrong arities. Every corruption yields code that
+//! the compilation check rejects.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Applies one random defect to `code`. The result is still a string — the
+/// point is that it *looks* like code but does not compile.
+pub fn corrupt(rng: &mut StdRng, code: &str) -> String {
+    match rng.gen_range(0..6) {
+        0 => drop_last_occurrence(code, ';'),
+        1 => misspell_word(code, rng),
+        2 => drop_last_occurrence(code, ')'),
+        3 => inject_undefined_reference(code),
+        4 => drop_last_occurrence(code, '}'),
+        _ => truncate_tail(code, rng),
+    }
+}
+
+fn drop_last_occurrence(code: &str, ch: char) -> String {
+    match code.rfind(ch) {
+        Some(idx) => {
+            let mut s = code.to_string();
+            s.remove(idx);
+            s
+        }
+        None => format!("{code} ("), // guarantee breakage either way
+    }
+}
+
+fn misspell_word(code: &str, rng: &mut StdRng) -> String {
+    const TARGETS: [(&str, &str); 6] = [
+        ("feature", "faeture"),
+        ("input", "inptu"),
+        ("ema", "emma"),
+        ("trend", "trnd"),
+        ("dense", "dnese"),
+        ("conv1d", "conv2d"),
+    ];
+    for (from, to) in TARGETS.iter().skip(rng.gen_range(0..TARGETS.len())) {
+        if code.contains(from) {
+            return code.replacen(from, to, 1);
+        }
+    }
+    // No target word present; break the header keyword instead.
+    code.replacen("state", "stte", 1).replacen("network", "ntwork", 1)
+}
+
+fn inject_undefined_reference(code: &str) -> String {
+    match code.rfind('}') {
+        Some(idx) => {
+            let mut s = code.to_string();
+            s.insert_str(idx, "  feature broken = undefined_signal / 2.0;\n");
+            s
+        }
+        None => format!("{code}\nfeature broken = undefined_signal;"),
+    }
+}
+
+fn truncate_tail(code: &str, rng: &mut StdRng) -> String {
+    let keep = code.len() * rng.gen_range(40..85) / 100;
+    code.chars().take(keep).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nada_dsl::seeds::{PENSIEVE_ARCH_SOURCE, PENSIEVE_STATE_SOURCE};
+    use nada_dsl::{compile_arch, compile_state};
+    use rand::SeedableRng;
+
+    #[test]
+    fn corrupted_states_never_compile() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let broken = corrupt(&mut rng, PENSIEVE_STATE_SOURCE);
+            assert!(
+                compile_state(&broken).is_err(),
+                "corruption produced compilable code:\n{broken}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_archs_never_compile() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let broken = corrupt(&mut rng, PENSIEVE_ARCH_SOURCE);
+            assert!(
+                compile_arch(&broken).is_err(),
+                "corruption produced compilable arch:\n{broken}"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_is_varied() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let distinct: std::collections::HashSet<String> =
+            (0..30).map(|_| corrupt(&mut rng, PENSIEVE_STATE_SOURCE)).collect();
+        assert!(distinct.len() > 4, "corruptions too uniform");
+    }
+}

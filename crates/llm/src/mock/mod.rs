@@ -1,0 +1,211 @@
+//! The mock LLM: a grammar-based design sampler.
+//!
+//! [`MockLlm`] stands in for GPT-3.5/GPT-4. Given a prompt carrying a seed
+//! code block, it parses the seed, applies a random number of *semantically
+//! valid* design mutations drawn from the motif families the paper reports
+//! (§4), and then — per the model's [`ModelProfile`] — optionally injects a
+//! normalization defect (state designs) or a syntax/semantic defect
+//! (both kinds), so the downstream filtering pipeline sees the same defect
+//! distribution as the paper's Table 2.
+//!
+//! Prompt strategies modulate the rates, powering the prompt-ablation
+//! bench: omitting the normalization request raises the unnormalized rate;
+//! stripping semantic names raises the defect rate; disabling
+//! chain-of-thought halves mutation diversity.
+
+pub mod arch_gen;
+pub mod corrupt;
+pub mod state_gen;
+
+use crate::client::{Completion, DesignKind, LlmClient};
+use crate::profile::ModelProfile;
+use crate::prompt::Prompt;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic, seedable stand-in for a code-generating LLM.
+#[derive(Debug, Clone)]
+pub struct MockLlm {
+    profile: ModelProfile,
+    rng: StdRng,
+}
+
+impl MockLlm {
+    /// Creates a mock with the given profile. Deterministic in `seed`.
+    pub fn new(profile: ModelProfile, seed: u64) -> Self {
+        Self { profile, rng: StdRng::seed_from_u64(seed ^ 0x11A4_0000_0000_000D) }
+    }
+
+    /// GPT-3.5-calibrated mock.
+    pub fn gpt35(seed: u64) -> Self {
+        Self::new(ModelProfile::gpt35(), seed)
+    }
+
+    /// GPT-4-calibrated mock.
+    pub fn gpt4(seed: u64) -> Self {
+        Self::new(ModelProfile::gpt4(), seed)
+    }
+
+    /// A defect-free mock (all generations compile and normalize).
+    pub fn perfect(seed: u64) -> Self {
+        Self::new(ModelProfile::perfect("perfect"), seed)
+    }
+
+    /// The active profile.
+    pub fn profile(&self) -> &ModelProfile {
+        &self.profile
+    }
+
+    /// Effective rates after applying the prompt's strategy toggles.
+    fn effective_rates(&self, prompt: &Prompt) -> (f64, f64, f64) {
+        let mut defect = self.profile.defect_rate;
+        let mut unnorm = self.profile.unnormalized_rate;
+        let mut mutations = self.profile.mean_mutations;
+        if !prompt.options.semantic_renaming {
+            defect = (defect * 1.25).min(0.95);
+        }
+        if !prompt.options.request_normalization {
+            unnorm = (unnorm * 2.5).min(0.95);
+        }
+        if !prompt.options.chain_of_thought {
+            mutations *= 0.5;
+        }
+        (defect, unnorm, mutations)
+    }
+}
+
+impl LlmClient for MockLlm {
+    fn model_name(&self) -> &str {
+        &self.profile.name
+    }
+
+    fn generate(&mut self, prompt: &Prompt) -> Completion {
+        let (defect_rate, unnorm_rate, mean_mutations) = self.effective_rates(prompt);
+        let n_mutations = 1 + poisson(&mut self.rng, mean_mutations);
+        let (mut code, descriptions) = match prompt.kind {
+            DesignKind::State => {
+                let denormalize = self.rng.gen_bool(unnorm_rate);
+                state_gen::generate(&mut self.rng, &prompt.seed_code, n_mutations, denormalize)
+            }
+            DesignKind::Architecture => {
+                arch_gen::generate(&mut self.rng, &prompt.seed_code, n_mutations)
+            }
+        };
+        if self.rng.gen_bool(defect_rate) {
+            code = corrupt::corrupt(&mut self.rng, &code);
+        }
+        let reasoning = prompt.options.chain_of_thought.then(|| {
+            format!(
+                "Analyzed the existing design. Considered ideas: {}. Selected the combination \
+                 above as most promising for the target environment.",
+                descriptions.join("; ")
+            )
+        });
+        Completion { code, reasoning }
+    }
+}
+
+/// Small-λ Poisson sampler (inverse-CDF; λ ≤ ~10 in practice).
+fn poisson(rng: &mut StdRng, lambda: f64) -> usize {
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l || k > 64 {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nada_dsl::seeds::{PENSIEVE_ARCH_SOURCE, PENSIEVE_STATE_SOURCE};
+    use nada_dsl::{compile_arch, compile_state};
+
+    #[test]
+    fn perfect_mock_always_compiles() {
+        let mut llm = MockLlm::perfect(1);
+        let prompt = Prompt::state(PENSIEVE_STATE_SOURCE);
+        for c in llm.generate_batch(&prompt, 50) {
+            compile_state(&c.code)
+                .unwrap_or_else(|e| panic!("perfect mock emitted broken code: {e}\n{}", c.code));
+        }
+    }
+
+    #[test]
+    fn perfect_mock_arch_always_compiles() {
+        let mut llm = MockLlm::perfect(2);
+        let prompt = Prompt::architecture(PENSIEVE_ARCH_SOURCE);
+        for c in llm.generate_batch(&prompt, 50) {
+            compile_arch(&c.code)
+                .unwrap_or_else(|e| panic!("perfect mock emitted broken arch: {e}\n{}", c.code));
+        }
+    }
+
+    #[test]
+    fn generations_are_diverse() {
+        let mut llm = MockLlm::perfect(3);
+        let prompt = Prompt::state(PENSIEVE_STATE_SOURCE);
+        let batch = llm.generate_batch(&prompt, 30);
+        let distinct: std::collections::HashSet<&str> =
+            batch.iter().map(|c| c.code.as_str()).collect();
+        assert!(distinct.len() > 20, "only {} distinct designs in 30", distinct.len());
+    }
+
+    #[test]
+    fn gpt35_compile_rate_tracks_table2() {
+        let mut llm = MockLlm::gpt35(4);
+        let prompt = Prompt::state(PENSIEVE_STATE_SOURCE);
+        let n = 600;
+        let ok = llm
+            .generate_batch(&prompt, n)
+            .iter()
+            .filter(|c| compile_state(&c.code).is_ok())
+            .count();
+        let rate = ok as f64 / n as f64;
+        assert!((rate - 0.412).abs() < 0.08, "compile rate {rate} vs paper 0.412");
+    }
+
+    #[test]
+    fn gpt4_beats_gpt35_on_compile_rate() {
+        let prompt = Prompt::state(PENSIEVE_STATE_SOURCE);
+        let rate = |mut llm: MockLlm| {
+            let n = 400;
+            llm.generate_batch(&prompt, n)
+                .iter()
+                .filter(|c| compile_state(&c.code).is_ok())
+                .count() as f64
+                / n as f64
+        };
+        assert!(rate(MockLlm::gpt4(5)) > rate(MockLlm::gpt35(5)) + 0.1);
+    }
+
+    #[test]
+    fn cot_prompt_yields_reasoning() {
+        let mut llm = MockLlm::perfect(6);
+        let mut prompt = Prompt::state(PENSIEVE_STATE_SOURCE);
+        assert!(llm.generate(&prompt).reasoning.is_some());
+        prompt.options.chain_of_thought = false;
+        assert!(llm.generate(&prompt).reasoning.is_none());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let prompt = Prompt::state(PENSIEVE_STATE_SOURCE);
+        let a = MockLlm::gpt4(7).generate(&prompt);
+        let b = MockLlm::gpt4(7).generate(&prompt);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 20_000;
+        let mean: f64 =
+            (0..n).map(|_| poisson(&mut rng, 2.4) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 2.4).abs() < 0.1, "poisson mean {mean}");
+    }
+}

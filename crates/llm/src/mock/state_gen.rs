@@ -1,0 +1,458 @@
+//! State-design mutation engine.
+//!
+//! Mutations are the motif families §4 of the paper attributes to the LLMs:
+//!
+//! * normalization changes — rescaling, remapping to `[-1, 1]` (FCC),
+//!   stronger normalizing factors (Starlink/GPT-4);
+//! * feature removal to fight overfitting on small datasets
+//!   (Starlink/GPT-3.5);
+//! * smoothing — EMA, Savitzky–Golay (the paper's `scipy` example);
+//! * explicit trend/prediction features via linear regression (the paper's
+//!   `statsmodel` example; 4G/5G motifs);
+//! * buffer-history features — trends and adjacent-step differences — which
+//!   the original Pensieve ignores entirely (the paper's headline insight).
+
+use nada_dsl::ast::{BinOp, Expr, FeatureDecl, InputDecl, StateProgram};
+use nada_dsl::parser::parse_state;
+use nada_dsl::pretty::print_state;
+use nada_dsl::schema::abr_schema;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng};
+
+/// Applies `n_mutations` random motif mutations (plus an optional
+/// normalization defect) to the seed code block. Returns the new source and
+/// human-readable descriptions of the applied mutations.
+pub fn generate(
+    rng: &mut StdRng,
+    seed_code: &str,
+    n_mutations: usize,
+    denormalize: bool,
+) -> (String, Vec<String>) {
+    let Ok(mut program) = parse_state(seed_code) else {
+        // An unparseable seed cannot be mutated; echo it back (the pipeline
+        // will reject it downstream).
+        return (seed_code.to_string(), vec!["echoed unparseable seed".into()]);
+    };
+    program.name = format!("{}_v{}", program.name, rng.gen_range(1000..10_000));
+
+    let mut applied = Vec::new();
+    let mut attempts = 0;
+    while applied.len() < n_mutations && attempts < n_mutations * 12 {
+        attempts += 1;
+        let motif = *ALL_MOTIFS.choose(rng).expect("motif list is non-empty");
+        if let Some(desc) = apply_motif(rng, &mut program, motif) {
+            applied.push(desc);
+        }
+    }
+    if denormalize {
+        applied.push(apply_denormalize(rng, &mut program));
+    }
+    (print_state(&program), applied)
+}
+
+/// The motif families.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Motif {
+    Rescale,
+    RemapSymmetric,
+    Clip01,
+    StrongerNorm,
+    RemoveFeature,
+    EmaThroughput,
+    SavgolThroughput,
+    ZscoreThroughput,
+    StdThroughput,
+    TrendThroughput,
+    PredictThroughput,
+    HarmonicMeanThroughput,
+    MinThroughput,
+    MaxThroughput,
+    BufferTrend,
+    BufferDiff,
+    BufferSavgol,
+    PredictDownloadTime,
+    TrendDownloadTime,
+}
+
+const ALL_MOTIFS: [Motif; 19] = [
+    Motif::Rescale,
+    Motif::RemapSymmetric,
+    Motif::Clip01,
+    Motif::StrongerNorm,
+    Motif::RemoveFeature,
+    Motif::EmaThroughput,
+    Motif::SavgolThroughput,
+    Motif::ZscoreThroughput,
+    Motif::StdThroughput,
+    Motif::TrendThroughput,
+    Motif::PredictThroughput,
+    Motif::HarmonicMeanThroughput,
+    Motif::MinThroughput,
+    Motif::MaxThroughput,
+    Motif::BufferTrend,
+    Motif::BufferDiff,
+    Motif::BufferSavgol,
+    Motif::PredictDownloadTime,
+    Motif::TrendDownloadTime,
+];
+
+/// Soft cap keeping generated states from growing without bound.
+const MAX_FEATURES: usize = 12;
+
+fn apply_motif(rng: &mut StdRng, p: &mut StateProgram, motif: Motif) -> Option<String> {
+    match motif {
+        Motif::Rescale => {
+            let i = rng.gen_range(0..p.features.len());
+            let factor = *[0.25, 0.5, 2.0, 4.0].choose(rng).expect("non-empty");
+            let old = p.features[i].expr.clone();
+            p.features[i].expr = mul(old, num(factor));
+            Some(format!("rescale `{}` by {factor}", p.features[i].name))
+        }
+        Motif::RemapSymmetric => {
+            let i = rng.gen_range(0..p.features.len());
+            let old = p.features[i].expr.clone();
+            p.features[i].expr = call("remap", vec![old, num(-1.0), num(1.0)]);
+            Some(format!("remap `{}` to [-1, 1]", p.features[i].name))
+        }
+        Motif::Clip01 => {
+            let i = rng.gen_range(0..p.features.len());
+            let old = p.features[i].expr.clone();
+            p.features[i].expr = call("clip", vec![old, num(0.0), num(1.0)]);
+            Some(format!("clip `{}` to [0, 1]", p.features[i].name))
+        }
+        Motif::StrongerNorm => {
+            let i = rng.gen_range(0..p.features.len());
+            let factor = *[2.0, 4.0, 8.0].choose(rng).expect("non-empty");
+            let old = p.features[i].expr.clone();
+            p.features[i].expr = div(old, num(factor));
+            Some(format!("strengthen normalization of `{}` by {factor}", p.features[i].name))
+        }
+        Motif::RemoveFeature => {
+            if p.features.len() < 3 {
+                return None;
+            }
+            let i = rng.gen_range(0..p.features.len());
+            // Later features may reference this one; removal must stay valid.
+            let name = p.features[i].name.clone();
+            if references_name(p, &name, i + 1) {
+                return None;
+            }
+            p.features.remove(i);
+            Some(format!("remove feature `{name}` to reduce overfitting"))
+        }
+        Motif::EmaThroughput => {
+            let alpha = *[0.3, 0.5, 0.7].choose(rng).expect("non-empty");
+            add_feature(
+                rng,
+                p,
+                "smoothed_throughput",
+                |thr| div(call("ema", vec![thr, num(alpha)]), num(8.0)),
+                "throughput_mbps",
+                format!("add EMA-smoothed throughput (alpha={alpha})"),
+            )
+        }
+        Motif::SavgolThroughput => add_feature(
+            rng,
+            p,
+            "savgol_throughput",
+            |thr| div(call("savgol", vec![thr]), num(8.0)),
+            "throughput_mbps",
+            "smooth throughput with a Savitzky-Golay filter".into(),
+        ),
+        Motif::ZscoreThroughput => add_feature(
+            rng,
+            p,
+            "zscore_throughput",
+            |thr| call("clip", vec![call("zscore", vec![thr]), num(-5.0), num(5.0)]),
+            "throughput_mbps",
+            "standardize the throughput history".into(),
+        ),
+        Motif::StdThroughput => add_feature(
+            rng,
+            p,
+            "throughput_std",
+            |thr| div(call("std", vec![thr]), num(8.0)),
+            "throughput_mbps",
+            "add throughput variability".into(),
+        ),
+        Motif::TrendThroughput => add_feature(
+            rng,
+            p,
+            "throughput_trend",
+            |thr| div(call("trend", vec![thr]), num(8.0)),
+            "throughput_mbps",
+            "add throughput trend via linear regression".into(),
+        ),
+        Motif::PredictThroughput => add_feature(
+            rng,
+            p,
+            "predicted_throughput",
+            |thr| div(call("predict_next", vec![thr]), num(50.0)),
+            "throughput_mbps",
+            "predict future throughput with linear regression".into(),
+        ),
+        Motif::HarmonicMeanThroughput => add_feature(
+            rng,
+            p,
+            "harmonic_throughput",
+            |thr| div(call("harmonic_mean", vec![thr]), num(8.0)),
+            "throughput_mbps",
+            "add harmonic-mean throughput".into(),
+        ),
+        Motif::MinThroughput => add_feature(
+            rng,
+            p,
+            "min_throughput",
+            |thr| div(call("min", vec![thr]), num(8.0)),
+            "throughput_mbps",
+            "add worst-case recent throughput".into(),
+        ),
+        Motif::MaxThroughput => add_feature(
+            rng,
+            p,
+            "max_throughput",
+            |thr| div(call("max", vec![thr]), num(16.0)),
+            "throughput_mbps",
+            "add best-case recent throughput".into(),
+        ),
+        Motif::BufferTrend => add_feature(
+            rng,
+            p,
+            "buffer_trend",
+            |buf| div(call("trend", vec![buf]), num(10.0)),
+            "buffer_history_s",
+            "add playback-buffer trend (history the original design ignores)".into(),
+        ),
+        Motif::BufferDiff => add_feature(
+            rng,
+            p,
+            "buffer_diff",
+            |buf| div(call("last", vec![call("diff", vec![buf])]), num(10.0)),
+            "buffer_history_s",
+            "add buffer difference between adjacent steps".into(),
+        ),
+        Motif::BufferSavgol => add_feature(
+            rng,
+            p,
+            "buffer_smoothed",
+            |buf| div(call("last", vec![call("savgol", vec![buf])]), num(60.0)),
+            "buffer_history_s",
+            "analyze buffer trend with a Savitzky-Golay filter".into(),
+        ),
+        Motif::PredictDownloadTime => add_feature(
+            rng,
+            p,
+            "predicted_download_time",
+            |dt| div(call("predict_next", vec![dt]), num(10.0)),
+            "download_time_s",
+            "predict the next chunk's download time".into(),
+        ),
+        Motif::TrendDownloadTime => add_feature(
+            rng,
+            p,
+            "download_time_trend",
+            |dt| div(call("trend", vec![dt]), num(10.0)),
+            "download_time_s",
+            "add download-time trend".into(),
+        ),
+    }
+}
+
+/// Normalization defects: the failure modes §2.2 describes (e.g. chunk
+/// sizes in raw bytes).
+fn apply_denormalize(rng: &mut StdRng, p: &mut StateProgram) -> String {
+    match rng.gen_range(0..3) {
+        0 => {
+            ensure_input(p, "next_chunk_sizes_bytes");
+            push_feature(p, "raw_chunk_sizes", Expr::Ident("next_chunk_sizes_bytes".into()));
+            "use raw chunk sizes in bytes".into()
+        }
+        1 => {
+            ensure_input(p, "last_bitrate_kbps");
+            push_feature(p, "raw_bitrate", Expr::Ident("last_bitrate_kbps".into()));
+            "use the raw bitrate in kbps".into()
+        }
+        _ => {
+            // Strip a large normalizing division if one exists.
+            for f in p.features.iter_mut() {
+                if let Expr::Binary { op: BinOp::Div, lhs, rhs } = &f.expr {
+                    if matches!(**rhs, Expr::Number(n) if n > 10.0) {
+                        f.expr = (**lhs).clone();
+                        return format!("drop the normalizing divisor of `{}`", f.name);
+                    }
+                }
+            }
+            ensure_input(p, "last_bitrate_kbps");
+            push_feature(p, "raw_bitrate", Expr::Ident("last_bitrate_kbps".into()));
+            "use the raw bitrate in kbps".into()
+        }
+    }
+}
+
+/// Adds a feature derived from `input_name` (declaring the input if needed).
+fn add_feature(
+    rng: &mut StdRng,
+    p: &mut StateProgram,
+    base_name: &str,
+    build: impl FnOnce(Expr) -> Expr,
+    input_name: &str,
+    description: String,
+) -> Option<String> {
+    if p.features.len() >= MAX_FEATURES {
+        return None;
+    }
+    ensure_input(p, input_name);
+    let expr = build(Expr::Ident(input_name.into()));
+    let name = unique_name(rng, p, base_name);
+    p.features.push(FeatureDecl { name, expr });
+    Some(description)
+}
+
+fn push_feature(p: &mut StateProgram, base: &str, expr: Expr) {
+    let name = if name_taken(p, base) { format!("{base}_x") } else { base.to_string() };
+    p.features.push(FeatureDecl { name, expr });
+}
+
+/// Declares `name` as an input if the schema knows it and the program
+/// hasn't already.
+fn ensure_input(p: &mut StateProgram, name: &str) {
+    if p.inputs.iter().any(|i| i.name == name) {
+        return;
+    }
+    if let Some((_, spec)) = abr_schema().lookup(name) {
+        p.inputs.push(InputDecl { name: name.to_string(), ty: spec.ty });
+    }
+}
+
+fn name_taken(p: &StateProgram, name: &str) -> bool {
+    p.inputs.iter().any(|i| i.name == name) || p.features.iter().any(|f| f.name == name)
+}
+
+fn unique_name(rng: &mut StdRng, p: &StateProgram, base: &str) -> String {
+    if !name_taken(p, base) {
+        return base.to_string();
+    }
+    loop {
+        let candidate = format!("{base}_{}", rng.gen_range(2..100));
+        if !name_taken(p, &candidate) {
+            return candidate;
+        }
+    }
+}
+
+/// Does any feature from index `from` onward reference `name`?
+fn references_name(p: &StateProgram, name: &str, from: usize) -> bool {
+    fn expr_refs(e: &Expr, name: &str) -> bool {
+        match e {
+            Expr::Ident(n) => n == name,
+            Expr::Number(_) => false,
+            Expr::Neg(inner) => expr_refs(inner, name),
+            Expr::Binary { lhs, rhs, .. } => expr_refs(lhs, name) || expr_refs(rhs, name),
+            Expr::Call { args, .. } => args.iter().any(|a| expr_refs(a, name)),
+        }
+    }
+    p.features.iter().skip(from).any(|f| expr_refs(&f.expr, name))
+}
+
+fn num(n: f64) -> Expr {
+    if n < 0.0 {
+        Expr::Neg(Box::new(Expr::Number(-n)))
+    } else {
+        Expr::Number(n)
+    }
+}
+
+fn call(name: &str, args: Vec<Expr>) -> Expr {
+    Expr::Call { name: name.into(), args }
+}
+
+fn div(lhs: Expr, rhs: Expr) -> Expr {
+    Expr::Binary { op: BinOp::Div, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+}
+
+fn mul(lhs: Expr, rhs: Expr) -> Expr {
+    Expr::Binary { op: BinOp::Mul, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nada_dsl::compile_state;
+    use nada_dsl::fuzz::{normalization_check, FuzzConfig, NormCheckOutcome};
+    use nada_dsl::seeds::PENSIEVE_STATE_SOURCE;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clean_mutations_always_compile_and_normalize() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..120 {
+            let (code, desc) =
+                generate(&mut rng, PENSIEVE_STATE_SOURCE, 1 + i % 4, false);
+            let compiled = compile_state(&code)
+                .unwrap_or_else(|e| panic!("mutation {desc:?} broke compile: {e}\n{code}"));
+            assert_eq!(
+                normalization_check(&compiled, &FuzzConfig::default()),
+                NormCheckOutcome::Pass,
+                "mutations {desc:?} denormalized the state:\n{code}"
+            );
+        }
+    }
+
+    #[test]
+    fn denormalized_outputs_fail_the_fuzz_check() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut failures = 0;
+        let n = 40;
+        for _ in 0..n {
+            let (code, _) = generate(&mut rng, PENSIEVE_STATE_SOURCE, 2, true);
+            if let Ok(c) = compile_state(&code) {
+                if !matches!(
+                    normalization_check(&c, &FuzzConfig::default()),
+                    NormCheckOutcome::Pass
+                ) {
+                    failures += 1;
+                }
+            }
+        }
+        assert!(failures > n * 3 / 4, "only {failures}/{n} denormalized designs caught");
+    }
+
+    #[test]
+    fn buffer_history_motifs_appear() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut saw_buffer_motif = false;
+        for _ in 0..60 {
+            let (code, _) = generate(&mut rng, PENSIEVE_STATE_SOURCE, 3, false);
+            if code.contains("buffer_history_s") {
+                saw_buffer_motif = true;
+                break;
+            }
+        }
+        assert!(saw_buffer_motif, "buffer-history motifs never sampled");
+    }
+
+    #[test]
+    fn removal_motif_can_shrink_the_state() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let baseline = parse_state(PENSIEVE_STATE_SOURCE).unwrap().features.len();
+        let mut saw_smaller = false;
+        for _ in 0..80 {
+            let (code, _) = generate(&mut rng, PENSIEVE_STATE_SOURCE, 2, false);
+            if let Ok(p) = parse_state(&code) {
+                if p.features.len() < baseline {
+                    saw_smaller = true;
+                    break;
+                }
+            }
+        }
+        assert!(saw_smaller, "feature removal never produced a smaller state");
+    }
+
+    #[test]
+    fn generated_names_are_fresh() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (code, _) = generate(&mut rng, PENSIEVE_STATE_SOURCE, 6, false);
+        // Compiling enforces duplicate-name rejection.
+        compile_state(&code).unwrap();
+    }
+}

@@ -1,0 +1,93 @@
+//! Per-model generation-quality profiles calibrated to the paper's Table 2.
+//!
+//! Table 2 reports, out of 3 000 generated states per model:
+//!
+//! | model   | compilable      | well-normalized |
+//! |---------|-----------------|-----------------|
+//! | GPT-3.5 | 1 237 (41.2 %)  |   822 (27.4 %)  |
+//! | GPT-4   | 2 059 (68.6 %)  | 1 505 (50.2 %)  |
+//!
+//! The mock model reproduces these as two independent defect processes: a
+//! probability of emitting syntactically/semantically broken code
+//! (`defect_rate` ≈ 1 − compilable) and a probability — *given* compilable
+//! code — of forwarding an unnormalized feature
+//! (`unnormalized_rate` ≈ 1 − normalized/compilable).
+
+/// Defect rates and creativity parameters for one simulated model.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ModelProfile {
+    /// Model name used in reports (`"gpt-3.5"`, `"gpt-4"`).
+    pub name: String,
+    /// Probability a generated code block fails the compilation check.
+    pub defect_rate: f64,
+    /// Probability a *compilable* state design contains an unnormalized
+    /// feature (fails the `T = 100` fuzz check).
+    pub unnormalized_rate: f64,
+    /// Mean number of design mutations per generation (drawn 1 + Poisson);
+    /// higher = more adventurous rewrites.
+    pub mean_mutations: f64,
+}
+
+impl ModelProfile {
+    /// Profile calibrated to Table 2's GPT-3.5 row:
+    /// 41.2 % compilable, 27.4 % normalized ⇒ defect 0.588, unnormalized
+    /// 1 − 27.4/41.2 = 0.335.
+    pub fn gpt35() -> Self {
+        Self {
+            name: "gpt-3.5".into(),
+            defect_rate: 0.588,
+            unnormalized_rate: 0.335,
+            mean_mutations: 1.6,
+        }
+    }
+
+    /// Profile calibrated to Table 2's GPT-4 row:
+    /// 68.6 % compilable, 50.2 % normalized ⇒ defect 0.314, unnormalized
+    /// 1 − 50.2/68.6 = 0.268.
+    pub fn gpt4() -> Self {
+        Self {
+            name: "gpt-4".into(),
+            defect_rate: 0.314,
+            unnormalized_rate: 0.268,
+            mean_mutations: 2.4,
+        }
+    }
+
+    /// A defect-free profile for tests and for searching without the noise
+    /// processes (every generation compiles and normalizes).
+    pub fn perfect(name: impl Into<String>) -> Self {
+        Self { name: name.into(), defect_rate: 0.0, unnormalized_rate: 0.0, mean_mutations: 2.0 }
+    }
+
+    /// Expected fraction of generations passing the compilation check.
+    pub fn expected_compilable(&self) -> f64 {
+        1.0 - self.defect_rate
+    }
+
+    /// Expected fraction of generations passing both checks.
+    pub fn expected_normalized(&self) -> f64 {
+        self.expected_compilable() * (1.0 - self.unnormalized_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_matches_table2() {
+        let g35 = ModelProfile::gpt35();
+        assert!((g35.expected_compilable() - 0.412).abs() < 0.001);
+        assert!((g35.expected_normalized() - 0.274).abs() < 0.005);
+        let g4 = ModelProfile::gpt4();
+        assert!((g4.expected_compilable() - 0.686).abs() < 0.001);
+        assert!((g4.expected_normalized() - 0.502).abs() < 0.005);
+    }
+
+    #[test]
+    fn gpt4_is_strictly_better() {
+        let (a, b) = (ModelProfile::gpt35(), ModelProfile::gpt4());
+        assert!(b.expected_compilable() > a.expected_compilable());
+        assert!(b.expected_normalized() > a.expected_normalized());
+    }
+}

@@ -1,0 +1,154 @@
+//! Prompt construction per the paper's §2.1 strategies.
+//!
+//! Three strategies are modelled, each toggleable for the prompt-ablation
+//! bench:
+//!
+//! 1. **Chain-of-thought**: instruct the model to list several ideas in
+//!    natural language, pick the most promising, then write code;
+//! 2. **Semantic renaming**: present the seed code with meaningful variable
+//!    names and per-input comments (our DSL seeds are already written this
+//!    way; turning the flag off strips the comments);
+//! 3. **Normalization request** (state prompts only): explicitly ask for
+//!    properly normalized features.
+
+use crate::client::DesignKind;
+
+/// Which §2.1 strategies to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PromptOptions {
+    /// Ask for ideas-then-code reasoning.
+    pub chain_of_thought: bool,
+    /// Keep semantic names + explanatory comments in the seed code.
+    pub semantic_renaming: bool,
+    /// Explicitly request normalized features (ignored for architecture
+    /// prompts, as in the paper).
+    pub request_normalization: bool,
+}
+
+impl Default for PromptOptions {
+    fn default() -> Self {
+        Self { chain_of_thought: true, semantic_renaming: true, request_normalization: true }
+    }
+}
+
+/// A fully specified generation request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prompt {
+    /// Which component to redesign.
+    pub kind: DesignKind,
+    /// Strategy toggles.
+    pub options: PromptOptions,
+    /// The existing implementation (a DSL code block) the model starts from.
+    pub seed_code: String,
+}
+
+impl Prompt {
+    /// A state-redesign prompt with the paper's full strategy set.
+    pub fn state(seed_code: impl Into<String>) -> Self {
+        Self { kind: DesignKind::State, options: PromptOptions::default(), seed_code: seed_code.into() }
+    }
+
+    /// An architecture-redesign prompt with the paper's full strategy set.
+    pub fn architecture(seed_code: impl Into<String>) -> Self {
+        Self {
+            kind: DesignKind::Architecture,
+            options: PromptOptions::default(),
+            seed_code: seed_code.into(),
+        }
+    }
+
+    /// Renders the complete prompt text a hosted model would receive.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        match self.kind {
+            DesignKind::State => {
+                out.push_str(
+                    "You are improving the reinforcement-learning STATE REPRESENTATION of an \
+                     adaptive-bitrate (ABR) video streaming algorithm.\n\n",
+                );
+            }
+            DesignKind::Architecture => {
+                out.push_str(
+                    "You are improving the ACTOR-CRITIC NEURAL NETWORK ARCHITECTURE of an \
+                     adaptive-bitrate (ABR) video streaming algorithm.\n\n",
+                );
+            }
+        }
+        if self.options.chain_of_thought {
+            out.push_str(
+                "First analyze the existing code. Then propose several alternative design \
+                 ideas in natural language, select the most promising one, and only then \
+                 write the final code block.\n\n",
+            );
+        }
+        out.push_str("The existing implementation is:\n\n```\n");
+        if self.options.semantic_renaming {
+            out.push_str(&self.seed_code);
+        } else {
+            out.push_str(&strip_comments(&self.seed_code));
+        }
+        out.push_str("```\n\n");
+        if self.kind == DesignKind::State && self.options.request_normalization {
+            out.push_str(
+                "IMPORTANT: every feature must be properly normalized — feature values \
+                 should stay within a small range (roughly [-1, 1]); never feed raw byte \
+                 counts, kbps values or other large magnitudes to the network.\n\n",
+            );
+        }
+        out.push_str("Respond with a single code block in the same language.\n");
+        out
+    }
+}
+
+/// Removes `#` comments (the inverse of the semantic-renaming strategy —
+/// the paper notes that unannotated code yields worse generations).
+fn strip_comments(code: &str) -> String {
+    code.lines()
+        .map(|l| match l.find('#') {
+            Some(idx) => l[..idx].trim_end(),
+            None => l,
+        })
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_prompt_includes_all_strategies() {
+        let p = Prompt::state("state s { feature f = 1.0; } # demo");
+        let text = p.render();
+        assert!(text.contains("STATE REPRESENTATION"));
+        assert!(text.contains("several alternative design ideas"));
+        assert!(text.contains("properly normalized"));
+        assert!(text.contains("# demo"));
+    }
+
+    #[test]
+    fn arch_prompt_never_requests_normalization() {
+        let p = Prompt::architecture("network n { }");
+        let text = p.render();
+        assert!(text.contains("ARCHITECTURE"));
+        assert!(!text.contains("properly normalized"));
+    }
+
+    #[test]
+    fn toggles_change_the_rendered_text() {
+        let mut p = Prompt::state("state s { feature f = 1.0; } # note");
+        p.options.request_normalization = false;
+        assert!(!p.render().contains("properly normalized"));
+        p.options.chain_of_thought = false;
+        assert!(!p.render().contains("several alternative design ideas"));
+        p.options.semantic_renaming = false;
+        assert!(!p.render().contains("# note"));
+    }
+
+    #[test]
+    fn strip_comments_keeps_code() {
+        let s = strip_comments("feature a = 1.0; # comment\n# pure comment line\n");
+        assert_eq!(s, "feature a = 1.0;\n");
+    }
+}

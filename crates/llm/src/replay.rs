@@ -1,0 +1,207 @@
+//! Record/replay clients.
+//!
+//! A [`RecordingClient`] wraps any [`LlmClient`] and captures its
+//! completions into a [`Transcript`]; a [`ReplayClient`] plays a transcript
+//! back. This keeps the expensive/generative part swappable: transcripts
+//! from a hosted GPT run can drive the whole pipeline deterministically.
+
+use crate::client::{Completion, LlmClient};
+use crate::prompt::Prompt;
+
+/// A recorded sequence of completions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Transcript {
+    entries: Vec<Completion>,
+}
+
+impl Transcript {
+    /// An empty transcript.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a completion.
+    pub fn push(&mut self, completion: Completion) {
+        self.entries.push(completion);
+    }
+
+    /// Recorded completions in order.
+    pub fn entries(&self) -> &[Completion] {
+        &self.entries
+    }
+
+    /// Number of recorded completions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serializes to a plain-text interchange format (code blocks separated
+    /// by `%%%%` lines; reasoning lines prefixed with `;; `).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            if let Some(r) = &e.reasoning {
+                for line in r.lines() {
+                    out.push_str(";; ");
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+            out.push_str(&e.code);
+            if !e.code.ends_with('\n') {
+                out.push('\n');
+            }
+            out.push_str("%%%%\n");
+        }
+        out
+    }
+
+    /// Parses the [`Transcript::to_text`] format.
+    pub fn from_text(text: &str) -> Self {
+        let mut entries = Vec::new();
+        for block in text.split("%%%%\n") {
+            if block.trim().is_empty() {
+                continue;
+            }
+            let mut reasoning_lines = Vec::new();
+            let mut code_lines = Vec::new();
+            for line in block.lines() {
+                if let Some(r) = line.strip_prefix(";; ") {
+                    reasoning_lines.push(r.to_string());
+                } else {
+                    code_lines.push(line);
+                }
+            }
+            entries.push(Completion {
+                code: code_lines.join("\n") + "\n",
+                reasoning: if reasoning_lines.is_empty() {
+                    None
+                } else {
+                    Some(reasoning_lines.join("\n"))
+                },
+            });
+        }
+        Self { entries }
+    }
+}
+
+/// Replays a transcript, cycling when exhausted.
+#[derive(Debug, Clone)]
+pub struct ReplayClient {
+    name: String,
+    transcript: Transcript,
+    cursor: usize,
+}
+
+impl ReplayClient {
+    /// Creates a replay client.
+    ///
+    /// # Panics
+    /// Panics on an empty transcript — there is nothing to replay.
+    pub fn new(name: impl Into<String>, transcript: Transcript) -> Self {
+        assert!(!transcript.is_empty(), "cannot replay an empty transcript");
+        Self { name: name.into(), transcript, cursor: 0 }
+    }
+}
+
+impl LlmClient for ReplayClient {
+    fn model_name(&self) -> &str {
+        &self.name
+    }
+
+    fn generate(&mut self, _prompt: &Prompt) -> Completion {
+        let c = self.transcript.entries[self.cursor % self.transcript.len()].clone();
+        self.cursor += 1;
+        c
+    }
+}
+
+/// Wraps a client and records everything it generates.
+#[derive(Debug, Clone)]
+pub struct RecordingClient<C: LlmClient> {
+    inner: C,
+    transcript: Transcript,
+}
+
+impl<C: LlmClient> RecordingClient<C> {
+    /// Starts recording around `inner`.
+    pub fn new(inner: C) -> Self {
+        Self { inner, transcript: Transcript::new() }
+    }
+
+    /// The transcript recorded so far.
+    pub fn transcript(&self) -> &Transcript {
+        &self.transcript
+    }
+
+    /// Stops recording and returns the transcript.
+    pub fn into_transcript(self) -> Transcript {
+        self.transcript
+    }
+}
+
+impl<C: LlmClient> LlmClient for RecordingClient<C> {
+    fn model_name(&self) -> &str {
+        self.inner.model_name()
+    }
+
+    fn generate(&mut self, prompt: &Prompt) -> Completion {
+        let c = self.inner.generate(prompt);
+        self.transcript.push(c.clone());
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mock::MockLlm;
+    use nada_dsl::seeds::PENSIEVE_STATE_SOURCE;
+
+    #[test]
+    fn record_then_replay_round_trips() {
+        let prompt = Prompt::state(PENSIEVE_STATE_SOURCE);
+        let mut rec = RecordingClient::new(MockLlm::perfect(1));
+        let originals: Vec<Completion> =
+            (0..5).map(|_| rec.generate(&prompt)).collect();
+        let mut replay = ReplayClient::new("replay", rec.into_transcript());
+        for orig in &originals {
+            assert_eq!(&replay.generate(&prompt), orig);
+        }
+    }
+
+    #[test]
+    fn replay_cycles_when_exhausted() {
+        let mut t = Transcript::new();
+        t.push(Completion { code: "a\n".into(), reasoning: None });
+        t.push(Completion { code: "b\n".into(), reasoning: None });
+        let prompt = Prompt::state("x");
+        let mut r = ReplayClient::new("r", t);
+        assert_eq!(r.generate(&prompt).code, "a\n");
+        assert_eq!(r.generate(&prompt).code, "b\n");
+        assert_eq!(r.generate(&prompt).code, "a\n");
+    }
+
+    #[test]
+    fn transcript_text_round_trips() {
+        let mut t = Transcript::new();
+        t.push(Completion {
+            code: "state s { feature f = 1.0; }\n".into(),
+            reasoning: Some("idea one\nidea two".into()),
+        });
+        t.push(Completion { code: "network n { }\n".into(), reasoning: None });
+        let text = t.to_text();
+        assert_eq!(Transcript::from_text(&text), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty transcript")]
+    fn replay_rejects_empty() {
+        let _ = ReplayClient::new("r", Transcript::new());
+    }
+}

@@ -1,0 +1,422 @@
+//! Advantage actor-critic (A2C) training, Pensieve-style.
+//!
+//! Pensieve trains with A3C; this reproduction uses synchronous A2C (the
+//! deterministic sibling — same losses, no asynchrony): roll out whole
+//! episodes with a softmax policy, compute discounted returns, and descend
+//!
+//! ```text
+//! L = -log π(a_t | s_t) · (R_t − V(s_t))          (policy)
+//!     + c_v · ½ (V(s_t) − R_t)²                   (value)
+//!     − β · H(π(· | s_t))                         (entropy bonus)
+//! ```
+//!
+//! Episode = one full video playback, matching the paper's "epoch".
+
+use crate::graph::ActorCritic;
+use crate::optim::Adam;
+use crate::param::clip_global_grad_norm;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A2C hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct A2cConfig {
+    /// Discount factor (Pensieve: 0.99).
+    pub gamma: f32,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Entropy bonus weight β.
+    pub entropy_coeff: f32,
+    /// Value loss weight `c_v`.
+    pub value_coeff: f32,
+    /// Global gradient-norm clip.
+    pub clip_grad_norm: f32,
+    /// Standardize advantages within each update batch. Makes the
+    /// policy/entropy balance independent of the reward scale, which varies
+    /// 30x between the paper's broadband and 5G ladders.
+    pub normalize_advantages: bool,
+}
+
+impl Default for A2cConfig {
+    fn default() -> Self {
+        Self {
+            gamma: 0.99,
+            lr: 1e-3,
+            entropy_coeff: 0.02,
+            value_coeff: 0.5,
+            clip_grad_norm: 5.0,
+            normalize_advantages: true,
+        }
+    }
+}
+
+/// One episode of experience: states (as per-feature vectors), actions and
+/// rewards, aligned by time step.
+#[derive(Debug, Clone, Default)]
+pub struct EpisodeBuffer {
+    /// `states[t][feature]` is the feature vector fed to the network.
+    pub states: Vec<Vec<Vec<f32>>>,
+    /// Chosen action indices.
+    pub actions: Vec<usize>,
+    /// Immediate rewards.
+    pub rewards: Vec<f32>,
+}
+
+impl EpisodeBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one transition.
+    pub fn push(&mut self, state: Vec<Vec<f32>>, action: usize, reward: f32) {
+        self.states.push(state);
+        self.actions.push(action);
+        self.rewards.push(reward);
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// True if no transitions are stored.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Sum of rewards.
+    pub fn total_reward(&self) -> f32 {
+        self.rewards.iter().sum()
+    }
+
+    /// Mean per-step reward (the paper's per-episode score unit).
+    pub fn mean_reward(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.total_reward() / self.len() as f32
+        }
+    }
+
+    /// Discounted returns `R_t = r_t + γ R_{t+1}` (terminal bootstrap 0).
+    pub fn returns(&self, gamma: f32) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.len()];
+        let mut acc = 0.0f32;
+        for t in (0..self.len()).rev() {
+            acc = self.rewards[t] + gamma * acc;
+            out[t] = acc;
+        }
+        out
+    }
+}
+
+/// Statistics from one optimizer update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateStats {
+    /// Mean policy-gradient loss.
+    pub policy_loss: f32,
+    /// Mean value (critic) loss.
+    pub value_loss: f32,
+    /// Mean policy entropy (nats).
+    pub entropy: f32,
+    /// Mean undiscounted episode return in the batch.
+    pub mean_return: f32,
+    /// Pre-clip global gradient norm.
+    pub grad_norm: f32,
+}
+
+/// The A2C trainer: owns the network, optimizer, and action-sampling RNG.
+#[derive(Debug, Clone)]
+pub struct A2cTrainer {
+    net: ActorCritic,
+    opt: Adam,
+    cfg: A2cConfig,
+    rng: StdRng,
+}
+
+impl A2cTrainer {
+    /// Wraps a network for training. Deterministic in `seed`.
+    pub fn new(net: ActorCritic, cfg: A2cConfig, seed: u64) -> Self {
+        let opt = Adam::new(cfg.lr);
+        Self { net, opt, cfg, rng: StdRng::seed_from_u64(seed ^ 0xA2C0_0000_0000_0009) }
+    }
+
+    /// The wrapped network.
+    pub fn net_mut(&mut self) -> &mut ActorCritic {
+        &mut self.net
+    }
+
+    /// Consumes the trainer, returning the trained network.
+    pub fn into_net(self) -> ActorCritic {
+        self.net
+    }
+
+    /// Overrides the entropy bonus weight (used for annealing schedules).
+    pub fn set_entropy_coeff(&mut self, coeff: f32) {
+        self.cfg.entropy_coeff = coeff;
+    }
+
+    /// The current entropy bonus weight.
+    pub fn entropy_coeff(&self) -> f32 {
+        self.cfg.entropy_coeff
+    }
+
+    /// Action probabilities for a state.
+    pub fn policy(&mut self, features: &[Vec<f32>]) -> Vec<f32> {
+        let (logits, _) = self.net.forward(features);
+        softmax(&logits)
+    }
+
+    /// Samples an action from the softmax policy.
+    pub fn act_stochastic(&mut self, features: &[Vec<f32>]) -> usize {
+        let probs = self.policy(features);
+        let draw: f32 = self.rng.gen();
+        let mut acc = 0.0;
+        for (i, p) in probs.iter().enumerate() {
+            acc += p;
+            if draw < acc {
+                return i;
+            }
+        }
+        probs.len() - 1
+    }
+
+    /// Picks the most probable action (evaluation-time behaviour).
+    pub fn act_greedy(&mut self, features: &[Vec<f32>]) -> usize {
+        let probs = self.policy(features);
+        argmax(&probs)
+    }
+
+    /// One synchronous update over a batch of complete episodes.
+    pub fn update(&mut self, episodes: &[EpisodeBuffer]) -> UpdateStats {
+        let total_steps: usize = episodes.iter().map(|e| e.len()).sum();
+        assert!(total_steps > 0, "update needs at least one transition");
+        let norm = 1.0 / total_steps as f32;
+
+        // Pass 1 (forward only): values for every step, so advantages can
+        // be standardized across the whole batch before gradients flow.
+        let mut advantages: Vec<Vec<f32>> = Vec::with_capacity(episodes.len());
+        let mut all_returns: Vec<Vec<f32>> = Vec::with_capacity(episodes.len());
+        for ep in episodes {
+            let returns = ep.returns(self.cfg.gamma);
+            let advs: Vec<f32> = (0..ep.len())
+                .map(|t| {
+                    let (_, value) = self.net.forward(&ep.states[t]);
+                    returns[t] - value
+                })
+                .collect();
+            advantages.push(advs);
+            all_returns.push(returns);
+        }
+        if self.cfg.normalize_advantages {
+            let flat: Vec<f32> = advantages.iter().flatten().copied().collect();
+            let mean = flat.iter().sum::<f32>() / flat.len() as f32;
+            let var =
+                flat.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / flat.len() as f32;
+            let std = var.sqrt().max(1e-6);
+            for advs in &mut advantages {
+                for a in advs.iter_mut() {
+                    *a = (*a - mean) / std;
+                }
+            }
+        }
+
+        // Pass 2: re-forward (refreshing layer caches) and backpropagate.
+        let mut policy_loss = 0.0f32;
+        let mut value_loss = 0.0f32;
+        let mut entropy_acc = 0.0f32;
+        for (e, ep) in episodes.iter().enumerate() {
+            let returns = &all_returns[e];
+            for t in 0..ep.len() {
+                let (logits, value) = self.net.forward(&ep.states[t]);
+                let probs = softmax(&logits);
+                let log_probs: Vec<f32> =
+                    probs.iter().map(|p| p.max(1e-10).ln()).collect();
+                let a = ep.actions[t];
+                let adv = advantages[e][t];
+                let ent: f32 =
+                    -probs.iter().zip(&log_probs).map(|(p, lp)| p * lp).sum::<f32>();
+
+                policy_loss += -log_probs[a] * adv;
+                value_loss += 0.5 * (value - returns[t]).powi(2);
+                entropy_acc += ent;
+
+                // d(policy)/dz + d(-βH)/dz, all scaled by 1/total_steps.
+                let mut dlogits = vec![0.0f32; probs.len()];
+                for i in 0..probs.len() {
+                    let onehot = if i == a { 1.0 } else { 0.0 };
+                    let d_pg = (probs[i] - onehot) * adv;
+                    let d_ent = self.cfg.entropy_coeff * probs[i] * (log_probs[i] + ent);
+                    dlogits[i] = (d_pg + d_ent) * norm;
+                }
+                let dvalue = self.cfg.value_coeff * (value - returns[t]) * norm;
+                self.net.backward(&dlogits, dvalue);
+            }
+        }
+
+        let grad_norm = {
+            let mut params = self.net.params_mut();
+            clip_global_grad_norm(&mut params, self.cfg.clip_grad_norm)
+        };
+        let mut params = self.net.params_mut();
+        self.opt.step(&mut params);
+
+        UpdateStats {
+            policy_loss: policy_loss * norm,
+            value_loss: value_loss * norm,
+            entropy: entropy_acc * norm,
+            mean_return: episodes.iter().map(|e| e.total_reward()).sum::<f32>()
+                / episodes.len() as f32,
+            grad_norm,
+        }
+    }
+}
+
+/// Numerically stable softmax.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&z| (z - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Index of the maximum element (first on ties).
+pub fn argmax(xs: &[f32]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite values"))
+        .map(|(i, _)| i)
+        .expect("non-empty slice")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{ArchConfig, BranchKind, FeatureShape, HeadMode};
+    use crate::layers::Activation;
+
+    fn bandit_cfg() -> ArchConfig {
+        ArchConfig {
+            temporal_branch: BranchKind::Conv1d { filters: 4, kernel: 2 },
+            temporal_activation: Activation::Relu,
+            scalar_branch: BranchKind::Dense { units: 8 },
+            scalar_activation: Activation::Relu,
+            hidden_units: 16,
+            hidden_layers: 1,
+            hidden_activation: Activation::Relu,
+            heads: HeadMode::Separate,
+        }
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_huge_logits() {
+        let p = softmax(&[1000.0, 1001.0]);
+        assert!(p.iter().all(|x| x.is_finite()));
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn returns_discount_correctly() {
+        let mut ep = EpisodeBuffer::new();
+        for r in [1.0, 0.0, 2.0] {
+            ep.push(vec![vec![0.0]], 0, r);
+        }
+        let rs = ep.returns(0.5);
+        assert!((rs[2] - 2.0).abs() < 1e-6);
+        assert!((rs[1] - 1.0).abs() < 1e-6);
+        assert!((rs[0] - 1.5).abs() < 1e-6);
+    }
+
+    /// A two-armed bandit: action 1 pays 1, action 0 pays 0. The policy
+    /// must concentrate on action 1.
+    #[test]
+    fn learns_two_armed_bandit() {
+        let shapes = [FeatureShape::Scalar];
+        let net = ActorCritic::build(&bandit_cfg(), &shapes, 2, 7);
+        let cfg = A2cConfig { lr: 5e-3, entropy_coeff: 0.005, ..Default::default() };
+        let mut tr = A2cTrainer::new(net, cfg, 7);
+        for _ in 0..300 {
+            let mut ep = EpisodeBuffer::new();
+            for _ in 0..8 {
+                let s = vec![vec![1.0f32]];
+                let a = tr.act_stochastic(&s);
+                let r = if a == 1 { 1.0 } else { 0.0 };
+                ep.push(s, a, r);
+            }
+            tr.update(&[ep]);
+        }
+        let p = tr.policy(&[vec![1.0f32]]);
+        assert!(p[1] > 0.85, "policy failed to find the good arm: {p:?}");
+    }
+
+    /// A contextual bandit: the correct arm equals the (binary) state.
+    #[test]
+    fn learns_contextual_bandit() {
+        let shapes = [FeatureShape::Scalar];
+        let net = ActorCritic::build(&bandit_cfg(), &shapes, 2, 11);
+        let cfg = A2cConfig { lr: 5e-3, entropy_coeff: 0.005, ..Default::default() };
+        let mut tr = A2cTrainer::new(net, cfg, 11);
+        for i in 0..600 {
+            let mut ep = EpisodeBuffer::new();
+            for j in 0..8 {
+                let ctx = ((i + j) % 2) as f32;
+                let s = vec![vec![ctx]];
+                let a = tr.act_stochastic(&s);
+                let r = if a == ctx as usize { 1.0 } else { 0.0 };
+                ep.push(s, a, r);
+            }
+            tr.update(&[ep]);
+        }
+        let p0 = tr.policy(&[vec![0.0f32]]);
+        let p1 = tr.policy(&[vec![1.0f32]]);
+        assert!(p0[0] > 0.8, "state 0 policy {p0:?}");
+        assert!(p1[1] > 0.8, "state 1 policy {p1:?}");
+    }
+
+    #[test]
+    fn update_stats_are_finite() {
+        let shapes = [FeatureShape::Scalar, FeatureShape::Temporal(4)];
+        let net = ActorCritic::build(&bandit_cfg(), &shapes, 3, 5);
+        let mut tr = A2cTrainer::new(net, A2cConfig::default(), 5);
+        let mut ep = EpisodeBuffer::new();
+        for t in 0..10 {
+            let s = vec![vec![t as f32 / 10.0], vec![0.1, 0.2, 0.3, 0.4]];
+            let a = tr.act_stochastic(&s);
+            ep.push(s, a, 0.5);
+        }
+        let stats = tr.update(&[ep]);
+        assert!(stats.policy_loss.is_finite());
+        assert!(stats.value_loss.is_finite());
+        assert!(stats.entropy > 0.0);
+        assert!(stats.grad_norm.is_finite());
+        assert!((stats.mean_return - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let shapes = [FeatureShape::Scalar];
+        let run = || {
+            let net = ActorCritic::build(&bandit_cfg(), &shapes, 2, 3);
+            let mut tr = A2cTrainer::new(net, A2cConfig::default(), 3);
+            for _ in 0..20 {
+                let mut ep = EpisodeBuffer::new();
+                for _ in 0..4 {
+                    let s = vec![vec![1.0f32]];
+                    let a = tr.act_stochastic(&s);
+                    ep.push(s, a, a as f32);
+                }
+                tr.update(&[ep]);
+            }
+            tr.policy(&[vec![1.0f32]])
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,167 @@
+//! 1D-CNN binary classifier for the early-stopping model.
+//!
+//! §2.2 of the paper: "this early stopping model utilizes the training
+//! rewards from the first K episodes to learn a 1D-CNN (one-dimensional
+//! convolutional neural network) as the binary classifier." The classifier
+//! here is a small conv → dense network over a fixed-length input vector
+//! (the `nada-earlystop` crate handles curve resampling/normalization and
+//! the label-smoothing training protocol).
+
+use crate::layers::{Activation, ActivationLayer, AnyLayer, Conv1d, Dense, Layer, Sequential};
+use crate::optim::Adam;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, SeedableRng};
+
+/// A binary classifier over fixed-length curves: conv1d → ReLU → dense →
+/// ReLU → dense(1), trained with logistic loss.
+#[derive(Debug, Clone)]
+pub struct CurveClassifier {
+    net: Sequential,
+    input_len: usize,
+}
+
+impl CurveClassifier {
+    /// Builds a classifier for inputs of `input_len` samples.
+    /// Deterministic in `seed`.
+    pub fn new(input_len: usize, seed: u64) -> Self {
+        assert!(input_len >= 2, "need at least two input samples");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC1A5_0000_0000_000A);
+        let filters = 8;
+        let kernel = 5.min(input_len);
+        let conv = Conv1d::new(input_len, filters, kernel, &mut rng);
+        let conv_out = conv.out_dim();
+        let hidden = 32;
+        let net = Sequential::new(vec![
+            AnyLayer::Conv1d(conv),
+            AnyLayer::Act(ActivationLayer::new(Activation::Relu, conv_out)),
+            AnyLayer::Dense(Dense::new(conv_out, hidden, &mut rng)),
+            AnyLayer::Act(ActivationLayer::new(Activation::Relu, hidden)),
+            AnyLayer::Dense(Dense::new(hidden, 1, &mut rng)),
+        ]);
+        Self { net, input_len }
+    }
+
+    /// Expected input length.
+    pub fn input_len(&self) -> usize {
+        self.input_len
+    }
+
+    /// Probability that `x` belongs to the positive class.
+    pub fn predict(&mut self, x: &[f32]) -> f32 {
+        assert_eq!(x.len(), self.input_len, "classifier input length mismatch");
+        let logit = self.net.forward(x)[0];
+        1.0 / (1.0 + (-logit).exp())
+    }
+
+    /// Trains with mini-batch Adam on logistic loss. `ys` are targets in
+    /// `[0, 1]` (label smoothing may produce soft targets). Returns the
+    /// final-epoch mean loss.
+    pub fn train(
+        &mut self,
+        xs: &[Vec<f32>],
+        ys: &[f32],
+        epochs: usize,
+        lr: f32,
+        seed: u64,
+    ) -> f32 {
+        assert_eq!(xs.len(), ys.len(), "sample/label count mismatch");
+        assert!(!xs.is_empty(), "training set is empty");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7141_0000_0000_000B);
+        let mut opt = Adam::new(lr);
+        let batch = 16.min(xs.len());
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        let mut last_loss = 0.0;
+        for _ in 0..epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f32;
+            for chunk in order.chunks(batch) {
+                for &i in chunk {
+                    let logit = self.net.forward(&xs[i])[0];
+                    let p = 1.0 / (1.0 + (-logit).exp());
+                    let y = ys[i];
+                    // BCE with logits; gradient is (p − y).
+                    epoch_loss += -(y * p.max(1e-7).ln()
+                        + (1.0 - y) * (1.0 - p).max(1e-7).ln());
+                    let d = (p - y) / chunk.len() as f32;
+                    let _ = self.net.backward(&[d]);
+                }
+                let mut params = self.net.params_mut();
+                opt.step(&mut params);
+            }
+            last_loss = epoch_loss / xs.len() as f32;
+        }
+        last_loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Curves trending up are positive, trending down negative.
+    fn trend_dataset(n: usize, len: usize) -> (Vec<Vec<f32>>, Vec<f32>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let up = i % 2 == 0;
+            let slope = if up { 1.0 } else { -1.0 };
+            let phase = (i as f32) * 0.37;
+            let curve: Vec<f32> = (0..len)
+                .map(|t| {
+                    let t = t as f32 / len as f32;
+                    slope * t + 0.15 * ((t * 12.0 + phase).sin())
+                })
+                .collect();
+            xs.push(curve);
+            ys.push(if up { 1.0 } else { 0.0 });
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_trend_direction() {
+        let (xs, ys) = trend_dataset(64, 32);
+        let mut clf = CurveClassifier::new(32, 1);
+        let loss = clf.train(&xs, &ys, 60, 3e-3, 1);
+        assert!(loss < 0.3, "training loss {loss} too high");
+        // Held-out phases.
+        let mut correct = 0;
+        for i in 0..20 {
+            let up = i % 2 == 0;
+            let slope: f32 = if up { 1.0 } else { -1.0 };
+            let curve: Vec<f32> = (0..32)
+                .map(|t| slope * (t as f32 / 32.0) + 0.1 * ((t as f32 * 0.9 + 100.0).cos()))
+                .collect();
+            let p = clf.predict(&curve);
+            if (p > 0.5) == up {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 17, "held-out accuracy {correct}/20");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (xs, ys) = trend_dataset(16, 16);
+        let run = || {
+            let mut clf = CurveClassifier::new(16, 9);
+            clf.train(&xs, &ys, 5, 1e-3, 9);
+            clf.predict(&xs[0])
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn predictions_are_probabilities() {
+        let mut clf = CurveClassifier::new(8, 2);
+        let p = clf.predict(&[0.0, 1.0, 2.0, 3.0, -1.0, 0.5, 0.25, 0.75]);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_wrong_input_length() {
+        let mut clf = CurveClassifier::new(8, 3);
+        let _ = clf.predict(&[0.0; 4]);
+    }
+}

@@ -1,0 +1,154 @@
+//! 1-D valid convolution over a single-channel sequence.
+//!
+//! Pensieve feeds each temporal input (throughput history, download-time
+//! history, next-chunk sizes) through a 1-D convolution with 128 filters and
+//! kernel 4, then flattens. Output layout is filter-major:
+//! `y[f * M + m]` where `M = L - K + 1`.
+
+use super::Layer;
+use crate::param::{xavier_limit, Param};
+use rand::rngs::StdRng;
+
+/// Single-channel 1-D convolution (stride 1, valid padding).
+#[derive(Debug, Clone)]
+pub struct Conv1d {
+    in_len: usize,
+    filters: usize,
+    kernel: usize,
+    w: Param,
+    b: Param,
+    cache_x: Vec<f32>,
+}
+
+impl Conv1d {
+    /// Creates a conv layer for inputs of length `in_len`. If the requested
+    /// kernel exceeds the input length it is clamped to `in_len` (generated
+    /// state programs may emit short temporal features).
+    pub fn new(in_len: usize, filters: usize, kernel: usize, rng: &mut StdRng) -> Self {
+        assert!(in_len > 0 && filters > 0 && kernel > 0, "conv dims must be positive");
+        let kernel = kernel.min(in_len);
+        let limit = xavier_limit(kernel, filters);
+        Self {
+            in_len,
+            filters,
+            kernel,
+            w: Param::uniform(filters * kernel, limit, rng),
+            b: Param::zeros(filters),
+            cache_x: Vec::new(),
+        }
+    }
+
+    fn out_len(&self) -> usize {
+        self.in_len - self.kernel + 1
+    }
+
+    /// Effective kernel size (after clamping to the input length).
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+}
+
+impl Layer for Conv1d {
+    fn forward(&mut self, x: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(x.len(), self.in_len, "conv1d input size mismatch");
+        self.cache_x = x.to_vec();
+        let m_len = self.out_len();
+        let mut y = vec![0.0f32; self.filters * m_len];
+        for f in 0..self.filters {
+            let w = &self.w.w[f * self.kernel..(f + 1) * self.kernel];
+            let bias = self.b.w[f];
+            for m in 0..m_len {
+                let mut acc = bias;
+                for (k, &wk) in w.iter().enumerate() {
+                    acc += wk * x[m + k];
+                }
+                y[f * m_len + m] = acc;
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
+        let m_len = self.out_len();
+        debug_assert_eq!(grad_out.len(), self.filters * m_len);
+        let x = &self.cache_x;
+        let mut dx = vec![0.0f32; self.in_len];
+        for f in 0..self.filters {
+            let w = &self.w.w[f * self.kernel..(f + 1) * self.kernel];
+            let wg = &mut self.w.g[f * self.kernel..(f + 1) * self.kernel];
+            for m in 0..m_len {
+                let go = grad_out[f * m_len + m];
+                self.b.g[f] += go;
+                for k in 0..self.kernel {
+                    wg[k] += go * x[m + k];
+                    dx[m + k] += go * w[k];
+                }
+            }
+        }
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    fn out_dim(&self) -> usize {
+        self.filters * self.out_len()
+    }
+
+    fn in_dim(&self) -> usize {
+        self.in_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moving_sum_kernel() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut c = Conv1d::new(5, 1, 2, &mut rng);
+        c.w.w = vec![1.0, 1.0];
+        c.b.w = vec![0.0];
+        let y = c.forward(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(y, vec![3.0, 5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn output_layout_is_filter_major() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut c = Conv1d::new(3, 2, 2, &mut rng);
+        c.w.w = vec![1.0, 0.0, 0.0, 1.0]; // f0 = x[m], f1 = x[m+1]
+        c.b.w = vec![0.0, 0.0];
+        let y = c.forward(&[10.0, 20.0, 30.0]);
+        assert_eq!(y, vec![10.0, 20.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn kernel_clamps_to_short_inputs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = Conv1d::new(2, 4, 8, &mut rng);
+        assert_eq!(c.kernel(), 2);
+        assert_eq!(c.out_dim(), 4); // M = 1
+    }
+
+    #[test]
+    fn gradcheck_conv1d() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut c = Conv1d::new(8, 3, 4, &mut rng);
+        let x = [0.5, -0.25, 1.0, 0.0, 0.75, -1.0, 0.3, 0.9];
+        gradcheck::check_input_grad(&mut c, &x, 1e-2);
+        gradcheck::check_param_grad(&mut c, &x, 1e-2);
+    }
+
+    #[test]
+    fn pensieve_shape() {
+        // 128 filters, kernel 4 over an 8-long history: 128 * 5 outputs.
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = Conv1d::new(8, 128, 4, &mut rng);
+        assert_eq!(c.out_dim(), 640);
+    }
+}

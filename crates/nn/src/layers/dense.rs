@@ -1,0 +1,109 @@
+//! Fully connected layer.
+
+use super::Layer;
+use crate::param::{xavier_limit, Param};
+use rand::rngs::StdRng;
+
+/// `y = W x + b` with `W` stored row-major `[out][in]`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    in_dim: usize,
+    out_dim: usize,
+    w: Param,
+    b: Param,
+    cache_x: Vec<f32>,
+}
+
+impl Dense {
+    /// Creates a Xavier-initialized dense layer.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "dense dims must be positive");
+        let limit = xavier_limit(in_dim, out_dim);
+        Self {
+            in_dim,
+            out_dim,
+            w: Param::uniform(in_dim * out_dim, limit, rng),
+            b: Param::zeros(out_dim),
+            cache_x: Vec::new(),
+        }
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, x: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(x.len(), self.in_dim, "dense input size mismatch");
+        self.cache_x = x.to_vec();
+        let mut y = self.b.w.clone();
+        for (o, y_o) in y.iter_mut().enumerate() {
+            let row = &self.w.w[o * self.in_dim..(o + 1) * self.in_dim];
+            *y_o += row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f32>();
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(grad_out.len(), self.out_dim);
+        let x = &self.cache_x;
+        let mut dx = vec![0.0f32; self.in_dim];
+        for (o, &go) in grad_out.iter().enumerate() {
+            self.b.g[o] += go;
+            let row_w = &self.w.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let row_g = &mut self.w.g[o * self.in_dim..(o + 1) * self.in_dim];
+            for i in 0..self.in_dim {
+                row_g[i] += go * x[i];
+                dx[i] += go * row_w[i];
+            }
+        }
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_weights_pass_through() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut d = Dense::new(3, 3, &mut rng);
+        d.w.w = vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0];
+        d.b.w = vec![0.5, 0.0, -0.5];
+        assert_eq!(d.forward(&[1.0, 2.0, 3.0]), vec![1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn gradcheck_dense() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut d = Dense::new(4, 6, &mut rng);
+        let x = [0.2, -1.0, 0.7, 0.05];
+        gradcheck::check_input_grad(&mut d, &x, 1e-2);
+        gradcheck::check_param_grad(&mut d, &x, 1e-2);
+    }
+
+    #[test]
+    fn gradients_accumulate_across_calls() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut d = Dense::new(2, 2, &mut rng);
+        let x = [1.0, 1.0];
+        let _ = d.forward(&x);
+        let _ = d.backward(&[1.0, 0.0]);
+        let g1 = d.b.g.clone();
+        let _ = d.forward(&x);
+        let _ = d.backward(&[1.0, 0.0]);
+        assert_eq!(d.b.g[0], 2.0 * g1[0]);
+    }
+}

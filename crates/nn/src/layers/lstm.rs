@@ -1,0 +1,246 @@
+//! LSTM over a scalar sequence.
+//!
+//! The paper's best 4G architecture swaps Pensieve's 1-D CNN for an LSTM.
+//! As with [`super::Rnn`], the input is one scalar per history slot and the
+//! output is the final hidden state.
+
+use super::Layer;
+use crate::param::{xavier_limit, Param};
+use rand::rngs::StdRng;
+
+/// Cached per-step values needed by backpropagation through time.
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: f32,
+    h_prev: Vec<f32>,
+    c_prev: Vec<f32>,
+    i: Vec<f32>,
+    f: Vec<f32>,
+    o: Vec<f32>,
+    g: Vec<f32>,
+    tanh_c: Vec<f32>,
+}
+
+/// Standard LSTM cell unrolled over the sequence:
+///
+/// ```text
+/// i = σ(Wi z + bi)    f = σ(Wf z + bf)
+/// o = σ(Wo z + bo)    g = tanh(Wg z + bg)
+/// c_t = f ⊙ c_{t-1} + i ⊙ g
+/// h_t = o ⊙ tanh(c_t)          z = [x_t ; h_{t-1}]
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    seq_len: usize,
+    units: usize,
+    /// Gate weights, each row-major `[units][1 + units]` (input then hidden).
+    wi: Param,
+    wf: Param,
+    wo: Param,
+    wg: Param,
+    bi: Param,
+    bf: Param,
+    bo: Param,
+    bg: Param,
+    cache: Vec<StepCache>,
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Lstm {
+    /// Creates an LSTM for sequences of length `seq_len`. The forget-gate
+    /// bias starts at 1 (the usual trick to let gradients flow early).
+    pub fn new(seq_len: usize, units: usize, rng: &mut StdRng) -> Self {
+        assert!(seq_len > 0 && units > 0, "lstm dims must be positive");
+        let z_dim = 1 + units;
+        let lim = xavier_limit(z_dim, units);
+        let gate = |rng: &mut StdRng| Param::uniform(units * z_dim, lim, rng);
+        let mut bf = Param::zeros(units);
+        bf.w.iter_mut().for_each(|b| *b = 1.0);
+        Self {
+            seq_len,
+            units,
+            wi: gate(rng),
+            wf: gate(rng),
+            wo: gate(rng),
+            wg: gate(rng),
+            bi: Param::zeros(units),
+            bf,
+            bo: Param::zeros(units),
+            bg: Param::zeros(units),
+            cache: Vec::new(),
+        }
+    }
+
+    /// `W z + b` where `z = [x ; h_prev]`.
+    fn gate_preact(w: &Param, b: &Param, units: usize, x: f32, h_prev: &[f32]) -> Vec<f32> {
+        let z_dim = 1 + h_prev.len();
+        (0..units)
+            .map(|u| {
+                let row = &w.w[u * z_dim..(u + 1) * z_dim];
+                b.w[u]
+                    + row[0] * x
+                    + row[1..].iter().zip(h_prev).map(|(w, h)| w * h).sum::<f32>()
+            })
+            .collect()
+    }
+
+    /// Accumulates gate gradients; returns contributions to `dx` and `dh_prev`.
+    fn gate_backward(
+        w: &mut Param,
+        b: &mut Param,
+        da: &[f32],
+        x: f32,
+        h_prev: &[f32],
+        dx: &mut f32,
+        dh_prev: &mut [f32],
+    ) {
+        let units = da.len();
+        let z_dim = 1 + h_prev.len();
+        for u in 0..units {
+            b.g[u] += da[u];
+            let row_w = &w.w[u * z_dim..(u + 1) * z_dim];
+            let row_g = &mut w.g[u * z_dim..(u + 1) * z_dim];
+            row_g[0] += da[u] * x;
+            *dx += da[u] * row_w[0];
+            for v in 0..h_prev.len() {
+                row_g[1 + v] += da[u] * h_prev[v];
+                dh_prev[v] += da[u] * row_w[1 + v];
+            }
+        }
+    }
+}
+
+impl Layer for Lstm {
+    fn forward(&mut self, x: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(x.len(), self.seq_len, "lstm input size mismatch");
+        self.cache.clear();
+        let mut h = vec![0.0f32; self.units];
+        let mut c = vec![0.0f32; self.units];
+        for &xt in x {
+            let i: Vec<f32> = Self::gate_preact(&self.wi, &self.bi, self.units, xt, &h)
+                .into_iter()
+                .map(sigmoid)
+                .collect();
+            let f: Vec<f32> = Self::gate_preact(&self.wf, &self.bf, self.units, xt, &h)
+                .into_iter()
+                .map(sigmoid)
+                .collect();
+            let o: Vec<f32> = Self::gate_preact(&self.wo, &self.bo, self.units, xt, &h)
+                .into_iter()
+                .map(sigmoid)
+                .collect();
+            let g: Vec<f32> = Self::gate_preact(&self.wg, &self.bg, self.units, xt, &h)
+                .into_iter()
+                .map(f32::tanh)
+                .collect();
+            let c_new: Vec<f32> = (0..self.units).map(|u| f[u] * c[u] + i[u] * g[u]).collect();
+            let tanh_c: Vec<f32> = c_new.iter().map(|&v| v.tanh()).collect();
+            let h_new: Vec<f32> = (0..self.units).map(|u| o[u] * tanh_c[u]).collect();
+            self.cache.push(StepCache { x: xt, h_prev: h, c_prev: c, i, f, o, g, tanh_c });
+            h = h_new;
+            c = c_new;
+        }
+        h
+    }
+
+    fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(grad_out.len(), self.units);
+        let mut dh = grad_out.to_vec();
+        let mut dc = vec![0.0f32; self.units];
+        let mut dx = vec![0.0f32; self.seq_len];
+        for t in (0..self.seq_len).rev() {
+            let sc = self.cache[t].clone();
+            let mut dh_prev = vec![0.0f32; self.units];
+            let mut dxt = 0.0f32;
+
+            let mut da_i = vec![0.0f32; self.units];
+            let mut da_f = vec![0.0f32; self.units];
+            let mut da_o = vec![0.0f32; self.units];
+            let mut da_g = vec![0.0f32; self.units];
+            for u in 0..self.units {
+                let do_ = dh[u] * sc.tanh_c[u];
+                da_o[u] = do_ * sc.o[u] * (1.0 - sc.o[u]);
+                let dct = dc[u] + dh[u] * sc.o[u] * (1.0 - sc.tanh_c[u] * sc.tanh_c[u]);
+                let di = dct * sc.g[u];
+                da_i[u] = di * sc.i[u] * (1.0 - sc.i[u]);
+                let dg = dct * sc.i[u];
+                da_g[u] = dg * (1.0 - sc.g[u] * sc.g[u]);
+                let df = dct * sc.c_prev[u];
+                da_f[u] = df * sc.f[u] * (1.0 - sc.f[u]);
+                dc[u] = dct * sc.f[u];
+            }
+            Self::gate_backward(&mut self.wi, &mut self.bi, &da_i, sc.x, &sc.h_prev, &mut dxt, &mut dh_prev);
+            Self::gate_backward(&mut self.wf, &mut self.bf, &da_f, sc.x, &sc.h_prev, &mut dxt, &mut dh_prev);
+            Self::gate_backward(&mut self.wo, &mut self.bo, &da_o, sc.x, &sc.h_prev, &mut dxt, &mut dh_prev);
+            Self::gate_backward(&mut self.wg, &mut self.bg, &da_g, sc.x, &sc.h_prev, &mut dxt, &mut dh_prev);
+            dx[t] = dxt;
+            dh = dh_prev;
+        }
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![
+            &mut self.wi,
+            &mut self.wf,
+            &mut self.wo,
+            &mut self.wg,
+            &mut self.bi,
+            &mut self.bf,
+            &mut self.bo,
+            &mut self.bg,
+        ]
+    }
+
+    fn out_dim(&self) -> usize {
+        self.units
+    }
+
+    fn in_dim(&self) -> usize {
+        self.seq_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shape_and_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut l = Lstm::new(6, 5, &mut rng);
+        let y = l.forward(&[0.1, 0.5, -0.4, 0.0, 0.2, -0.1]);
+        assert_eq!(y.len(), 5);
+        assert!(y.iter().all(|v| v.abs() <= 1.0), "h = o * tanh(c) is bounded");
+    }
+
+    #[test]
+    fn order_matters() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut l = Lstm::new(3, 4, &mut rng);
+        let a = l.forward(&[1.0, 0.0, -1.0]);
+        let b = l.forward(&[-1.0, 0.0, 1.0]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gradcheck_lstm() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut l = Lstm::new(4, 3, &mut rng);
+        let x = [0.4, -0.6, 0.2, 0.8];
+        gradcheck::check_input_grad(&mut l, &x, 2e-2);
+        gradcheck::check_param_grad(&mut l, &x, 2e-2);
+    }
+
+    #[test]
+    fn forget_bias_starts_open() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut l = Lstm::new(2, 3, &mut rng);
+        assert!(l.params_mut()[5].w.iter().all(|&b| (b - 1.0).abs() < 1e-6));
+    }
+}

@@ -1,0 +1,296 @@
+//! Layer zoo: dense, conv1d, RNN, LSTM and activations.
+//!
+//! Layers follow a *single-sample, immediate-backward* discipline: `forward`
+//! caches whatever the matching `backward` needs, and `backward` must be
+//! called while that cache is fresh (the trainer re-forwards each state
+//! right before backpropagating its gradient). Parameter gradients
+//! accumulate across calls until an optimizer step clears them — this is
+//! exactly what episode-batched A2C needs.
+
+pub mod activation;
+pub mod conv1d;
+pub mod dense;
+pub mod lstm;
+pub mod rnn;
+
+pub use activation::{Activation, ActivationLayer};
+pub use conv1d::Conv1d;
+pub use dense::Dense;
+pub use lstm::Lstm;
+pub use rnn::Rnn;
+
+use crate::param::Param;
+
+/// A differentiable transformation with trainable parameters.
+pub trait Layer {
+    /// Computes the layer output, caching activations for `backward`.
+    fn forward(&mut self, x: &[f32]) -> Vec<f32>;
+
+    /// Backpropagates `grad_out` (gradient of the loss w.r.t. this layer's
+    /// output), accumulating parameter gradients and returning the gradient
+    /// w.r.t. the input. Must follow a `forward` on the same input.
+    fn backward(&mut self, grad_out: &[f32]) -> Vec<f32>;
+
+    /// Mutable access to every parameter block (weights + biases).
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Output dimensionality.
+    fn out_dim(&self) -> usize;
+
+    /// Input dimensionality.
+    fn in_dim(&self) -> usize;
+}
+
+/// Closed enum over the layer zoo so networks can be cloned and stored
+/// without boxed trait objects.
+#[derive(Debug, Clone)]
+pub enum AnyLayer {
+    /// Fully connected layer.
+    Dense(Dense),
+    /// 1-D valid convolution over a single-channel sequence.
+    Conv1d(Conv1d),
+    /// Vanilla tanh RNN over a scalar sequence, emitting the last hidden state.
+    Rnn(Rnn),
+    /// LSTM over a scalar sequence, emitting the last hidden state.
+    Lstm(Lstm),
+    /// Elementwise activation.
+    Act(ActivationLayer),
+}
+
+impl Layer for AnyLayer {
+    fn forward(&mut self, x: &[f32]) -> Vec<f32> {
+        match self {
+            AnyLayer::Dense(l) => l.forward(x),
+            AnyLayer::Conv1d(l) => l.forward(x),
+            AnyLayer::Rnn(l) => l.forward(x),
+            AnyLayer::Lstm(l) => l.forward(x),
+            AnyLayer::Act(l) => l.forward(x),
+        }
+    }
+
+    fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
+        match self {
+            AnyLayer::Dense(l) => l.backward(grad_out),
+            AnyLayer::Conv1d(l) => l.backward(grad_out),
+            AnyLayer::Rnn(l) => l.backward(grad_out),
+            AnyLayer::Lstm(l) => l.backward(grad_out),
+            AnyLayer::Act(l) => l.backward(grad_out),
+        }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        match self {
+            AnyLayer::Dense(l) => l.params_mut(),
+            AnyLayer::Conv1d(l) => l.params_mut(),
+            AnyLayer::Rnn(l) => l.params_mut(),
+            AnyLayer::Lstm(l) => l.params_mut(),
+            AnyLayer::Act(l) => l.params_mut(),
+        }
+    }
+
+    fn out_dim(&self) -> usize {
+        match self {
+            AnyLayer::Dense(l) => l.out_dim(),
+            AnyLayer::Conv1d(l) => l.out_dim(),
+            AnyLayer::Rnn(l) => l.out_dim(),
+            AnyLayer::Lstm(l) => l.out_dim(),
+            AnyLayer::Act(l) => l.out_dim(),
+        }
+    }
+
+    fn in_dim(&self) -> usize {
+        match self {
+            AnyLayer::Dense(l) => l.in_dim(),
+            AnyLayer::Conv1d(l) => l.in_dim(),
+            AnyLayer::Rnn(l) => l.in_dim(),
+            AnyLayer::Lstm(l) => l.in_dim(),
+            AnyLayer::Act(l) => l.in_dim(),
+        }
+    }
+}
+
+/// A chain of layers applied in order.
+#[derive(Debug, Clone, Default)]
+pub struct Sequential {
+    layers: Vec<AnyLayer>,
+}
+
+impl Sequential {
+    /// Builds a chain, checking that adjacent dimensions line up.
+    ///
+    /// # Panics
+    /// Panics on a dimension mismatch — network topologies are constructed
+    /// by the graph builder, so this is an internal invariant.
+    pub fn new(layers: Vec<AnyLayer>) -> Self {
+        for w in layers.windows(2) {
+            assert_eq!(
+                w[0].out_dim(),
+                w[1].in_dim(),
+                "layer dimension mismatch: {} -> {}",
+                w[0].out_dim(),
+                w[1].in_dim()
+            );
+        }
+        Self { layers }
+    }
+
+    /// The contained layers.
+    pub fn layers(&self) -> &[AnyLayer] {
+        &self.layers
+    }
+
+    /// Number of trainable weights in the chain.
+    pub fn n_weights(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &[f32]) -> Vec<f32> {
+        let mut cur = x.to_vec();
+        for l in &mut self.layers {
+            cur = l.forward(&cur);
+        }
+        cur
+    }
+
+    fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
+        let mut cur = grad_out.to_vec();
+        for l in self.layers.iter_mut().rev() {
+            cur = l.backward(&cur);
+        }
+        cur
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    fn out_dim(&self) -> usize {
+        self.layers.last().map(|l| l.out_dim()).unwrap_or(0)
+    }
+
+    fn in_dim(&self) -> usize {
+        self.layers.first().map(|l| l.in_dim()).unwrap_or(0)
+    }
+}
+
+/// Finite-difference gradient checking helper shared by layer tests.
+#[cfg(test)]
+pub(crate) mod gradcheck {
+    use super::Layer;
+
+    /// Verifies `d loss/d x` via central differences where
+    /// `loss = sum(weights * forward(x))`.
+    pub fn check_input_grad<L: Layer>(layer: &mut L, x: &[f32], tol: f32) {
+        let y = layer.forward(x);
+        // Fixed pseudo-random loss weights make the test sensitive to every
+        // output coordinate.
+        let wts: Vec<f32> = (0..y.len()).map(|i| ((i * 37 + 11) % 7) as f32 - 3.0).collect();
+        let dx = layer.backward(&wts);
+        let eps = 1e-3f32;
+        for i in 0..x.len() {
+            let mut xp = x.to_vec();
+            xp[i] += eps;
+            let yp: f32 =
+                layer.forward(&xp).iter().zip(&wts).map(|(a, b)| a * b).sum();
+            let mut xm = x.to_vec();
+            xm[i] -= eps;
+            let ym: f32 =
+                layer.forward(&xm).iter().zip(&wts).map(|(a, b)| a * b).sum();
+            let num = (yp - ym) / (2.0 * eps);
+            assert!(
+                (num - dx[i]).abs() <= tol * (1.0 + num.abs()),
+                "input grad mismatch at {i}: analytic {} vs numeric {num}",
+                dx[i]
+            );
+        }
+        // Leave the cache consistent for any follow-up assertions.
+        let _ = layer.forward(x);
+    }
+
+    /// Verifies parameter gradients via central differences.
+    pub fn check_param_grad<L: Layer>(layer: &mut L, x: &[f32], tol: f32) {
+        let y = layer.forward(x);
+        let wts: Vec<f32> = (0..y.len()).map(|i| ((i * 53 + 5) % 5) as f32 - 2.0).collect();
+        for p in layer.params_mut() {
+            p.zero_grad();
+        }
+        let _ = layer.backward(&wts);
+        let analytic: Vec<Vec<f32>> =
+            layer.params_mut().iter().map(|p| p.g.clone()).collect();
+        let n_blocks = analytic.len();
+        let eps = 1e-3f32;
+        for b in 0..n_blocks {
+            let n = layer.params_mut()[b].len();
+            // Probe a spread of weights, not all (keeps tests fast).
+            let stride = (n / 7).max(1);
+            for i in (0..n).step_by(stride) {
+                let orig = layer.params_mut()[b].w[i];
+                layer.params_mut()[b].w[i] = orig + eps;
+                let yp: f32 =
+                    layer.forward(x).iter().zip(&wts).map(|(a, c)| a * c).sum();
+                layer.params_mut()[b].w[i] = orig - eps;
+                let ym: f32 =
+                    layer.forward(x).iter().zip(&wts).map(|(a, c)| a * c).sum();
+                layer.params_mut()[b].w[i] = orig;
+                let num = (yp - ym) / (2.0 * eps);
+                assert!(
+                    (num - analytic[b][i]).abs() <= tol * (1.0 + num.abs()),
+                    "param grad mismatch block {b} index {i}: analytic {} vs numeric {num}",
+                    analytic[b][i]
+                );
+            }
+        }
+        let _ = layer.forward(x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sequential_chains_dims() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = Sequential::new(vec![
+            AnyLayer::Dense(Dense::new(4, 8, &mut rng)),
+            AnyLayer::Act(ActivationLayer::new(Activation::Relu, 8)),
+            AnyLayer::Dense(Dense::new(8, 2, &mut rng)),
+        ]);
+        assert_eq!(s.in_dim(), 4);
+        assert_eq!(s.out_dim(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn sequential_rejects_mismatch() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = Sequential::new(vec![
+            AnyLayer::Dense(Dense::new(4, 8, &mut rng)),
+            AnyLayer::Dense(Dense::new(9, 2, &mut rng)),
+        ]);
+    }
+
+    #[test]
+    fn sequential_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = Sequential::new(vec![
+            AnyLayer::Dense(Dense::new(5, 7, &mut rng)),
+            AnyLayer::Act(ActivationLayer::new(Activation::Tanh, 7)),
+            AnyLayer::Dense(Dense::new(7, 3, &mut rng)),
+        ]);
+        let x = [0.3, -0.7, 1.1, 0.0, 0.5];
+        gradcheck::check_input_grad(&mut s, &x, 2e-2);
+        gradcheck::check_param_grad(&mut s, &x, 2e-2);
+    }
+
+    #[test]
+    fn weight_count_is_sum_of_blocks() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = Sequential::new(vec![AnyLayer::Dense(Dense::new(4, 3, &mut rng))]);
+        assert_eq!(s.n_weights(), 4 * 3 + 3);
+    }
+}

@@ -1,0 +1,139 @@
+//! Vanilla tanh RNN over a scalar sequence.
+//!
+//! The paper's best Starlink architecture replaces Pensieve's 1-D CNN with
+//! an RNN. Temporal branch inputs here are scalar sequences (one measurement
+//! per history slot), so the RNN consumes one scalar per step and emits its
+//! final hidden state.
+
+use super::Layer;
+use crate::param::{xavier_limit, Param};
+use rand::rngs::StdRng;
+
+/// `h_t = tanh(wx * x_t + Wh h_{t-1} + b)`, output `h_T`.
+#[derive(Debug, Clone)]
+pub struct Rnn {
+    seq_len: usize,
+    units: usize,
+    /// Input weights, `[units]` (scalar input per step).
+    wx: Param,
+    /// Recurrent weights, row-major `[units][units]`.
+    wh: Param,
+    /// Bias, `[units]`.
+    b: Param,
+    cache_x: Vec<f32>,
+    /// Hidden states `h_0..h_T`, each `units` long.
+    cache_h: Vec<Vec<f32>>,
+}
+
+impl Rnn {
+    /// Creates an RNN for sequences of length `seq_len`.
+    pub fn new(seq_len: usize, units: usize, rng: &mut StdRng) -> Self {
+        assert!(seq_len > 0 && units > 0, "rnn dims must be positive");
+        let lim_x = xavier_limit(1, units);
+        let lim_h = xavier_limit(units, units);
+        Self {
+            seq_len,
+            units,
+            wx: Param::uniform(units, lim_x, rng),
+            wh: Param::uniform(units * units, lim_h, rng),
+            b: Param::zeros(units),
+            cache_x: Vec::new(),
+            cache_h: Vec::new(),
+        }
+    }
+}
+
+impl Layer for Rnn {
+    fn forward(&mut self, x: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(x.len(), self.seq_len, "rnn input size mismatch");
+        self.cache_x = x.to_vec();
+        self.cache_h = Vec::with_capacity(self.seq_len + 1);
+        self.cache_h.push(vec![0.0; self.units]);
+        for &xt in x {
+            let h_prev = self.cache_h.last().expect("h0 pushed").clone();
+            let mut h = vec![0.0f32; self.units];
+            for u in 0..self.units {
+                let mut a = self.wx.w[u] * xt + self.b.w[u];
+                let row = &self.wh.w[u * self.units..(u + 1) * self.units];
+                a += row.iter().zip(&h_prev).map(|(w, h)| w * h).sum::<f32>();
+                h[u] = a.tanh();
+            }
+            self.cache_h.push(h);
+        }
+        self.cache_h.last().expect("non-empty").clone()
+    }
+
+    fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(grad_out.len(), self.units);
+        let mut dh = grad_out.to_vec();
+        let mut dx = vec![0.0f32; self.seq_len];
+        for t in (0..self.seq_len).rev() {
+            let h = &self.cache_h[t + 1];
+            let h_prev = &self.cache_h[t];
+            let xt = self.cache_x[t];
+            // da = dh ⊙ (1 - h²)
+            let da: Vec<f32> =
+                dh.iter().zip(h).map(|(&d, &hv)| d * (1.0 - hv * hv)).collect();
+            let mut dh_prev = vec![0.0f32; self.units];
+            for u in 0..self.units {
+                self.wx.g[u] += da[u] * xt;
+                self.b.g[u] += da[u];
+                dx[t] += da[u] * self.wx.w[u];
+                let row_w = &self.wh.w[u * self.units..(u + 1) * self.units];
+                let row_g = &mut self.wh.g[u * self.units..(u + 1) * self.units];
+                for v in 0..self.units {
+                    row_g[v] += da[u] * h_prev[v];
+                    dh_prev[v] += da[u] * row_w[v];
+                }
+            }
+            dh = dh_prev;
+        }
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wx, &mut self.wh, &mut self.b]
+    }
+
+    fn out_dim(&self) -> usize {
+        self.units
+    }
+
+    fn in_dim(&self) -> usize {
+        self.seq_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_is_final_hidden_state() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut r = Rnn::new(4, 3, &mut rng);
+        let y = r.forward(&[0.1, -0.2, 0.3, 0.0]);
+        assert_eq!(y.len(), 3);
+        assert!(y.iter().all(|v| v.abs() <= 1.0), "tanh keeps outputs in [-1,1]");
+    }
+
+    #[test]
+    fn order_matters() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut r = Rnn::new(3, 4, &mut rng);
+        let a = r.forward(&[1.0, 0.0, -1.0]);
+        let b = r.forward(&[-1.0, 0.0, 1.0]);
+        assert_ne!(a, b, "an RNN must be order-sensitive");
+    }
+
+    #[test]
+    fn gradcheck_rnn() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut r = Rnn::new(5, 4, &mut rng);
+        let x = [0.4, -0.6, 0.2, 0.9, -0.3];
+        gradcheck::check_input_grad(&mut r, &x, 2e-2);
+        gradcheck::check_param_grad(&mut r, &x, 2e-2);
+    }
+}

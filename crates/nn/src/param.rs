@@ -1,0 +1,129 @@
+//! Parameter storage: weights, gradients, and Adam moment buffers.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A flat block of trainable weights with its gradient accumulator and the
+/// Adam first/second-moment state that travels with it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Weight values.
+    pub w: Vec<f32>,
+    /// Gradient accumulator (summed across a batch/episode; cleared by
+    /// [`Param::zero_grad`] or the optimizer step).
+    pub g: Vec<f32>,
+    /// Adam first-moment estimate.
+    pub m: Vec<f32>,
+    /// Adam second-moment estimate.
+    pub v: Vec<f32>,
+}
+
+impl Param {
+    /// Creates a zero-initialized parameter block of `n` weights.
+    pub fn zeros(n: usize) -> Self {
+        Self { w: vec![0.0; n], g: vec![0.0; n], m: vec![0.0; n], v: vec![0.0; n] }
+    }
+
+    /// Creates a block initialized uniformly in `[-limit, limit]`
+    /// (Xavier/He-style limits are computed by the layers).
+    pub fn uniform(n: usize, limit: f32, rng: &mut StdRng) -> Self {
+        let w = (0..n).map(|_| rng.gen_range(-limit..=limit)).collect();
+        Self { w, g: vec![0.0; n], m: vec![0.0; n], v: vec![0.0; n] }
+    }
+
+    /// Number of weights in the block.
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    /// True if the block holds no weights.
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+
+    /// Clears the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.g.iter_mut().for_each(|g| *g = 0.0);
+    }
+}
+
+/// Xavier/Glorot uniform limit for a weight with the given fan-in/out.
+pub fn xavier_limit(fan_in: usize, fan_out: usize) -> f32 {
+    (6.0 / (fan_in + fan_out) as f32).sqrt()
+}
+
+/// Sums of squared gradients across blocks — the global gradient norm.
+pub fn global_grad_norm(params: &[&Param]) -> f32 {
+    params
+        .iter()
+        .flat_map(|p| p.g.iter())
+        .map(|g| g * g)
+        .sum::<f32>()
+        .sqrt()
+}
+
+/// Scales all gradients so the global norm does not exceed `max_norm`.
+/// Returns the pre-clip norm.
+pub fn clip_global_grad_norm(params: &mut [&mut Param], max_norm: f32) -> f32 {
+    let norm = params
+        .iter()
+        .flat_map(|p| p.g.iter())
+        .map(|g| g * g)
+        .sum::<f32>()
+        .sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params.iter_mut() {
+            p.g.iter_mut().for_each(|g| *g *= scale);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = Param::uniform(1000, 0.25, &mut rng);
+        assert!(p.w.iter().all(|&w| (-0.25..=0.25).contains(&w)));
+        // Should actually spread out, not collapse.
+        let spread = p.w.iter().fold(0.0f32, |a, &b| a.max(b.abs()));
+        assert!(spread > 0.2);
+    }
+
+    #[test]
+    fn zero_grad_clears_accumulator() {
+        let mut p = Param::zeros(4);
+        p.g = vec![1.0, -2.0, 3.0, 0.5];
+        p.zero_grad();
+        assert!(p.g.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn clipping_preserves_direction_and_caps_norm() {
+        let mut p = Param::zeros(2);
+        p.g = vec![3.0, 4.0]; // norm 5
+        let pre = clip_global_grad_norm(&mut [&mut p], 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        let post = (p.g[0] * p.g[0] + p.g[1] * p.g[1]).sqrt();
+        assert!((post - 1.0).abs() < 1e-6);
+        assert!((p.g[0] / p.g[1] - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clipping_leaves_small_gradients_alone() {
+        let mut p = Param::zeros(2);
+        p.g = vec![0.3, 0.4];
+        clip_global_grad_norm(&mut [&mut p], 1.0);
+        assert_eq!(p.g, vec![0.3, 0.4]);
+    }
+
+    #[test]
+    fn xavier_limit_shrinks_with_width() {
+        assert!(xavier_limit(1000, 1000) < xavier_limit(10, 10));
+    }
+}

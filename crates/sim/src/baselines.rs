@@ -1,0 +1,342 @@
+//! Classic hand-designed ABR policies.
+//!
+//! The paper's intro motivates NADA with the long line of human-designed ABR
+//! heuristics; these four are the standard points of comparison and serve as
+//! sanity baselines and example fodder in this reproduction:
+//!
+//! * [`BufferBased`] — BBA-0 (Netflix): map buffer occupancy linearly onto
+//!   the ladder between a reservoir and a cushion;
+//! * [`RateBased`] — pick the highest bitrate below an EMA of measured
+//!   throughput;
+//! * [`Bola`] — Lyapunov-style utility maximization on buffer levels;
+//! * [`RobustMpc`] — model-predictive control over a short horizon with a
+//!   conservative (harmonic-mean / max-error discounted) throughput
+//!   predictor.
+
+use crate::obs::Observation;
+
+/// An ABR policy: picks the next chunk's quality level from an observation.
+pub trait AbrPolicy {
+    /// Returns a quality index in `0..obs.n_levels()`.
+    fn select(&mut self, obs: &Observation) -> usize;
+
+    /// Resets internal state between episodes.
+    fn reset(&mut self) {}
+
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// BBA-0 buffer-based ABR (Huang et al., SIGCOMM 2014).
+#[derive(Debug, Clone)]
+pub struct BufferBased {
+    /// Below this buffer level, stream the lowest quality.
+    pub reservoir_s: f64,
+    /// Above `reservoir + cushion`, stream the highest quality.
+    pub cushion_s: f64,
+}
+
+impl Default for BufferBased {
+    fn default() -> Self {
+        Self { reservoir_s: 5.0, cushion_s: 30.0 }
+    }
+}
+
+impl AbrPolicy for BufferBased {
+    fn select(&mut self, obs: &Observation) -> usize {
+        let n = obs.n_levels();
+        if obs.buffer_s <= self.reservoir_s {
+            return 0;
+        }
+        if obs.buffer_s >= self.reservoir_s + self.cushion_s {
+            return n - 1;
+        }
+        let frac = (obs.buffer_s - self.reservoir_s) / self.cushion_s;
+        ((frac * n as f64) as usize).min(n - 1)
+    }
+
+    fn name(&self) -> &'static str {
+        "BufferBased"
+    }
+}
+
+/// Rate-based ABR: exponentially weighted throughput estimate with a safety
+/// factor, then the highest sustainable ladder rung.
+#[derive(Debug, Clone)]
+pub struct RateBased {
+    /// EMA smoothing factor for new throughput samples, in `(0, 1]`.
+    pub alpha: f64,
+    /// Fraction of the estimate considered safe to spend.
+    pub safety: f64,
+    ema_mbps: Option<f64>,
+}
+
+impl Default for RateBased {
+    fn default() -> Self {
+        Self { alpha: 0.4, safety: 0.9, ema_mbps: None }
+    }
+}
+
+impl AbrPolicy for RateBased {
+    fn select(&mut self, obs: &Observation) -> usize {
+        if let Some(&last) = obs.throughput_mbps.last().filter(|&&t| t > 0.0) {
+            self.ema_mbps = Some(match self.ema_mbps {
+                Some(e) => (1.0 - self.alpha) * e + self.alpha * last,
+                None => last,
+            });
+        }
+        let budget_kbps = self.ema_mbps.unwrap_or(0.0) * 1000.0 * self.safety;
+        highest_affordable(obs, budget_kbps)
+    }
+
+    fn reset(&mut self) {
+        self.ema_mbps = None;
+    }
+
+    fn name(&self) -> &'static str {
+        "RateBased"
+    }
+}
+
+/// BOLA (Spiteri et al., INFOCOM 2016), simplified: maximize
+/// `(V * utility(level) + V * gamma - buffer_chunks) / size(level)` where
+/// utility is log-relative bitrate.
+#[derive(Debug, Clone)]
+pub struct Bola {
+    /// Lyapunov trade-off parameter; larger favours quality over buffer.
+    pub v: f64,
+    /// Rebuffer-avoidance weight.
+    pub gamma: f64,
+}
+
+impl Default for Bola {
+    fn default() -> Self {
+        Self { v: 0.93, gamma: 5.0 }
+    }
+}
+
+impl AbrPolicy for Bola {
+    fn select(&mut self, obs: &Observation) -> usize {
+        let buffer_chunks = obs.buffer_s / 4.0; // chunk lengths are 4 s
+        let min_kbps = obs.ladder_kbps[0];
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for (i, &kbps) in obs.ladder_kbps.iter().enumerate() {
+            let utility = (kbps / min_kbps).ln();
+            let size = obs.next_chunk_sizes_bytes[i];
+            let score = (self.v * (utility + self.gamma) - buffer_chunks) / size;
+            if score > best_score {
+                best_score = score;
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn name(&self) -> &'static str {
+        "BOLA"
+    }
+}
+
+/// RobustMPC (Yin et al., SIGCOMM 2015), exhaustive over a short horizon:
+/// predicts throughput as the harmonic mean of the last five samples
+/// discounted by the recent maximum prediction error, then enumerates all
+/// quality sequences over the horizon maximizing total `QoE_lin`.
+#[derive(Debug, Clone)]
+pub struct RobustMpc {
+    /// Lookahead horizon in chunks (5 in the MPC paper).
+    pub horizon: usize,
+    /// Rebuffer penalty used in the internal objective.
+    pub rebuf_penalty: f64,
+    past_errors: Vec<f64>,
+    last_prediction_mbps: Option<f64>,
+}
+
+impl Default for RobustMpc {
+    fn default() -> Self {
+        Self { horizon: 5, rebuf_penalty: 4.3, past_errors: Vec::new(), last_prediction_mbps: None }
+    }
+}
+
+impl RobustMpc {
+    fn predict_throughput_mbps(&mut self, obs: &Observation) -> f64 {
+        let samples: Vec<f64> =
+            obs.throughput_mbps.iter().rev().take(5).filter(|&&t| t > 0.0).copied().collect();
+        if samples.is_empty() {
+            return obs.ladder_kbps[0] / 1000.0;
+        }
+        // Track prediction error for the robustness discount.
+        if let (Some(pred), Some(&actual)) = (self.last_prediction_mbps, samples.first()) {
+            let err = ((pred - actual) / actual).abs();
+            self.past_errors.push(err);
+            if self.past_errors.len() > 5 {
+                self.past_errors.remove(0);
+            }
+        }
+        let harmonic =
+            samples.len() as f64 / samples.iter().map(|t| 1.0 / t).sum::<f64>();
+        let max_err = self.past_errors.iter().copied().fold(0.0, f64::max);
+        let robust = harmonic / (1.0 + max_err);
+        self.last_prediction_mbps = Some(robust);
+        robust
+    }
+}
+
+impl AbrPolicy for RobustMpc {
+    fn select(&mut self, obs: &Observation) -> usize {
+        let n = obs.n_levels();
+        let pred_mbps = self.predict_throughput_mbps(obs);
+        let horizon = self.horizon.min(obs.chunks_remaining).max(1);
+        let chunk_s = 4.0;
+
+        // Exhaustive search over quality sequences (6^5 = 7776 worst case).
+        let mut best_first = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        let mut seq = vec![0usize; horizon];
+        loop {
+            // Evaluate the sequence.
+            let mut buffer = obs.buffer_s;
+            let mut last_kbps = obs.last_bitrate_kbps;
+            let mut score = 0.0;
+            for (h, &q) in seq.iter().enumerate() {
+                // Approximate future chunk sizes by nominal bitrate sizes;
+                // the true size is only known for the immediate next chunk.
+                let bytes = if h == 0 {
+                    obs.next_chunk_sizes_bytes[q]
+                } else {
+                    obs.ladder_kbps[q] * 1000.0 / 8.0 * chunk_s
+                };
+                let dl = bytes * 8.0 / (pred_mbps * 1e6);
+                let rebuf = (dl - buffer).max(0.0);
+                buffer = (buffer - dl).max(0.0) + chunk_s;
+                let q_mbps = obs.ladder_kbps[q] / 1000.0;
+                score += q_mbps
+                    - self.rebuf_penalty * rebuf
+                    - (q_mbps - last_kbps / 1000.0).abs();
+                last_kbps = obs.ladder_kbps[q];
+            }
+            if score > best_score {
+                best_score = score;
+                best_first = seq[0];
+            }
+            // Odometer increment.
+            let mut i = 0;
+            loop {
+                if i == horizon {
+                    return best_first;
+                }
+                seq[i] += 1;
+                if seq[i] < n {
+                    break;
+                }
+                seq[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.past_errors.clear();
+        self.last_prediction_mbps = None;
+    }
+
+    fn name(&self) -> &'static str {
+        "RobustMPC"
+    }
+}
+
+/// Always picks the same quality; useful as a degenerate baseline in tests.
+#[derive(Debug, Clone, Copy)]
+pub struct Constant(pub usize);
+
+impl AbrPolicy for Constant {
+    fn select(&mut self, obs: &Observation) -> usize {
+        self.0.min(obs.n_levels() - 1)
+    }
+
+    fn name(&self) -> &'static str {
+        "Constant"
+    }
+}
+
+fn highest_affordable(obs: &Observation, budget_kbps: f64) -> usize {
+    let mut pick = 0usize;
+    for (i, &kbps) in obs.ladder_kbps.iter().enumerate() {
+        if kbps <= budget_kbps {
+            pick = i;
+        }
+    }
+    pick
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::HISTORY_LEN;
+
+    fn obs_with(buffer_s: f64, throughput_mbps: f64) -> Observation {
+        let ladder = vec![300.0, 750.0, 1200.0, 1850.0, 2850.0, 4300.0];
+        Observation {
+            throughput_mbps: vec![throughput_mbps; HISTORY_LEN],
+            download_time_s: vec![1.0; HISTORY_LEN],
+            buffer_history_s: vec![buffer_s; HISTORY_LEN],
+            next_chunk_sizes_bytes: ladder.iter().map(|k| k * 500.0).collect(),
+            buffer_s,
+            chunks_remaining: 20,
+            total_chunks: 48,
+            last_bitrate_kbps: 750.0,
+            ladder_kbps: ladder,
+        }
+    }
+
+    #[test]
+    fn buffer_based_maps_buffer_to_ladder() {
+        let mut p = BufferBased::default();
+        assert_eq!(p.select(&obs_with(1.0, 5.0)), 0);
+        assert_eq!(p.select(&obs_with(50.0, 5.0)), 5);
+        let mid = p.select(&obs_with(20.0, 5.0));
+        assert!(mid > 0 && mid < 5);
+    }
+
+    #[test]
+    fn rate_based_tracks_throughput() {
+        let mut p = RateBased::default();
+        // 5 Mbps: affords 4300 kbps with 0.9 safety (4500 > 4300).
+        assert_eq!(p.select(&obs_with(10.0, 5.0)), 5);
+        p.reset();
+        // 1 Mbps: affords 750 kbps (900 budget).
+        assert_eq!(p.select(&obs_with(10.0, 1.0)), 1);
+    }
+
+    #[test]
+    fn rate_based_ignores_zero_padded_history() {
+        let mut p = RateBased::default();
+        let mut obs = obs_with(10.0, 0.0);
+        obs.throughput_mbps = vec![0.0; HISTORY_LEN];
+        assert_eq!(p.select(&obs), 0, "no data must fall back to lowest");
+    }
+
+    #[test]
+    fn bola_is_monotone_in_buffer() {
+        let mut p = Bola::default();
+        let low = p.select(&obs_with(2.0, 3.0));
+        let high = p.select(&obs_with(55.0, 3.0));
+        assert!(high >= low);
+    }
+
+    #[test]
+    fn mpc_picks_low_when_starved_and_high_when_rich() {
+        let mut p = RobustMpc::default();
+        let starved = p.select(&obs_with(0.5, 0.4));
+        assert!(starved <= 1, "starved pick {starved}");
+        p.reset();
+        let rich = p.select(&obs_with(30.0, 50.0));
+        assert!(rich >= 4, "rich pick {rich}");
+    }
+
+    #[test]
+    fn constant_clamps_to_ladder() {
+        let mut p = Constant(99);
+        assert_eq!(p.select(&obs_with(1.0, 1.0)), 5);
+    }
+}

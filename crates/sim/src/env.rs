@@ -1,0 +1,276 @@
+//! The ABR episode environment: Pensieve's player model over a transport.
+//!
+//! One episode = one video playback over one trace. Each step the policy
+//! picks a quality level for the next chunk; the environment downloads it
+//! through the transport, updates the playback buffer (stalling if it runs
+//! dry, sleeping if it overflows Pensieve's 60-second cap), and returns the
+//! next [`Observation`] plus the `QoE_lin` reward.
+
+use crate::emulator::EmuTransport;
+use crate::obs::{HistoryBuffers, Observation};
+use crate::qoe::QoeMetric;
+use crate::transport::{ChunkTransport, SimTransport};
+use crate::video::VideoManifest;
+use nada_traces::Trace;
+
+/// Playback buffer cap: Pensieve sleeps once the buffer exceeds 60 s.
+pub const BUFFER_CAP_S: f64 = 60.0;
+/// Sleep quantum while the buffer is above the cap (Pensieve: 500 ms).
+pub const DRAIN_SLEEP_S: f64 = 0.5;
+/// Quality level selected for the implicit chunk before the episode starts
+/// (Pensieve's `DEFAULT_QUALITY = 1`).
+pub const DEFAULT_QUALITY: usize = 1;
+
+/// Result of one environment step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepResult {
+    /// Observation for choosing the *next* chunk (valid even when `done`;
+    /// terminal observations feed value bootstrapping).
+    pub obs: Observation,
+    /// `QoE` reward earned by the chunk just downloaded.
+    pub reward: f64,
+    /// Seconds of rebuffering incurred by this chunk.
+    pub rebuffer_s: f64,
+    /// Download delay of this chunk, seconds.
+    pub delay_s: f64,
+    /// Seconds slept because the buffer exceeded [`BUFFER_CAP_S`].
+    pub sleep_s: f64,
+    /// True when the video has no chunks left.
+    pub done: bool,
+}
+
+/// The ABR environment, generic over the transport model.
+#[derive(Debug, Clone)]
+pub struct AbrEnv<'a, T: ChunkTransport, Q: QoeMetric> {
+    manifest: &'a VideoManifest,
+    transport: T,
+    qoe: Q,
+    history: HistoryBuffers,
+    buffer_s: f64,
+    next_chunk: usize,
+    last_quality: usize,
+}
+
+impl<'a, Q: QoeMetric> AbrEnv<'a, SimTransport<'a>, Q> {
+    /// Builds a simulation-backed environment (Pensieve `env.py` semantics:
+    /// random trace start offset and ±10 % delay noise, seeded).
+    pub fn new_sim(manifest: &'a VideoManifest, trace: &'a Trace, qoe: Q, seed: u64) -> Self {
+        Self::with_transport(manifest, SimTransport::new(trace, seed), qoe)
+    }
+
+    /// Builds a deterministic, noise-free simulation environment starting at
+    /// the trace beginning (for tests and reproducible fixtures).
+    pub fn new_sim_deterministic(manifest: &'a VideoManifest, trace: &'a Trace, qoe: Q) -> Self {
+        Self::with_transport(manifest, SimTransport::deterministic(trace), qoe)
+    }
+}
+
+impl<'a, Q: QoeMetric> AbrEnv<'a, EmuTransport<'a>, Q> {
+    /// Builds an emulation-backed environment (HTTP/TCP dynamics; see
+    /// [`crate::emulator`]).
+    pub fn new_emu(manifest: &'a VideoManifest, trace: &'a Trace, qoe: Q, seed: u64) -> Self {
+        Self::with_transport(manifest, EmuTransport::new(trace, seed), qoe)
+    }
+}
+
+impl<'a, T: ChunkTransport, Q: QoeMetric> AbrEnv<'a, T, Q> {
+    /// Builds an environment over an arbitrary transport.
+    pub fn with_transport(manifest: &'a VideoManifest, transport: T, qoe: Q) -> Self {
+        Self {
+            manifest,
+            transport,
+            qoe,
+            history: HistoryBuffers::new(),
+            buffer_s: 0.0,
+            next_chunk: 0,
+            last_quality: DEFAULT_QUALITY,
+        }
+    }
+
+    /// The manifest being streamed.
+    pub fn manifest(&self) -> &VideoManifest {
+        self.manifest
+    }
+
+    /// Observation for selecting the first chunk.
+    pub fn initial_observation(&self) -> Observation {
+        self.observation()
+    }
+
+    fn observation(&self) -> Observation {
+        let next = self.next_chunk.min(self.manifest.n_chunks() - 1);
+        Observation {
+            throughput_mbps: self.history.throughput(),
+            download_time_s: self.history.download_time(),
+            buffer_history_s: self.history.buffer(),
+            next_chunk_sizes_bytes: self.manifest.sizes_at(next).to_vec(),
+            buffer_s: self.buffer_s,
+            chunks_remaining: self.manifest.n_chunks() - self.next_chunk,
+            total_chunks: self.manifest.n_chunks(),
+            last_bitrate_kbps: self.manifest.bitrate_kbps(self.last_quality),
+            ladder_kbps: self.manifest.ladder().levels_kbps().to_vec(),
+        }
+    }
+
+    /// Downloads the next chunk at `quality` and advances playback.
+    ///
+    /// # Panics
+    /// Panics if called after the episode finished or with an out-of-range
+    /// quality — both are policy-side bugs, not recoverable conditions.
+    pub fn step(&mut self, quality: usize) -> StepResult {
+        assert!(self.next_chunk < self.manifest.n_chunks(), "episode already finished");
+        assert!(quality < self.manifest.n_levels(), "quality {quality} out of range");
+
+        let size = self.manifest.size_bytes(self.next_chunk, quality);
+        let fetch = self.transport.fetch(size);
+
+        // Player dynamics (Pensieve fixed_env.py):
+        // the buffer drains while downloading; a dry buffer stalls playback.
+        let rebuffer_s = (fetch.delay_s - self.buffer_s).max(0.0);
+        self.buffer_s = (self.buffer_s - fetch.delay_s).max(0.0)
+            + self.manifest.chunk_duration_s();
+
+        // Sleep in 500 ms quanta while above the cap, advancing link time.
+        let mut sleep_s = 0.0;
+        if self.buffer_s > BUFFER_CAP_S {
+            let excess = self.buffer_s - BUFFER_CAP_S;
+            sleep_s = (excess / DRAIN_SLEEP_S).ceil() * DRAIN_SLEEP_S;
+            self.buffer_s -= sleep_s;
+            self.transport.advance_idle(sleep_s);
+        }
+
+        let bitrate = self.manifest.bitrate_kbps(quality);
+        let prev_bitrate = self.manifest.bitrate_kbps(self.last_quality);
+        let reward = self.qoe.chunk_reward(bitrate, prev_bitrate, rebuffer_s);
+
+        self.history.push(fetch.throughput_mbps, fetch.delay_s, self.buffer_s);
+        self.last_quality = quality;
+        self.next_chunk += 1;
+        let done = self.next_chunk >= self.manifest.n_chunks();
+
+        StepResult {
+            obs: self.observation(),
+            reward,
+            rebuffer_s,
+            delay_s: fetch.delay_s,
+            sleep_s,
+            done,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qoe::QoeLin;
+    use crate::video::{Ladder, VideoManifest};
+    use nada_traces::Trace;
+
+    fn fixture() -> (VideoManifest, Trace) {
+        let m = VideoManifest::constant_bitrate(Ladder::broadband(), 48, 4.0);
+        // 4.3 Mbps link: comfortably streams mid bitrates.
+        let t = Trace::from_uniform("flat", 1.0, &[4.3; 4000]).unwrap();
+        (m, t)
+    }
+
+    #[test]
+    fn episode_runs_to_completion() {
+        let (m, t) = fixture();
+        let mut env = AbrEnv::new_sim_deterministic(&m, &t, QoeLin::default());
+        let mut steps = 0;
+        loop {
+            let r = env.step(0);
+            steps += 1;
+            if r.done {
+                break;
+            }
+        }
+        assert_eq!(steps, 48);
+    }
+
+    #[test]
+    fn buffer_grows_when_link_outpaces_bitrate() {
+        let (m, t) = fixture();
+        let mut env = AbrEnv::new_sim_deterministic(&m, &t, QoeLin::default());
+        // 300 kbps chunks over a 4.3 Mbps link: downloads much faster than
+        // playback, so the buffer builds.
+        let mut last_buffer = 0.0;
+        for _ in 0..5 {
+            let r = env.step(0);
+            last_buffer = r.obs.buffer_s;
+        }
+        assert!(last_buffer > 10.0, "buffer {last_buffer} should build up");
+    }
+
+    #[test]
+    fn first_chunk_always_rebuffers() {
+        // Buffer starts empty, so chunk 1 stalls for its whole download.
+        let (m, t) = fixture();
+        let mut env = AbrEnv::new_sim_deterministic(&m, &t, QoeLin::default());
+        let r = env.step(0);
+        assert!(r.rebuffer_s > 0.0);
+        assert!((r.rebuffer_s - r.delay_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oversized_bitrate_stalls_playback() {
+        let m = VideoManifest::constant_bitrate(Ladder::broadband(), 10, 4.0);
+        // 1 Mbps link cannot sustain the 4.3 Mbps top level.
+        let t = Trace::from_uniform("slow", 1.0, &[1.0; 4000]).unwrap();
+        let mut env = AbrEnv::new_sim_deterministic(&m, &t, QoeLin::default());
+        let mut total_rebuf = 0.0;
+        for _ in 0..10 {
+            total_rebuf += env.step(5).rebuffer_s;
+        }
+        assert!(total_rebuf > 50.0, "rebuf {total_rebuf}");
+    }
+
+    #[test]
+    fn buffer_never_exceeds_cap_after_sleep() {
+        let m = VideoManifest::constant_bitrate(Ladder::broadband(), 48, 4.0);
+        let t = Trace::from_uniform("fast", 1.0, &[100.0; 4000]).unwrap();
+        let mut env = AbrEnv::new_sim_deterministic(&m, &t, QoeLin::default());
+        for _ in 0..48 {
+            let r = env.step(0);
+            assert!(r.obs.buffer_s <= BUFFER_CAP_S + 1e-9, "buffer {}", r.obs.buffer_s);
+            if r.done {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn sleep_time_is_quantized() {
+        let m = VideoManifest::constant_bitrate(Ladder::broadband(), 48, 4.0);
+        let t = Trace::from_uniform("fast", 1.0, &[100.0; 4000]).unwrap();
+        let mut env = AbrEnv::new_sim_deterministic(&m, &t, QoeLin::default());
+        for _ in 0..48 {
+            let r = env.step(0);
+            let q = r.sleep_s / DRAIN_SLEEP_S;
+            assert!((q - q.round()).abs() < 1e-9, "sleep {} not quantized", r.sleep_s);
+            if r.done {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn observation_histories_track_downloads() {
+        let (m, t) = fixture();
+        let mut env = AbrEnv::new_sim_deterministic(&m, &t, QoeLin::default());
+        let r = env.step(2);
+        let obs = r.obs;
+        assert!(obs.throughput_mbps.last().copied().unwrap() > 0.0);
+        assert!(obs.download_time_s.last().copied().unwrap() > 0.0);
+        assert_eq!(obs.chunks_remaining, 47);
+        assert_eq!(obs.last_bitrate_kbps, 1200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_invalid_quality() {
+        let (m, t) = fixture();
+        let mut env = AbrEnv::new_sim_deterministic(&m, &t, QoeLin::default());
+        let _ = env.step(99);
+    }
+}

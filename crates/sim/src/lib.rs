@@ -1,0 +1,53 @@
+//! ABR (adaptive bitrate) substrate for the NADA reproduction.
+//!
+//! NADA's case study is Pensieve-style ABR video streaming. This crate
+//! provides everything the paper's evaluation environment needs:
+//!
+//! * [`video`] — video manifests and the paper's two bitrate ladders
+//!   ({300…4300} kbps for FCC/Starlink, {1850…53000} kbps for 4G/5G,
+//!   following YouTube's recommended encoding settings);
+//! * [`qoe`] — the `QoE_lin` reward from Pensieve, plus log/HD variants;
+//! * [`transport`] — how chunk bytes traverse the network:
+//!   [`transport::SimTransport`] is a faithful port of Pensieve's
+//!   `fixed_env.py` chunk-level simulator, and [`emulator::EmuTransport`] is
+//!   an HTTP/TCP-flavoured emulator standing in for dash.js-over-Mahimahi
+//!   (per-chunk slow-start ramp, RTT jitter, request overhead);
+//! * [`crate::env`] — the RL episode interface ([`env::AbrEnv`]) producing raw
+//!   [`obs::Observation`]s that state programs (see `nada-dsl`) turn into
+//!   feature matrices;
+//! * [`baselines`] — classic hand-designed ABR policies (buffer-based,
+//!   rate-based, BOLA, robust MPC) used as sanity baselines and in examples;
+//! * [`session`] — episode drivers and summaries.
+//!
+//! ```
+//! use nada_sim::prelude::*;
+//! use nada_traces::Trace;
+//!
+//! let trace = Trace::from_uniform("flat", 1.0, &[3.0; 400]).unwrap();
+//! let manifest = VideoManifest::pensieve_like(Ladder::broadband(), 48, 7);
+//! let mut env = AbrEnv::new_sim(&manifest, &trace, QoeLin::default(), 42);
+//! let policy = BufferBased::default();
+//! let summary = run_episode(&mut env, policy);
+//! assert!(summary.chunks == 48);
+//! ```
+
+pub mod baselines;
+pub mod emulator;
+pub mod env;
+pub mod obs;
+pub mod qoe;
+pub mod session;
+pub mod transport;
+pub mod video;
+
+/// Convenient single-import surface for examples and tests.
+pub mod prelude {
+    pub use crate::baselines::{AbrPolicy, Bola, BufferBased, RateBased, RobustMpc};
+    pub use crate::emulator::EmuTransport;
+    pub use crate::env::{AbrEnv, StepResult};
+    pub use crate::obs::{Observation, HISTORY_LEN};
+    pub use crate::qoe::{QoeLin, QoeMetric};
+    pub use crate::session::{run_episode, EpisodeSummary};
+    pub use crate::transport::{ChunkTransport, SimTransport};
+    pub use crate::video::{Ladder, VideoManifest};
+}

@@ -1,0 +1,136 @@
+//! Raw observations handed to state programs.
+//!
+//! Pensieve's state is built from fixed-length histories of network
+//! measurements plus playback scalars. NADA's generated states may use *any*
+//! of these inputs — including the buffer-occupancy history that the original
+//! Pensieve design ignores (the paper's §4 highlights buffer history as the
+//! most interesting discovered feature) — so the environment tracks a
+//! superset of what the original design consumes.
+
+use std::collections::VecDeque;
+
+/// Length of every history window, matching Pensieve's `S_LEN = 8`.
+pub const HISTORY_LEN: usize = 8;
+
+/// Raw, unnormalized inputs available to a state program at decision time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// Throughput observed for the last [`HISTORY_LEN`] chunk downloads,
+    /// Mbps, oldest first, zero-padded at episode start.
+    pub throughput_mbps: Vec<f64>,
+    /// Download delay of the last [`HISTORY_LEN`] chunks, seconds, oldest
+    /// first, zero-padded.
+    pub download_time_s: Vec<f64>,
+    /// Playback buffer level after each of the last [`HISTORY_LEN`] chunk
+    /// downloads, seconds, oldest first, zero-padded. (Not used by the
+    /// original Pensieve state; exposed for generated designs.)
+    pub buffer_history_s: Vec<f64>,
+    /// Encoded sizes of the *next* chunk at each quality, bytes, lowest
+    /// bitrate first.
+    pub next_chunk_sizes_bytes: Vec<f64>,
+    /// Current playback buffer, seconds.
+    pub buffer_s: f64,
+    /// Chunks left in the video, including the one about to be selected.
+    pub chunks_remaining: usize,
+    /// Total chunks in the video.
+    pub total_chunks: usize,
+    /// Bitrate of the previously selected chunk, kbps.
+    pub last_bitrate_kbps: f64,
+    /// The ladder, kbps, lowest first (for normalization by max bitrate).
+    pub ladder_kbps: Vec<f64>,
+}
+
+impl Observation {
+    /// Number of selectable quality levels.
+    pub fn n_levels(&self) -> usize {
+        self.ladder_kbps.len()
+    }
+
+    /// Highest ladder bitrate, kbps.
+    pub fn max_bitrate_kbps(&self) -> f64 {
+        *self.ladder_kbps.last().expect("ladder is non-empty")
+    }
+
+    /// Fraction of the video still to play, in `[0, 1]`.
+    pub fn remaining_fraction(&self) -> f64 {
+        self.chunks_remaining as f64 / self.total_chunks as f64
+    }
+}
+
+/// Rolling histories maintained by the environment between steps.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct HistoryBuffers {
+    throughput_mbps: VecDeque<f64>,
+    download_time_s: VecDeque<f64>,
+    buffer_s: VecDeque<f64>,
+}
+
+impl HistoryBuffers {
+    pub(crate) fn new() -> Self {
+        let zeros = || VecDeque::from(vec![0.0; HISTORY_LEN]);
+        Self { throughput_mbps: zeros(), download_time_s: zeros(), buffer_s: zeros() }
+    }
+
+    pub(crate) fn push(&mut self, throughput_mbps: f64, download_time_s: f64, buffer_s: f64) {
+        push_window(&mut self.throughput_mbps, throughput_mbps);
+        push_window(&mut self.download_time_s, download_time_s);
+        push_window(&mut self.buffer_s, buffer_s);
+    }
+
+    pub(crate) fn throughput(&self) -> Vec<f64> {
+        self.throughput_mbps.iter().copied().collect()
+    }
+
+    pub(crate) fn download_time(&self) -> Vec<f64> {
+        self.download_time_s.iter().copied().collect()
+    }
+
+    pub(crate) fn buffer(&self) -> Vec<f64> {
+        self.buffer_s.iter().copied().collect()
+    }
+}
+
+fn push_window(q: &mut VecDeque<f64>, v: f64) {
+    q.pop_front();
+    q.push_back(v);
+    debug_assert_eq!(q.len(), HISTORY_LEN);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histories_start_zeroed_and_roll() {
+        let mut h = HistoryBuffers::new();
+        assert_eq!(h.throughput(), vec![0.0; HISTORY_LEN]);
+        h.push(5.0, 1.0, 10.0);
+        let thr = h.throughput();
+        assert_eq!(thr.len(), HISTORY_LEN);
+        assert_eq!(thr[HISTORY_LEN - 1], 5.0);
+        assert_eq!(thr[HISTORY_LEN - 2], 0.0);
+        for i in 0..HISTORY_LEN {
+            h.push(i as f64, 0.0, 0.0);
+        }
+        assert_eq!(h.throughput()[0], 0.0);
+        assert_eq!(h.throughput()[HISTORY_LEN - 1], (HISTORY_LEN - 1) as f64);
+    }
+
+    #[test]
+    fn observation_helpers() {
+        let obs = Observation {
+            throughput_mbps: vec![0.0; HISTORY_LEN],
+            download_time_s: vec![0.0; HISTORY_LEN],
+            buffer_history_s: vec![0.0; HISTORY_LEN],
+            next_chunk_sizes_bytes: vec![1.0; 6],
+            buffer_s: 0.0,
+            chunks_remaining: 24,
+            total_chunks: 48,
+            last_bitrate_kbps: 750.0,
+            ladder_kbps: vec![300.0, 750.0, 4300.0],
+        };
+        assert_eq!(obs.n_levels(), 3);
+        assert_eq!(obs.max_bitrate_kbps(), 4300.0);
+        assert!((obs.remaining_fraction() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,157 @@
+//! Quality-of-experience metrics.
+//!
+//! The paper adopts Pensieve's linear QoE (`QoE_lin`) as the RL reward:
+//!
+//! ```text
+//! QoE_lin(chunk t) = q(R_t) − μ · T_rebuf,t − |q(R_t) − q(R_{t−1})|
+//! ```
+//!
+//! with `q(R) = R` in Mbps and rebuffer penalty `μ = 4.3`. `QoE_log` and
+//! `QoE_hd` from the MPC/Pensieve papers are provided for completeness and
+//! used by ablation benches.
+
+/// A per-chunk QoE function. Implementations must be pure.
+pub trait QoeMetric {
+    /// Reward for downloading one chunk at `bitrate_kbps` after
+    /// `rebuffer_s` seconds of stall, having previously played a chunk at
+    /// `prev_bitrate_kbps`.
+    fn chunk_reward(&self, bitrate_kbps: f64, prev_bitrate_kbps: f64, rebuffer_s: f64) -> f64;
+
+    /// Short name used in reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Pensieve's `QoE_lin`: quality in Mbps, rebuffer penalty 4.3/s,
+/// smoothness penalty 1 per Mbps of bitrate change.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct QoeLin {
+    /// Rebuffering penalty per second of stall (paper: 4.3).
+    pub rebuf_penalty: f64,
+    /// Smoothness penalty per Mbps of bitrate change (paper: 1.0).
+    pub smooth_penalty: f64,
+}
+
+impl Default for QoeLin {
+    fn default() -> Self {
+        Self { rebuf_penalty: 4.3, smooth_penalty: 1.0 }
+    }
+}
+
+impl QoeMetric for QoeLin {
+    fn chunk_reward(&self, bitrate_kbps: f64, prev_bitrate_kbps: f64, rebuffer_s: f64) -> f64 {
+        let q = bitrate_kbps / 1000.0;
+        let q_prev = prev_bitrate_kbps / 1000.0;
+        q - self.rebuf_penalty * rebuffer_s - self.smooth_penalty * (q - q_prev).abs()
+    }
+
+    fn name(&self) -> &'static str {
+        "QoE_lin"
+    }
+}
+
+/// Logarithmic QoE: `q(R) = ln(R / R_min)`, diminishing returns at high
+/// bitrates (from the MPC paper). `r_min_kbps` anchors the log.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct QoeLog {
+    /// Lowest ladder bitrate, kbps (the log anchor).
+    pub r_min_kbps: f64,
+    /// Rebuffering penalty per second of stall.
+    pub rebuf_penalty: f64,
+}
+
+impl QoeLog {
+    /// Builds a log-QoE anchored at the given minimum ladder bitrate.
+    pub fn new(r_min_kbps: f64) -> Self {
+        assert!(r_min_kbps > 0.0);
+        Self { r_min_kbps, rebuf_penalty: 2.66 }
+    }
+}
+
+impl QoeMetric for QoeLog {
+    fn chunk_reward(&self, bitrate_kbps: f64, prev_bitrate_kbps: f64, rebuffer_s: f64) -> f64 {
+        let q = (bitrate_kbps / self.r_min_kbps).ln();
+        let q_prev = (prev_bitrate_kbps.max(self.r_min_kbps) / self.r_min_kbps).ln();
+        q - self.rebuf_penalty * rebuffer_s - (q - q_prev).abs()
+    }
+
+    fn name(&self) -> &'static str {
+        "QoE_log"
+    }
+}
+
+/// HD-focused QoE: large bonus for bitrates at or above an "HD" threshold
+/// (from the Pensieve paper's QoE_hd variant).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct QoeHd {
+    /// Bitrate from which a chunk counts as HD, kbps.
+    pub hd_threshold_kbps: f64,
+    /// Reward for an HD chunk.
+    pub hd_reward: f64,
+    /// Reward for a non-HD chunk.
+    pub sd_reward: f64,
+    /// Rebuffering penalty per second of stall.
+    pub rebuf_penalty: f64,
+}
+
+impl Default for QoeHd {
+    fn default() -> Self {
+        Self { hd_threshold_kbps: 1850.0, hd_reward: 3.0, sd_reward: 1.0, rebuf_penalty: 8.0 }
+    }
+}
+
+impl QoeMetric for QoeHd {
+    fn chunk_reward(&self, bitrate_kbps: f64, prev_bitrate_kbps: f64, rebuffer_s: f64) -> f64 {
+        let score = |r: f64| if r >= self.hd_threshold_kbps { self.hd_reward } else { self.sd_reward };
+        let q = score(bitrate_kbps);
+        let q_prev = score(prev_bitrate_kbps);
+        q - self.rebuf_penalty * rebuffer_s - (q - q_prev).abs()
+    }
+
+    fn name(&self) -> &'static str {
+        "QoE_hd"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qoe_lin_matches_hand_arithmetic() {
+        let q = QoeLin::default();
+        // 4300 kbps after 1850 kbps with 0.5 s stall:
+        // 4.3 - 4.3*0.5 - |4.3-1.85| = 4.3 - 2.15 - 2.45 = -0.3
+        let r = q.chunk_reward(4300.0, 1850.0, 0.5);
+        assert!((r - (-0.3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steady_high_bitrate_is_best_case() {
+        let q = QoeLin::default();
+        let steady = q.chunk_reward(4300.0, 4300.0, 0.0);
+        assert!((steady - 4.3).abs() < 1e-12);
+        assert!(q.chunk_reward(4300.0, 300.0, 0.0) < steady);
+        assert!(q.chunk_reward(4300.0, 4300.0, 1.0) < steady);
+    }
+
+    #[test]
+    fn rebuffering_dominates_at_low_bitrates() {
+        let q = QoeLin::default();
+        // 300 kbps with a 2 s stall is strongly negative.
+        assert!(q.chunk_reward(300.0, 300.0, 2.0) < -8.0);
+    }
+
+    #[test]
+    fn qoe_log_has_diminishing_returns() {
+        let q = QoeLog::new(300.0);
+        let low_step = q.chunk_reward(750.0, 750.0, 0.0) - q.chunk_reward(300.0, 300.0, 0.0);
+        let high_step = q.chunk_reward(4300.0, 4300.0, 0.0) - q.chunk_reward(2850.0, 2850.0, 0.0);
+        assert!(low_step > high_step);
+    }
+
+    #[test]
+    fn qoe_hd_rewards_threshold_crossing() {
+        let q = QoeHd::default();
+        assert!(q.chunk_reward(1850.0, 1850.0, 0.0) > q.chunk_reward(1200.0, 1200.0, 0.0));
+    }
+}

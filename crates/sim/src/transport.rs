@@ -1,0 +1,160 @@
+//! Chunk transport models.
+//!
+//! The environment ([`crate::env::AbrEnv`]) is generic over *how* chunk bytes
+//! cross the network. [`SimTransport`] is a direct port of Pensieve's
+//! `fixed_env.py` chunk-level model (what the paper calls "simulation");
+//! [`crate::emulator::EmuTransport`] adds HTTP/TCP dynamics ("emulation").
+
+use nada_traces::{Trace, TraceCursor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of fetching one chunk through a transport.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fetch {
+    /// Wall-clock seconds from request to last byte (includes RTT and any
+    /// transport noise).
+    pub delay_s: f64,
+    /// Application-observed throughput over the fetch, Mbps
+    /// (`bytes * 8 / delay`), i.e. what a player's bandwidth estimator sees.
+    pub throughput_mbps: f64,
+}
+
+/// A deterministic model of downloading chunk bytes over a traced link.
+pub trait ChunkTransport {
+    /// Downloads `bytes` and returns timing; advances internal link time.
+    fn fetch(&mut self, bytes: f64) -> Fetch;
+
+    /// Advances link time by `dt_s` seconds without transferring data
+    /// (the player sleeping while its buffer is full).
+    fn advance_idle(&mut self, dt_s: f64);
+}
+
+/// Pensieve `fixed_env.py` constants.
+pub mod pensieve_constants {
+    /// Fraction of link bytes that are chunk payload (rest is headers/ACKs).
+    pub const PACKET_PAYLOAD_PORTION: f64 = 0.95;
+    /// Link round-trip time added to every chunk fetch, seconds.
+    pub const LINK_RTT_S: f64 = 0.080;
+    /// Multiplicative delay noise is drawn from `[LOW, HIGH]` uniformly.
+    pub const NOISE_LOW: f64 = 0.9;
+    /// Upper bound of the delay noise band.
+    pub const NOISE_HIGH: f64 = 1.1;
+}
+
+/// Chunk-level simulator matching Pensieve's `fixed_env.py` /
+/// `env.py`: piecewise-constant trace bandwidth, a payload-portion factor,
+/// one link RTT per chunk, and (for training parity with `env.py`) optional
+/// uniform multiplicative delay noise.
+#[derive(Debug, Clone)]
+pub struct SimTransport<'a> {
+    cursor: TraceCursor<'a>,
+    rng: StdRng,
+    /// Whether to apply `env.py`'s ±10 % delay noise (on for training
+    /// environments, off for deterministic fixtures).
+    noise: bool,
+}
+
+impl<'a> SimTransport<'a> {
+    /// Creates a simulator starting at a seed-derived random trace offset
+    /// (Pensieve starts every episode at a random point) with delay noise on.
+    pub fn new(trace: &'a Trace, seed: u64) -> Self {
+        Self {
+            cursor: TraceCursor::with_random_start(trace, seed),
+            rng: StdRng::seed_from_u64(seed ^ 0x51A7_0000_0000_0006),
+            noise: true,
+        }
+    }
+
+    /// Creates a noise-free simulator starting at the trace beginning;
+    /// used for reproducible test arithmetic.
+    pub fn deterministic(trace: &'a Trace) -> Self {
+        Self {
+            cursor: TraceCursor::new(trace),
+            rng: StdRng::seed_from_u64(0),
+            noise: false,
+        }
+    }
+
+    /// Total trace seconds consumed so far.
+    pub fn elapsed_s(&self) -> f64 {
+        self.cursor.elapsed_s()
+    }
+}
+
+impl ChunkTransport for SimTransport<'_> {
+    fn fetch(&mut self, bytes: f64) -> Fetch {
+        use pensieve_constants::*;
+        // Effective goodput is the trace bandwidth times the payload portion,
+        // so the wire carries `bytes / PORTION` total.
+        let wire = self.cursor.download(bytes / PACKET_PAYLOAD_PORTION);
+        let noise = if self.noise {
+            self.rng.gen_range(NOISE_LOW..NOISE_HIGH)
+        } else {
+            1.0
+        };
+        let delay_s = wire.duration_s * noise + LINK_RTT_S;
+        Fetch { delay_s, throughput_mbps: bytes * 8.0 / delay_s / 1e6 }
+    }
+
+    fn advance_idle(&mut self, dt_s: f64) {
+        self.cursor.advance_time(dt_s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nada_traces::Trace;
+
+    #[test]
+    fn deterministic_fetch_matches_arithmetic() {
+        // 8 Mbps link => 0.95 MB/s goodput. 0.95 MB payload downloads in
+        // exactly 1 s + 80 ms RTT.
+        let t = Trace::from_uniform("flat", 1.0, &[8.0; 100]).unwrap();
+        let mut s = SimTransport::deterministic(&t);
+        let f = s.fetch(950_000.0);
+        assert!((f.delay_s - 1.08).abs() < 1e-9, "delay {}", f.delay_s);
+    }
+
+    #[test]
+    fn observed_throughput_includes_rtt_overhead() {
+        let t = Trace::from_uniform("flat", 1.0, &[8.0; 100]).unwrap();
+        let mut s = SimTransport::deterministic(&t);
+        let f = s.fetch(950_000.0);
+        // 0.95 MB in 1.08 s ≈ 7.04 Mbps observed < 8 Mbps link rate.
+        assert!(f.throughput_mbps < 8.0);
+        assert!((f.throughput_mbps - 950_000.0 * 8.0 / 1.08 / 1e6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_transport_is_seed_deterministic() {
+        let t = Trace::from_uniform("flat", 1.0, &[8.0; 100]).unwrap();
+        let mut a = SimTransport::new(&t, 7);
+        let mut b = SimTransport::new(&t, 7);
+        for _ in 0..5 {
+            assert_eq!(a.fetch(100_000.0), b.fetch(100_000.0));
+        }
+    }
+
+    #[test]
+    fn noise_band_is_respected() {
+        let t = Trace::from_uniform("flat", 1.0, &[8.0; 1000]).unwrap();
+        let mut s = SimTransport::new(&t, 11);
+        for _ in 0..200 {
+            let f = s.fetch(95_000.0);
+            // Pure transfer takes 0.1 s; noise keeps it within [0.09, 0.11],
+            // plus the fixed 80 ms RTT.
+            assert!(f.delay_s > 0.09 + 0.079 && f.delay_s < 0.11 + 0.081, "{}", f.delay_s);
+        }
+    }
+
+    #[test]
+    fn idle_advance_moves_link_time() {
+        let t = Trace::from_uniform("step", 1.0, &[1.0, 100.0]).unwrap();
+        let mut s = SimTransport::deterministic(&t);
+        s.advance_idle(1.5); // into the fast segment
+        let f = s.fetch(1_250_000.0); // 10 Mbit at 100 Mbps = 0.1 s... plus payload factor
+        assert!(f.delay_s < 0.3, "fetch should hit the fast segment, took {}", f.delay_s);
+    }
+}

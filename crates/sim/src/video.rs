@@ -1,0 +1,215 @@
+//! Video manifests: bitrate ladders and per-chunk encoded sizes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A bitrate ladder: the encoded bitrates a player may switch between.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Ladder {
+    levels_kbps: Vec<f64>,
+}
+
+impl Ladder {
+    /// Builds a ladder from strictly increasing, positive bitrates in kbps.
+    ///
+    /// # Panics
+    /// Panics on an empty or non-increasing ladder — ladders are
+    /// program-defined constants, not user input.
+    pub fn new(levels_kbps: Vec<f64>) -> Self {
+        assert!(!levels_kbps.is_empty(), "ladder must have at least one level");
+        for w in levels_kbps.windows(2) {
+            assert!(w[0] < w[1], "ladder must be strictly increasing");
+        }
+        assert!(levels_kbps[0] > 0.0, "bitrates must be positive");
+        Self { levels_kbps }
+    }
+
+    /// Pensieve's original ladder, used by the paper for FCC and Starlink:
+    /// {300, 750, 1200, 1850, 2850, 4300} kbps.
+    pub fn broadband() -> Self {
+        Self::new(vec![300.0, 750.0, 1200.0, 1850.0, 2850.0, 4300.0])
+    }
+
+    /// The paper's elevated ladder for 4G and 5G, following YouTube's
+    /// recommended encoding settings: {1850, 2850, 4300, 12000, 24000,
+    /// 53000} kbps.
+    pub fn cellular() -> Self {
+        Self::new(vec![1850.0, 2850.0, 4300.0, 12_000.0, 24_000.0, 53_000.0])
+    }
+
+    /// Bitrates in kbps, lowest first.
+    pub fn levels_kbps(&self) -> &[f64] {
+        &self.levels_kbps
+    }
+
+    /// Number of quality levels.
+    pub fn len(&self) -> usize {
+        self.levels_kbps.len()
+    }
+
+    /// True if the ladder has no levels (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.levels_kbps.is_empty()
+    }
+
+    /// Highest bitrate in kbps.
+    pub fn max_kbps(&self) -> f64 {
+        *self.levels_kbps.last().expect("non-empty ladder")
+    }
+}
+
+/// A video manifest: ladder, chunk timing, and per-chunk encoded sizes.
+///
+/// Sizes follow a variable-bitrate model: the nominal size
+/// `bitrate * chunk_duration / 8` is modulated by a per-chunk complexity
+/// factor shared across quality levels (an action scene is big at every
+/// bitrate), as in real DASH encodes.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct VideoManifest {
+    ladder: Ladder,
+    chunk_duration_s: f64,
+    /// `sizes_bytes[chunk][level]`.
+    sizes_bytes: Vec<Vec<f64>>,
+}
+
+impl VideoManifest {
+    /// Pensieve's configuration: 4-second chunks, VBR size jitter with ±20 %
+    /// per-chunk complexity, deterministic in `seed`.
+    pub fn pensieve_like(ladder: Ladder, n_chunks: usize, seed: u64) -> Self {
+        assert!(n_chunks > 0, "need at least one chunk");
+        let chunk_duration_s = 4.0;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x71DE_0000_0000_0005);
+        let sizes_bytes = (0..n_chunks)
+            .map(|_| {
+                // Shared scene-complexity factor plus small per-level jitter.
+                let complexity = 1.0 + 0.2 * (2.0 * rng.gen::<f64>() - 1.0);
+                ladder
+                    .levels_kbps()
+                    .iter()
+                    .map(|kbps| {
+                        let jitter = 1.0 + 0.05 * (2.0 * rng.gen::<f64>() - 1.0);
+                        kbps * 1000.0 / 8.0 * chunk_duration_s * complexity * jitter
+                    })
+                    .collect()
+            })
+            .collect();
+        Self { ladder, chunk_duration_s, sizes_bytes }
+    }
+
+    /// Builds a manifest with exact nominal sizes (no VBR jitter); useful in
+    /// tests where arithmetic must be predictable.
+    pub fn constant_bitrate(ladder: Ladder, n_chunks: usize, chunk_duration_s: f64) -> Self {
+        assert!(n_chunks > 0 && chunk_duration_s > 0.0);
+        let sizes_bytes = (0..n_chunks)
+            .map(|_| {
+                ladder
+                    .levels_kbps()
+                    .iter()
+                    .map(|kbps| kbps * 1000.0 / 8.0 * chunk_duration_s)
+                    .collect()
+            })
+            .collect();
+        Self { ladder, chunk_duration_s, sizes_bytes }
+    }
+
+    /// The bitrate ladder.
+    pub fn ladder(&self) -> &Ladder {
+        &self.ladder
+    }
+
+    /// Duration of each chunk in seconds.
+    pub fn chunk_duration_s(&self) -> f64 {
+        self.chunk_duration_s
+    }
+
+    /// Total number of chunks in the video.
+    pub fn n_chunks(&self) -> usize {
+        self.sizes_bytes.len()
+    }
+
+    /// Number of quality levels.
+    pub fn n_levels(&self) -> usize {
+        self.ladder.len()
+    }
+
+    /// Encoded size in bytes of `chunk` at quality `level`.
+    ///
+    /// # Panics
+    /// Panics if `chunk` or `level` is out of range (indices come from the
+    /// simulator's own loop, so this is an internal invariant).
+    pub fn size_bytes(&self, chunk: usize, level: usize) -> f64 {
+        self.sizes_bytes[chunk][level]
+    }
+
+    /// Sizes of `chunk` at every quality, lowest bitrate first.
+    pub fn sizes_at(&self, chunk: usize) -> &[f64] {
+        &self.sizes_bytes[chunk]
+    }
+
+    /// Bitrate of quality `level`, kbps.
+    pub fn bitrate_kbps(&self, level: usize) -> f64 {
+        self.ladder.levels_kbps()[level]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladders_match_paper() {
+        assert_eq!(
+            Ladder::broadband().levels_kbps(),
+            &[300.0, 750.0, 1200.0, 1850.0, 2850.0, 4300.0]
+        );
+        assert_eq!(
+            Ladder::cellular().levels_kbps(),
+            &[1850.0, 2850.0, 4300.0, 12_000.0, 24_000.0, 53_000.0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing")]
+    fn ladder_rejects_non_increasing() {
+        let _ = Ladder::new(vec![300.0, 300.0]);
+    }
+
+    #[test]
+    fn sizes_increase_with_level() {
+        let m = VideoManifest::pensieve_like(Ladder::broadband(), 48, 1);
+        for c in 0..m.n_chunks() {
+            for l in 1..m.n_levels() {
+                assert!(
+                    m.size_bytes(c, l) > m.size_bytes(c, l - 1),
+                    "chunk {c}: level {l} not larger"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vbr_sizes_stay_near_nominal() {
+        let m = VideoManifest::pensieve_like(Ladder::broadband(), 200, 2);
+        for c in 0..m.n_chunks() {
+            for l in 0..m.n_levels() {
+                let nominal = m.bitrate_kbps(l) * 1000.0 / 8.0 * m.chunk_duration_s();
+                let ratio = m.size_bytes(c, l) / nominal;
+                assert!((0.7..1.3).contains(&ratio), "ratio {ratio} out of VBR band");
+            }
+        }
+    }
+
+    #[test]
+    fn manifest_is_deterministic() {
+        let a = VideoManifest::pensieve_like(Ladder::cellular(), 48, 9);
+        let b = VideoManifest::pensieve_like(Ladder::cellular(), 48, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cbr_sizes_are_exact() {
+        let m = VideoManifest::constant_bitrate(Ladder::broadband(), 3, 4.0);
+        // 300 kbps * 4 s / 8 = 150_000 bytes.
+        assert!((m.size_bytes(0, 0) - 150_000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,236 @@
+//! Dataset registry: the paper's Table 1 constants and train/test splits.
+
+use crate::model::Trace;
+use crate::stats::DatasetStats;
+use crate::synth::{FccSynth, Lte4gSynth, Nr5gSynth, StarlinkSynth, TraceSynthesizer};
+
+/// The four network environments evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum DatasetKind {
+    /// US fixed broadband (FCC "Measuring Broadband America").
+    Fcc,
+    /// Starlink RV terminal with peak-hour 1/8 capacity reduction.
+    Starlink,
+    /// US 4G/LTE downlink drive measurements.
+    Lte4g,
+    /// US 5G/NR downlink drive measurements.
+    Nr5g,
+}
+
+impl DatasetKind {
+    /// All datasets, in the paper's presentation order.
+    pub const ALL: [DatasetKind; 4] =
+        [DatasetKind::Fcc, DatasetKind::Starlink, DatasetKind::Lte4g, DatasetKind::Nr5g];
+
+    /// The paper's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::Fcc => "FCC",
+            DatasetKind::Starlink => "Starlink",
+            DatasetKind::Lte4g => "4G",
+            DatasetKind::Nr5g => "5G",
+        }
+    }
+
+    /// Table 1 row for this dataset (paper-reported values).
+    pub fn paper_spec(&self) -> DatasetSpec {
+        match self {
+            DatasetKind::Fcc => DatasetSpec {
+                kind: *self,
+                train_traces: 85,
+                train_hours: 10.0,
+                test_traces: 290,
+                test_hours: 25.7,
+                mean_throughput_mbps: 1.3,
+                train_epochs: 40_000,
+                test_interval: 500,
+            },
+            DatasetKind::Starlink => DatasetSpec {
+                kind: *self,
+                train_traces: 13,
+                train_hours: 0.9,
+                test_traces: 12,
+                test_hours: 0.8,
+                mean_throughput_mbps: 1.6,
+                train_epochs: 4_000,
+                test_interval: 100,
+            },
+            DatasetKind::Lte4g => DatasetSpec {
+                kind: *self,
+                train_traces: 119,
+                train_hours: 10.0,
+                test_traces: 121,
+                test_hours: 10.0,
+                mean_throughput_mbps: 19.8,
+                train_epochs: 40_000,
+                test_interval: 500,
+            },
+            DatasetKind::Nr5g => DatasetSpec {
+                kind: *self,
+                train_traces: 117,
+                train_hours: 10.0,
+                test_traces: 119,
+                test_hours: 10.0,
+                mean_throughput_mbps: 30.2,
+                train_epochs: 40_000,
+                test_interval: 500,
+            },
+        }
+    }
+
+    /// The synthesizer that replaces this dataset's measurements.
+    pub fn synthesizer(&self) -> Box<dyn TraceSynthesizer> {
+        match self {
+            DatasetKind::Fcc => Box::new(FccSynth::default()),
+            DatasetKind::Starlink => Box::new(StarlinkSynth::default()),
+            DatasetKind::Lte4g => Box::new(Lte4gSynth::default()),
+            DatasetKind::Nr5g => Box::new(Nr5gSynth::default()),
+        }
+    }
+}
+
+/// One row of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DatasetSpec {
+    /// Which dataset this row describes.
+    pub kind: DatasetKind,
+    /// Number of traces in the training split.
+    pub train_traces: usize,
+    /// Total duration of the training split, hours.
+    pub train_hours: f64,
+    /// Number of traces in the testing split.
+    pub test_traces: usize,
+    /// Total duration of the testing split, hours.
+    pub test_hours: f64,
+    /// Average throughput across the dataset, Mbps.
+    pub mean_throughput_mbps: f64,
+    /// RL training epochs the paper runs on this dataset.
+    pub train_epochs: usize,
+    /// Epochs between checkpoint evaluations on the test set.
+    pub test_interval: usize,
+}
+
+/// Synthesis scale: paper-sized datasets are large (hundreds of traces,
+/// dozens of hours); `Quick` shrinks counts and durations for CI/examples
+/// while preserving each dataset's statistical character.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum DatasetScale {
+    /// Table 1 trace counts and total durations.
+    Paper,
+    /// ~10% of the trace count, ~6 minutes per trace.
+    Quick,
+    /// A handful of short traces; used by unit tests.
+    Tiny,
+}
+
+/// A synthesized (or loaded) dataset with train/test splits.
+#[derive(Debug, Clone)]
+pub struct TraceDataset {
+    /// Which environment the traces model.
+    pub kind: DatasetKind,
+    /// Training traces.
+    pub train: Vec<Trace>,
+    /// Held-out testing traces.
+    pub test: Vec<Trace>,
+}
+
+impl TraceDataset {
+    /// Synthesizes the dataset at the requested scale. Deterministic in
+    /// `(kind, scale, seed)`.
+    pub fn synthesize(kind: DatasetKind, scale: DatasetScale, seed: u64) -> Self {
+        let spec = kind.paper_spec();
+        let synth = kind.synthesizer();
+        let (train_n, test_n) = match scale {
+            DatasetScale::Paper => (spec.train_traces, spec.test_traces),
+            DatasetScale::Quick => {
+                ((spec.train_traces / 10).max(4), (spec.test_traces / 10).max(4))
+            }
+            DatasetScale::Tiny => (2, 2),
+        };
+        let (train_dur, test_dur) = match scale {
+            DatasetScale::Paper => (
+                spec.train_hours * 3600.0 / spec.train_traces as f64,
+                spec.test_hours * 3600.0 / spec.test_traces as f64,
+            ),
+            DatasetScale::Quick => (360.0, 360.0),
+            DatasetScale::Tiny => (120.0, 120.0),
+        };
+        let train = (0..train_n)
+            .map(|i| synth.generate(splitmix(seed, i as u64), train_dur))
+            .collect();
+        let test = (0..test_n)
+            .map(|i| synth.generate(splitmix(seed ^ 0xDEAD_BEEF, 1_000_000 + i as u64), test_dur))
+            .collect();
+        Self { kind, train, test }
+    }
+
+    /// Builds a dataset from externally loaded traces (e.g. real
+    /// cooked/Mahimahi files).
+    pub fn from_traces(kind: DatasetKind, train: Vec<Trace>, test: Vec<Trace>) -> Self {
+        Self { kind, train, test }
+    }
+
+    /// Summary statistics over all (train + test) traces.
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats::from_dataset(self)
+    }
+}
+
+/// SplitMix64 sub-seed derivation so per-trace seeds never collide between
+/// train/test or across datasets.
+fn splitmix(seed: u64, i: u64) -> u64 {
+    let mut z = seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_specs_match_table1() {
+        let fcc = DatasetKind::Fcc.paper_spec();
+        assert_eq!(fcc.train_traces, 85);
+        assert_eq!(fcc.test_traces, 290);
+        assert_eq!(fcc.train_epochs, 40_000);
+        let sl = DatasetKind::Starlink.paper_spec();
+        assert_eq!(sl.train_epochs, 4_000);
+        assert_eq!(sl.test_interval, 100);
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let a = TraceDataset::synthesize(DatasetKind::Fcc, DatasetScale::Tiny, 5);
+        let b = TraceDataset::synthesize(DatasetKind::Fcc, DatasetScale::Tiny, 5);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn train_and_test_do_not_share_traces() {
+        let d = TraceDataset::synthesize(DatasetKind::Lte4g, DatasetScale::Tiny, 5);
+        for tr in &d.train {
+            for te in &d.test {
+                assert_ne!(tr.points(), te.points());
+            }
+        }
+    }
+
+    #[test]
+    fn quick_scale_counts() {
+        let d = TraceDataset::synthesize(DatasetKind::Nr5g, DatasetScale::Quick, 1);
+        assert_eq!(d.train.len(), 11); // 117/10 = 11
+        assert_eq!(d.test.len(), 11);
+    }
+
+    #[test]
+    fn all_kinds_synthesize() {
+        for kind in DatasetKind::ALL {
+            let d = TraceDataset::synthesize(kind, DatasetScale::Tiny, 9);
+            assert!(!d.train.is_empty());
+            assert!(d.stats().mean_throughput_mbps > 0.0);
+        }
+    }
+}

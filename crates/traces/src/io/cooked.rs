@@ -1,0 +1,87 @@
+//! Pensieve "cooked trace" format: one `time_s bandwidth_mbps` pair per line.
+//!
+//! This is the format consumed by the original Pensieve simulator
+//! (`load_trace.py`): whitespace-separated floats, timestamps in seconds,
+//! bandwidth in Mbps. Round-trips exactly (modulo float formatting).
+
+use crate::model::{Trace, TraceError, TracePoint};
+use std::fmt::Write as _;
+
+/// Serializes a trace to cooked format.
+pub fn write_cooked(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.len() * 24);
+    for p in trace.points() {
+        writeln!(out, "{:.6}\t{:.6}", p.time_s, p.bandwidth_mbps).expect("string write");
+    }
+    out
+}
+
+/// Parses a cooked-format trace. Blank lines and `#` comments are skipped.
+pub fn read_cooked(name: impl Into<String>, text: &str) -> Result<Trace, TraceError> {
+    let mut points = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let t: f64 = it
+            .next()
+            .ok_or_else(|| parse_err(lineno, "missing timestamp"))?
+            .parse()
+            .map_err(|e| parse_err(lineno, &format!("bad timestamp: {e}")))?;
+        let bw: f64 = it
+            .next()
+            .ok_or_else(|| parse_err(lineno, "missing bandwidth"))?
+            .parse()
+            .map_err(|e| parse_err(lineno, &format!("bad bandwidth: {e}")))?;
+        if it.next().is_some() {
+            return Err(parse_err(lineno, "trailing fields"));
+        }
+        points.push(TracePoint::new(t, bw));
+    }
+    Trace::new(name, points)
+}
+
+fn parse_err(lineno: usize, message: &str) -> TraceError {
+    TraceError::Parse { line: lineno + 1, message: message.to_string() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_points() {
+        let t = Trace::from_uniform("rt", 0.5, &[1.25, 2.5, 0.75]).unwrap();
+        let text = write_cooked(&t);
+        let back = read_cooked("rt", &text).unwrap();
+        assert_eq!(back.len(), t.len());
+        for (a, b) in back.points().iter().zip(t.points()) {
+            assert!((a.time_s - b.time_s).abs() < 1e-6);
+            assert!((a.bandwidth_mbps - b.bandwidth_mbps).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "# header\n\n0.0 1.0\n1.0 2.0\n";
+        let t = read_cooked("c", text).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn reports_line_numbers_on_error() {
+        let text = "0.0 1.0\nnot_a_number 2.0\n";
+        match read_cooked("bad", text) {
+            Err(TraceError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_fields() {
+        let text = "0.0 1.0 99\n";
+        assert!(matches!(read_cooked("bad", text), Err(TraceError::Parse { .. })));
+    }
+}

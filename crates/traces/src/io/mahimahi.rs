@@ -1,0 +1,137 @@
+//! Mahimahi packet-delivery trace format.
+//!
+//! Mahimahi's `mm-link` replays a file with one integer per line: the
+//! millisecond (from link start) at which one MTU-sized (1500-byte) packet
+//! may be delivered. Several packets in the same millisecond appear as
+//! repeated lines. The paper's emulation experiments run dash.js over
+//! Mahimahi, so we support both directions:
+//!
+//! * [`write_mahimahi`] — quantizes a [`Trace`] into a packet schedule using
+//!   error-diffusion so long-run throughput is preserved exactly;
+//! * [`read_mahimahi`] — buckets a packet schedule back into a
+//!   piecewise-constant Mbps series at a configurable bin width.
+
+use crate::model::{Trace, TraceError, TracePoint};
+use crate::replay::PACKET_PAYLOAD_BYTES;
+use std::fmt::Write as _;
+
+/// Converts a trace to a Mahimahi packet schedule (millisecond timestamps).
+///
+/// Uses carry-forward error diffusion: fractional packets accumulate instead
+/// of being truncated each millisecond, so the emitted packet count matches
+/// the trace's byte volume to within one packet.
+pub fn write_mahimahi(trace: &Trace) -> String {
+    let mut out = String::new();
+    let total_ms = (trace.duration_s() * 1000.0).floor() as u64;
+    let mut carry_pkts = 0.0f64;
+    for ms in 0..total_ms {
+        let t = ms as f64 / 1000.0;
+        let bw_mbps = trace.bandwidth_at(t);
+        let bytes_this_ms = bw_mbps * 1e6 / 8.0 / 1000.0;
+        carry_pkts += bytes_this_ms / PACKET_PAYLOAD_BYTES;
+        while carry_pkts >= 1.0 {
+            writeln!(out, "{}", ms + 1).expect("string write");
+            carry_pkts -= 1.0;
+        }
+    }
+    out
+}
+
+/// Parses a Mahimahi packet schedule into a trace with `bin_s`-wide
+/// piecewise-constant bandwidth samples.
+pub fn read_mahimahi(
+    name: impl Into<String>,
+    text: &str,
+    bin_s: f64,
+) -> Result<Trace, TraceError> {
+    assert!(bin_s > 0.0, "bin width must be positive");
+    let mut last_ms: u64 = 0;
+    let mut stamps_ms: Vec<u64> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let ms: u64 = line.parse().map_err(|e| TraceError::Parse {
+            line: lineno + 1,
+            message: format!("bad packet timestamp: {e}"),
+        })?;
+        if ms < last_ms {
+            return Err(TraceError::Parse {
+                line: lineno + 1,
+                message: format!("timestamps decrease ({ms} after {last_ms})"),
+            });
+        }
+        last_ms = ms;
+        stamps_ms.push(ms);
+    }
+    if stamps_ms.is_empty() {
+        return Err(TraceError::Empty);
+    }
+    let duration_s = (*stamps_ms.last().expect("non-empty") as f64 / 1000.0).max(bin_s);
+    let n_bins = (duration_s / bin_s).ceil() as usize;
+    let mut pkts_per_bin = vec![0u64; n_bins];
+    for ms in stamps_ms {
+        // A stamp of `ms` means "delivered by the end of millisecond ms";
+        // stamp 0..=bin edge maps into the covering bin.
+        let idx = (((ms.saturating_sub(1)) as f64 / 1000.0) / bin_s) as usize;
+        pkts_per_bin[idx.min(n_bins - 1)] += 1;
+    }
+    let points = pkts_per_bin
+        .iter()
+        .enumerate()
+        .map(|(i, &pkts)| {
+            let mbps = pkts as f64 * PACKET_PAYLOAD_BYTES * 8.0 / bin_s / 1e6;
+            TracePoint::new(i as f64 * bin_s, mbps)
+        })
+        .collect();
+    Trace::new(name, points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_trace_round_trips_within_tolerance() {
+        let t = Trace::from_uniform("flat", 1.0, &[12.0; 20]).unwrap();
+        let text = write_mahimahi(&t);
+        let back = read_mahimahi("flat", &text, 1.0).unwrap();
+        let err = (back.mean_mbps() - 12.0).abs() / 12.0;
+        assert!(err < 0.02, "round-trip mean error {err}");
+    }
+
+    #[test]
+    fn byte_volume_is_preserved() {
+        let t = Trace::from_uniform("vary", 1.0, &[3.0, 9.0, 1.5, 6.0]).unwrap();
+        let text = write_mahimahi(&t);
+        let pkts = text.lines().count() as f64;
+        let expected_bytes = t.mean_mbps() * t.duration_s() * 1e6 / 8.0;
+        let got_bytes = pkts * PACKET_PAYLOAD_BYTES;
+        assert!(
+            (got_bytes - expected_bytes).abs() <= 2.0 * PACKET_PAYLOAD_BYTES,
+            "expected ~{expected_bytes} bytes, schedule carries {got_bytes}"
+        );
+    }
+
+    #[test]
+    fn read_rejects_decreasing_timestamps() {
+        let text = "5\n3\n";
+        assert!(matches!(read_mahimahi("bad", text, 1.0), Err(TraceError::Parse { .. })));
+    }
+
+    #[test]
+    fn read_rejects_empty_schedule() {
+        assert!(matches!(read_mahimahi("empty", "", 1.0), Err(TraceError::Empty)));
+    }
+
+    #[test]
+    fn outage_bins_read_back_as_zero() {
+        // 1 s at 12 Mbps, 2 s outage, 1 s at 12 Mbps.
+        let t = Trace::from_uniform("gap", 1.0, &[12.0, 0.0, 0.0, 12.0]).unwrap();
+        let text = write_mahimahi(&t);
+        let back = read_mahimahi("gap", &text, 1.0).unwrap();
+        let mid = back.bandwidth_at(1.5);
+        assert!(mid < 0.5, "outage bin should be ~0, got {mid}");
+    }
+}

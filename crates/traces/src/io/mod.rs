@@ -1,0 +1,14 @@
+//! Trace file formats.
+//!
+//! Two formats are supported so that real measurement traces can replace the
+//! synthetic datasets without touching any other code:
+//!
+//! * [`mahimahi`] — the packet-delivery schedule format used by the Mahimahi
+//!   link emulator (one millisecond timestamp per 1500-byte packet
+//!   opportunity per line), which the paper uses for emulation;
+//! * [`cooked`] — the two-column `time_s bandwidth_mbps` format used by the
+//!   Pensieve artifact ("cooked traces"), which the paper uses for
+//!   simulation.
+
+pub mod cooked;
+pub mod mahimahi;

@@ -1,0 +1,45 @@
+//! Network trace substrate for the NADA reproduction.
+//!
+//! The NADA paper ([He et al., HotNets 2024]) evaluates LLM-generated ABR
+//! algorithms on four trace datasets — FCC broadband, Starlink satellite, 4G
+//! and 5G cellular (its Table 1). The measurement traces themselves were never
+//! released, so this crate provides:
+//!
+//! * a [`Trace`] model: a piecewise-constant `(time, bandwidth)` series with
+//!   validated invariants ([`model`]),
+//! * calibrated synthetic generators for each dataset with the qualitative
+//!   character the paper describes ([`synth`]) — e.g. the Starlink generator
+//!   models 15-second satellite handovers and applies the paper's 1/8
+//!   peak-hour capacity reduction,
+//! * trace file I/O in Mahimahi packet-schedule format and Pensieve
+//!   "cooked" format so real traces can be dropped in ([`io`]),
+//! * a [`replay::TraceCursor`] used by the simulator/emulator to walk a trace
+//!   while downloading bytes,
+//! * a dataset registry with the paper's Table 1 constants and train/test
+//!   splits ([`dataset`]), and summary statistics ([`stats`]).
+//!
+//! Everything is deterministic: generators take explicit seeds and never read
+//! OS randomness.
+//!
+//! ```
+//! use nada_traces::dataset::{DatasetKind, DatasetScale, TraceDataset};
+//!
+//! let ds = TraceDataset::synthesize(DatasetKind::Starlink, DatasetScale::Quick, 7);
+//! assert!(!ds.train.is_empty() && !ds.test.is_empty());
+//! let stats = ds.stats();
+//! assert!(stats.mean_throughput_mbps > 0.0);
+//! ```
+//!
+//! [He et al., HotNets 2024]: https://arxiv.org/abs/2404.01617
+
+pub mod dataset;
+pub mod io;
+pub mod model;
+pub mod replay;
+pub mod stats;
+pub mod synth;
+
+pub use dataset::{DatasetKind, DatasetScale, TraceDataset};
+pub use model::{Trace, TraceError, TracePoint};
+pub use replay::{TraceCursor, PACKET_PAYLOAD_BYTES};
+pub use stats::DatasetStats;

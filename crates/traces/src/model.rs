@@ -1,0 +1,298 @@
+//! Core trace data model: a validated, piecewise-constant bandwidth series.
+
+use std::fmt;
+
+/// One sample of a network trace: from `time_s` until the next point's time,
+/// the link delivers `bandwidth_mbps` megabits per second.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TracePoint {
+    /// Timestamp of this sample, seconds from trace start. Non-negative and
+    /// strictly increasing within a [`Trace`].
+    pub time_s: f64,
+    /// Link capacity from this timestamp onwards, in megabits per second.
+    /// Non-negative; zero models a complete outage.
+    pub bandwidth_mbps: f64,
+}
+
+impl TracePoint {
+    /// Convenience constructor.
+    pub fn new(time_s: f64, bandwidth_mbps: f64) -> Self {
+        Self { time_s, bandwidth_mbps }
+    }
+}
+
+/// Errors produced while constructing or parsing a [`Trace`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// The trace has no points.
+    Empty,
+    /// Timestamps are not strictly increasing at the given index.
+    NonMonotonicTime { index: usize },
+    /// A bandwidth sample is negative or not finite at the given index.
+    InvalidBandwidth { index: usize, value: f64 },
+    /// A timestamp is negative or not finite at the given index.
+    InvalidTime { index: usize, value: f64 },
+    /// A trace file line could not be parsed.
+    Parse { line: usize, message: String },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Empty => write!(f, "trace has no points"),
+            TraceError::NonMonotonicTime { index } => {
+                write!(f, "trace timestamps not strictly increasing at index {index}")
+            }
+            TraceError::InvalidBandwidth { index, value } => {
+                write!(f, "invalid bandwidth {value} at index {index}")
+            }
+            TraceError::InvalidTime { index, value } => {
+                write!(f, "invalid timestamp {value} at index {index}")
+            }
+            TraceError::Parse { line, message } => {
+                write!(f, "trace parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A network throughput trace: a named, validated series of [`TracePoint`]s.
+///
+/// Bandwidth is piecewise-constant: between `points[i].time_s` and
+/// `points[i+1].time_s` the link runs at `points[i].bandwidth_mbps`. The final
+/// point's bandwidth extends to [`Trace::duration_s`] (the last timestamp plus
+/// the median inter-sample gap), and replay wraps around for longer sessions.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Trace {
+    name: String,
+    points: Vec<TracePoint>,
+    duration_s: f64,
+}
+
+impl Trace {
+    /// Builds a trace from points, validating the invariants:
+    /// at least one point, finite non-negative bandwidths, finite non-negative
+    /// strictly-increasing timestamps.
+    pub fn new(name: impl Into<String>, points: Vec<TracePoint>) -> Result<Self, TraceError> {
+        if points.is_empty() {
+            return Err(TraceError::Empty);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for (index, p) in points.iter().enumerate() {
+            if !p.time_s.is_finite() || p.time_s < 0.0 {
+                return Err(TraceError::InvalidTime { index, value: p.time_s });
+            }
+            if !p.bandwidth_mbps.is_finite() || p.bandwidth_mbps < 0.0 {
+                return Err(TraceError::InvalidBandwidth { index, value: p.bandwidth_mbps });
+            }
+            if p.time_s <= prev {
+                return Err(TraceError::NonMonotonicTime { index });
+            }
+            prev = p.time_s;
+        }
+        let duration_s = Self::infer_duration(&points);
+        Ok(Self { name: name.into(), points, duration_s })
+    }
+
+    /// Builds a trace from uniformly spaced samples starting at t = 0.
+    pub fn from_uniform(
+        name: impl Into<String>,
+        dt_s: f64,
+        bandwidths_mbps: &[f64],
+    ) -> Result<Self, TraceError> {
+        let points = bandwidths_mbps
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| TracePoint::new(i as f64 * dt_s, b))
+            .collect();
+        Self::new(name, points)
+    }
+
+    fn infer_duration(points: &[TracePoint]) -> f64 {
+        let last = points.last().expect("validated non-empty").time_s;
+        if points.len() < 2 {
+            return last + 1.0;
+        }
+        let mut gaps: Vec<f64> =
+            points.windows(2).map(|w| w[1].time_s - w[0].time_s).collect();
+        gaps.sort_by(|a, b| a.partial_cmp(b).expect("gaps are finite"));
+        last + gaps[gaps.len() / 2]
+    }
+
+    /// The trace name (used in dataset listings and reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The validated sample series.
+    pub fn points(&self) -> &[TracePoint] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the trace holds no samples (never true for a constructed trace).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Total covered duration in seconds: the final timestamp extended by the
+    /// median sampling interval, so the last sample carries real width.
+    pub fn duration_s(&self) -> f64 {
+        self.duration_s
+    }
+
+    /// Time-weighted mean throughput in Mbps.
+    pub fn mean_mbps(&self) -> f64 {
+        let mut acc = 0.0;
+        for w in self.points.windows(2) {
+            acc += w[0].bandwidth_mbps * (w[1].time_s - w[0].time_s);
+        }
+        let last = self.points.last().expect("non-empty");
+        acc += last.bandwidth_mbps * (self.duration_s - last.time_s);
+        acc / self.duration_s
+    }
+
+    /// Minimum bandwidth sample in Mbps.
+    pub fn min_mbps(&self) -> f64 {
+        self.points.iter().map(|p| p.bandwidth_mbps).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum bandwidth sample in Mbps.
+    pub fn max_mbps(&self) -> f64 {
+        self.points.iter().map(|p| p.bandwidth_mbps).fold(0.0, f64::max)
+    }
+
+    /// Time-weighted standard deviation of throughput in Mbps.
+    pub fn std_mbps(&self) -> f64 {
+        let mean = self.mean_mbps();
+        let mut acc = 0.0;
+        for w in self.points.windows(2) {
+            let d = w[0].bandwidth_mbps - mean;
+            acc += d * d * (w[1].time_s - w[0].time_s);
+        }
+        let last = self.points.last().expect("non-empty");
+        let d = last.bandwidth_mbps - mean;
+        acc += d * d * (self.duration_s - last.time_s);
+        (acc / self.duration_s).sqrt()
+    }
+
+    /// Bandwidth in effect at time `t_s` (piecewise-constant lookup, no wrap).
+    /// Times beyond the last sample return the last sample's bandwidth; the
+    /// caller handles wrap-around (see [`crate::replay::TraceCursor`]).
+    pub fn bandwidth_at(&self, t_s: f64) -> f64 {
+        match self
+            .points
+            .binary_search_by(|p| p.time_s.partial_cmp(&t_s).expect("finite times"))
+        {
+            Ok(i) => self.points[i].bandwidth_mbps,
+            Err(0) => self.points[0].bandwidth_mbps,
+            Err(i) => self.points[i - 1].bandwidth_mbps,
+        }
+    }
+
+    /// Returns a copy with every bandwidth multiplied by `factor`
+    /// (the paper divides Starlink capacity by 8 to model peak hours).
+    pub fn scaled(&self, factor: f64) -> Result<Self, TraceError> {
+        let points = self
+            .points
+            .iter()
+            .map(|p| TracePoint::new(p.time_s, p.bandwidth_mbps * factor))
+            .collect();
+        let mut t = Self::new(self.name.clone(), points)?;
+        t.name = format!("{}-x{factor:.4}", self.name);
+        Ok(t)
+    }
+
+    /// Returns a copy truncated to at most `max_duration_s` seconds.
+    pub fn truncated(&self, max_duration_s: f64) -> Result<Self, TraceError> {
+        let points: Vec<TracePoint> =
+            self.points.iter().copied().take_while(|p| p.time_s < max_duration_s).collect();
+        Self::new(self.name.clone(), points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri_trace() -> Trace {
+        Trace::from_uniform("tri", 1.0, &[1.0, 2.0, 3.0]).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Trace::new("e", vec![]), Err(TraceError::Empty));
+    }
+
+    #[test]
+    fn rejects_non_monotonic_time() {
+        let pts = vec![TracePoint::new(0.0, 1.0), TracePoint::new(0.0, 2.0)];
+        assert_eq!(Trace::new("t", pts), Err(TraceError::NonMonotonicTime { index: 1 }));
+    }
+
+    #[test]
+    fn rejects_negative_bandwidth() {
+        let pts = vec![TracePoint::new(0.0, -1.0)];
+        assert!(matches!(
+            Trace::new("t", pts),
+            Err(TraceError::InvalidBandwidth { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_nan_time() {
+        let pts = vec![TracePoint::new(f64::NAN, 1.0)];
+        assert!(matches!(Trace::new("t", pts), Err(TraceError::InvalidTime { index: 0, .. })));
+    }
+
+    #[test]
+    fn duration_extends_by_median_gap() {
+        let t = tri_trace();
+        assert!((t.duration_s() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_is_time_weighted() {
+        let t = tri_trace();
+        // 1 Mbps for 1s, 2 for 1s, 3 for 1s => mean 2.
+        assert!((t.mean_mbps() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_lookup_is_piecewise_constant() {
+        let t = tri_trace();
+        assert_eq!(t.bandwidth_at(0.0), 1.0);
+        assert_eq!(t.bandwidth_at(0.5), 1.0);
+        assert_eq!(t.bandwidth_at(1.0), 2.0);
+        assert_eq!(t.bandwidth_at(2.7), 3.0);
+        assert_eq!(t.bandwidth_at(99.0), 3.0);
+    }
+
+    #[test]
+    fn scaling_scales_mean() {
+        let t = tri_trace().scaled(0.5).unwrap();
+        assert!((t.mean_mbps() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncation_keeps_prefix() {
+        let t = tri_trace().truncated(2.0).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.max_mbps(), 2.0);
+    }
+
+    #[test]
+    fn min_max_std() {
+        let t = tri_trace();
+        assert_eq!(t.min_mbps(), 1.0);
+        assert_eq!(t.max_mbps(), 3.0);
+        let expected_var = ((1.0f64 - 2.0).powi(2) + 0.0 + (3.0f64 - 2.0).powi(2)) / 3.0;
+        assert!((t.std_mbps() - expected_var.sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,235 @@
+//! Trace replay: walking a trace while downloading bytes.
+//!
+//! The chunk simulator and the emulator both need the same primitive: "at the
+//! cursor's current position in the trace, how long does it take to transfer
+//! N bytes?", with the trace wrapping around when a session outlives it (the
+//! behaviour of Pensieve's `fixed_env.py`).
+
+use crate::model::Trace;
+
+/// Number of payload bytes in one Mahimahi-style MTU packet.
+pub const PACKET_PAYLOAD_BYTES: f64 = 1500.0;
+
+/// A replay cursor over a [`Trace`].
+///
+/// The cursor tracks a position `(segment index, offset within segment)` and
+/// advances as bytes are transferred at the piecewise-constant trace
+/// bandwidth. When the trace ends the cursor wraps to the beginning, so a
+/// video session can be longer than the trace.
+#[derive(Debug, Clone)]
+pub struct TraceCursor<'a> {
+    trace: &'a Trace,
+    /// Index of the current segment (points[seg] is in effect).
+    seg: usize,
+    /// Seconds elapsed within the current segment.
+    offset_s: f64,
+    /// Total seconds of (virtual, wrapped) trace time consumed so far.
+    elapsed_s: f64,
+    /// How many times the cursor wrapped past the trace end.
+    wraps: u32,
+}
+
+/// Result of a byte transfer performed through [`TraceCursor::download`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transfer {
+    /// Wall-clock seconds the transfer took (trace time, excludes RTT).
+    pub duration_s: f64,
+    /// Average throughput over the transfer, in Mbps.
+    pub throughput_mbps: f64,
+}
+
+impl<'a> TraceCursor<'a> {
+    /// Creates a cursor positioned at the start of `trace`.
+    pub fn new(trace: &'a Trace) -> Self {
+        Self { trace, seg: 0, offset_s: 0.0, elapsed_s: 0.0, wraps: 0 }
+    }
+
+    /// Creates a cursor at a pseudo-random start offset derived from `seed`,
+    /// matching Pensieve's practice of starting each training episode at a
+    /// random point of the trace.
+    pub fn with_random_start(trace: &'a Trace, seed: u64) -> Self {
+        // SplitMix64 so we do not need a full RNG for one draw.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let frac = (z >> 11) as f64 / (1u64 << 53) as f64;
+        let mut c = Self::new(trace);
+        c.advance_time(frac * trace.duration_s());
+        // A fresh session starts here: forget warm-up accounting.
+        c.elapsed_s = 0.0;
+        c.wraps = 0;
+        c
+    }
+
+    /// The trace this cursor replays.
+    pub fn trace(&self) -> &'a Trace {
+        self.trace
+    }
+
+    /// Total trace seconds consumed via this cursor.
+    pub fn elapsed_s(&self) -> f64 {
+        self.elapsed_s
+    }
+
+    /// How many times the cursor wrapped past the end of the trace.
+    pub fn wraps(&self) -> u32 {
+        self.wraps
+    }
+
+    /// Bandwidth in effect at the cursor position, in Mbps.
+    pub fn current_bandwidth_mbps(&self) -> f64 {
+        self.trace.points()[self.seg].bandwidth_mbps
+    }
+
+    /// Seconds remaining in the current piecewise-constant segment.
+    fn segment_remaining_s(&self) -> f64 {
+        let pts = self.trace.points();
+        let seg_end = if self.seg + 1 < pts.len() {
+            pts[self.seg + 1].time_s
+        } else {
+            self.trace.duration_s()
+        };
+        (seg_end - pts[self.seg].time_s) - self.offset_s
+    }
+
+    fn step_segment(&mut self) {
+        self.seg += 1;
+        self.offset_s = 0.0;
+        if self.seg >= self.trace.points().len() {
+            self.seg = 0;
+            self.wraps += 1;
+        }
+    }
+
+    /// Advances the cursor by `dt_s` seconds without transferring data
+    /// (used for playback-only intervals, e.g. Pensieve's 500 ms sleeps).
+    pub fn advance_time(&mut self, dt_s: f64) {
+        assert!(dt_s.is_finite() && dt_s >= 0.0, "advance_time requires dt_s >= 0");
+        let mut rem = dt_s;
+        self.elapsed_s += dt_s;
+        loop {
+            let seg_rem = self.segment_remaining_s();
+            if rem < seg_rem {
+                self.offset_s += rem;
+                return;
+            }
+            rem -= seg_rem;
+            self.step_segment();
+        }
+    }
+
+    /// Transfers `bytes` through the link starting at the cursor position and
+    /// returns the wall-clock duration, advancing the cursor.
+    ///
+    /// Zero-bandwidth (outage) segments are crossed by waiting them out; if
+    /// the *whole* trace has zero mean bandwidth this would never finish, so
+    /// traces validated by dataset construction always carry positive mean.
+    pub fn download(&mut self, bytes: f64) -> Transfer {
+        assert!(bytes.is_finite() && bytes >= 0.0, "download requires bytes >= 0");
+        let mut remaining_bits = bytes * 8.0;
+        let mut duration_s = 0.0;
+        while remaining_bits > 0.0 {
+            let bw_bits_per_s = self.current_bandwidth_mbps() * 1e6;
+            let seg_rem = self.segment_remaining_s();
+            if bw_bits_per_s <= 0.0 {
+                duration_s += seg_rem;
+                self.step_segment();
+                continue;
+            }
+            let seg_capacity_bits = bw_bits_per_s * seg_rem;
+            if seg_capacity_bits >= remaining_bits {
+                let dt = remaining_bits / bw_bits_per_s;
+                duration_s += dt;
+                self.offset_s += dt;
+                remaining_bits = 0.0;
+            } else {
+                remaining_bits -= seg_capacity_bits;
+                duration_s += seg_rem;
+                self.step_segment();
+            }
+        }
+        self.elapsed_s += duration_s;
+        let throughput_mbps = if duration_s > 0.0 {
+            bytes * 8.0 / duration_s / 1e6
+        } else {
+            self.current_bandwidth_mbps()
+        };
+        Transfer { duration_s, throughput_mbps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Trace;
+
+    fn flat(mbps: f64) -> Trace {
+        Trace::from_uniform("flat", 1.0, &[mbps; 10]).unwrap()
+    }
+
+    #[test]
+    fn download_on_flat_link_matches_arithmetic() {
+        let t = flat(8.0); // 8 Mbps = 1 MB/s
+        let mut c = TraceCursor::new(&t);
+        let tr = c.download(2_000_000.0);
+        assert!((tr.duration_s - 2.0).abs() < 1e-9);
+        assert!((tr.throughput_mbps - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn download_spanning_segments_uses_both_rates() {
+        // 1s at 8 Mbps (1 MB), then 80 Mbps.
+        let t = Trace::from_uniform("step", 1.0, &[8.0, 80.0]).unwrap();
+        let mut c = TraceCursor::new(&t);
+        // 2 MB: first MB takes 1 s, second MB takes 0.1 s.
+        let tr = c.download(2_000_000.0);
+        assert!((tr.duration_s - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outage_segments_are_waited_out() {
+        let t = Trace::from_uniform("outage", 1.0, &[0.0, 8.0]).unwrap();
+        let mut c = TraceCursor::new(&t);
+        let tr = c.download(1_000_000.0);
+        // 1 s outage + 1 s transfer.
+        assert!((tr.duration_s - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cursor_wraps_around_trace_end() {
+        let t = Trace::from_uniform("short", 1.0, &[8.0, 8.0]).unwrap(); // 2 s long
+        let mut c = TraceCursor::new(&t);
+        c.download(4_000_000.0); // needs 4 s => wraps once
+        assert!(c.wraps() >= 1);
+        assert!((c.elapsed_s() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advance_time_skips_bandwidth() {
+        let t = Trace::from_uniform("step", 1.0, &[8.0, 80.0]).unwrap();
+        let mut c = TraceCursor::new(&t);
+        c.advance_time(1.5);
+        assert!((c.current_bandwidth_mbps() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_start_is_deterministic_per_seed() {
+        let t = flat(8.0);
+        let a = TraceCursor::with_random_start(&t, 42).seg;
+        let b = TraceCursor::with_random_start(&t, 42).seg;
+        let c = TraceCursor::with_random_start(&t, 43).seg;
+        assert_eq!(a, b);
+        // Different seeds usually land elsewhere; don't require it strictly,
+        // but the offsets must be valid either way.
+        let _ = c;
+    }
+
+    #[test]
+    fn zero_byte_download_is_instant() {
+        let t = flat(8.0);
+        let mut c = TraceCursor::new(&t);
+        let tr = c.download(0.0);
+        assert_eq!(tr.duration_s, 0.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Dataset summary statistics — the measured side of the paper's Table 1.
+
+use crate::dataset::TraceDataset;
+use crate::model::Trace;
+
+/// Aggregate statistics for a [`TraceDataset`], mirroring Table 1 columns.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DatasetStats {
+    /// Number of training traces.
+    pub train_traces: usize,
+    /// Total training duration, hours.
+    pub train_hours: f64,
+    /// Number of testing traces.
+    pub test_traces: usize,
+    /// Total testing duration, hours.
+    pub test_hours: f64,
+    /// Duration-weighted mean throughput over all traces, Mbps.
+    pub mean_throughput_mbps: f64,
+    /// Duration-weighted throughput standard deviation, Mbps.
+    pub std_throughput_mbps: f64,
+    /// Minimum single sample over all traces, Mbps.
+    pub min_throughput_mbps: f64,
+    /// Maximum single sample over all traces, Mbps.
+    pub max_throughput_mbps: f64,
+}
+
+impl DatasetStats {
+    /// Computes statistics from a dataset's train and test splits.
+    pub fn from_dataset(ds: &TraceDataset) -> Self {
+        let all: Vec<&Trace> = ds.train.iter().chain(ds.test.iter()).collect();
+        let total_s: f64 = all.iter().map(|t| t.duration_s()).sum();
+        let mean = all
+            .iter()
+            .map(|t| t.mean_mbps() * t.duration_s())
+            .sum::<f64>()
+            / total_s;
+        // Pooled variance: E[X^2] - mean^2, duration-weighted.
+        let ex2 = all
+            .iter()
+            .map(|t| {
+                let m = t.mean_mbps();
+                let s = t.std_mbps();
+                (s * s + m * m) * t.duration_s()
+            })
+            .sum::<f64>()
+            / total_s;
+        Self {
+            train_traces: ds.train.len(),
+            train_hours: ds.train.iter().map(|t| t.duration_s()).sum::<f64>() / 3600.0,
+            test_traces: ds.test.len(),
+            test_hours: ds.test.iter().map(|t| t.duration_s()).sum::<f64>() / 3600.0,
+            mean_throughput_mbps: mean,
+            std_throughput_mbps: (ex2 - mean * mean).max(0.0).sqrt(),
+            min_throughput_mbps: all.iter().map(|t| t.min_mbps()).fold(f64::INFINITY, f64::min),
+            max_throughput_mbps: all.iter().map(|t| t.max_mbps()).fold(0.0, f64::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetKind, DatasetScale};
+
+    #[test]
+    fn stats_cover_both_splits() {
+        let ds = TraceDataset::synthesize(DatasetKind::Fcc, DatasetScale::Tiny, 1);
+        let s = ds.stats();
+        assert_eq!(s.train_traces, 2);
+        assert_eq!(s.test_traces, 2);
+        assert!(s.train_hours > 0.0 && s.test_hours > 0.0);
+        assert!(s.min_throughput_mbps <= s.mean_throughput_mbps);
+        assert!(s.mean_throughput_mbps <= s.max_throughput_mbps);
+        assert!(s.std_throughput_mbps >= 0.0);
+    }
+
+    #[test]
+    fn flat_dataset_has_zero_std() {
+        let t1 = Trace::from_uniform("a", 1.0, &[5.0; 10]).unwrap();
+        let t2 = Trace::from_uniform("b", 1.0, &[5.0; 10]).unwrap();
+        let ds = TraceDataset::from_traces(DatasetKind::Fcc, vec![t1], vec![t2]);
+        let s = ds.stats();
+        assert!((s.mean_throughput_mbps - 5.0).abs() < 1e-9);
+        assert!(s.std_throughput_mbps < 1e-6);
+    }
+}

@@ -1,0 +1,119 @@
+//! Log-space AR(1) throughput process.
+//!
+//! Throughput processes are heavy-tailed and strictly positive, so we model
+//! `log` throughput as a first-order autoregressive process:
+//!
+//! ```text
+//! x_{t+1} = mu + rho * (x_t - mu) + sigma * eps,   eps ~ N(0, 1)
+//! ```
+//!
+//! and emit `exp(x_t)`. The stationary distribution is lognormal with
+//! log-mean `mu` and log-variance `sigma^2 / (1 - rho^2)`; [`LogAr1::with_mean`]
+//! solves for `mu` so the *linear* stationary mean hits a calibration target.
+
+use rand::Rng;
+
+/// AR(1) process over log-throughput. See the module docs for the model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogAr1 {
+    /// Stationary mean of the log process.
+    pub mu_log: f64,
+    /// Autocorrelation, in `[0, 1)`. Higher = smoother.
+    pub rho: f64,
+    /// Innovation standard deviation (log space).
+    pub sigma: f64,
+}
+
+impl LogAr1 {
+    /// Builds a process whose stationary *linear* mean is `mean_mbps`, with
+    /// autocorrelation `rho` and innovation std `sigma` (log space).
+    ///
+    /// Uses the lognormal mean identity `E[exp(x)] = exp(mu + v/2)` with
+    /// `v = sigma^2 / (1 - rho^2)`.
+    pub fn with_mean(mean_mbps: f64, rho: f64, sigma: f64) -> Self {
+        assert!(mean_mbps > 0.0, "mean must be positive");
+        assert!((0.0..1.0).contains(&rho), "rho must be in [0,1)");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        let v = sigma * sigma / (1.0 - rho * rho);
+        Self { mu_log: mean_mbps.ln() - v / 2.0, rho, sigma }
+    }
+
+    /// Stationary linear mean of the emitted (exponentiated) process, Mbps.
+    pub fn stationary_mean(&self) -> f64 {
+        let v = self.sigma * self.sigma / (1.0 - self.rho * self.rho);
+        (self.mu_log + v / 2.0).exp()
+    }
+
+    /// Draws an initial log-state from the stationary distribution.
+    pub fn init_state<R: Rng>(&self, rng: &mut R) -> f64 {
+        let stationary_sd = self.sigma / (1.0 - self.rho * self.rho).sqrt();
+        self.mu_log + stationary_sd * gaussian(rng)
+    }
+
+    /// Advances the log-state by one step and returns the new log-state.
+    pub fn step<R: Rng>(&self, state: f64, rng: &mut R) -> f64 {
+        self.mu_log + self.rho * (state - self.mu_log) + self.sigma * gaussian(rng)
+    }
+}
+
+/// Standard normal draw via Box–Muller (avoids an extra distribution crate).
+pub fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stationary_mean_matches_target() {
+        let p = LogAr1::with_mean(19.8, 0.9, 0.3);
+        assert!((p.stationary_mean() - 19.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_mean_converges_to_target() {
+        let p = LogAr1::with_mean(5.0, 0.8, 0.25);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut x = p.init_state(&mut rng);
+        let mut acc = 0.0;
+        let n = 200_000;
+        for _ in 0..n {
+            x = p.step(x, &mut rng);
+            acc += x.exp();
+        }
+        let mean = acc / n as f64;
+        assert!((mean - 5.0).abs() / 5.0 < 0.05, "empirical mean {mean} too far from 5.0");
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let (mut m, mut v) = (0.0, 0.0);
+        for _ in 0..n {
+            let g = gaussian(&mut rng);
+            m += g;
+            v += g * g;
+        }
+        m /= n as f64;
+        v = v / n as f64 - m * m;
+        assert!(m.abs() < 0.02, "mean {m}");
+        assert!((v - 1.0).abs() < 0.05, "var {v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rho")]
+    fn rejects_rho_out_of_range() {
+        let _ = LogAr1::with_mean(1.0, 1.0, 0.1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Markov regime switching over AR(1) throughput processes.
+//!
+//! Real access networks move between qualitatively different operating
+//! regimes — a congested cable segment, a 4G cell edge, a blocked mmWave
+//! beam. Each [`Regime`] couples a [`LogAr1`] throughput process with an
+//! exponential dwell time; the [`RegimeChain`] switches between regimes with
+//! configurable transition weights.
+
+use super::ar1::LogAr1;
+use rand::Rng;
+
+/// One operating regime: an AR(1) throughput process plus dwell dynamics.
+#[derive(Debug, Clone)]
+pub struct Regime {
+    /// Human-readable label (appears in docs/tests, not in traces).
+    pub name: &'static str,
+    /// Log-space AR(1) process generating throughput while in this regime.
+    pub process: LogAr1,
+    /// Mean sojourn time in seconds (exponentially distributed).
+    pub mean_dwell_s: f64,
+    /// Relative transition weights *into* each regime when leaving this one.
+    /// Length must equal the number of regimes; the self-weight is ignored.
+    pub exit_weights: Vec<f64>,
+}
+
+/// A continuous-time Markov chain over [`Regime`]s producing a throughput
+/// sample stream at fixed `dt_s` steps.
+#[derive(Debug, Clone)]
+pub struct RegimeChain {
+    regimes: Vec<Regime>,
+}
+
+impl RegimeChain {
+    /// Builds a chain, validating that exit weights are consistent.
+    ///
+    /// # Panics
+    /// Panics if `regimes` is empty or an `exit_weights` length mismatches —
+    /// these are programmer errors in generator calibration, not user input.
+    pub fn new(regimes: Vec<Regime>) -> Self {
+        assert!(!regimes.is_empty(), "need at least one regime");
+        let n = regimes.len();
+        for r in &regimes {
+            assert_eq!(r.exit_weights.len(), n, "exit_weights length mismatch in {}", r.name);
+            assert!(r.mean_dwell_s > 0.0, "dwell must be positive in {}", r.name);
+        }
+        Self { regimes }
+    }
+
+    /// The configured regimes.
+    pub fn regimes(&self) -> &[Regime] {
+        &self.regimes
+    }
+
+    /// Approximate stationary linear-mean throughput of the chain, weighting
+    /// each regime's stationary mean by its expected dwell share. Exact for
+    /// symmetric exit weights; used only for calibration sanity checks.
+    pub fn approx_mean_mbps(&self) -> f64 {
+        let total: f64 = self.regimes.iter().map(|r| r.mean_dwell_s).sum();
+        self.regimes
+            .iter()
+            .map(|r| r.process.stationary_mean() * r.mean_dwell_s / total)
+            .sum()
+    }
+
+    /// Runs the chain for `n_steps` samples spaced `dt_s` apart, returning
+    /// raw (unclamped) throughput samples in Mbps.
+    pub fn sample<R: Rng>(&self, rng: &mut R, n_steps: usize, dt_s: f64) -> Vec<f64> {
+        let mut out = Vec::with_capacity(n_steps);
+        let mut regime = rng.gen_range(0..self.regimes.len());
+        let mut state = self.regimes[regime].process.init_state(rng);
+        let mut dwell_left = exponential(rng, self.regimes[regime].mean_dwell_s);
+        for _ in 0..n_steps {
+            let r = &self.regimes[regime];
+            state = r.process.step(state, rng);
+            out.push(state.exp());
+            dwell_left -= dt_s;
+            if dwell_left <= 0.0 {
+                regime = self.pick_next(rng, regime);
+                let r = &self.regimes[regime];
+                dwell_left = exponential(rng, r.mean_dwell_s);
+                // Re-anchor the AR state near the new regime's mean so the
+                // switch is visible (fast re-convergence, not a hard jump).
+                state = 0.5 * state + 0.5 * r.process.init_state(rng);
+            }
+        }
+        out
+    }
+
+    fn pick_next<R: Rng>(&self, rng: &mut R, from: usize) -> usize {
+        let w = &self.regimes[from].exit_weights;
+        let total: f64 = w
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != from)
+            .map(|(_, x)| *x)
+            .sum();
+        if total <= 0.0 {
+            return from; // absorbing regime
+        }
+        let mut draw = rng.gen::<f64>() * total;
+        for (i, &x) in w.iter().enumerate() {
+            if i == from {
+                continue;
+            }
+            draw -= x;
+            if draw <= 0.0 {
+                return i;
+            }
+        }
+        from
+    }
+}
+
+/// Exponential draw with the given mean.
+pub fn exponential<R: Rng>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_regime_chain() -> RegimeChain {
+        RegimeChain::new(vec![
+            Regime {
+                name: "good",
+                process: LogAr1::with_mean(10.0, 0.8, 0.1),
+                mean_dwell_s: 30.0,
+                exit_weights: vec![0.0, 1.0],
+            },
+            Regime {
+                name: "bad",
+                process: LogAr1::with_mean(1.0, 0.8, 0.1),
+                mean_dwell_s: 10.0,
+                exit_weights: vec![1.0, 0.0],
+            },
+        ])
+    }
+
+    #[test]
+    fn approx_mean_is_dwell_weighted() {
+        let c = two_regime_chain();
+        let expected = (10.0 * 30.0 + 1.0 * 10.0) / 40.0;
+        assert!((c.approx_mean_mbps() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_visits_both_regimes() {
+        let c = two_regime_chain();
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs = c.sample(&mut rng, 5_000, 1.0);
+        let lows = xs.iter().filter(|&&x| x < 3.0).count();
+        let highs = xs.iter().filter(|&&x| x > 5.0).count();
+        assert!(lows > 100, "never saw the bad regime ({lows})");
+        assert!(highs > 1_000, "never saw the good regime ({highs})");
+    }
+
+    #[test]
+    fn empirical_mean_tracks_dwell_weighting() {
+        let c = two_regime_chain();
+        let mut rng = StdRng::seed_from_u64(4);
+        let xs = c.sample(&mut rng, 200_000, 1.0);
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        let expected = c.approx_mean_mbps();
+        assert!(
+            (mean - expected).abs() / expected < 0.15,
+            "empirical {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn exponential_mean_is_calibrated() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut rng, 7.0)).sum::<f64>() / n as f64;
+        assert!((mean - 7.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exit_weights")]
+    fn rejects_mismatched_exit_weights() {
+        let _ = RegimeChain::new(vec![Regime {
+            name: "solo",
+            process: LogAr1::with_mean(1.0, 0.5, 0.1),
+            mean_dwell_s: 1.0,
+            exit_weights: vec![1.0, 1.0],
+        }]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Quickstart: run the NADA pipeline end-to-end on one dataset.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Generates a pool of LLM state designs for Starlink, filters them with
+//! the compilation and normalization checks, screens them with early
+//! stopping, and prints how the best discovered design compares with the
+//! original Pensieve state.
+
+use nada::core::{Nada, NadaConfig, RunScale};
+use nada::llm::MockLlm;
+use nada::traces::dataset::DatasetKind;
+
+fn main() {
+    let config = NadaConfig::new(DatasetKind::Starlink, RunScale::Quick, 1);
+    println!(
+        "NADA quickstart: {} candidates, {} train epochs, {} seeds\n",
+        config.n_candidates, config.train_epochs, config.n_seeds
+    );
+    let nada = Nada::new(config);
+    let mut llm = MockLlm::gpt4(1);
+
+    let outcome = nada.run_state_search(&mut llm);
+
+    println!(
+        "pre-checks: {}/{} compilable, {} well-normalized",
+        outcome.precheck.compilable, outcome.precheck.total, outcome.precheck.normalized
+    );
+    println!(
+        "early stopping: {} stopped, {} fully trained, {} epochs saved",
+        outcome.stats.early_stopped, outcome.stats.fully_trained, outcome.stats.epochs_saved
+    );
+    println!(
+        "\noriginal Pensieve state: {:.3}\nbest generated state:    {:.3}  ({:+.1}%)",
+        outcome.original.test_score,
+        outcome.best.test_score,
+        outcome.improvement_pct()
+    );
+    println!("\nwinning design:\n{}", outcome.best.code);
+}

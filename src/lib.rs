@@ -1,0 +1,52 @@
+//! # NADA — Designing Network Algorithms via Large Language Models
+//!
+//! A full Rust reproduction of the HotNets 2024 paper *"Designing Network
+//! Algorithms via Large Language Models"* (He et al., arXiv:2404.01617):
+//! an autonomous pipeline that asks an LLM for alternative designs of a
+//! network algorithm's components — here, the Pensieve ABR algorithm's RL
+//! state representation and actor-critic architecture — then filters the
+//! candidates cheaply (compilation check, fuzzing-based normalization
+//! check, learned early stopping) and trains only the promising ones.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`traces`] | synthetic FCC/Starlink/4G/5G trace datasets + Mahimahi I/O |
+//! | [`sim`] | Pensieve-style chunk simulator, HTTP/TCP emulator, QoE, classic ABR baselines |
+//! | [`nn`] | from-scratch NN library (dense/conv1d/RNN/LSTM, Adam, A2C) |
+//! | [`dsl`] | the design DSL: state & architecture "code blocks" |
+//! | [`llm`] | `LlmClient` trait, §2.1 prompts, Table 2-calibrated `MockLlm` |
+//! | [`earlystop`] | §2.2/§3.4 early-stopping classifiers |
+//! | [`core`] | the NADA pipeline: generate → filter → train → rank |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nada::core::{Nada, NadaConfig, RunScale};
+//! use nada::llm::MockLlm;
+//! use nada::traces::dataset::DatasetKind;
+//!
+//! // Tiny scale so this doc test stays fast; use RunScale::Quick for real runs.
+//! let config = NadaConfig::new(DatasetKind::Starlink, RunScale::Tiny, 7);
+//! let nada = Nada::new(config);
+//! let mut llm = MockLlm::gpt4(7);
+//! let outcome = nada.run_state_search(&mut llm);
+//! println!(
+//!     "original {:.3} -> best {:.3} ({:+.1}%)",
+//!     outcome.original.test_score,
+//!     outcome.best.test_score,
+//!     outcome.improvement_pct()
+//! );
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! harnesses regenerating every table and figure of the paper.
+
+pub use nada_core as core;
+pub use nada_dsl as dsl;
+pub use nada_earlystop as earlystop;
+pub use nada_llm as llm;
+pub use nada_nn as nn;
+pub use nada_sim as sim;
+pub use nada_traces as traces;

@@ -1,0 +1,109 @@
+//! Property-based tests on the design DSL (proptest).
+
+use nada::dsl::ast::{BinOp, Expr};
+use nada::dsl::parser::parse_state;
+use nada::dsl::pretty::print_state;
+use nada::dsl::{compile_state, Value};
+use proptest::prelude::*;
+
+/// Random expression trees over a fixed input vocabulary.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0.1f64..99.0).prop_map(Expr::Number),
+        Just(Expr::Ident("buffer_s".into())),
+        Just(Expr::Ident("chunks_remaining".into())),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+                Just(BinOp::Div)
+            ])
+                .prop_map(|(l, r, op)| Expr::Binary {
+                    op,
+                    lhs: Box::new(l),
+                    rhs: Box::new(r)
+                }),
+            inner.clone().prop_map(|e| Expr::Neg(Box::new(e))),
+            inner.clone().prop_map(|e| Expr::Call {
+                name: "abs".into(),
+                args: vec![e]
+            }),
+            (inner, 0.1f64..10.0, 0.1f64..10.0).prop_map(|(e, lo, hi)| Expr::Call {
+                name: "clip".into(),
+                // Parser-canonical negative literal: Neg(Number), as `-x`
+                // lexes to unary minus.
+                args: vec![
+                    e,
+                    Expr::Neg(Box::new(Expr::Number(lo))),
+                    Expr::Number(lo + hi)
+                ]
+            }),
+        ]
+    })
+}
+
+fn program_with(expr: &Expr) -> String {
+    let prog = nada::dsl::StateProgram {
+        name: "prop".into(),
+        inputs: vec![
+            nada::dsl::InputDecl { name: "buffer_s".into(), ty: nada::dsl::InputType::Scalar },
+            nada::dsl::InputDecl {
+                name: "chunks_remaining".into(),
+                ty: nada::dsl::InputType::Scalar,
+            },
+        ],
+        features: vec![nada::dsl::FeatureDecl { name: "f".into(), expr: expr.clone() }],
+    };
+    print_state(&prog)
+}
+
+proptest! {
+    /// print → parse is the identity on ASTs.
+    #[test]
+    fn pretty_print_round_trips(expr in arb_expr()) {
+        let src = program_with(&expr);
+        let parsed = parse_state(&src).expect("printed programs must parse");
+        prop_assert_eq!(&parsed.features[0].expr, &expr, "source:\n{}", src);
+    }
+
+    /// Whatever compiles must evaluate to shape-consistent, finite features
+    /// on schema-shaped inputs (or fail with a typed error — never panic).
+    #[test]
+    fn compiled_programs_never_panic(expr in arb_expr(), buffer in 0.0f64..60.0, rem in 0.0f64..48.0) {
+        let src = program_with(&expr);
+        if let Ok(state) = compile_state(&src) {
+            let mut inputs = state.schema_midpoint_inputs();
+            inputs[4] = Value::Scalar(buffer);
+            inputs[5] = Value::Scalar(rem);
+            match state.eval(&inputs) {
+                Ok(features) => {
+                    prop_assert_eq!(features.len(), 1);
+                    prop_assert!(features[0].is_finite());
+                }
+                Err(e) => {
+                    // Division by zero etc. — a typed runtime error is the
+                    // contract; a panic would fail the test harness itself.
+                    let _ = e.to_string();
+                }
+            }
+        }
+    }
+
+    /// The normalization check never passes a program whose only feature is
+    /// a raw large-magnitude input scaled UP.
+    #[test]
+    fn fuzzer_catches_amplified_bitrates(factor in 1.0f64..50.0) {
+        let src = format!(
+            "state amp {{ input last_bitrate_kbps: scalar; feature f = last_bitrate_kbps * {factor:.3}; }}"
+        );
+        let state = compile_state(&src).expect("amplifier compiles");
+        let outcome = nada::dsl::normalization_check(&state, &nada::dsl::FuzzConfig::default());
+        prop_assert!(
+            !matches!(outcome, nada::dsl::fuzz::NormCheckOutcome::Pass),
+            "amplified bitrate passed the T=100 check"
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based invariants on the simulator, emulator and trace replay.
+
+use nada::sim::env::BUFFER_CAP_S;
+use nada::sim::prelude::*;
+use nada::traces::{Trace, TraceCursor};
+use proptest::prelude::*;
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    // 30–120 samples of 0.5 s each, bandwidths across four orders of
+    // magnitude including near-outage.
+    proptest::collection::vec(0.05f64..120.0, 30..120)
+        .prop_map(|bw| Trace::from_uniform("prop", 0.5, &bw).expect("valid uniform trace"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Replay conserves bytes: downloading N bytes at piecewise-constant
+    /// rates takes exactly as long as the bandwidth integral implies
+    /// (within float tolerance), and elapsed time only moves forward.
+    #[test]
+    fn cursor_transfer_conserves_bytes(trace in arb_trace(), kb in 1.0f64..5000.0) {
+        let mut cursor = TraceCursor::new(&trace);
+        let bytes = kb * 1000.0;
+        let before = cursor.elapsed_s();
+        let t = cursor.download(bytes);
+        prop_assert!(t.duration_s >= 0.0);
+        prop_assert!(cursor.elapsed_s() >= before);
+        // Average throughput over the transfer must lie within the trace's
+        // bandwidth envelope.
+        prop_assert!(t.throughput_mbps <= trace.max_mbps() + 1e-6);
+    }
+
+    /// Player invariants, any policy, any trace: buffer stays in
+    /// [0, cap], rebuffering is non-negative, episodes always terminate
+    /// with exactly n_chunks steps.
+    #[test]
+    fn player_invariants_hold(trace in arb_trace(), seed in 0u64..1000) {
+        let manifest = VideoManifest::pensieve_like(Ladder::broadband(), 24, 3);
+        let mut env = AbrEnv::new_sim(&manifest, &trace, QoeLin::default(), seed);
+        let mut steps = 0;
+        let mut quality = (seed % 6) as usize;
+        loop {
+            let r = env.step(quality);
+            steps += 1;
+            prop_assert!(r.rebuffer_s >= 0.0);
+            prop_assert!(r.delay_s > 0.0);
+            prop_assert!(r.obs.buffer_s >= 0.0);
+            prop_assert!(r.obs.buffer_s <= BUFFER_CAP_S + 1e-9);
+            prop_assert!(r.reward.is_finite());
+            quality = (quality + 1) % 6; // rotate through the ladder
+            if r.done {
+                break;
+            }
+        }
+        prop_assert_eq!(steps, 24);
+    }
+
+    /// The emulator obeys the same player invariants.
+    #[test]
+    fn emulator_invariants_hold(trace in arb_trace(), seed in 0u64..200) {
+        let manifest = VideoManifest::pensieve_like(Ladder::broadband(), 12, 4);
+        let mut env = AbrEnv::new_emu(&manifest, &trace, QoeLin::default(), seed);
+        loop {
+            let r = env.step((seed % 6) as usize);
+            prop_assert!(r.rebuffer_s >= 0.0);
+            prop_assert!(r.obs.buffer_s >= 0.0 && r.obs.buffer_s <= BUFFER_CAP_S + 1e-9);
+            prop_assert!(r.reward.is_finite());
+            if r.done {
+                break;
+            }
+        }
+    }
+
+    /// Mahimahi round trip preserves mean throughput for arbitrary traces.
+    #[test]
+    fn mahimahi_round_trip_preserves_mean(trace in arb_trace()) {
+        use nada::traces::io::mahimahi::{read_mahimahi, write_mahimahi};
+        let text = write_mahimahi(&trace);
+        // Traces with almost no capacity may emit no packets; skip those.
+        prop_assume!(text.lines().count() > 10);
+        let back = read_mahimahi("rt", &text, 1.0).expect("round trip parses");
+        let err = (back.mean_mbps() - trace.mean_mbps()).abs() / trace.mean_mbps();
+        prop_assert!(err < 0.15, "mean drifted {err}: {} vs {}", back.mean_mbps(), trace.mean_mbps());
+    }
+}
