@@ -18,8 +18,7 @@ fn bench_pipeline_stages(c: &mut Criterion) {
 
     c.bench_function("pipeline/compilation_check", |b| {
         let mut llm = MockLlm::gpt4(2);
-        let pool: Vec<String> =
-            (0..64).map(|_| llm.generate(&prompt).code).collect();
+        let pool: Vec<String> = (0..64).map(|_| llm.generate(&prompt).code).collect();
         let mut i = 0;
         b.iter_batched(
             || {
@@ -38,7 +37,8 @@ fn bench_pipeline_stages(c: &mut Criterion) {
         let run_cfg = TrainRunConfig::from(&cfg);
         let state = nada_dsl::seeds::pensieve_state();
         let arch = nada_dsl::seeds::pensieve_arch();
-        b.iter(|| black_box(train_design(&state, &arch, &dataset, &run_cfg, 7).unwrap()))
+        let workload = nada_core::AbrWorkload::for_dataset(DatasetKind::Starlink);
+        b.iter(|| black_box(train_design(&workload, &state, &arch, &dataset, &run_cfg, 7).unwrap()))
     });
 }
 

@@ -14,8 +14,9 @@ fn synthetic_pool(n: usize) -> (Vec<DesignSample>, Vec<f64>) {
     let mut finals = Vec::new();
     for _ in 0..n {
         let q: f64 = rng.gen();
-        let curve: Vec<f64> =
-            (0..100).map(|t| q * t as f64 / 100.0 + 0.2 * rng.gen::<f64>()).collect();
+        let curve: Vec<f64> = (0..100)
+            .map(|t| q * t as f64 / 100.0 + 0.2 * rng.gen::<f64>())
+            .collect();
         samples.push(DesignSample {
             reward_curve: curve,
             code: "state s { feature f = throughput_mbps / 8.0; }".into(),
@@ -27,7 +28,11 @@ fn synthetic_pool(n: usize) -> (Vec<DesignSample>, Vec<f64>) {
 
 fn bench_earlystop(c: &mut Criterion) {
     let (samples, finals) = synthetic_pool(100);
-    let cfg = FitConfig { top_fraction: 0.05, epochs: 10, ..FitConfig::default() };
+    let cfg = FitConfig {
+        top_fraction: 0.05,
+        epochs: 10,
+        ..FitConfig::default()
+    };
 
     c.bench_function("earlystop/fit_reward_cnn_100x10ep", |b| {
         b.iter(|| {

@@ -19,7 +19,14 @@ fn pensieve_shapes() -> Vec<FeatureShape> {
 }
 
 fn features() -> Vec<Vec<f32>> {
-    vec![vec![0.2; 8], vec![0.4; 8], vec![0.3; 6], vec![0.5], vec![0.9], vec![0.25]]
+    vec![
+        vec![0.2; 8],
+        vec![0.4; 8],
+        vec![0.3; 6],
+        vec![0.5],
+        vec![0.9],
+        vec![0.25],
+    ]
 }
 
 fn bench_nn(c: &mut Criterion) {

@@ -1,0 +1,7 @@
+//! Runs the congestion-control workload search end-to-end and prints the
+//! generated-vs-baseline comparison.
+
+fn main() {
+    let opts = nada_bench::cli::parse_args(std::env::args());
+    println!("{}", nada_bench::experiments::cc_search::run(&opts));
+}

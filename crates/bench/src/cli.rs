@@ -13,7 +13,10 @@ pub struct HarnessOptions {
 
 impl Default for HarnessOptions {
     fn default() -> Self {
-        Self { scale: RunScale::Quick, seed: 1 }
+        Self {
+            scale: RunScale::Quick,
+            seed: 1,
+        }
     }
 }
 
@@ -29,9 +32,11 @@ pub fn parse_args<I: Iterator<Item = String>>(mut args: I) -> HarnessOptions {
             "--quick" => opts.scale = RunScale::Quick,
             "--seed" => {
                 let v = args.next().unwrap_or_else(|| usage("--seed needs a value"));
-                opts.seed = v.parse().unwrap_or_else(|_| usage("--seed needs an integer"));
+                opts.seed = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seed needs an integer"));
             }
-            "--help" | "-h" => usage("") ,
+            "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag `{other}`")),
         }
     }

@@ -51,18 +51,30 @@ fn label_smoothing(opts: &HarnessOptions) -> String {
                 label_smoothing: smoothing,
                 epochs: clf_epochs,
                 seed: opts.seed,
-                threshold_margin: if opts.scale == RunScale::Paper { 0.0 } else { 1.0 },
+                threshold_margin: if opts.scale == RunScale::Paper {
+                    0.0
+                } else {
+                    1.0
+                },
                 ..FitConfig::default()
             },
         };
         let r = &evaluate_methods(&samples, &finals, &[EarlyStopMethod::RewardOnly], &cfg)[0];
         table.row(vec![
-            if smoothing { "top-20% (paper)" } else { "raw top-5%" }.to_string(),
+            if smoothing {
+                "top-20% (paper)"
+            } else {
+                "raw top-5%"
+            }
+            .to_string(),
             format!("{:.3}", r.fnr),
             format!("{:.3}", r.tnr),
         ]);
     }
-    format!("-- Ablation 1: label smoothing (Reward Only classifier) --\n{}", table.render())
+    format!(
+        "-- Ablation 1: label smoothing (Reward Only classifier) --\n{}",
+        table.render()
+    )
 }
 
 /// Ablation 2: prompting strategies vs pre-check pass rates.
@@ -77,19 +89,32 @@ fn prompt_strategies(opts: &HarnessOptions) -> String {
         ("all strategies (paper)", PromptOptions::default()),
         (
             "no normalization request",
-            PromptOptions { request_normalization: false, ..PromptOptions::default() },
+            PromptOptions {
+                request_normalization: false,
+                ..PromptOptions::default()
+            },
         ),
         (
             "no semantic renaming",
-            PromptOptions { semantic_renaming: false, ..PromptOptions::default() },
+            PromptOptions {
+                semantic_renaming: false,
+                ..PromptOptions::default()
+            },
         ),
         (
             "no chain-of-thought",
-            PromptOptions { chain_of_thought: false, ..PromptOptions::default() },
+            PromptOptions {
+                chain_of_thought: false,
+                ..PromptOptions::default()
+            },
         ),
     ];
-    let mut table =
-        TextTable::new(vec!["Prompt", "Compilable%", "Normalized%", "DistinctDesigns"]);
+    let mut table = TextTable::new(vec![
+        "Prompt",
+        "Compilable%",
+        "Normalized%",
+        "DistinctDesigns",
+    ]);
     for (name, options) in variants {
         let mut llm = MockLlm::gpt4(opts.seed ^ 0xAB1A);
         let mut prompt = Prompt::state(nada_dsl::seeds::PENSIEVE_STATE_SOURCE);
@@ -115,7 +140,10 @@ fn prompt_strategies(opts: &HarnessOptions) -> String {
             format!("{}", distinct.len()),
         ]);
     }
-    format!("-- Ablation 2: §2.1 prompting strategies ({n} generations each) --\n{}", table.render())
+    format!(
+        "-- Ablation 2: §2.1 prompting strategies ({n} generations each) --\n{}",
+        table.render()
+    )
 }
 
 /// Ablation 3: the fuzz threshold `T` (paper fixes T = 100).
@@ -134,14 +162,16 @@ fn threshold_sweep(opts: &HarnessOptions) -> String {
         .collect();
     let mut table = TextTable::new(vec!["Threshold T", "Pass%", "SeedDesignPasses"]);
     for t in [10.0, 100.0, 1000.0] {
-        let fuzz = FuzzConfig { threshold: t, ..FuzzConfig::default() };
+        let fuzz = FuzzConfig {
+            threshold: t,
+            ..FuzzConfig::default()
+        };
         let pass = compiled
             .iter()
             .filter(|s| normalization_check(s, &fuzz) == NormCheckOutcome::Pass)
             .count();
-        let seed_passes =
-            normalization_check(&nada_dsl::seeds::pensieve_state(), &fuzz)
-                == NormCheckOutcome::Pass;
+        let seed_passes = normalization_check(&nada_dsl::seeds::pensieve_state(), &fuzz)
+            == NormCheckOutcome::Pass;
         table.row(vec![
             format!("{t}"),
             format!("{:.1}%", 100.0 * pass as f64 / compiled.len().max(1) as f64),
@@ -160,7 +190,8 @@ fn early_stop_savings(opts: &HarnessOptions) -> String {
     let outcome = search_states(DatasetKind::Starlink, Model::Gpt4, opts);
     let s = outcome.stats;
     let total = s.epochs_spent + s.epochs_saved;
-    let mut out = String::from("-- Ablation 4: early-stopping savings (Starlink state search) --\n");
+    let mut out =
+        String::from("-- Ablation 4: early-stopping savings (Starlink state search) --\n");
     let _ = writeln!(
         out,
         "designs: {} fully trained, {} early-stopped, {} failed",

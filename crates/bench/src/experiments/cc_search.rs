@@ -1,0 +1,133 @@
+//! CC search: the congestion-control workload end-to-end.
+//!
+//! Not a paper table — this experiment demonstrates the tentpole claim of
+//! the workload layer: the *same* generate → precheck → early-stop → rank
+//! pipeline that redesigns Pensieve's state also redesigns a CWND policy
+//! (mirroring the authors' follow-up, arXiv:2508.16074). It reports, per
+//! dataset:
+//!
+//! * the seed CC design's test score under the full §3.1 protocol,
+//! * the best generated CC design's score and improvement,
+//! * a Cubic-like hand-designed baseline run on the same deterministic
+//!   evaluation episodes (mean per-tick reward), and
+//! * pre-check pass rates for the CC candidate pool (Table 2's shape).
+
+use crate::cli::HarnessOptions;
+use crate::experiments::common::Model;
+use nada_core::report::{fmt_pct, fmt_score, TextTable};
+use nada_core::{CcWorkload, Nada, NadaConfig};
+use nada_sim::cc::{run_cc_episode, CcEnv, CubicLike};
+use nada_sim::prelude::CcReward;
+use nada_traces::dataset::DatasetKind;
+
+/// Datasets the quick CC search runs on (broadband + satellite keep the
+/// harness fast; `--full` runs all four).
+const QUICK_DATASETS: [DatasetKind; 2] = [DatasetKind::Fcc, DatasetKind::Starlink];
+
+/// The run configuration for one CC dataset. A CC episode carries 2.5× the
+/// decisions of a 48-chunk ABR episode, so the quick scale rebalances the
+/// epoch and pool budgets to keep wall-clock comparable to an ABR harness
+/// (paper scale is left untouched).
+fn cc_config(kind: DatasetKind, opts: &HarnessOptions) -> NadaConfig {
+    let mut cfg = NadaConfig::new(kind, opts.scale, opts.seed);
+    if opts.scale == nada_core::RunScale::Quick {
+        cfg.train_epochs = (cfg.train_epochs / 4).max(100);
+        cfg.early_epochs = (cfg.early_epochs / 4).max(25);
+        cfg.test_interval = (cfg.test_interval / 2).max(5);
+        cfg.n_candidates = 24;
+        cfg.n_probe = 6;
+        cfg.n_seeds = 2;
+    }
+    cfg
+}
+
+/// Mean per-tick reward of the Cubic-like baseline over the evaluation
+/// episodes the trained policies also face.
+fn cubic_baseline(nada: &Nada, episode_ticks: usize, reward: CcReward) -> f64 {
+    let traces = &nada.dataset().test;
+    let n = traces.len().min(nada.config().eval_traces).max(1);
+    let mut policy = CubicLike::default();
+    let scores: Vec<f64> = traces
+        .iter()
+        .take(n)
+        .map(|trace| {
+            let mut env = CcEnv::deterministic(trace, episode_ticks, reward);
+            run_cc_episode(&mut env, &mut policy)
+        })
+        .collect();
+    scores.iter().sum::<f64>() / scores.len() as f64
+}
+
+/// Runs the CC search per dataset and prints the comparison table.
+pub fn run(opts: &HarnessOptions) -> String {
+    let datasets: Vec<DatasetKind> = match opts.scale {
+        nada_core::RunScale::Paper => DatasetKind::ALL.to_vec(),
+        _ => QUICK_DATASETS.to_vec(),
+    };
+    let mut table = TextTable::new(vec![
+        "Dataset",
+        "Method",
+        "Score",
+        "Impr.",
+        "Compile%",
+        "Normalized%",
+    ]);
+    for kind in datasets {
+        let workload = CcWorkload::for_dataset(kind);
+        let episode_ticks = workload.episode_ticks();
+        let reward = workload.reward();
+        let nada = Nada::with_workload(cc_config(kind, opts), Box::new(workload));
+        let baseline = cubic_baseline(&nada, episode_ticks, reward);
+        let mut llm = Model::Gpt4.client(opts.seed ^ kind as u64 ^ 0xCC5E);
+        let outcome = nada.run_state_search(&mut llm);
+
+        table.row(vec![
+            kind.name().to_string(),
+            "CubicLike".to_string(),
+            fmt_score(baseline),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+        ]);
+        table.row(vec![
+            kind.name().to_string(),
+            "Seed cc_window".to_string(),
+            fmt_score(outcome.original.test_score),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+        ]);
+        table.row(vec![
+            kind.name().to_string(),
+            "Best generated".to_string(),
+            fmt_score(outcome.best.test_score),
+            fmt_pct(outcome.improvement_pct()),
+            format!("{:.1}", outcome.precheck.compilable_pct()),
+            format!("{:.1}", outcome.precheck.normalized_pct()),
+        ]);
+    }
+    format!(
+        "== CC search: congestion-control workload through the NADA pipeline ({:?} scale) ==\n{}",
+        opts.scale,
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nada_core::RunScale;
+
+    #[test]
+    fn quick_tiny_cc_search_report_renders() {
+        let opts = HarnessOptions {
+            scale: RunScale::Tiny,
+            seed: 2,
+        };
+        let report = run(&opts);
+        assert!(report.contains("CC search"));
+        assert!(report.contains("CubicLike"));
+        assert!(report.contains("Best generated"));
+        assert!(report.contains("FCC"));
+    }
+}

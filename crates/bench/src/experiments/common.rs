@@ -40,7 +40,7 @@ pub fn nada_for(kind: DatasetKind, opts: &HarnessOptions) -> Nada {
 /// Runs a state search for `(dataset, model)`.
 pub fn search_states(kind: DatasetKind, model: Model, opts: &HarnessOptions) -> SearchOutcome {
     let nada = nada_for(kind, opts);
-    let mut llm = model.client(opts.seed ^ kind as u64 as u64 ^ 0x57A7);
+    let mut llm = model.client(opts.seed ^ kind as u64 ^ 0x57A7);
     nada.run_state_search(&mut llm)
 }
 
@@ -71,6 +71,11 @@ pub fn generate_pool(
     llm.generate_batch(&prompt, n)
         .into_iter()
         .enumerate()
-        .map(|(id, c)| nada_core::Candidate { id, kind, code: c.code, reasoning: c.reasoning })
+        .map(|(id, c)| nada_core::Candidate {
+            id,
+            kind,
+            code: c.code,
+            reasoning: c.reasoning,
+        })
         .collect()
 }

@@ -60,9 +60,11 @@ pub fn collect_pool(
                 .collect();
             let arch = nada_dsl::seeds::pensieve_arch();
             let dataset = nada.dataset();
+            let workload = nada.workload();
             let results: Vec<Option<(DesignSample, f64)>> =
                 parallel_map(work, &|(cid, code, state)| {
                     let out = train_design(
+                        workload,
                         &state,
                         &arch,
                         dataset,
@@ -119,14 +121,23 @@ pub fn run(opts: &HarnessOptions) -> String {
             seed: opts.seed,
             // Quick-scale folds train on ~40 designs; cushion the FNR-0
             // threshold so it transfers (see FitConfig::threshold_margin).
-            threshold_margin: if opts.scale == RunScale::Paper { 0.0 } else { 1.0 },
+            threshold_margin: if opts.scale == RunScale::Paper {
+                0.0
+            } else {
+                1.0
+            },
             ..FitConfig::default()
         },
     };
     let reports = evaluate_methods(&samples, &finals, &EarlyStopMethod::ALL, &cfg);
 
     let mut table = TextTable::new(vec![
-        "Method", "FNR", "TNR", "Savings", "FNR(paper)", "TNR(paper)",
+        "Method",
+        "FNR",
+        "TNR",
+        "Savings",
+        "FNR(paper)",
+        "TNR(paper)",
     ]);
     for (r, p) in reports.iter().zip(&paper::FIGURE5) {
         table.row(vec![

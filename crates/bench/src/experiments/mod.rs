@@ -5,6 +5,7 @@
 //! share one implementation.
 
 pub mod ablations;
+pub mod cc_search;
 pub mod common;
 pub mod figure3;
 pub mod figure4;

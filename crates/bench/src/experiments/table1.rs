@@ -35,5 +35,9 @@ pub fn run(opts: &HarnessOptions) -> String {
             format!("{}", spec.test_interval),
         ]);
     }
-    format!("== Table 1: network trace datasets ({:?} scale) ==\n{}", opts.scale, table.render())
+    format!(
+        "== Table 1: network trace datasets ({:?} scale) ==\n{}",
+        opts.scale,
+        table.render()
+    )
 }

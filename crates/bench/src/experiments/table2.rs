@@ -33,10 +33,19 @@ pub fn run(opts: &HarnessOptions) -> String {
             model.name().to_string(),
             format!("{}", stats.total),
             format!("{} ({:.1}%)", stats.compilable, stats.compilable_pct()),
-            format!("{:.1}%", 100.0 * paper_row.compilable as f64 / paper_row.total as f64),
+            format!(
+                "{:.1}%",
+                100.0 * paper_row.compilable as f64 / paper_row.total as f64
+            ),
             format!("{} ({:.1}%)", stats.normalized, stats.normalized_pct()),
-            format!("{:.1}%", 100.0 * paper_row.normalized as f64 / paper_row.total as f64),
+            format!(
+                "{:.1}%",
+                100.0 * paper_row.normalized as f64 / paper_row.total as f64
+            ),
         ]);
     }
-    format!("== Table 2: pre-check pass rates ({n} states per model) ==\n{}", table.render())
+    format!(
+        "== Table 2: pre-check pass rates ({n} states per model) ==\n{}",
+        table.render()
+    )
 }

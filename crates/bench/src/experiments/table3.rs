@@ -11,7 +11,12 @@ use nada_traces::dataset::DatasetKind;
 /// table with the paper's values alongside.
 pub fn run(opts: &HarnessOptions) -> String {
     let mut table = TextTable::new(vec![
-        "Dataset", "Method", "Score", "Impr.", "Score(paper)", "Impr.(paper)",
+        "Dataset",
+        "Method",
+        "Score",
+        "Impr.",
+        "Score(paper)",
+        "Impr.(paper)",
     ]);
     for (kind, paper_row) in DatasetKind::ALL.iter().zip(&paper::TABLE3) {
         let mut original_reported = false;
@@ -28,8 +33,11 @@ pub fn run(opts: &HarnessOptions) -> String {
                 ]);
                 original_reported = true;
             }
-            let paper_score =
-                if model == Model::Gpt35 { paper_row.gpt35 } else { paper_row.gpt4 };
+            let paper_score = if model == Model::Gpt35 {
+                paper_row.gpt35
+            } else {
+                paper_row.gpt4
+            };
             table.row(vec![
                 kind.name().to_string(),
                 model.name().to_string(),

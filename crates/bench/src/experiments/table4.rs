@@ -13,13 +13,17 @@ use nada_core::report::{fmt_pct, fmt_score, TextTable};
 use nada_dsl::{compile_state, seeds};
 use nada_traces::dataset::DatasetKind;
 
-const EMULATED: [DatasetKind; 3] =
-    [DatasetKind::Starlink, DatasetKind::Lte4g, DatasetKind::Nr5g];
+const EMULATED: [DatasetKind; 3] = [DatasetKind::Starlink, DatasetKind::Lte4g, DatasetKind::Nr5g];
 
 /// Runs the emulation comparison for Starlink/4G/5G.
 pub fn run(opts: &HarnessOptions) -> String {
     let mut table = TextTable::new(vec![
-        "Dataset", "Method", "Score", "Impr.", "Score(paper)", "Impr.(paper)",
+        "Dataset",
+        "Method",
+        "Score",
+        "Impr.",
+        "Score(paper)",
+        "Impr.(paper)",
     ]);
     let arch = seeds::pensieve_arch();
     for (kind, paper_row) in EMULATED.iter().zip(&paper::TABLE4) {
@@ -43,8 +47,11 @@ pub fn run(opts: &HarnessOptions) -> String {
             let emu = nada
                 .emulation_score(&best_state, &arch)
                 .unwrap_or(f64::NEG_INFINITY);
-            let paper_score =
-                if model == Model::Gpt35 { paper_row.gpt35 } else { paper_row.gpt4 };
+            let paper_score = if model == Model::Gpt35 {
+                paper_row.gpt35
+            } else {
+                paper_row.gpt4
+            };
             table.row(vec![
                 kind.name().to_string(),
                 model.name().to_string(),

@@ -83,7 +83,13 @@ fn resolve_states(
         .take(top_n)
         .filter_map(|(id, _)| {
             let cand = pool.iter().find(|c| c.id == *id)?;
-            match nada_core::prechecks::precheck(cand, &nada.config().fuzz).ok()? {
+            match nada_core::prechecks::precheck(
+                cand,
+                &nada.config().fuzz,
+                nada.workload().schema(),
+            )
+            .ok()?
+            {
                 CompiledDesign::State(s) => Some((*id, *s)),
                 CompiledDesign::Arch(_) => None,
             }
@@ -107,7 +113,13 @@ fn resolve_archs(
         .take(top_n)
         .filter_map(|(id, _)| {
             let cand = pool.iter().find(|c| c.id == *id)?;
-            match nada_core::prechecks::precheck(cand, &nada.config().fuzz).ok()? {
+            match nada_core::prechecks::precheck(
+                cand,
+                &nada.config().fuzz,
+                nada.workload().schema(),
+            )
+            .ok()?
+            {
                 CompiledDesign::Arch(a) => Some((*id, a)),
                 CompiledDesign::State(_) => None,
             }

@@ -14,8 +14,18 @@ pub struct Table2Row {
 
 /// Table 2 as published.
 pub const TABLE2: [Table2Row; 2] = [
-    Table2Row { model: "gpt-3.5", total: 3000, compilable: 1237, normalized: 822 },
-    Table2Row { model: "gpt-4", total: 3000, compilable: 2059, normalized: 1505 },
+    Table2Row {
+        model: "gpt-3.5",
+        total: 3000,
+        compilable: 1237,
+        normalized: 822,
+    },
+    Table2Row {
+        model: "gpt-4",
+        total: 3000,
+        compilable: 2059,
+        normalized: 1505,
+    },
 ];
 
 /// Table 3: simulation test scores of the best generated states.
@@ -32,10 +42,30 @@ pub struct Table3Row {
 
 /// Table 3 as published.
 pub const TABLE3: [Table3Row; 4] = [
-    Table3Row { dataset: "FCC", original: 1.070, gpt35: 1.089, gpt4: 1.090 },
-    Table3Row { dataset: "Starlink", original: 0.308, gpt35: 0.472, gpt4: 0.482 },
-    Table3Row { dataset: "4G", original: 11.705, gpt35: 13.226, gpt4: 14.973 },
-    Table3Row { dataset: "5G", original: 27.848, gpt35: 28.447, gpt4: 28.636 },
+    Table3Row {
+        dataset: "FCC",
+        original: 1.070,
+        gpt35: 1.089,
+        gpt4: 1.090,
+    },
+    Table3Row {
+        dataset: "Starlink",
+        original: 0.308,
+        gpt35: 0.472,
+        gpt4: 0.482,
+    },
+    Table3Row {
+        dataset: "4G",
+        original: 11.705,
+        gpt35: 13.226,
+        gpt4: 14.973,
+    },
+    Table3Row {
+        dataset: "5G",
+        original: 27.848,
+        gpt35: 28.447,
+        gpt4: 28.636,
+    },
 ];
 
 /// Table 4: emulation scores of the best generated states.
@@ -52,9 +82,24 @@ pub struct Table4Row {
 
 /// Table 4 as published (FCC was not emulated).
 pub const TABLE4: [Table4Row; 3] = [
-    Table4Row { dataset: "Starlink", original: -0.0482, gpt35: 0.0899, gpt4: 0.0759 },
-    Table4Row { dataset: "4G", original: 4.976, gpt35: 8.010, gpt4: 9.233 },
-    Table4Row { dataset: "5G", original: 17.26, gpt35: 17.43, gpt4: 21.55 },
+    Table4Row {
+        dataset: "Starlink",
+        original: -0.0482,
+        gpt35: 0.0899,
+        gpt4: 0.0759,
+    },
+    Table4Row {
+        dataset: "4G",
+        original: 4.976,
+        gpt35: 8.010,
+        gpt4: 9.233,
+    },
+    Table4Row {
+        dataset: "5G",
+        original: 17.26,
+        gpt35: 17.43,
+        gpt4: 21.55,
+    },
 ];
 
 /// Table 5: percent improvements from combining GPT-3.5 states and
@@ -72,10 +117,30 @@ pub struct Table5Row {
 
 /// Table 5 as published.
 pub const TABLE5: [Table5Row; 4] = [
-    Table5Row { dataset: "FCC", state_pct: 1.7, arch_pct: 1.4, combined_pct: 2.2 },
-    Table5Row { dataset: "Starlink", state_pct: 52.9, arch_pct: 50.0, combined_pct: 61.1 },
-    Table5Row { dataset: "4G", state_pct: 13.0, arch_pct: 2.6, combined_pct: 16.5 },
-    Table5Row { dataset: "5G", state_pct: 2.2, arch_pct: 3.0, combined_pct: 3.1 },
+    Table5Row {
+        dataset: "FCC",
+        state_pct: 1.7,
+        arch_pct: 1.4,
+        combined_pct: 2.2,
+    },
+    Table5Row {
+        dataset: "Starlink",
+        state_pct: 52.9,
+        arch_pct: 50.0,
+        combined_pct: 61.1,
+    },
+    Table5Row {
+        dataset: "4G",
+        state_pct: 13.0,
+        arch_pct: 2.6,
+        combined_pct: 16.5,
+    },
+    Table5Row {
+        dataset: "5G",
+        state_pct: 2.2,
+        arch_pct: 3.0,
+        combined_pct: 3.1,
+    },
 ];
 
 /// Figure 5 headline: the Reward-Only classifier's held-out rates.
@@ -91,9 +156,29 @@ pub struct Figure5Ref {
 /// Figure 5 as published (Reward Only is exact from the text; the rest are
 /// read off the figure).
 pub const FIGURE5: [Figure5Ref; 5] = [
-    Figure5Ref { method: "Reward Only", fnr: 0.12, tnr: 0.87 },
-    Figure5Ref { method: "Text Only", fnr: 0.60, tnr: 0.95 },
-    Figure5Ref { method: "Text + Reward", fnr: 0.35, tnr: 0.90 },
-    Figure5Ref { method: "Heuristic Max", fnr: 0.25, tnr: 0.70 },
-    Figure5Ref { method: "Heuristic Last", fnr: 0.45, tnr: 0.75 },
+    Figure5Ref {
+        method: "Reward Only",
+        fnr: 0.12,
+        tnr: 0.87,
+    },
+    Figure5Ref {
+        method: "Text Only",
+        fnr: 0.60,
+        tnr: 0.95,
+    },
+    Figure5Ref {
+        method: "Text + Reward",
+        fnr: 0.35,
+        tnr: 0.90,
+    },
+    Figure5Ref {
+        method: "Heuristic Max",
+        fnr: 0.25,
+        tnr: 0.70,
+    },
+    Figure5Ref {
+        method: "Heuristic Last",
+        fnr: 0.45,
+        tnr: 0.75,
+    },
 ];

@@ -1,26 +1,31 @@
-//! Binding simulator observations to state-program inputs.
+//! Binding environment observations to state-program inputs.
 //!
-//! The DSL's [`nada_dsl::abr_schema`] declares nine inputs in a fixed
-//! order; [`observation_inputs`] produces exactly that binding from a
-//! simulator [`Observation`]. This is the only place where the two vocabularies
-//! meet, so schema evolution is a one-file change.
+//! Environments emit observations as declared field values
+//! ([`nada_sim::netenv::ObsValue`]) in their spec's order; state programs
+//! compile against an [`nada_dsl::InputSchema`] mirroring that spec. The
+//! binding is therefore purely positional — no workload field names appear
+//! anywhere in the pipeline. This is the only place where the two
+//! vocabularies meet, so schema evolution stays a one-file change per
+//! workload.
 
 use nada_dsl::Value;
+use nada_sim::netenv::ObsValue;
 use nada_sim::obs::Observation;
 
-/// Converts an observation into the schema-ordered input binding.
+/// Converts declared observation values into the schema-ordered DSL
+/// binding.
+pub fn binding_values(obs: &[ObsValue]) -> Vec<Value> {
+    obs.iter()
+        .map(|v| match v {
+            ObsValue::Scalar(x) => Value::Scalar(*x),
+            ObsValue::Vector(xs) => Value::Vector(xs.clone()),
+        })
+        .collect()
+}
+
+/// ABR convenience: the binding for a typed simulator observation.
 pub fn observation_inputs(obs: &Observation) -> Vec<Value> {
-    vec![
-        Value::Vector(obs.throughput_mbps.clone()),
-        Value::Vector(obs.download_time_s.clone()),
-        Value::Vector(obs.buffer_history_s.clone()),
-        Value::Vector(obs.next_chunk_sizes_bytes.clone()),
-        Value::Scalar(obs.buffer_s),
-        Value::Scalar(obs.chunks_remaining as f64),
-        Value::Scalar(obs.total_chunks as f64),
-        Value::Scalar(obs.last_bitrate_kbps),
-        Value::Scalar(obs.max_bitrate_kbps()),
-    ]
+    binding_values(&obs.field_values())
 }
 
 #[cfg(test)]
@@ -68,5 +73,15 @@ mod tests {
         assert_eq!(features[1], Value::Scalar(2.2));
         // last quality: 1200/4300.
         assert_eq!(features[0], Value::Scalar(1200.0 / 4300.0));
+    }
+
+    #[test]
+    fn binding_is_positional_over_declared_values() {
+        let obs = vec![ObsValue::Vector(vec![1.0, 2.0]), ObsValue::Scalar(3.0)];
+        let values = binding_values(&obs);
+        assert_eq!(
+            values,
+            vec![Value::Vector(vec![1.0, 2.0]), Value::Scalar(3.0)]
+        );
     }
 }

@@ -60,7 +60,10 @@ impl std::fmt::Display for RejectReason {
         match self {
             RejectReason::CompileError(e) => write!(f, "compilation check failed: {e}"),
             RejectReason::Unnormalized { feature, value } => {
-                write!(f, "normalization check failed: `{feature}` reached {value:.3e}")
+                write!(
+                    f,
+                    "normalization check failed: `{feature}` reached {value:.3e}"
+                )
             }
             RejectReason::FuzzEvalError(e) => write!(f, "fuzzing triggered runtime error: {e}"),
         }
@@ -73,7 +76,10 @@ mod tests {
 
     #[test]
     fn reject_reasons_render() {
-        let r = RejectReason::Unnormalized { feature: "raw".into(), value: 2.9e7 };
+        let r = RejectReason::Unnormalized {
+            feature: "raw".into(),
+            value: 2.9e7,
+        };
         assert!(r.to_string().contains("raw"));
         assert!(r.to_string().contains("normalization"));
     }

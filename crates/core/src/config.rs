@@ -72,7 +72,11 @@ impl NadaConfig {
                 n_probe: 64,
                 arch_scale_factor: 1,
                 eval_traces: usize::MAX,
-                a2c: A2cConfig { lr: 1e-3, entropy_coeff: 0.3, ..A2cConfig::default() },
+                a2c: A2cConfig {
+                    lr: 1e-3,
+                    entropy_coeff: 0.3,
+                    ..A2cConfig::default()
+                },
                 entropy_end: 0.02,
                 fuzz: FuzzConfig::default(),
                 seed,
@@ -89,7 +93,11 @@ impl NadaConfig {
                 n_probe: 10,
                 arch_scale_factor: 8,
                 eval_traces: 6,
-                a2c: A2cConfig { lr: 1e-3, entropy_coeff: 0.3, ..A2cConfig::default() },
+                a2c: A2cConfig {
+                    lr: 1e-3,
+                    entropy_coeff: 0.3,
+                    ..A2cConfig::default()
+                },
                 entropy_end: 0.02,
                 fuzz: FuzzConfig::default(),
                 seed,
@@ -106,7 +114,10 @@ impl NadaConfig {
                 n_probe: 3,
                 arch_scale_factor: 16,
                 eval_traces: 2,
-                a2c: A2cConfig { lr: 2e-3, ..A2cConfig::default() },
+                a2c: A2cConfig {
+                    lr: 2e-3,
+                    ..A2cConfig::default()
+                },
                 entropy_end: 0.01,
                 fuzz: FuzzConfig::default(),
                 seed,

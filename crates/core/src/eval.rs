@@ -1,13 +1,16 @@
 //! Checkpoint evaluation: greedy policy over held-out traces.
 //!
-//! Simulation evaluations mirror Pensieve's `fixed_env.py` (deterministic,
-//! trace start, no delay noise); emulation evaluations (Table 4) run the
-//! same policies through the HTTP/TCP emulator.
+//! Evaluations run the workload's deterministic environments (for ABR,
+//! Pensieve's `fixed_env.py` semantics — trace start, no delay noise);
+//! emulation evaluations (Table 4) run the same policies through the
+//! workload's emulation-fidelity environments when it has them.
 
-use crate::bind::observation_inputs;
+use crate::bind::binding_values;
 use crate::train::TrainError;
+use crate::workload::Workload;
 use nada_dsl::CompiledState;
 use nada_nn::A2cTrainer;
+use nada_sim::netenv::NetEnv;
 use nada_sim::prelude::*;
 use nada_traces::dataset::DatasetKind;
 use nada_traces::Trace;
@@ -24,38 +27,41 @@ pub fn manifest_for(kind: DatasetKind) -> VideoManifest {
         DatasetKind::Fcc | DatasetKind::Starlink => Ladder::broadband(),
         DatasetKind::Lte4g | DatasetKind::Nr5g => Ladder::cellular(),
     };
-    VideoManifest::pensieve_like(ladder, VIDEO_CHUNKS, 0x71DE_0 + kind as u64)
+    VideoManifest::pensieve_like(ladder, VIDEO_CHUNKS, 0x0007_1DE0 + kind as u64)
 }
 
-/// Mean per-chunk `QoE_lin` of the greedy policy over up to `max_traces`
-/// test traces in the deterministic simulator.
+/// Mean per-step reward of the greedy policy over up to `max_traces` test
+/// traces in the workload's deterministic environment.
 pub fn evaluate_policy(
     trainer: &mut A2cTrainer,
     state: &CompiledState,
-    manifest: &VideoManifest,
-    traces: &[Trace],
-    max_traces: usize,
-) -> Result<f64, TrainError> {
-    run_eval(trainer, state, traces, max_traces, |trace, _i| {
-        AbrEnv::new_sim_deterministic(manifest, trace, QoeLin::default())
-    })
-}
-
-/// Mean per-chunk `QoE_lin` of the greedy policy in the HTTP/TCP emulator
-/// (the paper's dash.js-over-Mahimahi stand-in; Table 4).
-pub fn evaluate_policy_emu(
-    trainer: &mut A2cTrainer,
-    state: &CompiledState,
-    manifest: &VideoManifest,
+    workload: &dyn Workload,
     traces: &[Trace],
     max_traces: usize,
 ) -> Result<f64, TrainError> {
     run_eval(trainer, state, traces, max_traces, |trace, i| {
-        AbrEnv::new_emu(manifest, trace, QoeLin::default(), 0xE4A1_0000 + i as u64)
+        Ok(workload.eval_env(trace, i))
     })
 }
 
-fn run_eval<'a, T, F>(
+/// Mean per-step reward of the greedy policy in the workload's
+/// emulation-fidelity environment (the paper's dash.js-over-Mahimahi
+/// stand-in; Table 4). Errors when the workload has none.
+pub fn evaluate_policy_emu(
+    trainer: &mut A2cTrainer,
+    state: &CompiledState,
+    workload: &dyn Workload,
+    traces: &[Trace],
+    max_traces: usize,
+) -> Result<f64, TrainError> {
+    run_eval(trainer, state, traces, max_traces, |trace, i| {
+        workload
+            .emu_env(trace, i)
+            .ok_or(TrainError::EmulationUnsupported)
+    })
+}
+
+fn run_eval<'a, F>(
     trainer: &mut A2cTrainer,
     state: &CompiledState,
     traces: &'a [Trace],
@@ -63,67 +69,78 @@ fn run_eval<'a, T, F>(
     mut make_env: F,
 ) -> Result<f64, TrainError>
 where
-    T: ChunkTransport,
-    F: FnMut(&'a Trace, usize) -> AbrEnv<'a, T, QoeLin>,
+    F: FnMut(&'a Trace, usize) -> Result<Box<dyn NetEnv + 'a>, TrainError>,
 {
     let n = traces.len().min(max_traces).max(1);
     let mut total_reward = 0.0;
-    let mut total_chunks = 0usize;
+    let mut total_steps = 0usize;
     for (i, trace) in traces.iter().take(n).enumerate() {
-        let mut env = make_env(trace, i);
-        let mut obs = env.initial_observation();
+        let mut env = make_env(trace, i)?;
+        let mut obs = env.reset();
         loop {
-            let feats =
-                state.eval_f32(&observation_inputs(&obs)).map_err(TrainError::StateEval)?;
+            let feats = state
+                .eval_f32(&binding_values(&obs))
+                .map_err(TrainError::StateEval)?;
             let action = trainer.act_greedy(&feats);
             let step = env.step(action);
             total_reward += step.reward;
-            total_chunks += 1;
+            total_steps += 1;
             obs = step.obs;
             if step.done {
                 break;
             }
         }
     }
-    Ok(total_reward / total_chunks.max(1) as f64)
+    Ok(total_reward / total_steps.max(1) as f64)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workload::{AbrWorkload, CcWorkload};
     use nada_dsl::seeds;
     use nada_nn::{A2cConfig, ActorCritic, ArchConfig};
     use nada_traces::dataset::{DatasetScale, TraceDataset};
 
-    fn fresh_trainer(state: &CompiledState, kind: DatasetKind) -> A2cTrainer {
-        let manifest = manifest_for(kind);
+    fn fresh_trainer(state: &CompiledState, workload: &dyn Workload) -> A2cTrainer {
         let arch = ArchConfig::pensieve_original().scaled_down(16);
-        let net =
-            ActorCritic::build(&arch, &state.feature_shapes(), manifest.ladder().len(), 1);
+        let net = ActorCritic::build(&arch, &state.feature_shapes(), workload.n_actions(), 1);
         A2cTrainer::new(net, A2cConfig::default(), 1)
     }
 
     #[test]
     fn manifests_use_paper_ladders() {
         assert_eq!(manifest_for(DatasetKind::Fcc).ladder().max_kbps(), 4300.0);
-        assert_eq!(manifest_for(DatasetKind::Starlink).ladder().max_kbps(), 4300.0);
-        assert_eq!(manifest_for(DatasetKind::Lte4g).ladder().max_kbps(), 53_000.0);
-        assert_eq!(manifest_for(DatasetKind::Nr5g).ladder().max_kbps(), 53_000.0);
+        assert_eq!(
+            manifest_for(DatasetKind::Starlink).ladder().max_kbps(),
+            4300.0
+        );
+        assert_eq!(
+            manifest_for(DatasetKind::Lte4g).ladder().max_kbps(),
+            53_000.0
+        );
+        assert_eq!(
+            manifest_for(DatasetKind::Nr5g).ladder().max_kbps(),
+            53_000.0
+        );
     }
 
     #[test]
     fn same_dataset_gets_the_same_video() {
-        assert_eq!(manifest_for(DatasetKind::Fcc), manifest_for(DatasetKind::Fcc));
+        assert_eq!(
+            manifest_for(DatasetKind::Fcc),
+            manifest_for(DatasetKind::Fcc)
+        );
     }
 
     #[test]
     fn sim_eval_is_deterministic() {
         let ds = TraceDataset::synthesize(DatasetKind::Fcc, DatasetScale::Tiny, 2);
+        let w = AbrWorkload::for_dataset(DatasetKind::Fcc);
         let state = seeds::pensieve_state();
-        let manifest = manifest_for(DatasetKind::Fcc);
-        let mut t = fresh_trainer(&state, DatasetKind::Fcc);
-        let a = evaluate_policy(&mut t, &state, &manifest, &ds.test, 2).unwrap();
-        let b = evaluate_policy(&mut t, &state, &manifest, &ds.test, 2).unwrap();
+        let mut t = fresh_trainer(&state, &w);
+        let a = evaluate_policy(&mut t, &state, &w, &ds.test, 2).unwrap();
+        let b = evaluate_policy(&mut t, &state, &w, &ds.test, 2).unwrap();
         assert_eq!(a, b);
     }
 
@@ -133,12 +150,34 @@ mod tests {
         // is asserted by the Table 4 harness; transport-level slowdown is
         // covered in nada-sim. Here: the emu evaluator must be stable.
         let ds = TraceDataset::synthesize(DatasetKind::Lte4g, DatasetScale::Tiny, 3);
+        let w = AbrWorkload::for_dataset(DatasetKind::Lte4g);
         let state = seeds::pensieve_state();
-        let manifest = manifest_for(DatasetKind::Lte4g);
-        let mut t = fresh_trainer(&state, DatasetKind::Lte4g);
-        let a = evaluate_policy_emu(&mut t, &state, &manifest, &ds.test, 2).unwrap();
-        let b = evaluate_policy_emu(&mut t, &state, &manifest, &ds.test, 2).unwrap();
+        let mut t = fresh_trainer(&state, &w);
+        let a = evaluate_policy_emu(&mut t, &state, &w, &ds.test, 2).unwrap();
+        let b = evaluate_policy_emu(&mut t, &state, &w, &ds.test, 2).unwrap();
         assert!(a.is_finite());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cc_eval_runs_and_is_deterministic() {
+        let ds = TraceDataset::synthesize(DatasetKind::Fcc, DatasetScale::Tiny, 4);
+        let w = CcWorkload::for_dataset(DatasetKind::Fcc);
+        let state = seeds::cc_state();
+        let mut t = fresh_trainer(&state, &w);
+        let a = evaluate_policy(&mut t, &state, &w, &ds.test, 2).unwrap();
+        let b = evaluate_policy(&mut t, &state, &w, &ds.test, 2).unwrap();
+        assert!(a.is_finite());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cc_emulation_is_unsupported() {
+        let ds = TraceDataset::synthesize(DatasetKind::Fcc, DatasetScale::Tiny, 4);
+        let w = CcWorkload::for_dataset(DatasetKind::Fcc);
+        let state = seeds::cc_state();
+        let mut t = fresh_trainer(&state, &w);
+        let e = evaluate_policy_emu(&mut t, &state, &w, &ds.test, 2);
+        assert_eq!(e, Err(TrainError::EmulationUnsupported));
     }
 }

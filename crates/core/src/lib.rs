@@ -15,7 +15,10 @@
 //!
 //! * [`config`] — run scales (paper vs quick) and every knob in one place;
 //! * [`candidate`] — candidate designs and their lifecycle states;
-//! * [`bind`] — gluing the simulator's observations to state programs;
+//! * [`workload`] — the [`workload::Workload`] trait making the pipeline
+//!   environment-agnostic, plus the ABR and congestion-control workloads;
+//! * [`bind`] — positional binding of declared observations to state
+//!   programs;
 //! * [`prechecks`] — §2.2's compilation and fuzzing-normalization checks;
 //! * [`train`] — A2C training of one design on one dataset (one seed);
 //! * [`eval`] — checkpoint evaluation on held-out traces;
@@ -35,8 +38,10 @@ pub mod prechecks;
 pub mod report;
 pub mod score;
 pub mod train;
+pub mod workload;
 
 pub use candidate::{Candidate, CompiledDesign, RejectReason};
 pub use config::{NadaConfig, RunScale};
 pub use pipeline::{Nada, PrecheckStats, SearchOutcome};
 pub use train::{train_design, TrainError, TrainOutcome, TrainRunConfig};
+pub use workload::{AbrWorkload, CcWorkload, Workload};

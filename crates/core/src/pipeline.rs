@@ -24,13 +24,17 @@ use crate::eval::evaluate_policy_emu;
 use crate::prechecks::precheck;
 use crate::score::{final_test_score, median, smoothed_score};
 use crate::train::{train_design, DesignTrainer, TrainOutcome, TrainRunConfig};
-use nada_dsl::{seeds, CompiledState};
+use crate::workload::{AbrWorkload, Workload};
+use nada_dsl::CompiledState;
 use nada_earlystop::classifiers::{Classifier, DesignSample, FitConfig, RewardCnnClassifier};
 use nada_llm::{DesignKind, LlmClient, Prompt};
 use nada_nn::ArchConfig;
 use nada_traces::dataset::TraceDataset;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+// The order-preserving scoped-thread map the pipeline fans out with lives
+// in `nada-exec` (shared with the bench harnesses); re-exported here so
+// `nada_core::pipeline::parallel_map` keeps working.
+pub use nada_exec::parallel_map;
 
 /// Table 2 row: pre-check pass counts for one candidate pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -115,22 +119,58 @@ pub fn improvement_pct(original: f64, new: f64) -> f64 {
     100.0 * (new - original) / original.abs().max(1e-9)
 }
 
-/// The NADA pipeline bound to one dataset.
+/// The NADA pipeline bound to one workload and one dataset.
 pub struct Nada {
     cfg: NadaConfig,
     dataset: TraceDataset,
+    workload: Box<dyn Workload>,
 }
 
 impl Nada {
-    /// Creates a pipeline, synthesizing the dataset for `cfg`.
+    /// Creates an ABR pipeline (the paper's case study), synthesizing the
+    /// dataset for `cfg`.
     pub fn new(cfg: NadaConfig) -> Self {
-        let dataset = TraceDataset::synthesize(cfg.dataset, cfg.dataset_scale(), cfg.seed);
-        Self { cfg, dataset }
+        let workload = Box::new(AbrWorkload::for_dataset(cfg.dataset));
+        Self::with_workload(cfg, workload)
     }
 
-    /// Creates a pipeline over externally provided traces.
+    /// Creates an ABR pipeline over externally provided traces. The
+    /// workload (ladder, action space, reward scale) follows the *traces'*
+    /// kind, which may differ from `cfg.dataset`'s registry slot.
     pub fn with_dataset(cfg: NadaConfig, dataset: TraceDataset) -> Self {
-        Self { cfg, dataset }
+        let workload = Box::new(AbrWorkload::for_dataset(dataset.kind));
+        Self::with_workload_and_dataset(cfg, workload, dataset)
+    }
+
+    /// Creates a pipeline for an arbitrary workload, synthesizing the
+    /// dataset for `cfg`.
+    pub fn with_workload(cfg: NadaConfig, workload: Box<dyn Workload>) -> Self {
+        let dataset = TraceDataset::synthesize(cfg.dataset, cfg.dataset_scale(), cfg.seed);
+        Self::with_workload_and_dataset(cfg, workload, dataset)
+    }
+
+    /// Creates a pipeline for an arbitrary workload over provided traces.
+    pub fn with_workload_and_dataset(
+        cfg: NadaConfig,
+        workload: Box<dyn Workload>,
+        dataset: TraceDataset,
+    ) -> Self {
+        // A hard assert, not a debug_assert: binding is purely positional,
+        // so a schema/field divergence would train on silently scrambled
+        // inputs — fail fast even (especially) in release harness runs.
+        if let Some(mismatch) =
+            crate::workload::schema_matches_fields(workload.schema(), workload.observation_fields())
+        {
+            panic!(
+                "workload `{}`: schema must mirror its environment's declared fields: {mismatch}",
+                workload.name()
+            );
+        }
+        Self {
+            cfg,
+            dataset,
+            workload,
+        }
     }
 
     /// The run configuration.
@@ -143,20 +183,31 @@ impl Nada {
         &self.dataset
     }
 
-    /// Asks the LLM for `n_candidates` designs of `kind` (§2.1 prompts).
-    pub fn generate_candidates(
-        &self,
-        llm: &mut dyn LlmClient,
-        kind: DesignKind,
-    ) -> Vec<Candidate> {
+    /// The bound workload.
+    pub fn workload(&self) -> &dyn Workload {
+        self.workload.as_ref()
+    }
+
+    /// Asks the LLM for `n_candidates` designs of `kind` (§2.1 prompts,
+    /// parameterized by the workload's task).
+    pub fn generate_candidates(&self, llm: &mut dyn LlmClient, kind: DesignKind) -> Vec<Candidate> {
         let prompt = match kind {
-            DesignKind::State => Prompt::state(seeds::PENSIEVE_STATE_SOURCE),
-            DesignKind::Architecture => Prompt::architecture(seeds::PENSIEVE_ARCH_SOURCE),
+            DesignKind::State => {
+                Prompt::state_for(self.workload.task(), self.workload.seed_state_source())
+            }
+            DesignKind::Architecture => {
+                Prompt::architecture_for(self.workload.task(), self.workload.seed_arch_source())
+            }
         };
         llm.generate_batch(&prompt, self.cfg.n_candidates)
             .into_iter()
             .enumerate()
-            .map(|(id, c)| Candidate { id, kind, code: c.code, reasoning: c.reasoning })
+            .map(|(id, c)| Candidate {
+                id,
+                kind,
+                code: c.code,
+                reasoning: c.reasoning,
+            })
             .collect()
     }
 
@@ -166,18 +217,20 @@ impl Nada {
         &self,
         candidates: &[Candidate],
     ) -> (Vec<(Candidate, CompiledDesign)>, PrecheckStats) {
-        let mut stats =
-            PrecheckStats { total: candidates.len(), compilable: 0, normalized: 0 };
+        let mut stats = PrecheckStats {
+            total: candidates.len(),
+            compilable: 0,
+            normalized: 0,
+        };
         let mut accepted = Vec::new();
         for cand in candidates {
-            match precheck(cand, &self.cfg.fuzz) {
+            match precheck(cand, &self.cfg.fuzz, self.workload.schema()) {
                 Ok(design) => {
                     stats.compilable += 1;
                     stats.normalized += 1;
                     accepted.push((cand.clone(), design));
                 }
-                Err(RejectReason::Unnormalized { .. })
-                | Err(RejectReason::FuzzEvalError(_)) => {
+                Err(RejectReason::Unnormalized { .. }) | Err(RejectReason::FuzzEvalError(_)) => {
                     stats.compilable += 1;
                 }
                 Err(RejectReason::CompileError(_)) => {}
@@ -194,10 +247,18 @@ impl Nada {
         arch: &ArchConfig,
     ) -> Result<(Vec<TrainOutcome>, f64), crate::train::TrainError> {
         let run_cfg = TrainRunConfig::from(&self.cfg);
-        let seeds: Vec<u64> =
-            (0..self.cfg.n_seeds).map(|i| self.cfg.seed.wrapping_add(1000 + i as u64)).collect();
+        let seeds: Vec<u64> = (0..self.cfg.n_seeds)
+            .map(|i| self.cfg.seed.wrapping_add(1000 + i as u64))
+            .collect();
         let sessions: Result<Vec<TrainOutcome>, _> = parallel_map(seeds, &|seed| {
-            train_design(state, arch, &self.dataset, &run_cfg, seed)
+            train_design(
+                self.workload.as_ref(),
+                state,
+                arch,
+                &self.dataset,
+                &run_cfg,
+                seed,
+            )
         })
         .into_iter()
         .collect();
@@ -206,16 +267,16 @@ impl Nada {
         Ok((sessions, score))
     }
 
-    /// The original Pensieve design under the full protocol.
+    /// The workload's original (seed) design under the full protocol.
     pub fn train_original(&self) -> DesignResult {
-        let state = seeds::pensieve_state();
-        let arch = seeds::pensieve_arch();
+        let state = self.workload.seed_state();
+        let arch = self.workload.seed_arch();
         let (sessions, test_score) = self
             .evaluate_design_full(&state, &arch)
             .expect("the seed design must train cleanly");
         DesignResult {
             candidate: None,
-            code: seeds::PENSIEVE_STATE_SOURCE.to_string(),
+            code: self.workload.seed_state_source().to_string(),
             sessions,
             test_score,
         }
@@ -226,7 +287,7 @@ impl Nada {
     pub fn run_state_search(&self, llm: &mut dyn LlmClient) -> SearchOutcome {
         let candidates = self.generate_candidates(llm, DesignKind::State);
         let (accepted, precheck_stats) = self.precheck_all(&candidates);
-        let arch = seeds::pensieve_arch();
+        let arch = self.workload.seed_arch();
         let pool: Vec<(Candidate, CompiledState, ArchConfig)> = accepted
             .into_iter()
             .filter_map(|(cand, design)| match design {
@@ -242,7 +303,7 @@ impl Nada {
     pub fn run_arch_search(&self, llm: &mut dyn LlmClient) -> SearchOutcome {
         let candidates = self.generate_candidates(llm, DesignKind::Architecture);
         let (accepted, precheck_stats) = self.precheck_all(&candidates);
-        let state = seeds::pensieve_state();
+        let state = self.workload.seed_state();
         let pool: Vec<(Candidate, CompiledState, ArchConfig)> = accepted
             .into_iter()
             .filter_map(|(cand, design)| match design {
@@ -269,6 +330,7 @@ impl Nada {
         let probe_results: Vec<(usize, Option<TrainOutcome>)> =
             parallel_map(probes.to_vec(), &|(cand, state, arch)| {
                 let out = train_design(
+                    self.workload.as_ref(),
                     &state,
                     &arch,
                     &self.dataset,
@@ -323,6 +385,7 @@ impl Nada {
         let screened: Vec<(usize, Option<TrainOutcome>, bool)> =
             parallel_map(rest.to_vec(), &|(cand, state, arch)| {
                 let mut session = DesignTrainer::new(
+                    self.workload.as_ref(),
                     &state,
                     &arch,
                     &self.dataset,
@@ -377,7 +440,11 @@ impl Nada {
                 }
             }))
             .collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0)));
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite scores")
+                .then(a.0.cmp(&b.0))
+        });
 
         // ---- Full §3.1 protocol for the finalists.
         let top_k = 3.min(ranked.len());
@@ -385,26 +452,37 @@ impl Nada {
             .iter()
             .filter_map(|(id, _)| pool.iter().find(|(c, _, _)| c.id == *id).cloned())
             .collect();
-        let finals: Vec<Option<DesignResult>> =
-            parallel_map(finalists, &|(cand, state, arch)| {
-                self.evaluate_design_full(&state, &arch).ok().map(|(sessions, score)| {
-                    DesignResult {
-                        code: cand.code.clone(),
-                        candidate: Some(cand),
-                        sessions,
-                        test_score: score,
-                    }
+        let finals: Vec<Option<DesignResult>> = parallel_map(finalists, &|(cand, state, arch)| {
+            self.evaluate_design_full(&state, &arch)
+                .ok()
+                .map(|(sessions, score)| DesignResult {
+                    code: cand.code.clone(),
+                    candidate: Some(cand),
+                    sessions,
+                    test_score: score,
                 })
-            });
-        stats.epochs_spent += finals.iter().flatten().count() * self.cfg.n_seeds * self.cfg.train_epochs;
+        });
+        stats.epochs_spent +=
+            finals.iter().flatten().count() * self.cfg.n_seeds * self.cfg.train_epochs;
 
         let best = finals
             .into_iter()
             .flatten()
-            .max_by(|a, b| a.test_score.partial_cmp(&b.test_score).expect("finite scores"))
+            .max_by(|a, b| {
+                a.test_score
+                    .partial_cmp(&b.test_score)
+                    .expect("finite scores")
+            })
             .unwrap_or_else(|| original.clone());
 
-        SearchOutcome { kind, precheck: precheck_stats, original, best, ranked, stats }
+        SearchOutcome {
+            kind,
+            precheck: precheck_stats,
+            original,
+            best,
+            ranked,
+            stats,
+        }
     }
 
     /// Table 5: cross-combine top states with top architectures, screen
@@ -418,12 +496,15 @@ impl Nada {
         let pairs: Vec<(usize, usize, CompiledState, ArchConfig)> = states
             .iter()
             .flat_map(|(sid, s)| {
-                archs.iter().map(move |(aid, a)| (*sid, *aid, s.clone(), a.clone()))
+                archs
+                    .iter()
+                    .map(move |(aid, a)| (*sid, *aid, s.clone(), a.clone()))
             })
             .collect();
         let scored: Vec<Option<(usize, usize, f64)>> =
             parallel_map(pairs, &|(sid, aid, state, arch)| {
                 let out = train_design(
+                    self.workload.as_ref(),
                     &state,
                     &arch,
                     &self.dataset,
@@ -453,60 +534,33 @@ impl Nada {
         arch: &ArchConfig,
     ) -> Result<f64, crate::train::TrainError> {
         let run_cfg = TrainRunConfig::from(&self.cfg);
-        let seeds: Vec<u64> =
-            (0..self.cfg.n_seeds).map(|i| self.cfg.seed.wrapping_add(1000 + i as u64)).collect();
+        let seeds: Vec<u64> = (0..self.cfg.n_seeds)
+            .map(|i| self.cfg.seed.wrapping_add(1000 + i as u64))
+            .collect();
         let scores: Result<Vec<f64>, _> = parallel_map(seeds, &|seed| {
-            let mut session = DesignTrainer::new(state, arch, &self.dataset, run_cfg, seed);
+            let mut session = DesignTrainer::new(
+                self.workload.as_ref(),
+                state,
+                arch,
+                &self.dataset,
+                run_cfg,
+                seed,
+            );
             session.run_until(run_cfg.train_epochs)?;
-            let manifest = session.manifest().clone();
             let n_eval = run_cfg.eval_traces;
             let test = &self.dataset.test;
-            evaluate_policy_emu(session.policy_mut(), state, &manifest, test, n_eval)
+            evaluate_policy_emu(
+                session.policy_mut(),
+                state,
+                self.workload.as_ref(),
+                test,
+                n_eval,
+            )
         })
         .into_iter()
         .collect();
         Ok(median(&scores?))
     }
-}
-
-/// Order-preserving parallel map over an owned vector using scoped threads.
-/// Deterministic: each item's computation is self-contained; slot `i` in the
-/// output always corresponds to item `i`.
-pub fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
-    if workers <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = slots[i]
-                    .lock()
-                    .expect("no poisoned locks: workers do not panic while holding them")
-                    .take()
-                    .expect("each slot is taken exactly once");
-                let result = f(item);
-                *out[i].lock().expect("result slot lock") = Some(result);
-            });
-        }
-    });
-    out.into_iter()
-        .map(|m| m.into_inner().expect("scope joined").expect("all slots filled"))
-        .collect()
 }
 
 #[cfg(test)]
@@ -581,14 +635,46 @@ mod tests {
     #[test]
     fn combinations_pick_a_pair() {
         let nada = tiny_nada(5);
-        let state = seeds::pensieve_state();
-        let arch = seeds::pensieve_arch();
-        let result = nada.evaluate_combinations(
-            &[(0, state.clone()), (1, state)],
-            &[(0, arch)],
-        );
+        let state = nada_dsl::seeds::pensieve_state();
+        let arch = nada_dsl::seeds::pensieve_arch();
+        let result = nada.evaluate_combinations(&[(0, state.clone()), (1, state)], &[(0, arch)]);
         let (sid, aid, score) = result.expect("a pair must win");
         assert!(sid < 2 && aid == 0);
         assert!(score.is_finite());
+    }
+
+    fn tiny_cc_nada(seed: u64) -> Nada {
+        let cfg = NadaConfig::new(DatasetKind::Fcc, RunScale::Tiny, seed);
+        Nada::with_workload(
+            cfg,
+            Box::new(crate::workload::CcWorkload::for_dataset(DatasetKind::Fcc)),
+        )
+    }
+
+    #[test]
+    fn cc_state_search_completes_through_the_same_pipeline() {
+        let nada = tiny_cc_nada(6);
+        assert_eq!(nada.workload().name(), "cc");
+        let mut llm = MockLlm::perfect(6);
+        let outcome = nada.run_state_search(&mut llm);
+        assert_eq!(outcome.kind, DesignKind::State);
+        assert_eq!(outcome.precheck.total, nada.config().n_candidates);
+        assert!(!outcome.ranked.is_empty());
+        assert!(outcome.original.test_score.is_finite());
+        assert!(outcome.best.test_score.is_finite());
+        assert!(outcome.stats.fully_trained > 0);
+        // The winning design must be a CC program, not an ABR one.
+        assert!(outcome.best.code.contains("cwnd") || outcome.best.code.contains("rtt"));
+    }
+
+    #[test]
+    fn cc_search_is_deterministic_per_seed() {
+        let run = || {
+            let nada = tiny_cc_nada(7);
+            let mut llm = MockLlm::gpt4(7);
+            let o = nada.run_state_search(&mut llm);
+            (o.ranked.clone(), o.best.test_score)
+        };
+        assert_eq!(run(), run());
     }
 }

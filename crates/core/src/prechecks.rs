@@ -10,15 +10,21 @@
 
 use crate::candidate::{Candidate, CompiledDesign, RejectReason};
 use nada_dsl::fuzz::NormCheckOutcome;
-use nada_dsl::{compile_arch, compile_state, normalization_check, FuzzConfig};
+use nada_dsl::{
+    compile_arch, compile_state_with_schema, normalization_check, FuzzConfig, InputSchema,
+};
 use nada_llm::DesignKind;
 
-/// Runs both pre-checks on one candidate.
-pub fn precheck(candidate: &Candidate, fuzz: &FuzzConfig) -> Result<CompiledDesign, RejectReason> {
+/// Runs both pre-checks on one candidate against a workload's schema.
+pub fn precheck(
+    candidate: &Candidate,
+    fuzz: &FuzzConfig,
+    schema: &InputSchema,
+) -> Result<CompiledDesign, RejectReason> {
     match candidate.kind {
         DesignKind::State => {
-            let compiled =
-                compile_state(&candidate.code).map_err(RejectReason::CompileError)?;
+            let compiled = compile_state_with_schema(&candidate.code, schema.clone())
+                .map_err(RejectReason::CompileError)?;
             match normalization_check(&compiled, fuzz) {
                 NormCheckOutcome::Pass => Ok(CompiledDesign::State(Box::new(compiled))),
                 NormCheckOutcome::TooLarge { feature, value } => {
@@ -37,25 +43,45 @@ pub fn precheck(candidate: &Candidate, fuzz: &FuzzConfig) -> Result<CompiledDesi
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nada_dsl::seeds::{PENSIEVE_ARCH_SOURCE, PENSIEVE_STATE_SOURCE};
+    use nada_dsl::seeds::{CC_STATE_SOURCE, PENSIEVE_ARCH_SOURCE, PENSIEVE_STATE_SOURCE};
+    use nada_dsl::{abr_schema, cc_schema};
 
     fn cand(kind: DesignKind, code: &str) -> Candidate {
-        Candidate { id: 0, kind, code: code.into(), reasoning: None }
+        Candidate {
+            id: 0,
+            kind,
+            code: code.into(),
+            reasoning: None,
+        }
     }
 
     #[test]
     fn seed_designs_pass_both_checks() {
         let fuzz = FuzzConfig::default();
-        assert!(precheck(&cand(DesignKind::State, PENSIEVE_STATE_SOURCE), &fuzz).is_ok());
-        assert!(
-            precheck(&cand(DesignKind::Architecture, PENSIEVE_ARCH_SOURCE), &fuzz).is_ok()
-        );
+        let abr = abr_schema();
+        assert!(precheck(&cand(DesignKind::State, PENSIEVE_STATE_SOURCE), &fuzz, &abr).is_ok());
+        assert!(precheck(
+            &cand(DesignKind::Architecture, PENSIEVE_ARCH_SOURCE),
+            &fuzz,
+            &abr
+        )
+        .is_ok());
+        assert!(precheck(
+            &cand(DesignKind::State, CC_STATE_SOURCE),
+            &fuzz,
+            &cc_schema()
+        )
+        .is_ok());
     }
 
     #[test]
     fn syntax_errors_are_compile_rejects() {
         let fuzz = FuzzConfig::default();
-        let r = precheck(&cand(DesignKind::State, "state x { feature f = ; }"), &fuzz);
+        let r = precheck(
+            &cand(DesignKind::State, "state x { feature f = ; }"),
+            &fuzz,
+            &abr_schema(),
+        );
         assert!(matches!(r, Err(RejectReason::CompileError(_))));
     }
 
@@ -64,15 +90,39 @@ mod tests {
         let fuzz = FuzzConfig::default();
         let code = "state raw { input next_chunk_sizes_bytes: vec[6]; \
                     feature s = next_chunk_sizes_bytes; }";
-        let r = precheck(&cand(DesignKind::State, code), &fuzz);
+        let r = precheck(&cand(DesignKind::State, code), &fuzz, &abr_schema());
         assert!(matches!(r, Err(RejectReason::Unnormalized { .. })));
+    }
+
+    #[test]
+    fn unnormalized_cc_states_are_fuzz_rejects() {
+        // Raw RTTs in milliseconds: the CC analogue of raw byte counts.
+        let fuzz = FuzzConfig::default();
+        let code = "state raw { input rtt_history_ms: vec[8]; feature r = rtt_history_ms; }";
+        let r = precheck(&cand(DesignKind::State, code), &fuzz, &cc_schema());
+        assert!(matches!(r, Err(RejectReason::Unnormalized { .. })));
+    }
+
+    #[test]
+    fn states_do_not_compile_against_the_wrong_schema() {
+        let fuzz = FuzzConfig::default();
+        let r = precheck(
+            &cand(DesignKind::State, CC_STATE_SOURCE),
+            &fuzz,
+            &abr_schema(),
+        );
+        assert!(matches!(r, Err(RejectReason::CompileError(_))));
     }
 
     #[test]
     fn architectures_skip_the_normalization_check() {
         // An arch candidate can't be "unnormalized" — only compile-rejected.
         let fuzz = FuzzConfig::default();
-        let r = precheck(&cand(DesignKind::Architecture, "network n { garbage }"), &fuzz);
+        let r = precheck(
+            &cand(DesignKind::Architecture, "network n { garbage }"),
+            &fuzz,
+            &abr_schema(),
+        );
         assert!(matches!(r, Err(RejectReason::CompileError(_))));
     }
 }

@@ -35,8 +35,10 @@ pub fn median(values: &[f64]) -> f64 {
 /// The paper's final test score: median across sessions of the smoothed
 /// per-session score.
 pub fn final_test_score(sessions: &[TrainOutcome]) -> f64 {
-    let smoothed: Vec<f64> =
-        sessions.iter().map(|s| smoothed_score(&s.checkpoints)).collect();
+    let smoothed: Vec<f64> = sessions
+        .iter()
+        .map(|s| smoothed_score(&s.checkpoints))
+        .collect();
     median(&smoothed)
 }
 
@@ -44,12 +46,21 @@ pub fn final_test_score(sessions: &[TrainOutcome]) -> f64 {
 /// the series plotted in Figures 3 and 4.
 pub fn median_curve(sessions: &[TrainOutcome]) -> Vec<Checkpoint> {
     assert!(!sessions.is_empty(), "no sessions");
-    let n_ckpt = sessions.iter().map(|s| s.checkpoints.len()).min().unwrap_or(0);
+    let n_ckpt = sessions
+        .iter()
+        .map(|s| s.checkpoints.len())
+        .min()
+        .unwrap_or(0);
     (0..n_ckpt)
         .map(|i| {
-            let scores: Vec<f64> =
-                sessions.iter().map(|s| s.checkpoints[i].test_score).collect();
-            Checkpoint { epoch: sessions[0].checkpoints[i].epoch, test_score: median(&scores) }
+            let scores: Vec<f64> = sessions
+                .iter()
+                .map(|s| s.checkpoints[i].test_score)
+                .collect();
+            Checkpoint {
+                epoch: sessions[0].checkpoints[i].epoch,
+                test_score: median(&scores),
+            }
         })
         .collect()
 }
@@ -64,7 +75,10 @@ mod tests {
             checkpoints: scores
                 .iter()
                 .enumerate()
-                .map(|(i, &s)| Checkpoint { epoch: (i + 1) * 10, test_score: s })
+                .map(|(i, &s)| Checkpoint {
+                    epoch: (i + 1) * 10,
+                    test_score: s,
+                })
                 .collect(),
         }
     }
@@ -89,14 +103,17 @@ mod tests {
 
     #[test]
     fn final_score_is_median_of_smoothed() {
-        let sessions =
-            vec![outcome(&[1.0]), outcome(&[5.0]), outcome(&[2.0])];
+        let sessions = vec![outcome(&[1.0]), outcome(&[5.0]), outcome(&[2.0])];
         assert_eq!(final_test_score(&sessions), 2.0);
     }
 
     #[test]
     fn median_curve_aligns_checkpoints() {
-        let sessions = vec![outcome(&[1.0, 10.0]), outcome(&[3.0, 20.0]), outcome(&[2.0, 30.0])];
+        let sessions = vec![
+            outcome(&[1.0, 10.0]),
+            outcome(&[3.0, 20.0]),
+            outcome(&[2.0, 30.0]),
+        ];
         let curve = median_curve(&sessions);
         assert_eq!(curve.len(), 2);
         assert_eq!(curve[0].test_score, 2.0);

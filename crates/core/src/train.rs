@@ -1,21 +1,20 @@
-//! Training one candidate design: A2C over the ABR simulator.
+//! Training one candidate design: A2C over a workload's environment.
 //!
-//! One "epoch" = one batch of full-video episodes (the paper's unit in
-//! Table 1). Training uses `env.py` semantics — random trace, random start
-//! offset, delay noise, stochastic policy — while checkpoint evaluations
-//! use `fixed_env.py` semantics — deterministic replay from the trace
-//! start with a greedy policy.
+//! One "epoch" = one batch of full episodes (the paper's unit in Table 1).
+//! Training uses stochastic environments — random trace, random start
+//! offset, noise, stochastic policy — while checkpoint evaluations use the
+//! workload's deterministic environments with a greedy policy.
 //!
 //! [`DesignTrainer`] is *resumable*: the early-stopping mechanism trains
 //! every design for the first `K` epochs, consults the classifier, and only
 //! promising designs continue — without re-running the prefix.
 
-use crate::bind::observation_inputs;
+use crate::bind::binding_values;
 use crate::config::NadaConfig;
-use crate::eval::{evaluate_policy, manifest_for};
+use crate::eval::evaluate_policy;
+use crate::workload::Workload;
 use nada_dsl::{CompiledState, DslError};
 use nada_nn::{A2cConfig, A2cTrainer, ActorCritic, ArchConfig, EpisodeBuffer};
-use nada_sim::prelude::*;
 use nada_traces::dataset::TraceDataset;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -60,12 +59,18 @@ impl From<&NadaConfig> for TrainRunConfig {
 pub enum TrainError {
     /// The state program failed to evaluate during training.
     StateEval(DslError),
+    /// The workload offers no emulation-fidelity environment (Table 4 is
+    /// ABR-only).
+    EmulationUnsupported,
 }
 
 impl fmt::Display for TrainError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TrainError::StateEval(e) => write!(f, "state evaluation failed mid-training: {e}"),
+            TrainError::EmulationUnsupported => {
+                write!(f, "this workload has no emulation environment")
+            }
         }
     }
 }
@@ -77,14 +82,14 @@ impl std::error::Error for TrainError {}
 pub struct Checkpoint {
     /// Training epoch at which the checkpoint was taken.
     pub epoch: usize,
-    /// Mean per-chunk `QoE_lin` over the evaluated test traces.
+    /// Mean per-step reward over the evaluated test traces.
     pub test_score: f64,
 }
 
 /// Result of one training session (one seed).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrainOutcome {
-    /// Mean per-chunk training reward for every epoch (the early-stopping
+    /// Mean per-step training reward for every epoch (the early-stopping
     /// model consumes a prefix of this curve).
     pub reward_curve: Vec<f64>,
     /// Periodic test evaluations.
@@ -100,50 +105,50 @@ impl TrainOutcome {
 
 /// A resumable training session for one `(state, arch)` design and seed.
 pub struct DesignTrainer<'a> {
+    workload: &'a dyn Workload,
     state: &'a CompiledState,
     dataset: &'a TraceDataset,
-    manifest: VideoManifest,
     cfg: TrainRunConfig,
     trainer: A2cTrainer,
     rng: StdRng,
     epoch: usize,
     outcome: TrainOutcome,
-    /// Learner-side reward scale: `QoE_lin` magnitudes span ~0.3 (broadband
-    /// ladder) to ~53 (5G ladder); scaling by the top ladder rate keeps the
-    /// critic's target range comparable across datasets. Reported curves
-    /// and test scores stay in raw QoE units.
+    /// Learner-side reward scale (see [`Workload::reward_scale`]). Reported
+    /// curves and test scores stay in raw reward units.
     reward_scale: f64,
 }
 
 impl<'a> DesignTrainer<'a> {
     /// Builds the network (width-scaled per config) and prepares a session.
     pub fn new(
+        workload: &'a dyn Workload,
         state: &'a CompiledState,
         arch: &ArchConfig,
         dataset: &'a TraceDataset,
         cfg: TrainRunConfig,
         seed: u64,
     ) -> Self {
-        let manifest = manifest_for(dataset.kind);
         let arch_scaled = arch.scaled_down(cfg.arch_scale_factor);
         let net = ActorCritic::build(
             &arch_scaled,
             &state.feature_shapes(),
-            manifest.ladder().len(),
+            workload.n_actions(),
             seed,
         );
         let trainer = A2cTrainer::new(net, cfg.a2c, seed);
-        let reward_scale = 1000.0 / manifest.ladder().max_kbps();
         Self {
+            workload,
             state,
             dataset,
-            manifest,
             cfg,
             trainer,
             rng: StdRng::seed_from_u64(seed ^ 0x7124_1000_0000_0011),
             epoch: 0,
-            outcome: TrainOutcome { reward_curve: Vec::new(), checkpoints: Vec::new() },
-            reward_scale,
+            outcome: TrainOutcome {
+                reward_curve: Vec::new(),
+                checkpoints: Vec::new(),
+            },
+            reward_scale: workload.reward_scale(),
         }
     }
 
@@ -173,9 +178,9 @@ impl<'a> DesignTrainer<'a> {
         self.state
     }
 
-    /// The dataset's manifest.
-    pub fn manifest(&self) -> &VideoManifest {
-        &self.manifest
+    /// The workload this session trains on.
+    pub fn workload(&self) -> &'a dyn Workload {
+        self.workload
     }
 
     /// Trains until `target_epoch` (inclusive of checkpoint evaluations on
@@ -191,20 +196,14 @@ impl<'a> DesignTrainer<'a> {
             let mut epoch_reward = 0.0f64;
             let mut epoch_steps = 0usize;
             for _ in 0..self.cfg.episodes_per_epoch {
-                let trace =
-                    &self.dataset.train[self.rng.gen_range(0..self.dataset.train.len())];
-                let mut env = AbrEnv::new_sim(
-                    &self.manifest,
-                    trace,
-                    QoeLin::default(),
-                    self.rng.gen::<u64>(),
-                );
-                let mut obs = env.initial_observation();
+                let trace = &self.dataset.train[self.rng.gen_range(0..self.dataset.train.len())];
+                let mut env = self.workload.train_env(trace, self.rng.gen::<u64>());
+                let mut obs = env.reset();
                 let mut buf = EpisodeBuffer::new();
                 loop {
                     let feats = self
                         .state
-                        .eval_f32(&observation_inputs(&obs))
+                        .eval_f32(&binding_values(&obs))
                         .map_err(TrainError::StateEval)?;
                     let action = self.trainer.act_stochastic(&feats);
                     let step = env.step(action);
@@ -219,20 +218,23 @@ impl<'a> DesignTrainer<'a> {
                 episodes.push(buf);
             }
             self.trainer.update(&episodes);
-            self.outcome.reward_curve.push(epoch_reward / epoch_steps.max(1) as f64);
+            self.outcome
+                .reward_curve
+                .push(epoch_reward / epoch_steps.max(1) as f64);
             self.epoch += 1;
 
-            if self.epoch % self.cfg.test_interval == 0 {
+            if self.epoch.is_multiple_of(self.cfg.test_interval) {
                 let score = evaluate_policy(
                     &mut self.trainer,
                     self.state,
-                    &self.manifest,
+                    self.workload,
                     &self.dataset.test,
                     self.cfg.eval_traces,
                 )?;
-                self.outcome
-                    .checkpoints
-                    .push(Checkpoint { epoch: self.epoch, test_score: score });
+                self.outcome.checkpoints.push(Checkpoint {
+                    epoch: self.epoch,
+                    test_score: score,
+                });
             }
         }
         Ok(())
@@ -242,13 +244,14 @@ impl<'a> DesignTrainer<'a> {
 /// Trains one `(state, arch)` design on `dataset` for one seed, to
 /// completion.
 pub fn train_design(
+    workload: &dyn Workload,
     state: &CompiledState,
     arch: &ArchConfig,
     dataset: &TraceDataset,
     cfg: &TrainRunConfig,
     seed: u64,
 ) -> Result<TrainOutcome, TrainError> {
-    let mut session = DesignTrainer::new(state, arch, dataset, *cfg, seed);
+    let mut session = DesignTrainer::new(workload, state, arch, dataset, *cfg, seed);
     session.run_until(cfg.train_epochs)?;
     Ok(session.into_outcome())
 }
@@ -256,6 +259,7 @@ pub fn train_design(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workload::{AbrWorkload, CcWorkload};
     use nada_dsl::seeds;
     use nada_traces::dataset::{DatasetKind, DatasetScale};
 
@@ -274,9 +278,10 @@ mod tests {
     #[test]
     fn training_produces_curves_and_checkpoints() {
         let ds = TraceDataset::synthesize(DatasetKind::Fcc, DatasetScale::Tiny, 3);
+        let w = AbrWorkload::for_dataset(DatasetKind::Fcc);
         let state = seeds::pensieve_state();
         let arch = seeds::pensieve_arch();
-        let out = train_design(&state, &arch, &ds, &tiny_cfg(), 7).unwrap();
+        let out = train_design(&w, &state, &arch, &ds, &tiny_cfg(), 7).unwrap();
         assert_eq!(out.reward_curve.len(), 20);
         assert_eq!(out.checkpoints.len(), 2);
         assert!(out.reward_curve.iter().all(|r| r.is_finite()));
@@ -286,12 +291,13 @@ mod tests {
     #[test]
     fn training_is_deterministic_per_seed() {
         let ds = TraceDataset::synthesize(DatasetKind::Starlink, DatasetScale::Tiny, 4);
+        let w = AbrWorkload::for_dataset(DatasetKind::Starlink);
         let state = seeds::pensieve_state();
         let arch = seeds::pensieve_arch();
-        let a = train_design(&state, &arch, &ds, &tiny_cfg(), 5).unwrap();
-        let b = train_design(&state, &arch, &ds, &tiny_cfg(), 5).unwrap();
+        let a = train_design(&w, &state, &arch, &ds, &tiny_cfg(), 5).unwrap();
+        let b = train_design(&w, &state, &arch, &ds, &tiny_cfg(), 5).unwrap();
         assert_eq!(a, b);
-        let c = train_design(&state, &arch, &ds, &tiny_cfg(), 6).unwrap();
+        let c = train_design(&w, &state, &arch, &ds, &tiny_cfg(), 6).unwrap();
         assert_ne!(a.reward_curve, c.reward_curve);
     }
 
@@ -300,10 +306,11 @@ mod tests {
         // The early-stopping mechanism depends on this: pausing at K and
         // resuming must be invisible.
         let ds = TraceDataset::synthesize(DatasetKind::Fcc, DatasetScale::Tiny, 5);
+        let w = AbrWorkload::for_dataset(DatasetKind::Fcc);
         let state = seeds::pensieve_state();
         let arch = seeds::pensieve_arch();
-        let straight = train_design(&state, &arch, &ds, &tiny_cfg(), 9).unwrap();
-        let mut resumed = DesignTrainer::new(&state, &arch, &ds, tiny_cfg(), 9);
+        let straight = train_design(&w, &state, &arch, &ds, &tiny_cfg(), 9).unwrap();
+        let mut resumed = DesignTrainer::new(&w, &state, &arch, &ds, tiny_cfg(), 9);
         resumed.run_until(7).unwrap();
         resumed.run_until(20).unwrap();
         assert_eq!(straight, resumed.into_outcome());
@@ -312,10 +319,34 @@ mod tests {
     #[test]
     fn early_curve_is_a_prefix() {
         let ds = TraceDataset::synthesize(DatasetKind::Fcc, DatasetScale::Tiny, 3);
+        let w = AbrWorkload::for_dataset(DatasetKind::Fcc);
         let state = seeds::pensieve_state();
         let arch = seeds::pensieve_arch();
-        let out = train_design(&state, &arch, &ds, &tiny_cfg(), 7).unwrap();
+        let out = train_design(&w, &state, &arch, &ds, &tiny_cfg(), 7).unwrap();
         assert_eq!(out.early_curve(5), &out.reward_curve[..5]);
         assert_eq!(out.early_curve(999).len(), 20);
+    }
+
+    #[test]
+    fn cc_designs_train_through_the_same_machinery() {
+        let ds = TraceDataset::synthesize(DatasetKind::Fcc, DatasetScale::Tiny, 6);
+        let w = CcWorkload::for_dataset(DatasetKind::Fcc);
+        let state = seeds::cc_state();
+        let arch = seeds::cc_arch();
+        let out = train_design(&w, &state, &arch, &ds, &tiny_cfg(), 8).unwrap();
+        assert_eq!(out.reward_curve.len(), 20);
+        assert_eq!(out.checkpoints.len(), 2);
+        assert!(out.reward_curve.iter().all(|r| r.is_finite()));
+    }
+
+    #[test]
+    fn cc_training_is_deterministic_per_seed() {
+        let ds = TraceDataset::synthesize(DatasetKind::Starlink, DatasetScale::Tiny, 7);
+        let w = CcWorkload::for_dataset(DatasetKind::Starlink);
+        let state = seeds::cc_state();
+        let arch = seeds::cc_arch();
+        let a = train_design(&w, &state, &arch, &ds, &tiny_cfg(), 5).unwrap();
+        let b = train_design(&w, &state, &arch, &ds, &tiny_cfg(), 5).unwrap();
+        assert_eq!(a, b);
     }
 }

@@ -1,0 +1,382 @@
+//! The workload layer: what the NADA pipeline is generic over.
+//!
+//! A [`Workload`] packages everything the generate→filter→train→rank loop
+//! needs to know about one network-algorithm design task:
+//!
+//! * the **schema** of observation inputs state programs may read (and the
+//!   matching environment field declarations — the pipeline asserts they
+//!   agree, see [`schema_matches_fields`]);
+//! * the **seed designs** (the existing algorithm the LLM redesigns);
+//! * **environment factories** producing training (stochastic, seeded) and
+//!   evaluation (deterministic) episodes over a trace;
+//! * the **prompt task** description handed to the LLM.
+//!
+//! Two workloads ship: [`AbrWorkload`] (the paper's Pensieve case study)
+//! and [`CcWorkload`] (chunkless congestion control, mirroring the
+//! authors' follow-up arXiv:2508.16074). Adding a third means implementing
+//! this trait — the pipeline, trainer and evaluator need no changes.
+
+use crate::eval::manifest_for;
+use nada_dsl::{
+    abr_schema, cc_schema, compile_arch, compile_state_with_schema, CompiledState, InputSchema,
+};
+use nada_llm::TaskContext;
+use nada_nn::ArchConfig;
+use nada_sim::cc::{CcEnv, CcReward, CC_ACTIONS, CC_FIELDS};
+use nada_sim::netenv::{FieldSpec, NetEnv};
+use nada_sim::prelude::*;
+use nada_traces::dataset::DatasetKind;
+use nada_traces::Trace;
+
+/// One design task the pipeline can run end-to-end.
+pub trait Workload: Send + Sync {
+    /// Short name used in reports (`"abr"`, `"cc"`).
+    fn name(&self) -> &'static str;
+
+    /// The DSL input schema state programs compile against.
+    fn schema(&self) -> &InputSchema;
+
+    /// The environment's declared observation fields (must mirror
+    /// [`Workload::schema`]; asserted by [`schema_matches_fields`]).
+    fn observation_fields(&self) -> &'static [FieldSpec];
+
+    /// The prompt task for LLM generation.
+    fn task(&self) -> TaskContext;
+
+    /// Source of the existing (seed) state representation.
+    fn seed_state_source(&self) -> &'static str;
+
+    /// Source of the existing (seed) architecture.
+    fn seed_arch_source(&self) -> &'static str;
+
+    /// Number of discrete actions the policy chooses between.
+    fn n_actions(&self) -> usize;
+
+    /// Learner-side reward scale keeping critic targets comparable across
+    /// datasets (reported curves stay in raw reward units).
+    fn reward_scale(&self) -> f64;
+
+    /// A stochastic training episode over `trace` (random offsets/noise
+    /// derived from `seed`).
+    fn train_env<'a>(&'a self, trace: &'a Trace, seed: u64) -> Box<dyn NetEnv + 'a>;
+
+    /// A deterministic evaluation episode over `trace` (`index` is the
+    /// position within the evaluation set, for workloads that diversify
+    /// evaluation seeds).
+    fn eval_env<'a>(&'a self, trace: &'a Trace, index: usize) -> Box<dyn NetEnv + 'a>;
+
+    /// An emulation-fidelity episode, when the workload has one (Table 4;
+    /// ABR only for now).
+    fn emu_env<'a>(&'a self, _trace: &'a Trace, _index: usize) -> Option<Box<dyn NetEnv + 'a>> {
+        None
+    }
+
+    /// Compiles the seed state program against the workload schema.
+    ///
+    /// # Panics
+    /// Panics if the bundled seed is invalid (covered by tests).
+    fn seed_state(&self) -> CompiledState {
+        compile_state_with_schema(self.seed_state_source(), self.schema().clone())
+            .expect("the bundled seed state must compile")
+    }
+
+    /// Compiles the seed architecture program.
+    ///
+    /// # Panics
+    /// Panics if the bundled seed is invalid (covered by tests).
+    fn seed_arch(&self) -> ArchConfig {
+        compile_arch(self.seed_arch_source()).expect("the bundled seed architecture must compile")
+    }
+}
+
+/// Checks that a DSL schema and an environment field declaration agree on
+/// names, shapes and fuzz ranges, returning the first divergence.
+pub fn schema_matches_fields(schema: &InputSchema, fields: &[FieldSpec]) -> Option<String> {
+    if schema.len() != fields.len() {
+        return Some(format!(
+            "schema declares {} inputs but the environment declares {} fields",
+            schema.len(),
+            fields.len()
+        ));
+    }
+    for (spec, field) in schema.specs().iter().zip(fields) {
+        if spec.name != field.name {
+            return Some(format!(
+                "`{}` vs `{}`: name mismatch",
+                spec.name, field.name
+            ));
+        }
+        let shape_ok = match (spec.ty, field.dim) {
+            (nada_dsl::InputType::Scalar, None) => true,
+            (nada_dsl::InputType::Vec(n), Some(m)) => n == m,
+            _ => false,
+        };
+        if !shape_ok {
+            return Some(format!("`{}`: shape mismatch", spec.name));
+        }
+        if spec.fuzz_lo != field.lo || spec.fuzz_hi != field.hi {
+            return Some(format!("`{}`: fuzz range mismatch", spec.name));
+        }
+    }
+    None
+}
+
+/// The paper's case study: Pensieve-style ABR over a dataset's shared video
+/// manifest.
+#[derive(Debug, Clone)]
+pub struct AbrWorkload {
+    manifest: VideoManifest,
+    schema: InputSchema,
+}
+
+impl AbrWorkload {
+    /// Builds the ABR workload for a dataset (broadband ladder for
+    /// FCC/Starlink, the elevated YouTube ladder for 4G/5G, §3.1).
+    pub fn for_dataset(kind: DatasetKind) -> Self {
+        Self {
+            manifest: manifest_for(kind),
+            schema: abr_schema(),
+        }
+    }
+
+    /// The shared video manifest every design streams.
+    pub fn manifest(&self) -> &VideoManifest {
+        &self.manifest
+    }
+}
+
+impl Workload for AbrWorkload {
+    fn name(&self) -> &'static str {
+        "abr"
+    }
+
+    fn schema(&self) -> &InputSchema {
+        &self.schema
+    }
+
+    fn observation_fields(&self) -> &'static [FieldSpec] {
+        &ABR_FIELDS
+    }
+
+    fn task(&self) -> TaskContext {
+        TaskContext::abr()
+    }
+
+    fn seed_state_source(&self) -> &'static str {
+        nada_dsl::seeds::PENSIEVE_STATE_SOURCE
+    }
+
+    fn seed_arch_source(&self) -> &'static str {
+        nada_dsl::seeds::PENSIEVE_ARCH_SOURCE
+    }
+
+    fn n_actions(&self) -> usize {
+        self.manifest.ladder().len()
+    }
+
+    fn reward_scale(&self) -> f64 {
+        // `QoE_lin` magnitudes span ~0.3 (broadband ladder) to ~53 (5G
+        // ladder); scaling by the top ladder rate keeps the critic's target
+        // range comparable across datasets.
+        1000.0 / self.manifest.ladder().max_kbps()
+    }
+
+    fn train_env<'a>(&'a self, trace: &'a Trace, seed: u64) -> Box<dyn NetEnv + 'a> {
+        Box::new(AbrEnv::new_sim(
+            &self.manifest,
+            trace,
+            QoeLin::default(),
+            seed,
+        ))
+    }
+
+    fn eval_env<'a>(&'a self, trace: &'a Trace, _index: usize) -> Box<dyn NetEnv + 'a> {
+        Box::new(AbrEnv::new_sim_deterministic(
+            &self.manifest,
+            trace,
+            QoeLin::default(),
+        ))
+    }
+
+    fn emu_env<'a>(&'a self, trace: &'a Trace, index: usize) -> Option<Box<dyn NetEnv + 'a>> {
+        Some(Box::new(AbrEnv::new_emu(
+            &self.manifest,
+            trace,
+            QoeLin::default(),
+            0xE4A1_0000 + index as u64,
+        )))
+    }
+}
+
+/// Decision intervals per CC episode (12 s at 100 ms per tick). Still
+/// 2.5× the decisions of a 48-chunk ABR episode, so CC harnesses rebalance
+/// their epoch budgets accordingly.
+pub const CC_EPISODE_TICKS: usize = 120;
+
+/// Chunkless congestion control over the same trace datasets.
+#[derive(Debug, Clone)]
+pub struct CcWorkload {
+    kind: DatasetKind,
+    schema: InputSchema,
+    reward: CcReward,
+    episode_ticks: usize,
+}
+
+impl CcWorkload {
+    /// Builds the CC workload for a dataset with default reward weights.
+    pub fn for_dataset(kind: DatasetKind) -> Self {
+        Self {
+            kind,
+            schema: cc_schema(),
+            reward: CcReward::default(),
+            episode_ticks: CC_EPISODE_TICKS,
+        }
+    }
+
+    /// Overrides the reward weights.
+    pub fn with_reward(mut self, reward: CcReward) -> Self {
+        self.reward = reward;
+        self
+    }
+
+    /// The reward weights in effect.
+    pub fn reward(&self) -> CcReward {
+        self.reward
+    }
+
+    /// Episode length in decision intervals.
+    pub fn episode_ticks(&self) -> usize {
+        self.episode_ticks
+    }
+}
+
+impl Workload for CcWorkload {
+    fn name(&self) -> &'static str {
+        "cc"
+    }
+
+    fn schema(&self) -> &InputSchema {
+        &self.schema
+    }
+
+    fn observation_fields(&self) -> &'static [FieldSpec] {
+        &CC_FIELDS
+    }
+
+    fn task(&self) -> TaskContext {
+        TaskContext::cc()
+    }
+
+    fn seed_state_source(&self) -> &'static str {
+        nada_dsl::seeds::CC_STATE_SOURCE
+    }
+
+    fn seed_arch_source(&self) -> &'static str {
+        nada_dsl::seeds::CC_ARCH_SOURCE
+    }
+
+    fn n_actions(&self) -> usize {
+        CC_ACTIONS.len()
+    }
+
+    fn reward_scale(&self) -> f64 {
+        // Per-tick rewards peak around an order of magnitude above the
+        // dataset's mean throughput; normalize by that so critic targets
+        // stay O(1) across FCC (~1 Mbps) and 5G (~30 Mbps).
+        1.0 / (10.0 * self.kind.paper_spec().mean_throughput_mbps)
+    }
+
+    fn train_env<'a>(&'a self, trace: &'a Trace, seed: u64) -> Box<dyn NetEnv + 'a> {
+        Box::new(CcEnv::new(trace, self.episode_ticks, self.reward, seed))
+    }
+
+    fn eval_env<'a>(&'a self, trace: &'a Trace, _index: usize) -> Box<dyn NetEnv + 'a> {
+        Box::new(CcEnv::deterministic(trace, self.episode_ticks, self.reward))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abr_schema_matches_env_fields() {
+        let w = AbrWorkload::for_dataset(DatasetKind::Fcc);
+        assert_eq!(
+            schema_matches_fields(w.schema(), w.observation_fields()),
+            None
+        );
+    }
+
+    #[test]
+    fn cc_schema_matches_env_fields() {
+        let w = CcWorkload::for_dataset(DatasetKind::Fcc);
+        assert_eq!(
+            schema_matches_fields(w.schema(), w.observation_fields()),
+            None
+        );
+    }
+
+    #[test]
+    fn seed_designs_compile_for_both_workloads() {
+        let abr = AbrWorkload::for_dataset(DatasetKind::Starlink);
+        assert_eq!(abr.seed_state().name(), "pensieve_original");
+        assert_eq!(abr.seed_arch(), ArchConfig::pensieve_original());
+
+        let cc = CcWorkload::for_dataset(DatasetKind::Starlink);
+        assert_eq!(cc.seed_state().name(), "cc_window_original");
+        assert_eq!(cc.n_actions(), CC_ACTIONS.len());
+    }
+
+    #[test]
+    fn envs_report_the_declared_action_space() {
+        let trace = Trace::from_uniform("flat", 1.0, &[5.0; 300]).unwrap();
+        for w in [
+            &AbrWorkload::for_dataset(DatasetKind::Fcc) as &dyn Workload,
+            &CcWorkload::for_dataset(DatasetKind::Fcc) as &dyn Workload,
+        ] {
+            let mut env = w.train_env(&trace, 3);
+            assert_eq!(env.action_space(), w.n_actions(), "{}", w.name());
+            let obs = env.reset();
+            assert_eq!(obs.len(), w.schema().len(), "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn binding_order_matches_schema_for_both_workloads() {
+        use nada_sim::netenv::spec_mismatch;
+        let trace = Trace::from_uniform("flat", 1.0, &[5.0; 300]).unwrap();
+        for w in [
+            &AbrWorkload::for_dataset(DatasetKind::Fcc) as &dyn Workload,
+            &CcWorkload::for_dataset(DatasetKind::Fcc) as &dyn Workload,
+        ] {
+            let mut env = w.eval_env(&trace, 0);
+            let obs = env.reset();
+            assert_eq!(
+                spec_mismatch(w.observation_fields(), &obs),
+                None,
+                "{}",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn reward_scales_track_dataset_magnitude() {
+        let fcc = CcWorkload::for_dataset(DatasetKind::Fcc);
+        let nr = CcWorkload::for_dataset(DatasetKind::Nr5g);
+        assert!(fcc.reward_scale() > nr.reward_scale());
+        let abr_bb = AbrWorkload::for_dataset(DatasetKind::Fcc);
+        let abr_5g = AbrWorkload::for_dataset(DatasetKind::Nr5g);
+        assert!(abr_bb.reward_scale() > abr_5g.reward_scale());
+    }
+
+    #[test]
+    fn abr_emulation_env_exists_cc_does_not() {
+        let trace = Trace::from_uniform("flat", 1.0, &[5.0; 300]).unwrap();
+        let abr = AbrWorkload::for_dataset(DatasetKind::Fcc);
+        assert!(abr.emu_env(&trace, 0).is_some());
+        let cc = CcWorkload::for_dataset(DatasetKind::Fcc);
+        assert!(cc.emu_env(&trace, 0).is_none());
+    }
+}

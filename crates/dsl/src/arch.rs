@@ -50,7 +50,11 @@ pub fn compile_arch_program(program: &ArchProgram) -> Result<ArchConfig, DslErro
         hidden_units: hidden_units.expect("checked non-empty hidden stack"),
         hidden_layers: program.hidden.len(),
         hidden_activation,
-        heads: if program.shared_heads { HeadMode::Shared } else { HeadMode::Separate },
+        heads: if program.shared_heads {
+            HeadMode::Shared
+        } else {
+            HeadMode::Separate
+        },
     })
 }
 
@@ -60,11 +64,15 @@ fn branch_kind(spec: &LayerSpec, allow_temporal: bool) -> Result<BranchKind, Dsl
             filters: positive_int_param(spec, "filters")?,
             kernel: positive_int_param(spec, "kernel")?,
         }),
-        "rnn" if allow_temporal => Ok(BranchKind::Rnn { units: positive_int_param(spec, "units")? }),
-        "lstm" if allow_temporal => {
-            Ok(BranchKind::Lstm { units: positive_int_param(spec, "units")? })
-        }
-        "dense" => Ok(BranchKind::Dense { units: positive_int_param(spec, "units")? }),
+        "rnn" if allow_temporal => Ok(BranchKind::Rnn {
+            units: positive_int_param(spec, "units")?,
+        }),
+        "lstm" if allow_temporal => Ok(BranchKind::Lstm {
+            units: positive_int_param(spec, "units")?,
+        }),
+        "dense" => Ok(BranchKind::Dense {
+            units: positive_int_param(spec, "units")?,
+        }),
         other if allow_temporal => Err(DslError::BadArchParam {
             message: format!("unknown temporal layer `{other}`"),
         }),
@@ -106,7 +114,9 @@ fn activation_of(spec: &LayerSpec) -> Result<Activation, DslError> {
                     message: format!("leaky_relu alpha must be in [0, 1), got {alpha}"),
                 });
             }
-            Ok(Activation::LeakyRelu { alpha: alpha as f32 })
+            Ok(Activation::LeakyRelu {
+                alpha: alpha as f32,
+            })
         }
         other => Err(DslError::BadArchParam {
             message: format!("unknown activation `{other}`"),
@@ -145,7 +155,10 @@ mod tests {
         .unwrap();
         assert_eq!(cfg.heads, HeadMode::Shared);
         assert_eq!(cfg.hidden_units, 256);
-        assert!(matches!(cfg.temporal_activation, Activation::LeakyRelu { .. }));
+        assert!(matches!(
+            cfg.temporal_activation,
+            Activation::LeakyRelu { .. }
+        ));
     }
 
     #[test]

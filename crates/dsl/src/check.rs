@@ -37,11 +37,15 @@ pub fn check_state(program: StateProgram, schema: &InputSchema) -> Result<Checke
     let mut env: Vec<(String, Shape)> = Vec::new();
     for decl in &program.inputs {
         if env.iter().any(|(n, _)| n == &decl.name) {
-            return Err(DslError::Duplicate { name: decl.name.clone() });
+            return Err(DslError::Duplicate {
+                name: decl.name.clone(),
+            });
         }
         let (idx, spec) = schema
             .lookup(&decl.name)
-            .ok_or_else(|| DslError::UnknownInput { name: decl.name.clone() })?;
+            .ok_or_else(|| DslError::UnknownInput {
+                name: decl.name.clone(),
+            })?;
         if spec.ty != decl.ty {
             return Err(DslError::InputShapeMismatch {
                 name: decl.name.clone(),
@@ -57,14 +61,20 @@ pub fn check_state(program: StateProgram, schema: &InputSchema) -> Result<Checke
     let mut shapes = Vec::with_capacity(program.features.len());
     for feat in &program.features {
         if env.iter().any(|(n, _)| n == &feat.name) {
-            return Err(DslError::Duplicate { name: feat.name.clone() });
+            return Err(DslError::Duplicate {
+                name: feat.name.clone(),
+            });
         }
         let shape = expr_shape(&feat.expr, &env)?;
         shapes.push(shape);
         env.push((feat.name.clone(), shape));
     }
 
-    Ok(CheckedState { program, shapes, input_bindings })
+    Ok(CheckedState {
+        program,
+        shapes,
+        input_bindings,
+    })
 }
 
 /// Infers the shape of an expression under `env` (inputs + earlier features).
@@ -92,7 +102,10 @@ pub fn expr_shape(expr: &Expr, env: &[(String, Shape)]) -> Result<Shape, DslErro
                 if i < args.len() {
                     literals[i] = literal_value(&args[i]);
                     if literals[i].is_none() {
-                        return Err(DslError::ExpectedLiteral { name: name.clone(), arg: i });
+                        return Err(DslError::ExpectedLiteral {
+                            name: name.clone(),
+                            arg: i,
+                        });
                     }
                 }
             }
@@ -175,9 +188,7 @@ mod tests {
 
     #[test]
     fn rejects_forward_reference() {
-        let e = check(
-            "state s { input buffer_s: scalar; feature a = b; feature b = buffer_s; }",
-        );
+        let e = check("state s { input buffer_s: scalar; feature a = b; feature b = buffer_s; }");
         assert!(matches!(e, Err(DslError::UnknownInput { .. })));
     }
 
@@ -201,9 +212,7 @@ mod tests {
 
     #[test]
     fn negative_literals_are_literals() {
-        let c = check(
-            "state s { input buffer_s: scalar; feature f = clip(buffer_s, -1.0, 1.0); }",
-        );
+        let c = check("state s { input buffer_s: scalar; feature f = clip(buffer_s, -1.0, 1.0); }");
         assert!(c.is_ok());
     }
 }

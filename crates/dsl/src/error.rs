@@ -108,12 +108,20 @@ impl fmt::Display for DslError {
                 write!(f, "parse error (line {line}): {message}")
             }
             DslError::UnknownInput { name } => write!(f, "unknown input `{name}`"),
-            DslError::InputShapeMismatch { name, declared, expected } => write!(
+            DslError::InputShapeMismatch {
+                name,
+                declared,
+                expected,
+            } => write!(
                 f,
                 "input `{name}` declared as {declared} but the environment provides {expected}"
             ),
             DslError::UnknownFunction { name } => write!(f, "unknown function `{name}`"),
-            DslError::Arity { name, expected, got } => {
+            DslError::Arity {
+                name,
+                expected,
+                got,
+            } => {
                 write!(f, "`{name}` expects {expected} argument(s), got {got}")
             }
             DslError::ShapeMismatch { message } => write!(f, "shape mismatch: {message}"),
@@ -147,9 +155,16 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = DslError::Arity { name: "ema".into(), expected: 2, got: 1 };
+        let e = DslError::Arity {
+            name: "ema".into(),
+            expected: 2,
+            got: 1,
+        };
         assert_eq!(e.to_string(), "`ema` expects 2 argument(s), got 1");
-        let e = DslError::Parse { line: 3, message: "expected `;`".into() };
+        let e = DslError::Parse {
+            line: 3,
+            message: "expected `;`".into(),
+        };
         assert!(e.to_string().contains("line 3"));
     }
 }

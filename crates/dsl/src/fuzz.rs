@@ -25,16 +25,21 @@ pub struct FuzzConfig {
 
 impl Default for FuzzConfig {
     fn default() -> Self {
-        Self { runs: 24, threshold: 100.0, seed: 0 }
+        Self {
+            runs: 24,
+            threshold: 100.0,
+            seed: 0,
+        }
     }
 }
 
 const FUZZ_SEED: u64 = 0xF022_5EED_0000_000C;
 
 /// Outcome of the normalization check.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub enum NormCheckOutcome {
     /// Every feature stayed within `[-T, T]` on every fuzz run.
+    #[default]
     Pass,
     /// A feature exceeded the threshold.
     TooLarge {
@@ -64,9 +69,7 @@ pub fn random_inputs(state: &CompiledState, rng: &mut StdRng) -> Vec<Value> {
             };
             match spec.ty {
                 crate::ast::InputType::Scalar => Value::Scalar(draw(rng)),
-                crate::ast::InputType::Vec(n) => {
-                    Value::Vector((0..n).map(|_| draw(rng)).collect())
-                }
+                crate::ast::InputType::Vec(n) => Value::Vector((0..n).map(|_| draw(rng)).collect()),
             }
         })
         .collect()
@@ -84,17 +87,14 @@ pub fn normalization_check(state: &CompiledState, cfg: &FuzzConfig) -> NormCheck
         for (value, name) in features.iter().zip(state.feature_names()) {
             let mag = value.max_abs();
             if mag > cfg.threshold {
-                return NormCheckOutcome::TooLarge { feature: name.to_string(), value: mag };
+                return NormCheckOutcome::TooLarge {
+                    feature: name.to_string(),
+                    value: mag,
+                };
             }
         }
     }
     NormCheckOutcome::Pass
-}
-
-impl Default for NormCheckOutcome {
-    fn default() -> Self {
-        NormCheckOutcome::Pass
-    }
 }
 
 #[cfg(test)]
@@ -105,7 +105,10 @@ mod tests {
     impl FuzzConfig {
         /// Test helper with a fixed seed.
         pub fn seeded(seed: u64) -> Self {
-            Self { seed, ..Self::default() }
+            Self {
+                seed,
+                ..Self::default()
+            }
         }
     }
 
@@ -115,7 +118,10 @@ mod tests {
             "state ok { input throughput_mbps: vec[8]; feature t = throughput_mbps / 150.0; }",
         )
         .unwrap();
-        assert_eq!(normalization_check(&s, &FuzzConfig::default()), NormCheckOutcome::Pass);
+        assert_eq!(
+            normalization_check(&s, &FuzzConfig::default()),
+            NormCheckOutcome::Pass
+        );
     }
 
     #[test]
@@ -128,7 +134,10 @@ mod tests {
         .unwrap();
         match normalization_check(&s, &FuzzConfig::default()) {
             NormCheckOutcome::TooLarge { value, .. } => {
-                assert!(value > 1e6, "raw byte features should exceed a million, got {value}")
+                assert!(
+                    value > 1e6,
+                    "raw byte features should exceed a million, got {value}"
+                )
             }
             other => panic!("expected TooLarge, got {other:?}"),
         }
@@ -153,8 +162,14 @@ mod tests {
             "state edge { input throughput_mbps: vec[8]; feature t = throughput_mbps / 2.0; }",
         )
         .unwrap();
-        assert_eq!(normalization_check(&s, &FuzzConfig::default()), NormCheckOutcome::Pass);
-        let strict = FuzzConfig { threshold: 10.0, ..FuzzConfig::default() };
+        assert_eq!(
+            normalization_check(&s, &FuzzConfig::default()),
+            NormCheckOutcome::Pass
+        );
+        let strict = FuzzConfig {
+            threshold: 10.0,
+            ..FuzzConfig::default()
+        };
         assert!(matches!(
             normalization_check(&s, &strict),
             NormCheckOutcome::TooLarge { .. }
@@ -173,7 +188,10 @@ mod tests {
         .unwrap();
         // With enough runs some draw lands near 74.9 and the magnitude
         // explodes past T.
-        let cfg = FuzzConfig { runs: 2000, ..FuzzConfig::default() };
+        let cfg = FuzzConfig {
+            runs: 2000,
+            ..FuzzConfig::default()
+        };
         assert!(matches!(
             normalization_check(&s, &cfg),
             NormCheckOutcome::TooLarge { .. }
@@ -182,10 +200,8 @@ mod tests {
 
     #[test]
     fn check_is_deterministic_per_seed() {
-        let s = compile_state(
-            "state ok { input buffer_s: scalar; feature b = buffer_s / 60.0; }",
-        )
-        .unwrap();
+        let s = compile_state("state ok { input buffer_s: scalar; feature b = buffer_s / 60.0; }")
+            .unwrap();
         let a = normalization_check(&s, &FuzzConfig::seeded(5));
         let b = normalization_check(&s, &FuzzConfig::seeded(5));
         assert_eq!(a, b);

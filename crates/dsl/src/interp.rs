@@ -55,7 +55,12 @@ impl CompiledState {
 
     /// Names of the produced features, in order.
     pub fn feature_names(&self) -> Vec<&str> {
-        self.checked.program.features.iter().map(|f| f.name.as_str()).collect()
+        self.checked
+            .program
+            .features
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect()
     }
 
     /// Feature shapes in the form the network builder consumes.
@@ -105,8 +110,12 @@ impl CompiledState {
         // Environment: declared inputs first, then features as they compute.
         let mut env: Vec<(&str, Value)> =
             Vec::with_capacity(self.checked.program.inputs.len() + self.checked.shapes.len());
-        for (decl, &idx) in
-            self.checked.program.inputs.iter().zip(&self.checked.input_bindings)
+        for (decl, &idx) in self
+            .checked
+            .program
+            .inputs
+            .iter()
+            .zip(&self.checked.input_bindings)
         {
             let value = &inputs[idx];
             let expected: crate::value::Shape = decl.ty.into();
@@ -126,7 +135,9 @@ impl CompiledState {
         for feat in &self.checked.program.features {
             let v = eval_expr(&feat.expr, &env)?;
             if !v.is_finite() {
-                return Err(DslError::NonFinite { feature: feat.name.clone() });
+                return Err(DslError::NonFinite {
+                    feature: feat.name.clone(),
+                });
             }
             env.push((feat.name.as_str(), v.clone()));
             out.push(v);
@@ -231,10 +242,7 @@ mod tests {
 
     #[test]
     fn eval_rejects_wrong_binding_count() {
-        let c = compile_state(
-            "state s { input buffer_s: scalar; feature f = buffer_s; }",
-        )
-        .unwrap();
+        let c = compile_state("state s { input buffer_s: scalar; feature f = buffer_s; }").unwrap();
         let e = c.eval(&[Value::Scalar(1.0)]);
         assert!(matches!(e, Err(DslError::BadBinding { .. })));
     }

@@ -38,7 +38,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, DslError> {
             '/' => push(&mut tokens, TokenKind::Slash, line, &mut i),
             '-' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == '>' {
-                    tokens.push(Token { kind: TokenKind::Arrow, line });
+                    tokens.push(Token {
+                        kind: TokenKind::Arrow,
+                        line,
+                    });
                     i += 2;
                 } else {
                     push(&mut tokens, TokenKind::Minus, line, &mut i);
@@ -70,7 +73,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, DslError> {
                     line,
                     message: format!("malformed number `{text}`"),
                 })?;
-                tokens.push(Token { kind: TokenKind::Number(value), line });
+                tokens.push(Token {
+                    kind: TokenKind::Number(value),
+                    line,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -92,7 +98,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, DslError> {
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, line });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
     Ok(tokens)
 }
 

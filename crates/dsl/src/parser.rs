@@ -45,7 +45,11 @@ pub fn parse_state(source: &str) -> Result<StateProgram, DslError> {
         }
     }
     p.expect(TokenKind::Eof)?;
-    Ok(StateProgram { name, inputs, features })
+    Ok(StateProgram {
+        name,
+        inputs,
+        features,
+    })
 }
 
 /// Parses an architecture program (`network <name> { … }`).
@@ -65,7 +69,9 @@ pub fn parse_arch(source: &str) -> Result<ArchProgram, DslError> {
                 let spec = p.parse_layer_spec()?;
                 p.expect(TokenKind::Semi)?;
                 if temporal.replace(spec).is_some() {
-                    return Err(DslError::Duplicate { name: "temporal".into() });
+                    return Err(DslError::Duplicate {
+                        name: "temporal".into(),
+                    });
                 }
             }
             // `scalar` is also the type keyword; in arch context it is a
@@ -75,7 +81,9 @@ pub fn parse_arch(source: &str) -> Result<ArchProgram, DslError> {
                 let spec = p.parse_layer_spec()?;
                 p.expect(TokenKind::Semi)?;
                 if scalar.replace(spec).is_some() {
-                    return Err(DslError::Duplicate { name: "scalar".into() });
+                    return Err(DslError::Duplicate {
+                        name: "scalar".into(),
+                    });
                 }
             }
             TokenKind::Keyword(Keyword::Hidden) => {
@@ -90,15 +98,15 @@ pub fn parse_arch(source: &str) -> Result<ArchProgram, DslError> {
                     TokenKind::Keyword(Keyword::Separate) => false,
                     TokenKind::Keyword(Keyword::Shared) => true,
                     other => {
-                        return Err(p.err(format!(
-                            "expected `separate` or `shared`, found {other}"
-                        )))
+                        return Err(p.err(format!("expected `separate` or `shared`, found {other}")))
                     }
                 };
                 p.advance();
                 p.expect(TokenKind::Semi)?;
                 if shared_heads.replace(mode).is_some() {
-                    return Err(DslError::Duplicate { name: "heads".into() });
+                    return Err(DslError::Duplicate {
+                        name: "heads".into(),
+                    });
                 }
             }
             TokenKind::RBrace => {
@@ -115,7 +123,9 @@ pub fn parse_arch(source: &str) -> Result<ArchProgram, DslError> {
     p.expect(TokenKind::Eof)?;
     Ok(ArchProgram {
         name,
-        temporal: temporal.ok_or(DslError::MissingSection { section: "temporal" })?,
+        temporal: temporal.ok_or(DslError::MissingSection {
+            section: "temporal",
+        })?,
         scalar: scalar.ok_or(DslError::MissingSection { section: "scalar" })?,
         hidden,
         shared_heads: shared_heads.ok_or(DslError::MissingSection { section: "heads" })?,
@@ -149,7 +159,10 @@ impl Parser {
     }
 
     fn err(&self, message: String) -> DslError {
-        DslError::Parse { line: self.line(), message }
+        DslError::Parse {
+            line: self.line(),
+            message,
+        }
     }
 
     fn expect(&mut self, kind: TokenKind) -> Result<(), DslError> {
@@ -211,7 +224,11 @@ impl Parser {
             };
             self.advance();
             let rhs = self.parse_term()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -226,7 +243,11 @@ impl Parser {
             };
             self.advance();
             let rhs = self.parse_unary()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -292,7 +313,11 @@ impl Parser {
         } else {
             None
         };
-        Ok(LayerSpec { layer, params, activation })
+        Ok(LayerSpec {
+            layer,
+            params,
+            activation,
+        })
     }
 
     fn parse_named_params(&mut self) -> Result<Vec<(String, f64)>, DslError> {
@@ -310,9 +335,7 @@ impl Parser {
                 };
                 let value = match self.peek() {
                     TokenKind::Number(n) => *n,
-                    other => {
-                        return Err(self.err(format!("expected a number, found {other}")))
-                    }
+                    other => return Err(self.err(format!("expected a number, found {other}"))),
                 };
                 self.advance();
                 params.push((name, if negative { -value } else { value }));
@@ -334,10 +357,8 @@ mod tests {
 
     #[test]
     fn parses_minimal_state() {
-        let p = parse_state(
-            "state s { input buffer_s: scalar; feature b = buffer_s / 10.0; }",
-        )
-        .unwrap();
+        let p = parse_state("state s { input buffer_s: scalar; feature b = buffer_s / 10.0; }")
+            .unwrap();
         assert_eq!(p.name, "s");
         assert_eq!(p.inputs.len(), 1);
         assert_eq!(p.features.len(), 1);
@@ -347,7 +368,11 @@ mod tests {
     fn parses_precedence() {
         let p = parse_state("state s { feature f = 1.0 + 2.0 * 3.0; }").unwrap();
         match &p.features[0].expr {
-            Expr::Binary { op: BinOp::Add, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                rhs,
+                ..
+            } => {
                 assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("wrong tree: {other:?}"),
@@ -356,8 +381,8 @@ mod tests {
 
     #[test]
     fn parses_nested_calls() {
-        let p = parse_state("state s { input t: vec[8]; feature f = ema(t, 0.5) / max(t); }")
-            .unwrap();
+        let p =
+            parse_state("state s { input t: vec[8]; feature f = ema(t, 0.5) / max(t); }").unwrap();
         assert!(matches!(p.features[0].expr, Expr::Binary { .. }));
     }
 

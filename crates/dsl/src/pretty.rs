@@ -86,14 +86,21 @@ pub fn print_arch(p: &ArchProgram) -> String {
     for h in &p.hidden {
         let _ = writeln!(out, "  hidden {};", print_layer(h));
     }
-    let _ = writeln!(out, "  heads {};", if p.shared_heads { "shared" } else { "separate" });
+    let _ = writeln!(
+        out,
+        "  heads {};",
+        if p.shared_heads { "shared" } else { "separate" }
+    );
     out.push_str("}\n");
     out
 }
 
 fn print_layer(l: &LayerSpec) -> String {
-    let params: Vec<String> =
-        l.params.iter().map(|(n, v)| format!("{n}={}", format_number(*v))).collect();
+    let params: Vec<String> = l
+        .params
+        .iter()
+        .map(|(n, v)| format!("{n}={}", format_number(*v)))
+        .collect();
     let mut s = format!("{}({})", l.layer, params.join(", "));
     if let Some((act, act_params)) = &l.activation {
         if act_params.is_empty() {

@@ -1,11 +1,20 @@
-//! Input schema: what the ABR environment offers to state programs.
+//! Input schemas: what each environment offers to state programs.
 //!
-//! The schema is the contract between the environment (`nada-sim`'s
-//! `Observation`) and state programs: every input a program may declare,
-//! its shape, and a realistic value range used by the fuzzing-based
-//! normalization check. Note that `buffer_history_s` is available even
-//! though the original Pensieve state ignores it — §4 of the paper
-//! highlights buffer-history features as NADA's most interesting discovery.
+//! A schema is the contract between an environment's declared observation
+//! fields (`nada-sim`'s `netenv::FieldSpec`s) and state programs: every
+//! input a program may declare, its shape, and a realistic value range used
+//! by the fuzzing-based normalization check. Two workload schemas ship:
+//!
+//! * [`abr_schema`] — Pensieve ABR. Note that `buffer_history_s` is
+//!   available even though the original Pensieve state ignores it — §4 of
+//!   the paper highlights buffer-history features as NADA's most
+//!   interesting discovery.
+//! * [`cc_schema`] — chunkless congestion control (arXiv:2508.16074-style
+//!   CWND policies); raw RTTs in milliseconds and windows in packets keep
+//!   the `T = 100` normalization check meaningful.
+//!
+//! The pipeline asserts each schema agrees with its environment's declared
+//! fields, so schema evolution stays a one-crate-pair change.
 
 use crate::ast::InputType;
 
@@ -136,6 +145,68 @@ pub fn abr_schema() -> InputSchema {
     ])
 }
 
+/// History length offered by the CC environment (matches ABR's `S_LEN`).
+pub const CC_HISTORY_LEN: usize = 8;
+
+/// The congestion-control input schema.
+///
+/// As with ABR, fuzz ranges are raw magnitudes — RTTs up to 1 000 ms,
+/// windows up to 2 000 packets — so unnormalized CC states fail the
+/// `T = 100` check exactly like raw byte counts do.
+pub fn cc_schema() -> InputSchema {
+    InputSchema::new(vec![
+        InputSpec {
+            name: "throughput_history_mbps",
+            ty: InputType::Vec(CC_HISTORY_LEN),
+            fuzz_lo: 0.0,
+            fuzz_hi: 150.0,
+            doc: "delivered throughput over each of the last 8 intervals, Mbps",
+        },
+        InputSpec {
+            name: "rtt_history_ms",
+            ty: InputType::Vec(CC_HISTORY_LEN),
+            fuzz_lo: 0.0,
+            fuzz_hi: 1000.0,
+            doc: "smoothed round-trip time after each of the last 8 intervals, milliseconds",
+        },
+        InputSpec {
+            name: "loss_history",
+            ty: InputType::Vec(CC_HISTORY_LEN),
+            fuzz_lo: 0.0,
+            fuzz_hi: 1.0,
+            doc: "fraction of offered packets dropped in each of the last 8 intervals",
+        },
+        InputSpec {
+            name: "cwnd_pkts",
+            ty: InputType::Scalar,
+            fuzz_lo: 2.0,
+            fuzz_hi: 2000.0,
+            doc: "current congestion window, packets",
+        },
+        InputSpec {
+            name: "min_rtt_ms",
+            ty: InputType::Scalar,
+            fuzz_lo: 1.0,
+            fuzz_hi: 200.0,
+            doc: "minimum round-trip time observed this episode, milliseconds",
+        },
+        InputSpec {
+            name: "ticks_remaining",
+            ty: InputType::Scalar,
+            fuzz_lo: 0.0,
+            fuzz_hi: 2400.0,
+            doc: "decision intervals left in the episode",
+        },
+        InputSpec {
+            name: "total_ticks",
+            ty: InputType::Scalar,
+            fuzz_lo: 60.0,
+            fuzz_hi: 2400.0,
+            doc: "total decision intervals in the episode",
+        },
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,8 +221,32 @@ mod tests {
 
     #[test]
     fn fuzz_ranges_are_ordered() {
-        for spec in abr_schema().specs() {
-            assert!(spec.fuzz_lo <= spec.fuzz_hi, "{}", spec.name);
+        for schema in [abr_schema(), cc_schema()] {
+            for spec in schema.specs() {
+                assert!(spec.fuzz_lo <= spec.fuzz_hi, "{}", spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn cc_schema_has_raw_magnitudes() {
+        let s = cc_schema();
+        assert_eq!(s.len(), 7);
+        assert!(s.lookup("rtt_history_ms").unwrap().1.fuzz_hi > 100.0);
+        assert!(s.lookup("cwnd_pkts").unwrap().1.fuzz_hi > 100.0);
+        assert!(s.lookup("throughput_history_mbps").is_some());
+    }
+
+    #[test]
+    fn schemas_do_not_share_input_names() {
+        // A program can never silently compile against the wrong workload.
+        let abr = abr_schema();
+        for spec in cc_schema().specs() {
+            assert!(
+                abr.lookup(spec.name).is_none(),
+                "`{}` is ambiguous",
+                spec.name
+            );
         }
     }
 

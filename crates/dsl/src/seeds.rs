@@ -1,14 +1,18 @@
-//! Seed programs: the original Pensieve design expressed in the DSL.
+//! Seed programs: the original designs each workload starts from.
 //!
 //! These are the "existing algorithm implementation" NADA starts from
-//! (paper §2.1). The state program reproduces Pensieve's normalization
-//! exactly: bitrates relative to the ladder maximum, buffer and download
-//! times divided by 10, throughput in MB/s (Mbps / 8), chunk sizes in MB,
-//! and remaining chunks as a fraction. The architecture program is
-//! Figure 2's topology.
+//! (paper §2.1). For ABR, the state program reproduces Pensieve's
+//! normalization exactly: bitrates relative to the ladder maximum, buffer
+//! and download times divided by 10, throughput in MB/s (Mbps / 8), chunk
+//! sizes in MB, and remaining chunks as a fraction; the architecture
+//! program is Figure 2's topology. For congestion control, the seed is a
+//! window policy normalizing each transport signal by its realistic
+//! maximum — the hand-tuned starting point the LLM redesigns, mirroring
+//! arXiv:2508.16074.
 
 use crate::arch::compile_arch;
-use crate::interp::{compile_state, CompiledState};
+use crate::interp::{compile_state, compile_state_with_schema, CompiledState};
+use crate::schema::cc_schema;
 use nada_nn::ArchConfig;
 
 /// Pensieve's original state representation (paper Figure 2, left side).
@@ -61,6 +65,56 @@ pub fn pensieve_arch() -> ArchConfig {
     compile_arch(PENSIEVE_ARCH_SOURCE).expect("bundled Pensieve architecture must compile")
 }
 
+/// The congestion-control workload's seed state representation.
+pub const CC_STATE_SOURCE: &str = "\
+state cc_window_original {
+  # Raw transport measurements offered by the environment.
+  input throughput_history_mbps: vec[8]; # delivered throughput per interval, Mbps
+  input rtt_history_ms: vec[8];          # smoothed RTT per interval, milliseconds
+  input loss_history: vec[8];            # loss fraction per interval
+  input cwnd_pkts: scalar;               # congestion window, packets
+  input min_rtt_ms: scalar;              # episode-minimum RTT, milliseconds
+  input ticks_remaining: scalar;         # intervals left in the episode
+  input total_ticks: scalar;             # total intervals in the episode
+
+  # Hand-designed normalization by each signal's realistic maximum.
+  feature throughput = throughput_history_mbps / 150.0;
+  feature rtt = rtt_history_ms / 1000.0;
+  feature loss = loss_history;
+  feature window = cwnd_pkts / 2000.0;
+  feature min_rtt = min_rtt_ms / 200.0;
+  feature remaining = ticks_remaining / total_ticks;
+}
+";
+
+/// The congestion-control workload's seed actor-critic architecture (same
+/// branch-merge topology as Pensieve's; the temporal branch reads the
+/// transport histories).
+pub const CC_ARCH_SOURCE: &str = "\
+network cc_window_original {
+  temporal conv1d(filters=128, kernel=4) -> relu;
+  scalar dense(units=128) -> relu;
+  hidden dense(units=128) -> relu;
+  heads separate;
+}
+";
+
+/// Compiles the CC seed state program against [`cc_schema`].
+///
+/// # Panics
+/// Panics if the bundled source is invalid (covered by tests).
+pub fn cc_state() -> CompiledState {
+    compile_state_with_schema(CC_STATE_SOURCE, cc_schema()).expect("bundled CC state must compile")
+}
+
+/// Compiles the CC seed architecture program.
+///
+/// # Panics
+/// Panics if the bundled source is invalid (covered by tests).
+pub fn cc_arch() -> ArchConfig {
+    compile_arch(CC_ARCH_SOURCE).expect("bundled CC architecture must compile")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,11 +142,47 @@ mod tests {
     fn pensieve_state_is_well_normalized() {
         let s = pensieve_state();
         let outcome = normalization_check(&s, &FuzzConfig::default());
-        assert_eq!(outcome, NormCheckOutcome::Pass, "the seed design must pass its own check");
+        assert_eq!(
+            outcome,
+            NormCheckOutcome::Pass,
+            "the seed design must pass its own check"
+        );
     }
 
     #[test]
     fn pensieve_arch_matches_figure_2() {
         assert_eq!(pensieve_arch(), ArchConfig::pensieve_original());
+    }
+
+    #[test]
+    fn cc_state_compiles_with_expected_shapes() {
+        let s = cc_state();
+        assert_eq!(s.name(), "cc_window_original");
+        assert_eq!(
+            s.feature_shapes(),
+            vec![
+                FeatureShape::Temporal(8),
+                FeatureShape::Temporal(8),
+                FeatureShape::Temporal(8),
+                FeatureShape::Scalar,
+                FeatureShape::Scalar,
+                FeatureShape::Scalar,
+            ]
+        );
+    }
+
+    #[test]
+    fn cc_state_is_well_normalized() {
+        let outcome = normalization_check(&cc_state(), &FuzzConfig::default());
+        assert_eq!(
+            outcome,
+            NormCheckOutcome::Pass,
+            "the CC seed must pass its own check"
+        );
+    }
+
+    #[test]
+    fn cc_arch_compiles() {
+        let _ = cc_arch();
     }
 }

@@ -24,8 +24,8 @@ pub fn arity(name: &str) -> Option<usize> {
         "ema" | "tail" => 2,
         "clip" | "remap" => 3,
         "mean" | "variance" | "std" | "min" | "max" | "sum" | "last" | "first"
-        | "harmonic_mean" | "trend" | "predict_next" | "diff" | "savgol" | "zscore"
-        | "log1p" | "sqrt" | "abs" | "recip" => 1,
+        | "harmonic_mean" | "trend" | "predict_next" | "diff" | "savgol" | "zscore" | "log1p"
+        | "sqrt" | "abs" | "recip" => 1,
         _ => return None,
     })
 }
@@ -39,7 +39,11 @@ pub fn function_shape(
 ) -> Result<Shape, DslError> {
     let expected = arity(name).ok_or_else(|| DslError::UnknownFunction { name: name.into() })?;
     if args.len() != expected {
-        return Err(DslError::Arity { name: name.into(), expected, got: args.len() });
+        return Err(DslError::Arity {
+            name: name.into(),
+            expected,
+            got: args.len(),
+        });
     }
     let vec_len = |s: Shape| match s {
         Shape::Vector(n) => Ok(n),
@@ -50,7 +54,10 @@ pub fn function_shape(
     match name {
         "ema" => {
             let n = vec_len(args[0])?;
-            let alpha = literals[1].ok_or(DslError::ExpectedLiteral { name: name.into(), arg: 1 })?;
+            let alpha = literals[1].ok_or(DslError::ExpectedLiteral {
+                name: name.into(),
+                arg: 1,
+            })?;
             if !(0.0..=1.0).contains(&alpha) || alpha == 0.0 {
                 return Err(DslError::BadLiteral {
                     name: name.into(),
@@ -61,7 +68,10 @@ pub fn function_shape(
         }
         "tail" => {
             let n = vec_len(args[0])?;
-            let k = literals[1].ok_or(DslError::ExpectedLiteral { name: name.into(), arg: 1 })?;
+            let k = literals[1].ok_or(DslError::ExpectedLiteral {
+                name: name.into(),
+                arg: 1,
+            })?;
             if k.fract() != 0.0 || k < 1.0 {
                 return Err(DslError::BadLiteral {
                     name: name.into(),
@@ -92,8 +102,14 @@ pub fn function_shape(
         }
         "savgol" | "zscore" => Ok(Shape::Vector(vec_len(args[0])?)),
         "clip" | "remap" => {
-            let lo = literals[1].ok_or(DslError::ExpectedLiteral { name: name.into(), arg: 1 })?;
-            let hi = literals[2].ok_or(DslError::ExpectedLiteral { name: name.into(), arg: 2 })?;
+            let lo = literals[1].ok_or(DslError::ExpectedLiteral {
+                name: name.into(),
+                arg: 1,
+            })?;
+            let hi = literals[2].ok_or(DslError::ExpectedLiteral {
+                name: name.into(),
+                arg: 2,
+            })?;
             if lo >= hi {
                 return Err(DslError::BadLiteral {
                     name: name.into(),
@@ -279,7 +295,10 @@ mod tests {
         let xs: Vec<f64> = (0..8).map(|i| 2.0 * i as f64).collect();
         let y = function_eval("savgol", &[v(&xs)]).unwrap();
         for (a, b) in y.expect_vector().iter().zip(&xs) {
-            assert!((a - b).abs() < 1e-9, "quadratic SG filter must keep linear data");
+            assert!(
+                (a - b).abs() < 1e-9,
+                "quadratic SG filter must keep linear data"
+            );
         }
     }
 

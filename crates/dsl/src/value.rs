@@ -124,14 +124,12 @@ pub fn binary_eval(op: BinOp, lhs: &Value, rhs: &Value) -> Result<Value, DslErro
         (Value::Vector(a), Value::Vector(b)) => {
             if a.len() != b.len() {
                 return Err(DslError::ShapeMismatch {
-                    message: format!(
-                        "vector lengths differ: {} vs {}",
-                        a.len(),
-                        b.len()
-                    ),
+                    message: format!("vector lengths differ: {} vs {}", a.len(), b.len()),
                 });
             }
-            Ok(Value::Vector(a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect()))
+            Ok(Value::Vector(
+                a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect(),
+            ))
         }
     }
 }
@@ -142,7 +140,10 @@ mod tests {
 
     #[test]
     fn broadcasting_rules() {
-        assert_eq!(binary_shape(BinOp::Add, Shape::Scalar, Shape::Scalar), Ok(Shape::Scalar));
+        assert_eq!(
+            binary_shape(BinOp::Add, Shape::Scalar, Shape::Scalar),
+            Ok(Shape::Scalar)
+        );
         assert_eq!(
             binary_shape(BinOp::Mul, Shape::Vector(8), Shape::Scalar),
             Ok(Shape::Vector(8))
@@ -154,7 +155,10 @@ mod tests {
     fn elementwise_eval() {
         let v = Value::Vector(vec![2.0, 4.0]);
         let s = Value::Scalar(2.0);
-        assert_eq!(binary_eval(BinOp::Div, &v, &s).unwrap(), Value::Vector(vec![1.0, 2.0]));
+        assert_eq!(
+            binary_eval(BinOp::Div, &v, &s).unwrap(),
+            Value::Vector(vec![1.0, 2.0])
+        );
         assert_eq!(
             binary_eval(BinOp::Sub, &s, &v).unwrap(),
             Value::Vector(vec![0.0, -2.0])

@@ -123,9 +123,7 @@ impl EarlyStopMethod {
             EarlyStopMethod::RewardOnly => Box::new(RewardCnnClassifier::new(cfg)),
             EarlyStopMethod::TextOnly => Box::new(TextOnlyClassifier::new(cfg)),
             EarlyStopMethod::TextReward => Box::new(CombinedClassifier::new(cfg)),
-            EarlyStopMethod::HeuristicMax => {
-                Box::new(HeuristicClassifier::new(HeuristicKind::Max))
-            }
+            EarlyStopMethod::HeuristicMax => Box::new(HeuristicClassifier::new(HeuristicKind::Max)),
             EarlyStopMethod::HeuristicLast => {
                 Box::new(HeuristicClassifier::new(HeuristicKind::Last))
             }
@@ -193,15 +191,18 @@ impl Classifier for RewardCnnClassifier {
     }
 
     fn fit(&mut self, samples: &[DesignSample], final_scores: &[f64], cfg: &FitConfig) {
-        let xs: Vec<Vec<f32>> =
-            samples.iter().map(|s| preprocess(&s.reward_curve, self.curve_len)).collect();
+        let xs: Vec<Vec<f32>> = samples
+            .iter()
+            .map(|s| preprocess(&s.reward_curve, self.curve_len))
+            .collect();
         let ys = training_targets(final_scores, cfg);
         self.clf.train(&xs, &ys, cfg.epochs, cfg.lr, cfg.seed);
         self.threshold = calibrate(self, samples, final_scores, cfg);
     }
 
     fn score(&mut self, sample: &DesignSample) -> f64 {
-        self.clf.predict(&preprocess(&sample.reward_curve, self.curve_len)) as f64
+        self.clf
+            .predict(&preprocess(&sample.reward_curve, self.curve_len)) as f64
     }
 
     fn threshold(&self) -> f64 {
@@ -266,7 +267,10 @@ pub struct TextOnlyClassifier {
 impl TextOnlyClassifier {
     /// Creates an unfitted classifier.
     pub fn new(cfg: &FitConfig) -> Self {
-        Self { mlp: MlpBinary::new(EMBED_DIM, cfg.seed), threshold: f64::NEG_INFINITY }
+        Self {
+            mlp: MlpBinary::new(EMBED_DIM, cfg.seed),
+            threshold: f64::NEG_INFINITY,
+        }
     }
 }
 
@@ -358,7 +362,10 @@ pub struct HeuristicClassifier {
 impl HeuristicClassifier {
     /// Creates an unfitted heuristic.
     pub fn new(kind: HeuristicKind) -> Self {
-        Self { kind, threshold: f64::NEG_INFINITY }
+        Self {
+            kind,
+            threshold: f64::NEG_INFINITY,
+        }
     }
 }
 
@@ -376,9 +383,11 @@ impl Classifier for HeuristicClassifier {
 
     fn score(&mut self, sample: &DesignSample) -> f64 {
         match self.kind {
-            HeuristicKind::Max => {
-                sample.reward_curve.iter().copied().fold(f64::NEG_INFINITY, f64::max)
-            }
+            HeuristicKind::Max => sample
+                .reward_curve
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max),
             HeuristicKind::Last => sample.reward_curve.last().copied().unwrap_or(0.0),
         }
     }
@@ -408,7 +417,11 @@ mod tests {
                     q * progress * 3.0 + 0.3 * rng.gen::<f64>()
                 })
                 .collect();
-            let motif = if q > 0.7 { "trend(buffer_history_s)" } else { "throughput_mbps" };
+            let motif = if q > 0.7 {
+                "trend(buffer_history_s)"
+            } else {
+                "throughput_mbps"
+            };
             samples.push(DesignSample {
                 reward_curve: curve,
                 code: format!("state s {{ feature f = {motif} / 10.0; }}"),
@@ -421,7 +434,10 @@ mod tests {
     #[test]
     fn reward_only_achieves_zero_train_fnr_and_positive_tnr() {
         let (samples, finals) = synthetic_pool(150, 1);
-        let cfg = FitConfig { top_fraction: 0.05, ..Default::default() };
+        let cfg = FitConfig {
+            top_fraction: 0.05,
+            ..Default::default()
+        };
         let mut clf = RewardCnnClassifier::new(&cfg);
         clf.fit(&samples, &finals, &cfg);
         let labels = top_fraction_labels(&finals, cfg.top_fraction);
@@ -429,33 +445,55 @@ mod tests {
         for (s, l) in samples.iter().zip(&labels) {
             c.record(clf.keep(s), *l);
         }
-        assert_eq!(c.false_negative_rate(), 0.0, "train FNR must be 0 by construction");
-        assert!(c.true_negative_rate() > 0.3, "TNR {} too low", c.true_negative_rate());
+        assert_eq!(
+            c.false_negative_rate(),
+            0.0,
+            "train FNR must be 0 by construction"
+        );
+        assert!(
+            c.true_negative_rate() > 0.3,
+            "TNR {} too low",
+            c.true_negative_rate()
+        );
     }
 
     #[test]
     fn heuristic_max_scores_the_peak() {
         let mut h = HeuristicClassifier::new(HeuristicKind::Max);
-        let s = DesignSample { reward_curve: vec![0.1, 5.0, 2.0], code: String::new() };
+        let s = DesignSample {
+            reward_curve: vec![0.1, 5.0, 2.0],
+            code: String::new(),
+        };
         assert_eq!(h.score(&s), 5.0);
     }
 
     #[test]
     fn heuristic_last_scores_the_tail() {
         let mut h = HeuristicClassifier::new(HeuristicKind::Last);
-        let s = DesignSample { reward_curve: vec![0.1, 5.0, 2.0], code: String::new() };
+        let s = DesignSample {
+            reward_curve: vec![0.1, 5.0, 2.0],
+            code: String::new(),
+        };
         assert_eq!(h.score(&s), 2.0);
     }
 
     #[test]
     fn all_methods_build_and_fit() {
         let (samples, finals) = synthetic_pool(80, 2);
-        let cfg = FitConfig { top_fraction: 0.05, epochs: 8, ..Default::default() };
+        let cfg = FitConfig {
+            top_fraction: 0.05,
+            epochs: 8,
+            ..Default::default()
+        };
         for method in EarlyStopMethod::ALL {
             let mut clf = method.build(&cfg);
             clf.fit(&samples, &finals, &cfg);
             let score = clf.score(&samples[0]);
-            assert!(score.is_finite(), "{} produced non-finite score", method.label());
+            assert!(
+                score.is_finite(),
+                "{} produced non-finite score",
+                method.label()
+            );
             assert!(clf.threshold().is_finite() || clf.threshold() == f64::NEG_INFINITY);
         }
     }
@@ -463,7 +501,11 @@ mod tests {
     #[test]
     fn text_only_picks_up_motif_correlation() {
         let (samples, finals) = synthetic_pool(200, 3);
-        let cfg = FitConfig { top_fraction: 0.05, epochs: 60, ..Default::default() };
+        let cfg = FitConfig {
+            top_fraction: 0.05,
+            epochs: 60,
+            ..Default::default()
+        };
         let mut clf = TextOnlyClassifier::new(&cfg);
         clf.fit(&samples, &finals, &cfg);
         // Score of a known-good motif vs a known-weak one.

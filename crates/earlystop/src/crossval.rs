@@ -22,7 +22,10 @@ pub struct CrossValConfig {
 
 impl Default for CrossValConfig {
     fn default() -> Self {
-        Self { folds: 5, fit: FitConfig::default() }
+        Self {
+            folds: 5,
+            fit: FitConfig::default(),
+        }
     }
 }
 
@@ -47,8 +50,16 @@ pub fn evaluate_methods(
     methods: &[EarlyStopMethod],
     cfg: &CrossValConfig,
 ) -> Vec<MethodReport> {
-    assert_eq!(samples.len(), final_scores.len(), "sample/score count mismatch");
-    assert!(samples.len() >= cfg.folds * 2, "not enough samples for {} folds", cfg.folds);
+    assert_eq!(
+        samples.len(),
+        final_scores.len(),
+        "sample/score count mismatch"
+    );
+    assert!(
+        samples.len() >= cfg.folds * 2,
+        "not enough samples for {} folds",
+        cfg.folds
+    );
 
     // Ground truth is a global property of the design pool.
     let truth = top_fraction_labels(final_scores, cfg.fit.top_fraction);
@@ -79,8 +90,7 @@ pub fn evaluate_methods(
 
                 let train_samples: Vec<DesignSample> =
                     train_idx.iter().map(|&i| samples[i].clone()).collect();
-                let train_finals: Vec<f64> =
-                    train_idx.iter().map(|&i| final_scores[i]).collect();
+                let train_finals: Vec<f64> = train_idx.iter().map(|&i| final_scores[i]).collect();
 
                 let mut fit_cfg = cfg.fit;
                 fit_cfg.seed = cfg.fit.seed.wrapping_add(fold as u64);
@@ -118,8 +128,11 @@ mod tests {
             let curve: Vec<f64> = (0..len)
                 .map(|t| q * 3.0 * (t as f64 / len as f64) + 0.3 * rng.gen::<f64>())
                 .collect();
-            let motif =
-                if q > 0.7 { "trend(buffer_history_s)" } else { "throughput_mbps" };
+            let motif = if q > 0.7 {
+                "trend(buffer_history_s)"
+            } else {
+                "throughput_mbps"
+            };
             samples.push(DesignSample {
                 reward_curve: curve,
                 code: format!("state s {{ feature f = {motif} / 10.0; }}"),
@@ -134,10 +147,13 @@ mod tests {
         let (samples, finals) = pool(120, 1);
         let cfg = CrossValConfig {
             folds: 3,
-            fit: FitConfig { top_fraction: 0.05, epochs: 10, ..Default::default() },
+            fit: FitConfig {
+                top_fraction: 0.05,
+                epochs: 10,
+                ..Default::default()
+            },
         };
-        let reports =
-            evaluate_methods(&samples, &finals, &EarlyStopMethod::ALL, &cfg);
+        let reports = evaluate_methods(&samples, &finals, &EarlyStopMethod::ALL, &cfg);
         assert_eq!(reports.len(), 5);
         for r in &reports {
             assert!((0.0..=1.0).contains(&r.fnr), "{}: fnr {}", r.method, r.fnr);
@@ -150,16 +166,19 @@ mod tests {
         let (samples, finals) = pool(200, 2);
         let cfg = CrossValConfig {
             folds: 4,
-            fit: FitConfig { top_fraction: 0.05, epochs: 30, ..Default::default() },
+            fit: FitConfig {
+                top_fraction: 0.05,
+                epochs: 30,
+                ..Default::default()
+            },
         };
-        let reports = evaluate_methods(
-            &samples,
-            &finals,
-            &[EarlyStopMethod::RewardOnly],
-            &cfg,
-        );
+        let reports = evaluate_methods(&samples, &finals, &[EarlyStopMethod::RewardOnly], &cfg);
         let r = &reports[0];
-        assert!(r.tnr > 0.4, "Reward Only TNR {} too low on separable data", r.tnr);
+        assert!(
+            r.tnr > 0.4,
+            "Reward Only TNR {} too low on separable data",
+            r.tnr
+        );
         assert!(r.fnr < 0.6, "Reward Only FNR {} too high", r.fnr);
     }
 
@@ -168,12 +187,19 @@ mod tests {
         let (samples, finals) = pool(150, 3);
         let cfg = CrossValConfig {
             folds: 3,
-            fit: FitConfig { top_fraction: 0.05, epochs: 1, ..Default::default() },
+            fit: FitConfig {
+                top_fraction: 0.05,
+                epochs: 1,
+                ..Default::default()
+            },
         };
         let reports = evaluate_methods(
             &samples,
             &finals,
-            &[EarlyStopMethod::HeuristicMax, EarlyStopMethod::HeuristicLast],
+            &[
+                EarlyStopMethod::HeuristicMax,
+                EarlyStopMethod::HeuristicLast,
+            ],
             &cfg,
         );
         for r in &reports {
@@ -186,7 +212,11 @@ mod tests {
         let (samples, finals) = pool(100, 4);
         let cfg = CrossValConfig {
             folds: 3,
-            fit: FitConfig { top_fraction: 0.05, epochs: 5, ..Default::default() },
+            fit: FitConfig {
+                top_fraction: 0.05,
+                epochs: 5,
+                ..Default::default()
+            },
         };
         let a = evaluate_methods(&samples, &finals, &[EarlyStopMethod::RewardOnly], &cfg);
         let b = evaluate_methods(&samples, &finals, &[EarlyStopMethod::RewardOnly], &cfg);

@@ -61,7 +61,10 @@ mod tests {
         let a = embed_code("feature f = ema(throughput_mbps, 0.5);");
         let b = embed_code("feature f = trend(buffer_history_s);");
         let dot: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
-        assert!(dot < 0.99, "distinct code should not embed identically (dot {dot})");
+        assert!(
+            dot < 0.99,
+            "distinct code should not embed identically (dot {dot})"
+        );
     }
 
     #[test]
@@ -71,7 +74,10 @@ mod tests {
         let c = embed_code("network n { temporal lstm(units=64); }");
         let dot_ab: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
         let dot_ac: f32 = a.iter().zip(&c).map(|(x, y)| x * y).sum();
-        assert!(dot_ab > dot_ac, "related code should be closer ({dot_ab} vs {dot_ac})");
+        assert!(
+            dot_ab > dot_ac,
+            "related code should be closer ({dot_ab} vs {dot_ac})"
+        );
     }
 
     #[test]

@@ -61,7 +61,10 @@ mod tests {
         let long: Vec<f64> = (0..1000).map(|i| i as f64).collect();
         let out = resample(&long, 10);
         assert_eq!(out.len(), 10);
-        assert!(out.windows(2).all(|w| w[1] > w[0]), "monotonicity preserved");
+        assert!(
+            out.windows(2).all(|w| w[1] > w[0]),
+            "monotonicity preserved"
+        );
     }
 
     #[test]

@@ -5,11 +5,17 @@
 /// the labeling deterministic.
 pub fn top_fraction_labels(scores: &[f64], fraction: f64) -> Vec<bool> {
     assert!(!scores.is_empty(), "cannot label an empty score set");
-    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1]"
+    );
     let n_pos = ((scores.len() as f64 * fraction).ceil() as usize).clamp(1, scores.len());
     let mut order: Vec<usize> = (0..scores.len()).collect();
     order.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).expect("scores must be finite").then(a.cmp(&b))
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("scores must be finite")
+            .then(a.cmp(&b))
     });
     let mut labels = vec![false; scores.len()];
     for &i in order.iter().take(n_pos) {

@@ -31,7 +31,7 @@ pub mod metrics;
 pub mod threshold;
 
 pub use classifiers::{
-    CombinedClassifier, DesignSample, EarlyStopMethod, HeuristicKind, HeuristicClassifier,
+    CombinedClassifier, DesignSample, EarlyStopMethod, HeuristicClassifier, HeuristicKind,
     RewardCnnClassifier, TextOnlyClassifier,
 };
 pub use crossval::{evaluate_methods, CrossValConfig, MethodReport};

@@ -22,7 +22,10 @@ pub fn calibrate_fnr0(scores: &[f64], labels: &[bool]) -> f64 {
         .filter(|(_, &l)| l)
         .map(|(&s, _)| s)
         .fold(f64::INFINITY, f64::min);
-    assert!(min_pos.is_finite(), "calibration requires at least one positive design");
+    assert!(
+        min_pos.is_finite(),
+        "calibration requires at least one positive design"
+    );
     // Nudge below the lowest positive so `>=` keeps it despite float noise.
     min_pos - 1e-9 * (1.0 + min_pos.abs())
 }

@@ -1,0 +1,154 @@
+//! Deterministic scoped-thread execution utilities.
+//!
+//! The NADA pipeline fans training runs out across CPU cores in several
+//! places (probe training, screening, finalist evaluation, experiment
+//! harnesses). They all share one primitive: an **order-preserving parallel
+//! map** over an owned work list. It lives here so `nada-core` and
+//! `nada-bench` use a single implementation with a single test suite.
+//!
+//! Guarantees:
+//!
+//! * **Order preservation** — slot `i` of the output is `f(items[i])`,
+//!   regardless of which worker ran it or when it finished.
+//! * **Determinism** — `f` receives each item exactly once; nothing about
+//!   scheduling leaks into the results (provided `f` itself is pure).
+//! * **Panic propagation** — a panic inside `f` propagates to the caller
+//!   once all workers have stopped picking up new items.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Order-preserving parallel map over an owned vector using scoped threads,
+/// with one worker per available CPU core (capped at the item count).
+pub fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    parallel_map_workers(items, available_workers(), f)
+}
+
+/// [`parallel_map`] with an explicit worker budget. `max_workers` is clamped
+/// to `1..=items.len()`, so `0` degrades to sequential execution rather than
+/// deadlocking.
+pub fn parallel_map_workers<T: Send, R: Send>(
+    items: Vec<T>,
+    max_workers: usize,
+    f: &(impl Fn(T) -> R + Sync),
+) -> Vec<R> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = max_workers.clamp(1, n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("no poisoned locks: workers do not panic while holding them")
+                    .take()
+                    .expect("each slot is taken exactly once");
+                let result = f(item);
+                *out[i].lock().expect("result slot lock") = Some(result);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("scope joined")
+                .expect("all slots filled")
+        })
+        .collect()
+}
+
+/// The default worker budget: one per available CPU core.
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_order() {
+        let xs: Vec<usize> = (0..500).collect();
+        let ys = parallel_map(xs, &|x| x * 2);
+        assert_eq!(ys, (0..500).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let ys = parallel_map((0..256).collect(), &|x: usize| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 256);
+        assert_eq!(ys.len(), 256);
+    }
+
+    #[test]
+    fn empty_input_is_a_no_op() {
+        let ys: Vec<usize> = parallel_map(Vec::<usize>::new(), &|x| x);
+        assert!(ys.is_empty());
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        // 0 workers degrades to sequential; absurd worker counts clamp to n.
+        assert_eq!(
+            parallel_map_workers(vec![1, 2, 3], 0, &|x| x + 1),
+            vec![2, 3, 4]
+        );
+        assert_eq!(
+            parallel_map_workers((0..4).collect(), 10_000, &|x: usize| x),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn single_worker_matches_sequential() {
+        let xs: Vec<i64> = (0..64).collect();
+        let seq: Vec<i64> = xs.iter().map(|x| x * x).collect();
+        assert_eq!(parallel_map_workers(xs, 1, &|x| x * x), seq);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map((0..64).collect(), &|x: usize| {
+                if x == 17 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        });
+        assert!(result.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn results_do_not_depend_on_worker_count() {
+        let xs: Vec<u64> = (0..200).collect();
+        let expect: Vec<u64> = xs
+            .iter()
+            .map(|x| x.wrapping_mul(31).rotate_left(7))
+            .collect();
+        for workers in [1, 2, 3, 8] {
+            let got =
+                parallel_map_workers(xs.clone(), workers, &|x| x.wrapping_mul(31).rotate_left(7));
+            assert_eq!(got, expect, "workers={workers}");
+        }
+    }
+}

@@ -15,7 +15,10 @@ use rand::{seq::SliceRandom, Rng};
 /// block. Returns the new source and mutation descriptions.
 pub fn generate(rng: &mut StdRng, seed_code: &str, n_mutations: usize) -> (String, Vec<String>) {
     let Ok(mut program) = parse_arch(seed_code) else {
-        return (seed_code.to_string(), vec!["echoed unparseable seed".into()]);
+        return (
+            seed_code.to_string(),
+            vec!["echoed unparseable seed".into()],
+        );
     };
     program.name = format!("{}_v{}", program.name, rng.gen_range(1000..10_000));
 
@@ -50,7 +53,11 @@ fn mutate(rng: &mut StdRng, p: &mut ArchProgram) -> String {
         }
         3 => {
             let units = *[32usize, 64, 128, 256].choose(rng).expect("non-empty");
-            p.scalar = layer("dense", vec![("units", units as f64)], Some(random_activation(rng)));
+            p.scalar = layer(
+                "dense",
+                vec![("units", units as f64)],
+                Some(random_activation(rng)),
+            );
             format!("resize scalar branches to {units} units")
         }
         4 => {
@@ -65,7 +72,11 @@ fn mutate(rng: &mut StdRng, p: &mut ArchProgram) -> String {
         5 => {
             if p.hidden.len() < 3 {
                 let template = p.hidden.last().cloned().unwrap_or_else(|| {
-                    layer("dense", vec![("units", 128.0)], Some(("relu".into(), vec![])))
+                    layer(
+                        "dense",
+                        vec![("units", 128.0)],
+                        Some(("relu".into(), vec![])),
+                    )
                 });
                 p.hidden.push(template);
                 "deepen the hidden stack".into()
@@ -104,7 +115,10 @@ fn layer(
 ) -> LayerSpec {
     LayerSpec {
         layer: name.to_string(),
-        params: params.into_iter().map(|(n, v)| (n.to_string(), v)).collect(),
+        params: params
+            .into_iter()
+            .map(|(n, v)| (n.to_string(), v))
+            .collect(),
         activation,
     }
 }
@@ -150,10 +164,7 @@ mod tests {
                 saw_rnn |= matches!(cfg.temporal_branch, BranchKind::Rnn { .. });
                 saw_lstm |= matches!(cfg.temporal_branch, BranchKind::Lstm { .. });
                 saw_shared |= cfg.heads == nada_nn::HeadMode::Shared;
-                saw_leaky |= matches!(
-                    cfg.hidden_activation,
-                    nada_nn::Activation::LeakyRelu { .. }
-                );
+                saw_leaky |= matches!(cfg.hidden_activation, nada_nn::Activation::LeakyRelu { .. });
             }
         }
         assert!(saw_rnn, "RNN motif unreachable");
@@ -165,8 +176,13 @@ mod tests {
     #[test]
     fn mutations_are_diverse() {
         let mut rng = StdRng::seed_from_u64(3);
-        let distinct: std::collections::HashSet<String> =
-            (0..40).map(|_| generate(&mut rng, PENSIEVE_ARCH_SOURCE, 2).0).collect();
-        assert!(distinct.len() > 25, "only {} distinct archs", distinct.len());
+        let distinct: std::collections::HashSet<String> = (0..40)
+            .map(|_| generate(&mut rng, PENSIEVE_ARCH_SOURCE, 2).0)
+            .collect();
+        assert!(
+            distinct.len() > 25,
+            "only {} distinct archs",
+            distinct.len()
+        );
     }
 }

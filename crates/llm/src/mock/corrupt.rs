@@ -48,7 +48,8 @@ fn misspell_word(code: &str, rng: &mut StdRng) -> String {
         }
     }
     // No target word present; break the header keyword instead.
-    code.replacen("state", "stte", 1).replacen("network", "ntwork", 1)
+    code.replacen("state", "stte", 1)
+        .replacen("network", "ntwork", 1)
 }
 
 fn inject_undefined_reference(code: &str) -> String {
@@ -63,7 +64,7 @@ fn inject_undefined_reference(code: &str) -> String {
 }
 
 fn truncate_tail(code: &str, rng: &mut StdRng) -> String {
-    let keep = code.len() * rng.gen_range(40..85) / 100;
+    let keep = code.len() * rng.gen_range(40..85usize) / 100;
     code.chars().take(keep).collect()
 }
 
@@ -101,8 +102,9 @@ mod tests {
     #[test]
     fn corruption_is_varied() {
         let mut rng = StdRng::seed_from_u64(3);
-        let distinct: std::collections::HashSet<String> =
-            (0..30).map(|_| corrupt(&mut rng, PENSIEVE_STATE_SOURCE)).collect();
+        let distinct: std::collections::HashSet<String> = (0..30)
+            .map(|_| corrupt(&mut rng, PENSIEVE_STATE_SOURCE))
+            .collect();
         assert!(distinct.len() > 4, "corruptions too uniform");
     }
 }

@@ -33,7 +33,10 @@ pub struct MockLlm {
 impl MockLlm {
     /// Creates a mock with the given profile. Deterministic in `seed`.
     pub fn new(profile: ModelProfile, seed: u64) -> Self {
-        Self { profile, rng: StdRng::seed_from_u64(seed ^ 0x11A4_0000_0000_000D) }
+        Self {
+            profile,
+            rng: StdRng::seed_from_u64(seed ^ 0x11A4_0000_0000_000D),
+        }
     }
 
     /// GPT-3.5-calibrated mock.
@@ -85,7 +88,13 @@ impl LlmClient for MockLlm {
         let (mut code, descriptions) = match prompt.kind {
             DesignKind::State => {
                 let denormalize = self.rng.gen_bool(unnorm_rate);
-                state_gen::generate(&mut self.rng, &prompt.seed_code, n_mutations, denormalize)
+                state_gen::generate(
+                    &mut self.rng,
+                    &prompt.seed_code,
+                    n_mutations,
+                    denormalize,
+                    &prompt.task.schema,
+                )
             }
             DesignKind::Architecture => {
                 arch_gen::generate(&mut self.rng, &prompt.seed_code, n_mutations)
@@ -146,13 +155,29 @@ mod tests {
     }
 
     #[test]
+    fn perfect_mock_cc_always_compiles() {
+        use crate::prompt::TaskContext;
+        let mut llm = MockLlm::perfect(21);
+        let prompt = Prompt::state_for(TaskContext::cc(), nada_dsl::seeds::CC_STATE_SOURCE);
+        let schema = nada_dsl::cc_schema();
+        for c in llm.generate_batch(&prompt, 50) {
+            nada_dsl::compile_state_with_schema(&c.code, schema.clone())
+                .unwrap_or_else(|e| panic!("perfect mock emitted broken CC code: {e}\n{}", c.code));
+        }
+    }
+
+    #[test]
     fn generations_are_diverse() {
         let mut llm = MockLlm::perfect(3);
         let prompt = Prompt::state(PENSIEVE_STATE_SOURCE);
         let batch = llm.generate_batch(&prompt, 30);
         let distinct: std::collections::HashSet<&str> =
             batch.iter().map(|c| c.code.as_str()).collect();
-        assert!(distinct.len() > 20, "only {} distinct designs in 30", distinct.len());
+        assert!(
+            distinct.len() > 20,
+            "only {} distinct designs in 30",
+            distinct.len()
+        );
     }
 
     #[test]
@@ -166,7 +191,10 @@ mod tests {
             .filter(|c| compile_state(&c.code).is_ok())
             .count();
         let rate = ok as f64 / n as f64;
-        assert!((rate - 0.412).abs() < 0.08, "compile rate {rate} vs paper 0.412");
+        assert!(
+            (rate - 0.412).abs() < 0.08,
+            "compile rate {rate} vs paper 0.412"
+        );
     }
 
     #[test]
@@ -204,8 +232,7 @@ mod tests {
     fn poisson_mean_is_close() {
         let mut rng = StdRng::seed_from_u64(8);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| poisson(&mut rng, 2.4) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| poisson(&mut rng, 2.4) as f64).sum::<f64>() / n as f64;
         assert!((mean - 2.4).abs() < 0.1, "poisson mean {mean}");
     }
 }

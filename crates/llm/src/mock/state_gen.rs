@@ -1,4 +1,4 @@
-//! State-design mutation engine.
+//! State-design mutation engine, workload-agnostic.
 //!
 //! Mutations are the motif families §4 of the paper attributes to the LLMs:
 //!
@@ -9,48 +9,115 @@
 //! * smoothing — EMA, Savitzky–Golay (the paper's `scipy` example);
 //! * explicit trend/prediction features via linear regression (the paper's
 //!   `statsmodel` example; 4G/5G motifs);
-//! * buffer-history features — trends and adjacent-step differences — which
-//!   the original Pensieve ignores entirely (the paper's headline insight).
+//! * auxiliary-history features — trends and adjacent-step differences over
+//!   signals the original design ignores (buffer history for ABR, loss
+//!   history for CC — the paper's headline insight).
+//!
+//! The engine is driven entirely by the prompt's [`InputSchema`]: history
+//! motifs target the schema's vector inputs by **role** (primary signal,
+//! secondary signal, auxiliary history = the first three vector inputs, in
+//! declaration order) and normalize by each input's declared realistic
+//! maximum, so the same motif families generate valid designs for any
+//! workload that declares its fields.
 
 use nada_dsl::ast::{BinOp, Expr, FeatureDecl, InputDecl, StateProgram};
 use nada_dsl::parser::parse_state;
 use nada_dsl::pretty::print_state;
-use nada_dsl::schema::abr_schema;
+use nada_dsl::{compile_state_with_schema, InputSchema};
 use rand::rngs::StdRng;
 use rand::{seq::SliceRandom, Rng};
 
 /// Applies `n_mutations` random motif mutations (plus an optional
-/// normalization defect) to the seed code block. Returns the new source and
-/// human-readable descriptions of the applied mutations.
+/// normalization defect) to the seed code block, mutating against `schema`.
+/// Returns the new source and human-readable descriptions of the applied
+/// mutations.
 pub fn generate(
     rng: &mut StdRng,
     seed_code: &str,
     n_mutations: usize,
     denormalize: bool,
+    schema: &InputSchema,
 ) -> (String, Vec<String>) {
     let Ok(mut program) = parse_state(seed_code) else {
         // An unparseable seed cannot be mutated; echo it back (the pipeline
         // will reject it downstream).
-        return (seed_code.to_string(), vec!["echoed unparseable seed".into()]);
+        return (
+            seed_code.to_string(),
+            vec!["echoed unparseable seed".into()],
+        );
     };
     program.name = format!("{}_v{}", program.name, rng.gen_range(1000..10_000));
+    let vocab = Vocab::from_schema(schema);
 
     let mut applied = Vec::new();
     let mut attempts = 0;
     while applied.len() < n_mutations && attempts < n_mutations * 12 {
         attempts += 1;
         let motif = *ALL_MOTIFS.choose(rng).expect("motif list is non-empty");
-        if let Some(desc) = apply_motif(rng, &mut program, motif) {
+        if let Some(desc) = apply_motif(rng, &mut program, motif, &vocab) {
             applied.push(desc);
         }
     }
     if denormalize {
-        applied.push(apply_denormalize(rng, &mut program));
+        applied.push(apply_denormalize(rng, &mut program, &vocab));
     }
     (print_state(&program), applied)
 }
 
-/// The motif families.
+/// The motif vocabulary derived from a schema: which inputs play which
+/// roles, and what divisor keeps a derived feature within the `T = 100`
+/// check.
+struct Vocab<'s> {
+    schema: &'s InputSchema,
+    /// `(name, realistic max)` for every vector input, in schema order.
+    vecs: Vec<(&'static str, f64)>,
+    /// Inputs whose raw magnitudes unambiguously fail the normalization
+    /// check (realistic max far above the threshold).
+    raw: Vec<&'static str>,
+}
+
+impl<'s> Vocab<'s> {
+    fn from_schema(schema: &'s InputSchema) -> Self {
+        let vecs: Vec<(&'static str, f64)> = schema
+            .specs()
+            .iter()
+            .filter(|s| matches!(s.ty, nada_dsl::InputType::Vec(_)))
+            .map(|s| (s.name, s.fuzz_hi.max(1.0)))
+            .collect();
+        let raw = schema
+            .specs()
+            .iter()
+            .filter(|s| s.fuzz_hi >= 1000.0)
+            .map(|s| s.name)
+            .collect();
+        assert!(
+            !vecs.is_empty(),
+            "schemas must offer at least one history input"
+        );
+        Self { schema, vecs, raw }
+    }
+
+    /// The main signal history (throughput, for both shipped workloads).
+    fn primary(&self) -> (&'static str, f64) {
+        self.vecs[0]
+    }
+
+    /// The secondary signal history (download time / RTT).
+    fn secondary(&self) -> (&'static str, f64) {
+        *self.vecs.get(1).unwrap_or(&self.vecs[0])
+    }
+
+    /// The auxiliary history the original design tends to ignore (buffer
+    /// history / loss history).
+    fn aux(&self) -> (&'static str, f64) {
+        *self
+            .vecs
+            .get(2)
+            .unwrap_or(self.vecs.last().expect("non-empty"))
+    }
+}
+
+/// The motif families, named by the role of the input they elaborate.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Motif {
     Rescale,
@@ -58,20 +125,20 @@ enum Motif {
     Clip01,
     StrongerNorm,
     RemoveFeature,
-    EmaThroughput,
-    SavgolThroughput,
-    ZscoreThroughput,
-    StdThroughput,
-    TrendThroughput,
-    PredictThroughput,
-    HarmonicMeanThroughput,
-    MinThroughput,
-    MaxThroughput,
-    BufferTrend,
-    BufferDiff,
-    BufferSavgol,
-    PredictDownloadTime,
-    TrendDownloadTime,
+    PrimaryEma,
+    PrimarySavgol,
+    PrimaryZscore,
+    PrimaryStd,
+    PrimaryTrend,
+    PrimaryPredict,
+    PrimaryHarmonicMean,
+    PrimaryMin,
+    PrimaryMax,
+    AuxTrend,
+    AuxDiff,
+    AuxSavgol,
+    SecondaryPredict,
+    SecondaryTrend,
 }
 
 const ALL_MOTIFS: [Motif; 19] = [
@@ -80,32 +147,44 @@ const ALL_MOTIFS: [Motif; 19] = [
     Motif::Clip01,
     Motif::StrongerNorm,
     Motif::RemoveFeature,
-    Motif::EmaThroughput,
-    Motif::SavgolThroughput,
-    Motif::ZscoreThroughput,
-    Motif::StdThroughput,
-    Motif::TrendThroughput,
-    Motif::PredictThroughput,
-    Motif::HarmonicMeanThroughput,
-    Motif::MinThroughput,
-    Motif::MaxThroughput,
-    Motif::BufferTrend,
-    Motif::BufferDiff,
-    Motif::BufferSavgol,
-    Motif::PredictDownloadTime,
-    Motif::TrendDownloadTime,
+    Motif::PrimaryEma,
+    Motif::PrimarySavgol,
+    Motif::PrimaryZscore,
+    Motif::PrimaryStd,
+    Motif::PrimaryTrend,
+    Motif::PrimaryPredict,
+    Motif::PrimaryHarmonicMean,
+    Motif::PrimaryMin,
+    Motif::PrimaryMax,
+    Motif::AuxTrend,
+    Motif::AuxDiff,
+    Motif::AuxSavgol,
+    Motif::SecondaryPredict,
+    Motif::SecondaryTrend,
 ];
 
 /// Soft cap keeping generated states from growing without bound.
 const MAX_FEATURES: usize = 12;
 
-fn apply_motif(rng: &mut StdRng, p: &mut StateProgram, motif: Motif) -> Option<String> {
+fn apply_motif(
+    rng: &mut StdRng,
+    p: &mut StateProgram,
+    motif: Motif,
+    vocab: &Vocab<'_>,
+) -> Option<String> {
     match motif {
         Motif::Rescale => {
             let i = rng.gen_range(0..p.features.len());
             let factor = *[0.25, 0.5, 2.0, 4.0].choose(rng).expect("non-empty");
             let old = p.features[i].expr.clone();
-            p.features[i].expr = mul(old, num(factor));
+            p.features[i].expr = mul(old.clone(), num(factor));
+            // Amplification may push an already-large feature past the
+            // T = 100 check (e.g. chunk sizes in MB × 4); a clean mutation
+            // must never denormalize, so verify and revert if it does.
+            if factor > 1.0 && !still_normalized(p, vocab.schema) {
+                p.features[i].expr = old;
+                return None;
+            }
             Some(format!("rescale `{}` by {factor}", p.features[i].name))
         }
         Motif::RemapSymmetric => {
@@ -125,7 +204,10 @@ fn apply_motif(rng: &mut StdRng, p: &mut StateProgram, motif: Motif) -> Option<S
             let factor = *[2.0, 4.0, 8.0].choose(rng).expect("non-empty");
             let old = p.features[i].expr.clone();
             p.features[i].expr = div(old, num(factor));
-            Some(format!("strengthen normalization of `{}` by {factor}", p.features[i].name))
+            Some(format!(
+                "strengthen normalization of `{}` by {factor}",
+                p.features[i].name
+            ))
         }
         Motif::RemoveFeature => {
             if p.features.len() < 3 {
@@ -140,159 +222,219 @@ fn apply_motif(rng: &mut StdRng, p: &mut StateProgram, motif: Motif) -> Option<S
             p.features.remove(i);
             Some(format!("remove feature `{name}` to reduce overfitting"))
         }
-        Motif::EmaThroughput => {
+        Motif::PrimaryEma => {
+            let (input, hi) = vocab.primary();
             let alpha = *[0.3, 0.5, 0.7].choose(rng).expect("non-empty");
             add_feature(
                 rng,
                 p,
-                "smoothed_throughput",
-                |thr| div(call("ema", vec![thr, num(alpha)]), num(8.0)),
-                "throughput_mbps",
-                format!("add EMA-smoothed throughput (alpha={alpha})"),
+                vocab,
+                &format!("ema_{input}"),
+                |sig| div(call("ema", vec![sig, num(alpha)]), num(hi)),
+                input,
+                format!("add EMA-smoothed `{input}` (alpha={alpha})"),
             )
         }
-        Motif::SavgolThroughput => add_feature(
-            rng,
-            p,
-            "savgol_throughput",
-            |thr| div(call("savgol", vec![thr]), num(8.0)),
-            "throughput_mbps",
-            "smooth throughput with a Savitzky-Golay filter".into(),
-        ),
-        Motif::ZscoreThroughput => add_feature(
-            rng,
-            p,
-            "zscore_throughput",
-            |thr| call("clip", vec![call("zscore", vec![thr]), num(-5.0), num(5.0)]),
-            "throughput_mbps",
-            "standardize the throughput history".into(),
-        ),
-        Motif::StdThroughput => add_feature(
-            rng,
-            p,
-            "throughput_std",
-            |thr| div(call("std", vec![thr]), num(8.0)),
-            "throughput_mbps",
-            "add throughput variability".into(),
-        ),
-        Motif::TrendThroughput => add_feature(
-            rng,
-            p,
-            "throughput_trend",
-            |thr| div(call("trend", vec![thr]), num(8.0)),
-            "throughput_mbps",
-            "add throughput trend via linear regression".into(),
-        ),
-        Motif::PredictThroughput => add_feature(
-            rng,
-            p,
-            "predicted_throughput",
-            |thr| div(call("predict_next", vec![thr]), num(50.0)),
-            "throughput_mbps",
-            "predict future throughput with linear regression".into(),
-        ),
-        Motif::HarmonicMeanThroughput => add_feature(
-            rng,
-            p,
-            "harmonic_throughput",
-            |thr| div(call("harmonic_mean", vec![thr]), num(8.0)),
-            "throughput_mbps",
-            "add harmonic-mean throughput".into(),
-        ),
-        Motif::MinThroughput => add_feature(
-            rng,
-            p,
-            "min_throughput",
-            |thr| div(call("min", vec![thr]), num(8.0)),
-            "throughput_mbps",
-            "add worst-case recent throughput".into(),
-        ),
-        Motif::MaxThroughput => add_feature(
-            rng,
-            p,
-            "max_throughput",
-            |thr| div(call("max", vec![thr]), num(16.0)),
-            "throughput_mbps",
-            "add best-case recent throughput".into(),
-        ),
-        Motif::BufferTrend => add_feature(
-            rng,
-            p,
-            "buffer_trend",
-            |buf| div(call("trend", vec![buf]), num(10.0)),
-            "buffer_history_s",
-            "add playback-buffer trend (history the original design ignores)".into(),
-        ),
-        Motif::BufferDiff => add_feature(
-            rng,
-            p,
-            "buffer_diff",
-            |buf| div(call("last", vec![call("diff", vec![buf])]), num(10.0)),
-            "buffer_history_s",
-            "add buffer difference between adjacent steps".into(),
-        ),
-        Motif::BufferSavgol => add_feature(
-            rng,
-            p,
-            "buffer_smoothed",
-            |buf| div(call("last", vec![call("savgol", vec![buf])]), num(60.0)),
-            "buffer_history_s",
-            "analyze buffer trend with a Savitzky-Golay filter".into(),
-        ),
-        Motif::PredictDownloadTime => add_feature(
-            rng,
-            p,
-            "predicted_download_time",
-            |dt| div(call("predict_next", vec![dt]), num(10.0)),
-            "download_time_s",
-            "predict the next chunk's download time".into(),
-        ),
-        Motif::TrendDownloadTime => add_feature(
-            rng,
-            p,
-            "download_time_trend",
-            |dt| div(call("trend", vec![dt]), num(10.0)),
-            "download_time_s",
-            "add download-time trend".into(),
-        ),
+        Motif::PrimarySavgol => {
+            let (input, hi) = vocab.primary();
+            add_feature(
+                rng,
+                p,
+                vocab,
+                &format!("savgol_{input}"),
+                |sig| div(call("savgol", vec![sig]), num(hi)),
+                input,
+                format!("smooth `{input}` with a Savitzky-Golay filter"),
+            )
+        }
+        Motif::PrimaryZscore => {
+            let (input, _) = vocab.primary();
+            add_feature(
+                rng,
+                p,
+                vocab,
+                &format!("zscore_{input}"),
+                |sig| call("clip", vec![call("zscore", vec![sig]), num(-5.0), num(5.0)]),
+                input,
+                format!("standardize the `{input}` history"),
+            )
+        }
+        Motif::PrimaryStd => {
+            let (input, hi) = vocab.primary();
+            add_feature(
+                rng,
+                p,
+                vocab,
+                &format!("std_{input}"),
+                |sig| div(call("std", vec![sig]), num(hi)),
+                input,
+                format!("add `{input}` variability"),
+            )
+        }
+        Motif::PrimaryTrend => {
+            let (input, hi) = vocab.primary();
+            add_feature(
+                rng,
+                p,
+                vocab,
+                &format!("trend_{input}"),
+                |sig| div(call("trend", vec![sig]), num(hi)),
+                input,
+                format!("add `{input}` trend via linear regression"),
+            )
+        }
+        Motif::PrimaryPredict => {
+            let (input, hi) = vocab.primary();
+            add_feature(
+                rng,
+                p,
+                vocab,
+                &format!("predicted_{input}"),
+                |sig| div(call("predict_next", vec![sig]), num(2.0 * hi)),
+                input,
+                format!("predict future `{input}` with linear regression"),
+            )
+        }
+        Motif::PrimaryHarmonicMean => {
+            let (input, hi) = vocab.primary();
+            add_feature(
+                rng,
+                p,
+                vocab,
+                &format!("harmonic_{input}"),
+                |sig| div(call("harmonic_mean", vec![sig]), num(hi)),
+                input,
+                format!("add harmonic-mean `{input}`"),
+            )
+        }
+        Motif::PrimaryMin => {
+            let (input, hi) = vocab.primary();
+            add_feature(
+                rng,
+                p,
+                vocab,
+                &format!("min_{input}"),
+                |sig| div(call("min", vec![sig]), num(hi)),
+                input,
+                format!("add worst-case recent `{input}`"),
+            )
+        }
+        Motif::PrimaryMax => {
+            let (input, hi) = vocab.primary();
+            add_feature(
+                rng,
+                p,
+                vocab,
+                &format!("max_{input}"),
+                |sig| div(call("max", vec![sig]), num(hi)),
+                input,
+                format!("add best-case recent `{input}`"),
+            )
+        }
+        Motif::AuxTrend => {
+            let (input, hi) = vocab.aux();
+            add_feature(
+                rng,
+                p,
+                vocab,
+                &format!("trend_{input}"),
+                |sig| div(call("trend", vec![sig]), num(hi)),
+                input,
+                format!("add `{input}` trend (history the original design ignores)"),
+            )
+        }
+        Motif::AuxDiff => {
+            let (input, hi) = vocab.aux();
+            add_feature(
+                rng,
+                p,
+                vocab,
+                &format!("diff_{input}"),
+                |sig| div(call("last", vec![call("diff", vec![sig])]), num(hi)),
+                input,
+                format!("add `{input}` difference between adjacent steps"),
+            )
+        }
+        Motif::AuxSavgol => {
+            let (input, hi) = vocab.aux();
+            add_feature(
+                rng,
+                p,
+                vocab,
+                &format!("savgol_{input}"),
+                |sig| div(call("last", vec![call("savgol", vec![sig])]), num(hi)),
+                input,
+                format!("analyze `{input}` with a Savitzky-Golay filter"),
+            )
+        }
+        Motif::SecondaryPredict => {
+            let (input, hi) = vocab.secondary();
+            add_feature(
+                rng,
+                p,
+                vocab,
+                &format!("predicted_{input}"),
+                |sig| div(call("predict_next", vec![sig]), num(2.0 * hi)),
+                input,
+                format!("predict the next `{input}`"),
+            )
+        }
+        Motif::SecondaryTrend => {
+            let (input, hi) = vocab.secondary();
+            add_feature(
+                rng,
+                p,
+                vocab,
+                &format!("trend_{input}"),
+                |sig| div(call("trend", vec![sig]), num(hi)),
+                input,
+                format!("add `{input}` trend"),
+            )
+        }
     }
 }
 
 /// Normalization defects: the failure modes §2.2 describes (e.g. chunk
-/// sizes in raw bytes).
-fn apply_denormalize(rng: &mut StdRng, p: &mut StateProgram) -> String {
-    match rng.gen_range(0..3) {
-        0 => {
-            ensure_input(p, "next_chunk_sizes_bytes");
-            push_feature(p, "raw_chunk_sizes", Expr::Ident("next_chunk_sizes_bytes".into()));
-            "use raw chunk sizes in bytes".into()
-        }
-        1 => {
-            ensure_input(p, "last_bitrate_kbps");
-            push_feature(p, "raw_bitrate", Expr::Ident("last_bitrate_kbps".into()));
-            "use the raw bitrate in kbps".into()
-        }
-        _ => {
-            // Strip a large normalizing division if one exists.
-            for f in p.features.iter_mut() {
-                if let Expr::Binary { op: BinOp::Div, lhs, rhs } = &f.expr {
-                    if matches!(**rhs, Expr::Number(n) if n > 10.0) {
-                        f.expr = (**lhs).clone();
-                        return format!("drop the normalizing divisor of `{}`", f.name);
-                    }
-                }
+/// sizes in raw bytes, RTTs in raw milliseconds).
+fn apply_denormalize(rng: &mut StdRng, p: &mut StateProgram, vocab: &Vocab<'_>) -> String {
+    if !vocab.raw.is_empty() && rng.gen_bool(2.0 / 3.0) {
+        let input = *vocab.raw.choose(rng).expect("checked non-empty");
+        ensure_input(p, input, vocab.schema);
+        push_feature(p, &format!("raw_{input}"), Expr::Ident(input.into()));
+        return format!("use raw `{input}` without normalization");
+    }
+    // Strip a large normalizing division if one exists.
+    for f in p.features.iter_mut() {
+        if let Expr::Binary {
+            op: BinOp::Div,
+            lhs,
+            rhs,
+        } = &f.expr
+        {
+            if matches!(**rhs, Expr::Number(n) if n > 10.0) {
+                f.expr = (**lhs).clone();
+                return format!("drop the normalizing divisor of `{}`", f.name);
             }
-            ensure_input(p, "last_bitrate_kbps");
-            push_feature(p, "raw_bitrate", Expr::Ident("last_bitrate_kbps".into()));
-            "use the raw bitrate in kbps".into()
         }
     }
+    if let Some(&input) = vocab.raw.choose(rng) {
+        ensure_input(p, input, vocab.schema);
+        push_feature(p, &format!("raw_{input}"), Expr::Ident(input.into()));
+        return format!("use raw `{input}` without normalization");
+    }
+    // Schema with only well-bounded inputs and a seed with no big divisor:
+    // amplify a feature far past the T = 100 threshold instead of panicking.
+    let i = rng.gen_range(0..p.features.len());
+    let old = p.features[i].expr.clone();
+    p.features[i].expr = mul(old, num(1000.0));
+    format!("amplify `{}` by 1000", p.features[i].name)
 }
 
 /// Adds a feature derived from `input_name` (declaring the input if needed).
 fn add_feature(
     rng: &mut StdRng,
     p: &mut StateProgram,
+    vocab: &Vocab<'_>,
     base_name: &str,
     build: impl FnOnce(Expr) -> Expr,
     input_name: &str,
@@ -301,7 +443,7 @@ fn add_feature(
     if p.features.len() >= MAX_FEATURES {
         return None;
     }
-    ensure_input(p, input_name);
+    ensure_input(p, input_name, vocab.schema);
     let expr = build(Expr::Ident(input_name.into()));
     let name = unique_name(rng, p, base_name);
     p.features.push(FeatureDecl { name, expr });
@@ -309,19 +451,39 @@ fn add_feature(
 }
 
 fn push_feature(p: &mut StateProgram, base: &str, expr: Expr) {
-    let name = if name_taken(p, base) { format!("{base}_x") } else { base.to_string() };
+    let name = if name_taken(p, base) {
+        format!("{base}_x")
+    } else {
+        base.to_string()
+    };
     p.features.push(FeatureDecl { name, expr });
 }
 
 /// Declares `name` as an input if the schema knows it and the program
 /// hasn't already.
-fn ensure_input(p: &mut StateProgram, name: &str) {
+fn ensure_input(p: &mut StateProgram, name: &str, schema: &InputSchema) {
     if p.inputs.iter().any(|i| i.name == name) {
         return;
     }
-    if let Some((_, spec)) = abr_schema().lookup(name) {
-        p.inputs.push(InputDecl { name: name.to_string(), ty: spec.ty });
+    if let Some((_, spec)) = schema.lookup(name) {
+        p.inputs.push(InputDecl {
+            name: name.to_string(),
+            ty: spec.ty,
+        });
     }
+}
+
+/// Does the program still pass the normalization check after a mutation?
+fn still_normalized(p: &StateProgram, schema: &InputSchema) -> bool {
+    use nada_dsl::fuzz::{normalization_check, FuzzConfig, NormCheckOutcome};
+    compile_state_with_schema(&print_state(p), schema.clone())
+        .map(|c| {
+            matches!(
+                normalization_check(&c, &FuzzConfig::default()),
+                NormCheckOutcome::Pass
+            )
+        })
+        .unwrap_or(false)
 }
 
 fn name_taken(p: &StateProgram, name: &str) -> bool {
@@ -351,7 +513,10 @@ fn references_name(p: &StateProgram, name: &str, from: usize) -> bool {
             Expr::Call { args, .. } => args.iter().any(|a| expr_refs(a, name)),
         }
     }
-    p.features.iter().skip(from).any(|f| expr_refs(&f.expr, name))
+    p.features
+        .iter()
+        .skip(from)
+        .any(|f| expr_refs(&f.expr, name))
 }
 
 fn num(n: f64) -> Expr {
@@ -363,31 +528,42 @@ fn num(n: f64) -> Expr {
 }
 
 fn call(name: &str, args: Vec<Expr>) -> Expr {
-    Expr::Call { name: name.into(), args }
+    Expr::Call {
+        name: name.into(),
+        args,
+    }
 }
 
 fn div(lhs: Expr, rhs: Expr) -> Expr {
-    Expr::Binary { op: BinOp::Div, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    Expr::Binary {
+        op: BinOp::Div,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+    }
 }
 
 fn mul(lhs: Expr, rhs: Expr) -> Expr {
-    Expr::Binary { op: BinOp::Mul, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    Expr::Binary {
+        op: BinOp::Mul,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nada_dsl::compile_state;
     use nada_dsl::fuzz::{normalization_check, FuzzConfig, NormCheckOutcome};
-    use nada_dsl::seeds::PENSIEVE_STATE_SOURCE;
+    use nada_dsl::seeds::{CC_STATE_SOURCE, PENSIEVE_STATE_SOURCE};
+    use nada_dsl::{abr_schema, cc_schema, compile_state};
     use rand::SeedableRng;
 
     #[test]
     fn clean_mutations_always_compile_and_normalize() {
+        let schema = abr_schema();
         let mut rng = StdRng::seed_from_u64(1);
         for i in 0..120 {
-            let (code, desc) =
-                generate(&mut rng, PENSIEVE_STATE_SOURCE, 1 + i % 4, false);
+            let (code, desc) = generate(&mut rng, PENSIEVE_STATE_SOURCE, 1 + i % 4, false, &schema);
             let compiled = compile_state(&code)
                 .unwrap_or_else(|e| panic!("mutation {desc:?} broke compile: {e}\n{code}"));
             assert_eq!(
@@ -399,12 +575,29 @@ mod tests {
     }
 
     #[test]
+    fn clean_cc_mutations_always_compile_and_normalize() {
+        let schema = cc_schema();
+        let mut rng = StdRng::seed_from_u64(11);
+        for i in 0..120 {
+            let (code, desc) = generate(&mut rng, CC_STATE_SOURCE, 1 + i % 4, false, &schema);
+            let compiled = compile_state_with_schema(&code, schema.clone())
+                .unwrap_or_else(|e| panic!("mutation {desc:?} broke compile: {e}\n{code}"));
+            assert_eq!(
+                normalization_check(&compiled, &FuzzConfig::default()),
+                NormCheckOutcome::Pass,
+                "mutations {desc:?} denormalized the CC state:\n{code}"
+            );
+        }
+    }
+
+    #[test]
     fn denormalized_outputs_fail_the_fuzz_check() {
+        let schema = abr_schema();
         let mut rng = StdRng::seed_from_u64(2);
         let mut failures = 0;
         let n = 40;
         for _ in 0..n {
-            let (code, _) = generate(&mut rng, PENSIEVE_STATE_SOURCE, 2, true);
+            let (code, _) = generate(&mut rng, PENSIEVE_STATE_SOURCE, 2, true, &schema);
             if let Ok(c) = compile_state(&code) {
                 if !matches!(
                     normalization_check(&c, &FuzzConfig::default()),
@@ -414,30 +607,72 @@ mod tests {
                 }
             }
         }
-        assert!(failures > n * 3 / 4, "only {failures}/{n} denormalized designs caught");
+        assert!(
+            failures > n * 3 / 4,
+            "only {failures}/{n} denormalized designs caught"
+        );
     }
 
     #[test]
-    fn buffer_history_motifs_appear() {
-        let mut rng = StdRng::seed_from_u64(3);
-        let mut saw_buffer_motif = false;
-        for _ in 0..60 {
-            let (code, _) = generate(&mut rng, PENSIEVE_STATE_SOURCE, 3, false);
-            if code.contains("buffer_history_s") {
-                saw_buffer_motif = true;
-                break;
+    fn denormalized_cc_outputs_fail_the_fuzz_check() {
+        let schema = cc_schema();
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut failures = 0;
+        let n = 40;
+        for _ in 0..n {
+            let (code, _) = generate(&mut rng, CC_STATE_SOURCE, 2, true, &schema);
+            if let Ok(c) = compile_state_with_schema(&code, schema.clone()) {
+                if !matches!(
+                    normalization_check(&c, &FuzzConfig::default()),
+                    NormCheckOutcome::Pass
+                ) {
+                    failures += 1;
+                }
             }
         }
-        assert!(saw_buffer_motif, "buffer-history motifs never sampled");
+        assert!(
+            failures > n * 3 / 4,
+            "only {failures}/{n} denormalized CC designs caught"
+        );
+    }
+
+    #[test]
+    fn aux_history_motifs_appear() {
+        // ABR: buffer history; CC: loss history — the signals the original
+        // designs ignore must show up in generated code.
+        for (seed_src, schema, marker, seed) in [
+            (
+                PENSIEVE_STATE_SOURCE,
+                abr_schema(),
+                "buffer_history_s",
+                3u64,
+            ),
+            (CC_STATE_SOURCE, cc_schema(), "loss_history", 13u64),
+        ] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut saw = false;
+            for _ in 0..60 {
+                let (code, _) = generate(&mut rng, seed_src, 3, false, &schema);
+                if code.contains(&format!("trend_{marker}"))
+                    || code.contains(&format!("diff_{marker}"))
+                    || code.contains(&format!("savgol_{marker}"))
+                {
+                    saw = true;
+                    break;
+                }
+            }
+            assert!(saw, "aux-history motifs never sampled for `{marker}`");
+        }
     }
 
     #[test]
     fn removal_motif_can_shrink_the_state() {
+        let schema = abr_schema();
         let mut rng = StdRng::seed_from_u64(4);
         let baseline = parse_state(PENSIEVE_STATE_SOURCE).unwrap().features.len();
         let mut saw_smaller = false;
         for _ in 0..80 {
-            let (code, _) = generate(&mut rng, PENSIEVE_STATE_SOURCE, 2, false);
+            let (code, _) = generate(&mut rng, PENSIEVE_STATE_SOURCE, 2, false, &schema);
             if let Ok(p) = parse_state(&code) {
                 if p.features.len() < baseline {
                     saw_smaller = true;
@@ -445,14 +680,35 @@ mod tests {
                 }
             }
         }
-        assert!(saw_smaller, "feature removal never produced a smaller state");
+        assert!(
+            saw_smaller,
+            "feature removal never produced a smaller state"
+        );
     }
 
     #[test]
     fn generated_names_are_fresh() {
+        let schema = abr_schema();
         let mut rng = StdRng::seed_from_u64(5);
-        let (code, _) = generate(&mut rng, PENSIEVE_STATE_SOURCE, 6, false);
+        let (code, _) = generate(&mut rng, PENSIEVE_STATE_SOURCE, 6, false, &schema);
         // Compiling enforces duplicate-name rejection.
         compile_state(&code).unwrap();
+    }
+
+    #[test]
+    fn vocab_roles_follow_schema_order() {
+        let abr = abr_schema();
+        let v = Vocab::from_schema(&abr);
+        assert_eq!(v.primary().0, "throughput_mbps");
+        assert_eq!(v.secondary().0, "download_time_s");
+        assert_eq!(v.aux().0, "buffer_history_s");
+
+        let cc = cc_schema();
+        let v = Vocab::from_schema(&cc);
+        assert_eq!(v.primary().0, "throughput_history_mbps");
+        assert_eq!(v.secondary().0, "rtt_history_ms");
+        assert_eq!(v.aux().0, "loss_history");
+        assert!(v.raw.contains(&"rtt_history_ms"));
+        assert!(v.raw.contains(&"cwnd_pkts"));
     }
 }

@@ -56,7 +56,12 @@ impl ModelProfile {
     /// A defect-free profile for tests and for searching without the noise
     /// processes (every generation compiles and normalizes).
     pub fn perfect(name: impl Into<String>) -> Self {
-        Self { name: name.into(), defect_rate: 0.0, unnormalized_rate: 0.0, mean_mutations: 2.0 }
+        Self {
+            name: name.into(),
+            defect_rate: 0.0,
+            unnormalized_rate: 0.0,
+            mean_mutations: 2.0,
+        }
     }
 
     /// Expected fraction of generations passing the compilation check.

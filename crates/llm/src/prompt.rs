@@ -12,6 +12,36 @@
 //!    properly normalized features.
 
 use crate::client::DesignKind;
+use nada_dsl::{abr_schema, cc_schema, InputSchema};
+
+/// The workload a prompt targets: the §2.1 task description plus the
+/// machine-readable schema of environment inputs (rendered into the prompt
+/// and consumed by the mock generators' mutation engine).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskContext {
+    /// Human description of the algorithm being redesigned.
+    pub domain: &'static str,
+    /// The inputs the environment offers to state programs.
+    pub schema: InputSchema,
+}
+
+impl TaskContext {
+    /// The Pensieve ABR task (the paper's case study).
+    pub fn abr() -> Self {
+        Self {
+            domain: "an adaptive-bitrate (ABR) video streaming algorithm",
+            schema: abr_schema(),
+        }
+    }
+
+    /// The congestion-control task (the authors' follow-up workload).
+    pub fn cc() -> Self {
+        Self {
+            domain: "a congestion-control algorithm (a congestion-window policy)",
+            schema: cc_schema(),
+        }
+    }
+}
 
 /// Which §2.1 strategies to apply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -27,7 +57,11 @@ pub struct PromptOptions {
 
 impl Default for PromptOptions {
     fn default() -> Self {
-        Self { chain_of_thought: true, semantic_renaming: true, request_normalization: true }
+        Self {
+            chain_of_thought: true,
+            semantic_renaming: true,
+            request_normalization: true,
+        }
     }
 }
 
@@ -40,20 +74,39 @@ pub struct Prompt {
     pub options: PromptOptions,
     /// The existing implementation (a DSL code block) the model starts from.
     pub seed_code: String,
+    /// The workload being targeted.
+    pub task: TaskContext,
 }
 
 impl Prompt {
-    /// A state-redesign prompt with the paper's full strategy set.
+    /// An ABR state-redesign prompt with the paper's full strategy set.
     pub fn state(seed_code: impl Into<String>) -> Self {
-        Self { kind: DesignKind::State, options: PromptOptions::default(), seed_code: seed_code.into() }
+        Self::state_for(TaskContext::abr(), seed_code)
     }
 
-    /// An architecture-redesign prompt with the paper's full strategy set.
+    /// An ABR architecture-redesign prompt with the paper's full strategy
+    /// set.
     pub fn architecture(seed_code: impl Into<String>) -> Self {
+        Self::architecture_for(TaskContext::abr(), seed_code)
+    }
+
+    /// A state-redesign prompt for an arbitrary workload.
+    pub fn state_for(task: TaskContext, seed_code: impl Into<String>) -> Self {
+        Self {
+            kind: DesignKind::State,
+            options: PromptOptions::default(),
+            seed_code: seed_code.into(),
+            task,
+        }
+    }
+
+    /// An architecture-redesign prompt for an arbitrary workload.
+    pub fn architecture_for(task: TaskContext, seed_code: impl Into<String>) -> Self {
         Self {
             kind: DesignKind::Architecture,
             options: PromptOptions::default(),
             seed_code: seed_code.into(),
+            task,
         }
     }
 
@@ -62,16 +115,28 @@ impl Prompt {
         let mut out = String::new();
         match self.kind {
             DesignKind::State => {
-                out.push_str(
-                    "You are improving the reinforcement-learning STATE REPRESENTATION of an \
-                     adaptive-bitrate (ABR) video streaming algorithm.\n\n",
-                );
+                out.push_str(&format!(
+                    "You are improving the reinforcement-learning STATE REPRESENTATION of \
+                     a network algorithm: {}.\n\n",
+                    self.task.domain
+                ));
+                out.push_str("The environment offers these raw inputs:\n");
+                for spec in self.task.schema.specs() {
+                    out.push_str(&format!(
+                        "- {}: {} — {}\n",
+                        spec.name,
+                        spec.ty.describe(),
+                        spec.doc
+                    ));
+                }
+                out.push('\n');
             }
             DesignKind::Architecture => {
-                out.push_str(
-                    "You are improving the ACTOR-CRITIC NEURAL NETWORK ARCHITECTURE of an \
-                     adaptive-bitrate (ABR) video streaming algorithm.\n\n",
-                );
+                out.push_str(&format!(
+                    "You are improving the ACTOR-CRITIC NEURAL NETWORK ARCHITECTURE of \
+                     a network algorithm: {}.\n\n",
+                    self.task.domain
+                ));
             }
         }
         if self.options.chain_of_thought {

@@ -105,7 +105,11 @@ impl ReplayClient {
     /// Panics on an empty transcript — there is nothing to replay.
     pub fn new(name: impl Into<String>, transcript: Transcript) -> Self {
         assert!(!transcript.is_empty(), "cannot replay an empty transcript");
-        Self { name: name.into(), transcript, cursor: 0 }
+        Self {
+            name: name.into(),
+            transcript,
+            cursor: 0,
+        }
     }
 }
 
@@ -131,7 +135,10 @@ pub struct RecordingClient<C: LlmClient> {
 impl<C: LlmClient> RecordingClient<C> {
     /// Starts recording around `inner`.
     pub fn new(inner: C) -> Self {
-        Self { inner, transcript: Transcript::new() }
+        Self {
+            inner,
+            transcript: Transcript::new(),
+        }
     }
 
     /// The transcript recorded so far.
@@ -167,8 +174,7 @@ mod tests {
     fn record_then_replay_round_trips() {
         let prompt = Prompt::state(PENSIEVE_STATE_SOURCE);
         let mut rec = RecordingClient::new(MockLlm::perfect(1));
-        let originals: Vec<Completion> =
-            (0..5).map(|_| rec.generate(&prompt)).collect();
+        let originals: Vec<Completion> = (0..5).map(|_| rec.generate(&prompt)).collect();
         let mut replay = ReplayClient::new("replay", rec.into_transcript());
         for orig in &originals {
             assert_eq!(&replay.generate(&prompt), orig);
@@ -178,8 +184,14 @@ mod tests {
     #[test]
     fn replay_cycles_when_exhausted() {
         let mut t = Transcript::new();
-        t.push(Completion { code: "a\n".into(), reasoning: None });
-        t.push(Completion { code: "b\n".into(), reasoning: None });
+        t.push(Completion {
+            code: "a\n".into(),
+            reasoning: None,
+        });
+        t.push(Completion {
+            code: "b\n".into(),
+            reasoning: None,
+        });
         let prompt = Prompt::state("x");
         let mut r = ReplayClient::new("r", t);
         assert_eq!(r.generate(&prompt).code, "a\n");
@@ -194,7 +206,10 @@ mod tests {
             code: "state s { feature f = 1.0; }\n".into(),
             reasoning: Some("idea one\nidea two".into()),
         });
-        t.push(Completion { code: "network n { }\n".into(), reasoning: None });
+        t.push(Completion {
+            code: "network n { }\n".into(),
+            reasoning: None,
+        });
         let text = t.to_text();
         assert_eq!(Transcript::from_text(&text), t);
     }

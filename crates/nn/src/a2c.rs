@@ -139,7 +139,12 @@ impl A2cTrainer {
     /// Wraps a network for training. Deterministic in `seed`.
     pub fn new(net: ActorCritic, cfg: A2cConfig, seed: u64) -> Self {
         let opt = Adam::new(cfg.lr);
-        Self { net, opt, cfg, rng: StdRng::seed_from_u64(seed ^ 0xA2C0_0000_0000_0009) }
+        Self {
+            net,
+            opt,
+            cfg,
+            rng: StdRng::seed_from_u64(seed ^ 0xA2C0_0000_0000_0009),
+        }
     }
 
     /// The wrapped network.
@@ -212,8 +217,7 @@ impl A2cTrainer {
         if self.cfg.normalize_advantages {
             let flat: Vec<f32> = advantages.iter().flatten().copied().collect();
             let mean = flat.iter().sum::<f32>() / flat.len() as f32;
-            let var =
-                flat.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / flat.len() as f32;
+            let var = flat.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / flat.len() as f32;
             let std = var.sqrt().max(1e-6);
             for advs in &mut advantages {
                 for a in advs.iter_mut() {
@@ -231,12 +235,14 @@ impl A2cTrainer {
             for t in 0..ep.len() {
                 let (logits, value) = self.net.forward(&ep.states[t]);
                 let probs = softmax(&logits);
-                let log_probs: Vec<f32> =
-                    probs.iter().map(|p| p.max(1e-10).ln()).collect();
+                let log_probs: Vec<f32> = probs.iter().map(|p| p.max(1e-10).ln()).collect();
                 let a = ep.actions[t];
                 let adv = advantages[e][t];
-                let ent: f32 =
-                    -probs.iter().zip(&log_probs).map(|(p, lp)| p * lp).sum::<f32>();
+                let ent: f32 = -probs
+                    .iter()
+                    .zip(&log_probs)
+                    .map(|(p, lp)| p * lp)
+                    .sum::<f32>();
 
                 policy_loss += -log_probs[a] * adv;
                 value_loss += 0.5 * (value - returns[t]).powi(2);
@@ -298,7 +304,10 @@ mod tests {
 
     fn bandit_cfg() -> ArchConfig {
         ArchConfig {
-            temporal_branch: BranchKind::Conv1d { filters: 4, kernel: 2 },
+            temporal_branch: BranchKind::Conv1d {
+                filters: 4,
+                kernel: 2,
+            },
             temporal_activation: Activation::Relu,
             scalar_branch: BranchKind::Dense { units: 8 },
             scalar_activation: Activation::Relu,
@@ -341,7 +350,11 @@ mod tests {
     fn learns_two_armed_bandit() {
         let shapes = [FeatureShape::Scalar];
         let net = ActorCritic::build(&bandit_cfg(), &shapes, 2, 7);
-        let cfg = A2cConfig { lr: 5e-3, entropy_coeff: 0.005, ..Default::default() };
+        let cfg = A2cConfig {
+            lr: 5e-3,
+            entropy_coeff: 0.005,
+            ..Default::default()
+        };
         let mut tr = A2cTrainer::new(net, cfg, 7);
         for _ in 0..300 {
             let mut ep = EpisodeBuffer::new();
@@ -362,9 +375,13 @@ mod tests {
     fn learns_contextual_bandit() {
         let shapes = [FeatureShape::Scalar];
         let net = ActorCritic::build(&bandit_cfg(), &shapes, 2, 11);
-        let cfg = A2cConfig { lr: 5e-3, entropy_coeff: 0.005, ..Default::default() };
+        let cfg = A2cConfig {
+            lr: 5e-3,
+            entropy_coeff: 0.005,
+            ..Default::default()
+        };
         let mut tr = A2cTrainer::new(net, cfg, 11);
-        for i in 0..600 {
+        for i in 0..1500 {
             let mut ep = EpisodeBuffer::new();
             for j in 0..8 {
                 let ctx = ((i + j) % 2) as f32;

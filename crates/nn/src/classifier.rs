@@ -56,14 +56,7 @@ impl CurveClassifier {
     /// Trains with mini-batch Adam on logistic loss. `ys` are targets in
     /// `[0, 1]` (label smoothing may produce soft targets). Returns the
     /// final-epoch mean loss.
-    pub fn train(
-        &mut self,
-        xs: &[Vec<f32>],
-        ys: &[f32],
-        epochs: usize,
-        lr: f32,
-        seed: u64,
-    ) -> f32 {
+    pub fn train(&mut self, xs: &[Vec<f32>], ys: &[f32], epochs: usize, lr: f32, seed: u64) -> f32 {
         assert_eq!(xs.len(), ys.len(), "sample/label count mismatch");
         assert!(!xs.is_empty(), "training set is empty");
         let mut rng = StdRng::seed_from_u64(seed ^ 0x7141_0000_0000_000B);
@@ -80,8 +73,7 @@ impl CurveClassifier {
                     let p = 1.0 / (1.0 + (-logit).exp());
                     let y = ys[i];
                     // BCE with logits; gradient is (p − y).
-                    epoch_loss += -(y * p.max(1e-7).ln()
-                        + (1.0 - y) * (1.0 - p).max(1e-7).ln());
+                    epoch_loss += -(y * p.max(1e-7).ln() + (1.0 - y) * (1.0 - p).max(1e-7).ln());
                     let d = (p - y) / chunk.len() as f32;
                     let _ = self.net.backward(&[d]);
                 }

@@ -12,7 +12,9 @@
 //! architecture code blocks (see `nada-dsl`) compile to an [`ArchConfig`],
 //! which [`ActorCritic::build`] turns into a trainable network.
 
-use crate::layers::{Activation, ActivationLayer, AnyLayer, Conv1d, Dense, Layer, Lstm, Rnn, Sequential};
+use crate::layers::{
+    Activation, ActivationLayer, AnyLayer, Conv1d, Dense, Layer, Lstm, Rnn, Sequential,
+};
 use crate::param::Param;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -107,7 +109,10 @@ impl ArchConfig {
     /// hidden layer, fully separate actor and critic networks.
     pub fn pensieve_original() -> Self {
         Self {
-            temporal_branch: BranchKind::Conv1d { filters: 128, kernel: 4 },
+            temporal_branch: BranchKind::Conv1d {
+                filters: 128,
+                kernel: 4,
+            },
             temporal_activation: Activation::Relu,
             scalar_branch: BranchKind::Dense { units: 128 },
             scalar_activation: Activation::Relu,
@@ -126,12 +131,19 @@ impl ArchConfig {
         let f = factor.max(1);
         let shrink = |u: usize| (u / f).max(4);
         let shrink_branch = |b: BranchKind| match b {
-            BranchKind::Conv1d { filters, kernel } => {
-                BranchKind::Conv1d { filters: shrink(filters), kernel }
-            }
-            BranchKind::Rnn { units } => BranchKind::Rnn { units: shrink(units) },
-            BranchKind::Lstm { units } => BranchKind::Lstm { units: shrink(units) },
-            BranchKind::Dense { units } => BranchKind::Dense { units: shrink(units) },
+            BranchKind::Conv1d { filters, kernel } => BranchKind::Conv1d {
+                filters: shrink(filters),
+                kernel,
+            },
+            BranchKind::Rnn { units } => BranchKind::Rnn {
+                units: shrink(units),
+            },
+            BranchKind::Lstm { units } => BranchKind::Lstm {
+                units: shrink(units),
+            },
+            BranchKind::Dense { units } => BranchKind::Dense {
+                units: shrink(units),
+            },
         };
         Self {
             temporal_branch: shrink_branch(self.temporal_branch),
@@ -181,12 +193,12 @@ impl FeatureNet {
                                 AnyLayer::Act(ActivationLayer::new(cfg.temporal_activation, out)),
                             ])
                         }
-                        BranchKind::Rnn { units } => Sequential::new(vec![
-                            AnyLayer::Rnn(Rnn::new(len, units, rng)),
-                        ]),
-                        BranchKind::Lstm { units } => Sequential::new(vec![
-                            AnyLayer::Lstm(Lstm::new(len, units, rng)),
-                        ]),
+                        BranchKind::Rnn { units } => {
+                            Sequential::new(vec![AnyLayer::Rnn(Rnn::new(len, units, rng))])
+                        }
+                        BranchKind::Lstm { units } => {
+                            Sequential::new(vec![AnyLayer::Lstm(Lstm::new(len, units, rng))])
+                        }
                         BranchKind::Dense { units } => Sequential::new(vec![
                             AnyLayer::Dense(Dense::new(len, units, rng)),
                             AnyLayer::Act(ActivationLayer::new(cfg.temporal_activation, units)),
@@ -202,8 +214,10 @@ impl FeatureNet {
         let mut cur = concat_dim;
         for _ in 0..cfg.hidden_layers.max(1) {
             trunk_layers.push(AnyLayer::Dense(Dense::new(cur, cfg.hidden_units, rng)));
-            trunk_layers
-                .push(AnyLayer::Act(ActivationLayer::new(cfg.hidden_activation, cfg.hidden_units)));
+            trunk_layers.push(AnyLayer::Act(ActivationLayer::new(
+                cfg.hidden_activation,
+                cfg.hidden_units,
+            )));
             cur = cfg.hidden_units;
         }
         FeatureNet {
@@ -223,10 +237,17 @@ impl FeatureNet {
             features.len()
         );
         let mut concat = Vec::new();
-        for ((branch, feat), &len) in
-            self.branches.iter_mut().zip(features).zip(&self.feature_lens)
+        for ((branch, feat), &len) in self
+            .branches
+            .iter_mut()
+            .zip(features)
+            .zip(&self.feature_lens)
         {
-            assert_eq!(feat.len(), len, "feature length changed between build and forward");
+            assert_eq!(
+                feat.len(),
+                len,
+                "feature length changed between build and forward"
+            );
             concat.extend(branch.forward(feat));
         }
         self.trunk.forward(&concat)
@@ -242,8 +263,11 @@ impl FeatureNet {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
-        let mut ps: Vec<&mut Param> =
-            self.branches.iter_mut().flat_map(|b| b.params_mut()).collect();
+        let mut ps: Vec<&mut Param> = self
+            .branches
+            .iter_mut()
+            .flat_map(|b| b.params_mut())
+            .collect();
         ps.extend(self.trunk.params_mut());
         ps
     }
@@ -283,9 +307,19 @@ impl ActorCritic {
         for p in actor_head.params_mut() {
             p.w.iter_mut().for_each(|w| *w *= 0.01);
         }
-        let critic_in = critic_net.as_ref().map(|n| n.out_dim()).unwrap_or(actor_net.out_dim());
+        let critic_in = critic_net
+            .as_ref()
+            .map(|n| n.out_dim())
+            .unwrap_or(actor_net.out_dim());
         let critic_head = Dense::new(critic_in, 1, &mut rng);
-        Self { mode: cfg.heads, actor_net, critic_net, actor_head, critic_head, n_actions }
+        Self {
+            mode: cfg.heads,
+            actor_net,
+            critic_net,
+            actor_head,
+            critic_head,
+            n_actions,
+        }
     }
 
     /// Number of selectable actions (ladder levels).
@@ -370,7 +404,10 @@ mod tests {
 
     fn tiny_cfg(heads: HeadMode) -> ArchConfig {
         ArchConfig {
-            temporal_branch: BranchKind::Conv1d { filters: 4, kernel: 3 },
+            temporal_branch: BranchKind::Conv1d {
+                filters: 4,
+                kernel: 3,
+            },
             temporal_activation: Activation::Relu,
             scalar_branch: BranchKind::Dense { units: 4 },
             scalar_activation: Activation::Relu,
@@ -404,7 +441,10 @@ mod tests {
     fn build_is_deterministic() {
         let mut a = ActorCritic::build(&tiny_cfg(HeadMode::Separate), &pensieve_shapes(), 6, 42);
         let mut b = ActorCritic::build(&tiny_cfg(HeadMode::Separate), &pensieve_shapes(), 6, 42);
-        assert_eq!(a.forward(&pensieve_features()), b.forward(&pensieve_features()));
+        assert_eq!(
+            a.forward(&pensieve_features()),
+            b.forward(&pensieve_features())
+        );
     }
 
     #[test]
@@ -417,7 +457,10 @@ mod tests {
     #[test]
     fn rnn_and_lstm_branches_build() {
         for branch in [BranchKind::Rnn { units: 4 }, BranchKind::Lstm { units: 4 }] {
-            let cfg = ArchConfig { temporal_branch: branch, ..tiny_cfg(HeadMode::Separate) };
+            let cfg = ArchConfig {
+                temporal_branch: branch,
+                ..tiny_cfg(HeadMode::Separate)
+            };
             let mut net = ActorCritic::build(&cfg, &pensieve_shapes(), 6, 1);
             let (logits, _) = net.forward(&pensieve_features());
             assert_eq!(logits.len(), 6);
@@ -447,12 +490,8 @@ mod tests {
 
     #[test]
     fn pensieve_original_parameter_scale() {
-        let mut net = ActorCritic::build(
-            &ArchConfig::pensieve_original(),
-            &pensieve_shapes(),
-            6,
-            1,
-        );
+        let mut net =
+            ActorCritic::build(&ArchConfig::pensieve_original(), &pensieve_shapes(), 6, 1);
         let n = net.n_weights();
         // Actor + critic, each ≈ 300k weights in the original topology.
         assert!(n > 400_000 && n < 1_500_000, "unexpected weight count {n}");
@@ -461,7 +500,13 @@ mod tests {
     #[test]
     fn scaled_down_preserves_kinds() {
         let cfg = ArchConfig::pensieve_original().scaled_down(8);
-        assert_eq!(cfg.temporal_branch, BranchKind::Conv1d { filters: 16, kernel: 4 });
+        assert_eq!(
+            cfg.temporal_branch,
+            BranchKind::Conv1d {
+                filters: 16,
+                kernel: 4
+            }
+        );
         assert_eq!(cfg.heads, HeadMode::Separate);
         assert_eq!(cfg.hidden_units, 16);
     }

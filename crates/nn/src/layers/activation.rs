@@ -76,7 +76,12 @@ pub struct ActivationLayer {
 impl ActivationLayer {
     /// Creates an activation layer over vectors of length `dim`.
     pub fn new(kind: Activation, dim: usize) -> Self {
-        Self { kind, dim, cache_x: Vec::new(), cache_y: Vec::new() }
+        Self {
+            kind,
+            dim,
+            cache_x: Vec::new(),
+            cache_y: Vec::new(),
+        }
     }
 
     /// The activation kind.

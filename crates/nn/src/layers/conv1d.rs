@@ -25,7 +25,10 @@ impl Conv1d {
     /// kernel exceeds the input length it is clamped to `in_len` (generated
     /// state programs may emit short temporal features).
     pub fn new(in_len: usize, filters: usize, kernel: usize, rng: &mut StdRng) -> Self {
-        assert!(in_len > 0 && filters > 0 && kernel > 0, "conv dims must be positive");
+        assert!(
+            in_len > 0 && filters > 0 && kernel > 0,
+            "conv dims must be positive"
+        );
         let kernel = kernel.min(in_len);
         let limit = xavier_limit(kernel, filters);
         Self {

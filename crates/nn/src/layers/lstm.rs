@@ -80,9 +80,7 @@ impl Lstm {
         (0..units)
             .map(|u| {
                 let row = &w.w[u * z_dim..(u + 1) * z_dim];
-                b.w[u]
-                    + row[0] * x
-                    + row[1..].iter().zip(h_prev).map(|(w, h)| w * h).sum::<f32>()
+                b.w[u] + row[0] * x + row[1..].iter().zip(h_prev).map(|(w, h)| w * h).sum::<f32>()
             })
             .collect()
     }
@@ -99,15 +97,15 @@ impl Lstm {
     ) {
         let units = da.len();
         let z_dim = 1 + h_prev.len();
-        for u in 0..units {
-            b.g[u] += da[u];
+        for (u, &dau) in da.iter().enumerate().take(units) {
+            b.g[u] += dau;
             let row_w = &w.w[u * z_dim..(u + 1) * z_dim];
             let row_g = &mut w.g[u * z_dim..(u + 1) * z_dim];
-            row_g[0] += da[u] * x;
-            *dx += da[u] * row_w[0];
+            row_g[0] += dau * x;
+            *dx += dau * row_w[0];
             for v in 0..h_prev.len() {
-                row_g[1 + v] += da[u] * h_prev[v];
-                dh_prev[v] += da[u] * row_w[1 + v];
+                row_g[1 + v] += dau * h_prev[v];
+                dh_prev[v] += dau * row_w[1 + v];
             }
         }
     }
@@ -139,7 +137,16 @@ impl Layer for Lstm {
             let c_new: Vec<f32> = (0..self.units).map(|u| f[u] * c[u] + i[u] * g[u]).collect();
             let tanh_c: Vec<f32> = c_new.iter().map(|&v| v.tanh()).collect();
             let h_new: Vec<f32> = (0..self.units).map(|u| o[u] * tanh_c[u]).collect();
-            self.cache.push(StepCache { x: xt, h_prev: h, c_prev: c, i, f, o, g, tanh_c });
+            self.cache.push(StepCache {
+                x: xt,
+                h_prev: h,
+                c_prev: c,
+                i,
+                f,
+                o,
+                g,
+                tanh_c,
+            });
             h = h_new;
             c = c_new;
         }
@@ -172,10 +179,42 @@ impl Layer for Lstm {
                 da_f[u] = df * sc.f[u] * (1.0 - sc.f[u]);
                 dc[u] = dct * sc.f[u];
             }
-            Self::gate_backward(&mut self.wi, &mut self.bi, &da_i, sc.x, &sc.h_prev, &mut dxt, &mut dh_prev);
-            Self::gate_backward(&mut self.wf, &mut self.bf, &da_f, sc.x, &sc.h_prev, &mut dxt, &mut dh_prev);
-            Self::gate_backward(&mut self.wo, &mut self.bo, &da_o, sc.x, &sc.h_prev, &mut dxt, &mut dh_prev);
-            Self::gate_backward(&mut self.wg, &mut self.bg, &da_g, sc.x, &sc.h_prev, &mut dxt, &mut dh_prev);
+            Self::gate_backward(
+                &mut self.wi,
+                &mut self.bi,
+                &da_i,
+                sc.x,
+                &sc.h_prev,
+                &mut dxt,
+                &mut dh_prev,
+            );
+            Self::gate_backward(
+                &mut self.wf,
+                &mut self.bf,
+                &da_f,
+                sc.x,
+                &sc.h_prev,
+                &mut dxt,
+                &mut dh_prev,
+            );
+            Self::gate_backward(
+                &mut self.wo,
+                &mut self.bo,
+                &da_o,
+                sc.x,
+                &sc.h_prev,
+                &mut dxt,
+                &mut dh_prev,
+            );
+            Self::gate_backward(
+                &mut self.wg,
+                &mut self.bg,
+                &da_g,
+                sc.x,
+                &sc.h_prev,
+                &mut dxt,
+                &mut dh_prev,
+            );
             dx[t] = dxt;
             dh = dh_prev;
         }
@@ -216,7 +255,10 @@ mod tests {
         let mut l = Lstm::new(6, 5, &mut rng);
         let y = l.forward(&[0.1, 0.5, -0.4, 0.0, 0.2, -0.1]);
         assert_eq!(y.len(), 5);
-        assert!(y.iter().all(|v| v.abs() <= 1.0), "h = o * tanh(c) is bounded");
+        assert!(
+            y.iter().all(|v| v.abs() <= 1.0),
+            "h = o * tanh(c) is bounded"
+        );
     }
 
     #[test]

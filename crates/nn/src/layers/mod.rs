@@ -42,7 +42,10 @@ pub trait Layer {
 }
 
 /// Closed enum over the layer zoo so networks can be cloned and stored
-/// without boxed trait objects.
+/// without boxed trait objects. The variant sizes differ by design — an
+/// LSTM simply carries more state than an activation — and layers live in
+/// `Vec`s where the uniform footprint is irrelevant.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum AnyLayer {
     /// Fully connected layer.
@@ -163,7 +166,10 @@ impl Layer for Sequential {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     fn out_dim(&self) -> usize {
@@ -186,18 +192,28 @@ pub(crate) mod gradcheck {
         let y = layer.forward(x);
         // Fixed pseudo-random loss weights make the test sensitive to every
         // output coordinate.
-        let wts: Vec<f32> = (0..y.len()).map(|i| ((i * 37 + 11) % 7) as f32 - 3.0).collect();
+        let wts: Vec<f32> = (0..y.len())
+            .map(|i| ((i * 37 + 11) % 7) as f32 - 3.0)
+            .collect();
         let dx = layer.backward(&wts);
         let eps = 1e-3f32;
         for i in 0..x.len() {
             let mut xp = x.to_vec();
             xp[i] += eps;
-            let yp: f32 =
-                layer.forward(&xp).iter().zip(&wts).map(|(a, b)| a * b).sum();
+            let yp: f32 = layer
+                .forward(&xp)
+                .iter()
+                .zip(&wts)
+                .map(|(a, b)| a * b)
+                .sum();
             let mut xm = x.to_vec();
             xm[i] -= eps;
-            let ym: f32 =
-                layer.forward(&xm).iter().zip(&wts).map(|(a, b)| a * b).sum();
+            let ym: f32 = layer
+                .forward(&xm)
+                .iter()
+                .zip(&wts)
+                .map(|(a, b)| a * b)
+                .sum();
             let num = (yp - ym) / (2.0 * eps);
             assert!(
                 (num - dx[i]).abs() <= tol * (1.0 + num.abs()),
@@ -212,33 +228,31 @@ pub(crate) mod gradcheck {
     /// Verifies parameter gradients via central differences.
     pub fn check_param_grad<L: Layer>(layer: &mut L, x: &[f32], tol: f32) {
         let y = layer.forward(x);
-        let wts: Vec<f32> = (0..y.len()).map(|i| ((i * 53 + 5) % 5) as f32 - 2.0).collect();
+        let wts: Vec<f32> = (0..y.len())
+            .map(|i| ((i * 53 + 5) % 5) as f32 - 2.0)
+            .collect();
         for p in layer.params_mut() {
             p.zero_grad();
         }
         let _ = layer.backward(&wts);
-        let analytic: Vec<Vec<f32>> =
-            layer.params_mut().iter().map(|p| p.g.clone()).collect();
-        let n_blocks = analytic.len();
+        let analytic: Vec<Vec<f32>> = layer.params_mut().iter().map(|p| p.g.clone()).collect();
         let eps = 1e-3f32;
-        for b in 0..n_blocks {
+        for (b, block) in analytic.iter().enumerate() {
             let n = layer.params_mut()[b].len();
             // Probe a spread of weights, not all (keeps tests fast).
             let stride = (n / 7).max(1);
             for i in (0..n).step_by(stride) {
                 let orig = layer.params_mut()[b].w[i];
                 layer.params_mut()[b].w[i] = orig + eps;
-                let yp: f32 =
-                    layer.forward(x).iter().zip(&wts).map(|(a, c)| a * c).sum();
+                let yp: f32 = layer.forward(x).iter().zip(&wts).map(|(a, c)| a * c).sum();
                 layer.params_mut()[b].w[i] = orig - eps;
-                let ym: f32 =
-                    layer.forward(x).iter().zip(&wts).map(|(a, c)| a * c).sum();
+                let ym: f32 = layer.forward(x).iter().zip(&wts).map(|(a, c)| a * c).sum();
                 layer.params_mut()[b].w[i] = orig;
                 let num = (yp - ym) / (2.0 * eps);
                 assert!(
-                    (num - analytic[b][i]).abs() <= tol * (1.0 + num.abs()),
+                    (num - block[i]).abs() <= tol * (1.0 + num.abs()),
                     "param grad mismatch block {b} index {i}: analytic {} vs numeric {num}",
-                    analytic[b][i]
+                    block[i]
                 );
             }
         }

@@ -72,18 +72,21 @@ impl Layer for Rnn {
             let h_prev = &self.cache_h[t];
             let xt = self.cache_x[t];
             // da = dh ⊙ (1 - h²)
-            let da: Vec<f32> =
-                dh.iter().zip(h).map(|(&d, &hv)| d * (1.0 - hv * hv)).collect();
+            let da: Vec<f32> = dh
+                .iter()
+                .zip(h)
+                .map(|(&d, &hv)| d * (1.0 - hv * hv))
+                .collect();
             let mut dh_prev = vec![0.0f32; self.units];
-            for u in 0..self.units {
-                self.wx.g[u] += da[u] * xt;
-                self.b.g[u] += da[u];
-                dx[t] += da[u] * self.wx.w[u];
+            for (u, &dau) in da.iter().enumerate().take(self.units) {
+                self.wx.g[u] += dau * xt;
+                self.b.g[u] += dau;
+                dx[t] += dau * self.wx.w[u];
                 let row_w = &self.wh.w[u * self.units..(u + 1) * self.units];
                 let row_g = &mut self.wh.g[u * self.units..(u + 1) * self.units];
                 for v in 0..self.units {
-                    row_g[v] += da[u] * h_prev[v];
-                    dh_prev[v] += da[u] * row_w[v];
+                    row_g[v] += dau * h_prev[v];
+                    dh_prev[v] += dau * row_w[v];
                 }
             }
             dh = dh_prev;
@@ -116,7 +119,10 @@ mod tests {
         let mut r = Rnn::new(4, 3, &mut rng);
         let y = r.forward(&[0.1, -0.2, 0.3, 0.0]);
         assert_eq!(y.len(), 3);
-        assert!(y.iter().all(|v| v.abs() <= 1.0), "tanh keeps outputs in [-1,1]");
+        assert!(
+            y.iter().all(|v| v.abs() <= 1.0),
+            "tanh keeps outputs in [-1,1]"
+        );
     }
 
     #[test]

@@ -21,7 +21,13 @@ impl Adam {
     /// Creates Adam with the usual defaults (β1 = 0.9, β2 = 0.999).
     pub fn new(lr: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
     }
 
     /// Applies one update from the accumulated gradients, then clears them.

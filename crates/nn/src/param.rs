@@ -21,14 +21,24 @@ pub struct Param {
 impl Param {
     /// Creates a zero-initialized parameter block of `n` weights.
     pub fn zeros(n: usize) -> Self {
-        Self { w: vec![0.0; n], g: vec![0.0; n], m: vec![0.0; n], v: vec![0.0; n] }
+        Self {
+            w: vec![0.0; n],
+            g: vec![0.0; n],
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+        }
     }
 
     /// Creates a block initialized uniformly in `[-limit, limit]`
     /// (Xavier/He-style limits are computed by the layers).
     pub fn uniform(n: usize, limit: f32, rng: &mut StdRng) -> Self {
         let w = (0..n).map(|_| rng.gen_range(-limit..=limit)).collect();
-        Self { w, g: vec![0.0; n], m: vec![0.0; n], v: vec![0.0; n] }
+        Self {
+            w,
+            g: vec![0.0; n],
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+        }
     }
 
     /// Number of weights in the block.

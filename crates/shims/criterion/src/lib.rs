@@ -1,0 +1,146 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `Bencher::iter` / `iter_batched`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! wall-clock loop (fixed warm-up, then a timed run) instead of criterion's
+//! statistical machinery. Good enough to smoke-run `cargo bench` and spot
+//! order-of-magnitude regressions; not a precision instrument.
+
+use std::time::{Duration, Instant};
+
+/// How a batched setup's cost relates to the routine (ignored by the shim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Each batch holds exactly one input.
+    PerIteration,
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+const WARMUP_ITERS: u64 = 3;
+const TARGET: Duration = Duration::from_millis(300);
+const MAX_ITERS: u64 = 1000;
+
+impl Bencher {
+    /// Times `routine`, storing the mean latency.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < MAX_ITERS && (iters < 10 || start.elapsed() < TARGET) {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+
+    /// Times `routine` over fresh inputs from `setup` (setup excluded from
+    /// the measurement).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(routine(setup()));
+        }
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        while iters < MAX_ITERS && (iters < 10 || measured < TARGET) {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+        }
+        self.ns_per_iter = measured.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// Registry/driver for a set of benchmarks.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its mean latency.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        let (scaled, unit) = scale_ns(b.ns_per_iter);
+        println!(
+            "bench {name:<48} {scaled:>10.3} {unit}/iter ({} iters)",
+            b.iters
+        );
+        self
+    }
+}
+
+fn scale_ns(ns: f64) -> (f64, &'static str) {
+    if ns >= 1e9 {
+        (ns / 1e9, "s ")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "µs")
+    } else {
+        (ns, "ns")
+    }
+}
+
+/// Groups benchmark functions under a single callable, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("shim/self_test", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        let mut c = Criterion::default();
+        c.bench_function("shim/batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`'s derive macros.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` — nothing
+//! calls serialization at runtime yet (no `serde_json`, no trait bounds).
+//! Until a real serialization backend is needed, these derives expand to
+//! nothing, which keeps every `#[derive(serde::Serialize, ...)]` attribute
+//! in the tree compiling without registry access.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -38,7 +38,10 @@ pub struct BufferBased {
 
 impl Default for BufferBased {
     fn default() -> Self {
-        Self { reservoir_s: 5.0, cushion_s: 30.0 }
+        Self {
+            reservoir_s: 5.0,
+            cushion_s: 30.0,
+        }
     }
 }
 
@@ -73,7 +76,11 @@ pub struct RateBased {
 
 impl Default for RateBased {
     fn default() -> Self {
-        Self { alpha: 0.4, safety: 0.9, ema_mbps: None }
+        Self {
+            alpha: 0.4,
+            safety: 0.9,
+            ema_mbps: None,
+        }
     }
 }
 
@@ -111,7 +118,10 @@ pub struct Bola {
 
 impl Default for Bola {
     fn default() -> Self {
-        Self { v: 0.93, gamma: 5.0 }
+        Self {
+            v: 0.93,
+            gamma: 5.0,
+        }
     }
 }
 
@@ -154,14 +164,25 @@ pub struct RobustMpc {
 
 impl Default for RobustMpc {
     fn default() -> Self {
-        Self { horizon: 5, rebuf_penalty: 4.3, past_errors: Vec::new(), last_prediction_mbps: None }
+        Self {
+            horizon: 5,
+            rebuf_penalty: 4.3,
+            past_errors: Vec::new(),
+            last_prediction_mbps: None,
+        }
     }
 }
 
 impl RobustMpc {
     fn predict_throughput_mbps(&mut self, obs: &Observation) -> f64 {
-        let samples: Vec<f64> =
-            obs.throughput_mbps.iter().rev().take(5).filter(|&&t| t > 0.0).copied().collect();
+        let samples: Vec<f64> = obs
+            .throughput_mbps
+            .iter()
+            .rev()
+            .take(5)
+            .filter(|&&t| t > 0.0)
+            .copied()
+            .collect();
         if samples.is_empty() {
             return obs.ladder_kbps[0] / 1000.0;
         }
@@ -173,8 +194,7 @@ impl RobustMpc {
                 self.past_errors.remove(0);
             }
         }
-        let harmonic =
-            samples.len() as f64 / samples.iter().map(|t| 1.0 / t).sum::<f64>();
+        let harmonic = samples.len() as f64 / samples.iter().map(|t| 1.0 / t).sum::<f64>();
         let max_err = self.past_errors.iter().copied().fold(0.0, f64::max);
         let robust = harmonic / (1.0 + max_err);
         self.last_prediction_mbps = Some(robust);
@@ -210,9 +230,7 @@ impl AbrPolicy for RobustMpc {
                 let rebuf = (dl - buffer).max(0.0);
                 buffer = (buffer - dl).max(0.0) + chunk_s;
                 let q_mbps = obs.ladder_kbps[q] / 1000.0;
-                score += q_mbps
-                    - self.rebuf_penalty * rebuf
-                    - (q_mbps - last_kbps / 1000.0).abs();
+                score += q_mbps - self.rebuf_penalty * rebuf - (q_mbps - last_kbps / 1000.0).abs();
                 last_kbps = obs.ladder_kbps[q];
             }
             if score > best_score {

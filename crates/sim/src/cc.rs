@@ -1,0 +1,649 @@
+//! Chunkless congestion control over traced links.
+//!
+//! The second workload of this reproduction, mirroring the authors'
+//! follow-up (*Congestion Control System Optimization with Large Language
+//! Models*, arXiv:2508.16074): instead of picking chunk bitrates, the agent
+//! adjusts a congestion window over the same trace datasets. Each decision
+//! interval the policy picks a CWND action; a fluid bottleneck model
+//! (window-paced arrivals, a finite queue, tail drop) yields delivered
+//! throughput, queuing delay and loss; the reward is throughput minus a
+//! latency-inflation penalty minus a loss penalty.
+//!
+//! The environment is deliberately *chunkless*: episodes are a fixed number
+//! of ticks, and the observation is a history window of transport
+//! measurements — raw (Mbps, milliseconds, packets), so the §2.2
+//! normalization check stays as meaningful here as for ABR byte counts.
+
+use crate::netenv::{EnvStep, FieldSpec, NetEnv, ObsValue};
+use nada_traces::{Trace, TraceCursor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Decision interval, seconds.
+pub const TICK_S: f64 = 0.1;
+/// Bottleneck packet size, bytes (Mahimahi MTU payload).
+pub const CC_PKT_BYTES: f64 = 1500.0;
+/// Propagation round-trip time, seconds.
+pub const BASE_RTT_S: f64 = 0.04;
+/// Bottleneck queue capacity, packets (tail drop beyond).
+pub const QUEUE_CAP_PKTS: f64 = 500.0;
+/// Smallest congestion window, packets.
+pub const MIN_CWND_PKTS: f64 = 2.0;
+/// Largest congestion window, packets.
+pub const MAX_CWND_PKTS: f64 = 2000.0;
+/// Initial congestion window, packets (RFC 6928).
+pub const INITIAL_CWND_PKTS: f64 = 10.0;
+/// Cap on the modelled RTT during outages, seconds.
+pub const MAX_RTT_S: f64 = 1.0;
+/// History window length (matches the ABR workload's `S_LEN`).
+pub const CC_HISTORY_LEN: usize = 8;
+/// EWMA weight of the newest RTT sample in the smoothed RTT.
+pub const SRTT_ALPHA: f64 = 0.5;
+
+/// One discrete CWND adjustment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CwndAction {
+    /// Multiply the window by a factor.
+    Scale(f64),
+    /// Add packets to the window (may be negative).
+    Add(f64),
+}
+
+/// The action space: backoffs, additive tweaks, and probes.
+pub const CC_ACTIONS: [CwndAction; 7] = [
+    CwndAction::Scale(0.5),
+    CwndAction::Scale(0.9),
+    CwndAction::Add(-10.0),
+    CwndAction::Add(0.0),
+    CwndAction::Add(10.0),
+    CwndAction::Scale(1.1),
+    CwndAction::Scale(2.0),
+];
+
+/// The declared observation fields, in binding order. Raw magnitudes on
+/// purpose: RTTs in milliseconds and windows in packets exceed the T = 100
+/// normalization threshold, exactly like ABR's byte counts.
+pub const CC_FIELDS: [FieldSpec; 7] = [
+    FieldSpec {
+        name: "throughput_history_mbps",
+        dim: Some(CC_HISTORY_LEN),
+        lo: 0.0,
+        hi: 150.0,
+        doc: "delivered throughput over each of the last 8 intervals, Mbps",
+    },
+    FieldSpec {
+        name: "rtt_history_ms",
+        dim: Some(CC_HISTORY_LEN),
+        lo: 0.0,
+        hi: 1000.0,
+        doc: "smoothed round-trip time after each of the last 8 intervals, milliseconds",
+    },
+    FieldSpec {
+        name: "loss_history",
+        dim: Some(CC_HISTORY_LEN),
+        lo: 0.0,
+        hi: 1.0,
+        doc: "fraction of offered packets dropped in each of the last 8 intervals",
+    },
+    FieldSpec {
+        name: "cwnd_pkts",
+        dim: None,
+        lo: MIN_CWND_PKTS,
+        hi: MAX_CWND_PKTS,
+        doc: "current congestion window, packets",
+    },
+    FieldSpec {
+        name: "min_rtt_ms",
+        dim: None,
+        lo: 1.0,
+        hi: 200.0,
+        doc: "minimum round-trip time observed this episode, milliseconds",
+    },
+    FieldSpec {
+        name: "ticks_remaining",
+        dim: None,
+        lo: 0.0,
+        hi: 2400.0,
+        doc: "decision intervals left in the episode",
+    },
+    FieldSpec {
+        name: "total_ticks",
+        dim: None,
+        lo: 60.0,
+        hi: 2400.0,
+        doc: "total decision intervals in the episode",
+    },
+];
+
+/// The congestion-control reward: `throughput − a·latency_inflation −
+/// b·loss`, the shape used by arXiv:2508.16074 (and Orca/Aurora before it).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CcReward {
+    /// Penalty per unit of latency inflation (`rtt/base_rtt − 1`), in Mbps
+    /// equivalents.
+    pub latency_penalty: f64,
+    /// Penalty per unit loss fraction, in Mbps equivalents.
+    pub loss_penalty: f64,
+}
+
+impl Default for CcReward {
+    fn default() -> Self {
+        Self {
+            latency_penalty: 1.0,
+            loss_penalty: 10.0,
+        }
+    }
+}
+
+impl CcReward {
+    /// Reward for one tick.
+    pub fn tick_reward(&self, throughput_mbps: f64, rtt_s: f64, loss_frac: f64) -> f64 {
+        let inflation = (rtt_s / BASE_RTT_S - 1.0).max(0.0);
+        throughput_mbps - self.latency_penalty * inflation - self.loss_penalty * loss_frac
+    }
+}
+
+/// Result of one congestion-control tick (typed mirror of [`EnvStep`], for
+/// baselines and diagnostics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CcTick {
+    /// Delivered throughput this tick, Mbps.
+    pub throughput_mbps: f64,
+    /// Round-trip time at the end of the tick, seconds.
+    pub rtt_s: f64,
+    /// Fraction of offered packets dropped this tick.
+    pub loss_frac: f64,
+    /// Reward earned.
+    pub reward: f64,
+    /// Congestion window after the action, packets.
+    pub cwnd_pkts: f64,
+    /// True when the episode finished.
+    pub done: bool,
+}
+
+/// The congestion-control environment: a CWND policy over one traced link.
+#[derive(Debug, Clone)]
+pub struct CcEnv<'a> {
+    trace: &'a Trace,
+    cursor: TraceCursor<'a>,
+    rng: StdRng,
+    reward: CcReward,
+    seed: u64,
+    noise: bool,
+    total_ticks: usize,
+    // Mutable episode state.
+    tick: usize,
+    cwnd_pkts: f64,
+    queue_pkts: f64,
+    srtt_s: f64,
+    min_rtt_s: f64,
+    throughput_hist: VecDeque<f64>,
+    rtt_hist: VecDeque<f64>,
+    loss_hist: VecDeque<f64>,
+}
+
+impl<'a> CcEnv<'a> {
+    /// Builds a training environment: seed-derived random trace offset and
+    /// ±10 % capacity noise (`env.py` parity with the ABR workload).
+    pub fn new(trace: &'a Trace, total_ticks: usize, reward: CcReward, seed: u64) -> Self {
+        Self::build(trace, total_ticks, reward, seed, true)
+    }
+
+    /// Builds a deterministic, noise-free environment starting at the trace
+    /// beginning (checkpoint evaluation and tests).
+    pub fn deterministic(trace: &'a Trace, total_ticks: usize, reward: CcReward) -> Self {
+        Self::build(trace, total_ticks, reward, 0, false)
+    }
+
+    fn build(
+        trace: &'a Trace,
+        total_ticks: usize,
+        reward: CcReward,
+        seed: u64,
+        noise: bool,
+    ) -> Self {
+        assert!(total_ticks > 0, "episodes need at least one tick");
+        let mut env = Self {
+            trace,
+            cursor: TraceCursor::new(trace),
+            rng: StdRng::seed_from_u64(0),
+            reward,
+            seed,
+            noise,
+            total_ticks,
+            tick: 0,
+            cwnd_pkts: INITIAL_CWND_PKTS,
+            queue_pkts: 0.0,
+            srtt_s: BASE_RTT_S,
+            min_rtt_s: BASE_RTT_S,
+            throughput_hist: VecDeque::new(),
+            rtt_hist: VecDeque::new(),
+            loss_hist: VecDeque::new(),
+        };
+        env.reset_episode();
+        env
+    }
+
+    fn reset_episode(&mut self) {
+        self.cursor = if self.noise {
+            TraceCursor::with_random_start(self.trace, self.seed)
+        } else {
+            TraceCursor::new(self.trace)
+        };
+        self.rng = StdRng::seed_from_u64(self.seed ^ 0xCC00_0000_0000_0015);
+        self.tick = 0;
+        self.cwnd_pkts = INITIAL_CWND_PKTS;
+        self.queue_pkts = 0.0;
+        self.srtt_s = BASE_RTT_S;
+        self.min_rtt_s = BASE_RTT_S;
+        let zeros = || VecDeque::from(vec![0.0; CC_HISTORY_LEN]);
+        self.throughput_hist = zeros();
+        self.rtt_hist = zeros();
+        self.loss_hist = zeros();
+    }
+
+    /// The current congestion window, packets.
+    pub fn cwnd_pkts(&self) -> f64 {
+        self.cwnd_pkts
+    }
+
+    /// Episode length in ticks.
+    pub fn total_ticks(&self) -> usize {
+        self.total_ticks
+    }
+
+    fn observation(&self) -> Vec<ObsValue> {
+        vec![
+            ObsValue::Vector(self.throughput_hist.iter().copied().collect()),
+            ObsValue::Vector(self.rtt_hist.iter().copied().collect()),
+            ObsValue::Vector(self.loss_hist.iter().copied().collect()),
+            ObsValue::Scalar(self.cwnd_pkts),
+            ObsValue::Scalar(self.min_rtt_s * 1000.0),
+            ObsValue::Scalar((self.total_ticks - self.tick) as f64),
+            ObsValue::Scalar(self.total_ticks as f64),
+        ]
+    }
+
+    /// Applies `action` and simulates one tick, returning the typed result.
+    ///
+    /// # Panics
+    /// Panics after the episode finished or on an out-of-range action.
+    pub fn tick(&mut self, action: usize) -> CcTick {
+        assert!(self.tick < self.total_ticks, "episode already finished");
+        assert!(action < CC_ACTIONS.len(), "action {action} out of range");
+
+        self.cwnd_pkts = match CC_ACTIONS[action] {
+            CwndAction::Scale(f) => self.cwnd_pkts * f,
+            CwndAction::Add(d) => self.cwnd_pkts + d,
+        }
+        .clamp(MIN_CWND_PKTS, MAX_CWND_PKTS);
+
+        // Link capacity over this tick (±10 % noise in training mode).
+        let noise = if self.noise {
+            self.rng.gen_range(0.9..1.1)
+        } else {
+            1.0
+        };
+        let bw_mbps = self.cursor.current_bandwidth_mbps() * noise;
+        self.cursor.advance_time(TICK_S);
+        let cap_rate_pps = bw_mbps * 1e6 / (8.0 * CC_PKT_BYTES);
+        let cap_pkts = cap_rate_pps * TICK_S;
+
+        // Window-paced arrivals into a finite tail-drop queue. The sender
+        // is genuinely window-limited: it can never have more than `cwnd`
+        // packets un-ACKed, so injections are capped by the window room
+        // (packets served within the tick are ACKed — the tick is longer
+        // than the base RTT — and free window as they go). Steady state
+        // lands on Little's law: backlog ≈ cwnd − BDP.
+        let paced = self.cwnd_pkts * TICK_S / self.srtt_s.max(BASE_RTT_S);
+        let ack_estimate = (self.queue_pkts + paced).min(cap_pkts);
+        let window_room = (self.cwnd_pkts - self.queue_pkts + ack_estimate).max(0.0);
+        let offered = paced.min(window_room);
+        self.queue_pkts += offered;
+        let served = self.queue_pkts.min(cap_pkts);
+        self.queue_pkts -= served;
+        let dropped = (self.queue_pkts - QUEUE_CAP_PKTS).max(0.0);
+        self.queue_pkts = self.queue_pkts.min(QUEUE_CAP_PKTS);
+        let loss_frac = if offered > 0.0 {
+            (dropped / offered).min(1.0)
+        } else {
+            0.0
+        };
+
+        // Queuing delay on top of the propagation RTT, capped for outages.
+        let queue_delay = if cap_rate_pps > 0.0 {
+            self.queue_pkts / cap_rate_pps
+        } else {
+            MAX_RTT_S
+        };
+        let rtt_s = (BASE_RTT_S + queue_delay).min(MAX_RTT_S);
+        // EWMA smoothing, as the observation spec promises ("smoothed
+        // round-trip time"); also keeps the pacing divisor from reacting
+        // fully to single-tick spikes.
+        self.srtt_s = (1.0 - SRTT_ALPHA) * self.srtt_s + SRTT_ALPHA * rtt_s;
+        self.min_rtt_s = self.min_rtt_s.min(self.srtt_s);
+
+        let throughput_mbps = served * CC_PKT_BYTES * 8.0 / TICK_S / 1e6;
+        let reward = self.reward.tick_reward(throughput_mbps, rtt_s, loss_frac);
+
+        push_window(&mut self.throughput_hist, throughput_mbps);
+        push_window(&mut self.rtt_hist, self.srtt_s * 1000.0);
+        push_window(&mut self.loss_hist, loss_frac);
+        self.tick += 1;
+
+        CcTick {
+            throughput_mbps,
+            rtt_s,
+            loss_frac,
+            reward,
+            cwnd_pkts: self.cwnd_pkts,
+            done: self.tick >= self.total_ticks,
+        }
+    }
+}
+
+fn push_window(q: &mut VecDeque<f64>, v: f64) {
+    q.pop_front();
+    q.push_back(v);
+    debug_assert_eq!(q.len(), CC_HISTORY_LEN);
+}
+
+impl NetEnv for CcEnv<'_> {
+    fn observation_spec(&self) -> &'static [FieldSpec] {
+        &CC_FIELDS
+    }
+
+    fn action_space(&self) -> usize {
+        CC_ACTIONS.len()
+    }
+
+    fn reset(&mut self) -> Vec<ObsValue> {
+        self.reset_episode();
+        self.observation()
+    }
+
+    fn step(&mut self, action: usize) -> EnvStep {
+        let t = self.tick(action);
+        EnvStep {
+            obs: self.observation(),
+            reward: t.reward,
+            done: t.done,
+        }
+    }
+}
+
+/// A congestion-control policy over declared observations.
+pub trait CcPolicy {
+    /// Picks an action index in `0..CC_ACTIONS.len()`.
+    fn select(&mut self, obs: &[ObsValue]) -> usize;
+
+    /// Resets internal state between episodes.
+    fn reset(&mut self) {}
+
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A Cubic-flavoured baseline: multiplicative backoff on loss, gentler
+/// backoff on delay inflation, fast (multiplicative) recovery below the
+/// last known saturation point and additive probing above it. Projected
+/// onto the discrete [`CC_ACTIONS`] space, so the concave/convex cubic
+/// curve becomes a two-regime approximation.
+#[derive(Debug, Clone)]
+pub struct CubicLike {
+    /// Window at the last congestion event, packets.
+    w_max: f64,
+    /// RTT inflation factor treated as congestion (Vegas-style guard).
+    pub delay_threshold: f64,
+}
+
+impl Default for CubicLike {
+    fn default() -> Self {
+        Self {
+            w_max: MAX_CWND_PKTS,
+            delay_threshold: 2.0,
+        }
+    }
+}
+
+impl CcPolicy for CubicLike {
+    fn select(&mut self, obs: &[ObsValue]) -> usize {
+        let loss = *crate::netenv::field(&CC_FIELDS, obs, "loss_history")
+            .as_vector()
+            .last()
+            .expect("history is non-empty");
+        let rtt_ms = *crate::netenv::field(&CC_FIELDS, obs, "rtt_history_ms")
+            .as_vector()
+            .last()
+            .expect("history is non-empty");
+        let min_rtt_ms = crate::netenv::field(&CC_FIELDS, obs, "min_rtt_ms").as_scalar();
+        let cwnd = crate::netenv::field(&CC_FIELDS, obs, "cwnd_pkts").as_scalar();
+
+        if loss > 0.05 {
+            self.w_max = cwnd;
+            return 0; // ×0.5: heavy loss, hard backoff
+        }
+        if min_rtt_ms > 0.0 && rtt_ms > 2.0 * self.delay_threshold * min_rtt_ms {
+            // The queue is far beyond the operating point (e.g. the initial
+            // window overloading a low-BDP link); drain it fast instead of
+            // nibbling ×0.9 per tick.
+            self.w_max = self.w_max.min(cwnd.max(MIN_CWND_PKTS));
+            return 0; // ×0.5: severe delay inflation
+        }
+        if loss > 0.0 || (min_rtt_ms > 0.0 && rtt_ms > self.delay_threshold * min_rtt_ms) {
+            self.w_max = self.w_max.min(cwnd.max(MIN_CWND_PKTS));
+            return 1; // ×0.9: light congestion signal
+        }
+        if cwnd < 0.9 * self.w_max {
+            5 // ×1.1: multiplicative recovery toward the last saturation point
+        } else {
+            4 // +10: additive probing beyond it
+        }
+    }
+
+    fn reset(&mut self) {
+        self.w_max = MAX_CWND_PKTS;
+    }
+
+    fn name(&self) -> &'static str {
+        "CubicLike"
+    }
+}
+
+/// Constant-window reference policy (holds whatever the window is).
+#[derive(Debug, Clone, Default)]
+pub struct HoldCwnd;
+
+impl CcPolicy for HoldCwnd {
+    fn select(&mut self, _obs: &[ObsValue]) -> usize {
+        3
+    }
+
+    fn name(&self) -> &'static str {
+        "HoldCwnd"
+    }
+}
+
+/// Runs `policy` through a whole episode, returning the mean per-tick
+/// reward.
+pub fn run_cc_episode<P: CcPolicy>(env: &mut CcEnv<'_>, policy: &mut P) -> f64 {
+    policy.reset();
+    let mut obs = env.reset();
+    let mut total = 0.0;
+    let mut ticks = 0usize;
+    loop {
+        let action = policy.select(&obs);
+        let step = env.step(action);
+        total += step.reward;
+        ticks += 1;
+        obs = step.obs;
+        if step.done {
+            return total / ticks as f64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netenv::spec_mismatch;
+
+    fn flat(mbps: f64) -> Trace {
+        Trace::from_uniform("flat", 1.0, &[mbps; 600]).unwrap()
+    }
+
+    #[test]
+    fn episode_runs_exactly_total_ticks() {
+        let t = flat(10.0);
+        let mut env = CcEnv::deterministic(&t, 50, CcReward::default());
+        let mut steps = 0;
+        env.reset();
+        loop {
+            let s = env.step(3);
+            steps += 1;
+            if s.done {
+                break;
+            }
+        }
+        assert_eq!(steps, 50);
+    }
+
+    #[test]
+    fn observations_match_spec_at_every_step_including_terminal() {
+        let t = flat(5.0);
+        let mut env = CcEnv::new(&t, 30, CcReward::default(), 9);
+        let obs0 = env.reset();
+        assert_eq!(spec_mismatch(&CC_FIELDS, &obs0), None);
+        loop {
+            let s = env.step(5);
+            assert_eq!(spec_mismatch(&CC_FIELDS, &s.obs), None);
+            if s.done {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn cwnd_stays_within_declared_bounds() {
+        let t = flat(2.0);
+        let mut env = CcEnv::deterministic(&t, 200, CcReward::default());
+        env.reset();
+        // Slam the window both ways; the clamp must hold.
+        for i in 0..200 {
+            let action = if i % 10 < 8 { 6 } else { 0 }; // mostly ×2, some ×0.5
+            let s = env.tick(action);
+            assert!(s.cwnd_pkts >= MIN_CWND_PKTS && s.cwnd_pkts <= MAX_CWND_PKTS);
+            if s.done {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn throughput_is_capacity_bounded() {
+        let t = flat(8.0);
+        let mut env = CcEnv::deterministic(&t, 100, CcReward::default());
+        env.reset();
+        for _ in 0..100 {
+            let s = env.tick(6); // always double: saturate the link
+            assert!(
+                s.throughput_mbps <= 8.0 + 1e-9,
+                "served {} above link rate",
+                s.throughput_mbps
+            );
+        }
+    }
+
+    #[test]
+    fn overdriving_the_link_inflates_rtt_then_drops() {
+        let t = flat(4.0);
+        let mut env = CcEnv::deterministic(&t, 300, CcReward::default());
+        env.reset();
+        let mut saw_inflation = false;
+        let mut saw_loss = false;
+        for _ in 0..300 {
+            let s = env.tick(6);
+            saw_inflation |= s.rtt_s > 2.0 * BASE_RTT_S;
+            saw_loss |= s.loss_frac > 0.0;
+        }
+        assert!(saw_inflation, "queue never built");
+        assert!(saw_loss, "queue never overflowed");
+    }
+
+    #[test]
+    fn rtt_is_bounded_and_above_base() {
+        let t = Trace::from_uniform("outage", 1.0, &[0.0, 6.0].repeat(100)).unwrap();
+        let mut env = CcEnv::deterministic(&t, 200, CcReward::default());
+        env.reset();
+        for _ in 0..200 {
+            let s = env.tick(4);
+            assert!(s.rtt_s >= BASE_RTT_S - 1e-12);
+            assert!(s.rtt_s <= MAX_RTT_S + 1e-12);
+        }
+    }
+
+    #[test]
+    fn reset_replays_the_same_episode_for_a_seed() {
+        let t = flat(6.0);
+        let mut env = CcEnv::new(&t, 40, CcReward::default(), 77);
+        let run = |env: &mut CcEnv<'_>| {
+            let mut rewards = Vec::new();
+            env.reset();
+            for i in 0..40 {
+                rewards.push(env.step(i % CC_ACTIONS.len()).reward);
+            }
+            rewards
+        };
+        let a = run(&mut env);
+        let b = run(&mut env);
+        assert_eq!(a, b, "reset must replay the episode bit-for-bit");
+    }
+
+    #[test]
+    fn good_control_beats_blasting_on_a_constrained_link() {
+        let t = flat(3.0);
+        let mut env = CcEnv::deterministic(&t, 300, CcReward::default());
+        let cubic = run_cc_episode(&mut env, &mut CubicLike::default());
+        let mut env2 = CcEnv::deterministic(&t, 300, CcReward::default());
+        let mut blast = AlwaysDouble;
+        let blasting = run_cc_episode(&mut env2, &mut blast);
+        assert!(
+            cubic > blasting,
+            "cubic-like {cubic} should beat window-blasting {blasting}"
+        );
+    }
+
+    #[test]
+    fn cubic_like_tracks_available_bandwidth() {
+        // On a clean 10 Mbps link the baseline should deliver most of it.
+        let t = flat(10.0);
+        let mut env = CcEnv::deterministic(&t, 400, CcReward::default());
+        let score = run_cc_episode(&mut env, &mut CubicLike::default());
+        assert!(
+            score > 5.0,
+            "cubic-like reward {score} too low on a clean link"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_invalid_action() {
+        let t = flat(5.0);
+        let mut env = CcEnv::deterministic(&t, 10, CcReward::default());
+        env.reset();
+        let _ = env.step(99);
+    }
+
+    struct AlwaysDouble;
+
+    impl CcPolicy for AlwaysDouble {
+        fn select(&mut self, _obs: &[ObsValue]) -> usize {
+            6
+        }
+
+        fn name(&self) -> &'static str {
+            "AlwaysDouble"
+        }
+    }
+}

@@ -103,14 +103,16 @@ impl ChunkTransport for EmuTransport<'_> {
             remaining -= burst;
         }
 
-        Fetch { delay_s: elapsed_s, throughput_mbps: bytes * 8.0 / elapsed_s / 1e6 }
+        Fetch {
+            delay_s: elapsed_s,
+            throughput_mbps: bytes * 8.0 / elapsed_s / 1e6,
+        }
     }
 
     fn advance_idle(&mut self, dt_s: f64) {
         self.cursor.advance_time(dt_s);
         // Slow-start restart: the window decays while the connection idles.
-        self.cwnd_pkts =
-            (self.cwnd_pkts * IDLE_DECAY_PER_S.powf(dt_s)).max(INITIAL_CWND_PKTS);
+        self.cwnd_pkts = (self.cwnd_pkts * IDLE_DECAY_PER_S.powf(dt_s)).max(INITIAL_CWND_PKTS);
     }
 }
 
@@ -157,7 +159,10 @@ mod tests {
         let mut emu = EmuTransport::deterministic(&t);
         let first = emu.fetch(1_000_000.0);
         let second = emu.fetch(1_000_000.0);
-        assert!(second.delay_s < first.delay_s, "warm connection should be faster");
+        assert!(
+            second.delay_s < first.delay_s,
+            "warm connection should be faster"
+        );
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! next [`Observation`] plus the `QoE_lin` reward.
 
 use crate::emulator::EmuTransport;
-use crate::obs::{HistoryBuffers, Observation};
+use crate::netenv::{EnvStep, FieldSpec, NetEnv, ObsValue};
+use crate::obs::{HistoryBuffers, Observation, ABR_FIELDS};
 use crate::qoe::QoeMetric;
 use crate::transport::{ChunkTransport, SimTransport};
 use crate::video::VideoManifest;
@@ -44,6 +45,9 @@ pub struct StepResult {
 pub struct AbrEnv<'a, T: ChunkTransport, Q: QoeMetric> {
     manifest: &'a VideoManifest,
     transport: T,
+    /// Pristine copy of the transport, for [`NetEnv::reset`] (the transport
+    /// owns all episode randomness, so cloning it replays the episode).
+    pristine: T,
     qoe: Q,
     history: HistoryBuffers,
     buffer_s: f64,
@@ -78,6 +82,7 @@ impl<'a, T: ChunkTransport, Q: QoeMetric> AbrEnv<'a, T, Q> {
     pub fn with_transport(manifest: &'a VideoManifest, transport: T, qoe: Q) -> Self {
         Self {
             manifest,
+            pristine: transport.clone(),
             transport,
             qoe,
             history: HistoryBuffers::new(),
@@ -85,6 +90,16 @@ impl<'a, T: ChunkTransport, Q: QoeMetric> AbrEnv<'a, T, Q> {
             next_chunk: 0,
             last_quality: DEFAULT_QUALITY,
         }
+    }
+
+    /// Rewinds to the start of the episode (same trace offset, same noise
+    /// stream).
+    fn reset_episode(&mut self) {
+        self.transport = self.pristine.clone();
+        self.history = HistoryBuffers::new();
+        self.buffer_s = 0.0;
+        self.next_chunk = 0;
+        self.last_quality = DEFAULT_QUALITY;
     }
 
     /// The manifest being streamed.
@@ -118,8 +133,14 @@ impl<'a, T: ChunkTransport, Q: QoeMetric> AbrEnv<'a, T, Q> {
     /// Panics if called after the episode finished or with an out-of-range
     /// quality — both are policy-side bugs, not recoverable conditions.
     pub fn step(&mut self, quality: usize) -> StepResult {
-        assert!(self.next_chunk < self.manifest.n_chunks(), "episode already finished");
-        assert!(quality < self.manifest.n_levels(), "quality {quality} out of range");
+        assert!(
+            self.next_chunk < self.manifest.n_chunks(),
+            "episode already finished"
+        );
+        assert!(
+            quality < self.manifest.n_levels(),
+            "quality {quality} out of range"
+        );
 
         let size = self.manifest.size_bytes(self.next_chunk, quality);
         let fetch = self.transport.fetch(size);
@@ -127,8 +148,7 @@ impl<'a, T: ChunkTransport, Q: QoeMetric> AbrEnv<'a, T, Q> {
         // Player dynamics (Pensieve fixed_env.py):
         // the buffer drains while downloading; a dry buffer stalls playback.
         let rebuffer_s = (fetch.delay_s - self.buffer_s).max(0.0);
-        self.buffer_s = (self.buffer_s - fetch.delay_s).max(0.0)
-            + self.manifest.chunk_duration_s();
+        self.buffer_s = (self.buffer_s - fetch.delay_s).max(0.0) + self.manifest.chunk_duration_s();
 
         // Sleep in 500 ms quanta while above the cap, advancing link time.
         let mut sleep_s = 0.0;
@@ -143,7 +163,8 @@ impl<'a, T: ChunkTransport, Q: QoeMetric> AbrEnv<'a, T, Q> {
         let prev_bitrate = self.manifest.bitrate_kbps(self.last_quality);
         let reward = self.qoe.chunk_reward(bitrate, prev_bitrate, rebuffer_s);
 
-        self.history.push(fetch.throughput_mbps, fetch.delay_s, self.buffer_s);
+        self.history
+            .push(fetch.throughput_mbps, fetch.delay_s, self.buffer_s);
         self.last_quality = quality;
         self.next_chunk += 1;
         let done = self.next_chunk >= self.manifest.n_chunks();
@@ -155,6 +176,30 @@ impl<'a, T: ChunkTransport, Q: QoeMetric> AbrEnv<'a, T, Q> {
             delay_s: fetch.delay_s,
             sleep_s,
             done,
+        }
+    }
+}
+
+impl<T: ChunkTransport, Q: QoeMetric> NetEnv for AbrEnv<'_, T, Q> {
+    fn observation_spec(&self) -> &'static [FieldSpec] {
+        &ABR_FIELDS
+    }
+
+    fn action_space(&self) -> usize {
+        self.manifest.n_levels()
+    }
+
+    fn reset(&mut self) -> Vec<ObsValue> {
+        self.reset_episode();
+        self.observation().field_values()
+    }
+
+    fn step(&mut self, action: usize) -> EnvStep {
+        let r = AbrEnv::step(self, action);
+        EnvStep {
+            obs: r.obs.field_values(),
+            reward: r.reward,
+            done: r.done,
         }
     }
 }
@@ -232,7 +277,11 @@ mod tests {
         let mut env = AbrEnv::new_sim_deterministic(&m, &t, QoeLin::default());
         for _ in 0..48 {
             let r = env.step(0);
-            assert!(r.obs.buffer_s <= BUFFER_CAP_S + 1e-9, "buffer {}", r.obs.buffer_s);
+            assert!(
+                r.obs.buffer_s <= BUFFER_CAP_S + 1e-9,
+                "buffer {}",
+                r.obs.buffer_s
+            );
             if r.done {
                 break;
             }
@@ -247,7 +296,11 @@ mod tests {
         for _ in 0..48 {
             let r = env.step(0);
             let q = r.sleep_s / DRAIN_SLEEP_S;
-            assert!((q - q.round()).abs() < 1e-9, "sleep {} not quantized", r.sleep_s);
+            assert!(
+                (q - q.round()).abs() < 1e-9,
+                "sleep {} not quantized",
+                r.sleep_s
+            );
             if r.done {
                 break;
             }
@@ -264,6 +317,35 @@ mod tests {
         assert!(obs.download_time_s.last().copied().unwrap() > 0.0);
         assert_eq!(obs.chunks_remaining, 47);
         assert_eq!(obs.last_bitrate_kbps, 1200.0);
+    }
+
+    #[test]
+    fn netenv_reset_replays_the_episode() {
+        let (m, t) = fixture();
+        let mut env = AbrEnv::new_sim(&m, &t, QoeLin::default(), 21);
+        let run = |env: &mut AbrEnv<'_, _, _>| {
+            let obs0 = NetEnv::reset(env);
+            let mut rewards = vec![];
+            for q in 0..6 {
+                rewards.push(NetEnv::step(env, q).reward);
+            }
+            (obs0, rewards)
+        };
+        let a = run(&mut env);
+        let b = run(&mut env);
+        assert_eq!(a, b, "reset must rewind trace offset and noise stream");
+    }
+
+    #[test]
+    fn netenv_observation_matches_declared_spec() {
+        use crate::netenv::spec_mismatch;
+        let (m, t) = fixture();
+        let mut env = AbrEnv::new_sim_deterministic(&m, &t, QoeLin::default());
+        let obs = NetEnv::reset(&mut env);
+        assert_eq!(spec_mismatch(&ABR_FIELDS, &obs), None);
+        assert_eq!(NetEnv::action_space(&env), 6);
+        let step = NetEnv::step(&mut env, 2);
+        assert_eq!(spec_mismatch(&ABR_FIELDS, &step.obs), None);
     }
 
     #[test]

@@ -1,7 +1,10 @@
-//! ABR (adaptive bitrate) substrate for the NADA reproduction.
+//! Network environments for the NADA reproduction, behind the
+//! workload-generic [`netenv::NetEnv`] trait.
 //!
-//! NADA's case study is Pensieve-style ABR video streaming. This crate
-//! provides everything the paper's evaluation environment needs:
+//! NADA's case study is Pensieve-style ABR video streaming; this crate
+//! provides everything the paper's evaluation environment needs, plus a
+//! second workload — chunkless congestion control ([`cc`]) — proving the
+//! pipeline generalizes:
 //!
 //! * [`video`] — video manifests and the paper's two bitrate ladders
 //!   ({300…4300} kbps for FCC/Starlink, {1850…53000} kbps for 4G/5G,
@@ -17,7 +20,11 @@
 //!   feature matrices;
 //! * [`baselines`] — classic hand-designed ABR policies (buffer-based,
 //!   rate-based, BOLA, robust MPC) used as sanity baselines and in examples;
-//! * [`session`] — episode drivers and summaries.
+//! * [`session`] — episode drivers and summaries;
+//! * [`netenv`] — the declared-field environment interface every workload
+//!   implements ([`env::AbrEnv`] and [`cc::CcEnv`]);
+//! * [`cc`] — congestion control: CWND actions over a fluid bottleneck
+//!   model on the same traces, with a Cubic-like baseline.
 //!
 //! ```
 //! use nada_sim::prelude::*;
@@ -32,8 +39,10 @@
 //! ```
 
 pub mod baselines;
+pub mod cc;
 pub mod emulator;
 pub mod env;
+pub mod netenv;
 pub mod obs;
 pub mod qoe;
 pub mod session;
@@ -43,9 +52,11 @@ pub mod video;
 /// Convenient single-import surface for examples and tests.
 pub mod prelude {
     pub use crate::baselines::{AbrPolicy, Bola, BufferBased, RateBased, RobustMpc};
+    pub use crate::cc::{run_cc_episode, CcEnv, CcPolicy, CcReward, CubicLike, CC_FIELDS};
     pub use crate::emulator::EmuTransport;
     pub use crate::env::{AbrEnv, StepResult};
-    pub use crate::obs::{Observation, HISTORY_LEN};
+    pub use crate::netenv::{EnvStep, FieldSpec, NetEnv, ObsValue};
+    pub use crate::obs::{Observation, ABR_FIELDS, HISTORY_LEN};
     pub use crate::qoe::{QoeLin, QoeMetric};
     pub use crate::session::{run_episode, EpisodeSummary};
     pub use crate::transport::{ChunkTransport, SimTransport};

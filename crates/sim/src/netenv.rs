@@ -1,0 +1,202 @@
+//! The workload-generic environment interface.
+//!
+//! NADA's thesis is that the generate→filter→train→rank loop applies to
+//! *any* network algorithm, not just ABR. [`NetEnv`] is the seam that makes
+//! that true in this reproduction: an episodic RL environment with a
+//! discrete action space whose observations are **declared** as an ordered
+//! list of named fields ([`FieldSpec`]) instead of a hard-coded struct.
+//!
+//! The pipeline never mentions workload field names: it binds a
+//! [`NetEnv::reset`]/[`NetEnv::step`] observation (a `Vec<ObsValue>` in
+//! spec order) positionally to a DSL input schema derived from the same
+//! spec. Adding a workload means implementing this trait and declaring its
+//! fields — no pipeline surgery.
+//!
+//! Implementations: [`crate::env::AbrEnv`] (Pensieve ABR) and
+//! [`crate::cc::CcEnv`] (chunkless congestion control).
+
+/// One observation field's value: a scalar or a fixed-length vector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObsValue {
+    /// A single number.
+    Scalar(f64),
+    /// A fixed-length series (history window, per-action vector, ...).
+    Vector(Vec<f64>),
+}
+
+impl ObsValue {
+    /// True when every element is finite.
+    pub fn is_finite(&self) -> bool {
+        match self {
+            ObsValue::Scalar(x) => x.is_finite(),
+            ObsValue::Vector(xs) => xs.iter().all(|x| x.is_finite()),
+        }
+    }
+
+    /// The scalar value; panics on vectors (use only on fields whose spec
+    /// declares `dim: None`).
+    pub fn as_scalar(&self) -> f64 {
+        match self {
+            ObsValue::Scalar(x) => *x,
+            ObsValue::Vector(_) => panic!("expected scalar observation field"),
+        }
+    }
+
+    /// The vector elements; panics on scalars.
+    pub fn as_vector(&self) -> &[f64] {
+        match self {
+            ObsValue::Scalar(_) => panic!("expected vector observation field"),
+            ObsValue::Vector(xs) => xs,
+        }
+    }
+}
+
+/// Declaration of one observation field an environment offers.
+///
+/// The `lo`/`hi` range describes realistic raw magnitudes and doubles as
+/// the fuzzing range for the paper's §2.2 normalization check — so declare
+/// *raw* units (bytes, kbps, ms) and let generated designs prove they
+/// normalize.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FieldSpec {
+    /// Field name, as referenced by DSL state programs.
+    pub name: &'static str,
+    /// `None` for a scalar, `Some(n)` for a length-`n` vector.
+    pub dim: Option<usize>,
+    /// Lower bound of realistic per-element values.
+    pub lo: f64,
+    /// Upper bound of realistic per-element values.
+    pub hi: f64,
+    /// What the field means (surfaced in generated prompts).
+    pub doc: &'static str,
+}
+
+impl FieldSpec {
+    /// Does `value` have the declared shape?
+    pub fn matches(&self, value: &ObsValue) -> bool {
+        match (self.dim, value) {
+            (None, ObsValue::Scalar(_)) => true,
+            (Some(n), ObsValue::Vector(xs)) => xs.len() == n,
+            _ => false,
+        }
+    }
+}
+
+/// Result of one environment step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvStep {
+    /// Observation for the *next* decision, in [`NetEnv::observation_spec`]
+    /// order. Valid even when `done` (terminal observations feed value
+    /// bootstrapping).
+    pub obs: Vec<ObsValue>,
+    /// Reward earned by the action just taken.
+    pub reward: f64,
+    /// True when the episode is over.
+    pub done: bool,
+}
+
+/// An episodic network environment with a discrete action space.
+///
+/// Contract:
+/// * [`reset`](NetEnv::reset) restarts the episode from its initial state
+///   and returns the first observation; constructing an environment and
+///   resetting it twice yields identical episodes (determinism is part of
+///   the contract — any randomness must be seeded at construction and
+///   replayed on reset);
+/// * [`step`](NetEnv::step) takes an action index in
+///   `0..action_space()` and advances one decision;
+/// * observations always carry one value per declared field, in order,
+///   with the declared shapes, at every step including the terminal one.
+pub trait NetEnv {
+    /// The declared observation fields, in binding order.
+    fn observation_spec(&self) -> &'static [FieldSpec];
+
+    /// Number of discrete actions.
+    fn action_space(&self) -> usize;
+
+    /// Restarts the episode, returning the initial observation.
+    fn reset(&mut self) -> Vec<ObsValue>;
+
+    /// Takes one action.
+    ///
+    /// # Panics
+    /// May panic if called after `done` or with an out-of-range action —
+    /// both are driver bugs, not recoverable conditions.
+    fn step(&mut self, action: usize) -> EnvStep;
+}
+
+/// Checks an observation against a spec, returning the first mismatch.
+pub fn spec_mismatch(spec: &[FieldSpec], obs: &[ObsValue]) -> Option<String> {
+    if spec.len() != obs.len() {
+        return Some(format!("expected {} fields, got {}", spec.len(), obs.len()));
+    }
+    for (f, v) in spec.iter().zip(obs) {
+        if !f.matches(v) {
+            return Some(format!("field `{}` has the wrong shape", f.name));
+        }
+        if !v.is_finite() {
+            return Some(format!("field `{}` is non-finite", f.name));
+        }
+    }
+    None
+}
+
+/// Looks up a field's value by declared name (test/baseline convenience).
+pub fn field<'o>(spec: &[FieldSpec], obs: &'o [ObsValue], name: &str) -> &'o ObsValue {
+    let idx = spec
+        .iter()
+        .position(|f| f.name == name)
+        .unwrap_or_else(|| panic!("no field named `{name}` in spec"));
+    &obs[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: [FieldSpec; 2] = [
+        FieldSpec {
+            name: "hist",
+            dim: Some(3),
+            lo: 0.0,
+            hi: 1.0,
+            doc: "history",
+        },
+        FieldSpec {
+            name: "level",
+            dim: None,
+            lo: 0.0,
+            hi: 60.0,
+            doc: "level",
+        },
+    ];
+
+    #[test]
+    fn shapes_are_checked() {
+        let ok = vec![ObsValue::Vector(vec![0.0; 3]), ObsValue::Scalar(1.0)];
+        assert_eq!(spec_mismatch(&SPEC, &ok), None);
+
+        let short = vec![ObsValue::Vector(vec![0.0; 2]), ObsValue::Scalar(1.0)];
+        assert!(spec_mismatch(&SPEC, &short).unwrap().contains("hist"));
+
+        let swapped = vec![ObsValue::Scalar(1.0), ObsValue::Vector(vec![0.0; 3])];
+        assert!(spec_mismatch(&SPEC, &swapped).is_some());
+
+        let nan = vec![ObsValue::Vector(vec![f64::NAN; 3]), ObsValue::Scalar(1.0)];
+        assert!(spec_mismatch(&SPEC, &nan).unwrap().contains("non-finite"));
+    }
+
+    #[test]
+    fn field_lookup_finds_by_name() {
+        let obs = vec![ObsValue::Vector(vec![0.5; 3]), ObsValue::Scalar(42.0)];
+        assert_eq!(field(&SPEC, &obs, "level").as_scalar(), 42.0);
+        assert_eq!(field(&SPEC, &obs, "hist").as_vector().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no field named")]
+    fn field_lookup_rejects_unknown_names() {
+        let obs = vec![ObsValue::Vector(vec![0.5; 3]), ObsValue::Scalar(42.0)];
+        let _ = field(&SPEC, &obs, "nope");
+    }
+}

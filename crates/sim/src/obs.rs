@@ -7,10 +7,83 @@
 //! most interesting discovered feature) — so the environment tracks a
 //! superset of what the original design consumes.
 
+use crate::netenv::{FieldSpec, ObsValue};
 use std::collections::VecDeque;
 
 /// Length of every history window, matching Pensieve's `S_LEN = 8`.
 pub const HISTORY_LEN: usize = 8;
+
+/// Ladder levels offered by both paper ladders.
+pub const N_LEVELS: usize = 6;
+
+/// The ABR workload's declared observation fields, in binding order.
+/// This is the single sim-side source of truth that `nada_dsl::abr_schema`
+/// mirrors (the pipeline asserts they agree).
+pub const ABR_FIELDS: [FieldSpec; 9] = [
+    FieldSpec {
+        name: "throughput_mbps",
+        dim: Some(HISTORY_LEN),
+        lo: 0.0,
+        hi: 150.0,
+        doc: "throughput measured for each of the last 8 chunk downloads, Mbps",
+    },
+    FieldSpec {
+        name: "download_time_s",
+        dim: Some(HISTORY_LEN),
+        lo: 0.0,
+        hi: 30.0,
+        doc: "download delay of each of the last 8 chunks, seconds",
+    },
+    FieldSpec {
+        name: "buffer_history_s",
+        dim: Some(HISTORY_LEN),
+        lo: 0.0,
+        hi: 60.0,
+        doc: "playback buffer level after each of the last 8 downloads, seconds",
+    },
+    FieldSpec {
+        name: "next_chunk_sizes_bytes",
+        dim: Some(N_LEVELS),
+        lo: 0.0,
+        hi: 3.0e7,
+        doc: "encoded size of the next chunk at each quality, bytes",
+    },
+    FieldSpec {
+        name: "buffer_s",
+        dim: None,
+        lo: 0.0,
+        hi: 60.0,
+        doc: "current playback buffer, seconds",
+    },
+    FieldSpec {
+        name: "chunks_remaining",
+        dim: None,
+        lo: 0.0,
+        hi: 48.0,
+        doc: "chunks left in the video",
+    },
+    FieldSpec {
+        name: "total_chunks",
+        dim: None,
+        lo: 48.0,
+        hi: 48.0,
+        doc: "total chunks in the video",
+    },
+    FieldSpec {
+        name: "last_bitrate_kbps",
+        dim: None,
+        lo: 300.0,
+        hi: 53_000.0,
+        doc: "bitrate of the previously selected chunk, kbps",
+    },
+    FieldSpec {
+        name: "max_bitrate_kbps",
+        dim: None,
+        lo: 4_300.0,
+        hi: 53_000.0,
+        doc: "highest ladder bitrate, kbps",
+    },
+];
 
 /// Raw, unnormalized inputs available to a state program at decision time.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +128,21 @@ impl Observation {
     pub fn remaining_fraction(&self) -> f64 {
         self.chunks_remaining as f64 / self.total_chunks as f64
     }
+
+    /// The observation as declared field values, in [`ABR_FIELDS`] order.
+    pub fn field_values(&self) -> Vec<ObsValue> {
+        vec![
+            ObsValue::Vector(self.throughput_mbps.clone()),
+            ObsValue::Vector(self.download_time_s.clone()),
+            ObsValue::Vector(self.buffer_history_s.clone()),
+            ObsValue::Vector(self.next_chunk_sizes_bytes.clone()),
+            ObsValue::Scalar(self.buffer_s),
+            ObsValue::Scalar(self.chunks_remaining as f64),
+            ObsValue::Scalar(self.total_chunks as f64),
+            ObsValue::Scalar(self.last_bitrate_kbps),
+            ObsValue::Scalar(self.max_bitrate_kbps()),
+        ]
+    }
 }
 
 /// Rolling histories maintained by the environment between steps.
@@ -68,7 +156,11 @@ pub(crate) struct HistoryBuffers {
 impl HistoryBuffers {
     pub(crate) fn new() -> Self {
         let zeros = || VecDeque::from(vec![0.0; HISTORY_LEN]);
-        Self { throughput_mbps: zeros(), download_time_s: zeros(), buffer_s: zeros() }
+        Self {
+            throughput_mbps: zeros(),
+            download_time_s: zeros(),
+            buffer_s: zeros(),
+        }
     }
 
     pub(crate) fn push(&mut self, throughput_mbps: f64, download_time_s: f64, buffer_s: f64) {

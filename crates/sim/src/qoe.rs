@@ -33,7 +33,10 @@ pub struct QoeLin {
 
 impl Default for QoeLin {
     fn default() -> Self {
-        Self { rebuf_penalty: 4.3, smooth_penalty: 1.0 }
+        Self {
+            rebuf_penalty: 4.3,
+            smooth_penalty: 1.0,
+        }
     }
 }
 
@@ -63,7 +66,10 @@ impl QoeLog {
     /// Builds a log-QoE anchored at the given minimum ladder bitrate.
     pub fn new(r_min_kbps: f64) -> Self {
         assert!(r_min_kbps > 0.0);
-        Self { r_min_kbps, rebuf_penalty: 2.66 }
+        Self {
+            r_min_kbps,
+            rebuf_penalty: 2.66,
+        }
     }
 }
 
@@ -95,13 +101,24 @@ pub struct QoeHd {
 
 impl Default for QoeHd {
     fn default() -> Self {
-        Self { hd_threshold_kbps: 1850.0, hd_reward: 3.0, sd_reward: 1.0, rebuf_penalty: 8.0 }
+        Self {
+            hd_threshold_kbps: 1850.0,
+            hd_reward: 3.0,
+            sd_reward: 1.0,
+            rebuf_penalty: 8.0,
+        }
     }
 }
 
 impl QoeMetric for QoeHd {
     fn chunk_reward(&self, bitrate_kbps: f64, prev_bitrate_kbps: f64, rebuffer_s: f64) -> f64 {
-        let score = |r: f64| if r >= self.hd_threshold_kbps { self.hd_reward } else { self.sd_reward };
+        let score = |r: f64| {
+            if r >= self.hd_threshold_kbps {
+                self.hd_reward
+            } else {
+                self.sd_reward
+            }
+        };
         let q = score(bitrate_kbps);
         let q_prev = score(prev_bitrate_kbps);
         q - self.rebuf_penalty * rebuffer_s - (q - q_prev).abs()

@@ -94,7 +94,14 @@ where
     loop {
         let quality = policy.select(&obs);
         let bitrate_kbps = obs.ladder_kbps[quality.min(obs.n_levels() - 1)];
-        let StepResult { obs: next, reward, rebuffer_s, delay_s, done, .. } = env.step(quality);
+        let StepResult {
+            obs: next,
+            reward,
+            rebuffer_s,
+            delay_s,
+            done,
+            ..
+        } = env.step(quality);
         trace.records.push(ChunkRecord {
             quality,
             bitrate_kbps,
@@ -175,9 +182,30 @@ mod tests {
     fn switches_counted_between_consecutive_chunks() {
         let tr = EpisodeTrace {
             records: vec![
-                ChunkRecord { quality: 0, bitrate_kbps: 300.0, reward: 0.0, rebuffer_s: 0.0, delay_s: 1.0, buffer_s: 4.0 },
-                ChunkRecord { quality: 1, bitrate_kbps: 750.0, reward: 0.0, rebuffer_s: 0.0, delay_s: 1.0, buffer_s: 4.0 },
-                ChunkRecord { quality: 1, bitrate_kbps: 750.0, reward: 0.0, rebuffer_s: 0.0, delay_s: 1.0, buffer_s: 4.0 },
+                ChunkRecord {
+                    quality: 0,
+                    bitrate_kbps: 300.0,
+                    reward: 0.0,
+                    rebuffer_s: 0.0,
+                    delay_s: 1.0,
+                    buffer_s: 4.0,
+                },
+                ChunkRecord {
+                    quality: 1,
+                    bitrate_kbps: 750.0,
+                    reward: 0.0,
+                    rebuffer_s: 0.0,
+                    delay_s: 1.0,
+                    buffer_s: 4.0,
+                },
+                ChunkRecord {
+                    quality: 1,
+                    bitrate_kbps: 750.0,
+                    reward: 0.0,
+                    rebuffer_s: 0.0,
+                    delay_s: 1.0,
+                    buffer_s: 4.0,
+                },
             ],
         };
         assert_eq!(tr.summarize().switches, 1);

@@ -21,7 +21,11 @@ pub struct Fetch {
 }
 
 /// A deterministic model of downloading chunk bytes over a traced link.
-pub trait ChunkTransport {
+///
+/// `Clone` is a supertrait because transports own all episode randomness:
+/// cloning a pristine transport is how environments rewind an episode for
+/// [`crate::netenv::NetEnv::reset`].
+pub trait ChunkTransport: Clone {
     /// Downloads `bytes` and returns timing; advances internal link time.
     fn fetch(&mut self, bytes: f64) -> Fetch;
 
@@ -94,7 +98,10 @@ impl ChunkTransport for SimTransport<'_> {
             1.0
         };
         let delay_s = wire.duration_s * noise + LINK_RTT_S;
-        Fetch { delay_s, throughput_mbps: bytes * 8.0 / delay_s / 1e6 }
+        Fetch {
+            delay_s,
+            throughput_mbps: bytes * 8.0 / delay_s / 1e6,
+        }
     }
 
     fn advance_idle(&mut self, dt_s: f64) {
@@ -145,7 +152,11 @@ mod tests {
             let f = s.fetch(95_000.0);
             // Pure transfer takes 0.1 s; noise keeps it within [0.09, 0.11],
             // plus the fixed 80 ms RTT.
-            assert!(f.delay_s > 0.09 + 0.079 && f.delay_s < 0.11 + 0.081, "{}", f.delay_s);
+            assert!(
+                f.delay_s > 0.09 + 0.079 && f.delay_s < 0.11 + 0.081,
+                "{}",
+                f.delay_s
+            );
         }
     }
 
@@ -155,6 +166,10 @@ mod tests {
         let mut s = SimTransport::deterministic(&t);
         s.advance_idle(1.5); // into the fast segment
         let f = s.fetch(1_250_000.0); // 10 Mbit at 100 Mbps = 0.1 s... plus payload factor
-        assert!(f.delay_s < 0.3, "fetch should hit the fast segment, took {}", f.delay_s);
+        assert!(
+            f.delay_s < 0.3,
+            "fetch should hit the fast segment, took {}",
+            f.delay_s
+        );
     }
 }

@@ -16,7 +16,10 @@ impl Ladder {
     /// Panics on an empty or non-increasing ladder — ladders are
     /// program-defined constants, not user input.
     pub fn new(levels_kbps: Vec<f64>) -> Self {
-        assert!(!levels_kbps.is_empty(), "ladder must have at least one level");
+        assert!(
+            !levels_kbps.is_empty(),
+            "ladder must have at least one level"
+        );
         for w in levels_kbps.windows(2) {
             assert!(w[0] < w[1], "ladder must be strictly increasing");
         }
@@ -93,7 +96,11 @@ impl VideoManifest {
                     .collect()
             })
             .collect();
-        Self { ladder, chunk_duration_s, sizes_bytes }
+        Self {
+            ladder,
+            chunk_duration_s,
+            sizes_bytes,
+        }
     }
 
     /// Builds a manifest with exact nominal sizes (no VBR jitter); useful in
@@ -109,7 +116,11 @@ impl VideoManifest {
                     .collect()
             })
             .collect();
-        Self { ladder, chunk_duration_s, sizes_bytes }
+        Self {
+            ladder,
+            chunk_duration_s,
+            sizes_bytes,
+        }
     }
 
     /// The bitrate ladder.

@@ -19,8 +19,12 @@ pub enum DatasetKind {
 
 impl DatasetKind {
     /// All datasets, in the paper's presentation order.
-    pub const ALL: [DatasetKind; 4] =
-        [DatasetKind::Fcc, DatasetKind::Starlink, DatasetKind::Lte4g, DatasetKind::Nr5g];
+    pub const ALL: [DatasetKind; 4] = [
+        DatasetKind::Fcc,
+        DatasetKind::Starlink,
+        DatasetKind::Lte4g,
+        DatasetKind::Nr5g,
+    ];
 
     /// The paper's display name.
     pub fn name(&self) -> &'static str {
@@ -142,9 +146,10 @@ impl TraceDataset {
         let synth = kind.synthesizer();
         let (train_n, test_n) = match scale {
             DatasetScale::Paper => (spec.train_traces, spec.test_traces),
-            DatasetScale::Quick => {
-                ((spec.train_traces / 10).max(4), (spec.test_traces / 10).max(4))
-            }
+            DatasetScale::Quick => (
+                (spec.train_traces / 10).max(4),
+                (spec.test_traces / 10).max(4),
+            ),
             DatasetScale::Tiny => (2, 2),
         };
         let (train_dur, test_dur) = match scale {

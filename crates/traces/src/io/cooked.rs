@@ -44,7 +44,10 @@ pub fn read_cooked(name: impl Into<String>, text: &str) -> Result<Trace, TraceEr
 }
 
 fn parse_err(lineno: usize, message: &str) -> TraceError {
-    TraceError::Parse { line: lineno + 1, message: message.to_string() }
+    TraceError::Parse {
+        line: lineno + 1,
+        message: message.to_string(),
+    }
 }
 
 #[cfg(test)]
@@ -82,6 +85,9 @@ mod tests {
     #[test]
     fn rejects_trailing_fields() {
         let text = "0.0 1.0 99\n";
-        assert!(matches!(read_cooked("bad", text), Err(TraceError::Parse { .. })));
+        assert!(matches!(
+            read_cooked("bad", text),
+            Err(TraceError::Parse { .. })
+        ));
     }
 }

@@ -39,11 +39,7 @@ pub fn write_mahimahi(trace: &Trace) -> String {
 
 /// Parses a Mahimahi packet schedule into a trace with `bin_s`-wide
 /// piecewise-constant bandwidth samples.
-pub fn read_mahimahi(
-    name: impl Into<String>,
-    text: &str,
-    bin_s: f64,
-) -> Result<Trace, TraceError> {
+pub fn read_mahimahi(name: impl Into<String>, text: &str, bin_s: f64) -> Result<Trace, TraceError> {
     assert!(bin_s > 0.0, "bin width must be positive");
     let mut last_ms: u64 = 0;
     let mut stamps_ms: Vec<u64> = Vec::new();
@@ -117,12 +113,18 @@ mod tests {
     #[test]
     fn read_rejects_decreasing_timestamps() {
         let text = "5\n3\n";
-        assert!(matches!(read_mahimahi("bad", text, 1.0), Err(TraceError::Parse { .. })));
+        assert!(matches!(
+            read_mahimahi("bad", text, 1.0),
+            Err(TraceError::Parse { .. })
+        ));
     }
 
     #[test]
     fn read_rejects_empty_schedule() {
-        assert!(matches!(read_mahimahi("empty", "", 1.0), Err(TraceError::Empty)));
+        assert!(matches!(
+            read_mahimahi("empty", "", 1.0),
+            Err(TraceError::Empty)
+        ));
     }
 
     #[test]

@@ -17,7 +17,10 @@ pub struct TracePoint {
 impl TracePoint {
     /// Convenience constructor.
     pub fn new(time_s: f64, bandwidth_mbps: f64) -> Self {
-        Self { time_s, bandwidth_mbps }
+        Self {
+            time_s,
+            bandwidth_mbps,
+        }
     }
 }
 
@@ -41,7 +44,10 @@ impl fmt::Display for TraceError {
         match self {
             TraceError::Empty => write!(f, "trace has no points"),
             TraceError::NonMonotonicTime { index } => {
-                write!(f, "trace timestamps not strictly increasing at index {index}")
+                write!(
+                    f,
+                    "trace timestamps not strictly increasing at index {index}"
+                )
             }
             TraceError::InvalidBandwidth { index, value } => {
                 write!(f, "invalid bandwidth {value} at index {index}")
@@ -82,10 +88,16 @@ impl Trace {
         let mut prev = f64::NEG_INFINITY;
         for (index, p) in points.iter().enumerate() {
             if !p.time_s.is_finite() || p.time_s < 0.0 {
-                return Err(TraceError::InvalidTime { index, value: p.time_s });
+                return Err(TraceError::InvalidTime {
+                    index,
+                    value: p.time_s,
+                });
             }
             if !p.bandwidth_mbps.is_finite() || p.bandwidth_mbps < 0.0 {
-                return Err(TraceError::InvalidBandwidth { index, value: p.bandwidth_mbps });
+                return Err(TraceError::InvalidBandwidth {
+                    index,
+                    value: p.bandwidth_mbps,
+                });
             }
             if p.time_s <= prev {
                 return Err(TraceError::NonMonotonicTime { index });
@@ -93,7 +105,11 @@ impl Trace {
             prev = p.time_s;
         }
         let duration_s = Self::infer_duration(&points);
-        Ok(Self { name: name.into(), points, duration_s })
+        Ok(Self {
+            name: name.into(),
+            points,
+            duration_s,
+        })
     }
 
     /// Builds a trace from uniformly spaced samples starting at t = 0.
@@ -115,8 +131,10 @@ impl Trace {
         if points.len() < 2 {
             return last + 1.0;
         }
-        let mut gaps: Vec<f64> =
-            points.windows(2).map(|w| w[1].time_s - w[0].time_s).collect();
+        let mut gaps: Vec<f64> = points
+            .windows(2)
+            .map(|w| w[1].time_s - w[0].time_s)
+            .collect();
         gaps.sort_by(|a, b| a.partial_cmp(b).expect("gaps are finite"));
         last + gaps[gaps.len() / 2]
     }
@@ -160,12 +178,18 @@ impl Trace {
 
     /// Minimum bandwidth sample in Mbps.
     pub fn min_mbps(&self) -> f64 {
-        self.points.iter().map(|p| p.bandwidth_mbps).fold(f64::INFINITY, f64::min)
+        self.points
+            .iter()
+            .map(|p| p.bandwidth_mbps)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Maximum bandwidth sample in Mbps.
     pub fn max_mbps(&self) -> f64 {
-        self.points.iter().map(|p| p.bandwidth_mbps).fold(0.0, f64::max)
+        self.points
+            .iter()
+            .map(|p| p.bandwidth_mbps)
+            .fold(0.0, f64::max)
     }
 
     /// Time-weighted standard deviation of throughput in Mbps.
@@ -211,8 +235,12 @@ impl Trace {
 
     /// Returns a copy truncated to at most `max_duration_s` seconds.
     pub fn truncated(&self, max_duration_s: f64) -> Result<Self, TraceError> {
-        let points: Vec<TracePoint> =
-            self.points.iter().copied().take_while(|p| p.time_s < max_duration_s).collect();
+        let points: Vec<TracePoint> = self
+            .points
+            .iter()
+            .copied()
+            .take_while(|p| p.time_s < max_duration_s)
+            .collect();
         Self::new(self.name.clone(), points)
     }
 }
@@ -233,7 +261,10 @@ mod tests {
     #[test]
     fn rejects_non_monotonic_time() {
         let pts = vec![TracePoint::new(0.0, 1.0), TracePoint::new(0.0, 2.0)];
-        assert_eq!(Trace::new("t", pts), Err(TraceError::NonMonotonicTime { index: 1 }));
+        assert_eq!(
+            Trace::new("t", pts),
+            Err(TraceError::NonMonotonicTime { index: 1 })
+        );
     }
 
     #[test]
@@ -248,7 +279,10 @@ mod tests {
     #[test]
     fn rejects_nan_time() {
         let pts = vec![TracePoint::new(f64::NAN, 1.0)];
-        assert!(matches!(Trace::new("t", pts), Err(TraceError::InvalidTime { index: 0, .. })));
+        assert!(matches!(
+            Trace::new("t", pts),
+            Err(TraceError::InvalidTime { index: 0, .. })
+        ));
     }
 
     #[test]

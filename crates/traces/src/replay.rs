@@ -41,7 +41,13 @@ pub struct Transfer {
 impl<'a> TraceCursor<'a> {
     /// Creates a cursor positioned at the start of `trace`.
     pub fn new(trace: &'a Trace) -> Self {
-        Self { trace, seg: 0, offset_s: 0.0, elapsed_s: 0.0, wraps: 0 }
+        Self {
+            trace,
+            seg: 0,
+            offset_s: 0.0,
+            elapsed_s: 0.0,
+            wraps: 0,
+        }
     }
 
     /// Creates a cursor at a pseudo-random start offset derived from `seed`,
@@ -105,7 +111,10 @@ impl<'a> TraceCursor<'a> {
     /// Advances the cursor by `dt_s` seconds without transferring data
     /// (used for playback-only intervals, e.g. Pensieve's 500 ms sleeps).
     pub fn advance_time(&mut self, dt_s: f64) {
-        assert!(dt_s.is_finite() && dt_s >= 0.0, "advance_time requires dt_s >= 0");
+        assert!(
+            dt_s.is_finite() && dt_s >= 0.0,
+            "advance_time requires dt_s >= 0"
+        );
         let mut rem = dt_s;
         self.elapsed_s += dt_s;
         loop {
@@ -126,7 +135,10 @@ impl<'a> TraceCursor<'a> {
     /// the *whole* trace has zero mean bandwidth this would never finish, so
     /// traces validated by dataset construction always carry positive mean.
     pub fn download(&mut self, bytes: f64) -> Transfer {
-        assert!(bytes.is_finite() && bytes >= 0.0, "download requires bytes >= 0");
+        assert!(
+            bytes.is_finite() && bytes >= 0.0,
+            "download requires bytes >= 0"
+        );
         let mut remaining_bits = bytes * 8.0;
         let mut duration_s = 0.0;
         while remaining_bits > 0.0 {
@@ -155,7 +167,10 @@ impl<'a> TraceCursor<'a> {
         } else {
             self.current_bandwidth_mbps()
         };
-        Transfer { duration_s, throughput_mbps }
+        Transfer {
+            duration_s,
+            throughput_mbps,
+        }
     }
 }
 

@@ -51,7 +51,10 @@ impl DatasetStats {
             test_hours: ds.test.iter().map(|t| t.duration_s()).sum::<f64>() / 3600.0,
             mean_throughput_mbps: mean,
             std_throughput_mbps: (ex2 - mean * mean).max(0.0).sqrt(),
-            min_throughput_mbps: all.iter().map(|t| t.min_mbps()).fold(f64::INFINITY, f64::min),
+            min_throughput_mbps: all
+                .iter()
+                .map(|t| t.min_mbps())
+                .fold(f64::INFINITY, f64::min),
             max_throughput_mbps: all.iter().map(|t| t.max_mbps()).fold(0.0, f64::max),
         }
     }

@@ -35,7 +35,11 @@ impl LogAr1 {
         assert!((0.0..1.0).contains(&rho), "rho must be in [0,1)");
         assert!(sigma >= 0.0, "sigma must be non-negative");
         let v = sigma * sigma / (1.0 - rho * rho);
-        Self { mu_log: mean_mbps.ln() - v / 2.0, rho, sigma }
+        Self {
+            mu_log: mean_mbps.ln() - v / 2.0,
+            rho,
+            sigma,
+        }
     }
 
     /// Stationary linear mean of the emitted (exponentiated) process, Mbps.
@@ -92,7 +96,10 @@ mod tests {
             acc += x.exp();
         }
         let mean = acc / n as f64;
-        assert!((mean - 5.0).abs() / 5.0 < 0.05, "empirical mean {mean} too far from 5.0");
+        assert!(
+            (mean - 5.0).abs() / 5.0 < 0.05,
+            "empirical mean {mean} too far from 5.0"
+        );
     }
 
     #[test]

@@ -63,7 +63,10 @@ impl TraceSynthesizer for FccSynth {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xFCC0_0000_0000_0001);
         let n = (duration_s / self.dt_s).ceil().max(2.0) as usize;
         let raw = self.chain().sample(&mut rng, n, self.dt_s);
-        let bw: Vec<f64> = raw.into_iter().map(|x| clamp_bw(x, self.max_mbps)).collect();
+        let bw: Vec<f64> = raw
+            .into_iter()
+            .map(|x| clamp_bw(x, self.max_mbps))
+            .collect();
         Trace::from_uniform(format!("fcc-{seed:08x}"), self.dt_s, &bw)
             .expect("generator emits valid samples")
     }
@@ -87,7 +90,10 @@ mod tests {
             acc += s.generate(seed, 600.0).mean_mbps();
         }
         let mean = acc / n as f64;
-        assert!((mean - 1.3).abs() < 0.35, "mean {mean} too far from 1.3 Mbps");
+        assert!(
+            (mean - 1.3).abs() < 0.35,
+            "mean {mean} too far from 1.3 Mbps"
+        );
     }
 
     #[test]

@@ -118,14 +118,20 @@ mod tests {
             acc += s.generate(seed, 400.0).mean_mbps();
         }
         let mean = acc / n as f64;
-        assert!((mean - 19.8).abs() < 5.0, "mean {mean} too far from 19.8 Mbps");
+        assert!(
+            (mean - 19.8).abs() < 5.0,
+            "mean {mean} too far from 19.8 Mbps"
+        );
     }
 
     #[test]
     fn handover_outages_hit_the_floor() {
         let t = Lte4gSynth::default().generate(21, 600.0);
-        let floors =
-            t.points().iter().filter(|p| p.bandwidth_mbps <= MIN_BANDWIDTH_MBPS + 1e-12).count();
+        let floors = t
+            .points()
+            .iter()
+            .filter(|p| p.bandwidth_mbps <= MIN_BANDWIDTH_MBPS + 1e-12)
+            .count();
         assert!(floors > 0, "expected at least one handover outage");
     }
 

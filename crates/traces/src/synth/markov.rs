@@ -40,7 +40,12 @@ impl RegimeChain {
         assert!(!regimes.is_empty(), "need at least one regime");
         let n = regimes.len();
         for r in &regimes {
-            assert_eq!(r.exit_weights.len(), n, "exit_weights length mismatch in {}", r.name);
+            assert_eq!(
+                r.exit_weights.len(),
+                n,
+                "exit_weights length mismatch in {}",
+                r.name
+            );
             assert!(r.mean_dwell_s > 0.0, "dwell must be positive in {}", r.name);
         }
         Self { regimes }

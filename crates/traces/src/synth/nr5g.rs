@@ -72,7 +72,10 @@ impl TraceSynthesizer for Nr5gSynth {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5650_0000_0000_0004);
         let n = (duration_s / self.dt_s).ceil().max(2.0) as usize;
         let raw = self.chain().sample(&mut rng, n, self.dt_s);
-        let bw: Vec<f64> = raw.into_iter().map(|x| clamp_bw(x, self.max_mbps)).collect();
+        let bw: Vec<f64> = raw
+            .into_iter()
+            .map(|x| clamp_bw(x, self.max_mbps))
+            .collect();
         Trace::from_uniform(format!("5g-{seed:08x}"), self.dt_s, &bw)
             .expect("generator emits valid samples")
     }
@@ -95,7 +98,10 @@ mod tests {
             acc += s.generate(seed, 400.0).mean_mbps();
         }
         let mean = acc / n as f64;
-        assert!((mean - 30.2).abs() < 7.0, "mean {mean} too far from 30.2 Mbps");
+        assert!(
+            (mean - 30.2).abs() < 7.0,
+            "mean {mean} too far from 30.2 Mbps"
+        );
     }
 
     #[test]
@@ -108,7 +114,9 @@ mod tests {
     #[test]
     fn faster_than_4g_on_average() {
         let g5 = Nr5gSynth::default().generate(2, 600.0).mean_mbps();
-        let g4 = super::super::lte4g::Lte4gSynth::default().generate(2, 600.0).mean_mbps();
+        let g4 = super::super::lte4g::Lte4gSynth::default()
+            .generate(2, 600.0)
+            .mean_mbps();
         assert!(g5 > g4, "5G mean {g5} should exceed 4G mean {g4}");
     }
 }

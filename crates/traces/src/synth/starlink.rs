@@ -64,7 +64,10 @@ impl Default for StarlinkSynth {
 impl StarlinkSynth {
     /// An off-peak variant (no 1/8 reduction) for what-if experiments.
     pub fn off_peak() -> Self {
-        Self { capacity_scale: 1.0, ..Self::default() }
+        Self {
+            capacity_scale: 1.0,
+            ..Self::default()
+        }
     }
 
     fn chain(&self) -> RegimeChain {
@@ -142,7 +145,10 @@ mod tests {
             acc += s.generate(seed, 400.0).mean_mbps();
         }
         let mean = acc / n as f64;
-        assert!((mean - 1.6).abs() < 0.5, "mean {mean} too far from 1.6 Mbps");
+        assert!(
+            (mean - 1.6).abs() < 0.5,
+            "mean {mean} too far from 1.6 Mbps"
+        );
     }
 
     #[test]
@@ -150,7 +156,10 @@ mod tests {
         let peak = StarlinkSynth::default().generate(5, 400.0);
         let off = StarlinkSynth::off_peak().generate(5, 400.0);
         let ratio = off.mean_mbps() / peak.mean_mbps();
-        assert!((ratio - 8.0).abs() < 0.8, "scale ratio {ratio} should be ~8");
+        assert!(
+            (ratio - 8.0).abs() < 0.8,
+            "scale ratio {ratio} should be ~8"
+        );
     }
 
     #[test]
@@ -162,7 +171,10 @@ mod tests {
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = v[v.len() / 2];
         let deep = v.iter().filter(|&&x| x < 0.5 * median).count();
-        assert!(deep > 10, "expected handover dips, found {deep} deep samples");
+        assert!(
+            deep > 10,
+            "expected handover dips, found {deep} deep samples"
+        );
     }
 
     #[test]

@@ -39,17 +39,43 @@ fn eval_emu<P: AbrPolicy + Clone>(ds: &TraceDataset, policy: P) -> f64 {
 }
 
 fn main() {
-    println!("{:9} {:12} {:>9} {:>10} {:>9}", "dataset", "policy", "QoE(sim)", "rebuf(s)", "QoE(emu)");
+    println!(
+        "{:9} {:12} {:>9} {:>10} {:>9}",
+        "dataset", "policy", "QoE(sim)", "rebuf(s)", "QoE(emu)"
+    );
     for kind in DatasetKind::ALL {
         let ds = TraceDataset::synthesize(kind, DatasetScale::Quick, 7);
         let rows: Vec<(&str, (f64, f64), f64)> = vec![
-            ("BufferBased", eval_sim(&ds, BufferBased::default()), eval_emu(&ds, BufferBased::default())),
-            ("RateBased", eval_sim(&ds, RateBased::default()), eval_emu(&ds, RateBased::default())),
-            ("BOLA", eval_sim(&ds, Bola::default()), eval_emu(&ds, Bola::default())),
-            ("RobustMPC", eval_sim(&ds, RobustMpc::default()), eval_emu(&ds, RobustMpc::default())),
+            (
+                "BufferBased",
+                eval_sim(&ds, BufferBased::default()),
+                eval_emu(&ds, BufferBased::default()),
+            ),
+            (
+                "RateBased",
+                eval_sim(&ds, RateBased::default()),
+                eval_emu(&ds, RateBased::default()),
+            ),
+            (
+                "BOLA",
+                eval_sim(&ds, Bola::default()),
+                eval_emu(&ds, Bola::default()),
+            ),
+            (
+                "RobustMPC",
+                eval_sim(&ds, RobustMpc::default()),
+                eval_emu(&ds, RobustMpc::default()),
+            ),
         ];
         for (name, (qoe, rebuf), emu) in rows {
-            println!("{:9} {:12} {:>9.3} {:>10.1} {:>9.3}", kind.name(), name, qoe, rebuf, emu);
+            println!(
+                "{:9} {:12} {:>9.3} {:>10.1} {:>9.3}",
+                kind.name(),
+                name,
+                qoe,
+                rebuf,
+                emu
+            );
         }
         println!();
     }

@@ -64,8 +64,14 @@ fn main() {
 
     // Replay the exact same candidate stream (e.g. to re-rank offline).
     let transcript = recorder.into_transcript();
-    println!("recorded {} completions; replaying the first one:", transcript.len());
+    println!(
+        "recorded {} completions; replaying the first one:",
+        transcript.len()
+    );
     let mut replay = ReplayClient::new("replay", transcript);
     let again = replay.generate(&Prompt::state(nada::dsl::seeds::PENSIEVE_STATE_SOURCE));
-    println!("{}", again.code.lines().take(3).collect::<Vec<_>>().join("\n"));
+    println!(
+        "{}",
+        again.code.lines().take(3).collect::<Vec<_>>().join("\n")
+    );
 }

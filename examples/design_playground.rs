@@ -43,7 +43,11 @@ state buffer_trend_design {
 fn main() {
     // 1. Compilation check.
     let custom = compile_state(MY_STATE).expect("the custom design should compile");
-    println!("compiled `{}` with {} features", custom.name(), custom.feature_names().len());
+    println!(
+        "compiled `{}` with {} features",
+        custom.name(),
+        custom.feature_names().len()
+    );
 
     // 2. Normalization check (T = 100, as in the paper).
     match normalization_check(&custom, &FuzzConfig::default()) {
@@ -56,14 +60,22 @@ fn main() {
     let dataset = TraceDataset::synthesize(cfg.dataset, cfg.dataset_scale(), cfg.seed);
     let run_cfg = TrainRunConfig::from(&cfg);
     let arch = seeds::pensieve_arch();
+    let workload = nada::core::AbrWorkload::for_dataset(cfg.dataset);
 
     let mut mine = Vec::new();
     let mut original = Vec::new();
     for seed in 0..3u64 {
-        mine.push(train_design(&custom, &arch, &dataset, &run_cfg, 100 + seed).unwrap());
+        mine.push(train_design(&workload, &custom, &arch, &dataset, &run_cfg, 100 + seed).unwrap());
         original.push(
-            train_design(&seeds::pensieve_state(), &arch, &dataset, &run_cfg, 100 + seed)
-                .unwrap(),
+            train_design(
+                &workload,
+                &seeds::pensieve_state(),
+                &arch,
+                &dataset,
+                &run_cfg,
+                100 + seed,
+            )
+            .unwrap(),
         );
     }
     let my_score = final_test_score(&mine);

@@ -39,21 +39,39 @@ fn main() {
         })
         .collect();
     let (accepted, stats) = nada.precheck_all(&candidates);
-    println!("pool: {} generated, {} accepted by the pre-checks", stats.total, accepted.len());
+    println!(
+        "pool: {} generated, {} accepted by the pre-checks",
+        stats.total,
+        accepted.len()
+    );
 
     // Train every design fully (ground truth).
     let arch = seeds::pensieve_arch();
     let run_cfg = TrainRunConfig::from(&cfg);
     let dataset = nada.dataset();
+    let workload = nada.workload();
     let results: Vec<Option<(String, nada::core::TrainOutcome)>> =
         parallel_map(accepted, &|(cand, design)| {
-            let CompiledDesign::State(state) = design else { return None };
-            let out =
-                train_design(&state, &arch, dataset, &run_cfg, 5000 + cand.id as u64).ok()?;
+            let CompiledDesign::State(state) = design else {
+                return None;
+            };
+            let out = train_design(
+                workload,
+                &state,
+                &arch,
+                dataset,
+                &run_cfg,
+                5000 + cand.id as u64,
+            )
+            .ok()?;
             Some((cand.code, out))
         });
     let pool: Vec<(String, nada::core::TrainOutcome)> = results.into_iter().flatten().collect();
-    println!("trained {} designs to completion ({} epochs each)", pool.len(), cfg.train_epochs);
+    println!(
+        "trained {} designs to completion ({} epochs each)",
+        pool.len(),
+        cfg.train_epochs
+    );
 
     // Fit the paper's Reward-Only classifier on early curves.
     let samples: Vec<DesignSample> = pool
@@ -63,8 +81,14 @@ fn main() {
             code: code.clone(),
         })
         .collect();
-    let finals: Vec<f64> = pool.iter().map(|(_, o)| smoothed_score(&o.checkpoints)).collect();
-    let fit = FitConfig { top_fraction: 0.05, ..FitConfig::default() };
+    let finals: Vec<f64> = pool
+        .iter()
+        .map(|(_, o)| smoothed_score(&o.checkpoints))
+        .collect();
+    let fit = FitConfig {
+        top_fraction: 0.05,
+        ..FitConfig::default()
+    };
     let mut clf = RewardCnnClassifier::new(&fit);
     clf.fit(&samples, &finals, &fit);
 
@@ -93,5 +117,7 @@ fn main() {
         stopped * (cfg.train_epochs - early_epochs),
         samples.len() * cfg.train_epochs
     );
-    println!("(the paper stops 87% of unseen suboptimal designs without losing any of the top five)");
+    println!(
+        "(the paper stops 87% of unseen suboptimal designs without losing any of the top five)"
+    );
 }

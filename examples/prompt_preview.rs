@@ -1,0 +1,26 @@
+//! Prints the rendered §2.1 prompts for both workloads (library surface).
+
+use nada::llm::{Prompt, TaskContext};
+
+fn main() {
+    for (name, p) in [
+        (
+            "ABR",
+            Prompt::state(nada::dsl::seeds::PENSIEVE_STATE_SOURCE),
+        ),
+        (
+            "CC",
+            Prompt::state_for(TaskContext::cc(), nada::dsl::seeds::CC_STATE_SOURCE),
+        ),
+        (
+            "CC-arch",
+            Prompt::architecture_for(TaskContext::cc(), nada::dsl::seeds::CC_ARCH_SOURCE),
+        ),
+    ] {
+        println!("--- {name} ---");
+        for line in p.render().lines().take(6) {
+            println!("{line}");
+        }
+        println!();
+    }
+}

@@ -8,17 +8,23 @@
 //! candidates cheaply (compilation check, fuzzing-based normalization
 //! check, learned early stopping) and trains only the promising ones.
 //!
+//! The pipeline is **workload-generic**: the same loop that redesigns
+//! Pensieve's state also redesigns a congestion-control (CWND) policy over
+//! the same trace datasets (mirroring the authors' follow-up,
+//! arXiv:2508.16074). See [`core`]'s `workload` module.
+//!
 //! This facade crate re-exports the whole workspace:
 //!
 //! | crate | role |
 //! |---|---|
 //! | [`traces`] | synthetic FCC/Starlink/4G/5G trace datasets + Mahimahi I/O |
-//! | [`sim`] | Pensieve-style chunk simulator, HTTP/TCP emulator, QoE, classic ABR baselines |
+//! | [`sim`] | environments behind the `NetEnv` trait: ABR simulator/emulator, congestion control, QoE, baselines |
 //! | [`nn`] | from-scratch NN library (dense/conv1d/RNN/LSTM, Adam, A2C) |
-//! | [`dsl`] | the design DSL: state & architecture "code blocks" |
-//! | [`llm`] | `LlmClient` trait, §2.1 prompts, Table 2-calibrated `MockLlm` |
+//! | [`dsl`] | the design DSL: state & architecture "code blocks", per-workload schemas |
+//! | [`llm`] | `LlmClient` trait, workload-parameterized §2.1 prompts, Table 2-calibrated `MockLlm` |
 //! | [`earlystop`] | §2.2/§3.4 early-stopping classifiers |
-//! | [`core`] | the NADA pipeline: generate → filter → train → rank |
+//! | [`exec`] | deterministic order-preserving parallel map |
+//! | [`core`] | the NADA pipeline: `Workload` trait, generate → filter → train → rank |
 //!
 //! ## Quickstart
 //!
@@ -46,6 +52,7 @@
 pub use nada_core as core;
 pub use nada_dsl as dsl;
 pub use nada_earlystop as earlystop;
+pub use nada_exec as exec;
 pub use nada_llm as llm;
 pub use nada_nn as nn;
 pub use nada_sim as sim;

@@ -15,12 +15,16 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(4, 24, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BinOp::Add),
-                Just(BinOp::Sub),
-                Just(BinOp::Mul),
-                Just(BinOp::Div)
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div)
+                ]
+            )
                 .prop_map(|(l, r, op)| Expr::Binary {
                     op,
                     lhs: Box::new(l),
@@ -49,13 +53,19 @@ fn program_with(expr: &Expr) -> String {
     let prog = nada::dsl::StateProgram {
         name: "prop".into(),
         inputs: vec![
-            nada::dsl::InputDecl { name: "buffer_s".into(), ty: nada::dsl::InputType::Scalar },
+            nada::dsl::InputDecl {
+                name: "buffer_s".into(),
+                ty: nada::dsl::InputType::Scalar,
+            },
             nada::dsl::InputDecl {
                 name: "chunks_remaining".into(),
                 ty: nada::dsl::InputType::Scalar,
             },
         ],
-        features: vec![nada::dsl::FeatureDecl { name: "f".into(), expr: expr.clone() }],
+        features: vec![nada::dsl::FeatureDecl {
+            name: "f".into(),
+            expr: expr.clone(),
+        }],
     };
     print_state(&prog)
 }

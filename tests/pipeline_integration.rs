@@ -20,7 +20,10 @@ fn full_state_search_improves_or_matches_on_every_dataset() {
             outcome.best.test_score.is_finite(),
             "{kind:?}: non-finite best score"
         );
-        assert!(!outcome.ranked.is_empty(), "{kind:?}: nothing survived screening");
+        assert!(
+            !outcome.ranked.is_empty(),
+            "{kind:?}: nothing survived screening"
+        );
     }
 }
 
@@ -38,14 +41,18 @@ fn search_is_deterministic_end_to_end() {
             o.original.test_score.to_bits(),
         )
     };
-    assert_eq!(run(), run(), "same seeds must reproduce the whole search bit-for-bit");
+    assert_eq!(
+        run(),
+        run(),
+        "same seeds must reproduce the whole search bit-for-bit"
+    );
 }
 
 #[test]
 fn gpt4_pool_outperforms_gpt35_pool_on_prechecks() {
     // Table 2's headline at integration level.
     let nada = tiny(DatasetKind::Fcc, 5);
-    let mut cfg_pool = |mut llm: MockLlm| {
+    let cfg_pool = |mut llm: MockLlm| {
         let candidates = nada.generate_candidates(&mut llm, DesignKind::State);
         // Tiny scale only generates 8; widen for a stable comparison.
         let more: Vec<nada::core::Candidate> = (0..30)
@@ -58,8 +65,7 @@ fn gpt4_pool_outperforms_gpt35_pool_on_prechecks() {
                 c
             })
             .collect();
-        let all: Vec<nada::core::Candidate> =
-            candidates.into_iter().chain(more).collect();
+        let all: Vec<nada::core::Candidate> = candidates.into_iter().chain(more).collect();
         let (_, stats) = nada.precheck_all(&all);
         (stats.compilable_pct(), stats.normalized_pct())
     };
@@ -83,7 +89,9 @@ fn emulation_pipeline_runs_for_trained_designs() {
     let nada = tiny(DatasetKind::Starlink, 11);
     let state = nada::dsl::seeds::pensieve_state();
     let arch = nada::dsl::seeds::pensieve_arch();
-    let emu = nada.emulation_score(&state, &arch).expect("emulation must run");
+    let emu = nada
+        .emulation_score(&state, &arch)
+        .expect("emulation must run");
     assert!(emu.is_finite());
 }
 
