@@ -1,14 +1,20 @@
 //! Tiny argument parsing shared by every harness binary.
 
-use nada_core::RunScale;
+use nada_core::{RunScale, WorkloadRegistry};
 
 /// Parsed harness options.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HarnessOptions {
     /// `Quick` by default; `--full` selects the paper-scale configuration.
     pub scale: RunScale,
     /// Master seed (`--seed N`), default 1.
     pub seed: u64,
+    /// Workload the searches run (`--workload NAME`), resolved through
+    /// [`WorkloadRegistry::builtin`]; default `"abr"`.
+    pub workload: String,
+    /// Live search progress on stderr (`--progress`), default off so
+    /// report output stays clean.
+    pub progress: bool,
 }
 
 impl Default for HarnessOptions {
@@ -16,6 +22,19 @@ impl Default for HarnessOptions {
         Self {
             scale: RunScale::Quick,
             seed: 1,
+            workload: "abr".to_string(),
+            progress: false,
+        }
+    }
+}
+
+impl HarnessOptions {
+    /// Convenience constructor for tests and embedding callers.
+    pub fn new(scale: RunScale, seed: u64) -> Self {
+        Self {
+            scale,
+            seed,
+            ..Self::default()
         }
     }
 }
@@ -36,6 +55,19 @@ pub fn parse_args<I: Iterator<Item = String>>(mut args: I) -> HarnessOptions {
                     .parse()
                     .unwrap_or_else(|_| usage("--seed needs an integer"));
             }
+            "--workload" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--workload needs a name"));
+                if !WorkloadRegistry::builtin().contains(&v) {
+                    usage(&format!(
+                        "unknown workload `{v}` (available: {})",
+                        WorkloadRegistry::builtin().names().join(", ")
+                    ));
+                }
+                opts.workload = v;
+            }
+            "--progress" => opts.progress = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag `{other}`")),
         }
@@ -47,9 +79,14 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: <harness> [--full | --quick] [--seed N]");
-    eprintln!("  --full   paper-scale run (cluster-sized; default is quick)");
-    eprintln!("  --seed N master seed (default 1)");
+    eprintln!("usage: <harness> [--full | --quick] [--seed N] [--workload NAME] [--progress]");
+    eprintln!("  --full          paper-scale run (cluster-sized; default is quick)");
+    eprintln!("  --seed N        master seed (default 1)");
+    eprintln!(
+        "  --workload NAME scenario the searches run: {} (default abr)",
+        WorkloadRegistry::builtin().names().join("|")
+    );
+    eprintln!("  --progress      live per-stage search progress on stderr");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 
@@ -62,10 +99,12 @@ mod tests {
     }
 
     #[test]
-    fn defaults_are_quick_seed_one() {
+    fn defaults_are_quick_seed_one_abr() {
         let o = parse(&[]);
         assert_eq!(o.scale, RunScale::Quick);
         assert_eq!(o.seed, 1);
+        assert_eq!(o.workload, "abr");
+        assert!(!o.progress);
     }
 
     #[test]
@@ -73,5 +112,12 @@ mod tests {
         let o = parse(&["--full", "--seed", "42"]);
         assert_eq!(o.scale, RunScale::Paper);
         assert_eq!(o.seed, 42);
+    }
+
+    #[test]
+    fn workload_and_progress_flags_parse() {
+        let o = parse(&["--workload", "cc", "--progress"]);
+        assert_eq!(o.workload, "cc");
+        assert!(o.progress);
     }
 }

@@ -15,7 +15,7 @@ use nada_dsl::fuzz::{normalization_check, FuzzConfig, NormCheckOutcome};
 use nada_earlystop::classifiers::FitConfig;
 use nada_earlystop::crossval::{evaluate_methods, CrossValConfig};
 use nada_earlystop::EarlyStopMethod;
-use nada_llm::{DesignKind, LlmClient, MockLlm, Prompt, PromptOptions};
+use nada_llm::{DesignKind, LlmClient, MockLlm, PromptOptions};
 use nada_traces::dataset::DatasetKind;
 use std::fmt::Write as _;
 
@@ -117,7 +117,7 @@ fn prompt_strategies(opts: &HarnessOptions) -> String {
     ]);
     for (name, options) in variants {
         let mut llm = MockLlm::gpt4(opts.seed ^ 0xAB1A);
-        let mut prompt = Prompt::state(nada_dsl::seeds::PENSIEVE_STATE_SOURCE);
+        let mut prompt = nada.prompt_for(DesignKind::State);
         prompt.options = options;
         let candidates: Vec<nada_core::Candidate> = llm
             .generate_batch(&prompt, n)
@@ -153,13 +153,16 @@ fn threshold_sweep(opts: &HarnessOptions) -> String {
         RunScale::Quick => 500,
         RunScale::Tiny => 60,
     };
+    let nada = nada_for(DatasetKind::Fcc, opts);
     let mut llm = MockLlm::gpt4(opts.seed ^ 0x7541);
-    let prompt = Prompt::state(nada_dsl::seeds::PENSIEVE_STATE_SOURCE);
+    let prompt = nada.prompt_for(DesignKind::State);
+    let schema = nada.workload().schema();
     let compiled: Vec<nada_dsl::CompiledState> = llm
         .generate_batch(&prompt, n)
         .into_iter()
-        .filter_map(|c| nada_dsl::compile_state(&c.code).ok())
+        .filter_map(|c| nada_dsl::compile_state_with_schema(&c.code, schema.clone()).ok())
         .collect();
+    let seed_state = nada.workload().seed_state();
     let mut table = TextTable::new(vec!["Threshold T", "Pass%", "SeedDesignPasses"]);
     for t in [10.0, 100.0, 1000.0] {
         let fuzz = FuzzConfig {
@@ -170,8 +173,7 @@ fn threshold_sweep(opts: &HarnessOptions) -> String {
             .iter()
             .filter(|s| normalization_check(s, &fuzz) == NormCheckOutcome::Pass)
             .count();
-        let seed_passes = normalization_check(&nada_dsl::seeds::pensieve_state(), &fuzz)
-            == NormCheckOutcome::Pass;
+        let seed_passes = normalization_check(&seed_state, &fuzz) == NormCheckOutcome::Pass;
         table.row(vec![
             format!("{t}"),
             format!("{:.1}%", 100.0 * pass as f64 / compiled.len().max(1) as f64),

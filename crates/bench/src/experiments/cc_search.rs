@@ -13,7 +13,7 @@
 //! * pre-check pass rates for the CC candidate pool (Table 2's shape).
 
 use crate::cli::HarnessOptions;
-use crate::experiments::common::Model;
+use crate::experiments::common::{self, Model};
 use nada_core::report::{fmt_pct, fmt_score, TextTable};
 use nada_core::{CcWorkload, Nada, NadaConfig};
 use nada_sim::cc::{run_cc_episode, CcEnv, CubicLike};
@@ -79,7 +79,13 @@ pub fn run(opts: &HarnessOptions) -> String {
         let nada = Nada::with_workload(cc_config(kind, opts), Box::new(workload));
         let baseline = cubic_baseline(&nada, episode_ticks, reward);
         let mut llm = Model::Gpt4.client(opts.seed ^ kind as u64 ^ 0xCC5E);
-        let outcome = nada.run_state_search(&mut llm);
+        let outcome = common::run_search(
+            &nada,
+            nada_llm::DesignKind::State,
+            &mut llm,
+            opts,
+            &format!("cc_search/{}", kind.name()),
+        );
 
         table.row(vec![
             kind.name().to_string(),
@@ -120,10 +126,7 @@ mod tests {
 
     #[test]
     fn quick_tiny_cc_search_report_renders() {
-        let opts = HarnessOptions {
-            scale: RunScale::Tiny,
-            seed: 2,
-        };
+        let opts = HarnessOptions::new(RunScale::Tiny, 2);
         let report = run(&opts);
         assert!(report.contains("CC search"));
         assert!(report.contains("CubicLike"));

@@ -1,8 +1,17 @@
 //! Shared experiment plumbing.
+//!
+//! Every search an experiment runs goes through one funnel:
+//! [`run_search`] builds a [`SearchSession`], attaches the live
+//! [`ProgressObserver`] when the harness runs with `--progress`, and
+//! drives it to completion. The workload itself is resolved at runtime
+//! from [`WorkloadRegistry::builtin`] via `--workload`, so the same
+//! harness binaries exercise ABR or congestion control without a code
+//! change.
 
 use crate::cli::HarnessOptions;
-use nada_core::{Nada, NadaConfig, SearchOutcome};
-use nada_llm::{LlmClient, MockLlm};
+use crate::progress::ProgressObserver;
+use nada_core::{Nada, NadaConfig, SearchOutcome, SearchSession, Workload, WorkloadRegistry};
+use nada_llm::{DesignKind, LlmClient, MockLlm};
 use nada_traces::dataset::DatasetKind;
 
 /// The two models the paper evaluates.
@@ -32,40 +41,84 @@ impl Model {
     }
 }
 
-/// Builds the pipeline for a dataset at the harness scale.
+/// Resolves the harness's workload for a dataset through the registry.
+pub fn workload_for(kind: DatasetKind, opts: &HarnessOptions) -> Box<dyn Workload> {
+    WorkloadRegistry::builtin()
+        .build(&opts.workload, kind)
+        .unwrap_or_else(|| panic!("unknown workload `{}`", opts.workload))
+}
+
+/// Builds the pipeline for a dataset at the harness scale, running the
+/// workload selected by `--workload`.
 pub fn nada_for(kind: DatasetKind, opts: &HarnessOptions) -> Nada {
-    Nada::new(NadaConfig::new(kind, opts.scale, opts.seed))
+    let cfg = NadaConfig::new(kind, opts.scale, opts.seed);
+    Nada::with_workload(cfg, workload_for(kind, opts))
+}
+
+/// Drives one search session to completion, with live progress when the
+/// harness asked for it.
+pub fn run_search(
+    nada: &Nada,
+    kind: DesignKind,
+    llm: &mut dyn LlmClient,
+    opts: &HarnessOptions,
+    label: &str,
+) -> SearchOutcome {
+    let mut session = SearchSession::new(nada, kind);
+    if opts.progress {
+        session.observe(ProgressObserver::new(format!(
+            "{label}/{}",
+            nada.workload().name()
+        )));
+    }
+    session
+        .run(llm)
+        .expect("a fresh session runs every stage exactly once")
 }
 
 /// Runs a state search for `(dataset, model)`.
 pub fn search_states(kind: DatasetKind, model: Model, opts: &HarnessOptions) -> SearchOutcome {
     let nada = nada_for(kind, opts);
     let mut llm = model.client(opts.seed ^ kind as u64 ^ 0x57A7);
-    nada.run_state_search(&mut llm)
+    run_search(
+        &nada,
+        DesignKind::State,
+        &mut llm,
+        opts,
+        &format!("state/{}", kind.name()),
+    )
 }
 
 /// Runs an architecture search for `(dataset, model)`.
 pub fn search_archs(kind: DatasetKind, model: Model, opts: &HarnessOptions) -> SearchOutcome {
     let nada = nada_for(kind, opts);
     let mut llm = model.client(opts.seed ^ kind as u64 ^ 0xA4C4);
-    nada.run_arch_search(&mut llm)
+    run_search(
+        &nada,
+        DesignKind::Architecture,
+        &mut llm,
+        opts,
+        &format!("arch/{}", kind.name()),
+    )
 }
 
 /// Generates `n` candidates of a kind from a model without evaluation
-/// (Table 2 / ablation workloads).
+/// (Table 2 / ablation workloads). Prompts follow the harness's workload.
 pub fn generate_pool(
     model: Model,
     kind: nada_llm::DesignKind,
     n: usize,
     seed: u64,
+    opts: &HarnessOptions,
 ) -> Vec<nada_core::Candidate> {
+    let workload = workload_for(DatasetKind::Fcc, opts);
     let mut llm = model.client(seed);
     let prompt = match kind {
         nada_llm::DesignKind::State => {
-            nada_llm::Prompt::state(nada_dsl::seeds::PENSIEVE_STATE_SOURCE)
+            nada_llm::Prompt::state_for(workload.task(), workload.seed_state_source())
         }
         nada_llm::DesignKind::Architecture => {
-            nada_llm::Prompt::architecture(nada_dsl::seeds::PENSIEVE_ARCH_SOURCE)
+            nada_llm::Prompt::architecture_for(workload.task(), workload.seed_arch_source())
         }
     };
     llm.generate_batch(&prompt, n)

@@ -33,7 +33,7 @@ pub fn collect_pool(
     let mut llm = Model::Gpt4.client(opts.seed ^ kind as u64 ^ 0xF165);
     let mut candidates = Vec::new();
     let mut id = 0usize;
-    let prompt = nada_llm::Prompt::state(nada_dsl::seeds::PENSIEVE_STATE_SOURCE);
+    let prompt = nada.prompt_for(DesignKind::State);
     use nada_llm::LlmClient;
     // Keep generating until enough designs pass the pre-checks (GPT-4's
     // acceptance rate is ~50%, so expect ~2x over-generation); the round
@@ -58,7 +58,7 @@ pub fn collect_pool(
                     CompiledDesign::Arch(_) => None,
                 })
                 .collect();
-            let arch = nada_dsl::seeds::pensieve_arch();
+            let arch = nada.workload().seed_arch();
             let dataset = nada.dataset();
             let workload = nada.workload();
             let results: Vec<Option<(DesignSample, f64)>> =

@@ -1,10 +1,10 @@
 //! Table 2: compilation / normalization pass rates of generated states.
 
 use crate::cli::HarnessOptions;
-use crate::experiments::common::{generate_pool, Model};
+use crate::experiments::common::{generate_pool, nada_for, Model};
 use crate::paper;
 use nada_core::report::TextTable;
-use nada_core::{Nada, NadaConfig, RunScale};
+use nada_core::RunScale;
 use nada_llm::DesignKind;
 use nada_traces::dataset::DatasetKind;
 
@@ -17,7 +17,7 @@ pub fn run(opts: &HarnessOptions) -> String {
         RunScale::Quick => 600,
         RunScale::Tiny => 60,
     };
-    let nada = Nada::new(NadaConfig::new(DatasetKind::Fcc, opts.scale, opts.seed));
+    let nada = nada_for(DatasetKind::Fcc, opts);
     let mut table = TextTable::new(vec![
         "Nada",
         "Total",
@@ -27,7 +27,7 @@ pub fn run(opts: &HarnessOptions) -> String {
         "Norm.%(paper)",
     ]);
     for (model, paper_row) in [Model::Gpt35, Model::Gpt4].iter().zip(&paper::TABLE2) {
-        let pool = generate_pool(*model, DesignKind::State, n, opts.seed ^ 0x7AB2);
+        let pool = generate_pool(*model, DesignKind::State, n, opts.seed ^ 0x7AB2, opts);
         let (_, stats) = nada.precheck_all(&pool);
         table.row(vec![
             model.name().to_string(),

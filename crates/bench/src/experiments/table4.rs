@@ -6,17 +6,25 @@
 //! already statistically insignificant; we follow suit.
 
 use crate::cli::HarnessOptions;
-use crate::experiments::common::{nada_for, search_states, Model};
+use crate::experiments::common::{nada_for, search_states, workload_for, Model};
 use crate::paper;
 use nada_core::pipeline::improvement_pct;
 use nada_core::report::{fmt_pct, fmt_score, TextTable};
-use nada_dsl::{compile_state, seeds};
+use nada_dsl::compile_state_with_schema;
 use nada_traces::dataset::DatasetKind;
 
 const EMULATED: [DatasetKind; 3] = [DatasetKind::Starlink, DatasetKind::Lte4g, DatasetKind::Nr5g];
 
-/// Runs the emulation comparison for Starlink/4G/5G.
+/// Runs the emulation comparison for Starlink/4G/5G. Workloads without an
+/// emulation-fidelity environment (everything but ABR today) skip the
+/// table instead of failing the whole harness.
 pub fn run(opts: &HarnessOptions) -> String {
+    if !workload_for(EMULATED[0], opts).has_emulation() {
+        return format!(
+            "== Table 4: skipped (workload `{}` has no emulation environment) ==\n",
+            opts.workload
+        );
+    }
     let mut table = TextTable::new(vec![
         "Dataset",
         "Method",
@@ -25,10 +33,10 @@ pub fn run(opts: &HarnessOptions) -> String {
         "Score(paper)",
         "Impr.(paper)",
     ]);
-    let arch = seeds::pensieve_arch();
     for (kind, paper_row) in EMULATED.iter().zip(&paper::TABLE4) {
         let nada = nada_for(*kind, opts);
-        let original_state = seeds::pensieve_state();
+        let arch = nada.workload().seed_arch();
+        let original_state = nada.workload().seed_state();
         let original_emu = nada
             .emulation_score(&original_state, &arch)
             .expect("original design must train");
@@ -42,8 +50,9 @@ pub fn run(opts: &HarnessOptions) -> String {
         ]);
         for model in [Model::Gpt35, Model::Gpt4] {
             let outcome = search_states(*kind, model, opts);
-            let best_state = compile_state(&outcome.best.code)
-                .expect("search winners already passed the compilation check");
+            let best_state =
+                compile_state_with_schema(&outcome.best.code, nada.workload().schema().clone())
+                    .expect("search winners already passed the compilation check");
             let emu = nada
                 .emulation_score(&best_state, &arch)
                 .unwrap_or(f64::NEG_INFINITY);

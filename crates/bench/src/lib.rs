@@ -12,3 +12,4 @@
 pub mod cli;
 pub mod experiments;
 pub mod paper;
+pub mod progress;

@@ -1,0 +1,84 @@
+//! Search budgets: truncate a running search gracefully, mid-stage.
+//!
+//! The configured pool/epoch sizes ([`crate::config::NadaConfig`]) say how
+//! big a search *wants* to be; a [`Budget`] says how much it is *allowed*
+//! to spend. The two are deliberately separate: the paper's pipeline is
+//! sized in advance (3 000 candidates, 40 000 epochs), but long-running
+//! searches need to stop cleanly when a wall-clock or token allowance runs
+//! out — keeping everything trained so far and still producing a ranked
+//! [`crate::pipeline::SearchOutcome`].
+//!
+//! Budgets are enforced by [`crate::session::SearchSession`] at
+//! deterministic points: candidate generation consults the budget before
+//! every LLM call, and the training stages consult it between fixed-size
+//! waves of designs, so a budgeted run reproduces bit-for-bit regardless
+//! of machine or worker count.
+
+/// Spending limits for one search session. `None` means unlimited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Budget {
+    /// Maximum candidates to generate (caps the LLM batch itself via
+    /// [`nada_llm::LlmClient::generate_batch_while`]).
+    pub max_candidates: Option<usize>,
+    /// Maximum training epochs across probe + screen + finalist stages.
+    pub max_epochs: Option<usize>,
+}
+
+impl Budget {
+    /// No limits: the session runs at its configured sizes.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Caps the number of generated candidates.
+    pub fn with_max_candidates(mut self, n: usize) -> Self {
+        self.max_candidates = Some(n);
+        self
+    }
+
+    /// Caps total training epochs spent by the search.
+    pub fn with_max_epochs(mut self, n: usize) -> Self {
+        self.max_epochs = Some(n);
+        self
+    }
+
+    /// True when `spent_epochs` has reached the epoch allowance.
+    pub fn epochs_exhausted(&self, spent_epochs: usize) -> bool {
+        self.max_epochs.is_some_and(|cap| spent_epochs >= cap)
+    }
+
+    /// True when either limit is set.
+    pub fn is_limited(&self) -> bool {
+        self.max_candidates.is_some() || self.max_epochs.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let b = Budget::unlimited();
+        assert!(!b.epochs_exhausted(usize::MAX));
+        assert!(!b.is_limited());
+    }
+
+    #[test]
+    fn epoch_cap_is_inclusive() {
+        let b = Budget::unlimited().with_max_epochs(100);
+        assert!(!b.epochs_exhausted(99));
+        assert!(b.epochs_exhausted(100));
+        assert!(b.epochs_exhausted(101));
+        assert!(b.is_limited());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let b = Budget::unlimited()
+            .with_max_candidates(10)
+            .with_max_epochs(500);
+        assert_eq!(b.max_candidates, Some(10));
+        assert_eq!(b.max_epochs, Some(500));
+    }
+}

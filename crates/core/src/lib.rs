@@ -17,6 +17,7 @@
 //! * [`candidate`] — candidate designs and their lifecycle states;
 //! * [`workload`] — the [`workload::Workload`] trait making the pipeline
 //!   environment-agnostic, plus the ABR and congestion-control workloads;
+//! * [`registry`] — runtime workload selection (name → constructor);
 //! * [`bind`] — positional binding of declared observations to state
 //!   programs;
 //! * [`prechecks`] — §2.2's compilation and fuzzing-normalization checks;
@@ -24,24 +25,39 @@
 //! * [`eval`] — checkpoint evaluation on held-out traces;
 //! * [`score`] — §3.1's scoring protocol (mean of last 10 checkpoints,
 //!   median over seeds);
-//! * [`pipeline`] — the orchestrator: generate → filter → early-stopped
-//!   batch training → full training → ranking; plus design combination
-//!   (Table 5);
+//! * [`session`] — the staged search: Generate → Precheck → Probe →
+//!   Screen → Finalize as a typed, resumable state machine;
+//! * [`observer`] — the session's typed event stream;
+//! * [`budget`] — graceful mid-stage truncation of a running search;
+//! * [`snapshot`] — serde snapshot/resume for interrupted searches;
+//! * [`pipeline`] — the [`pipeline::Nada`] pipeline handle: per-design
+//!   building blocks, the one-shot search wrappers, and design
+//!   combination (Table 5);
 //! * [`report`] — plain-text table rendering for the benchmark harnesses.
 
 pub mod bind;
+pub mod budget;
 pub mod candidate;
 pub mod config;
 pub mod eval;
+pub mod observer;
 pub mod pipeline;
 pub mod prechecks;
+pub mod registry;
 pub mod report;
 pub mod score;
+pub mod session;
+pub mod snapshot;
 pub mod train;
 pub mod workload;
 
+pub use budget::Budget;
 pub use candidate::{Candidate, CompiledDesign, RejectReason};
 pub use config::{NadaConfig, RunScale};
-pub use pipeline::{Nada, PrecheckStats, SearchOutcome};
+pub use observer::{CollectingObserver, FnObserver, SearchEvent, SearchObserver};
+pub use pipeline::{Nada, PrecheckStats, SearchOutcome, SearchStats};
+pub use registry::WorkloadRegistry;
+pub use session::{SearchSession, Stage};
+pub use snapshot::{SessionSnapshot, SnapshotError};
 pub use train::{train_design, TrainError, TrainOutcome, TrainRunConfig};
 pub use workload::{AbrWorkload, CcWorkload, Workload};

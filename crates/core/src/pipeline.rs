@@ -14,6 +14,12 @@
 //!    (multiple seeded sessions, checkpoint smoothing, median);
 //! 6. **Rank** and report against the original design.
 //!
+//! The staged search itself lives in [`crate::session::SearchSession`] —
+//! [`Nada::run_state_search`] and [`Nada::run_arch_search`] are thin
+//! wrappers that drive a fresh session to completion. [`Nada`] keeps the
+//! per-design building blocks (generation, pre-checks, training protocols)
+//! the stages are made of.
+//!
 //! Training runs fan out across CPU cores; results are deterministic
 //! because every session derives its own seed and aggregation order is
 //! fixed by candidate id.
@@ -23,10 +29,10 @@ use crate::config::NadaConfig;
 use crate::eval::evaluate_policy_emu;
 use crate::prechecks::precheck;
 use crate::score::{final_test_score, median, smoothed_score};
+use crate::session::SearchSession;
 use crate::train::{train_design, DesignTrainer, TrainOutcome, TrainRunConfig};
 use crate::workload::{AbrWorkload, Workload};
 use nada_dsl::CompiledState;
-use nada_earlystop::classifiers::{Classifier, DesignSample, FitConfig, RewardCnnClassifier};
 use nada_llm::{DesignKind, LlmClient, Prompt};
 use nada_nn::ArchConfig;
 use nada_traces::dataset::TraceDataset;
@@ -49,6 +55,23 @@ pub struct PrecheckStats {
 }
 
 impl PrecheckStats {
+    /// Records one pre-check verdict. The single source of truth for how
+    /// verdicts map to Table 2 counters — `precheck_all` and the session's
+    /// pool construction must agree, or a resumed session would reject its
+    /// own snapshot's statistics.
+    pub fn record(&mut self, result: &Result<CompiledDesign, RejectReason>) {
+        match result {
+            Ok(_) => {
+                self.compilable += 1;
+                self.normalized += 1;
+            }
+            Err(RejectReason::Unnormalized { .. }) | Err(RejectReason::FuzzEvalError(_)) => {
+                self.compilable += 1;
+            }
+            Err(RejectReason::CompileError(_)) => {}
+        }
+    }
+
     /// Compilable percentage.
     pub fn compilable_pct(&self) -> f64 {
         100.0 * self.compilable as f64 / self.total.max(1) as f64
@@ -73,7 +96,7 @@ pub struct DesignResult {
     pub test_score: f64,
 }
 
-/// Early-stopping bookkeeping for one search.
+/// Early-stopping and spend bookkeeping for one search.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// Designs stopped at the early-phase boundary.
@@ -82,6 +105,9 @@ pub struct SearchStats {
     pub fully_trained: usize,
     /// Designs that errored mid-training.
     pub failed: usize,
+    /// Work items (designs or finalist evaluations) skipped because the
+    /// session's [`crate::budget::Budget`] ran out.
+    pub skipped: usize,
     /// Total training epochs actually spent.
     pub epochs_spent: usize,
     /// Epochs avoided thanks to early stopping.
@@ -188,17 +214,23 @@ impl Nada {
         self.workload.as_ref()
     }
 
-    /// Asks the LLM for `n_candidates` designs of `kind` (§2.1 prompts,
-    /// parameterized by the workload's task).
-    pub fn generate_candidates(&self, llm: &mut dyn LlmClient, kind: DesignKind) -> Vec<Candidate> {
-        let prompt = match kind {
+    /// The §2.1 prompt for a design kind, parameterized by the workload's
+    /// task.
+    pub fn prompt_for(&self, kind: DesignKind) -> Prompt {
+        match kind {
             DesignKind::State => {
                 Prompt::state_for(self.workload.task(), self.workload.seed_state_source())
             }
             DesignKind::Architecture => {
                 Prompt::architecture_for(self.workload.task(), self.workload.seed_arch_source())
             }
-        };
+        }
+    }
+
+    /// Asks the LLM for `n_candidates` designs of `kind` (§2.1 prompts,
+    /// parameterized by the workload's task).
+    pub fn generate_candidates(&self, llm: &mut dyn LlmClient, kind: DesignKind) -> Vec<Candidate> {
+        let prompt = self.prompt_for(kind);
         llm.generate_batch(&prompt, self.cfg.n_candidates)
             .into_iter()
             .enumerate()
@@ -209,6 +241,19 @@ impl Nada {
                 reasoning: c.reasoning,
             })
             .collect()
+    }
+
+    /// Runs both pre-checks over every candidate **in parallel**, returning
+    /// one verdict per candidate, input order preserved. Paper-scale pools
+    /// are 3 000 designs, and the compile+fuzz checks are independent, so
+    /// they fan out across cores like the training stages do.
+    pub fn precheck_each(
+        &self,
+        candidates: &[Candidate],
+    ) -> Vec<Result<CompiledDesign, RejectReason>> {
+        parallel_map(candidates.to_vec(), &|cand| {
+            precheck(&cand, &self.cfg.fuzz, self.workload.schema())
+        })
     }
 
     /// Runs both pre-checks over a pool, returning survivors and Table 2
@@ -223,17 +268,10 @@ impl Nada {
             normalized: 0,
         };
         let mut accepted = Vec::new();
-        for cand in candidates {
-            match precheck(cand, &self.cfg.fuzz, self.workload.schema()) {
-                Ok(design) => {
-                    stats.compilable += 1;
-                    stats.normalized += 1;
-                    accepted.push((cand.clone(), design));
-                }
-                Err(RejectReason::Unnormalized { .. }) | Err(RejectReason::FuzzEvalError(_)) => {
-                    stats.compilable += 1;
-                }
-                Err(RejectReason::CompileError(_)) => {}
+        for (cand, result) in candidates.iter().zip(self.precheck_each(candidates)) {
+            stats.record(&result);
+            if let Ok(design) = result {
+                accepted.push((cand.clone(), design));
             }
         }
         (accepted, stats)
@@ -284,205 +322,24 @@ impl Nada {
 
     /// Full state search: generate → filter → early-stopped screening →
     /// full evaluation of the finalists (original architecture throughout).
+    ///
+    /// Thin wrapper over [`SearchSession`]; use the session directly for
+    /// observation, budgets, or snapshot/resume.
     pub fn run_state_search(&self, llm: &mut dyn LlmClient) -> SearchOutcome {
-        let candidates = self.generate_candidates(llm, DesignKind::State);
-        let (accepted, precheck_stats) = self.precheck_all(&candidates);
-        let arch = self.workload.seed_arch();
-        let pool: Vec<(Candidate, CompiledState, ArchConfig)> = accepted
-            .into_iter()
-            .filter_map(|(cand, design)| match design {
-                CompiledDesign::State(s) => Some((cand, *s, arch.clone())),
-                CompiledDesign::Arch(_) => None,
-            })
-            .collect();
-        self.search(DesignKind::State, precheck_stats, pool)
+        SearchSession::new(self, DesignKind::State)
+            .run(llm)
+            .expect("a fresh session runs every stage exactly once")
     }
 
     /// Full architecture search (original state throughout). Per §3.3 the
     /// normalization check does not apply to architecture pools.
+    ///
+    /// Thin wrapper over [`SearchSession`]; use the session directly for
+    /// observation, budgets, or snapshot/resume.
     pub fn run_arch_search(&self, llm: &mut dyn LlmClient) -> SearchOutcome {
-        let candidates = self.generate_candidates(llm, DesignKind::Architecture);
-        let (accepted, precheck_stats) = self.precheck_all(&candidates);
-        let state = self.workload.seed_state();
-        let pool: Vec<(Candidate, CompiledState, ArchConfig)> = accepted
-            .into_iter()
-            .filter_map(|(cand, design)| match design {
-                CompiledDesign::Arch(a) => Some((cand, state.clone(), a)),
-                CompiledDesign::State(_) => None,
-            })
-            .collect();
-        self.search(DesignKind::Architecture, precheck_stats, pool)
-    }
-
-    fn search(
-        &self,
-        kind: DesignKind,
-        precheck_stats: PrecheckStats,
-        pool: Vec<(Candidate, CompiledState, ArchConfig)>,
-    ) -> SearchOutcome {
-        let run_cfg = TrainRunConfig::from(&self.cfg);
-        let original = self.train_original();
-        let mut stats = SearchStats::default();
-
-        // ---- Phase A: probes train fully to fit the early-stopping model.
-        let n_probe = self.cfg.n_probe.min(pool.len());
-        let (probes, rest) = pool.split_at(n_probe);
-        let probe_results: Vec<(usize, Option<TrainOutcome>)> =
-            parallel_map(probes.to_vec(), &|(cand, state, arch)| {
-                let out = train_design(
-                    self.workload.as_ref(),
-                    &state,
-                    &arch,
-                    &self.dataset,
-                    &run_cfg,
-                    self.cfg.seed.wrapping_add(7000 + cand.id as u64),
-                )
-                .ok();
-                (cand.id, out)
-            });
-        for (_, out) in &probe_results {
-            match out {
-                Some(o) => {
-                    stats.fully_trained += 1;
-                    stats.epochs_spent += o.reward_curve.len();
-                }
-                None => stats.failed += 1,
-            }
-        }
-
-        // Fit the Reward-Only classifier on probe outcomes (when feasible).
-        let classifier = {
-            let samples: Vec<DesignSample> = probe_results
-                .iter()
-                .filter_map(|(_, o)| o.as_ref())
-                .map(|o| DesignSample {
-                    reward_curve: o.early_curve(self.cfg.early_epochs).to_vec(),
-                    code: String::new(),
-                })
-                .collect();
-            let finals: Vec<f64> = probe_results
-                .iter()
-                .filter_map(|(_, o)| o.as_ref())
-                .map(|o| smoothed_score(&o.checkpoints))
-                .collect();
-            if samples.len() >= 4 {
-                let fit = FitConfig {
-                    // Small pools: "top 1 %" degenerates to the single best
-                    // probe; keep the paper's 20 % smoothing.
-                    top_fraction: 0.01,
-                    seed: self.cfg.seed,
-                    ..FitConfig::default()
-                };
-                let mut clf = RewardCnnClassifier::new(&fit);
-                clf.fit(&samples, &finals, &fit);
-                Some(clf)
-            } else {
-                None
-            }
-        };
-
-        // ---- Phase B: screen the remaining pool with early stopping.
-        let screened: Vec<(usize, Option<TrainOutcome>, bool)> =
-            parallel_map(rest.to_vec(), &|(cand, state, arch)| {
-                let mut session = DesignTrainer::new(
-                    self.workload.as_ref(),
-                    &state,
-                    &arch,
-                    &self.dataset,
-                    run_cfg,
-                    self.cfg.seed.wrapping_add(7000 + cand.id as u64),
-                );
-                if session.run_until(self.cfg.early_epochs).is_err() {
-                    return (cand.id, None, false);
-                }
-                let keep = match &classifier {
-                    Some(clf) => {
-                        let mut clf = clf.clone();
-                        clf.keep(&DesignSample {
-                            reward_curve: session.outcome().reward_curve.clone(),
-                            code: String::new(),
-                        })
-                    }
-                    None => true,
-                };
-                if !keep {
-                    return (cand.id, Some(session.into_outcome()), false);
-                }
-                match session.run_until(self.cfg.train_epochs) {
-                    Ok(()) => (cand.id, Some(session.into_outcome()), true),
-                    Err(_) => (cand.id, None, false),
-                }
-            });
-        for (_, out, completed) in &screened {
-            match (out, completed) {
-                (Some(o), true) => {
-                    stats.fully_trained += 1;
-                    stats.epochs_spent += o.reward_curve.len();
-                }
-                (Some(o), false) => {
-                    stats.early_stopped += 1;
-                    stats.epochs_spent += o.reward_curve.len();
-                    stats.epochs_saved += self.cfg.train_epochs - o.reward_curve.len();
-                }
-                (None, _) => stats.failed += 1,
-            }
-        }
-
-        // ---- Rank every completed design by its screening score.
-        let mut ranked: Vec<(usize, f64)> = probe_results
-            .iter()
-            .filter_map(|(id, o)| o.as_ref().map(|o| (*id, smoothed_score(&o.checkpoints))))
-            .chain(screened.iter().filter_map(|(id, o, completed)| {
-                if *completed {
-                    o.as_ref().map(|o| (*id, smoothed_score(&o.checkpoints)))
-                } else {
-                    None
-                }
-            }))
-            .collect();
-        ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("finite scores")
-                .then(a.0.cmp(&b.0))
-        });
-
-        // ---- Full §3.1 protocol for the finalists.
-        let top_k = 3.min(ranked.len());
-        let finalists: Vec<(Candidate, CompiledState, ArchConfig)> = ranked[..top_k]
-            .iter()
-            .filter_map(|(id, _)| pool.iter().find(|(c, _, _)| c.id == *id).cloned())
-            .collect();
-        let finals: Vec<Option<DesignResult>> = parallel_map(finalists, &|(cand, state, arch)| {
-            self.evaluate_design_full(&state, &arch)
-                .ok()
-                .map(|(sessions, score)| DesignResult {
-                    code: cand.code.clone(),
-                    candidate: Some(cand),
-                    sessions,
-                    test_score: score,
-                })
-        });
-        stats.epochs_spent +=
-            finals.iter().flatten().count() * self.cfg.n_seeds * self.cfg.train_epochs;
-
-        let best = finals
-            .into_iter()
-            .flatten()
-            .max_by(|a, b| {
-                a.test_score
-                    .partial_cmp(&b.test_score)
-                    .expect("finite scores")
-            })
-            .unwrap_or_else(|| original.clone());
-
-        SearchOutcome {
-            kind,
-            precheck: precheck_stats,
-            original,
-            best,
-            ranked,
-            stats,
-        }
+        SearchSession::new(self, DesignKind::Architecture)
+            .run(llm)
+            .expect("a fresh session runs every stage exactly once")
     }
 
     /// Table 5: cross-combine top states with top architectures, screen

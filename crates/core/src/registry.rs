@@ -1,0 +1,127 @@
+//! Runtime workload selection: name → [`Workload`] constructor.
+//!
+//! The pipeline has been workload-generic since the trait layer landed;
+//! this registry makes the *choice* of workload a runtime value, so the
+//! bench harnesses (and any embedding application) can select a scenario
+//! with `--workload abr|cc` instead of a code change. Downstream crates
+//! can [`register`](WorkloadRegistry::register) additional scenarios on
+//! top of the built-ins — later registrations shadow earlier ones, so a
+//! harness can also override a built-in with a tuned variant.
+
+use crate::workload::{AbrWorkload, CcWorkload, Workload};
+use nada_traces::dataset::DatasetKind;
+
+/// Constructor for a workload bound to a dataset.
+type WorkloadFactory = Box<dyn Fn(DatasetKind) -> Box<dyn Workload> + Send + Sync>;
+
+/// A name → workload-constructor table.
+pub struct WorkloadRegistry {
+    entries: Vec<(String, WorkloadFactory)>,
+}
+
+impl WorkloadRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The built-in scenarios: `"abr"` (the paper's Pensieve case study)
+    /// and `"cc"` (chunkless congestion control).
+    pub fn builtin() -> Self {
+        let mut r = Self::empty();
+        r.register("abr", |kind| Box::new(AbrWorkload::for_dataset(kind)));
+        r.register("cc", |kind| Box::new(CcWorkload::for_dataset(kind)));
+        r
+    }
+
+    /// Registers a constructor under `name`. A later registration with the
+    /// same name shadows the earlier one.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn(DatasetKind) -> Box<dyn Workload> + Send + Sync + 'static,
+    ) {
+        self.entries.push((name.into(), Box::new(factory)));
+    }
+
+    /// Builds the named workload for a dataset, or `None` for an unknown
+    /// name.
+    pub fn build(&self, name: &str, kind: DatasetKind) -> Option<Box<dyn Workload>> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, f)| f(kind))
+    }
+
+    /// Registered names, first-registration order, shadowed duplicates
+    /// omitted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = Vec::new();
+        for (n, _) in &self.entries {
+            if !names.contains(&n.as_str()) {
+                names.push(n);
+            }
+        }
+        names
+    }
+
+    /// True when `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|(n, _)| n == name)
+    }
+}
+
+impl Default for WorkloadRegistry {
+    fn default() -> Self {
+        Self::builtin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_resolve_to_their_names() {
+        let r = WorkloadRegistry::builtin();
+        assert_eq!(r.names(), vec!["abr", "cc"]);
+        for name in ["abr", "cc"] {
+            let w = r.build(name, DatasetKind::Fcc).expect("built-in");
+            assert_eq!(w.name(), name);
+        }
+        assert!(r.build("mptcp", DatasetKind::Fcc).is_none());
+    }
+
+    #[test]
+    fn later_registrations_shadow_earlier_ones() {
+        let mut r = WorkloadRegistry::builtin();
+        // Re-register "cc" with a custom reward; the new factory wins.
+        r.register("cc", |kind| {
+            Box::new(
+                CcWorkload::for_dataset(kind).with_reward(nada_sim::cc::CcReward {
+                    latency_penalty: 2.0,
+                    ..Default::default()
+                }),
+            )
+        });
+        assert_eq!(r.names(), vec!["abr", "cc"]);
+        let w = r.build("cc", DatasetKind::Fcc).unwrap();
+        assert_eq!(w.name(), "cc");
+    }
+
+    #[test]
+    fn registered_workloads_pass_the_schema_assertion() {
+        let r = WorkloadRegistry::builtin();
+        for name in r.names() {
+            let w = r.build(name, DatasetKind::Starlink).unwrap();
+            assert_eq!(
+                crate::workload::schema_matches_fields(w.schema(), w.observation_fields()),
+                None,
+                "{name}"
+            );
+        }
+    }
+}

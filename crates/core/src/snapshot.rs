@@ -1,0 +1,422 @@
+//! Serde snapshot/resume for search sessions.
+//!
+//! A [`SessionSnapshot`] captures everything a
+//! [`crate::session::SearchSession`] has *computed* so far — the candidate
+//! pool, pre-check statistics, probe and screening outcomes, spend
+//! bookkeeping — at a stage boundary. Re-deriving the rest (compiled
+//! designs, the fitted classifier, finalist evaluations) is deterministic,
+//! so a resumed session produces a bit-identical
+//! [`crate::pipeline::SearchOutcome`] to one that was never interrupted.
+//!
+//! Snapshots serialize through the workspace's `serde` shim: the
+//! [`serde::Serialize`]/[`serde::Deserialize`] impls below build a
+//! self-describing value tree, and `serde::text` renders it with floats as
+//! raw IEEE-754 bits — the encoding is what makes "bit-identical" a
+//! guarantee rather than a hope.
+//!
+//! A snapshot also records a [`config_fingerprint`] of the pipeline it was
+//! taken from; resuming against a pipeline with a different workload,
+//! dataset or configuration is refused. The fingerprint is a sanity check
+//! against operator error, not a cryptographic binding.
+
+use crate::budget::Budget;
+use crate::candidate::Candidate;
+use crate::pipeline::{Nada, PrecheckStats, SearchStats};
+use crate::session::Stage;
+use crate::train::{Checkpoint, TrainOutcome};
+use nada_llm::DesignKind;
+use serde::value::{Error as CodecError, Value};
+
+use std::fmt;
+
+/// Snapshot format version; bumped on layout changes.
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+/// Everything needed to resume a search from its last completed stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSnapshot {
+    /// Fingerprint of the pipeline (workload + dataset + config) the
+    /// snapshot was taken from.
+    pub fingerprint: u64,
+    /// Which design kind the search targets.
+    pub kind: DesignKind,
+    /// The first stage the resumed session must run.
+    pub next_stage: Stage,
+    /// The session's spending limits.
+    pub budget: Budget,
+    /// The generated candidate pool (compiled designs are re-derived).
+    pub candidates: Vec<Candidate>,
+    /// Pre-check statistics, once the precheck stage has run.
+    pub precheck: Option<PrecheckStats>,
+    /// Probe outcomes `(candidate id, outcome)` accumulated so far.
+    pub probes: Vec<(usize, Option<TrainOutcome>)>,
+    /// Screening outcomes `(candidate id, outcome, survived)` so far.
+    pub screened: Vec<(usize, Option<TrainOutcome>, bool)>,
+    /// Spend bookkeeping accumulated so far.
+    pub stats: SearchStats,
+}
+
+impl SessionSnapshot {
+    /// Serializes to the text form (see `serde::text`).
+    pub fn encode(&self) -> String {
+        serde::text::to_string(self)
+    }
+
+    /// Parses a snapshot back from its text form.
+    pub fn decode(s: &str) -> Result<Self, SnapshotError> {
+        serde::text::from_str(s).map_err(|e| SnapshotError(e.to_string()))
+    }
+}
+
+/// Why a snapshot could not be decoded or resumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError(pub String);
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "snapshot error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// FNV-1a fingerprint of the run-defining parts of a pipeline: workload
+/// name, dataset, and every configuration knob that steers the search.
+pub fn config_fingerprint(nada: &Nada) -> u64 {
+    let cfg = nada.config();
+    let mut h = Fnv::new();
+    h.write_str(nada.workload().name());
+    h.write_str(cfg.dataset.name());
+    h.write_str(&format!("{:?}", cfg.scale));
+    for n in [
+        cfg.seed,
+        cfg.n_candidates as u64,
+        cfg.train_epochs as u64,
+        cfg.test_interval as u64,
+        cfg.episodes_per_epoch as u64,
+        cfg.n_seeds as u64,
+        cfg.early_epochs as u64,
+        cfg.n_probe as u64,
+        cfg.arch_scale_factor as u64,
+        cfg.eval_traces as u64,
+    ] {
+        h.write_u64(n);
+    }
+    h.finish()
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u8(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        for b in n.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    fn write_str(&mut self, s: &str) {
+        for b in s.as_bytes() {
+            self.write_u8(*b);
+        }
+        // Length-delimit so ("ab","c") and ("a","bc") differ.
+        self.write_u8(0xFF);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+// ---- serde impls -----------------------------------------------------------
+//
+// `DesignKind` lives in `nada-llm`, so its encoding is inlined here (orphan
+// rules); everything else is a crate-local type and implements the shim's
+// traits directly.
+
+fn kind_to_value(kind: DesignKind) -> Value {
+    Value::Str(kind.name().to_string())
+}
+
+fn kind_from_value(v: &Value) -> Result<DesignKind, CodecError> {
+    match v.as_str()? {
+        "state" => Ok(DesignKind::State),
+        "architecture" => Ok(DesignKind::Architecture),
+        other => Err(CodecError::new(format!("unknown design kind `{other}`"))),
+    }
+}
+
+impl serde::Serialize for Stage {
+    fn to_value(&self) -> Value {
+        Value::Str(self.name().to_string())
+    }
+}
+
+impl serde::Deserialize for Stage {
+    fn from_value(v: &Value) -> Result<Self, CodecError> {
+        Stage::from_name(v.as_str()?)
+            .ok_or_else(|| CodecError::new(format!("unknown stage `{v:?}`")))
+    }
+}
+
+impl serde::Serialize for Budget {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("max_candidates".into(), self.max_candidates.to_value()),
+            ("max_epochs".into(), self.max_epochs.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for Budget {
+    fn from_value(v: &Value) -> Result<Self, CodecError> {
+        Ok(Self {
+            max_candidates: Option::from_value(v.field("max_candidates")?)?,
+            max_epochs: Option::from_value(v.field("max_epochs")?)?,
+        })
+    }
+}
+
+impl serde::Serialize for Candidate {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("id".into(), self.id.to_value()),
+            ("kind".into(), kind_to_value(self.kind)),
+            ("code".into(), self.code.to_value()),
+            ("reasoning".into(), self.reasoning.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for Candidate {
+    fn from_value(v: &Value) -> Result<Self, CodecError> {
+        Ok(Self {
+            id: usize::from_value(v.field("id")?)?,
+            kind: kind_from_value(v.field("kind")?)?,
+            code: String::from_value(v.field("code")?)?,
+            reasoning: Option::from_value(v.field("reasoning")?)?,
+        })
+    }
+}
+
+impl serde::Serialize for Checkpoint {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("epoch".into(), self.epoch.to_value()),
+            ("test_score".into(), self.test_score.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for Checkpoint {
+    fn from_value(v: &Value) -> Result<Self, CodecError> {
+        Ok(Self {
+            epoch: usize::from_value(v.field("epoch")?)?,
+            test_score: f64::from_value(v.field("test_score")?)?,
+        })
+    }
+}
+
+impl serde::Serialize for TrainOutcome {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("reward_curve".into(), self.reward_curve.to_value()),
+            ("checkpoints".into(), self.checkpoints.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for TrainOutcome {
+    fn from_value(v: &Value) -> Result<Self, CodecError> {
+        Ok(Self {
+            reward_curve: Vec::from_value(v.field("reward_curve")?)?,
+            checkpoints: Vec::from_value(v.field("checkpoints")?)?,
+        })
+    }
+}
+
+impl serde::Serialize for PrecheckStats {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("total".into(), self.total.to_value()),
+            ("compilable".into(), self.compilable.to_value()),
+            ("normalized".into(), self.normalized.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for PrecheckStats {
+    fn from_value(v: &Value) -> Result<Self, CodecError> {
+        Ok(Self {
+            total: usize::from_value(v.field("total")?)?,
+            compilable: usize::from_value(v.field("compilable")?)?,
+            normalized: usize::from_value(v.field("normalized")?)?,
+        })
+    }
+}
+
+impl serde::Serialize for SearchStats {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("early_stopped".into(), self.early_stopped.to_value()),
+            ("fully_trained".into(), self.fully_trained.to_value()),
+            ("failed".into(), self.failed.to_value()),
+            ("skipped".into(), self.skipped.to_value()),
+            ("epochs_spent".into(), self.epochs_spent.to_value()),
+            ("epochs_saved".into(), self.epochs_saved.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for SearchStats {
+    fn from_value(v: &Value) -> Result<Self, CodecError> {
+        Ok(Self {
+            early_stopped: usize::from_value(v.field("early_stopped")?)?,
+            fully_trained: usize::from_value(v.field("fully_trained")?)?,
+            failed: usize::from_value(v.field("failed")?)?,
+            skipped: usize::from_value(v.field("skipped")?)?,
+            epochs_spent: usize::from_value(v.field("epochs_spent")?)?,
+            epochs_saved: usize::from_value(v.field("epochs_saved")?)?,
+        })
+    }
+}
+
+impl serde::Serialize for SessionSnapshot {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("version".into(), SNAPSHOT_VERSION.to_value()),
+            ("fingerprint".into(), self.fingerprint.to_value()),
+            ("kind".into(), kind_to_value(self.kind)),
+            ("next_stage".into(), self.next_stage.to_value()),
+            ("budget".into(), self.budget.to_value()),
+            ("candidates".into(), self.candidates.to_value()),
+            ("precheck".into(), self.precheck.to_value()),
+            ("probes".into(), self.probes.to_value()),
+            ("screened".into(), self.screened.to_value()),
+            ("stats".into(), self.stats.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for SessionSnapshot {
+    fn from_value(v: &Value) -> Result<Self, CodecError> {
+        let version = u64::from_value(v.field("version")?)?;
+        if version != SNAPSHOT_VERSION {
+            return Err(CodecError::new(format!(
+                "snapshot version {version} unsupported (expected {SNAPSHOT_VERSION})"
+            )));
+        }
+        Ok(Self {
+            fingerprint: u64::from_value(v.field("fingerprint")?)?,
+            kind: kind_from_value(v.field("kind")?)?,
+            next_stage: Stage::from_value(v.field("next_stage")?)?,
+            budget: Budget::from_value(v.field("budget")?)?,
+            candidates: Vec::from_value(v.field("candidates")?)?,
+            precheck: Option::from_value(v.field("precheck")?)?,
+            probes: Vec::from_value(v.field("probes")?)?,
+            screened: Vec::from_value(v.field("screened")?)?,
+            stats: SearchStats::from_value(v.field("stats")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{NadaConfig, RunScale};
+    use nada_traces::dataset::DatasetKind;
+
+    fn sample_snapshot() -> SessionSnapshot {
+        SessionSnapshot {
+            fingerprint: 0xDEAD_BEEF,
+            kind: DesignKind::State,
+            next_stage: Stage::Screen,
+            budget: Budget::unlimited().with_max_epochs(123),
+            candidates: vec![Candidate {
+                id: 0,
+                kind: DesignKind::State,
+                code: "state s {\n  feature f = \"odd\\chars\";\n}".into(),
+                reasoning: Some("because\nreasons".into()),
+            }],
+            precheck: Some(PrecheckStats {
+                total: 8,
+                compilable: 6,
+                normalized: 5,
+            }),
+            probes: vec![
+                (
+                    0,
+                    Some(TrainOutcome {
+                        reward_curve: vec![0.1, -0.25, f64::MIN_POSITIVE],
+                        checkpoints: vec![Checkpoint {
+                            epoch: 10,
+                            test_score: 0.375,
+                        }],
+                    }),
+                ),
+                (3, None),
+            ],
+            screened: vec![(5, None, false)],
+            stats: SearchStats {
+                early_stopped: 1,
+                fully_trained: 2,
+                failed: 1,
+                skipped: 3,
+                epochs_spent: 90,
+                epochs_saved: 20,
+            },
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_exactly() {
+        let snap = sample_snapshot();
+        let text = snap.encode();
+        let back = SessionSnapshot::decode(&text).expect("decode");
+        assert_eq!(snap, back);
+        // Float bits survive exactly.
+        let (_, out) = (&back.probes[0].0, back.probes[0].1.as_ref().unwrap());
+        assert_eq!(out.reward_curve[2].to_bits(), f64::MIN_POSITIVE.to_bits());
+    }
+
+    #[test]
+    fn corrupted_snapshots_are_rejected() {
+        let text = sample_snapshot().encode();
+        assert!(SessionSnapshot::decode(&text[..text.len() / 2]).is_err());
+        assert!(SessionSnapshot::decode("{}").is_err());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs_and_workloads() {
+        let a = config_fingerprint(&Nada::new(NadaConfig::new(
+            DatasetKind::Fcc,
+            RunScale::Tiny,
+            1,
+        )));
+        let b = config_fingerprint(&Nada::new(NadaConfig::new(
+            DatasetKind::Fcc,
+            RunScale::Tiny,
+            2,
+        )));
+        let c = config_fingerprint(&Nada::new(NadaConfig::new(
+            DatasetKind::Starlink,
+            RunScale::Tiny,
+            1,
+        )));
+        let cc = config_fingerprint(&Nada::with_workload(
+            NadaConfig::new(DatasetKind::Fcc, RunScale::Tiny, 1),
+            Box::new(crate::workload::CcWorkload::for_dataset(DatasetKind::Fcc)),
+        ));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, cc);
+    }
+}

@@ -71,6 +71,12 @@ pub trait Workload: Send + Sync {
         None
     }
 
+    /// Whether [`Workload::emu_env`] produces environments (lets harnesses
+    /// skip emulation experiments without constructing a trace).
+    fn has_emulation(&self) -> bool {
+        false
+    }
+
     /// Compiles the seed state program against the workload schema.
     ///
     /// # Panics
@@ -205,6 +211,10 @@ impl Workload for AbrWorkload {
             QoeLin::default(),
             0xE4A1_0000 + index as u64,
         )))
+    }
+
+    fn has_emulation(&self) -> bool {
+        true
     }
 }
 
@@ -375,8 +385,10 @@ mod tests {
     fn abr_emulation_env_exists_cc_does_not() {
         let trace = Trace::from_uniform("flat", 1.0, &[5.0; 300]).unwrap();
         let abr = AbrWorkload::for_dataset(DatasetKind::Fcc);
+        assert!(abr.has_emulation());
         assert!(abr.emu_env(&trace, 0).is_some());
         let cc = CcWorkload::for_dataset(DatasetKind::Fcc);
+        assert!(!cc.has_emulation());
         assert!(cc.emu_env(&trace, 0).is_none());
     }
 }

@@ -45,7 +45,30 @@ pub trait LlmClient {
     /// Generates a batch of `n` designs (candidate pools in the paper are
     /// 3 000 designs per model).
     fn generate_batch(&mut self, prompt: &Prompt, n: usize) -> Vec<Completion> {
-        (0..n).map(|_| self.generate(prompt)).collect()
+        self.generate_batch_while(prompt, n, &mut |_| true)
+    }
+
+    /// Budget hook: generates up to `n` designs, consulting `more` with the
+    /// count generated so far before each call and stopping early the first
+    /// time it returns `false`.
+    ///
+    /// Search budgets use this to cap the pool *at the source* — for a
+    /// metered HTTP client, candidates beyond the budget are never
+    /// requested, not generated and discarded.
+    fn generate_batch_while(
+        &mut self,
+        prompt: &Prompt,
+        n: usize,
+        more: &mut dyn FnMut(usize) -> bool,
+    ) -> Vec<Completion> {
+        let mut out = Vec::with_capacity(n);
+        for made in 0..n {
+            if !more(made) {
+                break;
+            }
+            out.push(self.generate(prompt));
+        }
+        out
     }
 }
 
@@ -57,5 +80,38 @@ mod tests {
     fn design_kind_names() {
         assert_eq!(DesignKind::State.name(), "state");
         assert_eq!(DesignKind::Architecture.name(), "architecture");
+    }
+
+    /// Counts generate calls so the budget-hook contract is testable
+    /// without a mock model.
+    struct Counting(usize);
+
+    impl LlmClient for Counting {
+        fn model_name(&self) -> &str {
+            "counting"
+        }
+
+        fn generate(&mut self, _prompt: &Prompt) -> Completion {
+            self.0 += 1;
+            Completion {
+                code: format!("design {}", self.0),
+                reasoning: None,
+            }
+        }
+    }
+
+    #[test]
+    fn batch_generation_honors_the_budget_hook() {
+        let prompt = Prompt::state("seed");
+        let mut llm = Counting(0);
+        let full = llm.generate_batch(&prompt, 5);
+        assert_eq!(full.len(), 5);
+        assert_eq!(llm.0, 5);
+
+        let mut llm = Counting(0);
+        let capped = llm.generate_batch_while(&prompt, 5, &mut |made| made < 2);
+        assert_eq!(capped.len(), 2);
+        // Candidates beyond the budget were never requested.
+        assert_eq!(llm.0, 2);
     }
 }

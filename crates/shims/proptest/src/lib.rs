@@ -247,7 +247,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// Strategy produced by [`vec`].
+    /// Strategy produced by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

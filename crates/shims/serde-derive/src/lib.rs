@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`'s derive macros.
+//!
+//! The workspace *derives* `Serialize`/`Deserialize` in many places but
+//! only a handful of snapshot types actually serialize at runtime — and
+//! those implement the shim's traits by hand (see `serde`'s crate docs).
+//! Until a real derive expansion is needed, these macros expand to
+//! nothing, which keeps every `#[derive(serde::Serialize, ...)]`
+//! attribute in the tree compiling without registry access.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

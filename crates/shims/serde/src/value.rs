@@ -1,0 +1,150 @@
+//! The self-describing value tree serialization round-trips through.
+
+use std::fmt;
+
+/// A serialized value. Floats are stored as raw IEEE-754 bits so the tree
+/// (and the [`crate::text`] codec over it) round-trips bit-exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// Absent value (`Option::None`).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer (also carries `usize`).
+    UInt(u64),
+    /// Signed integer.
+    Int(i64),
+    /// `f64` as raw bits.
+    Float(u64),
+    /// UTF-8 string.
+    Str(String),
+    /// Ordered sequence.
+    List(Vec<Value>),
+    /// Ordered field map (struct encoding). Keys are bare identifiers.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Short kind label used in error messages.
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) => "uint",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::List(_) => "list",
+            Value::Map(_) => "map",
+        }
+    }
+
+    /// Expects a boolean.
+    pub fn as_bool(&self) -> Result<bool, Error> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other)),
+        }
+    }
+
+    /// Expects an unsigned integer.
+    pub fn as_u64(&self) -> Result<u64, Error> {
+        match self {
+            Value::UInt(n) => Ok(*n),
+            other => Err(Error::expected("uint", other)),
+        }
+    }
+
+    /// Expects a signed integer (unsigned values convert when they fit).
+    pub fn as_i64(&self) -> Result<i64, Error> {
+        match self {
+            Value::Int(n) => Ok(*n),
+            Value::UInt(n) => {
+                i64::try_from(*n).map_err(|_| Error::new(format!("{n} overflows i64")))
+            }
+            other => Err(Error::expected("int", other)),
+        }
+    }
+
+    /// Expects a float, reassembled from its bits.
+    pub fn as_f64(&self) -> Result<f64, Error> {
+        match self {
+            Value::Float(bits) => Ok(f64::from_bits(*bits)),
+            other => Err(Error::expected("float", other)),
+        }
+    }
+
+    /// Expects a string.
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+
+    /// Expects a list.
+    pub fn as_list(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::List(items) => Ok(items),
+            other => Err(Error::expected("list", other)),
+        }
+    }
+
+    /// Expects a map.
+    pub fn as_map(&self) -> Result<&[(String, Value)], Error> {
+        match self {
+            Value::Map(fields) => Ok(fields),
+            other => Err(Error::expected("map", other)),
+        }
+    }
+
+    /// Looks a field up in a map value.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        self.as_map()?
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error::new(format!("missing field `{name}`")))
+    }
+}
+
+/// Shape or syntax error while decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+
+    fn expected(want: &str, got: &Value) -> Self {
+        Self(format!("expected {want}, got {}", got.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_lookup_reports_missing_names() {
+        let v = Value::Map(vec![("a".into(), Value::UInt(1))]);
+        assert_eq!(v.field("a").unwrap(), &Value::UInt(1));
+        assert!(v.field("b").unwrap_err().to_string().contains("`b`"));
+    }
+
+    #[test]
+    fn uint_coerces_to_i64_when_it_fits() {
+        assert_eq!(Value::UInt(5).as_i64().unwrap(), 5);
+        assert!(Value::UInt(u64::MAX).as_i64().is_err());
+    }
+}

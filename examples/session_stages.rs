@@ -1,0 +1,71 @@
+//! The staged `SearchSession` API: observe, budget, snapshot, resume.
+//!
+//! ```sh
+//! cargo run --release --example session_stages
+//! ```
+//!
+//! Runs the same search as `quickstart`, but stage by stage through a
+//! `SearchSession`: a live observer narrates progress, an epoch budget
+//! keeps the run small, and the session is snapshotted to a string after
+//! screening, dropped, and resumed — finishing with the identical outcome
+//! an uninterrupted session would have produced.
+
+use nada::core::{
+    Budget, FnObserver, Nada, NadaConfig, RunScale, SearchEvent, SearchSession, SessionSnapshot,
+    WorkloadRegistry,
+};
+use nada::llm::{DesignKind, MockLlm};
+use nada::traces::dataset::DatasetKind;
+
+fn main() {
+    // Workloads are picked at runtime by name — this is what the bench
+    // harnesses' `--workload abr|cc` flag resolves through.
+    let workload = WorkloadRegistry::builtin()
+        .build("abr", DatasetKind::Starlink)
+        .expect("abr is built in");
+    let config = NadaConfig::new(DatasetKind::Starlink, RunScale::Tiny, 7);
+    let nada = Nada::with_workload(config, workload);
+    let mut llm = MockLlm::gpt4(7);
+
+    // Stage by stage, with a narrator and a training-epoch allowance.
+    let mut session = SearchSession::new(&nada, DesignKind::State)
+        .with_budget(Budget::unlimited().with_max_epochs(400));
+    session.observe(FnObserver(|e: &SearchEvent| match e {
+        SearchEvent::StageStarted { stage } => println!("-> {}", stage.name()),
+        SearchEvent::PoolGenerated { n } => println!("   {n} candidates"),
+        SearchEvent::BudgetExhausted { stage, skipped, .. } => {
+            println!("   budget ran out in {} ({skipped} skipped)", stage.name())
+        }
+        _ => {}
+    }));
+
+    let n = session.generate(&mut llm).expect("fresh session");
+    println!("   generated {n}");
+    let stats = session.precheck().expect("after generate");
+    println!(
+        "   {}/{} compilable, {} normalized",
+        stats.compilable, stats.total, stats.normalized
+    );
+    session.probe().expect("after precheck");
+    session.screen().expect("after probe");
+
+    // Interrupt: serialize all cross-stage state, drop the session...
+    let text = session.snapshot().encode();
+    drop(session);
+    println!("   snapshot: {} bytes", text.len());
+
+    // ...and resume. Compiled designs are re-derived deterministically, so
+    // the finished outcome is bit-identical to an uninterrupted run's.
+    let snapshot = SessionSnapshot::decode(&text).expect("snapshot round-trips");
+    let mut resumed = SearchSession::resume(&nada, snapshot).expect("same pipeline");
+    let outcome = resumed.finalize().expect("resume lands before finalize");
+
+    println!(
+        "\noriginal {:.3} -> best {:.3} ({:+.1}%), {} designs ranked, {} epochs spent",
+        outcome.original.test_score,
+        outcome.best.test_score,
+        outcome.improvement_pct(),
+        outcome.ranked.len(),
+        outcome.stats.epochs_spent
+    );
+}
