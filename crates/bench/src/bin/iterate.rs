@@ -1,0 +1,8 @@
+//! Runs the multi-round feedback-driven search (`--rounds N`), with
+//! checkpointed restarts (`--checkpoint PATH` / `--resume PATH`), and
+//! prints the per-round report.
+
+fn main() {
+    let opts = nada_bench::cli::parse_args(std::env::args());
+    println!("{}", nada_bench::experiments::iterate::run(&opts));
+}

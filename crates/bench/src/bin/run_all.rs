@@ -1,6 +1,6 @@
-//! Runs every table/figure harness plus the ablations and the CC-workload
-//! search in one process, printing each report (the source for
-//! EXPERIMENTS.md).
+//! Runs every table/figure harness plus the ablations, the CC-workload
+//! search and the iterative feedback search in one process, printing each
+//! report (the source for EXPERIMENTS.md).
 //!
 //! Experiments are independent, so they fan out through the same
 //! order-preserving parallel map the pipeline itself uses (`nada-exec`),
@@ -30,6 +30,13 @@ fn main() {
         ("figure5", exp::figure5::run),
         ("ablations", exp::ablations::run),
         ("cc_search", exp::cc_search::run),
+        // The feedback loop needs at least two rounds to feed anything
+        // back; a plain `run_all` must still showcase it.
+        ("iterate", |opts| {
+            let mut opts = opts.clone();
+            opts.rounds = opts.rounds.max(2);
+            exp::iterate::run(&opts)
+        }),
     ];
     let t0 = Instant::now();
     let reports = nada_exec::parallel_map_workers(runs, EXPERIMENT_WORKERS, &|(name, run)| {

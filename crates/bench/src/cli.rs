@@ -15,6 +15,15 @@ pub struct HarnessOptions {
     /// Live search progress on stderr (`--progress`), default off so
     /// report output stays clean.
     pub progress: bool,
+    /// Feedback rounds for iterative experiments (`--rounds N`),
+    /// default 1 (one-shot).
+    pub rounds: usize,
+    /// Write a driver checkpoint here after every round
+    /// (`--checkpoint PATH`).
+    pub checkpoint: Option<String>,
+    /// Resume a killed multi-round run from this checkpoint file
+    /// (`--resume PATH`).
+    pub resume: Option<String>,
 }
 
 impl Default for HarnessOptions {
@@ -24,6 +33,9 @@ impl Default for HarnessOptions {
             seed: 1,
             workload: "abr".to_string(),
             progress: false,
+            rounds: 1,
+            checkpoint: None,
+            resume: None,
         }
     }
 }
@@ -68,6 +80,29 @@ pub fn parse_args<I: Iterator<Item = String>>(mut args: I) -> HarnessOptions {
                 opts.workload = v;
             }
             "--progress" => opts.progress = true,
+            "--rounds" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--rounds needs a value"));
+                opts.rounds = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--rounds needs an integer"));
+                if opts.rounds == 0 {
+                    usage("--rounds must be at least 1");
+                }
+            }
+            "--checkpoint" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--checkpoint needs a path"));
+                opts.checkpoint = Some(v);
+            }
+            "--resume" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--resume needs a path"));
+                opts.resume = Some(v);
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag `{other}`")),
         }
@@ -79,7 +114,10 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: <harness> [--full | --quick] [--seed N] [--workload NAME] [--progress]");
+    eprintln!(
+        "usage: <harness> [--full | --quick] [--seed N] [--workload NAME] [--progress]\n\
+         \x20                [--rounds N] [--checkpoint PATH] [--resume PATH]"
+    );
     eprintln!("  --full          paper-scale run (cluster-sized; default is quick)");
     eprintln!("  --seed N        master seed (default 1)");
     eprintln!(
@@ -87,6 +125,9 @@ fn usage(msg: &str) -> ! {
         WorkloadRegistry::builtin().names().join("|")
     );
     eprintln!("  --progress      live per-stage search progress on stderr");
+    eprintln!("  --rounds N      feedback rounds for iterative experiments (default 1)");
+    eprintln!("  --checkpoint PATH  write a resume checkpoint after every round");
+    eprintln!("  --resume PATH   restart a killed multi-round run from its checkpoint");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 
@@ -119,5 +160,24 @@ mod tests {
         let o = parse(&["--workload", "cc", "--progress"]);
         assert_eq!(o.workload, "cc");
         assert!(o.progress);
+    }
+
+    #[test]
+    fn iterate_flags_parse() {
+        let o = parse(&[
+            "--rounds",
+            "3",
+            "--checkpoint",
+            "/tmp/a.ckpt",
+            "--resume",
+            "/tmp/b.ckpt",
+        ]);
+        assert_eq!(o.rounds, 3);
+        assert_eq!(o.checkpoint.as_deref(), Some("/tmp/a.ckpt"));
+        assert_eq!(o.resume.as_deref(), Some("/tmp/b.ckpt"));
+        let d = parse(&[]);
+        assert_eq!(d.rounds, 1);
+        assert_eq!(d.checkpoint, None);
+        assert_eq!(d.resume, None);
     }
 }

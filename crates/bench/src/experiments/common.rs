@@ -10,7 +10,10 @@
 
 use crate::cli::HarnessOptions;
 use crate::progress::ProgressObserver;
-use nada_core::{Nada, NadaConfig, SearchOutcome, SearchSession, Workload, WorkloadRegistry};
+use nada_core::{
+    DriverOutcome, Nada, NadaConfig, SearchDriver, SearchOutcome, SearchSession, Workload,
+    WorkloadRegistry,
+};
 use nada_llm::{DesignKind, LlmClient, MockLlm};
 use nada_traces::dataset::DatasetKind;
 
@@ -64,6 +67,19 @@ pub fn run_search(
     opts: &HarnessOptions,
     label: &str,
 ) -> SearchOutcome {
+    // The multi-round flags only drive experiments routed through
+    // `run_driver` (the `iterate` harness). Searches funneled here are
+    // one-shot by design — say so loudly instead of silently ignoring a
+    // flag the user is counting on to protect a long run.
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    if opts.rounds > 1 || opts.checkpoint.is_some() || opts.resume.is_some() {
+        WARNED.call_once(|| {
+            eprintln!(
+                "warning: --rounds/--checkpoint/--resume apply to the `iterate` \
+                 harness; this experiment's searches are one-shot and ignore them"
+            );
+        });
+    }
     let mut session = SearchSession::new(nada, kind);
     if opts.progress {
         session.observe(ProgressObserver::new(format!(
@@ -74,6 +90,52 @@ pub fn run_search(
     session
         .run(llm)
         .expect("a fresh session runs every stage exactly once")
+}
+
+/// Drives a multi-round feedback search through one funnel: `--rounds`
+/// picks the round count, `--resume PATH` restarts a killed run from its
+/// checkpoint, `--checkpoint PATH` persists one after every round
+/// (defaulting to the `--resume` path, so a resumed run stays
+/// protected), and `--progress` attaches the live observer. `make_llm`
+/// builds each round's client from the round index, so resumed runs
+/// reproduce bit-identically.
+pub fn run_driver(
+    nada: &Nada,
+    kind: DesignKind,
+    make_llm: &mut dyn FnMut(usize) -> Box<dyn LlmClient>,
+    opts: &HarnessOptions,
+    label: &str,
+) -> DriverOutcome {
+    let mut driver = match &opts.resume {
+        Some(path) => {
+            let resumed = SearchDriver::resume_from_file(nada, path)
+                .unwrap_or_else(|e| panic!("cannot resume from `{path}`: {e}"));
+            assert_eq!(
+                resumed.kind(),
+                kind,
+                "checkpoint `{path}` searches {} designs, this harness runs {}",
+                resumed.kind().name(),
+                kind.name()
+            );
+            resumed.with_rounds(opts.rounds)
+        }
+        None => SearchDriver::new(nada, kind).with_rounds(opts.rounds),
+    };
+    // `--resume` without `--checkpoint` keeps checkpointing to the file
+    // it resumed from — a user protecting a long run clearly wants the
+    // remaining rounds protected too.
+    if let Some(path) = opts.checkpoint.as_ref().or(opts.resume.as_ref()) {
+        driver = driver.with_checkpoint_path(path);
+    }
+    if opts.progress {
+        driver.observe(ProgressObserver::new(format!(
+            "{label}/{}",
+            nada.workload().name()
+        )));
+    }
+    driver
+        .run(make_llm)
+        .unwrap_or_else(|e| panic!("multi-round search failed: {e}"))
 }
 
 /// Runs a state search for `(dataset, model)`.

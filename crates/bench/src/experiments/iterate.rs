@@ -1,0 +1,137 @@
+//! Iterative feedback-driven search: the multi-round loop end-to-end.
+//!
+//! Not a paper table — this experiment exercises the follow-up work's
+//! iterate-with-feedback pattern (arXiv:2508.16074) on top of the staged
+//! session: each round's ranked finalists, rejection histogram and
+//! best-so-far code feed the next round's prompt, and the mock LLM biases
+//! its mutations toward the winners. The report shows, per round, the
+//! pool's pre-check pass rates, the round's best full-protocol score and
+//! the running best — the latter is non-decreasing by construction.
+//!
+//! Long runs checkpoint at every round boundary (`--checkpoint PATH`) and
+//! restart bit-identically after a kill (`--resume PATH`). The workload is
+//! runtime-selected (`--workload abr|cc`), so both scenarios share this
+//! harness.
+
+use crate::cli::HarnessOptions;
+use crate::experiments::common::{self, Model};
+use nada_core::pipeline::improvement_pct;
+use nada_core::report::{fmt_pct, fmt_score, TextTable};
+use nada_core::{DriverOutcome, Nada};
+use nada_llm::{DesignKind, LlmClient};
+use nada_traces::dataset::DatasetKind;
+
+/// Round-seed mixing: each round's mock is freshly seeded from the master
+/// seed and the round index, so a resumed round `k` sees the same client
+/// state as an uninterrupted run's round `k`.
+pub fn round_seed(master: u64, round: usize) -> u64 {
+    master ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x17E8
+}
+
+/// Runs the multi-round search for the harness's workload and dataset.
+pub fn run_rounds(nada: &Nada, opts: &HarnessOptions) -> DriverOutcome {
+    let master = opts.seed ^ nada.config().dataset as u64;
+    let mut make_llm = |round: usize| -> Box<dyn LlmClient> {
+        Box::new(Model::Gpt4.client(round_seed(master, round)))
+    };
+    common::run_driver(nada, DesignKind::State, &mut make_llm, opts, "iterate")
+}
+
+/// Runs the iterative search and renders the per-round report.
+pub fn run(opts: &HarnessOptions) -> String {
+    let kind = DatasetKind::Fcc;
+    let nada = common::nada_for(kind, opts);
+    let outcome = run_rounds(&nada, opts);
+
+    let mut table = TextTable::new(vec![
+        "Round",
+        "Compile%",
+        "Normalized%",
+        "Round best",
+        "Best so far",
+        "Impr. vs orig",
+    ]);
+    for round in &outcome.rounds {
+        table.row(vec![
+            format!("{}", round.round + 1),
+            format!("{:.1}", round.precheck.compilable_pct()),
+            format!("{:.1}", round.precheck.normalized_pct()),
+            fmt_score(round.best_score),
+            fmt_score(round.best_so_far),
+            fmt_pct(improvement_pct(round.original_score, round.best_so_far)),
+        ]);
+    }
+    let hall = outcome
+        .hall
+        .iter()
+        .enumerate()
+        .map(|(rank, e)| {
+            format!(
+                "  #{} round {} candidate {}: {}",
+                rank + 1,
+                e.round + 1,
+                e.id,
+                fmt_score(e.score)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    format!(
+        "== Iterative feedback search: {} rounds on {}/{} ({:?} scale) ==\n{}\nHall of fame:\n{}\n",
+        outcome.rounds.len(),
+        nada.workload().name(),
+        kind.name(),
+        opts.scale,
+        table.render(),
+        hall
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nada_core::RunScale;
+
+    #[test]
+    fn tiny_iterate_report_renders_per_round_rows() {
+        let mut opts = HarnessOptions::new(RunScale::Tiny, 3);
+        opts.rounds = 2;
+        let report = run(&opts);
+        assert!(report.contains("Iterative feedback search: 2 rounds"));
+        assert!(report.contains("Best so far"));
+        assert!(report.contains("Hall of fame"));
+    }
+
+    #[test]
+    fn checkpoint_then_resume_completes_through_the_harness_path() {
+        let dir = std::env::temp_dir().join(format!("nada-iterate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("harness.ckpt");
+        let ckpt_str = ckpt.to_str().unwrap().to_string();
+
+        // Run 2 of 3 rounds, "die", resume for the third.
+        let mut opts = HarnessOptions::new(RunScale::Tiny, 4);
+        opts.rounds = 2;
+        opts.checkpoint = Some(ckpt_str.clone());
+        let partial = run(&opts);
+        assert!(partial.contains("2 rounds"));
+
+        // `--resume` alone: checkpointing defaults to the resumed file.
+        let mut opts = HarnessOptions::new(RunScale::Tiny, 4);
+        opts.rounds = 3;
+        opts.resume = Some(ckpt_str);
+        let resumed = run(&opts);
+        assert!(resumed.contains("3 rounds"));
+        let ckpt_after =
+            nada_core::DriverCheckpoint::decode(&std::fs::read_to_string(&ckpt).unwrap())
+                .expect("the resumed run keeps checkpointing to the resume path");
+        assert_eq!(ckpt_after.next_round, 3);
+
+        // And it matches the uninterrupted 3-round run's report exactly.
+        let mut opts = HarnessOptions::new(RunScale::Tiny, 4);
+        opts.rounds = 3;
+        let uninterrupted = run(&opts);
+        assert_eq!(resumed, uninterrupted);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

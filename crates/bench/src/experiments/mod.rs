@@ -10,6 +10,7 @@ pub mod common;
 pub mod figure3;
 pub mod figure4;
 pub mod figure5;
+pub mod iterate;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -98,6 +98,17 @@ impl SearchObserver for ProgressObserver {
             SearchEvent::Resumed { next_stage } => {
                 self.line(&format!("resumed from snapshot at {}", next_stage.name()))
             }
+            SearchEvent::RoundStarted { round, rounds } => {
+                self.line(&format!("round {}/{rounds}...", round + 1))
+            }
+            SearchEvent::RoundFinished {
+                round,
+                best_score,
+                best_so_far,
+            } => self.line(&format!(
+                "round {} done: best {best_score:.4} (best so far {best_so_far:.4})",
+                round + 1
+            )),
         }
     }
 }

@@ -27,6 +27,11 @@
 //!   median over seeds);
 //! * [`session`] — the staged search: Generate → Precheck → Probe →
 //!   Screen → Finalize as a typed, resumable state machine;
+//! * [`driver`] — the multi-round feedback loop: sessions in sequence,
+//!   each seeded with the previous rounds' ranked outcomes, with
+//!   checkpointed cross-round state;
+//! * [`feedback`] — hall of fame, per-round summaries and driver
+//!   checkpoints;
 //! * [`observer`] — the session's typed event stream;
 //! * [`budget`] — graceful mid-stage truncation of a running search;
 //! * [`snapshot`] — serde snapshot/resume for interrupted searches;
@@ -39,7 +44,9 @@ pub mod bind;
 pub mod budget;
 pub mod candidate;
 pub mod config;
+pub mod driver;
 pub mod eval;
+pub mod feedback;
 pub mod observer;
 pub mod pipeline;
 pub mod prechecks;
@@ -54,6 +61,8 @@ pub mod workload;
 pub use budget::Budget;
 pub use candidate::{Candidate, CompiledDesign, RejectReason};
 pub use config::{NadaConfig, RunScale};
+pub use driver::{DriverError, DriverOutcome, SearchDriver};
+pub use feedback::{DriverCheckpoint, HallEntry, HallOfFame, RoundSummary};
 pub use observer::{CollectingObserver, FnObserver, SearchEvent, SearchObserver};
 pub use pipeline::{Nada, PrecheckStats, SearchOutcome, SearchStats};
 pub use registry::WorkloadRegistry;

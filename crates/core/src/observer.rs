@@ -94,6 +94,23 @@ pub enum SearchEvent {
         /// The first stage the resumed session will run.
         next_stage: Stage,
     },
+    /// A [`crate::driver::SearchDriver`] began a feedback round.
+    RoundStarted {
+        /// Zero-based round index.
+        round: usize,
+        /// Total rounds the driver is configured to run.
+        rounds: usize,
+    },
+    /// A driver round finished (its session finalized and the hall of fame
+    /// was updated).
+    RoundFinished {
+        /// Zero-based round index.
+        round: usize,
+        /// This round's best full-protocol score.
+        best_score: f64,
+        /// The best score across all rounds so far (non-decreasing).
+        best_so_far: f64,
+    },
 }
 
 /// A sink for [`SearchEvent`]s.

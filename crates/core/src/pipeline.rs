@@ -125,6 +125,10 @@ pub struct SearchOutcome {
     pub original: DesignResult,
     /// The best generated design.
     pub best: DesignResult,
+    /// Every finalist evaluated under the full §3.1 protocol, in
+    /// screening-rank order (`best` is the highest-scoring of these, or
+    /// the original when none evaluated).
+    pub finalists: Vec<DesignResult>,
     /// Survivor scores from the screening phase `(candidate id, score)`,
     /// best first.
     pub ranked: Vec<(usize, f64)>,

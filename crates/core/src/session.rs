@@ -44,7 +44,7 @@ use crate::train::{train_design, DesignTrainer, TrainOutcome, TrainRunConfig};
 use nada_dsl::CompiledState;
 use nada_earlystop::classifiers::{Classifier, DesignSample, FitConfig, RewardCnnClassifier};
 use nada_exec::parallel_map;
-use nada_llm::{DesignKind, LlmClient};
+use nada_llm::{DesignKind, FeedbackContext, LlmClient};
 use nada_nn::ArchConfig;
 
 /// One prechecked pool entry: the candidate plus the `(state, arch)` pair
@@ -78,6 +78,18 @@ pub enum Stage {
 }
 
 impl Stage {
+    /// Every stage, in execution order. Exhaustive by construction: tests
+    /// iterate this to prove `from_name(name())` round-trips for every
+    /// variant, so adding a stage without wiring its name is caught.
+    pub const ALL: [Stage; 6] = [
+        Stage::Generate,
+        Stage::Precheck,
+        Stage::Probe,
+        Stage::Screen,
+        Stage::Finalize,
+        Stage::Done,
+    ];
+
     /// Stable lowercase name (used by snapshots and reports).
     pub fn name(&self) -> &'static str {
         match self {
@@ -115,16 +127,19 @@ pub struct WrongStage {
 
 impl std::fmt::Display for WrongStage {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        if self.found == Stage::Done {
-            write!(f, "session is already finalized")
-        } else {
-            write!(
-                f,
-                "session is at stage `{}`, cannot run `{}`",
-                self.found.name(),
-                self.requested.name()
-            )
-        }
+        // Both stages are always named — a caller debugging an already-
+        // finalized session still needs to see what it tried to run.
+        write!(
+            f,
+            "session is at stage `{}`{}, cannot run `{}`",
+            self.found.name(),
+            if self.found == Stage::Done {
+                " (already finalized)"
+            } else {
+                ""
+            },
+            self.requested.name()
+        )
     }
 }
 
@@ -135,6 +150,14 @@ pub struct SearchSession<'a> {
     nada: &'a Nada,
     kind: DesignKind,
     budget: Budget,
+    /// Fed-back outcomes of earlier rounds, applied to the Generate
+    /// prompt (and carried by snapshots, so a session interrupted before
+    /// Generate still produces the same pool on resume).
+    feedback: Option<FeedbackContext>,
+    /// Pre-computed full-protocol evaluation of the original design.
+    /// Training the original is deterministic, so multi-round drivers
+    /// inject round 0's result instead of re-training every round.
+    original: Option<DesignResult>,
     observers: Vec<Box<dyn SearchObserver + 'a>>,
     stage: Stage,
     /// Emitted as a `Resumed` event when the next stage starts (observers
@@ -156,6 +179,8 @@ impl<'a> SearchSession<'a> {
             nada,
             kind,
             budget: Budget::unlimited(),
+            feedback: None,
+            original: None,
             observers: Vec::new(),
             stage: Stage::Generate,
             pending_resume: None,
@@ -171,6 +196,25 @@ impl<'a> SearchSession<'a> {
     /// Sets the session's spending limits (builder style).
     pub fn with_budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Attaches ranked outcomes of earlier search rounds (builder style).
+    /// The Generate stage renders them into the LLM prompt via
+    /// [`nada_llm::Prompt::with_feedback`]; see [`crate::driver`] for the
+    /// loop that produces them.
+    pub fn with_feedback(mut self, feedback: FeedbackContext) -> Self {
+        self.feedback = Some(feedback);
+        self
+    }
+
+    /// Supplies a pre-computed evaluation of the original design (builder
+    /// style). Must come from an identically-configured pipeline; the
+    /// original's training is deterministic, so this is purely a
+    /// recomputation saving (the driver reuses round 0's result instead
+    /// of re-training the seed design every round).
+    pub fn with_original(mut self, original: DesignResult) -> Self {
+        self.original = Some(original);
         self
     }
 
@@ -218,7 +262,10 @@ impl<'a> SearchSession<'a> {
         self.start_stage(Stage::Generate);
         let want = self.nada.config().n_candidates;
         let cap = self.budget.max_candidates.unwrap_or(usize::MAX);
-        let prompt = self.nada.prompt_for(self.kind);
+        let mut prompt = self.nada.prompt_for(self.kind);
+        if let Some(feedback) = &self.feedback {
+            prompt = prompt.with_feedback(feedback.clone());
+        }
         let kind = self.kind;
         let completions = llm.generate_batch_while(&prompt, want, &mut |made| made < cap);
         self.candidates = completions
@@ -557,7 +604,10 @@ impl<'a> SearchSession<'a> {
     pub fn finalize(&mut self) -> Result<SearchOutcome, WrongStage> {
         self.expect(Stage::Finalize)?;
         self.start_stage(Stage::Finalize);
-        let original = self.nada.train_original();
+        let original = self
+            .original
+            .clone()
+            .unwrap_or_else(|| self.nada.train_original());
         let ranked = self.rank();
         let top_k = N_FINALISTS.min(ranked.len());
         let finalists: Vec<PoolEntry> = ranked[..top_k]
@@ -596,9 +646,12 @@ impl<'a> SearchSession<'a> {
             finals
         };
 
-        let best = finals
-            .into_iter()
-            .flatten()
+        // Keep every evaluated finalist (screening-rank order) on the
+        // outcome — the feedback loop's hall of fame is built from them.
+        let finalists: Vec<DesignResult> = finals.into_iter().flatten().collect();
+        let best = finalists
+            .iter()
+            .cloned()
             .max_by(|a, b| {
                 a.test_score
                     .partial_cmp(&b.test_score)
@@ -615,6 +668,7 @@ impl<'a> SearchSession<'a> {
             }),
             original,
             best,
+            finalists,
             ranked,
             stats: self.stats,
         };
@@ -673,6 +727,7 @@ impl<'a> SearchSession<'a> {
             kind: self.kind,
             next_stage: self.stage,
             budget: self.budget,
+            feedback: self.feedback.clone(),
             candidates: self.candidates.clone(),
             precheck: self.precheck_stats,
             probes: self.probes.clone(),
@@ -695,6 +750,7 @@ impl<'a> SearchSession<'a> {
             )));
         }
         let mut session = SearchSession::new(nada, snapshot.kind).with_budget(snapshot.budget);
+        session.feedback = snapshot.feedback;
         session.candidates = snapshot.candidates;
         session.precheck_stats = snapshot.precheck;
         session.probes = snapshot.probes;
@@ -943,6 +999,42 @@ mod tests {
     }
 
     #[test]
+    fn feedback_survives_a_pre_generate_snapshot() {
+        use nada_llm::{FeedbackContext, FeedbackWinner};
+        let nada = tiny_nada(31);
+        let fb = FeedbackContext {
+            round: 1,
+            winners: vec![FeedbackWinner {
+                code: nada.workload().seed_state_source().to_string(),
+                score: 0.5,
+            }],
+            rejected_compile: 2,
+            rejected_normalization: 1,
+            accepted: 5,
+        };
+        // Direct: feedback attached, generate immediately.
+        let direct = {
+            let mut llm = MockLlm::gpt4(31);
+            let mut session =
+                SearchSession::new(&nada, DesignKind::State).with_feedback(fb.clone());
+            session.generate(&mut llm).unwrap();
+            session.snapshot().candidates
+        };
+        // Interrupted before Generate: the snapshot must carry the
+        // feedback, or the resumed session would generate a different
+        // (unbiased) pool.
+        let text = SearchSession::new(&nada, DesignKind::State)
+            .with_feedback(fb)
+            .snapshot()
+            .encode();
+        let snap = SessionSnapshot::decode(&text).unwrap();
+        let mut resumed = SearchSession::resume(&nada, snap).unwrap();
+        let mut llm = MockLlm::gpt4(31);
+        resumed.generate(&mut llm).unwrap();
+        assert_eq!(resumed.snapshot().candidates, direct);
+    }
+
+    #[test]
     fn resume_rejects_a_different_pipeline() {
         let nada = tiny_nada(28);
         let mut llm = MockLlm::gpt4(28);
@@ -959,17 +1051,67 @@ mod tests {
     }
 
     #[test]
-    fn stage_names_round_trip() {
-        for stage in [
-            Stage::Generate,
-            Stage::Precheck,
-            Stage::Probe,
-            Stage::Screen,
-            Stage::Finalize,
-            Stage::Done,
-        ] {
-            assert_eq!(Stage::from_name(stage.name()), Some(stage));
+    fn stage_names_round_trip_exhaustively() {
+        // `Stage::ALL` is the exhaustive variant list (the compiler pins
+        // its length to the enum via the `Ord` ordering test below), so a
+        // new stage that forgets its `from_name` arm fails here.
+        for stage in Stage::ALL {
+            assert_eq!(
+                Stage::from_name(stage.name()),
+                Some(stage),
+                "`{}` does not round-trip",
+                stage.name()
+            );
         }
         assert_eq!(Stage::from_name("nope"), None);
+        // Names are pairwise distinct (a copy-pasted name would alias two
+        // stages in snapshots).
+        for a in Stage::ALL {
+            for b in Stage::ALL {
+                assert_eq!(a.name() == b.name(), a == b);
+            }
+        }
+    }
+
+    #[test]
+    fn stage_all_is_in_execution_order() {
+        for pair in Stage::ALL.windows(2) {
+            assert!(
+                pair[0] < pair[1],
+                "{:?} must precede {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_stage_errors_name_both_stages() {
+        // Regression: the Done arm used to print "session is already
+        // finalized" without naming either stage.
+        for found in Stage::ALL {
+            for requested in Stage::ALL {
+                if found == requested {
+                    continue;
+                }
+                let msg = WrongStage { found, requested }.to_string();
+                assert!(
+                    msg.contains(&format!("`{}`", found.name())),
+                    "{msg:?} does not name the actual stage `{}`",
+                    found.name()
+                );
+                assert!(
+                    msg.contains(&format!("`{}`", requested.name())),
+                    "{msg:?} does not name the requested stage `{}`",
+                    requested.name()
+                );
+            }
+        }
+        let done = WrongStage {
+            found: Stage::Done,
+            requested: Stage::Generate,
+        }
+        .to_string();
+        assert!(done.contains("already finalized"));
     }
 }

@@ -24,13 +24,16 @@ use crate::candidate::Candidate;
 use crate::pipeline::{Nada, PrecheckStats, SearchStats};
 use crate::session::Stage;
 use crate::train::{Checkpoint, TrainOutcome};
-use nada_llm::DesignKind;
+use nada_llm::{DesignKind, FeedbackContext, FeedbackWinner};
 use serde::value::{Error as CodecError, Value};
+use serde::{Deserialize as _, Serialize as _};
 
 use std::fmt;
 
 /// Snapshot format version; bumped on layout changes.
-pub const SNAPSHOT_VERSION: u64 = 1;
+/// v2 added the session's pending feedback context (a session interrupted
+/// before Generate must produce the same candidate pool on resume).
+pub const SNAPSHOT_VERSION: u64 = 2;
 
 /// Everything needed to resume a search from its last completed stage.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +47,9 @@ pub struct SessionSnapshot {
     pub next_stage: Stage,
     /// The session's spending limits.
     pub budget: Budget,
+    /// Fed-back outcomes of earlier rounds, when the session belongs to
+    /// an iterative search (influences the Generate stage only).
+    pub feedback: Option<FeedbackContext>,
     /// The generated candidate pool (compiled designs are re-derived).
     pub candidates: Vec<Candidate>,
     /// Pre-check statistics, once the precheck stage has run.
@@ -142,16 +148,65 @@ impl Fnv {
 // rules); everything else is a crate-local type and implements the shim's
 // traits directly.
 
-fn kind_to_value(kind: DesignKind) -> Value {
+pub(crate) fn kind_to_value(kind: DesignKind) -> Value {
     Value::Str(kind.name().to_string())
 }
 
-fn kind_from_value(v: &Value) -> Result<DesignKind, CodecError> {
+pub(crate) fn kind_from_value(v: &Value) -> Result<DesignKind, CodecError> {
     match v.as_str()? {
         "state" => Ok(DesignKind::State),
         "architecture" => Ok(DesignKind::Architecture),
         other => Err(CodecError::new(format!("unknown design kind `{other}`"))),
     }
+}
+
+// `FeedbackContext` also lives in `nada-llm`; encoded via helpers for the
+// same orphan-rule reason as `DesignKind`.
+pub(crate) fn feedback_to_value(fb: &FeedbackContext) -> Value {
+    Value::Map(vec![
+        ("round".into(), fb.round.to_value()),
+        (
+            "winners".into(),
+            Value::List(
+                fb.winners
+                    .iter()
+                    .map(|w| {
+                        Value::Map(vec![
+                            ("code".into(), w.code.to_value()),
+                            ("score".into(), w.score.to_value()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("rejected_compile".into(), fb.rejected_compile.to_value()),
+        (
+            "rejected_normalization".into(),
+            fb.rejected_normalization.to_value(),
+        ),
+        ("accepted".into(), fb.accepted.to_value()),
+    ])
+}
+
+pub(crate) fn feedback_from_value(v: &Value) -> Result<FeedbackContext, CodecError> {
+    let winners = v
+        .field("winners")?
+        .as_list()?
+        .iter()
+        .map(|w| {
+            Ok(FeedbackWinner {
+                code: String::from_value(w.field("code")?)?,
+                score: f64::from_value(w.field("score")?)?,
+            })
+        })
+        .collect::<Result<Vec<_>, CodecError>>()?;
+    Ok(FeedbackContext {
+        round: usize::from_value(v.field("round")?)?,
+        winners,
+        rejected_compile: usize::from_value(v.field("rejected_compile")?)?,
+        rejected_normalization: usize::from_value(v.field("rejected_normalization")?)?,
+        accepted: usize::from_value(v.field("accepted")?)?,
+    })
 }
 
 impl serde::Serialize for Stage {
@@ -297,6 +352,13 @@ impl serde::Serialize for SessionSnapshot {
             ("kind".into(), kind_to_value(self.kind)),
             ("next_stage".into(), self.next_stage.to_value()),
             ("budget".into(), self.budget.to_value()),
+            (
+                "feedback".into(),
+                match &self.feedback {
+                    Some(fb) => feedback_to_value(fb),
+                    None => Value::Null,
+                },
+            ),
             ("candidates".into(), self.candidates.to_value()),
             ("precheck".into(), self.precheck.to_value()),
             ("probes".into(), self.probes.to_value()),
@@ -319,6 +381,10 @@ impl serde::Deserialize for SessionSnapshot {
             kind: kind_from_value(v.field("kind")?)?,
             next_stage: Stage::from_value(v.field("next_stage")?)?,
             budget: Budget::from_value(v.field("budget")?)?,
+            feedback: match v.field("feedback")? {
+                Value::Null => None,
+                fb => Some(feedback_from_value(fb)?),
+            },
             candidates: Vec::from_value(v.field("candidates")?)?,
             precheck: Option::from_value(v.field("precheck")?)?,
             probes: Vec::from_value(v.field("probes")?)?,
@@ -340,6 +406,16 @@ mod tests {
             kind: DesignKind::State,
             next_stage: Stage::Screen,
             budget: Budget::unlimited().with_max_epochs(123),
+            feedback: Some(FeedbackContext {
+                round: 2,
+                winners: vec![FeedbackWinner {
+                    code: "state w { feature f = ema(x, 0.5); }".into(),
+                    score: -0.125,
+                }],
+                rejected_compile: 4,
+                rejected_normalization: 1,
+                accepted: 3,
+            }),
             candidates: vec![Candidate {
                 id: 0,
                 kind: DesignKind::State,

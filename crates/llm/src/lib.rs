@@ -30,5 +30,5 @@ pub mod replay;
 pub use client::{Completion, DesignKind, LlmClient};
 pub use mock::MockLlm;
 pub use profile::ModelProfile;
-pub use prompt::{Prompt, PromptOptions, TaskContext};
+pub use prompt::{FeedbackContext, FeedbackWinner, Prompt, PromptOptions, TaskContext};
 pub use replay::{RecordingClient, ReplayClient, Transcript};

@@ -85,20 +85,34 @@ impl LlmClient for MockLlm {
     fn generate(&mut self, prompt: &Prompt) -> Completion {
         let (defect_rate, unnorm_rate, mean_mutations) = self.effective_rates(prompt);
         let n_mutations = 1 + poisson(&mut self.rng, mean_mutations);
+        // Feedback biasing: most generations hill-climb from the best
+        // fed-back winner instead of the original seed, mirroring a real
+        // model imitating the designs the prompt showcases. With no
+        // feedback the RNG stream is untouched, so one-shot searches
+        // reproduce exactly as before.
+        let winners: Vec<&str> = prompt
+            .feedback
+            .iter()
+            .flat_map(|f| f.winners.iter().map(|w| w.code.as_str()))
+            .collect();
+        let seed_code = if !winners.is_empty() && self.rng.gen_bool(0.7) {
+            winners[0].to_string()
+        } else {
+            prompt.seed_code.clone()
+        };
         let (mut code, descriptions) = match prompt.kind {
             DesignKind::State => {
                 let denormalize = self.rng.gen_bool(unnorm_rate);
-                state_gen::generate(
+                state_gen::generate_biased(
                     &mut self.rng,
-                    &prompt.seed_code,
+                    &seed_code,
                     n_mutations,
                     denormalize,
                     &prompt.task.schema,
+                    &winners,
                 )
             }
-            DesignKind::Architecture => {
-                arch_gen::generate(&mut self.rng, &prompt.seed_code, n_mutations)
-            }
+            DesignKind::Architecture => arch_gen::generate(&mut self.rng, &seed_code, n_mutations),
         };
         if self.rng.gen_bool(defect_rate) {
             code = corrupt::corrupt(&mut self.rng, &code);
@@ -218,6 +232,40 @@ mod tests {
         assert!(llm.generate(&prompt).reasoning.is_some());
         prompt.options.chain_of_thought = false;
         assert!(llm.generate(&prompt).reasoning.is_none());
+    }
+
+    #[test]
+    fn feedback_biases_the_pool_toward_winners() {
+        use crate::prompt::{FeedbackContext, FeedbackWinner};
+        // A winner introducing a feature the seed does not have; the next
+        // pool must reference it (mutations hill-climb from winner code).
+        let winner_code = "state pensieve_fed {\n  \
+             input throughput_mbps: vec[8];\n  \
+             feature fed_back_ema = ema(throughput_mbps, 0.5) / 12.0;\n}\n";
+        let prompt = Prompt::state(PENSIEVE_STATE_SOURCE).with_feedback(FeedbackContext {
+            round: 1,
+            winners: vec![FeedbackWinner {
+                code: winner_code.into(),
+                score: 0.9,
+            }],
+            rejected_compile: 1,
+            rejected_normalization: 1,
+            accepted: 6,
+        });
+        let mut llm = MockLlm::perfect(9);
+        let batch = llm.generate_batch(&prompt, 20);
+        assert!(
+            batch.iter().any(|c| c.code.contains("fed_back_ema")),
+            "no generation referenced the fed-back winner's feature"
+        );
+    }
+
+    #[test]
+    fn no_feedback_stream_is_unchanged_by_the_biasing_path() {
+        let prompt = Prompt::state(PENSIEVE_STATE_SOURCE);
+        let a: Vec<_> = MockLlm::gpt4(10).generate_batch(&prompt, 10);
+        let b: Vec<_> = MockLlm::gpt4(10).generate_batch(&prompt, 10);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -38,6 +38,22 @@ pub fn generate(
     denormalize: bool,
     schema: &InputSchema,
 ) -> (String, Vec<String>) {
+    generate_biased(rng, seed_code, n_mutations, denormalize, schema, &[])
+}
+
+/// Like [`generate`], but biases motif selection toward the motif families
+/// referenced by `winner_codes` (fed-back designs from earlier search
+/// rounds). With no winners the RNG stream is identical to [`generate`]'s,
+/// so one-shot searches are unaffected.
+pub fn generate_biased(
+    rng: &mut StdRng,
+    seed_code: &str,
+    n_mutations: usize,
+    denormalize: bool,
+    schema: &InputSchema,
+    winner_codes: &[&str],
+) -> (String, Vec<String>) {
+    let hinted = referenced_motifs(winner_codes);
     let Ok(mut program) = parse_state(seed_code) else {
         // An unparseable seed cannot be mutated; echo it back (the pipeline
         // will reject it downstream).
@@ -53,7 +69,14 @@ pub fn generate(
     let mut attempts = 0;
     while applied.len() < n_mutations && attempts < n_mutations * 12 {
         attempts += 1;
-        let motif = *ALL_MOTIFS.choose(rng).expect("motif list is non-empty");
+        // Winner motifs are favored half the time (the mock's stand-in for
+        // a real model imitating the fed-back designs); the other half
+        // keeps exploring the whole vocabulary.
+        let motif = if !hinted.is_empty() && rng.gen_bool(0.5) {
+            *hinted.choose(rng).expect("checked non-empty")
+        } else {
+            *ALL_MOTIFS.choose(rng).expect("motif list is non-empty")
+        };
         if let Some(desc) = apply_motif(rng, &mut program, motif, &vocab) {
             applied.push(desc);
         }
@@ -165,6 +188,43 @@ const ALL_MOTIFS: [Motif; 19] = [
 
 /// Soft cap keeping generated states from growing without bound.
 const MAX_FEATURES: usize = 12;
+
+/// Which motif families a set of design sources references, detected by
+/// the stdlib calls each family emits. Drives feedback biasing: motifs
+/// that showed up in winning designs are sampled more often next round.
+fn referenced_motifs(codes: &[&str]) -> Vec<Motif> {
+    const MARKERS: [(&str, &[Motif]); 12] = [
+        ("ema(", &[Motif::PrimaryEma]),
+        ("savgol(", &[Motif::PrimarySavgol, Motif::AuxSavgol]),
+        ("zscore(", &[Motif::PrimaryZscore]),
+        ("std(", &[Motif::PrimaryStd]),
+        (
+            "trend(",
+            &[Motif::PrimaryTrend, Motif::AuxTrend, Motif::SecondaryTrend],
+        ),
+        (
+            "predict_next(",
+            &[Motif::PrimaryPredict, Motif::SecondaryPredict],
+        ),
+        ("harmonic_mean(", &[Motif::PrimaryHarmonicMean]),
+        ("diff(", &[Motif::AuxDiff]),
+        ("min(", &[Motif::PrimaryMin]),
+        ("max(", &[Motif::PrimaryMax]),
+        ("remap(", &[Motif::RemapSymmetric]),
+        ("clip(", &[Motif::Clip01]),
+    ];
+    let mut out = Vec::new();
+    for (marker, motifs) in MARKERS {
+        if codes.iter().any(|c| c.contains(marker)) {
+            for m in motifs {
+                if !out.contains(m) {
+                    out.push(*m);
+                }
+            }
+        }
+    }
+    out
+}
 
 fn apply_motif(
     rng: &mut StdRng,
@@ -693,6 +753,72 @@ mod tests {
         let (code, _) = generate(&mut rng, PENSIEVE_STATE_SOURCE, 6, false, &schema);
         // Compiling enforces duplicate-name rejection.
         compile_state(&code).unwrap();
+    }
+
+    #[test]
+    fn referenced_motifs_map_markers_to_families() {
+        let motifs = referenced_motifs(&["feature a = ema(x, 0.5) + savgol(y);"]);
+        assert!(motifs.contains(&Motif::PrimaryEma));
+        assert!(motifs.contains(&Motif::PrimarySavgol));
+        assert!(motifs.contains(&Motif::AuxSavgol));
+        assert!(!motifs.contains(&Motif::PrimaryTrend));
+        assert!(referenced_motifs(&[]).is_empty());
+        assert!(referenced_motifs(&["feature a = b / 2.0;"]).is_empty());
+    }
+
+    #[test]
+    fn biasing_with_no_winners_matches_the_unbiased_stream() {
+        let schema = abr_schema();
+        let a = generate(
+            &mut StdRng::seed_from_u64(77),
+            PENSIEVE_STATE_SOURCE,
+            3,
+            false,
+            &schema,
+        );
+        let b = generate_biased(
+            &mut StdRng::seed_from_u64(77),
+            PENSIEVE_STATE_SOURCE,
+            3,
+            false,
+            &schema,
+            &[],
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn biased_generation_favors_winner_motifs() {
+        let schema = abr_schema();
+        let winner = "feature smoothed = ema(throughput_mbps, 0.5);";
+        let mut rng = StdRng::seed_from_u64(78);
+        let mut ema_hits = 0;
+        let n = 60;
+        for _ in 0..n {
+            let (code, _) = generate_biased(
+                &mut rng,
+                PENSIEVE_STATE_SOURCE,
+                2,
+                false,
+                &schema,
+                &[winner],
+            );
+            if code.contains("ema(") {
+                ema_hits += 1;
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(78);
+        let mut baseline_hits = 0;
+        for _ in 0..n {
+            let (code, _) = generate(&mut rng, PENSIEVE_STATE_SOURCE, 2, false, &schema);
+            if code.contains("ema(") {
+                baseline_hits += 1;
+            }
+        }
+        assert!(
+            ema_hits > baseline_hits,
+            "biased {ema_hits}/{n} vs unbiased {baseline_hits}/{n}"
+        );
     }
 
     #[test]

@@ -43,6 +43,44 @@ impl TaskContext {
     }
 }
 
+/// One fed-back winner from an earlier search round: its code and the
+/// full-protocol score it earned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedbackWinner {
+    /// The winning design's source code.
+    pub code: String,
+    /// Its §3.1 test score.
+    pub score: f64,
+}
+
+/// Ranked outcomes of previous search rounds, rendered into the next
+/// round's prompt (the iterate-with-feedback loop of the authors'
+/// follow-up work, arXiv:2508.16074).
+///
+/// The mock LLM also consumes this structurally: it biases its mutation
+/// motifs toward the winners and mutates from their code, so feedback
+/// measurably improves rounds even offline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedbackContext {
+    /// The upcoming round index (0-based; round 0 never has feedback).
+    pub round: usize,
+    /// Hall-of-fame designs from earlier rounds, best first.
+    pub winners: Vec<FeedbackWinner>,
+    /// Last round's candidates rejected by the compilation check.
+    pub rejected_compile: usize,
+    /// Last round's candidates rejected by the normalization check.
+    pub rejected_normalization: usize,
+    /// Last round's candidates that passed both pre-checks.
+    pub accepted: usize,
+}
+
+impl FeedbackContext {
+    /// The best design fed back, if any.
+    pub fn best(&self) -> Option<&FeedbackWinner> {
+        self.winners.first()
+    }
+}
+
 /// Which §2.1 strategies to apply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct PromptOptions {
@@ -76,6 +114,9 @@ pub struct Prompt {
     pub seed_code: String,
     /// The workload being targeted.
     pub task: TaskContext,
+    /// Ranked outcomes of earlier rounds, when this prompt belongs to an
+    /// iterative search (`None` for one-shot searches and round 0).
+    pub feedback: Option<FeedbackContext>,
 }
 
 impl Prompt {
@@ -97,6 +138,7 @@ impl Prompt {
             options: PromptOptions::default(),
             seed_code: seed_code.into(),
             task,
+            feedback: None,
         }
     }
 
@@ -107,7 +149,17 @@ impl Prompt {
             options: PromptOptions::default(),
             seed_code: seed_code.into(),
             task,
+            feedback: None,
         }
+    }
+
+    /// Attaches the ranked outcomes of earlier search rounds (builder
+    /// style). The rendered prompt gains a feedback section, and clients
+    /// that understand feedback (the mock, a future HTTP client with
+    /// few-shot packing) steer generation toward the winners.
+    pub fn with_feedback(mut self, feedback: FeedbackContext) -> Self {
+        self.feedback = Some(feedback);
+        self
     }
 
     /// Renders the complete prompt text a hosted model would receive.
@@ -160,8 +212,40 @@ impl Prompt {
                  counts, kbps values or other large magnitudes to the network.\n\n",
             );
         }
+        if let Some(fb) = &self.feedback {
+            out.push_str(&format!(
+                "This is round {} of an iterative search. Outcomes of the previous \
+                 round(s):\n",
+                fb.round + 1
+            ));
+            out.push_str(&format!(
+                "- {} designs passed both checks; {} failed to compile; {} were \
+                 rejected for unnormalized features.\n",
+                fb.accepted, fb.rejected_compile, fb.rejected_normalization
+            ));
+            for (rank, w) in fb.winners.iter().enumerate() {
+                out.push_str(&format!(
+                    "\nRanked design #{} (test score {:.4}):\n\n```\n{}```\n",
+                    rank + 1,
+                    w.score,
+                    ensure_trailing_newline(&w.code)
+                ));
+            }
+            out.push_str(
+                "\nBuild on what made the top-ranked designs succeed, and avoid the \
+                 failure modes that got designs rejected.\n\n",
+            );
+        }
         out.push_str("Respond with a single code block in the same language.\n");
         out
+    }
+}
+
+fn ensure_trailing_newline(code: &str) -> String {
+    if code.ends_with('\n') {
+        code.to_string()
+    } else {
+        format!("{code}\n")
     }
 }
 
@@ -209,6 +293,28 @@ mod tests {
         assert!(!p.render().contains("several alternative design ideas"));
         p.options.semantic_renaming = false;
         assert!(!p.render().contains("# note"));
+    }
+
+    #[test]
+    fn feedback_section_renders_winners_and_rejections() {
+        let p = Prompt::state("state s { feature f = 1.0; }").with_feedback(FeedbackContext {
+            round: 1,
+            winners: vec![FeedbackWinner {
+                code: "state s_v1 { feature ema_tp = 0.5; }".into(),
+                score: 0.875,
+            }],
+            rejected_compile: 3,
+            rejected_normalization: 2,
+            accepted: 5,
+        });
+        let text = p.render();
+        assert!(text.contains("round 2 of an iterative search"));
+        assert!(text.contains("3 failed to compile"));
+        assert!(text.contains("2 were rejected for unnormalized features"));
+        assert!(text.contains("ema_tp"));
+        assert!(text.contains("0.8750"));
+        // A plain prompt renders no feedback section.
+        assert!(!Prompt::state("x").render().contains("iterative search"));
     }
 
     #[test]

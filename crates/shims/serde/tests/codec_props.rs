@@ -1,0 +1,141 @@
+//! Property tests for the text codec (via the `proptest` shim).
+//!
+//! The codec guards checkpoint and snapshot integrity for the whole
+//! workspace, so round-tripping must be *bit-exact* for every `f64` bit
+//! pattern (NaN payloads, ±infinity, -0.0, subnormals), every string the
+//! escape table touches, and arbitrarily nested value trees.
+
+use proptest::prelude::*;
+use serde::value::Value;
+use serde::{text, Deserialize, Serialize};
+
+/// Characters that exercise the codec's escaping and delimiter handling:
+/// every escape (`\\ " \n \t \r`), the structural tokens, whitespace the
+/// parser skips between tokens, and some multi-byte UTF-8.
+const SPICY_CHARS: &[char] = &[
+    '\\', '"', '\n', '\t', '\r', '{', '}', '[', ']', '=', '~', 'f', 'u', 'i', 'T', 'F', ' ', 'a',
+    '0', '_', 'é', '界', '🦀',
+];
+
+fn spicy_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..SPICY_CHARS.len(), 0..24)
+        .prop_map(|idxs| idxs.into_iter().map(|i| SPICY_CHARS[i]).collect())
+}
+
+/// Arbitrary `f64` bit patterns: uniform bits plus the named corner cases
+/// (uniform draws essentially never hit them).
+fn f64_bits() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..=u64::MAX,
+        Just(f64::NAN.to_bits()),
+        Just(f64::NAN.to_bits() | 0xDEAD), // NaN with a payload
+        Just(f64::INFINITY.to_bits()),
+        Just(f64::NEG_INFINITY.to_bits()),
+        Just((-0.0f64).to_bits()),
+        Just(0.0f64.to_bits()),
+        Just(f64::MIN_POSITIVE.to_bits()),
+        Just(1u64), // smallest subnormal
+    ]
+}
+
+/// Arbitrary value trees: scalars at the leaves, lists and maps above.
+fn value_tree() -> BoxedStrategy<Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        Just(Value::Bool(true)),
+        Just(Value::Bool(false)),
+        (0u64..=u64::MAX).prop_map(Value::UInt),
+        (i64::MIN..=i64::MAX).prop_map(Value::Int),
+        f64_bits().prop_map(Value::Float),
+        spicy_string().prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::List),
+            (
+                proptest::collection::vec(inner.clone(), 0..4),
+                proptest::collection::vec(0usize..26, 1..5),
+            )
+                .prop_map(|(vals, key_idxs)| {
+                    // Bare-identifier keys, deterministically derived.
+                    let fields = vals
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, v)| {
+                            let c = (b'a' + (key_idxs[i % key_idxs.len()] as u8 % 26)) as char;
+                            (format!("k{i}_{c}"), v)
+                        })
+                        .collect();
+                    Value::Map(fields)
+                }),
+        ]
+    })
+}
+
+fn roundtrip<T: Serialize + Deserialize>(t: &T) -> T {
+    text::from_str(&text::to_string(t)).expect("encoded form must parse back")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn f64_round_trips_bit_exactly(bits in f64_bits()) {
+        let f = f64::from_bits(bits);
+        prop_assert_eq!(roundtrip(&f).to_bits(), bits);
+    }
+
+    #[test]
+    fn f64_vectors_round_trip_bit_exactly(bits in proptest::collection::vec(f64_bits(), 0..16)) {
+        let fs: Vec<f64> = bits.iter().copied().map(f64::from_bits).collect();
+        let back = roundtrip(&fs);
+        prop_assert_eq!(back.len(), fs.len());
+        for (b, orig) in back.iter().zip(&bits) {
+            prop_assert_eq!(b.to_bits(), *orig);
+        }
+    }
+
+    #[test]
+    fn strings_with_escape_characters_round_trip(s in spicy_string()) {
+        prop_assert_eq!(roundtrip(&s), s);
+    }
+
+    #[test]
+    fn nested_value_trees_round_trip(v in value_tree()) {
+        // `Value` equality is exact (floats compare as raw bits), so this
+        // is a bit-exact assertion for the whole tree.
+        prop_assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn nested_sequences_of_options_round_trip(
+        xs in proptest::collection::vec(
+            proptest::collection::vec(f64_bits(), 0..5),
+            0..5,
+        )
+    ) {
+        // Vec<Vec<f64>> covers the nested-sequence shape snapshots use
+        // (reward curves per design).
+        let nested: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|inner| inner.iter().copied().map(f64::from_bits).collect())
+            .collect();
+        let back = roundtrip(&nested);
+        for (row_back, row_orig) in back.iter().zip(&xs) {
+            prop_assert_eq!(row_back.len(), row_orig.len());
+            for (b, orig) in row_back.iter().zip(row_orig.iter()) {
+                prop_assert_eq!(b.to_bits(), *orig);
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_is_canonical(v in value_tree()) {
+        // encode(decode(encode(v))) == encode(v): the text form is a
+        // function of the value alone, so checkpoint files can be
+        // compared byte-for-byte.
+        let once = text::to_string(&v);
+        let twice = text::to_string(&text::parse(&once).expect("parses"));
+        prop_assert_eq!(once, twice);
+    }
+}

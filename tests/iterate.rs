@@ -1,0 +1,202 @@
+//! Integration tests for the multi-round feedback driver: checkpointed
+//! kill/resume bit-identity (the ISSUE's acceptance scenario) and the
+//! mock's feedback biasing.
+//!
+//! Set `NADA_WORKLOAD=abr` or `NADA_WORKLOAD=cc` to restrict the
+//! workload matrix (CI runs the suite once per workload so a regression
+//! in one scenario cannot hide behind the other's default).
+
+use nada::core::{Nada, NadaConfig, RunScale, SearchDriver, WorkloadRegistry};
+use nada::earlystop::classifiers::DesignSample;
+use nada::llm::{DesignKind, LlmClient, MockLlm};
+use nada::traces::dataset::DatasetKind;
+use nada_bench::experiments::iterate::round_seed;
+use std::path::PathBuf;
+
+/// The workload matrix, optionally narrowed by `NADA_WORKLOAD`.
+fn workloads() -> Vec<&'static str> {
+    let selected = std::env::var("NADA_WORKLOAD").ok();
+    ["abr", "cc"]
+        .into_iter()
+        .filter(|w| selected.as_deref().is_none_or(|s| s == *w))
+        .collect()
+}
+
+fn tiny(workload: &str, seed: u64) -> Nada {
+    let cfg = NadaConfig::new(DatasetKind::Fcc, RunScale::Tiny, seed);
+    let w = WorkloadRegistry::builtin()
+        .build(workload, DatasetKind::Fcc)
+        .unwrap_or_else(|| panic!("`{workload}` must be registered"));
+    Nada::with_workload(cfg, w)
+}
+
+fn factory(master: u64) -> impl FnMut(usize) -> Box<dyn LlmClient> {
+    move |round| Box::new(MockLlm::gpt4(round_seed(master, round)))
+}
+
+fn scratch_file(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nada-iterate-tests-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+/// The ISSUE's acceptance scenario: a 3-round run killed after round 2
+/// and resumed from its checkpoint ends with a hall of fame (and round
+/// summaries) bit-identical to an uninterrupted run's — for every
+/// workload in the matrix. The same uninterrupted run also proves the
+/// feedback loop's monotonicity: best-so-far never decreases.
+#[test]
+fn killed_after_round_two_resumes_bit_identically() {
+    for workload in workloads() {
+        let nada = tiny(workload, 81);
+
+        let uninterrupted = {
+            let mut make_llm = factory(81);
+            SearchDriver::new(&nada, DesignKind::State)
+                .with_rounds(3)
+                .run(&mut make_llm)
+                .expect("uninterrupted run completes")
+        };
+        assert_eq!(uninterrupted.rounds.len(), 3, "{workload}");
+        // Feedback monotonicity: the running best can only improve.
+        let curve = uninterrupted.best_so_far_curve();
+        for pair in curve.windows(2) {
+            assert!(
+                pair[1] >= pair[0],
+                "{workload}: best-so-far regressed: {curve:?}"
+            );
+        }
+
+        // Same run, but the process "dies" after round 2...
+        let ckpt = scratch_file(&format!("{workload}.ckpt"));
+        {
+            let mut make_llm = factory(81);
+            let mut driver = SearchDriver::new(&nada, DesignKind::State)
+                .with_rounds(3)
+                .with_checkpoint_path(&ckpt);
+            let mut llm0 = make_llm(0);
+            driver.run_round(llm0.as_mut()).expect("round 0");
+            let mut llm1 = make_llm(1);
+            driver.run_round(llm1.as_mut()).expect("round 1");
+            // ... here: the driver is dropped with one round left, and
+            // only the checkpoint file survives.
+        }
+
+        let resumed_driver = SearchDriver::resume_from_file(&nada, &ckpt)
+            .expect("checkpoint resumes against the same pipeline");
+        assert_eq!(resumed_driver.next_round(), 2);
+        let mut resumed_driver = resumed_driver.with_rounds(3);
+        let mut make_llm = factory(81);
+        let resumed = resumed_driver
+            .run(&mut make_llm)
+            .expect("resumed run completes");
+
+        // Hall of fame: bit-identical, not approximately equal.
+        assert_eq!(
+            uninterrupted.hall.len(),
+            resumed.hall.len(),
+            "{workload}: hall sizes differ"
+        );
+        for (a, b) in uninterrupted.hall.iter().zip(&resumed.hall) {
+            assert_eq!(a.round, b.round, "{workload}");
+            assert_eq!(a.id, b.id, "{workload}");
+            assert_eq!(a.code, b.code, "{workload}");
+            assert_eq!(
+                a.score.to_bits(),
+                b.score.to_bits(),
+                "{workload}: hall scores must be bit-identical"
+            );
+        }
+        // Round summaries and cumulative spend agree too.
+        assert_eq!(uninterrupted.rounds, resumed.rounds, "{workload}");
+        assert_eq!(uninterrupted.stats, resumed.stats, "{workload}");
+        std::fs::remove_file(&ckpt).ok();
+    }
+}
+
+/// An [`LlmClient`] wrapper that logs every generated code block into a
+/// shared buffer, so tests can inspect the exact pool a round saw.
+struct PoolRecorder {
+    inner: MockLlm,
+    log: std::sync::Arc<std::sync::Mutex<Vec<String>>>,
+}
+
+impl LlmClient for PoolRecorder {
+    fn model_name(&self) -> &str {
+        self.inner.model_name()
+    }
+
+    fn generate(&mut self, prompt: &nada::llm::Prompt) -> nada::llm::Completion {
+        let c = self.inner.generate(prompt);
+        self.log.lock().unwrap().push(c.code.clone());
+        c
+    }
+}
+
+/// Feedback biasing is visible in the generated pools: after a round
+/// completes, the next round's pool contains designs that descend from a
+/// fed-back winner (asserted via `DesignSample.code`, the field the
+/// text-aware classifiers read).
+#[test]
+fn next_round_pool_references_a_fed_back_winner() {
+    for workload in workloads() {
+        let nada = tiny(workload, 82);
+        let round1_pool = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let log = std::sync::Arc::clone(&round1_pool);
+        let mut make_llm = move |round: usize| -> Box<dyn LlmClient> {
+            let inner = MockLlm::gpt4(round_seed(82, round));
+            if round == 1 {
+                Box::new(PoolRecorder {
+                    inner,
+                    log: std::sync::Arc::clone(&log),
+                })
+            } else {
+                Box::new(inner)
+            }
+        };
+        let outcome = SearchDriver::new(&nada, DesignKind::State)
+            .with_rounds(2)
+            .run(&mut make_llm)
+            .expect("two rounds complete");
+        let round0_hall: Vec<_> = outcome.hall.iter().filter(|e| e.round == 0).collect();
+        assert!(
+            !round0_hall.is_empty(),
+            "{workload}: round 0 must leave winners to feed back"
+        );
+        // Mutated descendants keep the parent's program name as a prefix
+        // (each mutation appends another `_vNNNN`), so lineage from a
+        // fed-back winner is directly observable in candidate code.
+        let winner_names: Vec<&str> = round0_hall
+            .iter()
+            .filter_map(|e| program_name(&e.code))
+            .collect();
+        assert!(!winner_names.is_empty(), "{workload}");
+        let samples: Vec<DesignSample> = round1_pool
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|code| DesignSample {
+                reward_curve: Vec::new(),
+                code: code.clone(),
+            })
+            .collect();
+        assert!(
+            !samples.is_empty(),
+            "{workload}: round 1 generated no candidates"
+        );
+        assert!(
+            samples
+                .iter()
+                .any(|s| winner_names.iter().any(|n| s.code.contains(n))),
+            "{workload}: no round-1 candidate descends from a fed-back \
+             winner (winners {winner_names:?})"
+        );
+    }
+}
+
+/// `state name_v1234 {` → `name_v1234`.
+fn program_name(code: &str) -> Option<&str> {
+    let rest = code.trim_start().strip_prefix("state")?.trim_start();
+    let end = rest.find(|c: char| c.is_whitespace() || c == '{')?;
+    Some(&rest[..end])
+}
