@@ -15,6 +15,16 @@ fn bench_dsl(c: &mut Criterion) {
         b.iter(|| black_box(state.eval_f32(&inputs).unwrap()))
     });
 
+    // The training-loop form: one `EvalScratch` reused across steps, as
+    // `DesignTrainer` does. Compare against `dsl/eval_pensieve_state` to
+    // see what the reused environment saves.
+    c.bench_function("dsl/eval_pensieve_state_scratch", |b| {
+        let state = seeds::pensieve_state();
+        let inputs = state.schema_midpoint_inputs();
+        let mut scratch = nada_dsl::EvalScratch::default();
+        b.iter(|| black_box(state.eval_f32_with(&inputs, &mut scratch).unwrap()))
+    });
+
     c.bench_function("dsl/eval_feature_rich_state", |b| {
         let state = compile_state(
             "state rich { input throughput_mbps: vec[8]; input buffer_history_s: vec[8]; \

@@ -1,6 +1,6 @@
 //! Tiny argument parsing shared by every harness binary.
 
-use nada_core::{RunScale, WorkloadRegistry};
+use nada_core::{LlmRegistry, RunScale, WorkloadRegistry};
 
 /// Parsed harness options.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,6 +24,17 @@ pub struct HarnessOptions {
     /// Resume a killed multi-round run from this checkpoint file
     /// (`--resume PATH`).
     pub resume: Option<String>,
+    /// LLM backend the searches generate through (`--llm NAME`), resolved
+    /// through [`LlmRegistry::builtin`]; default `"mock"`.
+    pub llm: String,
+    /// Model identifier override (`--model NAME`). Defaults to the mock
+    /// profile each experiment already uses (`gpt-4` / `gpt-3.5`).
+    pub model: Option<String>,
+    /// Cassette file (`--cassette PATH`): the replay source for
+    /// `--llm replay`, or the recording target with `--record`.
+    pub cassette: Option<String>,
+    /// Record every completion into the cassette (`--record`).
+    pub record: bool,
 }
 
 impl Default for HarnessOptions {
@@ -36,6 +47,10 @@ impl Default for HarnessOptions {
             rounds: 1,
             checkpoint: None,
             resume: None,
+            llm: "mock".to_string(),
+            model: None,
+            cassette: None,
+            record: false,
         }
     }
 }
@@ -103,9 +118,42 @@ pub fn parse_args<I: Iterator<Item = String>>(mut args: I) -> HarnessOptions {
                     .unwrap_or_else(|| usage("--resume needs a path"));
                 opts.resume = Some(v);
             }
+            "--llm" => {
+                let v = args.next().unwrap_or_else(|| usage("--llm needs a name"));
+                if !LlmRegistry::builtin().contains(&v) {
+                    usage(&format!(
+                        "unknown LLM backend `{v}` (available: {})",
+                        LlmRegistry::builtin().names().join(", ")
+                    ));
+                }
+                opts.llm = v;
+            }
+            "--model" => {
+                let v = args.next().unwrap_or_else(|| usage("--model needs a name"));
+                opts.model = Some(v);
+            }
+            "--cassette" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--cassette needs a path"));
+                opts.cassette = Some(v);
+            }
+            "--record" => opts.record = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag `{other}`")),
         }
+    }
+    // Cassette misconfigurations fail before any search runs: a harness
+    // run is expensive, and discovering a missing cassette at build time
+    // of search #3 would waste searches #1 and #2.
+    if opts.record && opts.cassette.is_none() {
+        usage("--record needs --cassette PATH to write to");
+    }
+    if opts.llm == "replay" && opts.cassette.is_none() {
+        usage("--llm replay needs --cassette PATH to replay from");
+    }
+    if opts.llm == "replay" && opts.record {
+        usage("--record needs a generating backend (--llm mock|http)");
     }
     opts
 }
@@ -116,7 +164,8 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: <harness> [--full | --quick] [--seed N] [--workload NAME] [--progress]\n\
-         \x20                [--rounds N] [--checkpoint PATH] [--resume PATH]"
+         \x20                [--rounds N] [--checkpoint PATH] [--resume PATH]\n\
+         \x20                [--llm NAME] [--model NAME] [--cassette PATH] [--record]"
     );
     eprintln!("  --full          paper-scale run (cluster-sized; default is quick)");
     eprintln!("  --seed N        master seed (default 1)");
@@ -128,6 +177,13 @@ fn usage(msg: &str) -> ! {
     eprintln!("  --rounds N      feedback rounds for iterative experiments (default 1)");
     eprintln!("  --checkpoint PATH  write a resume checkpoint after every round");
     eprintln!("  --resume PATH   restart a killed multi-round run from its checkpoint");
+    eprintln!(
+        "  --llm NAME      LLM backend: {} (default mock)",
+        LlmRegistry::builtin().names().join("|")
+    );
+    eprintln!("  --model NAME    model id (default: the experiment's mock profile)");
+    eprintln!("  --cassette PATH on-disk cassette to replay from or record into");
+    eprintln!("  --record        record every completion into --cassette");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 
@@ -160,6 +216,29 @@ mod tests {
         let o = parse(&["--workload", "cc", "--progress"]);
         assert_eq!(o.workload, "cc");
         assert!(o.progress);
+    }
+
+    #[test]
+    fn llm_flags_parse() {
+        let o = parse(&[
+            "--llm",
+            "replay",
+            "--model",
+            "gpt-4",
+            "--cassette",
+            "/tmp/run.cassette",
+        ]);
+        assert_eq!(o.llm, "replay");
+        assert_eq!(o.model.as_deref(), Some("gpt-4"));
+        assert_eq!(o.cassette.as_deref(), Some("/tmp/run.cassette"));
+        assert!(!o.record);
+        let r = parse(&["--record", "--cassette", "/tmp/run.cassette"]);
+        assert!(r.record);
+        assert_eq!(r.llm, "mock");
+        let d = parse(&[]);
+        assert_eq!(d.llm, "mock");
+        assert_eq!(d.model, None);
+        assert_eq!(d.cassette, None);
     }
 
     #[test]

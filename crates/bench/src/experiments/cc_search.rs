@@ -78,11 +78,18 @@ pub fn run(opts: &HarnessOptions) -> String {
         let reward = workload.reward();
         let nada = Nada::with_workload(cc_config(kind, opts), Box::new(workload));
         let baseline = cubic_baseline(&nada, episode_ticks, reward);
-        let mut llm = Model::Gpt4.client(opts.seed ^ kind as u64 ^ 0xCC5E);
+        let lane = format!("cc_search/{}/gpt-4", kind.name());
+        let mut llm = common::llm_for(
+            Model::Gpt4,
+            opts.seed ^ kind as u64 ^ 0xCC5E,
+            &lane,
+            0,
+            opts,
+        );
         let outcome = common::run_search(
             &nada,
             nada_llm::DesignKind::State,
-            &mut llm,
+            llm.as_mut(),
             opts,
             &format!("cc_search/{}", kind.name()),
         );

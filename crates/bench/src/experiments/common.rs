@@ -11,10 +11,10 @@
 use crate::cli::HarnessOptions;
 use crate::progress::ProgressObserver;
 use nada_core::{
-    DriverOutcome, Nada, NadaConfig, SearchDriver, SearchOutcome, SearchSession, Workload,
-    WorkloadRegistry,
+    DriverOutcome, LlmRegistry, LlmRequest, LlmSpec, Nada, NadaConfig, SearchDriver, SearchOutcome,
+    SearchSession, Workload, WorkloadRegistry,
 };
-use nada_llm::{DesignKind, LlmClient, MockLlm};
+use nada_llm::{DesignKind, LlmClient};
 use nada_traces::dataset::DatasetKind;
 
 /// The two models the paper evaluates.
@@ -35,13 +35,51 @@ impl Model {
         }
     }
 
-    /// Builds the calibrated mock client.
-    pub fn client(&self, seed: u64) -> MockLlm {
+    /// The registry model name of the calibrated mock.
+    pub fn mock_name(&self) -> &'static str {
         match self {
-            Model::Gpt35 => MockLlm::gpt35(seed),
-            Model::Gpt4 => MockLlm::gpt4(seed),
+            Model::Gpt35 => "gpt-3.5",
+            Model::Gpt4 => "gpt-4",
         }
     }
+}
+
+/// Builds the LLM driving one search through [`LlmRegistry::builtin`]:
+/// `--llm` picks the backend (mock by default — bit-identical to the old
+/// direct construction), `--model` overrides the experiment's calibrated
+/// profile, and `--cassette`/`--record` route completions to/from disk.
+///
+/// `lane` names the search within the harness run (e.g. `state/fcc`) and
+/// `round` the feedback-loop index; together they key which cassette slice
+/// a recording writes and a replay reads, so one cassette file serves a
+/// whole multi-search (or multi-round) harness.
+pub fn llm_for(
+    model: Model,
+    seed: u64,
+    lane: &str,
+    round: usize,
+    opts: &HarnessOptions,
+) -> Box<dyn LlmClient> {
+    let spec = LlmSpec {
+        backend: opts.llm.clone(),
+        model: opts
+            .model
+            .clone()
+            .unwrap_or_else(|| model.mock_name().to_string()),
+        cassette: opts.cassette.clone().map(std::path::PathBuf::from),
+        record: opts.record,
+        seed,
+    };
+    LlmRegistry::builtin()
+        .build(
+            &spec.backend,
+            &LlmRequest {
+                spec: &spec,
+                lane,
+                round,
+            },
+        )
+        .unwrap_or_else(|e| panic!("cannot build LLM backend for `{lane}`: {e}"))
 }
 
 /// Resolves the harness's workload for a dataset through the registry.
@@ -141,11 +179,12 @@ pub fn run_driver(
 /// Runs a state search for `(dataset, model)`.
 pub fn search_states(kind: DatasetKind, model: Model, opts: &HarnessOptions) -> SearchOutcome {
     let nada = nada_for(kind, opts);
-    let mut llm = model.client(opts.seed ^ kind as u64 ^ 0x57A7);
+    let lane = format!("state/{}/{}", kind.name(), model.mock_name());
+    let mut llm = llm_for(model, opts.seed ^ kind as u64 ^ 0x57A7, &lane, 0, opts);
     run_search(
         &nada,
         DesignKind::State,
-        &mut llm,
+        llm.as_mut(),
         opts,
         &format!("state/{}", kind.name()),
     )
@@ -154,11 +193,12 @@ pub fn search_states(kind: DatasetKind, model: Model, opts: &HarnessOptions) -> 
 /// Runs an architecture search for `(dataset, model)`.
 pub fn search_archs(kind: DatasetKind, model: Model, opts: &HarnessOptions) -> SearchOutcome {
     let nada = nada_for(kind, opts);
-    let mut llm = model.client(opts.seed ^ kind as u64 ^ 0xA4C4);
+    let lane = format!("arch/{}/{}", kind.name(), model.mock_name());
+    let mut llm = llm_for(model, opts.seed ^ kind as u64 ^ 0xA4C4, &lane, 0, opts);
     run_search(
         &nada,
         DesignKind::Architecture,
-        &mut llm,
+        llm.as_mut(),
         opts,
         &format!("arch/{}", kind.name()),
     )
@@ -174,7 +214,8 @@ pub fn generate_pool(
     opts: &HarnessOptions,
 ) -> Vec<nada_core::Candidate> {
     let workload = workload_for(DatasetKind::Fcc, opts);
-    let mut llm = model.client(seed);
+    let lane = format!("pool/{}/{}", kind.name(), model.mock_name());
+    let mut llm = llm_for(model, seed, &lane, 0, opts);
     let prompt = match kind {
         nada_llm::DesignKind::State => {
             nada_llm::Prompt::state_for(workload.task(), workload.seed_state_source())

@@ -6,7 +6,7 @@
 //! (train on one fold, test on the rest).
 
 use crate::cli::HarnessOptions;
-use crate::experiments::common::{nada_for, Model};
+use crate::experiments::common::{llm_for, nada_for, Model};
 use crate::paper;
 use nada_core::pipeline::parallel_map;
 use nada_core::report::TextTable;
@@ -30,7 +30,14 @@ pub fn collect_pool(
     let cfg = nada.config().clone();
     let run_cfg = TrainRunConfig::from(&cfg);
     // Over-generate: the pre-checks reject roughly half of GPT-4 output.
-    let mut llm = Model::Gpt4.client(opts.seed ^ kind as u64 ^ 0xF165);
+    let lane = format!("figure5/{}/gpt-4", kind.name());
+    let mut llm = llm_for(
+        Model::Gpt4,
+        opts.seed ^ kind as u64 ^ 0xF165,
+        &lane,
+        0,
+        opts,
+    );
     let mut candidates = Vec::new();
     let mut id = 0usize;
     let prompt = nada.prompt_for(DesignKind::State);

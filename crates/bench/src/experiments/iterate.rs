@@ -31,8 +31,9 @@ pub fn round_seed(master: u64, round: usize) -> u64 {
 /// Runs the multi-round search for the harness's workload and dataset.
 pub fn run_rounds(nada: &Nada, opts: &HarnessOptions) -> DriverOutcome {
     let master = opts.seed ^ nada.config().dataset as u64;
+    let lane = format!("iterate/{}/gpt-4", nada.config().dataset.name());
     let mut make_llm = |round: usize| -> Box<dyn LlmClient> {
-        Box::new(Model::Gpt4.client(round_seed(master, round)))
+        common::llm_for(Model::Gpt4, round_seed(master, round), &lane, round, opts)
     };
     common::run_driver(nada, DesignKind::State, &mut make_llm, opts, "iterate")
 }

@@ -2,19 +2,25 @@
 //!
 //! The paper crosses the top-30 GPT-3.5 states with the top-30 GPT-3.5
 //! architectures (900 combinations); the quick scale crosses top-3 × top-3.
-//! Candidate pools are regenerated deterministically from the same seeds the
-//! searches used, so ranked candidate ids resolve back to code.
+//! Each search's client is wrapped in an in-memory recorder, and the
+//! candidate pool is rebuilt by *replaying that recording* — so ranked
+//! candidate ids resolve back to the exact code the search scored, for
+//! any backend (including the non-deterministic `--llm http`, where
+//! regenerating from a seed would produce a different pool).
 
 use crate::cli::HarnessOptions;
-use crate::experiments::common::{nada_for, Model};
+use crate::experiments::common::{llm_for, nada_for, Model};
 use crate::paper;
 use nada_core::pipeline::improvement_pct;
 use nada_core::report::{fmt_pct, TextTable};
-use nada_core::{CompiledDesign, RunScale, SearchOutcome};
+use nada_core::{Candidate, CompiledDesign, RunScale, SearchOutcome};
 use nada_dsl::CompiledState;
-use nada_llm::DesignKind;
+use nada_llm::{DesignKind, LlmClient, RecordingClient, ReplayClient};
 use nada_nn::ArchConfig;
 use nada_traces::dataset::DatasetKind;
+
+/// Lane tag for the in-memory search recordings this experiment keeps.
+const SEARCH_LANE: &str = "table5-search";
 
 /// Runs the combination study per dataset (GPT-3.5, as in the paper).
 pub fn run(opts: &HarnessOptions) -> String {
@@ -34,15 +40,34 @@ pub fn run(opts: &HarnessOptions) -> String {
     for (kind, paper_row) in DatasetKind::ALL.iter().zip(&paper::TABLE5) {
         let nada = nada_for(*kind, opts);
 
-        // State search (same LLM seeding as `common::search_states`).
-        let mut llm_s = Model::Gpt35.client(opts.seed ^ *kind as u64 ^ 0x57A7);
-        let state_outcome = nada.run_state_search(&mut llm_s);
-        let top_states = resolve_states(&nada, &state_outcome, opts, *kind, top_n);
+        // State search (same LLM seeding as `common::search_states`),
+        // recorded in memory so the pool can be rebuilt exactly.
+        let lane_s = format!("table5/state/{}/gpt-3.5", kind.name());
+        let llm_s = llm_for(
+            Model::Gpt35,
+            opts.seed ^ *kind as u64 ^ 0x57A7,
+            &lane_s,
+            0,
+            opts,
+        );
+        let mut rec_s = RecordingClient::new(llm_s).with_lane(SEARCH_LANE, 0);
+        let state_outcome = nada.run_state_search(&mut rec_s);
+        let state_pool = replay_pool(&nada, rec_s, DesignKind::State);
+        let top_states = resolve_states(&nada, &state_outcome, &state_pool, top_n);
 
         // Architecture search (same seeding as `common::search_archs`).
-        let mut llm_a = Model::Gpt35.client(opts.seed ^ *kind as u64 ^ 0xA4C4);
-        let arch_outcome = nada.run_arch_search(&mut llm_a);
-        let top_archs = resolve_archs(&nada, &arch_outcome, opts, *kind, top_n);
+        let lane_a = format!("table5/arch/{}/gpt-3.5", kind.name());
+        let llm_a = llm_for(
+            Model::Gpt35,
+            opts.seed ^ *kind as u64 ^ 0xA4C4,
+            &lane_a,
+            0,
+            opts,
+        );
+        let mut rec_a = RecordingClient::new(llm_a).with_lane(SEARCH_LANE, 0);
+        let arch_outcome = nada.run_arch_search(&mut rec_a);
+        let arch_pool = replay_pool(&nada, rec_a, DesignKind::Architecture);
+        let top_archs = resolve_archs(&nada, &arch_outcome, &arch_pool, top_n);
 
         let combined_score = nada
             .evaluate_combinations(&top_states, &top_archs)
@@ -66,17 +91,29 @@ pub fn run(opts: &HarnessOptions) -> String {
     )
 }
 
-/// Resolves the top-ranked state candidates back to compiled programs by
-/// regenerating the candidate pool with the search's deterministic seed.
+/// Rebuilds the search's candidate pool by replaying its own recording:
+/// `generate_candidates` issues the identical prompt and count the search
+/// used, so the replay hands back the recorded completions verbatim (the
+/// fingerprint check proves it) and the pool ids line up with the
+/// outcome's ranked ids — regardless of backend determinism.
+fn replay_pool(
+    nada: &nada_core::Nada,
+    recorder: RecordingClient<Box<dyn LlmClient>>,
+    kind: DesignKind,
+) -> Vec<Candidate> {
+    let cassette = recorder.into_cassette();
+    let mut replay = ReplayClient::from_cassette(&cassette, SEARCH_LANE, 0)
+        .expect("the search just recorded this lane");
+    nada.generate_candidates(&mut replay, kind)
+}
+
+/// Resolves the top-ranked state candidates back to compiled programs.
 fn resolve_states(
     nada: &nada_core::Nada,
     outcome: &SearchOutcome,
-    opts: &HarnessOptions,
-    kind: DatasetKind,
+    pool: &[Candidate],
     top_n: usize,
 ) -> Vec<(usize, CompiledState)> {
-    let mut llm = Model::Gpt35.client(opts.seed ^ kind as u64 ^ 0x57A7);
-    let pool = nada.generate_candidates(&mut llm, DesignKind::State);
     outcome
         .ranked
         .iter()
@@ -101,12 +138,9 @@ fn resolve_states(
 fn resolve_archs(
     nada: &nada_core::Nada,
     outcome: &SearchOutcome,
-    opts: &HarnessOptions,
-    kind: DatasetKind,
+    pool: &[Candidate],
     top_n: usize,
 ) -> Vec<(usize, ArchConfig)> {
-    let mut llm = Model::Gpt35.client(opts.seed ^ kind as u64 ^ 0xA4C4);
-    let pool = nada.generate_candidates(&mut llm, DesignKind::Architecture);
     outcome
         .ranked
         .iter()
@@ -125,4 +159,21 @@ fn resolve_archs(
             }
         })
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny end-to-end run: `replay_pool` rebuilds each search's pool from
+    /// its own recording, and the replay's fingerprint check panics if the
+    /// resolve prompt ever diverges from the search prompt — so this
+    /// completing at all proves ranked ids resolve to the scored code.
+    #[test]
+    fn tiny_table5_resolves_pools_from_recordings() {
+        let opts = HarnessOptions::new(RunScale::Tiny, 6);
+        let report = run(&opts);
+        assert!(report.contains("Table 5"));
+        assert!(report.contains("Combined"));
+    }
 }

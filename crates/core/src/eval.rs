@@ -74,12 +74,13 @@ where
     let n = traces.len().min(max_traces).max(1);
     let mut total_reward = 0.0;
     let mut total_steps = 0usize;
+    let mut scratch = nada_dsl::EvalScratch::default();
     for (i, trace) in traces.iter().take(n).enumerate() {
         let mut env = make_env(trace, i)?;
         let mut obs = env.reset();
         loop {
             let feats = state
-                .eval_f32(&binding_values(&obs))
+                .eval_f32_with(&binding_values(&obs), &mut scratch)
                 .map_err(TrainError::StateEval)?;
             let action = trainer.act_greedy(&feats);
             let step = env.step(action);

@@ -18,6 +18,8 @@
 //! * [`workload`] — the [`workload::Workload`] trait making the pipeline
 //!   environment-agnostic, plus the ABR and congestion-control workloads;
 //! * [`registry`] — runtime workload selection (name → constructor);
+//! * [`llm_registry`] — runtime LLM-backend selection (`mock`, on-disk
+//!   cassette `replay`, real `http`), with record-to-cassette wrapping;
 //! * [`bind`] — positional binding of declared observations to state
 //!   programs;
 //! * [`prechecks`] — §2.2's compilation and fuzzing-normalization checks;
@@ -47,6 +49,7 @@ pub mod config;
 pub mod driver;
 pub mod eval;
 pub mod feedback;
+pub mod llm_registry;
 pub mod observer;
 pub mod pipeline;
 pub mod prechecks;
@@ -63,6 +66,7 @@ pub use candidate::{Candidate, CompiledDesign, RejectReason};
 pub use config::{NadaConfig, RunScale};
 pub use driver::{DriverError, DriverOutcome, SearchDriver};
 pub use feedback::{DriverCheckpoint, HallEntry, HallOfFame, RoundSummary};
+pub use llm_registry::{LlmBuildError, LlmRegistry, LlmRequest, LlmSpec};
 pub use observer::{CollectingObserver, FnObserver, SearchEvent, SearchObserver};
 pub use pipeline::{Nada, PrecheckStats, SearchOutcome, SearchStats};
 pub use registry::WorkloadRegistry;

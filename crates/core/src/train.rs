@@ -13,7 +13,7 @@ use crate::bind::binding_values;
 use crate::config::NadaConfig;
 use crate::eval::evaluate_policy;
 use crate::workload::Workload;
-use nada_dsl::{CompiledState, DslError};
+use nada_dsl::{CompiledState, DslError, EvalScratch};
 use nada_nn::{A2cConfig, A2cTrainer, ActorCritic, ArchConfig, EpisodeBuffer};
 use nada_traces::dataset::TraceDataset;
 use rand::rngs::StdRng;
@@ -113,6 +113,9 @@ pub struct DesignTrainer<'a> {
     rng: StdRng,
     epoch: usize,
     outcome: TrainOutcome,
+    /// Reused state-program evaluation buffer (one eval per decision step;
+    /// a fresh environment per step was the pipeline's hottest allocation).
+    scratch: EvalScratch,
     /// Learner-side reward scale (see [`Workload::reward_scale`]). Reported
     /// curves and test scores stay in raw reward units.
     reward_scale: f64,
@@ -148,6 +151,7 @@ impl<'a> DesignTrainer<'a> {
                 reward_curve: Vec::new(),
                 checkpoints: Vec::new(),
             },
+            scratch: EvalScratch::default(),
             reward_scale: workload.reward_scale(),
         }
     }
@@ -203,7 +207,7 @@ impl<'a> DesignTrainer<'a> {
                 loop {
                     let feats = self
                         .state
-                        .eval_f32(&binding_values(&obs))
+                        .eval_f32_with(&binding_values(&obs), &mut self.scratch)
                         .map_err(TrainError::StateEval)?;
                     let action = self.trainer.act_stochastic(&feats);
                     let step = env.step(action);

@@ -78,9 +78,10 @@ pub fn random_inputs(state: &CompiledState, rng: &mut StdRng) -> Vec<Value> {
 /// Runs the paper's normalization check on a compiled state program.
 pub fn normalization_check(state: &CompiledState, cfg: &FuzzConfig) -> NormCheckOutcome {
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ FUZZ_SEED);
+    let mut scratch = crate::interp::EvalScratch::default();
     for _ in 0..cfg.runs {
         let inputs = random_inputs(state, &mut rng);
-        let features = match state.eval(&inputs) {
+        let features = match state.eval_with(&inputs, &mut scratch) {
             Ok(f) => f,
             Err(e) => return NormCheckOutcome::EvalError(e),
         };

@@ -14,6 +14,7 @@ use crate::schema::{abr_schema, InputSchema};
 use crate::stdlib::function_eval;
 use crate::value::{binary_eval, Value};
 use nada_nn::FeatureShape;
+use std::borrow::Cow;
 
 /// A state program ready for evaluation.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,7 +98,25 @@ impl CompiledState {
 
     /// Evaluates the program. `inputs` must be ordered and shaped per the
     /// schema (one [`Value`] per schema entry).
+    ///
+    /// Allocates a fresh feature vector; hot loops (one call per training
+    /// step) should use [`CompiledState::eval_with`] /
+    /// [`CompiledState::eval_f32_with`] with a reused [`EvalScratch`].
     pub fn eval(&self, inputs: &[Value]) -> Result<Vec<Value>, DslError> {
+        let mut scratch = EvalScratch::default();
+        self.eval_with(inputs, &mut scratch)?;
+        Ok(std::mem::take(&mut scratch.features))
+    }
+
+    /// Evaluates into a reusable scratch buffer, returning the computed
+    /// features as a slice. Inputs are read by reference — no vector is
+    /// cloned into an environment — and the only steady-state allocations
+    /// are the feature values themselves.
+    pub fn eval_with<'s>(
+        &self,
+        inputs: &[Value],
+        scratch: &'s mut EvalScratch,
+    ) -> Result<&'s [Value], DslError> {
         if inputs.len() != self.schema.len() {
             return Err(DslError::BadBinding {
                 message: format!(
@@ -107,9 +126,6 @@ impl CompiledState {
                 ),
             });
         }
-        // Environment: declared inputs first, then features as they compute.
-        let mut env: Vec<(&str, Value)> =
-            Vec::with_capacity(self.checked.program.inputs.len() + self.checked.shapes.len());
         for (decl, &idx) in self
             .checked
             .program
@@ -129,60 +145,126 @@ impl CompiledState {
                     ),
                 });
             }
-            env.push((decl.name.as_str(), value.clone()));
         }
-        let mut out = Vec::with_capacity(self.checked.program.features.len());
-        for feat in &self.checked.program.features {
-            let v = eval_expr(&feat.expr, &env)?;
+        scratch.features.clear();
+        scratch
+            .features
+            .reserve(self.checked.program.features.len());
+        for (n_computed, feat) in self.checked.program.features.iter().enumerate() {
+            let v = {
+                let env = Env {
+                    checked: &self.checked,
+                    inputs,
+                    features: &scratch.features[..n_computed],
+                };
+                eval_expr(&feat.expr, &env)?.into_owned()
+            };
             if !v.is_finite() {
                 return Err(DslError::NonFinite {
                     feature: feat.name.clone(),
                 });
             }
-            env.push((feat.name.as_str(), v.clone()));
-            out.push(v);
+            scratch.features.push(v);
         }
-        Ok(out)
+        Ok(&scratch.features)
     }
 
     /// Evaluates and converts to the `f32` per-feature vectors the policy
     /// network consumes.
     pub fn eval_f32(&self, inputs: &[Value]) -> Result<Vec<Vec<f32>>, DslError> {
+        let mut scratch = EvalScratch::default();
+        self.eval_f32_with(inputs, &mut scratch)
+    }
+
+    /// [`CompiledState::eval_f32`] through a reused [`EvalScratch`] — the
+    /// training-loop form. The returned per-feature vectors are owned (the
+    /// episode buffer consumes them), but the evaluation environment is
+    /// reused across calls.
+    pub fn eval_f32_with(
+        &self,
+        inputs: &[Value],
+        scratch: &mut EvalScratch,
+    ) -> Result<Vec<Vec<f32>>, DslError> {
         Ok(self
-            .eval(inputs)?
-            .into_iter()
+            .eval_with(inputs, scratch)?
+            .iter()
             .map(|v| v.as_slice().iter().map(|&x| x as f32).collect())
             .collect())
     }
 }
 
-fn eval_expr(expr: &Expr, env: &[(&str, Value)]) -> Result<Value, DslError> {
-    match expr {
-        Expr::Number(n) => Ok(Value::Scalar(*n)),
-        Expr::Ident(name) => env
-            .iter()
+/// Reusable evaluation state: holds the computed-feature buffer so a
+/// training loop evaluating once per step allocates no environment per
+/// call. Create once (cheap, empty) and pass to
+/// [`CompiledState::eval_with`] / [`CompiledState::eval_f32_with`].
+#[derive(Debug, Clone, Default)]
+pub struct EvalScratch {
+    features: Vec<Value>,
+}
+
+/// Name-resolution environment: declared inputs are *borrowed* from the
+/// caller's binding (no per-step clone) and features already computed this
+/// call are borrowed from the scratch buffer.
+struct Env<'a> {
+    checked: &'a CheckedState,
+    inputs: &'a [Value],
+    features: &'a [Value],
+}
+
+impl<'a> Env<'a> {
+    /// Resolves a name, later definitions first (features shadow inputs,
+    /// matching the old push-order environment).
+    fn lookup(&self, name: &str) -> Option<&'a Value> {
+        let program = &self.checked.program;
+        if let Some(i) = (0..self.features.len())
             .rev()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| v.clone())
+            .find(|&i| program.features[i].name == name)
+        {
+            return Some(&self.features[i]);
+        }
+        program
+            .inputs
+            .iter()
+            .zip(&self.checked.input_bindings)
+            .rev()
+            .find(|(decl, _)| decl.name == name)
+            .map(|(_, &idx)| &self.inputs[idx])
+    }
+}
+
+fn eval_expr<'e>(expr: &'e Expr, env: &Env<'e>) -> Result<Cow<'e, Value>, DslError> {
+    match expr {
+        Expr::Number(n) => Ok(Cow::Owned(Value::Scalar(*n))),
+        Expr::Ident(name) => env
+            .lookup(name)
+            .map(Cow::Borrowed)
             .ok_or_else(|| DslError::UnknownInput { name: name.clone() }),
         Expr::Neg(inner) => {
             let v = eval_expr(inner, env)?;
-            Ok(match v {
-                Value::Scalar(x) => Value::Scalar(-x),
-                Value::Vector(xs) => Value::Vector(xs.into_iter().map(|x| -x).collect()),
-            })
+            Ok(Cow::Owned(match v {
+                Cow::Owned(Value::Scalar(x)) => Value::Scalar(-x),
+                Cow::Owned(Value::Vector(mut xs)) => {
+                    // Negate in place: the operand is already owned.
+                    for x in &mut xs {
+                        *x = -*x;
+                    }
+                    Value::Vector(xs)
+                }
+                Cow::Borrowed(Value::Scalar(x)) => Value::Scalar(-x),
+                Cow::Borrowed(Value::Vector(xs)) => Value::Vector(xs.iter().map(|x| -x).collect()),
+            }))
         }
         Expr::Binary { op, lhs, rhs } => {
             let l = eval_expr(lhs, env)?;
             let r = eval_expr(rhs, env)?;
-            binary_eval(*op, &l, &r)
+            binary_eval(*op, &l, &r).map(Cow::Owned)
         }
         Expr::Call { name, args } => {
             let mut vals = Vec::with_capacity(args.len());
             for a in args {
-                vals.push(eval_expr(a, env)?);
+                vals.push(eval_expr(a, env)?.into_owned());
             }
-            function_eval(name, &vals)
+            function_eval(name, &vals).map(Cow::Owned)
         }
     }
 }

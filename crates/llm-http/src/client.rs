@@ -1,0 +1,346 @@
+//! The OpenAI-style chat-completions adapter behind [`LlmClient`].
+//!
+//! [`HttpClient`] renders a [`Prompt`] to text, POSTs it to
+//! `{base}/chat/completions` as a single-user-message chat request, and
+//! parses `choices[0].message.content` back into a [`Completion`] (fenced
+//! code block → code, preceding prose → reasoning, mirroring the paper's
+//! chain-of-thought responses).
+//!
+//! Transient failures — 429 rate limits (honoring `Retry-After`), 5xx,
+//! dropped or truncated connections — retry with exponential backoff.
+//! Other 4xx statuses fail fast: retrying a rejected request only burns
+//! quota. The API key is read from `NADA_API_KEY` *only*, and every error
+//! message passes through [`redact`] so the key cannot leak into logs,
+//! cassettes or panics.
+
+use crate::http::{post_json, Endpoint, HttpError};
+use crate::json::Json;
+use crate::redact::{redact, ApiKey};
+use nada_llm::{Completion, LlmClient, Prompt};
+use std::time::Duration;
+
+/// The only environment variable the API key is ever read from.
+pub const API_KEY_ENV: &str = "NADA_API_KEY";
+
+/// Environment variable naming the chat-completions base URL
+/// (e.g. `http://127.0.0.1:8080/v1`).
+pub const API_BASE_ENV: &str = "NADA_API_BASE";
+
+/// Connection and retry knobs for the HTTP backend.
+#[derive(Debug, Clone)]
+pub struct HttpConfig {
+    /// Base URL, `http://host[:port][/prefix]`.
+    pub base: String,
+    /// Model identifier sent in the request body.
+    pub model: String,
+    /// Bearer token for the `Authorization` header, if the endpoint needs
+    /// one. Never printed; see [`ApiKey`].
+    pub api_key: Option<ApiKey>,
+    /// Retries after the first attempt (429/5xx/transport errors only).
+    pub max_retries: u32,
+    /// Initial backoff; doubles per retry. `Retry-After` overrides it.
+    pub backoff: Duration,
+    /// Per-request read/write timeout.
+    pub timeout: Duration,
+}
+
+impl HttpConfig {
+    /// A config with production retry defaults.
+    pub fn new(base: impl Into<String>, model: impl Into<String>) -> Self {
+        Self {
+            base: base.into(),
+            model: model.into(),
+            api_key: None,
+            max_retries: 3,
+            backoff: Duration::from_millis(500),
+            timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// A chat-completions client implementing [`LlmClient`].
+#[derive(Debug)]
+pub struct HttpClient {
+    cfg: HttpConfig,
+    endpoint: Endpoint,
+    requests_sent: usize,
+}
+
+impl HttpClient {
+    /// Builds a client, validating the base URL up front.
+    pub fn new(cfg: HttpConfig) -> Result<Self, HttpError> {
+        let endpoint = Endpoint::parse(&cfg.base)?;
+        Ok(Self {
+            cfg,
+            endpoint,
+            requests_sent: 0,
+        })
+    }
+
+    /// Builds a client from the environment: base URL from
+    /// [`API_BASE_ENV`] (required), key from [`API_KEY_ENV`] (optional —
+    /// local proxies often need none).
+    pub fn from_env(model: &str) -> Result<Self, HttpError> {
+        let base = std::env::var(API_BASE_ENV).map_err(|_| {
+            HttpError::BadUrl(format!(
+                "{API_BASE_ENV} is not set; the http backend needs a \
+                 chat-completions endpoint (e.g. http://127.0.0.1:8080/v1)"
+            ))
+        })?;
+        let mut cfg = HttpConfig::new(base, model);
+        cfg.api_key = std::env::var(API_KEY_ENV).ok().map(ApiKey::new);
+        Self::new(cfg)
+    }
+
+    /// Requests actually sent (includes retries).
+    pub fn requests_sent(&self) -> usize {
+        self.requests_sent
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HttpConfig {
+        &self.cfg
+    }
+
+    /// Scrubs the API key out of outward-facing text.
+    fn redacted(&self, text: &str) -> String {
+        match &self.cfg.api_key {
+            Some(key) => redact(text, key.expose()),
+            None => text.to_string(),
+        }
+    }
+
+    /// Applies [`HttpClient::redacted`] to every string an error carries.
+    fn redact_err(&self, e: HttpError) -> HttpError {
+        match e {
+            HttpError::BadUrl(m) => HttpError::BadUrl(self.redacted(&m)),
+            HttpError::Connect(m) => HttpError::Connect(self.redacted(&m)),
+            HttpError::Io(m) => HttpError::Io(self.redacted(&m)),
+            HttpError::Malformed(m) => HttpError::Malformed(self.redacted(&m)),
+            HttpError::Status { code, body } => HttpError::Status {
+                code,
+                body: self.redacted(&body),
+            },
+            other => other,
+        }
+    }
+
+    /// One generation, with retry/backoff. Every returned error has
+    /// already been redacted.
+    pub fn try_generate(&mut self, prompt: &Prompt) -> Result<Completion, HttpError> {
+        let body = request_body(&self.cfg.model, prompt);
+        let mut headers = Vec::new();
+        if let Some(key) = &self.cfg.api_key {
+            headers.push((
+                "Authorization".to_string(),
+                format!("Bearer {}", key.expose()),
+            ));
+        }
+        let mut attempt: u32 = 0;
+        loop {
+            self.requests_sent += 1;
+            let result = post_json(
+                &self.endpoint,
+                "/chat/completions",
+                &headers,
+                &body,
+                self.cfg.timeout,
+            );
+            // `Retry-After` (seconds) on a 429 overrides the backoff curve.
+            let mut server_delay = None;
+            let error = match result {
+                Ok(resp) if resp.status == 200 => {
+                    // Redact the *whole* body before anything else touches
+                    // it: snippets could otherwise cut the key mid-string
+                    // (making `redact` miss it), and a completion echoing
+                    // the key must not carry it into cassettes.
+                    return completion_from_response(&self.redacted(&resp.body), prompt)
+                        .map_err(|e| self.redact_err(e));
+                }
+                Ok(resp) if resp.status == 429 || (500..600).contains(&resp.status) => {
+                    if resp.status == 429 {
+                        server_delay = resp
+                            .header("retry-after")
+                            .and_then(|v| v.parse::<u64>().ok())
+                            .map(Duration::from_secs);
+                    }
+                    HttpError::Status {
+                        code: resp.status,
+                        body: snippet(&self.redacted(&resp.body)),
+                    }
+                }
+                Ok(resp) => {
+                    // Client errors (bad key, unknown model) are not
+                    // transient; retrying only burns quota.
+                    return Err(HttpError::Status {
+                        code: resp.status,
+                        body: snippet(&self.redacted(&resp.body)),
+                    });
+                }
+                Err(e @ HttpError::BadUrl(_)) => return Err(self.redact_err(e)),
+                Err(e) => e, // connect/io/truncated/malformed: transient
+            };
+            if attempt >= self.cfg.max_retries {
+                return Err(self.redact_err(error));
+            }
+            let delay = server_delay.unwrap_or(self.cfg.backoff * 2u32.pow(attempt));
+            std::thread::sleep(delay);
+            attempt += 1;
+        }
+    }
+}
+
+impl LlmClient for HttpClient {
+    fn model_name(&self) -> &str {
+        &self.cfg.model
+    }
+
+    fn generate(&mut self, prompt: &Prompt) -> Completion {
+        // The trait is infallible by design (mocks cannot fail); a hosted
+        // backend that exhausted its retries has nothing sensible to
+        // return, so it aborts the search loudly. The message was redacted
+        // inside `try_generate`.
+        self.try_generate(prompt)
+            .unwrap_or_else(|e| panic!("http LLM backend failed after retries: {e}"))
+    }
+}
+
+/// The chat-completions request body for one prompt.
+fn request_body(model: &str, prompt: &Prompt) -> String {
+    Json::Obj(vec![
+        ("model".into(), Json::Str(model.to_string())),
+        (
+            "messages".into(),
+            Json::Arr(vec![Json::Obj(vec![
+                ("role".into(), Json::Str("user".into())),
+                ("content".into(), Json::Str(prompt.render())),
+            ])]),
+        ),
+    ])
+    .render()
+}
+
+/// First few hundred chars of a body, for error diagnosis.
+fn snippet(body: &str) -> String {
+    let cut = body.char_indices().nth(200).map_or(body.len(), |(i, _)| i);
+    body[..cut].to_string()
+}
+
+/// Extracts `choices[0].message.content` and splits it into a
+/// [`Completion`].
+fn completion_from_response(body: &str, prompt: &Prompt) -> Result<Completion, HttpError> {
+    let doc = Json::parse(body)
+        .map_err(|e| HttpError::Malformed(format!("response body: {e} — {}", snippet(body))))?;
+    let content = doc
+        .get("choices")
+        .and_then(|c| c.idx(0))
+        .and_then(|c| c.get("message"))
+        .and_then(|m| m.get("content"))
+        .and_then(Json::str)
+        .ok_or_else(|| {
+            HttpError::Malformed(format!("no choices[0].message.content — {}", snippet(body)))
+        })?;
+    Ok(split_content(content, prompt.options.chain_of_thought))
+}
+
+/// Splits assistant text into (reasoning, code): the first fenced block is
+/// the code; prose before it is the chain-of-thought reasoning (kept only
+/// when the prompt asked for it). Unfenced content is all code.
+fn split_content(content: &str, chain_of_thought: bool) -> Completion {
+    let (reasoning, code) = match content.find("```") {
+        Some(open) => {
+            let before = content[..open].trim();
+            let after_fence = &content[open + 3..];
+            // Skip the optional language tag on the fence line.
+            let code_start = after_fence.find('\n').map_or(after_fence.len(), |i| i + 1);
+            let block = &after_fence[code_start..];
+            let code = match block.find("```") {
+                Some(close) => &block[..close],
+                None => block,
+            };
+            (
+                (!before.is_empty() && chain_of_thought).then(|| before.to_string()),
+                code.to_string(),
+            )
+        }
+        None => (None, content.to_string()),
+    };
+    let mut code = code;
+    if !code.ends_with('\n') {
+        code.push('\n');
+    }
+    Completion { code, reasoning }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state_prompt() -> Prompt {
+        Prompt::state("state s { feature f = 1.0; }")
+    }
+
+    #[test]
+    fn request_body_is_valid_json_with_the_rendered_prompt() {
+        let body = request_body("gpt-4", &state_prompt());
+        let doc = Json::parse(&body).unwrap();
+        assert_eq!(doc.get("model").and_then(Json::str), Some("gpt-4"));
+        let content = doc
+            .get("messages")
+            .and_then(|m| m.idx(0))
+            .and_then(|m| m.get("content"))
+            .and_then(Json::str)
+            .unwrap();
+        assert!(content.contains("STATE REPRESENTATION"));
+    }
+
+    #[test]
+    fn splits_reasoning_and_fenced_code() {
+        let c = split_content(
+            "Idea: smooth the throughput.\n```\nstate s { feature f = 1.0; }\n```\nthanks!",
+            true,
+        );
+        assert_eq!(c.reasoning.as_deref(), Some("Idea: smooth the throughput."));
+        assert_eq!(c.code, "state s { feature f = 1.0; }\n");
+        // Language tags on the fence are skipped.
+        let tagged = split_content("```rust\ncode here\n```", true);
+        assert_eq!(tagged.code, "code here\n");
+        assert_eq!(tagged.reasoning, None);
+    }
+
+    #[test]
+    fn unfenced_content_is_all_code() {
+        let c = split_content("state s { feature f = 1.0; }", true);
+        assert_eq!(c.code, "state s { feature f = 1.0; }\n");
+        assert_eq!(c.reasoning, None);
+    }
+
+    #[test]
+    fn reasoning_is_dropped_when_cot_is_off() {
+        let c = split_content("thoughts\n```\ncode\n```", false);
+        assert_eq!(c.reasoning, None);
+        assert_eq!(c.code, "code\n");
+    }
+
+    #[test]
+    fn completion_parses_from_chat_response() {
+        let body = r#"{"choices":[{"index":0,"message":{"role":"assistant","content":"```\nstate x { feature f = 0.5; }\n```"}}]}"#;
+        let c = completion_from_response(body, &state_prompt()).unwrap();
+        assert_eq!(c.code, "state x { feature f = 0.5; }\n");
+    }
+
+    #[test]
+    fn malformed_responses_are_errors_not_completions() {
+        assert!(completion_from_response("{}", &state_prompt()).is_err());
+        assert!(completion_from_response("not json", &state_prompt()).is_err());
+    }
+
+    #[test]
+    fn debug_output_never_contains_the_key() {
+        let mut cfg = HttpConfig::new("http://127.0.0.1:1/v1", "gpt-4");
+        cfg.api_key = Some(ApiKey::new("sk-super-secret"));
+        let client = HttpClient::new(cfg).unwrap();
+        let dbg = format!("{client:?}");
+        assert!(!dbg.contains("sk-super-secret"), "{dbg}");
+    }
+}

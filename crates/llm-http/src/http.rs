@@ -1,0 +1,317 @@
+//! A dependency-free HTTP/1.1 client over `std::net::TcpStream`.
+//!
+//! The build environment is offline (no `reqwest`/`hyper`), so this is the
+//! whole transport: one `POST` per request on a fresh connection
+//! (`Connection: close`), with `Content-Length` and chunked bodies
+//! supported on the way back. Plain `http://` only — pointing the client
+//! at a TLS endpoint is a configuration error (run a local proxy or an
+//! http-speaking gateway instead).
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Why a request failed at the transport level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// A URL could not be understood (or used a scheme we cannot speak).
+    BadUrl(String),
+    /// The TCP connection could not be established.
+    Connect(String),
+    /// The connection died mid-request or mid-response.
+    Io(String),
+    /// The response bytes were not valid HTTP.
+    Malformed(String),
+    /// The body ended before the declared `Content-Length`.
+    Truncated {
+        /// Bytes the server declared.
+        expected: usize,
+        /// Bytes actually received.
+        got: usize,
+    },
+    /// A non-success status after all retries (message is pre-redacted by
+    /// the caller before it ever reaches this value).
+    Status {
+        /// The HTTP status code.
+        code: u16,
+        /// A short body snippet for diagnosis.
+        body: String,
+    },
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::BadUrl(m) => write!(f, "bad url: {m}"),
+            HttpError::Connect(m) => write!(f, "connect failed: {m}"),
+            HttpError::Io(m) => write!(f, "i/o error: {m}"),
+            HttpError::Malformed(m) => write!(f, "malformed response: {m}"),
+            HttpError::Truncated { expected, got } => {
+                write!(f, "truncated body: declared {expected} bytes, got {got}")
+            }
+            HttpError::Status { code, body } => write!(f, "http status {code}: {body}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// A parsed response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The decoded body.
+    pub body: String,
+}
+
+impl Response {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// An `http://host:port/path` base, split into its parts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Endpoint {
+    /// Host name or address.
+    pub host: String,
+    /// TCP port (default 80).
+    pub port: u16,
+    /// Path prefix, no trailing slash (e.g. `/v1`).
+    pub base_path: String,
+}
+
+impl Endpoint {
+    /// Parses a base URL. Only `http://` is supported — the client is
+    /// dependency-free and cannot speak TLS.
+    pub fn parse(base: &str) -> Result<Self, HttpError> {
+        let rest = base.strip_prefix("http://").ok_or_else(|| {
+            HttpError::BadUrl(format!(
+                "`{base}` — only http:// endpoints are supported (no TLS); \
+                 point at a local proxy for hosted providers"
+            ))
+        })?;
+        let (authority, path) = match rest.find('/') {
+            Some(i) => (&rest[..i], rest[i..].trim_end_matches('/')),
+            None => (rest, ""),
+        };
+        let (host, port) = match authority.rsplit_once(':') {
+            Some((h, p)) => (
+                h.to_string(),
+                p.parse()
+                    .map_err(|_| HttpError::BadUrl(format!("bad port in `{base}`")))?,
+            ),
+            None => (authority.to_string(), 80),
+        };
+        if host.is_empty() {
+            return Err(HttpError::BadUrl(format!("no host in `{base}`")));
+        }
+        Ok(Self {
+            host,
+            port,
+            base_path: path.to_string(),
+        })
+    }
+}
+
+/// Sends one `POST` with a JSON body and reads the full response.
+/// `headers` are extra request headers (e.g. `Authorization`).
+pub fn post_json(
+    endpoint: &Endpoint,
+    path: &str,
+    headers: &[(String, String)],
+    body: &str,
+    timeout: Duration,
+) -> Result<Response, HttpError> {
+    let addr = format!("{}:{}", endpoint.host, endpoint.port);
+    let mut stream =
+        TcpStream::connect(&addr).map_err(|e| HttpError::Connect(format!("{addr}: {e}")))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+
+    let full_path = format!("{}{}", endpoint.base_path, path);
+    let mut req = format!(
+        "POST {full_path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n",
+        endpoint.host,
+        body.len()
+    );
+    for (k, v) in headers {
+        req.push_str(&format!("{k}: {v}\r\n"));
+    }
+    req.push_str("\r\n");
+    req.push_str(body);
+    stream
+        .write_all(req.as_bytes())
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    parse_response(&raw)
+}
+
+/// Parses a complete HTTP/1.1 response held in memory.
+fn parse_response(raw: &[u8]) -> Result<Response, HttpError> {
+    let header_end = find_header_end(raw)
+        .ok_or_else(|| HttpError::Malformed("no header/body separator".into()))?;
+    let head = std::str::from_utf8(&raw[..header_end])
+        .map_err(|_| HttpError::Malformed("non-utf8 headers".into()))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty response".into()))?;
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "bad status line `{status_line}`"
+        )));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::Malformed(format!("bad status line `{status_line}`")))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (k, v) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header `{line}`")))?;
+        headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+    }
+
+    let body_bytes = &raw[header_end + 4..];
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let body = if chunked {
+        decode_chunked(body_bytes)?
+    } else if let Some(len) = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+    {
+        if body_bytes.len() < len {
+            return Err(HttpError::Truncated {
+                expected: len,
+                got: body_bytes.len(),
+            });
+        }
+        body_bytes[..len].to_vec()
+    } else {
+        body_bytes.to_vec()
+    };
+    let body = String::from_utf8(body).map_err(|_| HttpError::Malformed("non-utf8 body".into()))?;
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+fn find_header_end(raw: &[u8]) -> Option<usize> {
+    raw.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn decode_chunked(mut rest: &[u8]) -> Result<Vec<u8>, HttpError> {
+    let mut out = Vec::new();
+    loop {
+        let line_end = rest
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .ok_or_else(|| HttpError::Malformed("bad chunk header".into()))?;
+        let size_text = std::str::from_utf8(&rest[..line_end])
+            .map_err(|_| HttpError::Malformed("bad chunk size".into()))?;
+        let size = usize::from_str_radix(size_text.trim(), 16)
+            .map_err(|_| HttpError::Malformed(format!("bad chunk size `{size_text}`")))?;
+        rest = &rest[line_end + 2..];
+        if size == 0 {
+            return Ok(out);
+        }
+        if rest.len() < size + 2 {
+            return Err(HttpError::Truncated {
+                expected: size,
+                got: rest.len().saturating_sub(2),
+            });
+        }
+        out.extend_from_slice(&rest[..size]);
+        rest = &rest[size + 2..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_parsing() {
+        let e = Endpoint::parse("http://127.0.0.1:8080/v1").unwrap();
+        assert_eq!(
+            e,
+            Endpoint {
+                host: "127.0.0.1".into(),
+                port: 8080,
+                base_path: "/v1".into()
+            }
+        );
+        let bare = Endpoint::parse("http://api.local").unwrap();
+        assert_eq!(bare.port, 80);
+        assert_eq!(bare.base_path, "");
+        assert!(matches!(
+            Endpoint::parse("https://api.openai.com/v1"),
+            Err(HttpError::BadUrl(_))
+        ));
+        assert!(Endpoint::parse("http://:80/v1").is_err());
+    }
+
+    #[test]
+    fn parses_content_length_response() {
+        let raw =
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 5\r\n\r\nhello";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "hello");
+        assert_eq!(r.header("Content-Type"), Some("application/json"));
+    }
+
+    #[test]
+    fn truncated_bodies_are_detected() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 50\r\n\r\nshort";
+        assert_eq!(
+            parse_response(raw),
+            Err(HttpError::Truncated {
+                expected: 50,
+                got: 5
+            })
+        );
+    }
+
+    #[test]
+    fn decodes_chunked_bodies() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n";
+        assert_eq!(parse_response(raw).unwrap().body, "hello world");
+    }
+
+    #[test]
+    fn malformed_responses_error() {
+        assert!(parse_response(b"not http at all").is_err());
+        assert!(parse_response(b"HTTP/1.1 abc OK\r\n\r\n").is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! Real LLM serving for the NADA reproduction, with zero dependencies.
+//!
+//! The paper drives its pipeline with hosted GPT-3.5/GPT-4 endpoints
+//! (Table 2); this crate is the production seam that lets the offline
+//! reproduction do the same without pulling in a network stack:
+//!
+//! * [`json`] — a minimal hand-rolled JSON encoder/decoder covering the
+//!   chat-completions wire format;
+//! * [`http`] — an HTTP/1.1 client over `std::net::TcpStream`
+//!   (`Content-Length` and chunked bodies, timeouts, `http://` only);
+//! * [`client::HttpClient`] — the OpenAI-style chat-completions adapter
+//!   implementing [`nada_llm::LlmClient`], with retry/backoff and the
+//!   API key sourced from `NADA_API_KEY` alone;
+//! * [`redact`](mod@redact) — secret hygiene: the key lives in an [`ApiKey`] wrapper
+//!   and every outward-facing string is scrubbed;
+//! * [`server::TestServer`] — a loopback scripted server so HTTP behavior
+//!   (happy path, 500 retries, truncated bodies, 429 backoff) is
+//!   integration-tested with no real network.
+//!
+//! Recording a search through `nada_llm::RecordingClient` while this
+//! backend generates produces an on-disk cassette replayable by
+//! `nada_llm::ReplayClient` — the offline-CI loop the registry in
+//! `nada-core` wires together.
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod redact;
+pub mod server;
+
+pub use client::{HttpClient, HttpConfig, API_BASE_ENV, API_KEY_ENV};
+pub use http::{Endpoint, HttpError, Response};
+pub use json::{Json, JsonError};
+pub use redact::{redact, ApiKey, REDACTED};
+pub use server::{Received, Scripted, TestServer};

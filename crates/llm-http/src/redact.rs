@@ -1,0 +1,78 @@
+//! Secret hygiene for the HTTP backend.
+//!
+//! The API key enters the process through `NADA_API_KEY` and leaves it in
+//! exactly one place: the `Authorization` request header. Everything else
+//! that could carry it outward — error messages, `Debug` output, logged
+//! response snippets — goes through [`redact`] first, and the key itself
+//! lives in an [`ApiKey`] wrapper whose `Debug`/`Display` never print the
+//! value.
+
+use std::fmt;
+
+/// Placeholder substituted for a secret in outward-facing text.
+pub const REDACTED: &str = "[REDACTED]";
+
+/// An API key that cannot be printed by accident. `Debug` and `Display`
+/// render [`REDACTED`]; only [`ApiKey::expose`] yields the real value.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ApiKey(String);
+
+impl ApiKey {
+    /// Wraps a key.
+    pub fn new(key: impl Into<String>) -> Self {
+        Self(key.into())
+    }
+
+    /// The real value — call sites are the audit surface, and the only
+    /// legitimate one is building the `Authorization` header.
+    pub fn expose(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for ApiKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ApiKey({REDACTED})")
+    }
+}
+
+impl fmt::Display for ApiKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(REDACTED)
+    }
+}
+
+/// Replaces every occurrence of `secret` in `text` with [`REDACTED`].
+/// Empty secrets redact nothing (there is nothing to leak).
+pub fn redact(text: &str, secret: &str) -> String {
+    if secret.is_empty() {
+        text.to_string()
+    } else {
+        text.replace(secret, REDACTED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn api_key_never_prints_its_value() {
+        let key = ApiKey::new("sk-very-secret-123");
+        assert!(!format!("{key:?}").contains("very-secret"));
+        assert!(!format!("{key}").contains("very-secret"));
+        assert_eq!(key.expose(), "sk-very-secret-123");
+    }
+
+    #[test]
+    fn redact_replaces_every_occurrence() {
+        let out = redact(
+            "error: Bearer sk-abc rejected (key sk-abc expired)",
+            "sk-abc",
+        );
+        assert!(!out.contains("sk-abc"));
+        assert_eq!(out.matches(REDACTED).count(), 2);
+        // Empty secrets are a no-op, not a panic or a full wipe.
+        assert_eq!(redact("body", ""), "body");
+    }
+}

@@ -1,0 +1,185 @@
+//! A loopback scripted HTTP server for integration tests.
+//!
+//! CI has no network, so HTTP behavior is tested against a
+//! `std::net::TcpListener` bound to `127.0.0.1:0`: the test scripts a
+//! sequence of [`Scripted`] responses, points an
+//! [`HttpClient`](crate::HttpClient) at [`TestServer::base`], and asserts
+//! on outcomes plus the [recorded requests](TestServer::requests). One
+//! connection per scripted response (the client sends
+//! `Connection: close`).
+
+use crate::json::Json;
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::sync::{Arc, Mutex};
+
+/// One scripted response, served to the next connection.
+#[derive(Debug, Clone)]
+pub enum Scripted {
+    /// 200 with a well-formed chat-completions body carrying this content.
+    Completion(String),
+    /// An arbitrary status and raw body.
+    Status(u16, String),
+    /// 429 with a `Retry-After` header (seconds).
+    RateLimited(u64),
+    /// 200 declaring a large `Content-Length` but sending only this
+    /// prefix before closing — a truncated body.
+    Truncated(String),
+}
+
+/// One request as the server saw it.
+#[derive(Debug, Clone)]
+pub struct Received {
+    /// Request line path (e.g. `/v1/chat/completions`).
+    pub path: String,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body.
+    pub body: String,
+}
+
+impl Received {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A scripted loopback server. The listener thread serves the script in
+/// order and exits; it is detached, so an unfinished script simply stops
+/// accepting when the test ends.
+pub struct TestServer {
+    port: u16,
+    requests: Arc<Mutex<Vec<Received>>>,
+}
+
+impl TestServer {
+    /// Binds `127.0.0.1:0` and starts serving `script`.
+    pub fn start(script: Vec<Scripted>) -> Self {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let port = listener.local_addr().expect("local addr").port();
+        let requests = Arc::new(Mutex::new(Vec::new()));
+        let seen = Arc::clone(&requests);
+        std::thread::spawn(move || {
+            for response in script {
+                let Ok((mut stream, _)) = listener.accept() else {
+                    return;
+                };
+                let Some(received) = read_request(&mut stream) else {
+                    continue;
+                };
+                seen.lock().expect("requests lock").push(received);
+                let _ = stream.write_all(render_response(&response).as_bytes());
+            }
+        });
+        Self { port, requests }
+    }
+
+    /// The base URL to hand to `HttpConfig::new`.
+    pub fn base(&self) -> String {
+        format!("http://127.0.0.1:{}/v1", self.port)
+    }
+
+    /// Every request served so far.
+    pub fn requests(&self) -> Vec<Received> {
+        self.requests.lock().expect("requests lock").clone()
+    }
+}
+
+fn read_request(stream: &mut std::net::TcpStream) -> Option<Received> {
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return None,
+            Ok(n) => raw.extend_from_slice(&buf[..n]),
+            Err(_) => return None,
+        }
+    };
+    let head = String::from_utf8_lossy(&raw[..header_end]).to_string();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next()?;
+    let path = request_line.split(' ').nth(1)?.to_string();
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    let content_length: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(0);
+    let mut body = raw[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => body.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    Some(Received {
+        path,
+        headers,
+        body: String::from_utf8_lossy(&body).to_string(),
+    })
+}
+
+fn render_response(scripted: &Scripted) -> String {
+    match scripted {
+        Scripted::Completion(content) => {
+            let body = Json::Obj(vec![
+                ("id".into(), Json::Str("cmpl-test".into())),
+                ("object".into(), Json::Str("chat.completion".into())),
+                (
+                    "choices".into(),
+                    Json::Arr(vec![Json::Obj(vec![
+                        ("index".into(), Json::Num(0.0)),
+                        (
+                            "message".into(),
+                            Json::Obj(vec![
+                                ("role".into(), Json::Str("assistant".into())),
+                                ("content".into(), Json::Str(content.clone())),
+                            ]),
+                        ),
+                        ("finish_reason".into(), Json::Str("stop".into())),
+                    ])]),
+                ),
+            ])
+            .render();
+            format!(
+                "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
+                 Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+                body.len(),
+                body
+            )
+        }
+        Scripted::Status(code, body) => format!(
+            "HTTP/1.1 {code} X\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        ),
+        Scripted::RateLimited(retry_after) => {
+            let body = r#"{"error":{"message":"rate limited"}}"#;
+            format!(
+                "HTTP/1.1 429 Too Many Requests\r\nRetry-After: {retry_after}\r\n\
+                 Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+                body.len(),
+                body
+            )
+        }
+        Scripted::Truncated(prefix) => format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+            prefix.len() + 10_000,
+            prefix
+        ),
+    }
+}

@@ -1,0 +1,171 @@
+//! HTTP behavior against the loopback scripted server — no real network.
+
+use nada_llm::{LlmClient, Prompt};
+use nada_llm_http::{ApiKey, HttpClient, HttpConfig, HttpError, Scripted, TestServer, REDACTED};
+use std::time::Duration;
+
+const CODE: &str = "state s { input buffer_s: scalar; feature b = buffer_s / 10.0; }";
+
+fn fast_cfg(base: String) -> HttpConfig {
+    let mut cfg = HttpConfig::new(base, "gpt-4-test");
+    cfg.max_retries = 3;
+    cfg.backoff = Duration::from_millis(1);
+    cfg.timeout = Duration::from_secs(5);
+    cfg
+}
+
+fn fenced(code: &str) -> String {
+    format!("Here is an idea: smooth the features.\n```\n{code}\n```\n")
+}
+
+#[test]
+fn happy_path_round_trips_a_completion() {
+    let server = TestServer::start(vec![Scripted::Completion(fenced(CODE))]);
+    let mut cfg = fast_cfg(server.base());
+    cfg.api_key = Some(ApiKey::new("sk-test-key-123"));
+    let mut client = HttpClient::new(cfg).unwrap();
+    let completion = client.generate(&Prompt::state(CODE));
+    assert_eq!(completion.code, format!("{CODE}\n"));
+    assert_eq!(
+        completion.reasoning.as_deref(),
+        Some("Here is an idea: smooth the features.")
+    );
+
+    // The request reached the chat-completions route with auth attached.
+    let reqs = server.requests();
+    assert_eq!(reqs.len(), 1);
+    assert_eq!(reqs[0].path, "/v1/chat/completions");
+    assert_eq!(
+        reqs[0].header("authorization"),
+        Some("Bearer sk-test-key-123")
+    );
+    assert!(reqs[0].body.contains("gpt-4-test"));
+    assert!(reqs[0].body.contains("STATE REPRESENTATION"));
+}
+
+#[test]
+fn server_errors_are_retried_until_success() {
+    let server = TestServer::start(vec![
+        Scripted::Status(500, r#"{"error":{"message":"boom"}}"#.into()),
+        Scripted::Status(503, "overloaded".into()),
+        Scripted::Completion(fenced(CODE)),
+    ]);
+    let mut client = HttpClient::new(fast_cfg(server.base())).unwrap();
+    let completion = client.try_generate(&Prompt::state(CODE)).unwrap();
+    assert_eq!(completion.code, format!("{CODE}\n"));
+    assert_eq!(client.requests_sent(), 3);
+}
+
+#[test]
+fn persistent_server_errors_surface_the_status() {
+    let script = vec![Scripted::Status(500, "down".into()); 4];
+    let server = TestServer::start(script);
+    let mut client = HttpClient::new(fast_cfg(server.base())).unwrap();
+    let err = client.try_generate(&Prompt::state(CODE)).unwrap_err();
+    assert!(matches!(err, HttpError::Status { code: 500, .. }), "{err}");
+    // First attempt + max_retries.
+    assert_eq!(client.requests_sent(), 4);
+}
+
+#[test]
+fn truncated_bodies_are_retried() {
+    let server = TestServer::start(vec![
+        Scripted::Truncated(r#"{"choices":[{"mess"#.into()),
+        Scripted::Completion(fenced(CODE)),
+    ]);
+    let mut cfg = fast_cfg(server.base());
+    // The truncated connection closes early, so detection is immediate.
+    cfg.timeout = Duration::from_secs(2);
+    let mut client = HttpClient::new(cfg).unwrap();
+    let completion = client.try_generate(&Prompt::state(CODE)).unwrap();
+    assert_eq!(completion.code, format!("{CODE}\n"));
+    assert_eq!(client.requests_sent(), 2);
+}
+
+#[test]
+fn rate_limits_back_off_and_recover() {
+    let server = TestServer::start(vec![
+        Scripted::RateLimited(0),
+        Scripted::RateLimited(0),
+        Scripted::Completion(fenced(CODE)),
+    ]);
+    let mut client = HttpClient::new(fast_cfg(server.base())).unwrap();
+    let completion = client.try_generate(&Prompt::state(CODE)).unwrap();
+    assert_eq!(completion.code, format!("{CODE}\n"));
+    assert_eq!(client.requests_sent(), 3);
+}
+
+#[test]
+fn client_errors_fail_fast_without_retries() {
+    let server = TestServer::start(vec![Scripted::Status(
+        401,
+        r#"{"error":{"message":"bad key"}}"#.into(),
+    )]);
+    let mut client = HttpClient::new(fast_cfg(server.base())).unwrap();
+    let err = client.try_generate(&Prompt::state(CODE)).unwrap_err();
+    assert!(matches!(err, HttpError::Status { code: 401, .. }), "{err}");
+    assert_eq!(client.requests_sent(), 1);
+}
+
+#[test]
+fn error_bodies_echoing_the_key_are_redacted() {
+    // A hostile/buggy endpoint echoes the Authorization header back in its
+    // error body; the surfaced error must not contain the key.
+    let key = "sk-leaky-key-456";
+    let server = TestServer::start(vec![Scripted::Status(
+        400,
+        format!(r#"{{"error":{{"message":"token Bearer {key} is malformed"}}}}"#),
+    )]);
+    let mut cfg = fast_cfg(server.base());
+    cfg.api_key = Some(ApiKey::new(key));
+    let mut client = HttpClient::new(cfg).unwrap();
+    let err = client.try_generate(&Prompt::state(CODE)).unwrap_err();
+    let msg = err.to_string();
+    assert!(!msg.contains(key), "leaked: {msg}");
+    assert!(msg.contains(REDACTED), "{msg}");
+}
+
+#[test]
+fn keys_straddling_the_snippet_cut_are_still_redacted() {
+    // Regression: error snippets used to truncate the body *before*
+    // redaction, so a key crossing the 200-char boundary survived as a
+    // partial leak (redact looks for the full secret).
+    let key = "sk-straddle-key-0123456789abcdef";
+    let padding = "x".repeat(190);
+    let server = TestServer::start(vec![Scripted::Status(
+        400,
+        format!(r#"{{"error":{{"message":"{padding}{key} rejected"}}}}"#),
+    )]);
+    let mut cfg = fast_cfg(server.base());
+    cfg.api_key = Some(ApiKey::new(key));
+    let mut client = HttpClient::new(cfg).unwrap();
+    let msg = client
+        .try_generate(&Prompt::state(CODE))
+        .unwrap_err()
+        .to_string();
+    assert!(!msg.contains("sk-straddle"), "partial key leaked: {msg}");
+}
+
+#[test]
+fn generate_batch_while_caps_requests_at_the_source() {
+    let server = TestServer::start(vec![
+        Scripted::Completion(fenced(CODE)),
+        Scripted::Completion(fenced(CODE)),
+    ]);
+    let mut client = HttpClient::new(fast_cfg(server.base())).unwrap();
+    let out = client.generate_batch_while(&Prompt::state(CODE), 10, &mut |made| made < 2);
+    assert_eq!(out.len(), 2);
+    // Only the budgeted completions were ever requested over the wire.
+    assert_eq!(client.requests_sent(), 2);
+}
+
+#[test]
+fn unreachable_endpoints_error_after_retries() {
+    // Port 1 on loopback: nothing listens there.
+    let mut cfg = fast_cfg("http://127.0.0.1:1/v1".to_string());
+    cfg.max_retries = 1;
+    let mut client = HttpClient::new(cfg).unwrap();
+    let err = client.try_generate(&Prompt::state(CODE)).unwrap_err();
+    assert!(matches!(err, HttpError::Connect(_)), "{err}");
+    assert_eq!(client.requests_sent(), 2);
+}

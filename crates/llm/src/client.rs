@@ -72,6 +72,27 @@ pub trait LlmClient {
     }
 }
 
+// Boxed clients are clients too, so registries can compose wrappers
+// (e.g. a recorder) around dynamically-selected backends.
+impl LlmClient for Box<dyn LlmClient + '_> {
+    fn model_name(&self) -> &str {
+        (**self).model_name()
+    }
+
+    fn generate(&mut self, prompt: &Prompt) -> Completion {
+        (**self).generate(prompt)
+    }
+
+    fn generate_batch_while(
+        &mut self,
+        prompt: &Prompt,
+        n: usize,
+        more: &mut dyn FnMut(usize) -> bool,
+    ) -> Vec<Completion> {
+        (**self).generate_batch_while(prompt, n, more)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,14 +19,19 @@
 //! * [`profile::ModelProfile`] — those calibrated rates for "GPT-3.5" and
 //!   "GPT-4";
 //! * [`replay`] — record/replay clients so real transcripts can be swapped
-//!   in deterministically.
+//!   in deterministically;
+//! * [`cassette`] — the on-disk, prompt-fingerprinted recording format
+//!   those clients persist through the serde-shim text codec (the
+//!   `nada-llm-http` crate provides the real HTTP backend they wrap).
 
+pub mod cassette;
 pub mod client;
 pub mod mock;
 pub mod profile;
 pub mod prompt;
 pub mod replay;
 
+pub use cassette::{prompt_fingerprint, Cassette, CassetteEntry, CassetteError};
 pub use client::{Completion, DesignKind, LlmClient};
 pub use mock::MockLlm;
 pub use profile::ModelProfile;

@@ -21,7 +21,8 @@
 //! | [`sim`] | environments behind the `NetEnv` trait: ABR simulator/emulator, congestion control, QoE, baselines |
 //! | [`nn`] | from-scratch NN library (dense/conv1d/RNN/LSTM, Adam, A2C) |
 //! | [`dsl`] | the design DSL: state & architecture "code blocks", per-workload schemas |
-//! | [`llm`] | `LlmClient` trait, workload-parameterized §2.1 prompts, Table 2-calibrated `MockLlm` |
+//! | [`llm`] | `LlmClient` trait, workload-parameterized §2.1 prompts, Table 2-calibrated `MockLlm`, on-disk cassettes |
+//! | [`llm_http`] | dependency-free HTTP/1.1 chat-completions backend + loopback test server |
 //! | [`earlystop`] | §2.2/§3.4 early-stopping classifiers |
 //! | [`exec`] | deterministic order-preserving parallel map |
 //! | [`core`] | the NADA pipeline: `Workload` trait, generate → filter → train → rank |
@@ -54,6 +55,7 @@ pub use nada_dsl as dsl;
 pub use nada_earlystop as earlystop;
 pub use nada_exec as exec;
 pub use nada_llm as llm;
+pub use nada_llm_http as llm_http;
 pub use nada_nn as nn;
 pub use nada_sim as sim;
 pub use nada_traces as traces;

@@ -1,0 +1,220 @@
+//! Cassette lifecycle: record a search with `MockLlm` → write the
+//! cassette to disk → replay it — the replayed `SearchOutcome` must be
+//! bit-identical, for every workload in the matrix. Plus the failure
+//! modes: a prompt-fingerprint mismatch (cassette recorded for a
+//! different workload) is a clear error, never a silently wrong
+//! completion.
+//!
+//! Set `NADA_WORKLOAD=abr` or `NADA_WORKLOAD=cc` to restrict the matrix
+//! (CI runs the suite once per workload).
+
+use nada::core::{
+    LlmRegistry, LlmRequest, LlmSpec, Nada, NadaConfig, RunScale, SearchOutcome, SearchSession,
+    WorkloadRegistry,
+};
+use nada::llm::{Cassette, DesignKind, MockLlm, RecordingClient, ReplayClient};
+use nada::traces::dataset::DatasetKind;
+use std::path::PathBuf;
+
+/// The workload matrix, optionally narrowed by `NADA_WORKLOAD`.
+fn workloads() -> Vec<&'static str> {
+    let selected = std::env::var("NADA_WORKLOAD").ok();
+    ["abr", "cc"]
+        .into_iter()
+        .filter(|w| selected.as_deref().is_none_or(|s| s == *w))
+        .collect()
+}
+
+fn tiny(workload: &str, seed: u64) -> Nada {
+    let cfg = NadaConfig::new(DatasetKind::Fcc, RunScale::Tiny, seed);
+    let w = WorkloadRegistry::builtin()
+        .build(workload, DatasetKind::Fcc)
+        .unwrap_or_else(|| panic!("`{workload}` must be registered"));
+    Nada::with_workload(cfg, w)
+}
+
+fn scratch_file(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nada-cassette-tests-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+fn assert_bit_identical(a: &SearchOutcome, b: &SearchOutcome, context: &str) {
+    assert_eq!(a.ranked, b.ranked, "{context}");
+    assert_eq!(
+        a.best.test_score.to_bits(),
+        b.best.test_score.to_bits(),
+        "{context}"
+    );
+    assert_eq!(
+        a.original.test_score.to_bits(),
+        b.original.test_score.to_bits(),
+        "{context}"
+    );
+    assert_eq!(a.precheck, b.precheck, "{context}");
+    assert_eq!(a.stats, b.stats, "{context}");
+    assert_eq!(a.best.code, b.best.code, "{context}");
+}
+
+/// The ISSUE's acceptance scenario: `RecordingClient` → on-disk cassette →
+/// `ReplayClient` reproduces the search bit-identically, offline, for both
+/// workloads.
+#[test]
+fn recorded_search_replays_bit_identically_from_disk() {
+    for workload in workloads() {
+        let nada = tiny(workload, 91);
+        let path = scratch_file(&format!("{workload}.cassette"));
+        let lane = format!("test/{workload}");
+
+        let recorded = {
+            let mut rec = RecordingClient::new(MockLlm::gpt4(91))
+                .with_lane(&lane, 0)
+                .persist_to(&path)
+                .expect("fresh cassette target");
+            let outcome = SearchSession::new(&nada, DesignKind::State)
+                .run(&mut rec)
+                .expect("recorded search completes");
+            rec.flush().expect("cassette flushes");
+            outcome
+        };
+        assert!(path.exists(), "{workload}: cassette not written");
+
+        // A different process would start here: only the file crosses.
+        let mut replay =
+            ReplayClient::from_file(&path, &lane, 0).unwrap_or_else(|e| panic!("{workload}: {e}"));
+        let replayed = SearchSession::new(&nada, DesignKind::State)
+            .run(&mut replay)
+            .expect("replayed search completes");
+
+        assert_bit_identical(&recorded, &replayed, workload);
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// The same round trip, but through the `LlmRegistry` — the exact path the
+/// `--llm mock --record` / `--llm replay` harness flags exercise.
+#[test]
+fn registry_record_and_replay_round_trip() {
+    for workload in workloads() {
+        let nada = tiny(workload, 92);
+        let path = scratch_file(&format!("registry-{workload}.cassette"));
+        let lane = format!("registry/{workload}");
+        let registry = LlmRegistry::builtin();
+
+        let mut record_spec = LlmSpec::mock("gpt-4", 92);
+        record_spec.record = true;
+        record_spec.cassette = Some(path.clone());
+        let recorded = {
+            let mut llm = registry
+                .build(
+                    "mock",
+                    &LlmRequest {
+                        spec: &record_spec,
+                        lane: &lane,
+                        round: 0,
+                    },
+                )
+                .expect("mock+record builds");
+            SearchSession::new(&nada, DesignKind::State)
+                .run(llm.as_mut())
+                .expect("recorded search completes")
+        }; // recorder drops → cassette flushed
+
+        let mut replay_spec = LlmSpec::mock("gpt-4", 92);
+        replay_spec.backend = "replay".into();
+        replay_spec.cassette = Some(path.clone());
+        let mut llm = registry
+            .build(
+                "replay",
+                &LlmRequest {
+                    spec: &replay_spec,
+                    lane: &lane,
+                    round: 0,
+                },
+            )
+            .expect("replay builds");
+        let replayed = SearchSession::new(&nada, DesignKind::State)
+            .run(llm.as_mut())
+            .expect("replayed search completes");
+
+        assert_bit_identical(&recorded, &replayed, workload);
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// Replaying an ABR-recorded cassette into a CC search must fail with a
+/// fingerprint diagnostic — the prompts differ, and a silent wrong
+/// completion would corrupt the search undetectably.
+#[test]
+fn cross_workload_replay_is_a_clear_error() {
+    let abr = tiny("abr", 93);
+    let path = scratch_file("mismatch.cassette");
+    {
+        let mut rec = RecordingClient::new(MockLlm::gpt4(93))
+            .with_lane("mismatch", 0)
+            .persist_to(&path)
+            .expect("fresh cassette target");
+        SearchSession::new(&abr, DesignKind::State)
+            .run(&mut rec)
+            .expect("abr search completes");
+    }
+
+    let cc = tiny("cc", 93);
+    let mut replay = ReplayClient::from_file(&path, "mismatch", 0).expect("cassette loads");
+    let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        SearchSession::new(&cc, DesignKind::State).run(&mut replay)
+    }))
+    .expect_err("a cross-workload replay must not succeed");
+    let msg = panic.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("prompt mismatch") && msg.contains("different workload"),
+        "diagnostic should explain the mismatch, got: {msg}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// Asking for a lane the cassette never recorded names what *is* there.
+#[test]
+fn missing_lane_is_a_clear_error() {
+    let nada = tiny("abr", 94);
+    let path = scratch_file("lanes.cassette");
+    {
+        let mut rec = RecordingClient::new(MockLlm::gpt4(94))
+            .with_lane("state/fcc", 0)
+            .persist_to(&path)
+            .expect("fresh cassette target");
+        SearchSession::new(&nada, DesignKind::State)
+            .run(&mut rec)
+            .expect("search completes");
+    }
+    let err = ReplayClient::from_file(&path, "arch/fcc", 0).expect_err("lane is absent");
+    let msg = err.to_string();
+    assert!(msg.contains("arch/fcc"), "{msg}");
+    assert!(msg.contains("state/fcc"), "{msg}");
+    std::fs::remove_file(&path).ok();
+}
+
+/// The cassette file itself is the contract: it decodes, carries the
+/// model name, and every entry is fingerprint-tagged with the lane.
+#[test]
+fn cassette_files_carry_provenance() {
+    let nada = tiny("abr", 95);
+    let path = scratch_file("provenance.cassette");
+    {
+        let mut rec = RecordingClient::new(MockLlm::gpt35(95))
+            .with_lane("prov", 2)
+            .persist_to(&path)
+            .expect("fresh cassette target");
+        SearchSession::new(&nada, DesignKind::State)
+            .run(&mut rec)
+            .expect("search completes");
+    }
+    let cassette = Cassette::load(&path).expect("cassette decodes");
+    assert_eq!(cassette.model, "gpt-3.5");
+    assert_eq!(cassette.len(), nada.config().n_candidates);
+    assert!(cassette
+        .entries
+        .iter()
+        .all(|e| e.lane == "prov" && e.round == 2 && e.fingerprint != 0));
+    std::fs::remove_file(&path).ok();
+}

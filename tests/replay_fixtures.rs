@@ -1,0 +1,98 @@
+//! End-to-end searches through the *checked-in* cassette fixtures under
+//! `fixtures/cassettes/` — the offline-CI path: no generator runs, every
+//! completion streams from disk through the verified `ReplayClient`.
+//!
+//! The fixtures were recorded from the deterministic `MockLlm` at `Tiny`
+//! scale, so the test can also re-run the generator and require the
+//! replayed outcome to match bit-for-bit; a drift in the cassette format,
+//! the prompt text, or the mock makes this fail loudly. Regenerate with:
+//!
+//! ```text
+//! NADA_REGEN_FIXTURES=1 cargo test --test replay_fixtures
+//! ```
+//!
+//! Set `NADA_WORKLOAD=abr` or `NADA_WORKLOAD=cc` to restrict the matrix.
+
+use nada::core::{Nada, NadaConfig, RunScale, SearchSession, WorkloadRegistry};
+use nada::llm::{DesignKind, MockLlm, RecordingClient, ReplayClient};
+use nada::traces::dataset::DatasetKind;
+use std::path::PathBuf;
+
+const FIXTURE_SEED: u64 = 2024;
+
+fn workloads() -> Vec<&'static str> {
+    let selected = std::env::var("NADA_WORKLOAD").ok();
+    ["abr", "cc"]
+        .into_iter()
+        .filter(|w| selected.as_deref().is_none_or(|s| s == *w))
+        .collect()
+}
+
+fn tiny(workload: &str) -> Nada {
+    let cfg = NadaConfig::new(DatasetKind::Fcc, RunScale::Tiny, FIXTURE_SEED);
+    let w = WorkloadRegistry::builtin()
+        .build(workload, DatasetKind::Fcc)
+        .unwrap_or_else(|| panic!("`{workload}` must be registered"));
+    Nada::with_workload(cfg, w)
+}
+
+fn fixture_path(workload: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures/cassettes")
+        .join(format!("{workload}.cassette"))
+}
+
+#[test]
+fn checked_in_cassettes_drive_a_full_search_per_workload() {
+    let regen = std::env::var("NADA_REGEN_FIXTURES").is_ok();
+    for workload in workloads() {
+        let nada = tiny(workload);
+        let path = fixture_path(workload);
+        let lane = format!("fixture/{workload}");
+
+        // The reference outcome from the deterministic generator.
+        let mut mock = MockLlm::gpt4(FIXTURE_SEED);
+        let reference = SearchSession::new(&nada, DesignKind::State)
+            .run(&mut mock)
+            .expect("mock search completes");
+
+        if regen {
+            std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir");
+            if path.exists() {
+                std::fs::remove_file(&path).expect("replace old fixture");
+            }
+            let mut rec = RecordingClient::new(MockLlm::gpt4(FIXTURE_SEED))
+                .with_lane(&lane, 0)
+                .persist_to(&path)
+                .expect("fixture target");
+            SearchSession::new(&nada, DesignKind::State)
+                .run(&mut rec)
+                .expect("fixture recording completes");
+            eprintln!("regenerated {}", path.display());
+        }
+
+        let mut replay = ReplayClient::from_file(&path, &lane, 0).unwrap_or_else(|e| {
+            panic!(
+                "{workload}: cannot load fixture {}: {e}\n\
+                 (regenerate with NADA_REGEN_FIXTURES=1 cargo test --test replay_fixtures)",
+                path.display()
+            )
+        });
+        let replayed = SearchSession::new(&nada, DesignKind::State)
+            .run(&mut replay)
+            .expect("fixture replay completes");
+
+        assert_eq!(reference.ranked, replayed.ranked, "{workload}");
+        assert_eq!(
+            reference.best.test_score.to_bits(),
+            replayed.best.test_score.to_bits(),
+            "{workload}"
+        );
+        assert_eq!(reference.precheck, replayed.precheck, "{workload}");
+        assert_eq!(reference.stats, replayed.stats, "{workload}");
+        assert!(
+            replayed.best.test_score.is_finite(),
+            "{workload}: replayed search produced no finite best"
+        );
+    }
+}
