@@ -1,8 +1,35 @@
-//! Criterion benches: DSL compile and the training-loop hot path (eval).
+//! Criterion benches: DSL compile and the training-loop hot path (eval),
+//! plus the end-to-end `train_epoch` cost the batched engine optimizes.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use nada_core::train::{train_design, TrainRunConfig};
+use nada_core::workload::AbrWorkload;
 use nada_dsl::{compile_state, seeds};
+use nada_nn::A2cConfig;
+use nada_traces::dataset::{DatasetKind, DatasetScale, TraceDataset};
 use std::hint::black_box;
+
+/// One full training run at quick scale: 4 epochs × 3 episodes of 48
+/// decisions each, through binding, state eval, policy forward/sampling and
+/// the A2C update — the paper's Table 1 inner loop.
+fn bench_train_epoch(c: &mut Criterion) {
+    let ds = TraceDataset::synthesize(DatasetKind::Fcc, DatasetScale::Tiny, 11);
+    let w = AbrWorkload::for_dataset(DatasetKind::Fcc);
+    let state = seeds::pensieve_state();
+    let arch = seeds::pensieve_arch();
+    let cfg = TrainRunConfig {
+        train_epochs: 4,
+        test_interval: 4,
+        episodes_per_epoch: 3,
+        eval_traces: 2,
+        arch_scale_factor: 16,
+        a2c: A2cConfig::default(),
+        entropy_end: 0.01,
+    };
+    c.bench_function("train_epoch", |b| {
+        b.iter(|| black_box(train_design(&w, &state, &arch, &ds, &cfg, 7).unwrap()))
+    });
+}
 
 fn bench_dsl(c: &mut Criterion) {
     c.bench_function("dsl/compile_pensieve_state", |b| {
@@ -50,7 +77,63 @@ fn bench_dsl(c: &mut Criterion) {
     c.bench_function("dsl/compile_arch", |b| {
         b.iter(|| black_box(nada_dsl::compile_arch(seeds::PENSIEVE_ARCH_SOURCE).unwrap()))
     });
+
+    // The lockstep engine's form: 8 bindings per tick through one arena.
+    // Compare against 8× `dsl/eval_pensieve_state_scratch` — the batched
+    // path also skips the per-step `Vec<Vec<f32>>` output allocation.
+    c.bench_function("dsl/eval_batch", |b| {
+        let state = seeds::pensieve_state();
+        let bindings: Vec<Vec<nada_dsl::Value>> =
+            (0..8).map(|_| state.schema_midpoint_inputs()).collect();
+        let mut scratch = nada_dsl::EvalScratch::default();
+        let mut rows = Vec::new();
+        b.iter(|| {
+            state
+                .eval_batch_with(
+                    bindings.iter().map(|v| v.as_slice()),
+                    &mut scratch,
+                    &mut rows,
+                )
+                .unwrap();
+            black_box(rows.len())
+        })
+    });
 }
 
-criterion_group!(benches, bench_dsl);
+/// The batched inference forward (8 rows per call, quick-scale Pensieve
+/// net) against which `nn/actor_critic_forward_quick` (one caching
+/// forward per call) is the per-row baseline.
+fn bench_forward_batch(c: &mut Criterion) {
+    use nada_nn::{ActorCritic, ArchConfig, FeatureLayout, InferScratch};
+    let state = seeds::pensieve_state();
+    let shapes = state.feature_shapes();
+    let net = ActorCritic::build(
+        &ArchConfig::pensieve_original().scaled_down(16),
+        &shapes,
+        6,
+        1,
+    );
+    let layout = FeatureLayout::new(&shapes);
+    let rows: Vec<f32> = (0..8 * layout.stride())
+        .map(|i| (i % 13) as f32 / 13.0)
+        .collect();
+    c.bench_function("nn/forward_batch", |b| {
+        let mut scratch = InferScratch::default();
+        let mut logits = Vec::new();
+        b.iter(|| {
+            net.policy_batch(&rows, &layout, &mut logits, &mut scratch);
+            black_box(logits.len())
+        })
+    });
+    c.bench_function("nn/values_batch", |b| {
+        let mut scratch = InferScratch::default();
+        let mut values = Vec::new();
+        b.iter(|| {
+            net.values_batch(&rows, &layout, &mut values, &mut scratch);
+            black_box(values.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_dsl, bench_forward_batch, bench_train_epoch);
 criterion_main!(benches);

@@ -9,11 +9,14 @@
 //! workload.
 
 use nada_dsl::Value;
-use nada_sim::netenv::ObsValue;
+use nada_sim::netenv::{NetEnv, ObsValue, StepOutcome};
 use nada_sim::obs::Observation;
 
 /// Converts declared observation values into the schema-ordered DSL
 /// binding.
+///
+/// Allocates a fresh binding per call; hot loops (one binding per decision
+/// step) should hold a [`BindingScratch`] instead.
 pub fn binding_values(obs: &[ObsValue]) -> Vec<Value> {
     obs.iter()
         .map(|v| match v {
@@ -21,6 +24,66 @@ pub fn binding_values(obs: &[ObsValue]) -> Vec<Value> {
             ObsValue::Vector(xs) => Value::Vector(xs.clone()),
         })
         .collect()
+}
+
+/// [`binding_values`] writing into a reusable binding, recycling each
+/// slot's existing allocation. Steady-state use (same field shapes every
+/// step, as the [`NetEnv`] contract guarantees) performs no heap
+/// allocation.
+pub fn bind_into(obs: &[ObsValue], values: &mut Vec<Value>) {
+    values.resize(obs.len(), Value::Scalar(0.0));
+    for (slot, v) in values.iter_mut().zip(obs) {
+        match v {
+            ObsValue::Scalar(x) => match slot {
+                Value::Scalar(s) => *s = *x,
+                other => *other = Value::Scalar(*x),
+            },
+            ObsValue::Vector(xs) => match slot {
+                Value::Vector(dst) => {
+                    dst.clear();
+                    dst.extend_from_slice(xs);
+                }
+                other => *other = Value::Vector(xs.clone()),
+            },
+        }
+    }
+}
+
+/// One environment's reusable observation-to-binding pipeline: the
+/// environment writes observations into the scratch in place
+/// ([`NetEnv::reset_into`]/[`NetEnv::step_into`]), and the scratch rebinds
+/// them positionally to DSL values — zero steady-state allocation, where
+/// the old `binding_values(&env.step(a).obs)` shape allocated one
+/// observation vector plus one value per field per decision step.
+#[derive(Debug, Clone, Default)]
+pub struct BindingScratch {
+    obs: Vec<ObsValue>,
+    values: Vec<Value>,
+}
+
+impl BindingScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets `env` and captures its initial observation.
+    pub fn reset(&mut self, env: &mut dyn NetEnv) {
+        env.reset_into(&mut self.obs);
+        bind_into(&self.obs, &mut self.values);
+    }
+
+    /// Steps `env`, capturing the next observation.
+    pub fn step(&mut self, env: &mut dyn NetEnv, action: usize) -> StepOutcome {
+        let out = env.step_into(action, &mut self.obs);
+        bind_into(&self.obs, &mut self.values);
+        out
+    }
+
+    /// The current schema-ordered DSL binding.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
 }
 
 /// ABR convenience: the binding for a typed simulator observation.
@@ -83,5 +146,46 @@ mod tests {
             values,
             vec![Value::Vector(vec![1.0, 2.0]), Value::Scalar(3.0)]
         );
+    }
+
+    #[test]
+    fn bind_into_matches_binding_values_and_reuses_slots() {
+        let obs = vec![
+            ObsValue::Vector(vec![1.0, 2.0]),
+            ObsValue::Scalar(3.0),
+            ObsValue::Vector(vec![4.0]),
+        ];
+        // Start from mis-shaped, mis-sized contents on purpose.
+        let mut reused = vec![Value::Scalar(9.0); 5];
+        bind_into(&obs, &mut reused);
+        assert_eq!(reused, binding_values(&obs));
+        // Steady state: same shapes again — values refreshed in place.
+        let obs2 = vec![
+            ObsValue::Vector(vec![7.0, 8.0]),
+            ObsValue::Scalar(0.5),
+            ObsValue::Vector(vec![6.0]),
+        ];
+        bind_into(&obs2, &mut reused);
+        assert_eq!(reused, binding_values(&obs2));
+    }
+
+    #[test]
+    fn binding_scratch_tracks_an_environment_episode() {
+        use nada_sim::cc::{CcEnv, CcReward};
+        use nada_traces::Trace;
+        let trace = Trace::from_uniform("flat", 1.0, &[5.0; 300]).unwrap();
+        let mut a = CcEnv::new(&trace, 10, CcReward::default(), 3);
+        let mut b = CcEnv::new(&trace, 10, CcReward::default(), 3);
+
+        let mut scratch = BindingScratch::new();
+        scratch.reset(&mut a);
+        assert_eq!(scratch.values(), &binding_values(&b.reset())[..]);
+        for step in 0..10 {
+            let out = scratch.step(&mut a, step % 7);
+            let reference = b.step(step % 7);
+            assert_eq!(out.reward, reference.reward);
+            assert_eq!(out.done, reference.done);
+            assert_eq!(scratch.values(), &binding_values(&reference.obs)[..]);
+        }
     }
 }

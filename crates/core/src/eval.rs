@@ -5,11 +5,11 @@
 //! emulation evaluations (Table 4) run the same policies through the
 //! workload's emulation-fidelity environments when it has them.
 
-use crate::bind::binding_values;
+use crate::bind::BindingScratch;
 use crate::train::TrainError;
 use crate::workload::Workload;
 use nada_dsl::CompiledState;
-use nada_nn::A2cTrainer;
+use nada_nn::{A2cTrainer, FeatureLayout};
 use nada_sim::netenv::NetEnv;
 use nada_sim::prelude::*;
 use nada_traces::dataset::DatasetKind;
@@ -61,6 +61,12 @@ pub fn evaluate_policy_emu(
     })
 }
 
+/// Lockstep greedy rollout over up to `max_traces` environments: one
+/// batched state evaluation and one batched (inference-only) policy pass
+/// per tick. Greedy acting draws no randomness, so lockstep ordering is
+/// trivially safe; per-trace rewards are still accumulated separately and
+/// summed in trace order, so the mean rounds exactly as a trace-at-a-time
+/// loop's running sum would.
 fn run_eval<'a, F>(
     trainer: &mut A2cTrainer,
     state: &CompiledState,
@@ -72,24 +78,54 @@ where
     F: FnMut(&'a Trace, usize) -> Result<Box<dyn NetEnv + 'a>, TrainError>,
 {
     let n = traces.len().min(max_traces).max(1);
-    let mut total_reward = 0.0;
-    let mut total_steps = 0usize;
+    let layout = FeatureLayout::new(&state.feature_shapes());
+    let stride = layout.stride();
     let mut scratch = nada_dsl::EvalScratch::default();
+
+    let mut envs = Vec::with_capacity(n);
+    let mut bindings = Vec::with_capacity(n);
+    let mut rewards: Vec<Vec<f64>> = Vec::with_capacity(n);
     for (i, trace) in traces.iter().take(n).enumerate() {
         let mut env = make_env(trace, i)?;
-        let mut obs = env.reset();
-        loop {
-            let feats = state
-                .eval_f32_with(&binding_values(&obs), &mut scratch)
-                .map_err(TrainError::StateEval)?;
-            let action = trainer.act_greedy(&feats);
-            let step = env.step(action);
-            total_reward += step.reward;
-            total_steps += 1;
-            obs = step.obs;
-            if step.done {
-                break;
+        let mut binding = BindingScratch::new();
+        binding.reset(env.as_mut());
+        envs.push(env);
+        bindings.push(binding);
+        rewards.push(Vec::new());
+    }
+
+    let mut live: Vec<usize> = (0..envs.len()).collect();
+    let mut rows = Vec::new();
+    let mut actions = Vec::new();
+    while !live.is_empty() {
+        state
+            .eval_batch_with(
+                live.iter().map(|&i| bindings[i].values()),
+                &mut scratch,
+                &mut rows,
+            )
+            .map_err(TrainError::StateEval)?;
+        trainer.act_greedy_batch(&rows, &layout, &mut actions);
+        debug_assert_eq!(actions.len() * stride, rows.len());
+        let mut surviving = 0;
+        for k in 0..live.len() {
+            let i = live[k];
+            let out = bindings[i].step(envs[i].as_mut(), actions[k]);
+            rewards[i].push(out.reward);
+            if !out.done {
+                live[surviving] = i;
+                surviving += 1;
             }
+        }
+        live.truncate(surviving);
+    }
+
+    let mut total_reward = 0.0;
+    let mut total_steps = 0usize;
+    for lane in &rewards {
+        for &r in lane {
+            total_reward += r;
+            total_steps += 1;
         }
     }
     Ok(total_reward / total_steps.max(1) as f64)

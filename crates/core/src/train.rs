@@ -9,12 +9,12 @@
 //! every design for the first `K` epochs, consults the classifier, and only
 //! promising designs continue — without re-running the prefix.
 
-use crate::bind::binding_values;
+use crate::bind::BindingScratch;
 use crate::config::NadaConfig;
 use crate::eval::evaluate_policy;
 use crate::workload::Workload;
 use nada_dsl::{CompiledState, DslError, EvalScratch};
-use nada_nn::{A2cConfig, A2cTrainer, ActorCritic, ArchConfig, EpisodeBuffer};
+use nada_nn::{A2cConfig, A2cTrainer, ActorCritic, ArchConfig, EpisodeBuffer, FeatureLayout};
 use nada_traces::dataset::TraceDataset;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -103,6 +103,38 @@ impl TrainOutcome {
     }
 }
 
+/// Reusable per-epoch buffers of the lockstep rollout engine. Everything
+/// here persists across epochs, so steady-state rollout collection
+/// performs no heap allocation beyond the per-episode environment boxes.
+#[derive(Debug, Clone, Default)]
+struct EngineScratch {
+    /// Pre-drawn `(trace index, env seed)` per episode, in serial order.
+    episode_seeds: Vec<(usize, u64)>,
+    /// One observation→binding pipeline per episode lane.
+    bindings: Vec<BindingScratch>,
+    /// Raw (unscaled) per-step rewards per lane, replayed in serial
+    /// episode order after the rollout so the epoch-reward accumulation
+    /// order — and therefore its floating-point rounding — matches
+    /// episode-at-a-time execution exactly.
+    raw_rewards: Vec<Vec<f64>>,
+    /// Steps taken per lane.
+    steps: Vec<usize>,
+    /// Declared episode length per lane ([`nada_sim::netenv::NetEnv::len_hint`]).
+    lens: Vec<usize>,
+    /// Prefix-sum offsets of each lane's slice of `draws`.
+    offsets: Vec<usize>,
+    /// Pre-drawn action-sampling uniforms, serial episode order.
+    draws: Vec<f32>,
+    /// The live lanes' uniforms for the current tick.
+    tick_draws: Vec<f32>,
+    /// The live lanes' chosen actions for the current tick.
+    actions: Vec<usize>,
+    /// The live lanes' flat feature rows for the current tick.
+    rows: Vec<f32>,
+    /// Indices of lanes still running.
+    live: Vec<usize>,
+}
+
 /// A resumable training session for one `(state, arch)` design and seed.
 pub struct DesignTrainer<'a> {
     workload: &'a dyn Workload,
@@ -113,12 +145,24 @@ pub struct DesignTrainer<'a> {
     rng: StdRng,
     epoch: usize,
     outcome: TrainOutcome,
-    /// Reused state-program evaluation buffer (one eval per decision step;
-    /// a fresh environment per step was the pipeline's hottest allocation).
+    /// Reused state-program evaluation arena (shared by every decision
+    /// step of every episode; a fresh environment per step was the
+    /// pipeline's hottest allocation).
     scratch: EvalScratch,
     /// Learner-side reward scale (see [`Workload::reward_scale`]). Reported
     /// curves and test scores stay in raw reward units.
     reward_scale: f64,
+    /// Flat-row layout of the design's features.
+    layout: FeatureLayout,
+    /// Episode buffers reused across epochs (capacity from the workload's
+    /// typical episode length).
+    episodes: Vec<EpisodeBuffer>,
+    /// Lockstep-engine buffers reused across epochs.
+    engine: EngineScratch,
+    /// Test hook: route every epoch through the episode-at-a-time rollout
+    /// (equivalence tests assert it matches the lockstep rollout bit for
+    /// bit).
+    force_serial: bool,
 }
 
 impl<'a> DesignTrainer<'a> {
@@ -139,6 +183,7 @@ impl<'a> DesignTrainer<'a> {
             seed,
         );
         let trainer = A2cTrainer::new(net, cfg.a2c, seed);
+        let layout = FeatureLayout::new(&state.feature_shapes());
         Self {
             workload,
             state,
@@ -153,7 +198,18 @@ impl<'a> DesignTrainer<'a> {
             },
             scratch: EvalScratch::default(),
             reward_scale: workload.reward_scale(),
+            layout,
+            episodes: Vec::new(),
+            engine: EngineScratch::default(),
+            force_serial: false,
         }
+    }
+
+    /// Routes every rollout through the episode-at-a-time path (tests
+    /// assert both paths produce bit-identical outcomes).
+    #[cfg(test)]
+    fn force_serial_rollout(&mut self) {
+        self.force_serial = true;
     }
 
     /// Epochs completed so far.
@@ -196,35 +252,8 @@ impl<'a> DesignTrainer<'a> {
             let coeff = self.cfg.a2c.entropy_coeff
                 + (self.cfg.entropy_end - self.cfg.a2c.entropy_coeff) * progress;
             self.trainer.set_entropy_coeff(coeff);
-            let mut episodes = Vec::with_capacity(self.cfg.episodes_per_epoch);
-            let mut epoch_reward = 0.0f64;
-            let mut epoch_steps = 0usize;
-            for _ in 0..self.cfg.episodes_per_epoch {
-                let trace = &self.dataset.train[self.rng.gen_range(0..self.dataset.train.len())];
-                let mut env = self.workload.train_env(trace, self.rng.gen::<u64>());
-                let mut obs = env.reset();
-                let mut buf = EpisodeBuffer::new();
-                loop {
-                    let feats = self
-                        .state
-                        .eval_f32_with(&binding_values(&obs), &mut self.scratch)
-                        .map_err(TrainError::StateEval)?;
-                    let action = self.trainer.act_stochastic(&feats);
-                    let step = env.step(action);
-                    epoch_reward += step.reward;
-                    epoch_steps += 1;
-                    buf.push(feats, action, (step.reward * self.reward_scale) as f32);
-                    obs = step.obs;
-                    if step.done {
-                        break;
-                    }
-                }
-                episodes.push(buf);
-            }
-            self.trainer.update(&episodes);
-            self.outcome
-                .reward_curve
-                .push(epoch_reward / epoch_steps.max(1) as f64);
+
+            self.run_epoch()?;
             self.epoch += 1;
 
             if self.epoch.is_multiple_of(self.cfg.test_interval) {
@@ -239,6 +268,216 @@ impl<'a> DesignTrainer<'a> {
                     epoch: self.epoch,
                     test_score: score,
                 });
+            }
+        }
+        Ok(())
+    }
+
+    /// Makes sure episode buffer `i` exists (capacity sized from the
+    /// workload's typical episode length) and is cleared for refill.
+    fn reuse_episode_buffer(&mut self, i: usize) {
+        if self.episodes.len() <= i {
+            self.episodes.push(EpisodeBuffer::with_capacity(
+                self.workload.typical_episode_len(),
+                self.layout.stride(),
+            ));
+        }
+        self.episodes[i].clear();
+    }
+
+    /// One epoch: roll out `episodes_per_epoch` episodes and apply one A2C
+    /// update.
+    ///
+    /// Episode randomness is pre-drawn in serial episode order — the
+    /// `(trace, env-seed)` pair per episode, then (when every environment
+    /// declares its exact length via `len_hint`) one action-sampling
+    /// uniform per step — so the lockstep rollout consumes both RNG
+    /// streams exactly as episode-at-a-time execution would, and per-seed
+    /// results are bit-identical either way. Environments without a length
+    /// hint fall back to the episode-at-a-time rollout.
+    fn run_epoch(&mut self) -> Result<(), TrainError> {
+        let n_eps = self.cfg.episodes_per_epoch;
+        self.engine.episode_seeds.clear();
+        for _ in 0..n_eps {
+            let trace = self.rng.gen_range(0..self.dataset.train.len());
+            let seed = self.rng.gen::<u64>();
+            self.engine.episode_seeds.push((trace, seed));
+        }
+        for i in 0..n_eps {
+            self.reuse_episode_buffer(i);
+        }
+
+        let workload = self.workload;
+        let dataset = self.dataset;
+        let mut envs: Vec<_> = self
+            .engine
+            .episode_seeds
+            .iter()
+            .map(|&(trace, seed)| workload.train_env(&dataset.train[trace], seed))
+            .collect();
+
+        let all_hinted = envs.iter().all(|e| e.len_hint().is_some());
+        if all_hinted && !self.force_serial {
+            self.rollout_lockstep(&mut envs)?;
+        } else {
+            self.rollout_serial(&mut envs)?;
+        }
+
+        // Replay the per-step rewards in serial episode order, so the
+        // accumulated epoch reward rounds exactly as the serial rollout's
+        // single running sum did.
+        let mut epoch_reward = 0.0f64;
+        let mut epoch_steps = 0usize;
+        for lane in &self.engine.raw_rewards[..n_eps] {
+            for &r in lane {
+                epoch_reward += r;
+                epoch_steps += 1;
+            }
+        }
+
+        self.trainer.update(&self.episodes[..n_eps]);
+        self.outcome
+            .reward_curve
+            .push(epoch_reward / epoch_steps.max(1) as f64);
+        Ok(())
+    }
+
+    /// Lockstep rollout: every tick evaluates the state program over all
+    /// live episodes through one batched call, selects all actions through
+    /// one batched (inference-only) network pass, and advances every
+    /// environment, retiring finished lanes. O(1) heap allocations per
+    /// epoch in steady state.
+    fn rollout_lockstep(
+        &mut self,
+        envs: &mut [Box<dyn nada_sim::netenv::NetEnv + 'a>],
+    ) -> Result<(), TrainError> {
+        let Self {
+            state,
+            trainer,
+            scratch,
+            layout,
+            episodes,
+            engine: e,
+            reward_scale,
+            ..
+        } = self;
+        let n_eps = envs.len();
+        e.bindings.resize_with(n_eps, BindingScratch::new);
+        e.raw_rewards.resize_with(n_eps, Vec::new);
+        e.lens.clear();
+        e.offsets.clear();
+        e.steps.clear();
+        let mut total = 0usize;
+        for (i, env) in envs.iter_mut().enumerate() {
+            e.bindings[i].reset(env.as_mut());
+            e.raw_rewards[i].clear();
+            let len = env
+                .len_hint()
+                .expect("rollout_lockstep requires length hints");
+            e.offsets.push(total);
+            e.lens.push(len);
+            e.steps.push(0);
+            total += len;
+        }
+        // One uniform per step, drawn in serial episode order (see
+        // `A2cTrainer::draw_uniforms`).
+        trainer.draw_uniforms(total, &mut e.draws);
+
+        e.live.clear();
+        e.live.extend(0..n_eps);
+        let stride = layout.stride();
+        while !e.live.is_empty() {
+            let EngineScratch {
+                bindings,
+                live,
+                rows,
+                ..
+            } = &mut *e;
+            state
+                .eval_batch_with(live.iter().map(|&i| bindings[i].values()), scratch, rows)
+                .map_err(TrainError::StateEval)?;
+            e.tick_draws.clear();
+            for &i in &e.live {
+                e.tick_draws.push(e.draws[e.offsets[i] + e.steps[i]]);
+            }
+            trainer.act_stochastic_batch(&e.rows, layout, &e.tick_draws, &mut e.actions);
+
+            let mut surviving = 0;
+            for k in 0..e.live.len() {
+                let i = e.live[k];
+                let action = e.actions[k];
+                let row = &e.rows[k * stride..(k + 1) * stride];
+                let out = e.bindings[i].step(envs[i].as_mut(), action);
+                episodes[i].push_row(
+                    row,
+                    layout.lens(),
+                    action,
+                    (out.reward * *reward_scale) as f32,
+                );
+                e.raw_rewards[i].push(out.reward);
+                e.steps[i] += 1;
+                assert_eq!(
+                    out.done,
+                    e.steps[i] == e.lens[i],
+                    "environment len_hint contract violation: lane {i} declared {} steps \
+                     but finished after {}",
+                    e.lens[i],
+                    e.steps[i],
+                );
+                if !out.done {
+                    e.live[surviving] = i;
+                    surviving += 1;
+                }
+            }
+            e.live.truncate(surviving);
+        }
+        Ok(())
+    }
+
+    /// Episode-at-a-time rollout (environments without a length hint).
+    /// Consumes both RNG streams in exactly the same order as the lockstep
+    /// path — one `(trace, seed)` pair per episode, then one uniform per
+    /// step in serial episode order — so mixing the two across epochs
+    /// keeps per-seed determinism.
+    fn rollout_serial(
+        &mut self,
+        envs: &mut [Box<dyn nada_sim::netenv::NetEnv + 'a>],
+    ) -> Result<(), TrainError> {
+        let Self {
+            state,
+            trainer,
+            scratch,
+            layout,
+            episodes,
+            engine: e,
+            reward_scale,
+            ..
+        } = self;
+        let n_eps = envs.len();
+        e.bindings.resize_with(n_eps, BindingScratch::new);
+        e.raw_rewards.resize_with(n_eps, Vec::new);
+        for (i, env) in envs.iter_mut().enumerate() {
+            e.raw_rewards[i].clear();
+            e.bindings[i].reset(env.as_mut());
+            loop {
+                let EngineScratch { bindings, rows, .. } = &mut *e;
+                state
+                    .eval_batch_with(std::iter::once(bindings[i].values()), scratch, rows)
+                    .map_err(TrainError::StateEval)?;
+                trainer.draw_uniforms(1, &mut e.tick_draws);
+                trainer.act_stochastic_batch(&e.rows, layout, &e.tick_draws, &mut e.actions);
+                let action = e.actions[0];
+                let out = e.bindings[i].step(env.as_mut(), action);
+                episodes[i].push_row(
+                    &e.rows,
+                    layout.lens(),
+                    action,
+                    (out.reward * *reward_scale) as f32,
+                );
+                e.raw_rewards[i].push(out.reward);
+                if out.done {
+                    break;
+                }
             }
         }
         Ok(())
@@ -341,6 +580,44 @@ mod tests {
         assert_eq!(out.reward_curve.len(), 20);
         assert_eq!(out.checkpoints.len(), 2);
         assert!(out.reward_curve.iter().all(|r| r.is_finite()));
+    }
+
+    #[test]
+    fn lockstep_rollout_equals_serial_rollout_bitwise() {
+        // The determinism contract of the batched engine: running all
+        // episodes of an epoch in lockstep (batched state eval, batched
+        // policy forward, pre-drawn randomness) must be indistinguishable
+        // from running them one at a time — reward curves, checkpoint
+        // scores and the trained policy's RNG stream all bit-identical.
+        for (w, state, arch) in [
+            (
+                &AbrWorkload::for_dataset(DatasetKind::Fcc) as &dyn Workload,
+                seeds::pensieve_state(),
+                seeds::pensieve_arch(),
+            ),
+            (
+                &CcWorkload::for_dataset(DatasetKind::Fcc) as &dyn Workload,
+                seeds::cc_state(),
+                seeds::cc_arch(),
+            ),
+        ] {
+            let ds = TraceDataset::synthesize(DatasetKind::Fcc, DatasetScale::Tiny, 13);
+            let cfg = TrainRunConfig {
+                episodes_per_epoch: 3,
+                ..tiny_cfg()
+            };
+            let mut lockstep = DesignTrainer::new(w, &state, &arch, &ds, cfg, 21);
+            lockstep.run_until(12).unwrap();
+            let mut serial = DesignTrainer::new(w, &state, &arch, &ds, cfg, 21);
+            serial.force_serial_rollout();
+            serial.run_until(12).unwrap();
+            assert_eq!(
+                lockstep.into_outcome(),
+                serial.into_outcome(),
+                "{} lockstep vs serial",
+                w.name()
+            );
+        }
     }
 
     #[test]

@@ -77,6 +77,13 @@ pub trait Workload: Send + Sync {
         false
     }
 
+    /// Typical decision steps per training episode — a capacity hint for
+    /// the trainer's reusable episode buffers, not a contract (exact
+    /// lengths come from [`nada_sim::netenv::NetEnv::len_hint`]).
+    fn typical_episode_len(&self) -> usize {
+        64
+    }
+
     /// Compiles the seed state program against the workload schema.
     ///
     /// # Panics
@@ -216,6 +223,10 @@ impl Workload for AbrWorkload {
     fn has_emulation(&self) -> bool {
         true
     }
+
+    fn typical_episode_len(&self) -> usize {
+        self.manifest.n_chunks()
+    }
 }
 
 /// Decision intervals per CC episode (12 s at 100 ms per tick). Still
@@ -302,6 +313,10 @@ impl Workload for CcWorkload {
 
     fn eval_env<'a>(&'a self, trace: &'a Trace, _index: usize) -> Box<dyn NetEnv + 'a> {
         Box::new(CcEnv::deterministic(trace, self.episode_ticks, self.reward))
+    }
+
+    fn typical_episode_len(&self) -> usize {
+        self.episode_ticks
     }
 }
 

@@ -55,32 +55,48 @@ pub enum NormCheckOutcome {
 
 /// Draws one random input binding from the schema's fuzz ranges.
 pub fn random_inputs(state: &CompiledState, rng: &mut StdRng) -> Vec<Value> {
-    state
-        .schema()
-        .specs()
-        .iter()
-        .map(|spec| {
-            let draw = |rng: &mut StdRng| {
-                if spec.fuzz_lo == spec.fuzz_hi {
-                    spec.fuzz_lo
-                } else {
-                    rng.gen_range(spec.fuzz_lo..=spec.fuzz_hi)
-                }
-            };
-            match spec.ty {
-                crate::ast::InputType::Scalar => Value::Scalar(draw(rng)),
-                crate::ast::InputType::Vec(n) => Value::Vector((0..n).map(|_| draw(rng)).collect()),
+    let mut out = Vec::new();
+    random_inputs_into(state, rng, &mut out);
+    out
+}
+
+/// [`random_inputs`] writing into a reusable binding buffer — same draws in
+/// the same order (so results are bit-identical), but steady-state reuse
+/// performs no heap allocation.
+pub fn random_inputs_into(state: &CompiledState, rng: &mut StdRng, out: &mut Vec<Value>) {
+    let specs = state.schema().specs();
+    out.resize(specs.len(), Value::Scalar(0.0));
+    for (slot, spec) in out.iter_mut().zip(specs) {
+        let draw = |rng: &mut StdRng| {
+            if spec.fuzz_lo == spec.fuzz_hi {
+                spec.fuzz_lo
+            } else {
+                rng.gen_range(spec.fuzz_lo..=spec.fuzz_hi)
             }
-        })
-        .collect()
+        };
+        match spec.ty {
+            crate::ast::InputType::Scalar => match slot {
+                Value::Scalar(s) => *s = draw(rng),
+                other => *other = Value::Scalar(draw(rng)),
+            },
+            crate::ast::InputType::Vec(n) => match slot {
+                Value::Vector(dst) => {
+                    dst.clear();
+                    dst.extend((0..n).map(|_| draw(rng)));
+                }
+                other => *other = Value::Vector((0..n).map(|_| draw(rng)).collect()),
+            },
+        }
+    }
 }
 
 /// Runs the paper's normalization check on a compiled state program.
 pub fn normalization_check(state: &CompiledState, cfg: &FuzzConfig) -> NormCheckOutcome {
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ FUZZ_SEED);
     let mut scratch = crate::interp::EvalScratch::default();
+    let mut inputs = Vec::new();
     for _ in 0..cfg.runs {
-        let inputs = random_inputs(state, &mut rng);
+        random_inputs_into(state, &mut rng, &mut inputs);
         let features = match state.eval_with(&inputs, &mut scratch) {
             Ok(f) => f,
             Err(e) => return NormCheckOutcome::EvalError(e),
@@ -98,6 +114,115 @@ pub fn normalization_check(state: &CompiledState, cfg: &FuzzConfig) -> NormCheck
     NormCheckOutcome::Pass
 }
 
+/// Generates a random, shape-correct state-program source over `schema` —
+/// a stream of diverse designs for property tests (e.g. batched-vs-serial
+/// evaluation equivalence). Programs are syntactically and shape-valid by
+/// construction, but may still fail [`crate::compile_state_with_schema`]'s
+/// trial run (a random division can be non-finite at the midpoint);
+/// callers should skip those, exactly as the pipeline's §2.2 compilation
+/// check does.
+pub fn random_state_source(schema: &crate::schema::InputSchema, rng: &mut StdRng) -> String {
+    let specs = schema.specs();
+    let vec_inputs: Vec<&str> = specs
+        .iter()
+        .filter(|s| matches!(s.ty, crate::ast::InputType::Vec(_)))
+        .map(|s| s.name)
+        .collect();
+    let scalar_inputs: Vec<&str> = specs
+        .iter()
+        .filter(|s| matches!(s.ty, crate::ast::InputType::Scalar))
+        .map(|s| s.name)
+        .collect();
+
+    fn scalar_expr(rng: &mut StdRng, depth: usize, vecs: &[&str], scalars: &[&str]) -> String {
+        let leaf = depth == 0 || rng.gen_bool(0.3);
+        if leaf {
+            if !scalars.is_empty() && rng.gen_bool(0.6) {
+                format!("{} / 100.0", scalars[rng.gen_range(0..scalars.len())])
+            } else {
+                format!("{:.2}", rng.gen_range(-4.0..4.0))
+            }
+        } else {
+            // The reducer arm needs a vector to reduce; schemas without
+            // vector inputs skip it.
+            let arm = if vecs.is_empty() {
+                rng.gen_range(1..4u32)
+            } else {
+                rng.gen_range(0..4u32)
+            };
+            match arm {
+                0 => {
+                    const REDUCERS: [&str; 9] = [
+                        "mean",
+                        "std",
+                        "last",
+                        "first",
+                        "min",
+                        "max",
+                        "trend",
+                        "predict_next",
+                        "harmonic_mean",
+                    ];
+                    let f = REDUCERS[rng.gen_range(0..REDUCERS.len())];
+                    format!("{f}({}) / 50.0", vec_expr(rng, depth - 1, vecs, scalars))
+                }
+                1 => format!("-({})", scalar_expr(rng, depth - 1, vecs, scalars)),
+                2 => {
+                    const OPS: [&str; 3] = ["+", "-", "*"];
+                    let op = OPS[rng.gen_range(0..OPS.len())];
+                    format!(
+                        "({}) {op} ({})",
+                        scalar_expr(rng, depth - 1, vecs, scalars),
+                        scalar_expr(rng, depth - 1, vecs, scalars)
+                    )
+                }
+                _ => format!("abs({})", scalar_expr(rng, depth - 1, vecs, scalars)),
+            }
+        }
+    }
+
+    fn vec_expr(rng: &mut StdRng, depth: usize, vecs: &[&str], scalars: &[&str]) -> String {
+        let name = vecs[rng.gen_range(0..vecs.len())];
+        let base = format!("{name} / 1000.0");
+        if depth == 0 {
+            return base;
+        }
+        match rng.gen_range(0..5u32) {
+            0 => format!("ema({base}, 0.5)"),
+            1 => format!("zscore({name})"),
+            2 => format!("savgol({base})"),
+            3 => format!(
+                "clip(({}) * ({}), -50.0, 50.0)",
+                base,
+                scalar_expr(rng, depth - 1, vecs, scalars)
+            ),
+            _ => base,
+        }
+    }
+
+    let mut src = String::from("state fuzzed {\n");
+    for spec in specs {
+        let ty = match spec.ty {
+            crate::ast::InputType::Scalar => "scalar".to_string(),
+            crate::ast::InputType::Vec(n) => format!("vec[{n}]"),
+        };
+        src.push_str(&format!("  input {}: {};\n", spec.name, ty));
+    }
+    let n_features = rng.gen_range(1..=5);
+    for i in 0..n_features {
+        let expr = if !vec_inputs.is_empty() && rng.gen_bool(0.5) {
+            vec_expr(rng, 2, &vec_inputs, &scalar_inputs)
+        } else if vec_inputs.is_empty() {
+            scalar_expr(rng, 2, &[], &scalar_inputs)
+        } else {
+            scalar_expr(rng, 2, &vec_inputs, &scalar_inputs)
+        };
+        src.push_str(&format!("  feature f{i} = {expr};\n"));
+    }
+    src.push('}');
+    src
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +235,23 @@ mod tests {
                 seed,
                 ..Self::default()
             }
+        }
+    }
+
+    #[test]
+    fn random_sources_handle_scalar_only_schemas() {
+        use crate::schema::{InputSchema, InputSpec};
+        let schema = InputSchema::new(vec![InputSpec {
+            name: "buffer_s",
+            ty: crate::ast::InputType::Scalar,
+            fuzz_lo: 0.0,
+            fuzz_hi: 60.0,
+            doc: "scalar-only schema",
+        }]);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let src = random_state_source(&schema, &mut rng);
+            assert!(src.contains("state fuzzed"), "generator produced: {src}");
         }
     }
 

@@ -11,8 +11,8 @@ use crate::check::{check_state, CheckedState};
 use crate::error::DslError;
 use crate::parser::parse_state;
 use crate::schema::{abr_schema, InputSchema};
-use crate::stdlib::function_eval;
-use crate::value::{binary_eval, Value};
+use crate::stdlib::function_eval_in;
+use crate::value::{binary_eval_in, Value, VecPool};
 use nada_nn::FeatureShape;
 use std::borrow::Cow;
 
@@ -146,25 +146,31 @@ impl CompiledState {
                 });
             }
         }
-        scratch.features.clear();
-        scratch
-            .features
-            .reserve(self.checked.program.features.len());
+        let EvalScratch {
+            features,
+            pool,
+            call_args,
+        } = scratch;
+        for v in features.drain(..) {
+            pool.recycle(v);
+        }
+        features.reserve(self.checked.program.features.len());
         for (n_computed, feat) in self.checked.program.features.iter().enumerate() {
             let v = {
                 let env = Env {
                     checked: &self.checked,
                     inputs,
-                    features: &scratch.features[..n_computed],
+                    features: &features[..n_computed],
                 };
-                eval_expr(&feat.expr, &env)?.into_owned()
+                let cow = eval_expr(&feat.expr, &env, pool, call_args)?;
+                own_value(cow, pool)
             };
             if !v.is_finite() {
                 return Err(DslError::NonFinite {
                     feature: feat.name.clone(),
                 });
             }
-            scratch.features.push(v);
+            features.push(v);
         }
         Ok(&scratch.features)
     }
@@ -191,15 +197,52 @@ impl CompiledState {
             .map(|v| v.as_slice().iter().map(|&x| x as f32).collect())
             .collect())
     }
+
+    /// Evaluates the program over a batch of bindings, appending each row's
+    /// features to `out` as one flat `f32` row (features concatenated in
+    /// program order, vectors flattened — the layout
+    /// `nada_nn::FeatureLayout` describes). Returns the number of rows
+    /// written.
+    ///
+    /// This is the batched engine's form: one [`EvalScratch`] arena is
+    /// reused across every row of every call, so after warm-up the whole
+    /// evaluation performs no heap allocation (`out` included, once its
+    /// capacity has grown to the batch size). Row values are bit-identical
+    /// to per-binding [`CompiledState::eval_f32_with`].
+    pub fn eval_batch_with<'b, I>(
+        &self,
+        bindings: I,
+        scratch: &mut EvalScratch,
+        out: &mut Vec<f32>,
+    ) -> Result<usize, DslError>
+    where
+        I: IntoIterator<Item = &'b [Value]>,
+    {
+        out.clear();
+        let mut rows = 0;
+        for binding in bindings {
+            let features = self.eval_with(binding, scratch)?;
+            for v in features {
+                out.extend(v.as_slice().iter().map(|&x| x as f32));
+            }
+            rows += 1;
+        }
+        Ok(rows)
+    }
 }
 
-/// Reusable evaluation state: holds the computed-feature buffer so a
-/// training loop evaluating once per step allocates no environment per
-/// call. Create once (cheap, empty) and pass to
-/// [`CompiledState::eval_with`] / [`CompiledState::eval_f32_with`].
+/// Reusable evaluation state: the computed-feature buffer, a recycling
+/// arena for every vector the evaluator produces (features, intermediate
+/// binary/stdlib results), and a stack of call-argument buffers. A training
+/// loop evaluating once per step through one scratch performs no heap
+/// allocation after the first evaluation warms the arena. Create once
+/// (cheap, empty) and pass to [`CompiledState::eval_with`] /
+/// [`CompiledState::eval_f32_with`] / [`CompiledState::eval_batch_with`].
 #[derive(Debug, Clone, Default)]
 pub struct EvalScratch {
     features: Vec<Value>,
+    pool: VecPool,
+    call_args: Vec<Vec<Value>>,
 }
 
 /// Name-resolution environment: declared inputs are *borrowed* from the
@@ -232,7 +275,33 @@ impl<'a> Env<'a> {
     }
 }
 
-fn eval_expr<'e>(expr: &'e Expr, env: &Env<'e>) -> Result<Cow<'e, Value>, DslError> {
+/// Turns a `Cow` evaluation result into an owned value, cloning borrowed
+/// vectors through the pool instead of a fresh allocation.
+fn own_value(cow: Cow<'_, Value>, pool: &mut VecPool) -> Value {
+    match cow {
+        Cow::Owned(v) => v,
+        Cow::Borrowed(Value::Scalar(x)) => Value::Scalar(*x),
+        Cow::Borrowed(Value::Vector(xs)) => {
+            let mut out = pool.take();
+            out.extend_from_slice(xs);
+            Value::Vector(out)
+        }
+    }
+}
+
+/// Recycles an evaluation result's payload if the result was a temporary.
+fn recycle_cow(cow: Cow<'_, Value>, pool: &mut VecPool) {
+    if let Cow::Owned(v) = cow {
+        pool.recycle(v);
+    }
+}
+
+fn eval_expr<'e>(
+    expr: &'e Expr,
+    env: &Env<'e>,
+    pool: &mut VecPool,
+    call_args: &mut Vec<Vec<Value>>,
+) -> Result<Cow<'e, Value>, DslError> {
     match expr {
         Expr::Number(n) => Ok(Cow::Owned(Value::Scalar(*n))),
         Expr::Ident(name) => env
@@ -240,7 +309,7 @@ fn eval_expr<'e>(expr: &'e Expr, env: &Env<'e>) -> Result<Cow<'e, Value>, DslErr
             .map(Cow::Borrowed)
             .ok_or_else(|| DslError::UnknownInput { name: name.clone() }),
         Expr::Neg(inner) => {
-            let v = eval_expr(inner, env)?;
+            let v = eval_expr(inner, env, pool, call_args)?;
             Ok(Cow::Owned(match v {
                 Cow::Owned(Value::Scalar(x)) => Value::Scalar(-x),
                 Cow::Owned(Value::Vector(mut xs)) => {
@@ -251,20 +320,34 @@ fn eval_expr<'e>(expr: &'e Expr, env: &Env<'e>) -> Result<Cow<'e, Value>, DslErr
                     Value::Vector(xs)
                 }
                 Cow::Borrowed(Value::Scalar(x)) => Value::Scalar(-x),
-                Cow::Borrowed(Value::Vector(xs)) => Value::Vector(xs.iter().map(|x| -x).collect()),
+                Cow::Borrowed(Value::Vector(xs)) => {
+                    let mut out = pool.take();
+                    out.extend(xs.iter().map(|x| -x));
+                    Value::Vector(out)
+                }
             }))
         }
         Expr::Binary { op, lhs, rhs } => {
-            let l = eval_expr(lhs, env)?;
-            let r = eval_expr(rhs, env)?;
-            binary_eval(*op, &l, &r).map(Cow::Owned)
+            let l = eval_expr(lhs, env, pool, call_args)?;
+            let r = eval_expr(rhs, env, pool, call_args)?;
+            let result = binary_eval_in(*op, &l, &r, pool).map(Cow::Owned);
+            recycle_cow(l, pool);
+            recycle_cow(r, pool);
+            result
         }
         Expr::Call { name, args } => {
-            let mut vals = Vec::with_capacity(args.len());
+            let mut vals = call_args.pop().unwrap_or_default();
+            debug_assert!(vals.is_empty());
             for a in args {
-                vals.push(eval_expr(a, env)?.into_owned());
+                let cow = eval_expr(a, env, pool, call_args)?;
+                vals.push(own_value(cow, pool));
             }
-            function_eval(name, &vals).map(Cow::Owned)
+            let result = function_eval_in(name, &vals, pool).map(Cow::Owned);
+            for v in vals.drain(..) {
+                pool.recycle(v);
+            }
+            call_args.push(vals);
+            result
         }
     }
 }

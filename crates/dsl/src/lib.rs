@@ -48,7 +48,7 @@ pub use arch::compile_arch;
 pub use ast::{ArchProgram, Expr, FeatureDecl, InputDecl, InputType, StateProgram};
 pub use check::CheckedState;
 pub use error::DslError;
-pub use fuzz::{normalization_check, FuzzConfig};
+pub use fuzz::{normalization_check, random_state_source, FuzzConfig};
 pub use interp::{compile_state, compile_state_with_schema, CompiledState, EvalScratch};
 pub use schema::{abr_schema, cc_schema, InputSchema, InputSpec};
-pub use value::Value;
+pub use value::{Value, VecPool};

@@ -7,7 +7,7 @@
 //! normalization helpers (`clip`, `remap`, `zscore`).
 
 use crate::error::DslError;
-use crate::value::{Shape, Value};
+use crate::value::{Shape, Value, VecPool};
 
 /// Indices of arguments that must be numeric literals (known at check time).
 pub fn literal_arg_indices(name: &str) -> &'static [usize] {
@@ -127,6 +127,13 @@ pub fn function_shape(
 /// [`function_shape`]; violations found here indicate interpreter bugs and
 /// surface as `ShapeMismatch` errors rather than panics.
 pub fn function_eval(name: &str, args: &[Value]) -> Result<Value, DslError> {
+    function_eval_in(name, args, &mut VecPool::default())
+}
+
+/// [`function_eval`] drawing result vectors from a [`VecPool`] — the
+/// hot-path form. Identical arithmetic (bit-identical results); only the
+/// provenance of output buffers differs.
+pub fn function_eval_in(name: &str, args: &[Value], pool: &mut VecPool) -> Result<Value, DslError> {
     let vector = |i: usize| -> Result<&[f64], DslError> {
         match &args[i] {
             Value::Vector(v) => Ok(v),
@@ -136,28 +143,34 @@ pub fn function_eval(name: &str, args: &[Value]) -> Result<Value, DslError> {
         }
     };
     let scalar = |i: usize| args[i].expect_scalar();
-    let map = |v: &Value, f: &dyn Fn(f64) -> f64| match v {
-        Value::Scalar(x) => Value::Scalar(f(*x)),
-        Value::Vector(xs) => Value::Vector(xs.iter().map(|&x| f(x)).collect()),
-    };
+    fn map(v: &Value, f: impl Fn(f64) -> f64, pool: &mut VecPool) -> Value {
+        match v {
+            Value::Scalar(x) => Value::Scalar(f(*x)),
+            Value::Vector(xs) => {
+                let mut out = pool.take();
+                out.extend(xs.iter().map(|&x| f(x)));
+                Value::Vector(out)
+            }
+        }
+    }
     Ok(match name {
         "ema" => {
             let xs = vector(0)?;
             let alpha = scalar(1);
             let mut acc = xs.first().copied().unwrap_or(0.0);
-            Value::Vector(
-                xs.iter()
-                    .map(|&x| {
-                        acc = alpha * x + (1.0 - alpha) * acc;
-                        acc
-                    })
-                    .collect(),
-            )
+            let mut out = pool.take();
+            out.extend(xs.iter().map(|&x| {
+                acc = alpha * x + (1.0 - alpha) * acc;
+                acc
+            }));
+            Value::Vector(out)
         }
         "tail" => {
             let xs = vector(0)?;
             let k = scalar(1) as usize;
-            Value::Vector(xs[xs.len() - k..].to_vec())
+            let mut out = pool.take();
+            out.extend_from_slice(&xs[xs.len() - k..]);
+            Value::Vector(out)
         }
         "mean" => Value::Scalar(mean(vector(0)?)),
         "variance" => Value::Scalar(variance(vector(0)?)),
@@ -180,29 +193,38 @@ pub fn function_eval(name: &str, args: &[Value]) -> Result<Value, DslError> {
         }
         "diff" => {
             let xs = vector(0)?;
-            Value::Vector(xs.windows(2).map(|w| w[1] - w[0]).collect())
+            let mut out = pool.take();
+            out.extend(xs.windows(2).map(|w| w[1] - w[0]));
+            Value::Vector(out)
         }
-        "savgol" => Value::Vector(savgol5(vector(0)?)),
+        "savgol" => {
+            let xs = vector(0)?;
+            let mut out = pool.take();
+            savgol5_into(xs, &mut out);
+            Value::Vector(out)
+        }
         "zscore" => {
             let xs = vector(0)?;
             let m = mean(xs);
             let s = variance(xs).sqrt().max(1e-9);
-            Value::Vector(xs.iter().map(|&x| (x - m) / s).collect())
+            let mut out = pool.take();
+            out.extend(xs.iter().map(|&x| (x - m) / s));
+            Value::Vector(out)
         }
         "clip" => {
             let (lo, hi) = (scalar(1), scalar(2));
-            map(&args[0], &|x| x.clamp(lo, hi))
+            map(&args[0], |x| x.clamp(lo, hi), pool)
         }
         "remap" => {
             // Affine map of the nominal [0, 1] range onto [lo, hi]; the
             // paper's discovered FCC states use remap(x, -1, 1).
             let (lo, hi) = (scalar(1), scalar(2));
-            map(&args[0], &|x| lo + x * (hi - lo))
+            map(&args[0], |x| lo + x * (hi - lo), pool)
         }
-        "log1p" => map(&args[0], &|x| (1.0 + x.max(0.0)).ln()),
-        "sqrt" => map(&args[0], &|x| x.max(0.0).sqrt()),
-        "abs" => map(&args[0], &f64::abs),
-        "recip" => map(&args[0], &|x| 1.0 / (x + 1e-6)),
+        "log1p" => map(&args[0], |x| (1.0 + x.max(0.0)).ln(), pool),
+        "sqrt" => map(&args[0], |x| x.max(0.0).sqrt(), pool),
+        "abs" => map(&args[0], f64::abs, pool),
+        "recip" => map(&args[0], |x| 1.0 / (x + 1e-6), pool),
         _ => return Err(DslError::UnknownFunction { name: name.into() }),
     })
 }
@@ -237,15 +259,15 @@ fn ols(xs: &[f64]) -> (f64, f64) {
 }
 
 /// Savitzky–Golay smoothing with a 5-point quadratic window
-/// (coefficients [-3, 12, 17, 12, -3] / 35). Edge points where the window
-/// does not fit are passed through unchanged; vectors shorter than 5 are
-/// returned as-is.
-fn savgol5(xs: &[f64]) -> Vec<f64> {
+/// (coefficients [-3, 12, 17, 12, -3] / 35), written into `out`. Edge
+/// points where the window does not fit are passed through unchanged;
+/// vectors shorter than 5 are copied as-is.
+fn savgol5_into(xs: &[f64], out: &mut Vec<f64>) {
+    out.extend_from_slice(xs);
     if xs.len() < 5 {
-        return xs.to_vec();
+        return;
     }
     const C: [f64; 5] = [-3.0, 12.0, 17.0, 12.0, -3.0];
-    let mut out = xs.to_vec();
     for i in 2..xs.len() - 2 {
         let mut acc = 0.0;
         for (k, c) in C.iter().enumerate() {
@@ -253,7 +275,6 @@ fn savgol5(xs: &[f64]) -> Vec<f64> {
         }
         out[i] = acc / 35.0;
     }
-    out
 }
 
 #[cfg(test)]

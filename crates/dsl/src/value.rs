@@ -85,6 +85,56 @@ impl Value {
     }
 }
 
+/// A recycling pool of `Vec<f64>` payloads.
+///
+/// The interpreter's steady state evaluates the same program over and over
+/// (once per training step); every vector it produces has the same length
+/// each time. Routing intermediate and output vectors through a pool turns
+/// the per-step allocation count into a one-time warm-up cost: after the
+/// first evaluation the pool hands back the previous step's buffers and no
+/// further heap allocation occurs.
+#[derive(Debug, Clone, Default)]
+pub struct VecPool {
+    free: Vec<Vec<f64>>,
+}
+
+impl VecPool {
+    /// Pops a cleared buffer from the pool (or a fresh empty one).
+    pub fn take(&mut self) -> Vec<f64> {
+        match self.free.pop() {
+            Some(mut v) => {
+                v.clear();
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns a buffer to the pool (zero-capacity buffers are dropped).
+    pub fn give(&mut self, v: Vec<f64>) {
+        if v.capacity() > 0 {
+            self.free.push(v);
+        }
+    }
+
+    /// Recycles a value's payload, if it has one.
+    pub fn recycle(&mut self, v: Value) {
+        if let Value::Vector(xs) = v {
+            self.give(xs);
+        }
+    }
+
+    /// Buffers currently pooled (diagnostics/tests).
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// True when no buffers are pooled.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+}
+
 /// Static shape rule for binary arithmetic: scalars broadcast over vectors;
 /// vector-vector requires equal lengths.
 pub fn binary_shape(op: BinOp, lhs: Shape, rhs: Shape) -> Result<Shape, DslError> {
@@ -107,6 +157,18 @@ pub fn binary_shape(op: BinOp, lhs: Shape, rhs: Shape) -> Result<Shape, DslError
 
 /// Runtime counterpart of [`binary_shape`].
 pub fn binary_eval(op: BinOp, lhs: &Value, rhs: &Value) -> Result<Value, DslError> {
+    binary_eval_in(op, lhs, rhs, &mut VecPool::default())
+}
+
+/// [`binary_eval`] drawing result vectors from a [`VecPool`] — the hot-path
+/// form. Identical arithmetic (and therefore bit-identical results); only
+/// the provenance of the output buffer differs.
+pub fn binary_eval_in(
+    op: BinOp,
+    lhs: &Value,
+    rhs: &Value,
+    pool: &mut VecPool,
+) -> Result<Value, DslError> {
     let f = |a: f64, b: f64| match op {
         BinOp::Add => a + b,
         BinOp::Sub => a - b,
@@ -116,10 +178,14 @@ pub fn binary_eval(op: BinOp, lhs: &Value, rhs: &Value) -> Result<Value, DslErro
     match (lhs, rhs) {
         (Value::Scalar(a), Value::Scalar(b)) => Ok(Value::Scalar(f(*a, *b))),
         (Value::Vector(v), Value::Scalar(b)) => {
-            Ok(Value::Vector(v.iter().map(|&a| f(a, *b)).collect()))
+            let mut out = pool.take();
+            out.extend(v.iter().map(|&a| f(a, *b)));
+            Ok(Value::Vector(out))
         }
         (Value::Scalar(a), Value::Vector(v)) => {
-            Ok(Value::Vector(v.iter().map(|&b| f(*a, b)).collect()))
+            let mut out = pool.take();
+            out.extend(v.iter().map(|&b| f(*a, b)));
+            Ok(Value::Vector(out))
         }
         (Value::Vector(a), Value::Vector(b)) => {
             if a.len() != b.len() {
@@ -127,9 +193,9 @@ pub fn binary_eval(op: BinOp, lhs: &Value, rhs: &Value) -> Result<Value, DslErro
                     message: format!("vector lengths differ: {} vs {}", a.len(), b.len()),
                 });
             }
-            Ok(Value::Vector(
-                a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect(),
-            ))
+            let mut out = pool.take();
+            out.extend(a.iter().zip(b).map(|(&x, &y)| f(x, y)));
+            Ok(Value::Vector(out))
         }
     }
 }

@@ -1,0 +1,121 @@
+//! Property tests: batched evaluation ≡ per-binding evaluation,
+//! bit-for-bit, over fuzz-generated designs and random bindings.
+//!
+//! The batched engine's determinism contract rests on
+//! `eval_batch_with` producing exactly the rows per-step
+//! `eval_f32_with` would — for *any* compiled program, not just the seed
+//! designs. Programs come from `nada_dsl::fuzz::random_state_source`
+//! (shape-valid by construction; the few that fail the compile trial run
+//! are skipped, as the pipeline's §2.2 check would skip them).
+
+use nada_dsl::fuzz::{random_inputs, random_inputs_into, random_state_source};
+use nada_dsl::{abr_schema, cc_schema, compile_state_with_schema, EvalScratch, InputSchema, Value};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn schema_for(pick: u8) -> InputSchema {
+    if pick.is_multiple_of(2) {
+        abr_schema()
+    } else {
+        cc_schema()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For fuzz-generated designs over both workload schemas, evaluating B
+    /// random bindings through one batched call equals evaluating each
+    /// binding alone — same flat values, same order, same bits.
+    #[test]
+    fn eval_batch_matches_per_binding_eval(seed in 0u64..1_000_000, pick in 0u8..2, batch in 1usize..7) {
+        let schema = schema_for(pick);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let source = random_state_source(&schema, &mut rng);
+        let Ok(state) = compile_state_with_schema(&source, schema) else {
+            // Trial-run rejects (non-finite at midpoint) are expected for a
+            // small fraction of generated programs; the property is about
+            // programs the pipeline would actually train.
+            return;
+        };
+
+        let bindings: Vec<Vec<Value>> = (0..batch)
+            .map(|_| random_inputs(&state, &mut rng))
+            .collect();
+
+        // Reference: per-binding eval, each through its own fresh scratch.
+        let mut reference: Vec<f32> = Vec::new();
+        let mut reference_ok = true;
+        for b in &bindings {
+            match state.eval_f32(b) {
+                Ok(feats) => reference.extend(feats.into_iter().flatten()),
+                Err(_) => {
+                    reference_ok = false;
+                    break;
+                }
+            }
+        }
+
+        // Batched: one shared arena across all rows.
+        let mut scratch = EvalScratch::default();
+        let mut rows = Vec::new();
+        let batch_result = state.eval_batch_with(
+            bindings.iter().map(|b| b.as_slice()),
+            &mut scratch,
+            &mut rows,
+        );
+
+        if reference_ok {
+            let n = batch_result.expect("per-binding eval succeeded, batch must too");
+            prop_assert_eq!(n, bindings.len());
+            prop_assert_eq!(
+                rows.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                reference.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+        } else {
+            prop_assert!(batch_result.is_err());
+        }
+    }
+
+    /// A reused scratch arena never contaminates later evaluations: running
+    /// unrelated programs through the same scratch first, then the design,
+    /// gives the same bits as a fresh scratch.
+    #[test]
+    fn scratch_reuse_is_invisible(seed in 0u64..1_000_000, pick in 0u8..2) {
+        let schema = schema_for(pick);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5C4A7C8);
+        let source = random_state_source(&schema, &mut rng);
+        let Ok(state) = compile_state_with_schema(&source, schema) else {
+            return;
+        };
+        let inputs = random_inputs(&state, &mut rng);
+
+        let fresh = state.eval_f32(&inputs);
+
+        let mut dirty = EvalScratch::default();
+        // Warm the arena with a different program's vectors.
+        let warm = nada_dsl::seeds::pensieve_state();
+        let warm_inputs = warm.schema_midpoint_inputs();
+        let _ = warm.eval_f32_with(&warm_inputs, &mut dirty);
+        let reused = state.eval_f32_with(&inputs, &mut dirty);
+
+        match (fresh, reused) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "fresh {a:?} vs reused {b:?}"),
+        }
+    }
+
+    /// `random_inputs_into` reuses buffers without changing the draws.
+    #[test]
+    fn random_inputs_into_matches_allocating_form(seed in 0u64..1_000_000) {
+        let state = nada_dsl::seeds::pensieve_state();
+        let mut rng_a = StdRng::seed_from_u64(seed);
+        let mut rng_b = StdRng::seed_from_u64(seed);
+        let allocated = random_inputs(&state, &mut rng_a);
+        let mut reused = vec![Value::Vector(vec![9.0; 3]); 2]; // wrong arity+shapes on purpose
+        random_inputs_into(&state, &mut rng_b, &mut reused);
+        prop_assert_eq!(allocated, reused);
+    }
+}

@@ -12,6 +12,7 @@
 //!
 //! Episode = one full video playback, matching the paper's "epoch".
 
+use crate::batch::{softmax_into, FeatureLayout, InferScratch};
 use crate::graph::ActorCritic;
 use crate::optim::Adam;
 use crate::param::clip_global_grad_norm;
@@ -50,16 +51,24 @@ impl Default for A2cConfig {
     }
 }
 
-/// One episode of experience: states (as per-feature vectors), actions and
-/// rewards, aligned by time step.
+/// One episode of experience: states as flat feature rows (see
+/// [`FeatureLayout`]), actions and rewards, aligned by time step.
+///
+/// Storage is flat so a buffer can be cleared and refilled across epochs
+/// without dropping its allocations — `clear` keeps every `Vec`'s
+/// capacity, making steady-state rollout collection allocation-free.
 #[derive(Debug, Clone, Default)]
 pub struct EpisodeBuffer {
-    /// `states[t][feature]` is the feature vector fed to the network.
-    pub states: Vec<Vec<Vec<f32>>>,
+    /// Per-feature lengths of each stored row (set by the first push).
+    feature_lens: Vec<usize>,
+    /// Row stride (sum of `feature_lens`).
+    stride: usize,
+    /// Flat step-major state rows (`len() * stride` values).
+    states: Vec<f32>,
     /// Chosen action indices.
-    pub actions: Vec<usize>,
+    actions: Vec<usize>,
     /// Immediate rewards.
-    pub rewards: Vec<f32>,
+    rewards: Vec<f32>,
 }
 
 impl EpisodeBuffer {
@@ -68,11 +77,69 @@ impl EpisodeBuffer {
         Self::default()
     }
 
-    /// Appends one transition.
+    /// An empty buffer with room for `steps` transitions of `stride`-long
+    /// rows (no reallocation while filling up to that size).
+    pub fn with_capacity(steps: usize, stride: usize) -> Self {
+        Self {
+            feature_lens: Vec::new(),
+            stride: 0,
+            states: Vec::with_capacity(steps * stride),
+            actions: Vec::with_capacity(steps),
+            rewards: Vec::with_capacity(steps),
+        }
+    }
+
+    /// Empties the buffer, keeping its allocations for reuse.
+    pub fn clear(&mut self) {
+        self.states.clear();
+        self.actions.clear();
+        self.rewards.clear();
+    }
+
+    /// Appends one transition from per-feature vectors (the single-sample
+    /// collection form; the batched engine uses
+    /// [`EpisodeBuffer::push_row`]).
     pub fn push(&mut self, state: Vec<Vec<f32>>, action: usize, reward: f32) {
-        self.states.push(state);
+        if self.is_empty() {
+            self.feature_lens.clear();
+            self.feature_lens.extend(state.iter().map(|f| f.len()));
+            self.stride = self.feature_lens.iter().sum();
+        }
+        debug_assert_eq!(state.iter().map(|f| f.len()).sum::<usize>(), self.stride);
+        for feature in &state {
+            self.states.extend_from_slice(feature);
+        }
         self.actions.push(action);
         self.rewards.push(reward);
+    }
+
+    /// Appends one transition from a flat feature row laid out per `lens`.
+    pub fn push_row(&mut self, row: &[f32], lens: &[usize], action: usize, reward: f32) {
+        if self.is_empty() {
+            self.feature_lens.clear();
+            self.feature_lens.extend_from_slice(lens);
+            self.stride = row.len();
+        }
+        debug_assert_eq!(self.feature_lens, lens);
+        debug_assert_eq!(row.len(), self.stride);
+        self.states.extend_from_slice(row);
+        self.actions.push(action);
+        self.rewards.push(reward);
+    }
+
+    /// The flat feature row observed at step `t`.
+    pub fn state_row(&self, t: usize) -> &[f32] {
+        &self.states[t * self.stride..(t + 1) * self.stride]
+    }
+
+    /// All stored rows as one flat buffer (`len() * stride` values).
+    pub fn states_flat(&self) -> &[f32] {
+        &self.states
+    }
+
+    /// Per-feature lengths of the stored rows.
+    pub fn feature_lens(&self) -> &[usize] {
+        &self.feature_lens
     }
 
     /// Number of stored transitions.
@@ -83,6 +150,16 @@ impl EpisodeBuffer {
     /// True if no transitions are stored.
     pub fn is_empty(&self) -> bool {
         self.actions.is_empty()
+    }
+
+    /// The chosen action at step `t`.
+    pub fn action(&self, t: usize) -> usize {
+        self.actions[t]
+    }
+
+    /// The immediate rewards, step-ordered.
+    pub fn rewards(&self) -> &[f32] {
+        &self.rewards
     }
 
     /// Sum of rewards.
@@ -133,17 +210,26 @@ pub struct A2cTrainer {
     opt: Adam,
     cfg: A2cConfig,
     rng: StdRng,
+    layout: FeatureLayout,
+    infer: InferScratch,
+    logits_buf: Vec<f32>,
+    values_buf: Vec<f32>,
 }
 
 impl A2cTrainer {
     /// Wraps a network for training. Deterministic in `seed`.
     pub fn new(net: ActorCritic, cfg: A2cConfig, seed: u64) -> Self {
         let opt = Adam::new(cfg.lr);
+        let layout = net.feature_layout();
         Self {
             net,
             opt,
             cfg,
             rng: StdRng::seed_from_u64(seed ^ 0xA2C0_0000_0000_0009),
+            layout,
+            infer: InferScratch::default(),
+            logits_buf: Vec::new(),
+            values_buf: Vec::new(),
         }
     }
 
@@ -177,20 +263,74 @@ impl A2cTrainer {
     pub fn act_stochastic(&mut self, features: &[Vec<f32>]) -> usize {
         let probs = self.policy(features);
         let draw: f32 = self.rng.gen();
-        let mut acc = 0.0;
-        for (i, p) in probs.iter().enumerate() {
-            acc += p;
-            if draw < acc {
-                return i;
-            }
-        }
-        probs.len() - 1
+        sample_from(&probs, draw)
     }
 
     /// Picks the most probable action (evaluation-time behaviour).
     pub fn act_greedy(&mut self, features: &[Vec<f32>]) -> usize {
         let probs = self.policy(features);
         argmax(&probs)
+    }
+
+    /// Pre-draws `n` action-sampling uniforms into `out` — the same RNG
+    /// stream, drawn in the same order, as `n` consecutive
+    /// [`A2cTrainer::act_stochastic`] calls would consume. The batched
+    /// engine draws one uniform per step in serial episode order up front,
+    /// then acts in lockstep with [`A2cTrainer::act_stochastic_batch`], so
+    /// lockstep trajectories are bit-identical to episode-at-a-time ones.
+    pub fn draw_uniforms(&mut self, n: usize, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(self.rng.gen());
+        }
+    }
+
+    /// Batched stochastic action selection over flat feature rows, with
+    /// externally pre-drawn uniforms (`draws[i]` decides row `i`; see
+    /// [`A2cTrainer::draw_uniforms`]). Appends one action per row to
+    /// `actions`. Inference-only (no layer caches touched) and, per row,
+    /// bit-identical to [`A2cTrainer::act_stochastic`] given the same
+    /// uniform.
+    pub fn act_stochastic_batch(
+        &mut self,
+        rows: &[f32],
+        layout: &FeatureLayout,
+        draws: &[f32],
+        actions: &mut Vec<usize>,
+    ) {
+        assert_eq!(
+            draws.len() * layout.stride(),
+            rows.len(),
+            "exactly one pre-drawn uniform per row is required"
+        );
+        self.net
+            .policy_batch(rows, layout, &mut self.logits_buf, &mut self.infer);
+        let n_actions = self.net.n_actions();
+        actions.clear();
+        for (probs, &draw) in self.logits_buf.chunks_exact_mut(n_actions).zip(draws) {
+            softmax_into(probs);
+            actions.push(sample_from(probs, draw));
+        }
+    }
+
+    /// Batched greedy action selection over flat feature rows (appends one
+    /// action per row). Inference-only; per row bit-identical to
+    /// [`A2cTrainer::act_greedy`].
+    pub fn act_greedy_batch(
+        &mut self,
+        rows: &[f32],
+        layout: &FeatureLayout,
+        actions: &mut Vec<usize>,
+    ) {
+        self.net
+            .policy_batch(rows, layout, &mut self.logits_buf, &mut self.infer);
+        let n_actions = self.net.n_actions();
+        actions.clear();
+        for probs in self.logits_buf.chunks_exact_mut(n_actions) {
+            softmax_into(probs);
+            actions.push(argmax(probs));
+        }
     }
 
     /// One synchronous update over a batch of complete episodes.
@@ -201,15 +341,28 @@ impl A2cTrainer {
 
         // Pass 1 (forward only): values for every step, so advantages can
         // be standardized across the whole batch before gradients flow.
+        // Runs through the batched inference path — critic only, no layer
+        // caches, no per-step allocation — which is bit-identical to (and
+        // much cheaper than) a full `forward` per step.
         let mut advantages: Vec<Vec<f32>> = Vec::with_capacity(episodes.len());
         let mut all_returns: Vec<Vec<f32>> = Vec::with_capacity(episodes.len());
         for ep in episodes {
+            assert_eq!(
+                ep.feature_lens(),
+                self.layout.lens(),
+                "episode rows do not match the network's input features"
+            );
             let returns = ep.returns(self.cfg.gamma);
-            let advs: Vec<f32> = (0..ep.len())
-                .map(|t| {
-                    let (_, value) = self.net.forward(&ep.states[t]);
-                    returns[t] - value
-                })
+            self.net.values_batch(
+                ep.states_flat(),
+                &self.layout,
+                &mut self.values_buf,
+                &mut self.infer,
+            );
+            let advs: Vec<f32> = returns
+                .iter()
+                .zip(&self.values_buf)
+                .map(|(&r, &value)| r - value)
                 .collect();
             advantages.push(advs);
             all_returns.push(returns);
@@ -233,10 +386,10 @@ impl A2cTrainer {
         for (e, ep) in episodes.iter().enumerate() {
             let returns = &all_returns[e];
             for t in 0..ep.len() {
-                let (logits, value) = self.net.forward(&ep.states[t]);
+                let (logits, value) = self.net.forward_flat(ep.state_row(t));
                 let probs = softmax(&logits);
                 let log_probs: Vec<f32> = probs.iter().map(|p| p.max(1e-10).ln()).collect();
-                let a = ep.actions[t];
+                let a = ep.action(t);
                 let adv = advantages[e][t];
                 let ent: f32 = -probs
                     .iter()
@@ -277,6 +430,19 @@ impl A2cTrainer {
             grad_norm,
         }
     }
+}
+
+/// Samples an index from a probability vector via one uniform draw
+/// (cumulative scan; the final index absorbs rounding slack).
+fn sample_from(probs: &[f32], draw: f32) -> usize {
+    let mut acc = 0.0;
+    for (i, p) in probs.iter().enumerate() {
+        acc += p;
+        if draw < acc {
+            return i;
+        }
+    }
+    probs.len() - 1
 }
 
 /// Numerically stable softmax.

@@ -12,8 +12,10 @@
 //! architecture code blocks (see `nada-dsl`) compile to an [`ArchConfig`],
 //! which [`ActorCritic::build`] turns into a trainable network.
 
+use crate::batch::{FeatureLayout, InferScratch};
 use crate::layers::{
-    Activation, ActivationLayer, AnyLayer, Conv1d, Dense, Layer, Lstm, Rnn, Sequential,
+    Activation, ActivationLayer, AnyLayer, Conv1d, Dense, Layer, Lstm, RecurrentScratch, Rnn,
+    Sequential,
 };
 use crate::param::Param;
 use rand::rngs::StdRng;
@@ -253,6 +255,48 @@ impl FeatureNet {
         self.trunk.forward(&concat)
     }
 
+    /// [`FeatureNet::forward`] over one flat feature row (the
+    /// [`FeatureLayout`] form): same layer calls on the same slices, so
+    /// caches and outputs are bit-identical.
+    fn forward_flat(&mut self, row: &[f32]) -> Vec<f32> {
+        let mut concat = Vec::new();
+        let mut off = 0;
+        for (branch, &len) in self.branches.iter_mut().zip(&self.feature_lens) {
+            concat.extend(branch.forward(&row[off..off + len]));
+            off += len;
+        }
+        assert_eq!(
+            off,
+            row.len(),
+            "flat row length mismatch: network expects {off}, got {}",
+            row.len()
+        );
+        self.trunk.forward(&concat)
+    }
+
+    /// Inference-only [`FeatureNet::forward_flat`]: writes the trunk output
+    /// into `out` using caller-owned scratch, touching no caches and
+    /// allocating nothing in steady state. Bit-identical values.
+    fn infer_flat(
+        &self,
+        row: &[f32],
+        out: &mut Vec<f32>,
+        concat: &mut Vec<f32>,
+        ping: &mut Vec<f32>,
+        branch_out: &mut Vec<f32>,
+        rs: &mut RecurrentScratch,
+    ) {
+        concat.clear();
+        let mut off = 0;
+        for (branch, &len) in self.branches.iter().zip(&self.feature_lens) {
+            branch.infer_into(&row[off..off + len], branch_out, ping, rs);
+            concat.extend_from_slice(branch_out);
+            off += len;
+        }
+        debug_assert_eq!(off, row.len(), "flat row length mismatch");
+        self.trunk.infer_into(&concat[..], out, ping, rs);
+    }
+
     fn backward(&mut self, grad_out: &[f32]) {
         let dconcat = self.trunk.backward(grad_out);
         let mut off = 0;
@@ -340,6 +384,98 @@ impl ActorCritic {
             None => self.critic_head.forward(&actor_feat)[0],
         };
         (logits, value)
+    }
+
+    /// [`ActorCritic::forward`] over one flat feature row (see
+    /// [`FeatureLayout`]): identical layer calls on identical slices, so
+    /// caches and outputs are bit-identical — an immediate
+    /// [`ActorCritic::backward`] works exactly as after `forward`.
+    pub fn forward_flat(&mut self, row: &[f32]) -> (Vec<f32>, f32) {
+        let actor_feat = self.actor_net.forward_flat(row);
+        let logits = self.actor_head.forward(&actor_feat);
+        let value = match &mut self.critic_net {
+            Some(net) => {
+                let critic_feat = net.forward_flat(row);
+                self.critic_head.forward(&critic_feat)[0]
+            }
+            None => self.critic_head.forward(&actor_feat)[0],
+        };
+        (logits, value)
+    }
+
+    /// The flat-row layout this network consumes (one entry per input
+    /// feature, vector features flattened).
+    pub fn feature_layout(&self) -> FeatureLayout {
+        FeatureLayout::from_lens(self.actor_net.feature_lens.clone())
+    }
+
+    /// Batched, inference-only actor logits for `rows` (flat rows per
+    /// `layout`), appended to `logits` as one `n_actions`-long row per
+    /// sample. Touches no caches, skips the critic entirely, performs no
+    /// steady-state allocation, and each logits row is bit-identical to
+    /// [`ActorCritic::forward`] on the same features.
+    pub fn policy_batch(
+        &self,
+        rows: &[f32],
+        layout: &FeatureLayout,
+        logits: &mut Vec<f32>,
+        scratch: &mut InferScratch,
+    ) {
+        assert_eq!(
+            layout.lens(),
+            &self.actor_net.feature_lens[..],
+            "feature layout does not match the network's input features"
+        );
+        logits.clear();
+        let InferScratch {
+            concat,
+            ping,
+            branch_out,
+            actor_feat,
+            recurrent,
+            ..
+        } = scratch;
+        for row in layout.rows_in(rows) {
+            self.actor_net
+                .infer_flat(row, actor_feat, concat, ping, branch_out, recurrent);
+            let start = logits.len();
+            logits.resize(start + self.n_actions, 0.0);
+            self.actor_head.infer_into(actor_feat, &mut logits[start..]);
+        }
+    }
+
+    /// Batched, inference-only critic values for `rows`, appended to
+    /// `values` (one per sample). Skips the actor network in
+    /// [`HeadMode::Separate`] mode; each value is bit-identical to
+    /// [`ActorCritic::forward`] on the same features.
+    pub fn values_batch(
+        &self,
+        rows: &[f32],
+        layout: &FeatureLayout,
+        values: &mut Vec<f32>,
+        scratch: &mut InferScratch,
+    ) {
+        assert_eq!(
+            layout.lens(),
+            &self.actor_net.feature_lens[..],
+            "feature layout does not match the network's input features"
+        );
+        values.clear();
+        let InferScratch {
+            concat,
+            ping,
+            branch_out,
+            critic_feat,
+            recurrent,
+            ..
+        } = scratch;
+        let net = self.critic_net.as_ref().unwrap_or(&self.actor_net);
+        for row in layout.rows_in(rows) {
+            net.infer_flat(row, critic_feat, concat, ping, branch_out, recurrent);
+            let mut v = [0.0f32];
+            self.critic_head.infer_into(critic_feat, &mut v);
+            values.push(v[0]);
+        }
     }
 
     /// Backward pass for the loss gradients w.r.t. logits and value.

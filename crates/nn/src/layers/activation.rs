@@ -88,6 +88,16 @@ impl ActivationLayer {
     pub fn kind(&self) -> Activation {
         self.kind
     }
+
+    /// Inference-only forward writing into `y`: no caches, no allocation,
+    /// bit-identical arithmetic to [`Layer::forward`].
+    pub(crate) fn infer_into(&self, x: &[f32], y: &mut [f32]) {
+        debug_assert_eq!(x.len(), self.dim);
+        debug_assert_eq!(y.len(), self.dim);
+        for (y_i, &x_i) in y.iter_mut().zip(x) {
+            *y_i = self.kind.apply(x_i);
+        }
+    }
 }
 
 impl Layer for ActivationLayer {

@@ -49,6 +49,26 @@ impl Conv1d {
     pub fn kernel(&self) -> usize {
         self.kernel
     }
+
+    /// Inference-only forward writing into `y` (`out_dim` long): no input
+    /// cache, no allocation, bit-identical arithmetic to
+    /// [`Layer::forward`].
+    pub(crate) fn infer_into(&self, x: &[f32], y: &mut [f32]) {
+        debug_assert_eq!(x.len(), self.in_len, "conv1d input size mismatch");
+        let m_len = self.out_len();
+        debug_assert_eq!(y.len(), self.filters * m_len);
+        for f in 0..self.filters {
+            let w = &self.w.w[f * self.kernel..(f + 1) * self.kernel];
+            let bias = self.b.w[f];
+            for m in 0..m_len {
+                let mut acc = bias;
+                for (k, &wk) in w.iter().enumerate() {
+                    acc += wk * x[m + k];
+                }
+                y[f * m_len + m] = acc;
+            }
+        }
+    }
 }
 
 impl Layer for Conv1d {

@@ -29,6 +29,20 @@ impl Dense {
     }
 }
 
+impl Dense {
+    /// Inference-only forward writing into `y` (`out_dim` long): no input
+    /// cache, no allocation, bit-identical arithmetic to
+    /// [`Layer::forward`].
+    pub(crate) fn infer_into(&self, x: &[f32], y: &mut [f32]) {
+        debug_assert_eq!(x.len(), self.in_dim, "dense input size mismatch");
+        debug_assert_eq!(y.len(), self.out_dim);
+        for (o, y_o) in y.iter_mut().enumerate() {
+            let row = &self.w.w[o * self.in_dim..(o + 1) * self.in_dim];
+            *y_o = self.b.w[o] + row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f32>();
+        }
+    }
+}
+
 impl Layer for Dense {
     fn forward(&mut self, x: &[f32]) -> Vec<f32> {
         debug_assert_eq!(x.len(), self.in_dim, "dense input size mismatch");

@@ -111,6 +111,58 @@ impl Lstm {
     }
 }
 
+impl Lstm {
+    /// [`Lstm::gate_preact`] writing into a reusable buffer (identical
+    /// arithmetic, no allocation).
+    fn gate_preact_into(w: &Param, b: &Param, x: f32, h_prev: &[f32], out: &mut [f32]) {
+        let z_dim = 1 + h_prev.len();
+        for (u, out_u) in out.iter_mut().enumerate() {
+            let row = &w.w[u * z_dim..(u + 1) * z_dim];
+            *out_u =
+                b.w[u] + row[0] * x + row[1..].iter().zip(h_prev).map(|(w, h)| w * h).sum::<f32>();
+        }
+    }
+
+    /// Inference-only forward writing the final hidden state into `y`
+    /// (`units` long). The six buffers are reusable scratch; no caches are
+    /// touched and the arithmetic is bit-identical to [`Layer::forward`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn infer_into(
+        &self,
+        x: &[f32],
+        y: &mut [f32],
+        h: &mut Vec<f32>,
+        c: &mut Vec<f32>,
+        gi: &mut Vec<f32>,
+        gf: &mut Vec<f32>,
+        go: &mut Vec<f32>,
+        gg: &mut Vec<f32>,
+    ) {
+        debug_assert_eq!(x.len(), self.seq_len, "lstm input size mismatch");
+        debug_assert_eq!(y.len(), self.units);
+        for buf in [&mut *h, &mut *c, &mut *gi, &mut *gf, &mut *go, &mut *gg] {
+            buf.clear();
+            buf.resize(self.units, 0.0);
+        }
+        for &xt in x {
+            Self::gate_preact_into(&self.wi, &self.bi, xt, h, gi);
+            Self::gate_preact_into(&self.wf, &self.bf, xt, h, gf);
+            Self::gate_preact_into(&self.wo, &self.bo, xt, h, go);
+            Self::gate_preact_into(&self.wg, &self.bg, xt, h, gg);
+            for u in 0..self.units {
+                let i = sigmoid(gi[u]);
+                let f = sigmoid(gf[u]);
+                let o = sigmoid(go[u]);
+                let g = gg[u].tanh();
+                let c_new = f * c[u] + i * g;
+                c[u] = c_new;
+                h[u] = o * c_new.tanh();
+            }
+        }
+        y.copy_from_slice(h);
+    }
+}
+
 impl Layer for Lstm {
     fn forward(&mut self, x: &[f32]) -> Vec<f32> {
         debug_assert_eq!(x.len(), self.seq_len, "lstm input size mismatch");

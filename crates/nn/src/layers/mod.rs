@@ -112,6 +112,36 @@ impl Layer for AnyLayer {
     }
 }
 
+/// Reusable hidden-state buffers for the recurrent layers' inference-only
+/// forward passes (RNN uses the first two, LSTM all six).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RecurrentScratch {
+    pub(crate) h0: Vec<f32>,
+    pub(crate) h1: Vec<f32>,
+    pub(crate) gi: Vec<f32>,
+    pub(crate) gf: Vec<f32>,
+    pub(crate) go: Vec<f32>,
+    pub(crate) gg: Vec<f32>,
+}
+
+impl AnyLayer {
+    /// Inference-only forward into a resized `y` buffer: no caches, no
+    /// steady-state allocation, bit-identical values to [`Layer::forward`].
+    pub(crate) fn infer_into(&self, x: &[f32], y: &mut Vec<f32>, rs: &mut RecurrentScratch) {
+        y.clear();
+        y.resize(self.out_dim(), 0.0);
+        match self {
+            AnyLayer::Dense(l) => l.infer_into(x, y),
+            AnyLayer::Conv1d(l) => l.infer_into(x, y),
+            AnyLayer::Rnn(l) => l.infer_into(x, y, &mut rs.h0, &mut rs.h1),
+            AnyLayer::Lstm(l) => l.infer_into(
+                x, y, &mut rs.h0, &mut rs.h1, &mut rs.gi, &mut rs.gf, &mut rs.go, &mut rs.gg,
+            ),
+            AnyLayer::Act(l) => l.infer_into(x, y),
+        }
+    }
+}
+
 /// A chain of layers applied in order.
 #[derive(Debug, Clone, Default)]
 pub struct Sequential {
@@ -145,6 +175,25 @@ impl Sequential {
     /// Number of trainable weights in the chain.
     pub fn n_weights(&mut self) -> usize {
         self.params_mut().iter().map(|p| p.len()).sum()
+    }
+
+    /// Inference-only forward: the result lands in `out`, with `ping` as
+    /// the ping-pong partner buffer. No layer caches are touched, no
+    /// steady-state allocation happens, and the output is bit-identical to
+    /// [`Layer::forward`].
+    pub(crate) fn infer_into(
+        &self,
+        x: &[f32],
+        out: &mut Vec<f32>,
+        ping: &mut Vec<f32>,
+        rs: &mut RecurrentScratch,
+    ) {
+        out.clear();
+        out.extend_from_slice(x);
+        for l in &self.layers {
+            l.infer_into(out, ping, rs);
+            std::mem::swap(out, ping);
+        }
     }
 }
 

@@ -43,6 +43,37 @@ impl Rnn {
     }
 }
 
+impl Rnn {
+    /// Inference-only forward writing the final hidden state into `y`
+    /// (`units` long). `h0`/`h1` are reusable hidden-state buffers; no
+    /// caches are touched and the arithmetic is bit-identical to
+    /// [`Layer::forward`].
+    pub(crate) fn infer_into(
+        &self,
+        x: &[f32],
+        y: &mut [f32],
+        h0: &mut Vec<f32>,
+        h1: &mut Vec<f32>,
+    ) {
+        debug_assert_eq!(x.len(), self.seq_len, "rnn input size mismatch");
+        debug_assert_eq!(y.len(), self.units);
+        h0.clear();
+        h0.resize(self.units, 0.0);
+        h1.clear();
+        h1.resize(self.units, 0.0);
+        for &xt in x {
+            for (u, h1_u) in h1.iter_mut().enumerate() {
+                let mut a = self.wx.w[u] * xt + self.b.w[u];
+                let row = &self.wh.w[u * self.units..(u + 1) * self.units];
+                a += row.iter().zip(h0.iter()).map(|(w, h)| w * h).sum::<f32>();
+                *h1_u = a.tanh();
+            }
+            std::mem::swap(h0, h1);
+        }
+        y.copy_from_slice(h0);
+    }
+}
+
 impl Layer for Rnn {
     fn forward(&mut self, x: &[f32]) -> Vec<f32> {
         debug_assert_eq!(x.len(), self.seq_len, "rnn input size mismatch");

@@ -24,6 +24,7 @@
 //! touches OS randomness.
 
 pub mod a2c;
+pub mod batch;
 pub mod classifier;
 pub mod graph;
 pub mod layers;
@@ -31,6 +32,7 @@ pub mod optim;
 pub mod param;
 
 pub use a2c::{A2cConfig, A2cTrainer, EpisodeBuffer};
+pub use batch::{softmax_into, FeatureLayout, InferScratch};
 pub use classifier::CurveClassifier;
 pub use graph::{ActorCritic, ArchConfig, BranchKind, FeatureShape, HeadMode};
 pub use layers::{Activation, AnyLayer, Layer, Sequential};

@@ -14,7 +14,7 @@
 //! measurements — raw (Mbps, milliseconds, packets), so the §2.2
 //! normalization check stays as meaningful here as for ABR byte counts.
 
-use crate::netenv::{EnvStep, FieldSpec, NetEnv, ObsValue};
+use crate::netenv::{EnvStep, FieldSpec, NetEnv, ObsValue, StepOutcome};
 use nada_traces::{Trace, TraceCursor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -265,6 +265,20 @@ impl<'a> CcEnv<'a> {
         ]
     }
 
+    /// Allocation-free twin of [`CcEnv::observation`]: writes the same
+    /// values into a reusable buffer, in [`CC_FIELDS`] order.
+    fn write_obs(&self, out: &mut Vec<ObsValue>) {
+        use crate::netenv::{prepare_obs, write_scalar, write_vector};
+        prepare_obs(out, CC_FIELDS.len());
+        write_vector(&mut out[0], self.throughput_hist.iter().copied());
+        write_vector(&mut out[1], self.rtt_hist.iter().copied());
+        write_vector(&mut out[2], self.loss_hist.iter().copied());
+        write_scalar(&mut out[3], self.cwnd_pkts);
+        write_scalar(&mut out[4], self.min_rtt_s * 1000.0);
+        write_scalar(&mut out[5], (self.total_ticks - self.tick) as f64);
+        write_scalar(&mut out[6], self.total_ticks as f64);
+    }
+
     /// Applies `action` and simulates one tick, returning the typed result.
     ///
     /// # Panics
@@ -370,6 +384,24 @@ impl NetEnv for CcEnv<'_> {
             reward: t.reward,
             done: t.done,
         }
+    }
+
+    fn reset_into(&mut self, obs: &mut Vec<ObsValue>) {
+        self.reset_episode();
+        self.write_obs(obs);
+    }
+
+    fn step_into(&mut self, action: usize, obs: &mut Vec<ObsValue>) -> StepOutcome {
+        let t = self.tick(action);
+        self.write_obs(obs);
+        StepOutcome {
+            reward: t.reward,
+            done: t.done,
+        }
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.total_ticks - self.tick)
     }
 }
 

@@ -7,7 +7,7 @@
 //! next [`Observation`] plus the `QoE_lin` reward.
 
 use crate::emulator::EmuTransport;
-use crate::netenv::{EnvStep, FieldSpec, NetEnv, ObsValue};
+use crate::netenv::{EnvStep, FieldSpec, NetEnv, ObsValue, StepOutcome};
 use crate::obs::{HistoryBuffers, Observation, ABR_FIELDS};
 use crate::qoe::QoeMetric;
 use crate::transport::{ChunkTransport, SimTransport};
@@ -127,12 +127,39 @@ impl<'a, T: ChunkTransport, Q: QoeMetric> AbrEnv<'a, T, Q> {
         }
     }
 
-    /// Downloads the next chunk at `quality` and advances playback.
-    ///
-    /// # Panics
-    /// Panics if called after the episode finished or with an out-of-range
-    /// quality — both are policy-side bugs, not recoverable conditions.
-    pub fn step(&mut self, quality: usize) -> StepResult {
+    /// Writes the current observation as declared field values into a
+    /// reusable buffer, in [`ABR_FIELDS`] order — the allocation-free twin
+    /// of [`Observation::field_values`].
+    fn write_obs(&self, out: &mut Vec<ObsValue>) {
+        use crate::netenv::{prepare_obs, write_scalar, write_vector};
+        let next = self.next_chunk.min(self.manifest.n_chunks() - 1);
+        prepare_obs(out, ABR_FIELDS.len());
+        write_vector(&mut out[0], self.history.throughput_iter());
+        write_vector(&mut out[1], self.history.download_time_iter());
+        write_vector(&mut out[2], self.history.buffer_iter());
+        write_vector(&mut out[3], self.manifest.sizes_at(next).iter().copied());
+        write_scalar(&mut out[4], self.buffer_s);
+        write_scalar(
+            &mut out[5],
+            (self.manifest.n_chunks() - self.next_chunk) as f64,
+        );
+        write_scalar(&mut out[6], self.manifest.n_chunks() as f64);
+        write_scalar(&mut out[7], self.manifest.bitrate_kbps(self.last_quality));
+        write_scalar(
+            &mut out[8],
+            *self
+                .manifest
+                .ladder()
+                .levels_kbps()
+                .last()
+                .expect("ladder is non-empty"),
+        );
+    }
+
+    /// Player dynamics for one chunk: download, stall/sleep accounting,
+    /// reward — everything [`AbrEnv::step`] does except building the next
+    /// observation. Returns `(reward, rebuffer_s, delay_s, sleep_s, done)`.
+    fn advance(&mut self, quality: usize) -> (f64, f64, f64, f64, bool) {
         assert!(
             self.next_chunk < self.manifest.n_chunks(),
             "episode already finished"
@@ -168,12 +195,21 @@ impl<'a, T: ChunkTransport, Q: QoeMetric> AbrEnv<'a, T, Q> {
         self.last_quality = quality;
         self.next_chunk += 1;
         let done = self.next_chunk >= self.manifest.n_chunks();
+        (reward, rebuffer_s, fetch.delay_s, sleep_s, done)
+    }
 
+    /// Downloads the next chunk at `quality` and advances playback.
+    ///
+    /// # Panics
+    /// Panics if called after the episode finished or with an out-of-range
+    /// quality — both are policy-side bugs, not recoverable conditions.
+    pub fn step(&mut self, quality: usize) -> StepResult {
+        let (reward, rebuffer_s, delay_s, sleep_s, done) = self.advance(quality);
         StepResult {
             obs: self.observation(),
             reward,
             rebuffer_s,
-            delay_s: fetch.delay_s,
+            delay_s,
             sleep_s,
             done,
         }
@@ -201,6 +237,21 @@ impl<T: ChunkTransport, Q: QoeMetric> NetEnv for AbrEnv<'_, T, Q> {
             reward: r.reward,
             done: r.done,
         }
+    }
+
+    fn reset_into(&mut self, obs: &mut Vec<ObsValue>) {
+        self.reset_episode();
+        self.write_obs(obs);
+    }
+
+    fn step_into(&mut self, action: usize, obs: &mut Vec<ObsValue>) -> StepOutcome {
+        let (reward, _, _, _, done) = self.advance(action);
+        self.write_obs(obs);
+        StepOutcome { reward, done }
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.manifest.n_chunks() - self.next_chunk)
     }
 }
 

@@ -82,6 +82,43 @@ impl FieldSpec {
     }
 }
 
+/// Writes a scalar into an observation slot, reusing the slot in place.
+pub fn write_scalar(slot: &mut ObsValue, x: f64) {
+    match slot {
+        ObsValue::Scalar(s) => *s = x,
+        other => *other = ObsValue::Scalar(x),
+    }
+}
+
+/// Writes a vector into an observation slot, reusing the slot's existing
+/// allocation when it is already a vector. Steady-state use (same field
+/// shapes every step) performs no heap allocation.
+pub fn write_vector<I: IntoIterator<Item = f64>>(slot: &mut ObsValue, xs: I) {
+    match slot {
+        ObsValue::Vector(dst) => {
+            dst.clear();
+            dst.extend(xs);
+        }
+        other => *other = ObsValue::Vector(xs.into_iter().collect()),
+    }
+}
+
+/// Grows or shrinks an observation buffer to `len` slots (new slots start
+/// as scalars; [`write_scalar`]/[`write_vector`] fix the variants).
+pub fn prepare_obs(obs: &mut Vec<ObsValue>, len: usize) {
+    obs.resize(len, ObsValue::Scalar(0.0));
+}
+
+/// Result of one environment step when the observation is written into a
+/// caller-owned buffer ([`NetEnv::step_into`]) instead of returned.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepOutcome {
+    /// Reward earned by the action just taken.
+    pub reward: f64,
+    /// True when the episode is over.
+    pub done: bool,
+}
+
 /// Result of one environment step.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EnvStep {
@@ -123,6 +160,42 @@ pub trait NetEnv {
     /// May panic if called after `done` or with an out-of-range action —
     /// both are driver bugs, not recoverable conditions.
     fn step(&mut self, action: usize) -> EnvStep;
+
+    /// [`NetEnv::reset`] writing the observation into a reusable buffer.
+    ///
+    /// The default delegates to `reset` (one allocation per call);
+    /// implementations on hot paths should override it to write fields in
+    /// place via [`write_scalar`]/[`write_vector`], making steady-state
+    /// resets allocation-free. Must observe identical values to `reset`.
+    fn reset_into(&mut self, obs: &mut Vec<ObsValue>) {
+        *obs = self.reset();
+    }
+
+    /// [`NetEnv::step`] writing the next observation into a reusable
+    /// buffer. Same override contract as [`NetEnv::reset_into`].
+    fn step_into(&mut self, action: usize, obs: &mut Vec<ObsValue>) -> StepOutcome {
+        let s = self.step(action);
+        *obs = s.obs;
+        StepOutcome {
+            reward: s.reward,
+            done: s.done,
+        }
+    }
+
+    /// Exact number of decision steps remaining in the current episode,
+    /// when the environment knows it ahead of time — which requires the
+    /// episode length to be independent of the actions taken. `None` when
+    /// unknown.
+    ///
+    /// The batched training engine uses this to pre-draw each step's
+    /// action-sampling randomness in serial episode order (keeping lockstep
+    /// execution bit-identical to episode-at-a-time execution); an
+    /// environment returning `Some(n)` and then terminating after a
+    /// different number of steps is a contract violation the engine
+    /// asserts against.
+    fn len_hint(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// Checks an observation against a spec, returning the first mismatch.

@@ -173,6 +173,18 @@ impl HistoryBuffers {
         self.throughput_mbps.iter().copied().collect()
     }
 
+    pub(crate) fn throughput_iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.throughput_mbps.iter().copied()
+    }
+
+    pub(crate) fn download_time_iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.download_time_s.iter().copied()
+    }
+
+    pub(crate) fn buffer_iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.buffer_s.iter().copied()
+    }
+
     pub(crate) fn download_time(&self) -> Vec<f64> {
         self.download_time_s.iter().copied().collect()
     }

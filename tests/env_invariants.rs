@@ -195,6 +195,54 @@ fn cc_window_stays_within_declared_bounds() {
 }
 
 #[test]
+fn in_place_observation_writes_match_allocating_steps() {
+    // The batched engine's `reset_into`/`step_into` overrides must observe
+    // exactly what `reset`/`step` observe — same values, same rewards, same
+    // termination — while writing into a reused buffer.
+    let trace = test_trace();
+    let manifest = VideoManifest::pensieve_like(Ladder::broadband(), 16, 2);
+    for (name, alloc_env, inplace_env) in [
+        (
+            "abr",
+            Box::new(abr_env(&manifest, &trace, 77)) as Box<dyn NetEnv + '_>,
+            Box::new(abr_env(&manifest, &trace, 77)) as Box<dyn NetEnv + '_>,
+        ),
+        (
+            "cc",
+            Box::new(cc_env(&trace, 77)) as Box<dyn NetEnv + '_>,
+            Box::new(cc_env(&trace, 77)) as Box<dyn NetEnv + '_>,
+        ),
+    ] {
+        let mut a = alloc_env;
+        let mut b = inplace_env;
+        // Deliberately mis-shaped starting buffer: the writers must fix it.
+        let mut obs = vec![ObsValue::Scalar(9.0); 2];
+        let reference = a.reset();
+        b.reset_into(&mut obs);
+        assert_eq!(obs, reference, "{name}: reset_into");
+        let mut remaining = b.len_hint().expect("both shipped envs declare lengths");
+        let n = b.action_space();
+        for i in 0.. {
+            let step = a.step(i % n);
+            let out = b.step_into(i % n, &mut obs);
+            assert_eq!(obs, step.obs, "{name}: step_into obs at {i}");
+            assert_eq!(out.reward, step.reward, "{name}: reward at {i}");
+            assert_eq!(out.done, step.done, "{name}: done at {i}");
+            remaining -= 1;
+            assert_eq!(
+                b.len_hint(),
+                Some(remaining),
+                "{name}: len_hint counts down"
+            );
+            assert_eq!(out.done, remaining == 0, "{name}: len_hint is exact");
+            if out.done {
+                break;
+            }
+        }
+    }
+}
+
+#[test]
 fn action_spaces_match_workload_declarations() {
     let trace = test_trace();
     let manifest = VideoManifest::pensieve_like(Ladder::broadband(), 8, 1);
