@@ -1,0 +1,35 @@
+//! Criterion bench: wall-clock for a complete tiny-scale search — generate
+//! → precheck → probe → screen → finalize — against the mock LLM, for both
+//! shipped workloads. This is the number the process-wide worker pool
+//! optimizes: every stage's fan-out (pre-checks, probe/screen waves,
+//! finalist evaluations with their nested per-seed sessions) drains
+//! through the shared queue, so the bench exercises the pool exactly as a
+//! real search does. Override the pool width with `NADA_WORKERS`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nada_core::{CcWorkload, Nada, NadaConfig, RunScale};
+use nada_llm::MockLlm;
+use nada_traces::dataset::DatasetKind;
+use std::hint::black_box;
+
+fn bench_search_wallclock(c: &mut Criterion) {
+    c.bench_function("search/wallclock_abr", |b| {
+        let nada = Nada::new(NadaConfig::new(DatasetKind::Fcc, RunScale::Tiny, 11));
+        b.iter(|| {
+            let mut llm = MockLlm::perfect(11);
+            black_box(nada.run_state_search(&mut llm))
+        })
+    });
+
+    c.bench_function("search/wallclock_cc", |b| {
+        let cfg = NadaConfig::new(DatasetKind::Fcc, RunScale::Tiny, 13);
+        let nada = Nada::with_workload(cfg, Box::new(CcWorkload::for_dataset(DatasetKind::Fcc)));
+        b.iter(|| {
+            let mut llm = MockLlm::perfect(13);
+            black_box(nada.run_state_search(&mut llm))
+        })
+    });
+}
+
+criterion_group!(benches, bench_search_wallclock);
+criterion_main!(benches);

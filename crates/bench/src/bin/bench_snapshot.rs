@@ -1,0 +1,174 @@
+//! Regenerates `BENCH_pr6.json` — the checked-in wall-clock snapshot for
+//! the batched-backward + worker-pool PR: the A2C update, one full
+//! training run (`train_epoch`), and the whole-search wall-clock for both
+//! workloads.
+//!
+//! ```text
+//! bench_snapshot [--out PATH]    # measure and write the snapshot
+//! bench_snapshot --check PATH    # verify PATH has exactly the same keys
+//! ```
+//!
+//! `--check` compares *structure*, not numbers: CI machines are not the
+//! build machine, so values in the checked-in snapshot are informative
+//! while the key set is normative. Exits 2 on usage errors, 1 on a failed
+//! check.
+
+use nada_core::{train_design, CcWorkload, Nada, NadaConfig, RunScale, TrainRunConfig};
+use nada_llm::MockLlm;
+use nada_nn::{A2cConfig, A2cTrainer, ActorCritic, ArchConfig, EpisodeBuffer, FeatureShape};
+use nada_traces::dataset::{DatasetKind, DatasetScale, TraceDataset};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The snapshot's key set, in output order. `--check` enforces exactly
+/// these keys; the measuring path emits exactly these keys.
+const KEYS: [&str; 4] = [
+    "nn/a2c_update_48_steps_ms",
+    "train_epoch_ms",
+    "search/wallclock_abr_ms",
+    "search/wallclock_cc_ms",
+];
+
+/// Mean milliseconds per run: one untimed warm-up, then `iters` timed runs.
+fn time_ms<F: FnMut()>(iters: u32, mut f: F) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e3 / f64::from(iters)
+}
+
+/// Same episode and net as the `nn/a2c_update_48_steps` criterion bench.
+fn measure_a2c_update() -> f64 {
+    let shapes = vec![
+        FeatureShape::Temporal(8),
+        FeatureShape::Temporal(8),
+        FeatureShape::Temporal(6),
+        FeatureShape::Scalar,
+        FeatureShape::Scalar,
+        FeatureShape::Scalar,
+    ];
+    let features = vec![
+        vec![0.2; 8],
+        vec![0.4; 8],
+        vec![0.3; 6],
+        vec![0.5],
+        vec![0.9],
+        vec![0.25],
+    ];
+    let quick = ArchConfig::pensieve_original().scaled_down(8);
+    let net = ActorCritic::build(&quick, &shapes, 6, 1);
+    let mut trainer = A2cTrainer::new(net, A2cConfig::default(), 1);
+    let mut ep = EpisodeBuffer::new();
+    for t in 0..48 {
+        ep.push(features.clone(), t % 6, 1.0);
+    }
+    time_ms(200, || {
+        black_box(trainer.update(std::slice::from_ref(&ep)));
+    })
+}
+
+/// Same run as the `train_epoch` criterion bench.
+fn measure_train_epoch() -> f64 {
+    let ds = TraceDataset::synthesize(DatasetKind::Fcc, DatasetScale::Tiny, 11);
+    let w = nada_core::AbrWorkload::for_dataset(DatasetKind::Fcc);
+    let state = nada_dsl::seeds::pensieve_state();
+    let arch = nada_dsl::seeds::pensieve_arch();
+    let cfg = TrainRunConfig {
+        train_epochs: 4,
+        test_interval: 4,
+        episodes_per_epoch: 3,
+        eval_traces: 2,
+        arch_scale_factor: 16,
+        a2c: A2cConfig::default(),
+        entropy_end: 0.01,
+    };
+    time_ms(20, || {
+        black_box(train_design(&w, &state, &arch, &ds, &cfg, 7).unwrap());
+    })
+}
+
+/// Same searches as the `search/wallclock_*` criterion benches.
+fn measure_search(cc: bool) -> f64 {
+    let nada = if cc {
+        let cfg = NadaConfig::new(DatasetKind::Fcc, RunScale::Tiny, 13);
+        Nada::with_workload(cfg, Box::new(CcWorkload::for_dataset(DatasetKind::Fcc)))
+    } else {
+        Nada::new(NadaConfig::new(DatasetKind::Fcc, RunScale::Tiny, 11))
+    };
+    let seed = if cc { 13 } else { 11 };
+    time_ms(3, || {
+        let mut llm = MockLlm::perfect(seed);
+        black_box(nada.run_state_search(&mut llm));
+    })
+}
+
+fn render(values: &[f64; 4]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (key, v)) in KEYS.iter().zip(values).enumerate() {
+        let sep = if i + 1 < KEYS.len() { "," } else { "" };
+        out.push_str(&format!("  \"{key}\": {v:.3}{sep}\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Extracts the quoted keys of a flat JSON object, in order.
+fn keys_of(json: &str) -> Vec<String> {
+    json.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            let rest = line.strip_prefix('"')?;
+            let end = rest.find('"')?;
+            rest[end..].contains(':').then(|| rest[..end].to_string())
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--check") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: bench_snapshot --check PATH");
+                std::process::exit(2);
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("bench_snapshot: cannot read {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let found = keys_of(&text);
+            if found != KEYS {
+                eprintln!("bench_snapshot: {path} keys {found:?} != expected {KEYS:?}");
+                std::process::exit(1);
+            }
+            println!("bench_snapshot: {path} ok ({} keys)", KEYS.len());
+        }
+        Some("--out") | None => {
+            let default = "BENCH_pr6.json".to_string();
+            let path = if args.first().map(String::as_str) == Some("--out") {
+                args.get(1).unwrap_or(&default)
+            } else {
+                &default
+            };
+            let values = [
+                measure_a2c_update(),
+                measure_train_epoch(),
+                measure_search(false),
+                measure_search(true),
+            ];
+            let json = render(&values);
+            std::fs::write(path, &json).expect("snapshot file must be writable");
+            print!("{json}");
+            println!("bench_snapshot: wrote {path}");
+        }
+        Some(other) => {
+            eprintln!("bench_snapshot: unknown argument `{other}`");
+            std::process::exit(2);
+        }
+    }
+}

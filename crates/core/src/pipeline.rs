@@ -37,10 +37,13 @@ use nada_llm::{DesignKind, LlmClient, Prompt};
 use nada_nn::ArchConfig;
 use nada_traces::dataset::TraceDataset;
 
-// The order-preserving scoped-thread map the pipeline fans out with lives
-// in `nada-exec` (shared with the bench harnesses); re-exported here so
-// `nada_core::pipeline::parallel_map` keeps working.
-pub use nada_exec::parallel_map;
+// The order-preserving parallel maps the pipeline fans out with live in
+// `nada-exec` (shared with the bench harnesses); re-exported here so
+// `nada_core::pipeline::parallel_map` keeps working. The pipeline stages
+// themselves go through `pool_map`/`pool_map_indexed` — the process-wide
+// worker pool — so concurrent stages and nested fan-outs share cores
+// (override the width with `NADA_WORKERS`).
+pub use nada_exec::{parallel_map, pool_map, pool_map_indexed};
 
 /// Table 2 row: pre-check pass counts for one candidate pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -250,13 +253,15 @@ impl Nada {
     /// Runs both pre-checks over every candidate **in parallel**, returning
     /// one verdict per candidate, input order preserved. Paper-scale pools
     /// are 3 000 designs, and the compile+fuzz checks are independent, so
-    /// they fan out across cores like the training stages do.
+    /// they fan out across cores like the training stages do — over
+    /// borrowed candidates (the indexed map makes cloning the pool
+    /// unnecessary).
     pub fn precheck_each(
         &self,
         candidates: &[Candidate],
     ) -> Vec<Result<CompiledDesign, RejectReason>> {
-        parallel_map(candidates.to_vec(), &|cand| {
-            precheck(&cand, &self.cfg.fuzz, self.workload.schema())
+        pool_map_indexed(candidates.len(), |i| {
+            precheck(&candidates[i], &self.cfg.fuzz, self.workload.schema())
         })
     }
 
@@ -292,7 +297,7 @@ impl Nada {
         let seeds: Vec<u64> = (0..self.cfg.n_seeds)
             .map(|i| self.cfg.seed.wrapping_add(1000 + i as u64))
             .collect();
-        let sessions: Result<Vec<TrainOutcome>, _> = parallel_map(seeds, &|seed| {
+        let sessions: Result<Vec<TrainOutcome>, _> = pool_map(seeds, &|seed| {
             train_design(
                 self.workload.as_ref(),
                 state,
@@ -363,7 +368,7 @@ impl Nada {
             })
             .collect();
         let scored: Vec<Option<(usize, usize, f64)>> =
-            parallel_map(pairs, &|(sid, aid, state, arch)| {
+            pool_map(pairs, &|(sid, aid, state, arch)| {
                 let out = train_design(
                     self.workload.as_ref(),
                     &state,
@@ -398,7 +403,7 @@ impl Nada {
         let seeds: Vec<u64> = (0..self.cfg.n_seeds)
             .map(|i| self.cfg.seed.wrapping_add(1000 + i as u64))
             .collect();
-        let scores: Result<Vec<f64>, _> = parallel_map(seeds, &|seed| {
+        let scores: Result<Vec<f64>, _> = pool_map(seeds, &|seed| {
             let mut session = DesignTrainer::new(
                 self.workload.as_ref(),
                 state,

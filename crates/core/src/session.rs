@@ -43,7 +43,7 @@ use crate::snapshot::{config_fingerprint, SessionSnapshot, SnapshotError};
 use crate::train::{train_design, DesignTrainer, TrainOutcome, TrainRunConfig};
 use nada_dsl::CompiledState;
 use nada_earlystop::classifiers::{Classifier, DesignSample, FitConfig, RewardCnnClassifier};
-use nada_exec::parallel_map;
+use nada_exec::pool_map_indexed;
 use nada_llm::{DesignKind, FeedbackContext, LlmClient};
 use nada_nn::ArchConfig;
 
@@ -384,27 +384,27 @@ impl<'a> SearchSession<'a> {
                 });
                 break;
             }
-            let wave = probes[idx..idx + self.wave_len(probes.len() - idx)].to_vec();
+            let wave = &probes[idx..idx + self.wave_len(probes.len() - idx)];
             idx += wave.len();
             let this = &*self;
-            let results: Vec<(usize, Option<TrainOutcome>)> =
-                parallel_map(wave, &|(cand, state, arch)| {
-                    let out = train_design(
-                        this.nada.workload(),
-                        &state,
-                        &arch,
-                        this.nada.dataset(),
-                        &run_cfg,
-                        this.design_seed(cand.id),
-                    )
-                    .ok();
-                    this.emit(&SearchEvent::ProbeTrained {
-                        id: cand.id,
-                        epochs: out.as_ref().map_or(0, |o| o.reward_curve.len()),
-                        failed: out.is_none(),
-                    });
-                    (cand.id, out)
+            let results: Vec<(usize, Option<TrainOutcome>)> = pool_map_indexed(wave.len(), |w| {
+                let (cand, state, arch) = &wave[w];
+                let out = train_design(
+                    this.nada.workload(),
+                    state,
+                    arch,
+                    this.nada.dataset(),
+                    &run_cfg,
+                    this.design_seed(cand.id),
+                )
+                .ok();
+                this.emit(&SearchEvent::ProbeTrained {
+                    id: cand.id,
+                    epochs: out.as_ref().map_or(0, |o| o.reward_curve.len()),
+                    failed: out.is_none(),
                 });
+                (cand.id, out)
+            });
             for (_, out) in &results {
                 match out {
                     Some(o) => {
@@ -488,16 +488,17 @@ impl<'a> SearchSession<'a> {
                 });
                 break;
             }
-            let wave = rest[idx..idx + self.wave_len(rest.len() - idx)].to_vec();
+            let wave = &rest[idx..idx + self.wave_len(rest.len() - idx)];
             idx += wave.len();
             let this = &*self;
             let classifier = &classifier;
             let results: Vec<(usize, Option<TrainOutcome>, bool)> =
-                parallel_map(wave, &|(cand, state, arch)| {
+                pool_map_indexed(wave.len(), |w| {
+                    let (cand, state, arch) = &wave[w];
                     let mut session = DesignTrainer::new(
                         this.nada.workload(),
-                        &state,
-                        &arch,
+                        state,
+                        arch,
                         this.nada.dataset(),
                         run_cfg,
                         this.design_seed(cand.id),
@@ -630,7 +631,7 @@ impl<'a> SearchSession<'a> {
                     });
                     break;
                 }
-                let result = self.evaluate_finalist(entry);
+                let result = self.evaluate_finalist(&entry);
                 if let Some(r) = &result {
                     self.stats.epochs_spent += finalist_epochs(r);
                 }
@@ -639,7 +640,10 @@ impl<'a> SearchSession<'a> {
             finals
         } else {
             let this = &*self;
-            let finals = parallel_map(finalists, &|entry| this.evaluate_finalist(entry));
+            // Nested fan-out: each finalist evaluation itself pool-maps its
+            // n_seeds sessions; the shared pool interleaves both levels.
+            let finals =
+                pool_map_indexed(finalists.len(), |i| this.evaluate_finalist(&finalists[i]));
             for r in finals.iter().flatten() {
                 self.stats.epochs_spent += finalist_epochs(r);
             }
@@ -677,10 +681,10 @@ impl<'a> SearchSession<'a> {
     }
 
     /// Full-protocol evaluation of one finalist, with its event.
-    fn evaluate_finalist(&self, (cand, state, arch): PoolEntry) -> Option<DesignResult> {
+    fn evaluate_finalist(&self, (cand, state, arch): &PoolEntry) -> Option<DesignResult> {
         let result = self
             .nada
-            .evaluate_design_full(&state, &arch)
+            .evaluate_design_full(state, arch)
             .ok()
             .map(|(sessions, score)| DesignResult {
                 code: cand.code.clone(),

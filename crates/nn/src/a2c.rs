@@ -12,10 +12,9 @@
 //!
 //! Episode = one full video playback, matching the paper's "epoch".
 
-use crate::batch::{softmax_into, FeatureLayout, InferScratch};
+use crate::batch::{softmax_into, FeatureLayout, InferScratch, TrainScratch};
 use crate::graph::ActorCritic;
 use crate::optim::Adam;
-use crate::param::clip_global_grad_norm;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -214,6 +213,14 @@ pub struct A2cTrainer {
     infer: InferScratch,
     logits_buf: Vec<f32>,
     values_buf: Vec<f32>,
+    train: TrainScratch,
+    states_all: Vec<f32>,
+    returns_flat: Vec<f32>,
+    adv_flat: Vec<f32>,
+    dlogits_buf: Vec<f32>,
+    dvalues_buf: Vec<f32>,
+    probs_buf: Vec<f32>,
+    log_probs_buf: Vec<f32>,
 }
 
 impl A2cTrainer {
@@ -230,6 +237,14 @@ impl A2cTrainer {
             infer: InferScratch::default(),
             logits_buf: Vec::new(),
             values_buf: Vec::new(),
+            train: TrainScratch::default(),
+            states_all: Vec::new(),
+            returns_flat: Vec::new(),
+            adv_flat: Vec::new(),
+            dlogits_buf: Vec::new(),
+            dvalues_buf: Vec::new(),
+            probs_buf: Vec::new(),
+            log_probs_buf: Vec::new(),
         }
     }
 
@@ -334,92 +349,141 @@ impl A2cTrainer {
     }
 
     /// One synchronous update over a batch of complete episodes.
+    ///
+    /// Every state row is an independent feature window (recurrent layers
+    /// run *within* a row, never across rows), so the whole batch — all
+    /// episodes concatenated in episode-major step order — goes through
+    /// **one** caching [`ActorCritic::forward_batch`]. That single forward
+    /// serves both passes: pass 1 reads its values to standardize
+    /// advantages across the batch, pass 2 reads its logits to build every
+    /// step's gradient and then runs **one** [`ActorCritic::backward_batch`]
+    /// over the still-warm caches. The single-step engine needed two
+    /// forwards per step (a critic-only pass plus a caching pass); this
+    /// path does one forward and one backward per *update*, reuses every
+    /// buffer (zero heap allocations after warm-up), and accumulates into
+    /// each weight in exactly the single-step order, so results are
+    /// bit-identical to the serial loop.
     pub fn update(&mut self, episodes: &[EpisodeBuffer]) -> UpdateStats {
         let total_steps: usize = episodes.iter().map(|e| e.len()).sum();
         assert!(total_steps > 0, "update needs at least one transition");
         let norm = 1.0 / total_steps as f32;
 
-        // Pass 1 (forward only): values for every step, so advantages can
-        // be standardized across the whole batch before gradients flow.
-        // Runs through the batched inference path — critic only, no layer
-        // caches, no per-step allocation — which is bit-identical to (and
-        // much cheaper than) a full `forward` per step.
-        let mut advantages: Vec<Vec<f32>> = Vec::with_capacity(episodes.len());
-        let mut all_returns: Vec<Vec<f32>> = Vec::with_capacity(episodes.len());
+        // The one caching forward over all rows of all episodes.
+        self.states_all.clear();
         for ep in episodes {
             assert_eq!(
                 ep.feature_lens(),
                 self.layout.lens(),
                 "episode rows do not match the network's input features"
             );
-            let returns = ep.returns(self.cfg.gamma);
-            self.net.values_batch(
-                ep.states_flat(),
-                &self.layout,
-                &mut self.values_buf,
-                &mut self.infer,
-            );
-            let advs: Vec<f32> = returns
-                .iter()
-                .zip(&self.values_buf)
-                .map(|(&r, &value)| r - value)
-                .collect();
-            advantages.push(advs);
-            all_returns.push(returns);
+            self.states_all.extend_from_slice(ep.states_flat());
+        }
+        self.net.forward_batch(
+            &self.states_all,
+            &self.layout,
+            &mut self.logits_buf,
+            &mut self.values_buf,
+            &mut self.train,
+        );
+
+        // Pass 1: discounted returns and advantages for every step, flat in
+        // episode-major order (the order the serial loop normalized in), so
+        // advantages can be standardized across the whole batch before
+        // gradients flow.
+        self.returns_flat.clear();
+        self.adv_flat.clear();
+        let mut base = 0;
+        for ep in episodes {
+            self.returns_flat.resize(base + ep.len(), 0.0);
+            let mut acc = 0.0f32;
+            for t in (0..ep.len()).rev() {
+                acc = ep.rewards()[t] + self.cfg.gamma * acc;
+                self.returns_flat[base + t] = acc;
+            }
+            let returns = &self.returns_flat[base..];
+            let values = &self.values_buf[base..base + ep.len()];
+            self.adv_flat
+                .extend(returns.iter().zip(values).map(|(&r, &value)| r - value));
+            base += ep.len();
         }
         if self.cfg.normalize_advantages {
-            let flat: Vec<f32> = advantages.iter().flatten().copied().collect();
+            let flat = &mut self.adv_flat;
             let mean = flat.iter().sum::<f32>() / flat.len() as f32;
             let var = flat.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / flat.len() as f32;
             let std = var.sqrt().max(1e-6);
-            for advs in &mut advantages {
-                for a in advs.iter_mut() {
-                    *a = (*a - mean) / std;
-                }
+            for a in flat.iter_mut() {
+                *a = (*a - mean) / std;
             }
         }
 
-        // Pass 2: re-forward (refreshing layer caches) and backpropagate.
+        // Pass 2: per-step gradient construction from the already-computed
+        // logits/values, then one batched backward over the whole batch.
         let mut policy_loss = 0.0f32;
         let mut value_loss = 0.0f32;
         let mut entropy_acc = 0.0f32;
-        for (e, ep) in episodes.iter().enumerate() {
-            let returns = &all_returns[e];
+        let n_actions = self.net.n_actions();
+        self.dlogits_buf.clear();
+        self.dvalues_buf.clear();
+        let mut ofs = 0;
+        for ep in episodes {
             for t in 0..ep.len() {
-                let (logits, value) = self.net.forward_flat(ep.state_row(t));
-                let probs = softmax(&logits);
-                let log_probs: Vec<f32> = probs.iter().map(|p| p.max(1e-10).ln()).collect();
+                let row = ofs + t;
+                let logits = &self.logits_buf[row * n_actions..(row + 1) * n_actions];
+                let value = self.values_buf[row];
+                self.probs_buf.clear();
+                self.probs_buf.extend_from_slice(logits);
+                softmax_into(&mut self.probs_buf);
+                let probs = &self.probs_buf;
+                self.log_probs_buf.clear();
+                self.log_probs_buf
+                    .extend(probs.iter().map(|p| p.max(1e-10).ln()));
+                let log_probs = &self.log_probs_buf;
                 let a = ep.action(t);
-                let adv = advantages[e][t];
+                let adv = self.adv_flat[row];
+                let ret = self.returns_flat[row];
                 let ent: f32 = -probs
                     .iter()
-                    .zip(&log_probs)
+                    .zip(log_probs)
                     .map(|(p, lp)| p * lp)
                     .sum::<f32>();
 
                 policy_loss += -log_probs[a] * adv;
-                value_loss += 0.5 * (value - returns[t]).powi(2);
+                value_loss += 0.5 * (value - ret).powi(2);
                 entropy_acc += ent;
 
                 // d(policy)/dz + d(-βH)/dz, all scaled by 1/total_steps.
-                let mut dlogits = vec![0.0f32; probs.len()];
-                for i in 0..probs.len() {
+                for i in 0..n_actions {
                     let onehot = if i == a { 1.0 } else { 0.0 };
                     let d_pg = (probs[i] - onehot) * adv;
                     let d_ent = self.cfg.entropy_coeff * probs[i] * (log_probs[i] + ent);
-                    dlogits[i] = (d_pg + d_ent) * norm;
+                    self.dlogits_buf.push((d_pg + d_ent) * norm);
                 }
-                let dvalue = self.cfg.value_coeff * (value - returns[t]) * norm;
-                self.net.backward(&dlogits, dvalue);
+                self.dvalues_buf
+                    .push(self.cfg.value_coeff * (value - ret) * norm);
             }
+            ofs += ep.len();
         }
+        self.net
+            .backward_batch(&self.dlogits_buf, &self.dvalues_buf, &mut self.train);
 
-        let grad_norm = {
-            let mut params = self.net.params_mut();
-            clip_global_grad_norm(&mut params, self.cfg.clip_grad_norm)
-        };
-        let mut params = self.net.params_mut();
-        self.opt.step(&mut params);
+        // Clip and step through the parameter visitor — the same flat
+        // elementwise accumulation order as `clip_global_grad_norm` and
+        // `Adam::step` over `params_mut()`, without building the `Vec`.
+        let mut sq = 0.0f32;
+        self.net.for_each_param(&mut |p| {
+            for g in &p.g {
+                sq += g * g;
+            }
+        });
+        let grad_norm = sq.sqrt();
+        if grad_norm > self.cfg.clip_grad_norm && grad_norm > 0.0 {
+            let scale = self.cfg.clip_grad_norm / grad_norm;
+            self.net.for_each_param(&mut |p| {
+                p.g.iter_mut().for_each(|g| *g *= scale);
+            });
+        }
+        let step = self.opt.begin_step();
+        self.net.for_each_param(&mut |p| step.apply(p));
 
         UpdateStats {
             policy_loss: policy_loss * norm,

@@ -75,6 +75,27 @@ pub struct InferScratch {
     pub(crate) recurrent: RecurrentScratch,
 }
 
+/// Reusable buffers for the batched *training* paths
+/// ([`crate::graph::ActorCritic::forward_batch`] /
+/// [`crate::graph::ActorCritic::backward_batch`]): branch gather/scatter
+/// staging, Sequential ping-pong partners, head feature rows and gradient
+/// rows. One instance per trainer; after warm-up no call allocates.
+#[derive(Debug, Clone, Default)]
+pub struct TrainScratch {
+    pub(crate) gather: Vec<f32>,
+    pub(crate) concat: Vec<f32>,
+    pub(crate) ping: Vec<f32>,
+    pub(crate) branch_ys: Vec<f32>,
+    pub(crate) actor_rows: Vec<f32>,
+    pub(crate) critic_rows: Vec<f32>,
+    pub(crate) d_actor: Vec<f32>,
+    pub(crate) d_critic: Vec<f32>,
+    pub(crate) d_total: Vec<f32>,
+    pub(crate) dconcat: Vec<f32>,
+    pub(crate) dbranch: Vec<f32>,
+    pub(crate) dx_sink: Vec<f32>,
+}
+
 /// Numerically stable softmax computed in place — bit-identical to
 /// [`crate::a2c::softmax`] (same max-shift, same exponentiation and
 /// normalization order), without the allocation.

@@ -12,7 +12,7 @@
 //! architecture code blocks (see `nada-dsl`) compile to an [`ArchConfig`],
 //! which [`ActorCritic::build`] turns into a trainable network.
 
-use crate::batch::{FeatureLayout, InferScratch};
+use crate::batch::{FeatureLayout, InferScratch, TrainScratch};
 use crate::layers::{
     Activation, ActivationLayer, AnyLayer, Conv1d, Dense, Layer, Lstm, RecurrentScratch, Rnn,
     Sequential,
@@ -306,6 +306,77 @@ impl FeatureNet {
         }
     }
 
+    /// Batched caching [`FeatureNet::forward_flat`] over `n` flat rows:
+    /// gathers each branch's input columns into contiguous rows, runs the
+    /// branch batched, scatters the outputs into concat rows, and runs the
+    /// trunk batched into `out` (`n * out_dim` values). Per row
+    /// bit-identical to `forward_flat`; allocation-free after warm-up.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_batch(
+        &mut self,
+        rows: &[f32],
+        n: usize,
+        out: &mut Vec<f32>,
+        gather: &mut Vec<f32>,
+        concat: &mut Vec<f32>,
+        branch_ys: &mut Vec<f32>,
+        ping: &mut Vec<f32>,
+    ) {
+        let stride: usize = self.feature_lens.iter().sum();
+        debug_assert_eq!(rows.len(), n * stride, "flat row batch size mismatch");
+        let concat_dim: usize = self.branch_dims.iter().sum();
+        concat.clear();
+        concat.resize(n * concat_dim, 0.0);
+        let mut off = 0;
+        let mut coff = 0;
+        for ((branch, &len), &dim) in self
+            .branches
+            .iter_mut()
+            .zip(&self.feature_lens)
+            .zip(&self.branch_dims)
+        {
+            gather.clear();
+            for r in 0..n {
+                gather.extend_from_slice(&rows[r * stride + off..r * stride + off + len]);
+            }
+            branch.forward_batch(gather, n, branch_ys, ping);
+            for (r, ys) in branch_ys.chunks_exact(dim).enumerate() {
+                concat[r * concat_dim + coff..r * concat_dim + coff + dim].copy_from_slice(ys);
+            }
+            off += len;
+            coff += dim;
+        }
+        self.trunk.forward_batch(concat, n, out, ping);
+    }
+
+    /// Batched [`FeatureNet::backward`] over the batch cached by
+    /// [`FeatureNet::forward_batch`]: trunk first, then each branch on its
+    /// column slice of the concat gradient, all in serial row order.
+    fn backward_batch(
+        &mut self,
+        grad_out: &[f32],
+        n: usize,
+        dconcat: &mut Vec<f32>,
+        dbranch: &mut Vec<f32>,
+        dx_sink: &mut Vec<f32>,
+        ping: &mut Vec<f32>,
+    ) {
+        self.trunk.backward_batch(grad_out, n, dconcat, ping);
+        let concat_dim: usize = self.branch_dims.iter().sum();
+        debug_assert_eq!(dconcat.len(), n * concat_dim);
+        let mut coff = 0;
+        for (branch, &dim) in self.branches.iter_mut().zip(&self.branch_dims) {
+            dbranch.clear();
+            for r in 0..n {
+                dbranch.extend_from_slice(
+                    &dconcat[r * concat_dim + coff..r * concat_dim + coff + dim],
+                );
+            }
+            branch.backward_batch(dbranch, n, dx_sink, ping);
+            coff += dim;
+        }
+    }
+
     fn params_mut(&mut self) -> Vec<&mut Param> {
         let mut ps: Vec<&mut Param> = self
             .branches
@@ -314,6 +385,15 @@ impl FeatureNet {
             .collect();
         ps.extend(self.trunk.params_mut());
         ps
+    }
+
+    /// Visits every parameter block in [`FeatureNet::params_mut`] order
+    /// without materializing the `Vec`.
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for b in &mut self.branches {
+            b.for_each_param(f);
+        }
+        self.trunk.for_each_param(f);
     }
 
     fn out_dim(&self) -> usize {
@@ -478,6 +558,84 @@ impl ActorCritic {
         }
     }
 
+    /// Batched caching forward over `n` flat rows: `logits` receives `n`
+    /// rows of `n_actions` values, `values` one value per row, and every
+    /// layer caches its batch for [`ActorCritic::backward_batch`]. Per row
+    /// bit-identical to [`ActorCritic::forward_flat`]; allocation-free
+    /// after warm-up.
+    pub fn forward_batch(
+        &mut self,
+        rows: &[f32],
+        layout: &FeatureLayout,
+        logits: &mut Vec<f32>,
+        values: &mut Vec<f32>,
+        scratch: &mut TrainScratch,
+    ) {
+        assert_eq!(
+            layout.lens(),
+            &self.actor_net.feature_lens[..],
+            "feature layout does not match the network's input features"
+        );
+        let n = rows.len() / layout.stride().max(1);
+        let TrainScratch {
+            gather,
+            concat,
+            ping,
+            branch_ys,
+            actor_rows,
+            critic_rows,
+            ..
+        } = scratch;
+        self.actor_net
+            .forward_batch(rows, n, actor_rows, gather, concat, branch_ys, ping);
+        self.actor_head.forward_batch(actor_rows, n, logits);
+        match &mut self.critic_net {
+            Some(net) => {
+                net.forward_batch(rows, n, critic_rows, gather, concat, branch_ys, ping);
+                self.critic_head.forward_batch(critic_rows, n, values);
+            }
+            None => self.critic_head.forward_batch(actor_rows, n, values),
+        }
+    }
+
+    /// Batched backward over the batch cached by
+    /// [`ActorCritic::forward_batch`]: `dlogits` holds `n` rows of
+    /// `n_actions` gradients, `dvalues` one per row. Every parameter
+    /// gradient accumulates in serial row order, so the result is
+    /// bit-identical to `n` single-sample
+    /// [`ActorCritic::forward_flat`]-then-[`ActorCritic::backward`] calls.
+    pub fn backward_batch(&mut self, dlogits: &[f32], dvalues: &[f32], scratch: &mut TrainScratch) {
+        let n = dvalues.len();
+        debug_assert_eq!(dlogits.len(), n * self.n_actions);
+        let TrainScratch {
+            ping,
+            d_actor,
+            d_critic,
+            d_total,
+            dconcat,
+            dbranch,
+            dx_sink,
+            ..
+        } = scratch;
+        self.actor_head.backward_batch(dlogits, n, d_actor);
+        self.critic_head.backward_batch(dvalues, n, d_critic);
+        match &mut self.critic_net {
+            Some(net) => {
+                self.actor_net
+                    .backward_batch(d_actor, n, dconcat, dbranch, dx_sink, ping);
+                net.backward_batch(d_critic, n, dconcat, dbranch, dx_sink, ping);
+            }
+            None => {
+                // Shared trunk: sum the head gradients before one backward
+                // (the same elementwise `a + c` as the single-sample path).
+                d_total.clear();
+                d_total.extend(d_actor.iter().zip(d_critic.iter()).map(|(a, c)| a + c));
+                self.actor_net
+                    .backward_batch(d_total, n, dconcat, dbranch, dx_sink, ping);
+            }
+        }
+    }
+
     /// Backward pass for the loss gradients w.r.t. logits and value.
     /// Must immediately follow a `forward` on the same features.
     pub fn backward(&mut self, dlogits: &[f32], dvalue: f32) {
@@ -510,6 +668,18 @@ impl ActorCritic {
         ps.extend(self.actor_head.params_mut());
         ps.extend(self.critic_head.params_mut());
         ps
+    }
+
+    /// Visits every parameter block in [`ActorCritic::params_mut`] order
+    /// without materializing the `Vec` — the allocation-free form the
+    /// update path uses for gradient clipping and the optimizer step.
+    pub fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.actor_net.for_each_param(f);
+        if let Some(net) = &mut self.critic_net {
+            net.for_each_param(f);
+        }
+        self.actor_head.for_each_param(f);
+        self.critic_head.for_each_param(f);
     }
 
     /// Total number of trainable weights.

@@ -98,6 +98,34 @@ impl ActivationLayer {
             *y_i = self.kind.apply(x_i);
         }
     }
+
+    /// Batched caching forward over `n` rows: appends `n * dim` outputs to
+    /// `ys` and caches inputs/outputs for
+    /// [`ActivationLayer::backward_batch`]. Bit-identical per element to
+    /// [`Layer::forward`]; allocation-free after warm-up.
+    pub(crate) fn forward_batch(&mut self, xs: &[f32], n: usize, ys: &mut Vec<f32>) {
+        debug_assert_eq!(xs.len(), n * self.dim);
+        self.cache_x.clear();
+        self.cache_x.extend_from_slice(xs);
+        self.cache_y.clear();
+        self.cache_y.extend(xs.iter().map(|&v| self.kind.apply(v)));
+        ys.clear();
+        ys.extend_from_slice(&self.cache_y);
+    }
+
+    /// Batched backward over the rows cached by
+    /// [`ActivationLayer::forward_batch`]. Stateless per element, so row
+    /// order is irrelevant; gradients are bit-identical to `backward`.
+    pub(crate) fn backward_batch(&mut self, dys: &[f32], n: usize, dxs: &mut Vec<f32>) {
+        debug_assert_eq!(dys.len(), n * self.dim);
+        debug_assert_eq!(self.cache_x.len(), n * self.dim);
+        dxs.clear();
+        dxs.extend(
+            dys.iter()
+                .zip(self.cache_x.iter().zip(&self.cache_y))
+                .map(|(&g, (&x, &y))| g * self.kind.derivative(x, y)),
+        );
+    }
 }
 
 impl Layer for ActivationLayer {
@@ -119,6 +147,8 @@ impl Layer for ActivationLayer {
     fn params_mut(&mut self) -> Vec<&mut Param> {
         Vec::new()
     }
+
+    fn for_each_param(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
 
     fn out_dim(&self) -> usize {
         self.dim

@@ -69,6 +69,65 @@ impl Conv1d {
             }
         }
     }
+
+    /// Batched caching forward over `n` rows: appends `n` rows of `out_dim`
+    /// outputs to `ys` and caches the inputs for
+    /// [`Conv1d::backward_batch`]. Per row bit-identical to
+    /// [`Layer::forward`]; allocation-free after warm-up.
+    pub(crate) fn forward_batch(&mut self, xs: &[f32], n: usize, ys: &mut Vec<f32>) {
+        debug_assert_eq!(xs.len(), n * self.in_len, "conv1d batch size mismatch");
+        self.cache_x.clear();
+        self.cache_x.extend_from_slice(xs);
+        let m_len = self.out_len();
+        ys.clear();
+        ys.resize(n * self.filters * m_len, 0.0);
+        for (x, y) in xs
+            .chunks_exact(self.in_len)
+            .zip(ys.chunks_exact_mut(self.filters * m_len))
+        {
+            for f in 0..self.filters {
+                let w = &self.w.w[f * self.kernel..(f + 1) * self.kernel];
+                let bias = self.b.w[f];
+                for m in 0..m_len {
+                    let mut acc = bias;
+                    for (k, &wk) in w.iter().enumerate() {
+                        acc += wk * x[m + k];
+                    }
+                    y[f * m_len + m] = acc;
+                }
+            }
+        }
+    }
+
+    /// Batched backward over the rows cached by [`Conv1d::forward_batch`]:
+    /// parameter gradients accumulate in serial row order (same per-weight
+    /// addition sequence as `n` single-sample `backward` calls) and per-row
+    /// input gradients land in `dxs`.
+    pub(crate) fn backward_batch(&mut self, dys: &[f32], n: usize, dxs: &mut Vec<f32>) {
+        let m_len = self.out_len();
+        debug_assert_eq!(dys.len(), n * self.filters * m_len);
+        debug_assert_eq!(self.cache_x.len(), n * self.in_len);
+        dxs.clear();
+        dxs.resize(n * self.in_len, 0.0);
+        for ((grad_out, x), dx) in dys
+            .chunks_exact(self.filters * m_len)
+            .zip(self.cache_x.chunks_exact(self.in_len))
+            .zip(dxs.chunks_exact_mut(self.in_len))
+        {
+            for f in 0..self.filters {
+                let w = &self.w.w[f * self.kernel..(f + 1) * self.kernel];
+                let wg = &mut self.w.g[f * self.kernel..(f + 1) * self.kernel];
+                for m in 0..m_len {
+                    let go = grad_out[f * m_len + m];
+                    self.b.g[f] += go;
+                    for k in 0..self.kernel {
+                        wg[k] += go * x[m + k];
+                        dx[m + k] += go * w[k];
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl Layer for Conv1d {
@@ -113,6 +172,11 @@ impl Layer for Conv1d {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.w, &mut self.b]
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
     }
 
     fn out_dim(&self) -> usize {

@@ -41,6 +41,53 @@ impl Dense {
             *y_o = self.b.w[o] + row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f32>();
         }
     }
+
+    /// Batched caching forward over `n` rows of `in_dim` values: appends
+    /// `n` rows of `out_dim` outputs to `ys` (cleared first) and caches the
+    /// inputs for [`Dense::backward_batch`]. Each row is bit-identical to
+    /// [`Layer::forward`]; after warm-up no call allocates.
+    pub(crate) fn forward_batch(&mut self, xs: &[f32], n: usize, ys: &mut Vec<f32>) {
+        debug_assert_eq!(xs.len(), n * self.in_dim, "dense batch size mismatch");
+        self.cache_x.clear();
+        self.cache_x.extend_from_slice(xs);
+        ys.clear();
+        ys.resize(n * self.out_dim, 0.0);
+        for (x, y) in xs
+            .chunks_exact(self.in_dim)
+            .zip(ys.chunks_exact_mut(self.out_dim))
+        {
+            for (o, y_o) in y.iter_mut().enumerate() {
+                let row = &self.w.w[o * self.in_dim..(o + 1) * self.in_dim];
+                *y_o = self.b.w[o] + row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f32>();
+            }
+        }
+    }
+
+    /// Batched backward over the rows cached by [`Dense::forward_batch`]:
+    /// accumulates parameter gradients in serial row order (so the per-weight
+    /// addition sequence is exactly what `n` single-sample `backward` calls
+    /// would produce) and writes per-row input gradients to `dxs`.
+    pub(crate) fn backward_batch(&mut self, dys: &[f32], n: usize, dxs: &mut Vec<f32>) {
+        debug_assert_eq!(dys.len(), n * self.out_dim);
+        debug_assert_eq!(self.cache_x.len(), n * self.in_dim);
+        dxs.clear();
+        dxs.resize(n * self.in_dim, 0.0);
+        for ((grad_out, x), dx) in dys
+            .chunks_exact(self.out_dim)
+            .zip(self.cache_x.chunks_exact(self.in_dim))
+            .zip(dxs.chunks_exact_mut(self.in_dim))
+        {
+            for (o, &go) in grad_out.iter().enumerate() {
+                self.b.g[o] += go;
+                let row_w = &self.w.w[o * self.in_dim..(o + 1) * self.in_dim];
+                let row_g = &mut self.w.g[o * self.in_dim..(o + 1) * self.in_dim];
+                for i in 0..self.in_dim {
+                    row_g[i] += go * x[i];
+                    dx[i] += go * row_w[i];
+                }
+            }
+        }
+    }
 }
 
 impl Layer for Dense {
@@ -73,6 +120,11 @@ impl Layer for Dense {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.w, &mut self.b]
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
     }
 
     fn out_dim(&self) -> usize {

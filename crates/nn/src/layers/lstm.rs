@@ -43,6 +43,18 @@ pub struct Lstm {
     bo: Param,
     bg: Param,
     cache: Vec<StepCache>,
+    /// Batched-forward cache: per row, per step, the values `backward_batch`
+    /// needs — `x` (1 value) then `h_prev, c_prev, i, f, o, g, tanh_c`
+    /// (`units` values each), so `1 + 7 * units` per step.
+    cache_b: Vec<f32>,
+    /// Reusable forward/backward scratch for the batched kernels.
+    scratch_h: Vec<f32>,
+    scratch_c: Vec<f32>,
+    scratch_gates: Vec<f32>,
+    scratch_da: Vec<f32>,
+    scratch_dh: Vec<f32>,
+    scratch_dh_prev: Vec<f32>,
+    scratch_dc: Vec<f32>,
 }
 
 fn sigmoid(x: f32) -> f32 {
@@ -71,6 +83,14 @@ impl Lstm {
             bo: Param::zeros(units),
             bg: Param::zeros(units),
             cache: Vec::new(),
+            cache_b: Vec::new(),
+            scratch_h: Vec::new(),
+            scratch_c: Vec::new(),
+            scratch_gates: Vec::new(),
+            scratch_da: Vec::new(),
+            scratch_dh: Vec::new(),
+            scratch_dh_prev: Vec::new(),
+            scratch_dc: Vec::new(),
         }
     }
 
@@ -160,6 +180,165 @@ impl Lstm {
             }
         }
         y.copy_from_slice(h);
+    }
+
+    /// Values cached per step by the batched forward (see [`Lstm::cache_b`]).
+    fn step_stride(&self) -> usize {
+        1 + 7 * self.units
+    }
+
+    /// Batched caching forward over `n` sequences: appends the `n` final
+    /// hidden states to `ys` and caches every step's gate values for
+    /// [`Lstm::backward_batch`]. Per row bit-identical to
+    /// [`Layer::forward`]; allocation-free after warm-up.
+    pub(crate) fn forward_batch(&mut self, xs: &[f32], n: usize, ys: &mut Vec<f32>) {
+        debug_assert_eq!(xs.len(), n * self.seq_len, "lstm batch size mismatch");
+        let u_n = self.units;
+        let step = self.step_stride();
+        self.cache_b.clear();
+        self.cache_b.resize(n * self.seq_len * step, 0.0);
+        self.scratch_gates.clear();
+        self.scratch_gates.resize(4 * u_n, 0.0);
+        ys.clear();
+        ys.resize(n * u_n, 0.0);
+        for ((x, row_cache), y) in xs
+            .chunks_exact(self.seq_len)
+            .zip(self.cache_b.chunks_exact_mut(self.seq_len * step))
+            .zip(ys.chunks_exact_mut(u_n))
+        {
+            self.scratch_h.clear();
+            self.scratch_h.resize(u_n, 0.0);
+            self.scratch_c.clear();
+            self.scratch_c.resize(u_n, 0.0);
+            let h = &mut self.scratch_h;
+            let c = &mut self.scratch_c;
+            for (&xt, sc) in x.iter().zip(row_cache.chunks_exact_mut(step)) {
+                let (gi, rest) = self.scratch_gates.split_at_mut(u_n);
+                let (gf, rest) = rest.split_at_mut(u_n);
+                let (go, gg) = rest.split_at_mut(u_n);
+                Self::gate_preact_into(&self.wi, &self.bi, xt, h, gi);
+                Self::gate_preact_into(&self.wf, &self.bf, xt, h, gf);
+                Self::gate_preact_into(&self.wo, &self.bo, xt, h, go);
+                Self::gate_preact_into(&self.wg, &self.bg, xt, h, gg);
+                sc[0] = xt;
+                let (c_h_prev, rest) = sc[1..].split_at_mut(u_n);
+                let (c_c_prev, rest) = rest.split_at_mut(u_n);
+                let (c_i, rest) = rest.split_at_mut(u_n);
+                let (c_f, rest) = rest.split_at_mut(u_n);
+                let (c_o, rest) = rest.split_at_mut(u_n);
+                let (c_g, c_tanh) = rest.split_at_mut(u_n);
+                c_h_prev.copy_from_slice(h);
+                c_c_prev.copy_from_slice(c);
+                for u in 0..u_n {
+                    let i = sigmoid(gi[u]);
+                    let f = sigmoid(gf[u]);
+                    let o = sigmoid(go[u]);
+                    let g = gg[u].tanh();
+                    let c_new = f * c[u] + i * g;
+                    let tanh_c = c_new.tanh();
+                    c_i[u] = i;
+                    c_f[u] = f;
+                    c_o[u] = o;
+                    c_g[u] = g;
+                    c_tanh[u] = tanh_c;
+                    c[u] = c_new;
+                    h[u] = o * tanh_c;
+                }
+            }
+            y.copy_from_slice(h);
+        }
+    }
+
+    /// Batched backward-through-time over the gate values cached by
+    /// [`Lstm::forward_batch`]: rows are processed in serial order, each
+    /// mirroring the single-sample `backward` accumulation exactly.
+    pub(crate) fn backward_batch(&mut self, dys: &[f32], n: usize, dxs: &mut Vec<f32>) {
+        debug_assert_eq!(dys.len(), n * self.units);
+        let u_n = self.units;
+        let step = self.step_stride();
+        debug_assert_eq!(self.cache_b.len(), n * self.seq_len * step);
+        self.scratch_da.clear();
+        self.scratch_da.resize(4 * u_n, 0.0);
+        dxs.clear();
+        dxs.resize(n * self.seq_len, 0.0);
+        for ((grad_out, row_cache), dx) in dys
+            .chunks_exact(u_n)
+            .zip(self.cache_b.chunks_exact(self.seq_len * step))
+            .zip(dxs.chunks_exact_mut(self.seq_len))
+        {
+            self.scratch_dh.clear();
+            self.scratch_dh.extend_from_slice(grad_out);
+            self.scratch_dc.clear();
+            self.scratch_dc.resize(u_n, 0.0);
+            for t in (0..self.seq_len).rev() {
+                let sc = &row_cache[t * step..(t + 1) * step];
+                let sc_x = sc[0];
+                let sc_h_prev = &sc[1..1 + u_n];
+                let sc_c_prev = &sc[1 + u_n..1 + 2 * u_n];
+                let sc_i = &sc[1 + 2 * u_n..1 + 3 * u_n];
+                let sc_f = &sc[1 + 3 * u_n..1 + 4 * u_n];
+                let sc_o = &sc[1 + 4 * u_n..1 + 5 * u_n];
+                let sc_g = &sc[1 + 5 * u_n..1 + 6 * u_n];
+                let sc_tanh = &sc[1 + 6 * u_n..1 + 7 * u_n];
+                self.scratch_dh_prev.clear();
+                self.scratch_dh_prev.resize(u_n, 0.0);
+                let mut dxt = 0.0f32;
+                let (da_i, rest) = self.scratch_da.split_at_mut(u_n);
+                let (da_f, rest) = rest.split_at_mut(u_n);
+                let (da_o, da_g) = rest.split_at_mut(u_n);
+                for u in 0..u_n {
+                    let do_ = self.scratch_dh[u] * sc_tanh[u];
+                    da_o[u] = do_ * sc_o[u] * (1.0 - sc_o[u]);
+                    let dct = self.scratch_dc[u]
+                        + self.scratch_dh[u] * sc_o[u] * (1.0 - sc_tanh[u] * sc_tanh[u]);
+                    let di = dct * sc_g[u];
+                    da_i[u] = di * sc_i[u] * (1.0 - sc_i[u]);
+                    let dg = dct * sc_i[u];
+                    da_g[u] = dg * (1.0 - sc_g[u] * sc_g[u]);
+                    let df = dct * sc_c_prev[u];
+                    da_f[u] = df * sc_f[u] * (1.0 - sc_f[u]);
+                    self.scratch_dc[u] = dct * sc_f[u];
+                }
+                Self::gate_backward(
+                    &mut self.wi,
+                    &mut self.bi,
+                    da_i,
+                    sc_x,
+                    sc_h_prev,
+                    &mut dxt,
+                    &mut self.scratch_dh_prev,
+                );
+                Self::gate_backward(
+                    &mut self.wf,
+                    &mut self.bf,
+                    da_f,
+                    sc_x,
+                    sc_h_prev,
+                    &mut dxt,
+                    &mut self.scratch_dh_prev,
+                );
+                Self::gate_backward(
+                    &mut self.wo,
+                    &mut self.bo,
+                    da_o,
+                    sc_x,
+                    sc_h_prev,
+                    &mut dxt,
+                    &mut self.scratch_dh_prev,
+                );
+                Self::gate_backward(
+                    &mut self.wg,
+                    &mut self.bg,
+                    da_g,
+                    sc_x,
+                    sc_h_prev,
+                    &mut dxt,
+                    &mut self.scratch_dh_prev,
+                );
+                dx[t] = dxt;
+                std::mem::swap(&mut self.scratch_dh, &mut self.scratch_dh_prev);
+            }
+        }
     }
 }
 
@@ -284,6 +463,17 @@ impl Layer for Lstm {
             &mut self.bo,
             &mut self.bg,
         ]
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.wi);
+        f(&mut self.wf);
+        f(&mut self.wo);
+        f(&mut self.wg);
+        f(&mut self.bi);
+        f(&mut self.bf);
+        f(&mut self.bo);
+        f(&mut self.bg);
     }
 
     fn out_dim(&self) -> usize {

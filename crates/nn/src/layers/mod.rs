@@ -34,6 +34,16 @@ pub trait Layer {
     /// Mutable access to every parameter block (weights + biases).
     fn params_mut(&mut self) -> Vec<&mut Param>;
 
+    /// Visits every parameter block in [`Layer::params_mut`] order without
+    /// materializing the `Vec` (the allocation-free form used by the hot
+    /// update path). The default goes through `params_mut`; concrete layers
+    /// override it.
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for p in self.params_mut() {
+            f(p);
+        }
+    }
+
     /// Output dimensionality.
     fn out_dim(&self) -> usize;
 
@@ -91,6 +101,16 @@ impl Layer for AnyLayer {
         }
     }
 
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        match self {
+            AnyLayer::Dense(l) => l.for_each_param(f),
+            AnyLayer::Conv1d(l) => l.for_each_param(f),
+            AnyLayer::Rnn(l) => l.for_each_param(f),
+            AnyLayer::Lstm(l) => l.for_each_param(f),
+            AnyLayer::Act(l) => l.for_each_param(f),
+        }
+    }
+
     fn out_dim(&self) -> usize {
         match self {
             AnyLayer::Dense(l) => l.out_dim(),
@@ -138,6 +158,35 @@ impl AnyLayer {
                 x, y, &mut rs.h0, &mut rs.h1, &mut rs.gi, &mut rs.gf, &mut rs.go, &mut rs.gg,
             ),
             AnyLayer::Act(l) => l.infer_into(x, y),
+        }
+    }
+
+    /// Batched caching forward over `n` rows: `ys` receives `n` rows of
+    /// `out_dim` values, and the layer caches what
+    /// [`AnyLayer::backward_batch`] needs. Per row bit-identical to
+    /// [`Layer::forward`]; allocation-free after warm-up.
+    pub(crate) fn forward_batch(&mut self, xs: &[f32], n: usize, ys: &mut Vec<f32>) {
+        match self {
+            AnyLayer::Dense(l) => l.forward_batch(xs, n, ys),
+            AnyLayer::Conv1d(l) => l.forward_batch(xs, n, ys),
+            AnyLayer::Rnn(l) => l.forward_batch(xs, n, ys),
+            AnyLayer::Lstm(l) => l.forward_batch(xs, n, ys),
+            AnyLayer::Act(l) => l.forward_batch(xs, n, ys),
+        }
+    }
+
+    /// Batched backward over the rows cached by
+    /// [`AnyLayer::forward_batch`]: accumulates parameter gradients in
+    /// serial row order (the exact addition sequence `n` single-sample
+    /// `backward` calls would produce) and writes the per-row input
+    /// gradients to `dxs`.
+    pub(crate) fn backward_batch(&mut self, dys: &[f32], n: usize, dxs: &mut Vec<f32>) {
+        match self {
+            AnyLayer::Dense(l) => l.backward_batch(dys, n, dxs),
+            AnyLayer::Conv1d(l) => l.backward_batch(dys, n, dxs),
+            AnyLayer::Rnn(l) => l.backward_batch(dys, n, dxs),
+            AnyLayer::Lstm(l) => l.backward_batch(dys, n, dxs),
+            AnyLayer::Act(l) => l.backward_batch(dys, n, dxs),
         }
     }
 }
@@ -195,6 +244,45 @@ impl Sequential {
             std::mem::swap(out, ping);
         }
     }
+
+    /// Batched caching forward over `n` rows: the final activations land in
+    /// `out` (`n * out_dim` values), with `ping` as the ping-pong partner
+    /// buffer; every layer caches its batch for
+    /// [`Sequential::backward_batch`]. Per row bit-identical to
+    /// [`Layer::forward`]; allocation-free after warm-up.
+    pub(crate) fn forward_batch(
+        &mut self,
+        xs: &[f32],
+        n: usize,
+        out: &mut Vec<f32>,
+        ping: &mut Vec<f32>,
+    ) {
+        out.clear();
+        out.extend_from_slice(xs);
+        for l in &mut self.layers {
+            l.forward_batch(out, n, ping);
+            std::mem::swap(out, ping);
+        }
+    }
+
+    /// Batched backward over the batch cached by
+    /// [`Sequential::forward_batch`]: walks the chain in reverse, each layer
+    /// accumulating parameter gradients in serial row order. The input
+    /// gradients land in `dxs` (`n * in_dim` values).
+    pub(crate) fn backward_batch(
+        &mut self,
+        dys: &[f32],
+        n: usize,
+        dxs: &mut Vec<f32>,
+        ping: &mut Vec<f32>,
+    ) {
+        dxs.clear();
+        dxs.extend_from_slice(dys);
+        for l in self.layers.iter_mut().rev() {
+            l.backward_batch(dxs, n, ping);
+            std::mem::swap(dxs, ping);
+        }
+    }
 }
 
 impl Layer for Sequential {
@@ -219,6 +307,12 @@ impl Layer for Sequential {
             .iter_mut()
             .flat_map(|l| l.params_mut())
             .collect()
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for l in &mut self.layers {
+            l.for_each_param(f);
+        }
     }
 
     fn out_dim(&self) -> usize {

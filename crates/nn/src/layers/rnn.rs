@@ -23,6 +23,14 @@ pub struct Rnn {
     cache_x: Vec<f32>,
     /// Hidden states `h_0..h_T`, each `units` long.
     cache_h: Vec<Vec<f32>>,
+    /// Batched-forward caches: inputs (`n * seq_len`) and hidden states
+    /// (`n * (seq_len + 1) * units`, `h_0..h_T` per row).
+    cache_bx: Vec<f32>,
+    cache_bh: Vec<f32>,
+    /// Reusable BPTT scratch for [`Rnn::backward_batch`].
+    scratch_da: Vec<f32>,
+    scratch_dh: Vec<f32>,
+    scratch_dh_prev: Vec<f32>,
 }
 
 impl Rnn {
@@ -39,6 +47,11 @@ impl Rnn {
             b: Param::zeros(units),
             cache_x: Vec::new(),
             cache_h: Vec::new(),
+            cache_bx: Vec::new(),
+            cache_bh: Vec::new(),
+            scratch_da: Vec::new(),
+            scratch_dh: Vec::new(),
+            scratch_dh_prev: Vec::new(),
         }
     }
 }
@@ -71,6 +84,90 @@ impl Rnn {
             std::mem::swap(h0, h1);
         }
         y.copy_from_slice(h0);
+    }
+
+    /// Batched caching forward over `n` sequences: appends the `n` final
+    /// hidden states to `ys` and caches the full hidden trajectories for
+    /// [`Rnn::backward_batch`]. Per row bit-identical to
+    /// [`Layer::forward`]; allocation-free after warm-up.
+    pub(crate) fn forward_batch(&mut self, xs: &[f32], n: usize, ys: &mut Vec<f32>) {
+        debug_assert_eq!(xs.len(), n * self.seq_len, "rnn batch size mismatch");
+        self.cache_bx.clear();
+        self.cache_bx.extend_from_slice(xs);
+        let h_stride = (self.seq_len + 1) * self.units;
+        self.cache_bh.clear();
+        self.cache_bh.resize(n * h_stride, 0.0);
+        ys.clear();
+        ys.resize(n * self.units, 0.0);
+        for ((x, hs), y) in xs
+            .chunks_exact(self.seq_len)
+            .zip(self.cache_bh.chunks_exact_mut(h_stride))
+            .zip(ys.chunks_exact_mut(self.units))
+        {
+            // hs starts all-zero, so hs[0..units] is h_0 already.
+            for (t, &xt) in x.iter().enumerate() {
+                let (prev, rest) = hs.split_at_mut((t + 1) * self.units);
+                let h_prev = &prev[t * self.units..];
+                let h = &mut rest[..self.units];
+                for (u, h_u) in h.iter_mut().enumerate() {
+                    let mut a = self.wx.w[u] * xt + self.b.w[u];
+                    let row = &self.wh.w[u * self.units..(u + 1) * self.units];
+                    a += row.iter().zip(h_prev).map(|(w, h)| w * h).sum::<f32>();
+                    *h_u = a.tanh();
+                }
+            }
+            y.copy_from_slice(&hs[self.seq_len * self.units..]);
+        }
+    }
+
+    /// Batched backward-through-time over the trajectories cached by
+    /// [`Rnn::forward_batch`]: rows are processed in serial order, each
+    /// mirroring the single-sample `backward` accumulation exactly.
+    pub(crate) fn backward_batch(&mut self, dys: &[f32], n: usize, dxs: &mut Vec<f32>) {
+        debug_assert_eq!(dys.len(), n * self.units);
+        let h_stride = (self.seq_len + 1) * self.units;
+        debug_assert_eq!(self.cache_bh.len(), n * h_stride);
+        dxs.clear();
+        dxs.resize(n * self.seq_len, 0.0);
+        for ((grad_out, (x, hs)), dx) in dys
+            .chunks_exact(self.units)
+            .zip(
+                self.cache_bx
+                    .chunks_exact(self.seq_len)
+                    .zip(self.cache_bh.chunks_exact(h_stride)),
+            )
+            .zip(dxs.chunks_exact_mut(self.seq_len))
+        {
+            self.scratch_dh.clear();
+            self.scratch_dh.extend_from_slice(grad_out);
+            for t in (0..self.seq_len).rev() {
+                let h = &hs[(t + 1) * self.units..(t + 2) * self.units];
+                let h_prev = &hs[t * self.units..(t + 1) * self.units];
+                let xt = x[t];
+                // da = dh ⊙ (1 - h²)
+                self.scratch_da.clear();
+                self.scratch_da.extend(
+                    self.scratch_dh
+                        .iter()
+                        .zip(h)
+                        .map(|(&d, &hv)| d * (1.0 - hv * hv)),
+                );
+                self.scratch_dh_prev.clear();
+                self.scratch_dh_prev.resize(self.units, 0.0);
+                for (u, &dau) in self.scratch_da.iter().enumerate().take(self.units) {
+                    self.wx.g[u] += dau * xt;
+                    self.b.g[u] += dau;
+                    dx[t] += dau * self.wx.w[u];
+                    let row_w = &self.wh.w[u * self.units..(u + 1) * self.units];
+                    let row_g = &mut self.wh.g[u * self.units..(u + 1) * self.units];
+                    for v in 0..self.units {
+                        row_g[v] += dau * h_prev[v];
+                        self.scratch_dh_prev[v] += dau * row_w[v];
+                    }
+                }
+                std::mem::swap(&mut self.scratch_dh, &mut self.scratch_dh_prev);
+            }
+        }
     }
 }
 
@@ -127,6 +224,12 @@ impl Layer for Rnn {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.wx, &mut self.wh, &mut self.b]
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.wx);
+        f(&mut self.wh);
+        f(&mut self.b);
     }
 
     fn out_dim(&self) -> usize {

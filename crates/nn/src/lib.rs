@@ -32,7 +32,7 @@ pub mod optim;
 pub mod param;
 
 pub use a2c::{A2cConfig, A2cTrainer, EpisodeBuffer};
-pub use batch::{softmax_into, FeatureLayout, InferScratch};
+pub use batch::{softmax_into, FeatureLayout, InferScratch, TrainScratch};
 pub use classifier::CurveClassifier;
 pub use graph::{ActorCritic, ArchConfig, BranchKind, FeatureShape, HeadMode};
 pub use layers::{Activation, AnyLayer, Layer, Sequential};

@@ -32,25 +32,60 @@ impl Adam {
 
     /// Applies one update from the accumulated gradients, then clears them.
     pub fn step(&mut self, params: &mut [&mut Param]) {
-        self.t += 1;
-        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
-        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let step = self.begin_step();
         for p in params.iter_mut() {
-            for i in 0..p.w.len() {
-                let g = p.g[i];
-                p.m[i] = self.beta1 * p.m[i] + (1.0 - self.beta1) * g;
-                p.v[i] = self.beta2 * p.v[i] + (1.0 - self.beta2) * g * g;
-                let m_hat = p.m[i] / bc1;
-                let v_hat = p.v[i] / bc2;
-                p.w[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
-            }
-            p.zero_grad();
+            step.apply(p);
+        }
+    }
+
+    /// Starts one optimizer step: advances the shared step counter and
+    /// returns the bias-correction terms to [`AdamStep::apply`] to each
+    /// parameter block. Splitting the step this way lets callers walk
+    /// parameters through a visitor instead of materializing a
+    /// `Vec<&mut Param>`; the arithmetic is identical to [`Adam::step`].
+    pub fn begin_step(&mut self) -> AdamStep {
+        self.t += 1;
+        AdamStep {
+            lr: self.lr,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            eps: self.eps,
+            bc1: 1.0 - self.beta1.powi(self.t as i32),
+            bc2: 1.0 - self.beta2.powi(self.t as i32),
         }
     }
 
     /// Steps taken so far.
     pub fn steps(&self) -> u64 {
         self.t
+    }
+}
+
+/// One in-flight Adam step (see [`Adam::begin_step`]): the hyperparameters
+/// plus the bias corrections for the current step count.
+#[derive(Debug, Clone, Copy)]
+pub struct AdamStep {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    bc1: f32,
+    bc2: f32,
+}
+
+impl AdamStep {
+    /// Updates one parameter block from its accumulated gradients, then
+    /// clears them.
+    pub fn apply(&self, p: &mut Param) {
+        for i in 0..p.w.len() {
+            let g = p.g[i];
+            p.m[i] = self.beta1 * p.m[i] + (1.0 - self.beta1) * g;
+            p.v[i] = self.beta2 * p.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = p.m[i] / self.bc1;
+            let v_hat = p.v[i] / self.bc2;
+            p.w[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+        p.zero_grad();
     }
 }
 
