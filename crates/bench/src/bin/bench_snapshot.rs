@@ -1,7 +1,7 @@
-//! Regenerates `BENCH_pr6.json` — the checked-in wall-clock snapshot for
-//! the batched-backward + worker-pool PR: the A2C update, one full
-//! training run (`train_epoch`), and the whole-search wall-clock for both
-//! workloads.
+//! Regenerates `BENCH_pr7.json` — the checked-in wall-clock snapshot for
+//! the search-daemon PR: the A2C update, one full training run
+//! (`train_epoch`), the whole-search wall-clock for both workloads, and
+//! the daemon's submit round-trip latency over a loopback socket.
 //!
 //! ```text
 //! bench_snapshot [--out PATH]    # measure and write the snapshot
@@ -22,11 +22,12 @@ use std::time::Instant;
 
 /// The snapshot's key set, in output order. `--check` enforces exactly
 /// these keys; the measuring path emits exactly these keys.
-const KEYS: [&str; 4] = [
+const KEYS: [&str; 5] = [
     "nn/a2c_update_48_steps_ms",
     "train_epoch_ms",
     "search/wallclock_abr_ms",
     "search/wallclock_cc_ms",
+    "serve/submit_roundtrip_ms",
 ];
 
 /// Mean milliseconds per run: one untimed warm-up, then `iters` timed runs.
@@ -104,7 +105,38 @@ fn measure_search(cc: bool) -> f64 {
     })
 }
 
-fn render(values: &[f64; 4]) -> String {
+/// Wire + validation + spool-write latency of one `submit`, measured
+/// against a live daemon with a paused scheduler (0 lanes) so no search
+/// work competes with the protocol path. The submitted job is cancelled
+/// between iterations, outside the timed region.
+fn measure_submit_roundtrip() -> f64 {
+    let spool = std::env::temp_dir().join(format!("nada-bench-submit-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spool);
+    let daemon = nada_serve::Daemon::bind_with_lanes("127.0.0.1:0", &spool, 0)
+        .expect("loopback daemon binds");
+    let addr = daemon.local_addr().expect("daemon has an address");
+    let server = std::thread::spawn(move || daemon.run());
+    let mut client = nada_serve::Client::connect(addr).expect("client connects");
+    let spec = nada_core::JobSpec::new("abr", "FCC", 11);
+    let mut pending = Vec::new();
+    let ms = time_ms(200, || {
+        pending.push(client.submit(spec.clone()).expect("submit succeeds"));
+        // Cancel outside the timing below; draining here would pollute
+        // the measurement with the cancel round trip.
+    });
+    for id in pending {
+        client.cancel(id).expect("queued job cancels");
+    }
+    client.shutdown().expect("daemon shuts down");
+    server
+        .join()
+        .expect("daemon joins")
+        .expect("daemon exits cleanly");
+    let _ = std::fs::remove_dir_all(&spool);
+    ms
+}
+
+fn render(values: &[f64; 5]) -> String {
     let mut out = String::from("{\n");
     for (i, (key, v)) in KEYS.iter().zip(values).enumerate() {
         let sep = if i + 1 < KEYS.len() { "," } else { "" };
@@ -149,7 +181,7 @@ fn main() {
             println!("bench_snapshot: {path} ok ({} keys)", KEYS.len());
         }
         Some("--out") | None => {
-            let default = "BENCH_pr6.json".to_string();
+            let default = "BENCH_pr7.json".to_string();
             let path = if args.first().map(String::as_str) == Some("--out") {
                 args.get(1).unwrap_or(&default)
             } else {
@@ -160,6 +192,7 @@ fn main() {
                 measure_train_epoch(),
                 measure_search(false),
                 measure_search(true),
+                measure_submit_roundtrip(),
             ];
             let json = render(&values);
             std::fs::write(path, &json).expect("snapshot file must be writable");

@@ -1,0 +1,68 @@
+//! `nada-bench` serve — runs the multi-tenant search daemon.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--spool DIR] [--lanes N] [--port-file PATH]
+//! ```
+//!
+//! * `--addr` defaults to `127.0.0.1:0` (an OS-assigned port).
+//! * `--spool` defaults to `nada-spool/`; jobs found there are recovered
+//!   before the listener starts serving.
+//! * `--lanes` overrides the scheduler lane count (default: derived from
+//!   `NADA_WORKERS`, capped at 4).
+//! * `--port-file` atomically writes the bound `host:port` once the
+//!   daemon is listening — scripts wait for this file instead of racing
+//!   the bind.
+//!
+//! The daemon exits 0 after a wire-level `shutdown` request, once every
+//! in-flight round is finished and checkpointed.
+
+use nada_serve::Daemon;
+
+fn usage() -> ! {
+    eprintln!("usage: serve [--addr HOST:PORT] [--spool DIR] [--lanes N] [--port-file PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut spool = "nada-spool".to_string();
+    let mut lanes = nada_exec::scheduler_lanes();
+    let mut port_file: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => addr = value(),
+            "--spool" => spool = value(),
+            "--lanes" => {
+                lanes = value().parse().unwrap_or_else(|e| {
+                    eprintln!("serve: bad --lanes: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--port-file" => port_file = Some(value()),
+            _ => usage(),
+        }
+    }
+
+    let daemon = match Daemon::bind_with_lanes(&addr, &spool, lanes) {
+        Ok(daemon) => daemon,
+        Err(e) => {
+            eprintln!("serve: cannot start on {addr} over {spool}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let bound = daemon.local_addr().expect("listener has an address");
+    if let Some(path) = port_file {
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, format!("{bound}\n")).expect("port file is writable");
+        std::fs::rename(&tmp, &path).expect("port file is renameable");
+    }
+    println!("serve: listening on {bound} ({lanes} lanes, spool {spool})");
+    if let Err(e) = daemon.run() {
+        eprintln!("serve: {e}");
+        std::process::exit(1);
+    }
+    println!("serve: drained and exiting");
+}

@@ -1,0 +1,174 @@
+//! `nada-bench` serve_ctl — client CLI for the search daemon.
+//!
+//! ```text
+//! serve_ctl --addr HOST:PORT  ping
+//! serve_ctl --addr HOST:PORT  submit [--workload W] [--dataset D] [--scale S]
+//!                                    [--seed N] [--llm B] [--model M] [--rounds N]
+//! serve_ctl --addr HOST:PORT  status JOB_ID
+//! serve_ctl --addr HOST:PORT  wait JOB_ID [--timeout-secs N]
+//! serve_ctl --addr HOST:PORT  result JOB_ID
+//! serve_ctl --addr HOST:PORT  cancel JOB_ID
+//! serve_ctl --addr HOST:PORT  shutdown
+//! ```
+//!
+//! `--port-file PATH` may replace `--addr` (reads the daemon's published
+//! address). `submit` prints the bare job id on stdout so scripts can
+//! capture it; `wait` exits 0 only if the job finished `done`.
+
+use std::time::Duration;
+
+use nada_core::JobSpec;
+use nada_serve::{Client, JobStatus};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve_ctl (--addr HOST:PORT | --port-file PATH) \
+         (ping | submit [spec flags] | status ID | wait ID [--timeout-secs N] | \
+         result ID | cancel ID | shutdown)"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("serve_ctl: {msg}");
+    std::process::exit(1);
+}
+
+fn print_status(status: &JobStatus) {
+    print!(
+        "job {}: {} round {}/{} cache {}h/{}m",
+        status.id,
+        status.state,
+        status.next_round,
+        status.rounds,
+        status.cache_hits,
+        status.cache_misses
+    );
+    if let Some(best) = status.best_so_far {
+        print!(" best {best:.4}");
+    }
+    if let Some(error) = &status.error {
+        print!(" error: {error}");
+    }
+    println!();
+}
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(args.next().unwrap_or_else(|| usage())),
+            "--port-file" => {
+                let path = args.next().unwrap_or_else(|| usage());
+                let text = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+                addr = Some(text.trim().to_string());
+            }
+            _ => rest.push(arg),
+        }
+    }
+    let Some(addr) = addr else { usage() };
+    let mut client =
+        Client::connect(&addr).unwrap_or_else(|e| fail(format!("cannot connect to {addr}: {e}")));
+
+    let mut rest = rest.into_iter();
+    let Some(command) = rest.next() else { usage() };
+    let parse_id = |rest: &mut dyn Iterator<Item = String>| -> u64 {
+        rest.next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| usage())
+    };
+    match command.as_str() {
+        "ping" => {
+            client.ping().unwrap_or_else(|e| fail(e));
+            println!("pong");
+        }
+        "submit" => {
+            let mut spec = JobSpec::new("abr", "FCC", 11);
+            while let Some(flag) = rest.next() {
+                let mut value = || rest.next().unwrap_or_else(|| usage());
+                match flag.as_str() {
+                    "--workload" => spec.workload = value(),
+                    "--dataset" => spec.dataset = value(),
+                    "--scale" => spec.scale = value(),
+                    "--seed" => spec.seed = value().parse().unwrap_or_else(|_| usage()),
+                    "--llm" => spec.llm_backend = value(),
+                    "--model" => spec.llm_model = value(),
+                    "--rounds" => spec.rounds = value().parse().unwrap_or_else(|_| usage()),
+                    _ => usage(),
+                }
+            }
+            let id = client.submit(spec).unwrap_or_else(|e| fail(e));
+            println!("{id}");
+        }
+        "status" => {
+            let id = parse_id(&mut rest);
+            print_status(&client.status(id).unwrap_or_else(|e| fail(e)));
+        }
+        "wait" => {
+            let id = parse_id(&mut rest);
+            let mut timeout = Duration::from_secs(600);
+            while let Some(flag) = rest.next() {
+                match flag.as_str() {
+                    "--timeout-secs" => {
+                        let secs: u64 = rest
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or_else(|| usage());
+                        timeout = Duration::from_secs(secs);
+                    }
+                    _ => usage(),
+                }
+            }
+            let status = client
+                .wait_terminal(id, timeout)
+                .unwrap_or_else(|e| fail(e));
+            print_status(&status);
+            if status.state != "done" {
+                std::process::exit(1);
+            }
+        }
+        "result" => {
+            let id = parse_id(&mut rest);
+            let result = client.result(id).unwrap_or_else(|e| fail(e));
+            println!(
+                "job {id}: {} ({}/{}) {} rounds, cache {}h/{}m",
+                result.spec.workload,
+                result.spec.dataset,
+                result.spec.scale,
+                result.rounds.len(),
+                result.cache_hits,
+                result.cache_misses
+            );
+            for round in &result.rounds {
+                println!(
+                    "  round {}: best {:.4} (so far {:.4})",
+                    round.round + 1,
+                    round.best_score,
+                    round.best_so_far
+                );
+            }
+            for (rank, entry) in result.hall.iter().enumerate() {
+                println!(
+                    "  hall #{}: round {} candidate {} score {:.4}",
+                    rank + 1,
+                    entry.round + 1,
+                    entry.id,
+                    entry.score
+                );
+            }
+        }
+        "cancel" => {
+            let id = parse_id(&mut rest);
+            client.cancel(id).unwrap_or_else(|e| fail(e));
+            println!("job {id}: cancelled");
+        }
+        "shutdown" => {
+            client.shutdown().unwrap_or_else(|e| fail(e));
+            println!("daemon: shutting down");
+        }
+        _ => usage(),
+    }
+}

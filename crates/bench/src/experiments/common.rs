@@ -11,8 +11,8 @@
 use crate::cli::HarnessOptions;
 use crate::progress::ProgressObserver;
 use nada_core::{
-    DriverOutcome, LlmRegistry, LlmRequest, LlmSpec, Nada, NadaConfig, SearchDriver, SearchOutcome,
-    SearchSession, Workload, WorkloadRegistry,
+    DriverOutcome, JobSpec, LlmRegistry, LlmRequest, LlmSpec, Nada, NadaConfig, SearchDriver,
+    SearchOutcome, SearchSession, Workload, WorkloadRegistry,
 };
 use nada_llm::{DesignKind, LlmClient};
 use nada_traces::dataset::DatasetKind;
@@ -130,6 +130,19 @@ pub fn run_search(
         .expect("a fresh session runs every stage exactly once")
 }
 
+/// The job identity of one multi-round harness run — the same record the
+/// serve daemon uses, so harness checkpoints and daemon checkpoints are
+/// mutually intelligible.
+pub fn harness_job_spec(nada: &Nada, opts: &HarnessOptions) -> JobSpec {
+    let cfg = nada.config();
+    let mut spec = JobSpec::new(nada.workload().name(), cfg.dataset.name(), cfg.seed);
+    spec.scale = cfg.scale.name().to_string();
+    spec.llm_backend = opts.llm.clone();
+    spec.llm_model = opts.model.clone().unwrap_or_else(|| "gpt-4".to_string());
+    spec.rounds = opts.rounds;
+    spec
+}
+
 /// Drives a multi-round feedback search through one funnel: `--rounds`
 /// picks the round count, `--resume PATH` restarts a killed run from its
 /// checkpoint, `--checkpoint PATH` persists one after every round
@@ -144,6 +157,11 @@ pub fn run_driver(
     opts: &HarnessOptions,
     label: &str,
 ) -> DriverOutcome {
+    // What this harness invocation believes the job is. Fresh runs embed
+    // it in every checkpoint; resumed runs are verified against it, so a
+    // checkpoint from a different workload/llm/seed fails loudly instead
+    // of silently continuing the wrong search.
+    let expected = harness_job_spec(nada, opts);
     let mut driver = match &opts.resume {
         Some(path) => {
             let resumed = SearchDriver::resume_from_file(nada, path)
@@ -155,9 +173,16 @@ pub fn run_driver(
                 resumed.kind().name(),
                 kind.name()
             );
+            if let Some(spec) = resumed.job_spec() {
+                if let Some(diff) = spec.mismatch(&expected) {
+                    panic!("checkpoint `{path}` belongs to a different job ({diff})");
+                }
+            }
             resumed.with_rounds(opts.rounds)
         }
-        None => SearchDriver::new(nada, kind).with_rounds(opts.rounds),
+        None => SearchDriver::new(nada, kind)
+            .with_rounds(opts.rounds)
+            .with_job_spec(expected),
     };
     // `--resume` without `--checkpoint` keeps checkpointing to the file
     // it resumed from — a user protecting a long run clearly wants the

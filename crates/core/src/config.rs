@@ -18,6 +18,27 @@ pub enum RunScale {
     Tiny,
 }
 
+impl RunScale {
+    /// The scale's CLI/wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RunScale::Paper => "paper",
+            RunScale::Quick => "quick",
+            RunScale::Tiny => "tiny",
+        }
+    }
+
+    /// Inverse of [`RunScale::name`], case-insensitively.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "paper" => Some(RunScale::Paper),
+            "quick" => Some(RunScale::Quick),
+            "tiny" => Some(RunScale::Tiny),
+            _ => None,
+        }
+    }
+}
+
 /// Complete configuration of a NADA run on one dataset.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct NadaConfig {

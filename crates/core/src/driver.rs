@@ -21,6 +21,7 @@
 
 use crate::budget::Budget;
 use crate::feedback::{feedback_for_round, DriverCheckpoint, HallEntry, HallOfFame, RoundSummary};
+use crate::jobspec::JobSpec;
 use crate::observer::{SearchEvent, SearchObserver};
 use crate::pipeline::{Nada, SearchOutcome, SearchStats};
 use crate::session::SearchSession;
@@ -115,6 +116,9 @@ pub struct SearchDriver<'a> {
     /// deterministic, so recomputing every round would only burn time).
     /// Not checkpointed: a resumed run re-derives it once.
     original: Option<crate::pipeline::DesignResult>,
+    /// The job contract, embedded in every checkpoint so resumes can
+    /// refuse mismatched flags (see [`DriverCheckpoint::verify_spec`]).
+    spec: Option<JobSpec>,
 }
 
 impl<'a> SearchDriver<'a> {
@@ -133,6 +137,7 @@ impl<'a> SearchDriver<'a> {
             stats: SearchStats::default(),
             outcomes: Vec::new(),
             original: None,
+            spec: None,
         }
     }
 
@@ -166,6 +171,20 @@ impl<'a> SearchDriver<'a> {
     pub fn with_checkpoint_path(mut self, path: impl Into<PathBuf>) -> Self {
         self.checkpoint_path = Some(path.into());
         self
+    }
+
+    /// Embeds the job contract in every checkpoint (builder style), so a
+    /// later resume under different flags fails loudly instead of
+    /// silently diverging. A resumed driver inherits the checkpoint's
+    /// spec automatically.
+    pub fn with_job_spec(mut self, spec: JobSpec) -> Self {
+        self.spec = Some(spec);
+        self
+    }
+
+    /// The embedded job contract, if any.
+    pub fn job_spec(&self) -> Option<&JobSpec> {
+        self.spec.as_ref()
     }
 
     /// Registers an observer; it sees `RoundStarted`/`RoundFinished`
@@ -214,6 +233,7 @@ impl<'a> SearchDriver<'a> {
             hall: self.hall.entries().to_vec(),
             summaries: self.summaries.clone(),
             stats: self.stats,
+            spec: self.spec.clone(),
         }
     }
 
@@ -240,6 +260,7 @@ impl<'a> SearchDriver<'a> {
         }
         driver.summaries = checkpoint.summaries;
         driver.stats = checkpoint.stats;
+        driver.spec = checkpoint.spec;
         Ok(driver)
     }
 
@@ -484,6 +505,20 @@ mod tests {
         // The allowance was overspent in round 0, so — exactly like the
         // uninterrupted run — no further round runs.
         assert_eq!(outcome.rounds.len(), 1);
+    }
+
+    #[test]
+    fn job_spec_survives_checkpoint_and_resume() {
+        let nada = tiny_nada(68);
+        let spec = JobSpec::new("abr", "FCC", 68);
+        let driver = SearchDriver::new(&nada, DesignKind::State).with_job_spec(spec.clone());
+        let ckpt = driver.checkpoint();
+        assert!(ckpt.verify_spec(&spec).is_ok());
+        let mut wrong = spec.clone();
+        wrong.llm_model = "gpt-3.5".into();
+        assert!(ckpt.verify_spec(&wrong).is_err());
+        let resumed = SearchDriver::resume(&nada, ckpt).unwrap();
+        assert_eq!(resumed.job_spec(), Some(&spec));
     }
 
     #[test]

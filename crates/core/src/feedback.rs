@@ -8,6 +8,7 @@
 //! scores) bit-identically.
 
 use crate::budget::Budget;
+use crate::jobspec::JobSpec;
 use crate::pipeline::{PrecheckStats, SearchOutcome, SearchStats};
 use crate::snapshot::{kind_from_value, kind_to_value};
 use nada_llm::{DesignKind, FeedbackContext, FeedbackWinner};
@@ -171,10 +172,19 @@ pub struct DriverCheckpoint {
     pub summaries: Vec<RoundSummary>,
     /// Cumulative spend across completed rounds.
     pub stats: SearchStats,
+    /// The job contract this run was started with, when known. The config
+    /// fingerprint already guards the *pipeline*; the spec additionally
+    /// pins the CLI-level flags (workload/dataset/scale names, LLM backend
+    /// and model, budget) so a resume under different flags fails loudly
+    /// ([`DriverCheckpoint::verify_spec`]) instead of silently diverging.
+    /// `None` for version-1 checkpoints and spec-less drivers.
+    pub spec: Option<JobSpec>,
 }
 
-/// Checkpoint format version; bumped on layout changes.
-pub const CHECKPOINT_VERSION: u64 = 1;
+/// Checkpoint format version; bumped on layout changes. Version 2 added
+/// the embedded [`JobSpec`]; version-1 checkpoints still decode (with
+/// `spec: None`).
+pub const CHECKPOINT_VERSION: u64 = 2;
 
 impl DriverCheckpoint {
     /// Serializes to the text form (see `serde::text`).
@@ -185,6 +195,22 @@ impl DriverCheckpoint {
     /// Parses a checkpoint back from its text form.
     pub fn decode(s: &str) -> Result<Self, crate::snapshot::SnapshotError> {
         serde::text::from_str(s).map_err(|e| crate::snapshot::SnapshotError(e.to_string()))
+    }
+
+    /// Fails loudly when the checkpoint's embedded job spec contradicts
+    /// the spec the caller is resuming under. Checkpoints without a spec
+    /// (pre-version-2, or written by spec-less drivers) verify trivially —
+    /// there is nothing to contradict.
+    pub fn verify_spec(&self, expected: &JobSpec) -> Result<(), String> {
+        match &self.spec {
+            Some(spec) => match spec.mismatch(expected) {
+                None => Ok(()),
+                Some(diff) => Err(format!(
+                    "checkpoint belongs to a different job — refusing to resume ({diff})"
+                )),
+            },
+            None => Ok(()),
+        }
     }
 }
 
@@ -253,6 +279,7 @@ impl serde::Serialize for DriverCheckpoint {
             ("hall".into(), self.hall.to_value()),
             ("summaries".into(), self.summaries.to_value()),
             ("stats".into(), self.stats.to_value()),
+            ("spec".into(), self.spec.to_value()),
         ])
     }
 }
@@ -260,7 +287,7 @@ impl serde::Serialize for DriverCheckpoint {
 impl serde::Deserialize for DriverCheckpoint {
     fn from_value(v: &Value) -> Result<Self, CodecError> {
         let version = u64::from_value(v.field("version")?)?;
-        if version != CHECKPOINT_VERSION {
+        if version != 1 && version != CHECKPOINT_VERSION {
             return Err(CodecError::new(format!(
                 "checkpoint version {version} unsupported (expected {CHECKPOINT_VERSION})"
             )));
@@ -275,6 +302,12 @@ impl serde::Deserialize for DriverCheckpoint {
             hall: Vec::from_value(v.field("hall")?)?,
             summaries: Vec::from_value(v.field("summaries")?)?,
             stats: SearchStats::from_value(v.field("stats")?)?,
+            // Version 1 predates the embedded spec.
+            spec: if version == 1 {
+                None
+            } else {
+                Option::from_value(v.field("spec")?)?
+            },
         })
     }
 }
@@ -394,6 +427,7 @@ mod tests {
                 },
             }],
             stats: SearchStats::default(),
+            spec: Some(JobSpec::new("abr", "FCC", 11)),
         };
         let text = ckpt.encode();
         let back = DriverCheckpoint::decode(&text).expect("decode");
@@ -410,5 +444,52 @@ mod tests {
         // Corruption is rejected, not misparsed.
         assert!(DriverCheckpoint::decode(&text[..text.len() / 2]).is_err());
         assert!(DriverCheckpoint::decode("{}").is_err());
+    }
+
+    fn minimal_checkpoint(spec: Option<JobSpec>) -> DriverCheckpoint {
+        DriverCheckpoint {
+            fingerprint: 1,
+            kind: DesignKind::State,
+            next_round: 1,
+            rounds: 2,
+            hall_capacity: 5,
+            budget: Budget::unlimited(),
+            hall: Vec::new(),
+            summaries: Vec::new(),
+            stats: SearchStats::default(),
+            spec,
+        }
+    }
+
+    #[test]
+    fn version_1_checkpoints_still_decode_without_a_spec() {
+        let ckpt = minimal_checkpoint(Some(JobSpec::new("abr", "FCC", 3)));
+        // A v1 writer serialized neither the version-2 tag nor the spec
+        // field; synthesize that layout from the v2 encoding.
+        let v1 = ckpt
+            .encode()
+            .replace("version=u2", "version=u1")
+            .replace(" spec={", " old={");
+        let back = DriverCheckpoint::decode(&v1).expect("v1 decodes");
+        assert_eq!(back.spec, None);
+        assert_eq!(back.rounds, ckpt.rounds);
+        // ... and verifies trivially against any caller spec.
+        assert!(back.verify_spec(&JobSpec::new("cc", "4G", 99)).is_ok());
+    }
+
+    #[test]
+    fn verify_spec_refuses_a_different_job() {
+        let stored = JobSpec::new("abr", "FCC", 3);
+        let ckpt = minimal_checkpoint(Some(stored.clone()));
+        assert!(ckpt.verify_spec(&stored).is_ok());
+
+        let mut extended = stored.clone();
+        extended.rounds += 5;
+        assert!(ckpt.verify_spec(&extended).is_ok(), "rounds may extend");
+
+        let mut other = stored;
+        other.seed = 4;
+        let err = ckpt.verify_spec(&other).expect_err("seed mismatch");
+        assert!(err.contains("seed"), "{err}");
     }
 }

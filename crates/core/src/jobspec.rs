@@ -1,0 +1,164 @@
+//! The serializable description of one search job.
+//!
+//! A [`JobSpec`] is the contract between whoever *requests* a search and
+//! whatever *runs* it: workload, dataset, scale, seed, LLM backend,
+//! round count and budget. Two places consume it:
+//!
+//! * [`crate::feedback::DriverCheckpoint`] embeds the spec, so resuming a
+//!   killed multi-round run with different CLI flags fails loudly
+//!   ([`JobSpec::mismatch`]) instead of silently diverging from the
+//!   interrupted run;
+//! * the `nada-serve` daemon uses it as the wire-level submit payload and
+//!   the spool-level job record.
+//!
+//! The spec serializes through the serde shim's text codec like every
+//! other checkpointed type.
+
+use crate::budget::Budget;
+use serde::value::{Error as CodecError, Value};
+
+/// Everything needed to (re)create one search job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Workload registry name (`abr`, `cc`, ...).
+    pub workload: String,
+    /// Dataset display name (`FCC`, `Starlink`, `4G`, `5G`).
+    pub dataset: String,
+    /// Run scale name (`paper`, `quick`, `tiny`).
+    pub scale: String,
+    /// Master seed of the pipeline configuration.
+    pub seed: u64,
+    /// LLM registry backend name (`mock`, `replay`, `http`).
+    pub llm_backend: String,
+    /// Model identifier (mock profile name or hosted model id).
+    pub llm_model: String,
+    /// Feedback rounds the job runs.
+    pub rounds: usize,
+    /// Spending limits shared by every round.
+    pub budget: Budget,
+}
+
+impl JobSpec {
+    /// A mock-backed spec with no budget limits — the common test/bench
+    /// shape; adjust fields from here.
+    pub fn new(workload: impl Into<String>, dataset: impl Into<String>, seed: u64) -> Self {
+        Self {
+            workload: workload.into(),
+            dataset: dataset.into(),
+            scale: "tiny".to_string(),
+            seed,
+            llm_backend: "mock".to_string(),
+            llm_model: "gpt-4".to_string(),
+            rounds: 1,
+            budget: Budget::unlimited(),
+        }
+    }
+
+    /// Compares two specs field by field and describes every divergence,
+    /// or `None` when they describe the same job.
+    ///
+    /// `rounds` is deliberately **excluded**: extending a resumed run with
+    /// `--rounds` is a designed feature (the checkpoint's own round count
+    /// still floors the run), so differing round counts are not an error.
+    pub fn mismatch(&self, other: &JobSpec) -> Option<String> {
+        let mut diffs = Vec::new();
+        let mut diff = |field: &str, a: &dyn std::fmt::Display, b: &dyn std::fmt::Display| {
+            diffs.push(format!(
+                "{field}: checkpoint has `{a}`, caller passed `{b}`"
+            ));
+        };
+        if self.workload != other.workload {
+            diff("workload", &self.workload, &other.workload);
+        }
+        if self.dataset != other.dataset {
+            diff("dataset", &self.dataset, &other.dataset);
+        }
+        if self.scale != other.scale {
+            diff("scale", &self.scale, &other.scale);
+        }
+        if self.seed != other.seed {
+            diff("seed", &self.seed, &other.seed);
+        }
+        if self.llm_backend != other.llm_backend {
+            diff("llm backend", &self.llm_backend, &other.llm_backend);
+        }
+        if self.llm_model != other.llm_model {
+            diff("llm model", &self.llm_model, &other.llm_model);
+        }
+        if self.budget != other.budget {
+            diff(
+                "budget",
+                &format!("{:?}", self.budget),
+                &format!("{:?}", other.budget),
+            );
+        }
+        if diffs.is_empty() {
+            None
+        } else {
+            Some(diffs.join("; "))
+        }
+    }
+}
+
+impl serde::Serialize for JobSpec {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("workload".into(), self.workload.to_value()),
+            ("dataset".into(), self.dataset.to_value()),
+            ("scale".into(), self.scale.to_value()),
+            ("seed".into(), self.seed.to_value()),
+            ("llm_backend".into(), self.llm_backend.to_value()),
+            ("llm_model".into(), self.llm_model.to_value()),
+            ("rounds".into(), self.rounds.to_value()),
+            ("budget".into(), self.budget.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for JobSpec {
+    fn from_value(v: &Value) -> Result<Self, CodecError> {
+        Ok(Self {
+            workload: String::from_value(v.field("workload")?)?,
+            dataset: String::from_value(v.field("dataset")?)?,
+            scale: String::from_value(v.field("scale")?)?,
+            seed: u64::from_value(v.field("seed")?)?,
+            llm_backend: String::from_value(v.field("llm_backend")?)?,
+            llm_model: String::from_value(v.field("llm_model")?)?,
+            rounds: usize::from_value(v.field("rounds")?)?,
+            budget: Budget::from_value(v.field("budget")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_through_the_text_codec() {
+        let mut spec = JobSpec::new("cc", "Starlink", 42);
+        spec.rounds = 3;
+        spec.budget = Budget::unlimited().with_max_epochs(500);
+        let text = serde::text::to_string(&spec);
+        let back: JobSpec = serde::text::from_str(&text).expect("decode");
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn mismatch_names_every_divergent_field_but_tolerates_rounds() {
+        let a = JobSpec::new("abr", "FCC", 1);
+        let mut extended = a.clone();
+        extended.rounds = 7;
+        assert_eq!(a.mismatch(&extended), None, "rounds may extend");
+
+        let mut b = a.clone();
+        b.workload = "cc".into();
+        b.seed = 2;
+        b.llm_model = "gpt-3.5".into();
+        let msg = a.mismatch(&b).expect("three fields diverge");
+        assert!(msg.contains("workload"), "{msg}");
+        assert!(msg.contains("seed"), "{msg}");
+        assert!(msg.contains("llm model"), "{msg}");
+        assert!(!msg.contains("dataset"), "{msg}");
+    }
+}

@@ -34,6 +34,10 @@
 //!   checkpointed cross-round state;
 //! * [`feedback`] — hall of fame, per-round summaries and driver
 //!   checkpoints;
+//! * [`jobspec`] — the serializable job contract embedded in checkpoints
+//!   and spoken by the `nada-serve` daemon;
+//! * [`score_cache`] — the process-wide design-fingerprint → score cache
+//!   deduplicating deterministic evaluations across rounds and tenants;
 //! * [`observer`] — the session's typed event stream;
 //! * [`budget`] — graceful mid-stage truncation of a running search;
 //! * [`snapshot`] — serde snapshot/resume for interrupted searches;
@@ -49,6 +53,7 @@ pub mod config;
 pub mod driver;
 pub mod eval;
 pub mod feedback;
+pub mod jobspec;
 pub mod llm_registry;
 pub mod observer;
 pub mod pipeline;
@@ -56,6 +61,7 @@ pub mod prechecks;
 pub mod registry;
 pub mod report;
 pub mod score;
+pub mod score_cache;
 pub mod session;
 pub mod snapshot;
 pub mod train;
@@ -66,10 +72,12 @@ pub use candidate::{Candidate, CompiledDesign, RejectReason};
 pub use config::{NadaConfig, RunScale};
 pub use driver::{DriverError, DriverOutcome, SearchDriver};
 pub use feedback::{DriverCheckpoint, HallEntry, HallOfFame, RoundSummary};
+pub use jobspec::JobSpec;
 pub use llm_registry::{LlmBuildError, LlmRegistry, LlmRequest, LlmSpec};
 pub use observer::{CollectingObserver, FnObserver, SearchEvent, SearchObserver};
 pub use pipeline::{Nada, PrecheckStats, SearchOutcome, SearchStats};
 pub use registry::WorkloadRegistry;
+pub use score_cache::{CacheView, ScoreCache};
 pub use session::{SearchSession, Stage};
 pub use snapshot::{SessionSnapshot, SnapshotError};
 pub use train::{train_design, TrainError, TrainOutcome, TrainRunConfig};

@@ -29,13 +29,16 @@ use crate::config::NadaConfig;
 use crate::eval::evaluate_policy_emu;
 use crate::prechecks::precheck;
 use crate::score::{final_test_score, median, smoothed_score};
+use crate::score_cache::{full_key, probe_key, CacheView};
 use crate::session::SearchSession;
+use crate::snapshot::config_fingerprint;
 use crate::train::{train_design, DesignTrainer, TrainOutcome, TrainRunConfig};
 use crate::workload::{AbrWorkload, Workload};
 use nada_dsl::CompiledState;
 use nada_llm::{DesignKind, LlmClient, Prompt};
 use nada_nn::ArchConfig;
 use nada_traces::dataset::TraceDataset;
+use std::sync::Arc;
 
 // The order-preserving parallel maps the pipeline fans out with live in
 // `nada-exec` (shared with the bench harnesses); re-exported here so
@@ -157,6 +160,7 @@ pub struct Nada {
     cfg: NadaConfig,
     dataset: TraceDataset,
     workload: Box<dyn Workload>,
+    score_cache: Option<Arc<CacheView>>,
 }
 
 impl Nada {
@@ -203,7 +207,23 @@ impl Nada {
             cfg,
             dataset,
             workload,
+            score_cache: None,
         }
+    }
+
+    /// Attaches a [`CacheView`] so deterministic evaluations (finalists,
+    /// the original baseline, probes) are deduplicated through the shared
+    /// [`crate::score_cache::ScoreCache`]. Cached results are replayed
+    /// bit-identically; only the view's hit/miss counters observe the
+    /// difference.
+    pub fn with_score_cache(mut self, view: Arc<CacheView>) -> Self {
+        self.score_cache = Some(view);
+        self
+    }
+
+    /// The attached score-cache view, if any.
+    pub fn score_cache(&self) -> Option<&Arc<CacheView>> {
+        self.score_cache.as_ref()
     }
 
     /// The run configuration.
@@ -314,12 +334,83 @@ impl Nada {
         Ok((sessions, score))
     }
 
+    /// [`Nada::evaluate_design_full`] with score-cache dedup.
+    ///
+    /// `state_identity` is the design's source text — the state program for
+    /// state candidates, the workload's seed state for architecture
+    /// candidates — which together with the architecture's canonical
+    /// `Debug` form and the config fingerprint uniquely determines the
+    /// training result (the full protocol's seeds derive from the config
+    /// alone). Without an attached cache this is exactly
+    /// `evaluate_design_full`.
+    pub fn evaluate_design_full_keyed(
+        &self,
+        state_identity: &str,
+        state: &CompiledState,
+        arch: &ArchConfig,
+    ) -> Result<(Vec<TrainOutcome>, f64), crate::train::TrainError> {
+        let Some(view) = &self.score_cache else {
+            return self.evaluate_design_full(state, arch);
+        };
+        let key = full_key(
+            config_fingerprint(self),
+            state_identity,
+            &format!("{arch:?}"),
+        );
+        if let Some(hit) = view.lookup_full(&key) {
+            return Ok(hit);
+        }
+        let out = self.evaluate_design_full(state, arch)?;
+        view.insert_full(key, out.clone());
+        Ok(out)
+    }
+
+    /// One probe training run (`train_design`) with score-cache dedup.
+    /// Probe seeds are candidate-dependent, so the seed joins the key; the
+    /// run configuration derives deterministically from the config, which
+    /// the fingerprint already covers. Errors are not cached (they are
+    /// deterministic too, but rare enough not to be worth a tier).
+    pub fn train_design_probe(
+        &self,
+        state_identity: &str,
+        state: &CompiledState,
+        arch: &ArchConfig,
+        run_cfg: &TrainRunConfig,
+        seed: u64,
+    ) -> Result<TrainOutcome, crate::train::TrainError> {
+        let train = || {
+            train_design(
+                self.workload.as_ref(),
+                state,
+                arch,
+                &self.dataset,
+                run_cfg,
+                seed,
+            )
+        };
+        let Some(view) = &self.score_cache else {
+            return train();
+        };
+        let key = probe_key(
+            config_fingerprint(self),
+            state_identity,
+            &format!("{arch:?}"),
+            seed,
+        );
+        if let Some(hit) = view.lookup_probe(&key) {
+            return Ok(hit);
+        }
+        let out = train()?;
+        view.insert_probe(key, out.clone());
+        Ok(out)
+    }
+
     /// The workload's original (seed) design under the full protocol.
     pub fn train_original(&self) -> DesignResult {
         let state = self.workload.seed_state();
         let arch = self.workload.seed_arch();
         let (sessions, test_score) = self
-            .evaluate_design_full(&state, &arch)
+            .evaluate_design_full_keyed(self.workload.seed_state_source(), &state, &arch)
             .expect("the seed design must train cleanly");
         DesignResult {
             candidate: None,

@@ -1,0 +1,178 @@
+//! Process-wide design-fingerprint → score cache.
+//!
+//! The LLM proposes the same designs over and over — across rounds of one
+//! search and across tenants running overlapping searches. Training is
+//! fully deterministic given `(config fingerprint, design code, seed)`, so
+//! a repeated evaluation is pure waste: the cache stores the *complete*
+//! training result keyed by that triple and replays it bit-identically.
+//!
+//! Two tiers mirror the two deterministic evaluation shapes in the
+//! pipeline:
+//!
+//! * **full** — `Nada::evaluate_design_full` (finalists, the original
+//!   baseline). Its per-seed derivation is candidate-*independent*
+//!   (`cfg.seed + 1000 + i`), so the key is just the design identity.
+//! * **probe** — short `train_design` probes, whose seed *is*
+//!   candidate-dependent (`design_seed(id)`), so the seed joins the key.
+//!
+//! Screening is deliberately uncached: it threads a stateful
+//! `DesignTrainer` through budget accounting and early-stop decisions that
+//! depend on sibling candidates, so its work is not a pure function of the
+//! design alone.
+//!
+//! Keys are full composed strings (not hashes) — a collision would silently
+//! corrupt a tenant's search, so we spend the memory and keep lookups
+//! exact. [`ScoreCache`] is the shared store (one per process, or one per
+//! daemon); [`CacheView`] is a per-job handle that adds hit/miss counters
+//! so every tenant can see what the cache did for them.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::train::TrainOutcome;
+
+/// Shared, thread-safe store of deterministic evaluation results.
+#[derive(Default)]
+pub struct ScoreCache {
+    full: Mutex<HashMap<String, (Vec<TrainOutcome>, f64)>>,
+    probe: Mutex<HashMap<String, TrainOutcome>>,
+}
+
+impl ScoreCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached entries across both tiers.
+    pub fn len(&self) -> usize {
+        self.full.lock().unwrap().len() + self.probe.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A per-job window onto a [`ScoreCache`]: same shared entries, private
+/// hit/miss counters.
+pub struct CacheView {
+    shared: Arc<ScoreCache>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CacheView {
+    pub fn new(shared: Arc<ScoreCache>) -> Self {
+        Self {
+            shared,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A view over a fresh private cache — single-tenant processes that
+    /// still want within-run dedup (e.g. the original baseline across
+    /// resumed rounds).
+    pub fn private() -> Self {
+        Self::new(Arc::new(ScoreCache::new()))
+    }
+
+    /// The store this view shares with sibling jobs.
+    pub fn shared(&self) -> &Arc<ScoreCache> {
+        &self.shared
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn lookup_full(&self, key: &str) -> Option<(Vec<TrainOutcome>, f64)> {
+        let hit = self.shared.full.lock().unwrap().get(key).cloned();
+        self.count(hit.is_some());
+        hit
+    }
+
+    pub(crate) fn insert_full(&self, key: String, value: (Vec<TrainOutcome>, f64)) {
+        self.shared.full.lock().unwrap().insert(key, value);
+    }
+
+    pub(crate) fn lookup_probe(&self, key: &str) -> Option<TrainOutcome> {
+        let hit = self.shared.probe.lock().unwrap().get(key).cloned();
+        self.count(hit.is_some());
+        hit
+    }
+
+    pub(crate) fn insert_probe(&self, key: String, value: TrainOutcome) {
+        self.shared.probe.lock().unwrap().insert(key, value);
+    }
+
+    fn count(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Cache key for a full-protocol evaluation (seeds derived from the config
+/// alone). `state_identity` is the design's source text — the state program
+/// for state candidates, the workload's seed state for architecture
+/// candidates — and `arch_debug` the compiled architecture's canonical
+/// `Debug` form.
+pub fn full_key(fingerprint: u64, state_identity: &str, arch_debug: &str) -> String {
+    format!("{fingerprint:016x}|full|{arch_debug}|{state_identity}")
+}
+
+/// Cache key for a single probe run at an explicit seed.
+pub fn probe_key(fingerprint: u64, state_identity: &str, arch_debug: &str, seed: u64) -> String {
+    format!("{fingerprint:016x}|probe|{seed:016x}|{arch_debug}|{state_identity}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn views_share_entries_but_not_counters() {
+        let store = Arc::new(ScoreCache::new());
+        let a = CacheView::new(store.clone());
+        let b = CacheView::new(store.clone());
+
+        assert!(a.lookup_probe("k").is_none());
+        a.insert_probe(
+            "k".into(),
+            TrainOutcome {
+                reward_curve: vec![1.0],
+                checkpoints: vec![],
+            },
+        );
+        let hit = b.lookup_probe("k").expect("b sees a's insert");
+        assert_eq!(hit.reward_curve, vec![1.0]);
+
+        assert_eq!((a.hits(), a.misses()), (0, 1));
+        assert_eq!((b.hits(), b.misses()), (1, 0));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn keys_separate_tiers_seeds_and_designs() {
+        let keys = [
+            full_key(1, "state s {}", "arch"),
+            full_key(2, "state s {}", "arch"),
+            full_key(1, "state t {}", "arch"),
+            probe_key(1, "state s {}", "arch", 7),
+            probe_key(1, "state s {}", "arch", 8),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for b in keys.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

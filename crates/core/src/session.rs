@@ -40,7 +40,7 @@ use crate::observer::{SearchEvent, SearchObserver};
 use crate::pipeline::{DesignResult, Nada, PrecheckStats, SearchOutcome, SearchStats};
 use crate::score::smoothed_score;
 use crate::snapshot::{config_fingerprint, SessionSnapshot, SnapshotError};
-use crate::train::{train_design, DesignTrainer, TrainOutcome, TrainRunConfig};
+use crate::train::{DesignTrainer, TrainOutcome, TrainRunConfig};
 use nada_dsl::CompiledState;
 use nada_earlystop::classifiers::{Classifier, DesignSample, FitConfig, RewardCnnClassifier};
 use nada_exec::pool_map_indexed;
@@ -353,6 +353,17 @@ impl<'a> SearchSession<'a> {
         self.nada.config().seed.wrapping_add(7000 + id as u64)
     }
 
+    /// The source text that identifies a candidate's *state* for score-cache
+    /// keys: the candidate's own program for state searches, the workload's
+    /// seed state for architecture searches (where the candidate varies the
+    /// architecture instead).
+    fn state_identity<'c>(&'c self, cand: &'c Candidate) -> &'c str {
+        match cand.kind {
+            DesignKind::State => &cand.code,
+            DesignKind::Architecture => self.nada.workload().seed_state_source(),
+        }
+    }
+
     /// The wave length for budgeted stages: a fixed, machine-independent
     /// chunk when an epoch budget is set, the whole remainder otherwise.
     fn wave_len(&self, remaining: usize) -> usize {
@@ -389,15 +400,16 @@ impl<'a> SearchSession<'a> {
             let this = &*self;
             let results: Vec<(usize, Option<TrainOutcome>)> = pool_map_indexed(wave.len(), |w| {
                 let (cand, state, arch) = &wave[w];
-                let out = train_design(
-                    this.nada.workload(),
-                    state,
-                    arch,
-                    this.nada.dataset(),
-                    &run_cfg,
-                    this.design_seed(cand.id),
-                )
-                .ok();
+                let out = this
+                    .nada
+                    .train_design_probe(
+                        this.state_identity(cand),
+                        state,
+                        arch,
+                        &run_cfg,
+                        this.design_seed(cand.id),
+                    )
+                    .ok();
                 this.emit(&SearchEvent::ProbeTrained {
                     id: cand.id,
                     epochs: out.as_ref().map_or(0, |o| o.reward_curve.len()),
@@ -684,7 +696,7 @@ impl<'a> SearchSession<'a> {
     fn evaluate_finalist(&self, (cand, state, arch): &PoolEntry) -> Option<DesignResult> {
         let result = self
             .nada
-            .evaluate_design_full(state, arch)
+            .evaluate_design_full_keyed(self.state_identity(cand), state, arch)
             .ok()
             .map(|(sessions, score)| DesignResult {
                 code: cand.code.clone(),

@@ -105,6 +105,23 @@ pub fn configured_workers() -> usize {
     }
 }
 
+/// How many *scheduler lanes* (concurrently progressing jobs) a service
+/// multiplexing searches over the shared pool should run for a given
+/// worker budget. Pure so it is testable: `0`/`1` workers degrade to one
+/// lane — fully sequential, mirroring what `pool_map` does with no pool
+/// threads — and wider machines cap at four lanes, since each job already
+/// fans its training waves out across the whole pool and extra lanes past
+/// that point only grow the working set.
+pub fn lanes_for(workers: usize) -> usize {
+    workers.clamp(1, 4)
+}
+
+/// The scheduler-lane count for this process's configured worker budget
+/// (`NADA_WORKERS` honored exactly like [`configured_workers`]).
+pub fn scheduler_lanes() -> usize {
+    lanes_for(configured_workers())
+}
+
 /// The process-wide [`WorkPool`], sized by [`configured_workers`] on first
 /// use. All pipeline fan-outs share it, so concurrent stages and nested
 /// maps share cores instead of oversubscribing them.
@@ -390,6 +407,15 @@ mod tests {
         let xs: Vec<usize> = (0..500).collect();
         let ys = parallel_map(xs, &|x| x * 2);
         assert_eq!(ys, (0..500).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lane_counts_degrade_to_sequential_and_cap_at_four() {
+        assert_eq!(lanes_for(0), 1);
+        assert_eq!(lanes_for(1), 1);
+        assert_eq!(lanes_for(2), 2);
+        assert_eq!(lanes_for(4), 4);
+        assert_eq!(lanes_for(64), 4);
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! A blocking client for the daemon's wire protocol — one request, one
+//! response, over a persistent connection.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use nada_core::jobspec::JobSpec;
+
+use crate::proto::{JobResult, JobStatus, Request, Response};
+use crate::wire::{read_frame, write_frame};
+
+/// What a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connection or framing failure.
+    Io(String),
+    /// The daemon answered [`Response::Error`].
+    Daemon(String),
+    /// The daemon answered something unexpected for the request.
+    Protocol(String),
+    /// [`Client::wait_terminal`] ran out of time.
+    Timeout,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(msg) => write!(f, "connection error: {msg}"),
+            ClientError::Daemon(msg) => write!(f, "daemon error: {msg}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Timeout => write!(f, "timed out waiting for the job"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// One connection to a running daemon.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// One request/response round trip.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &request.encode())
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        match read_frame(&mut self.stream) {
+            Ok(Some(payload)) => {
+                Response::decode(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
+            }
+            Ok(None) => Err(ClientError::Io("daemon closed the connection".into())),
+            Err(e) => Err(ClientError::Io(e.to_string())),
+        }
+    }
+
+    fn expect<T>(
+        &mut self,
+        request: &Request,
+        pick: impl FnOnce(Response) -> Result<T, Box<Response>>,
+    ) -> Result<T, ClientError> {
+        match self.call(request)? {
+            Response::Error { message } => Err(ClientError::Daemon(message)),
+            other => pick(other)
+                .map_err(|resp| ClientError::Protocol(format!("unexpected response {resp:?}"))),
+        }
+    }
+
+    /// Submits a job, returning its id.
+    pub fn submit(&mut self, spec: JobSpec) -> Result<u64, ClientError> {
+        self.expect(&Request::Submit(spec), |resp| match resp {
+            Response::Submitted { id } => Ok(id),
+            other => Err(Box::new(other)),
+        })
+    }
+
+    pub fn status(&mut self, id: u64) -> Result<JobStatus, ClientError> {
+        self.expect(&Request::Status { id }, |resp| match resp {
+            Response::Status(status) => Ok(status),
+            other => Err(Box::new(other)),
+        })
+    }
+
+    pub fn result(&mut self, id: u64) -> Result<JobResult, ClientError> {
+        self.expect(&Request::Result { id }, |resp| match resp {
+            Response::Result { result, .. } => Ok(result),
+            other => Err(Box::new(other)),
+        })
+    }
+
+    pub fn cancel(&mut self, id: u64) -> Result<(), ClientError> {
+        self.expect(&Request::Cancel { id }, |resp| match resp {
+            Response::Cancelled { .. } => Ok(()),
+            other => Err(Box::new(other)),
+        })
+    }
+
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.expect(&Request::Ping, |resp| match resp {
+            Response::Pong => Ok(()),
+            other => Err(Box::new(other)),
+        })
+    }
+
+    /// Asks the daemon to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.expect(&Request::Shutdown, |resp| match resp {
+            Response::ShuttingDown => Ok(()),
+            other => Err(Box::new(other)),
+        })
+    }
+
+    /// Polls `status` until the job reaches a terminal state, then
+    /// returns it. `Err(Timeout)` if `timeout` elapses first.
+    pub fn wait_terminal(&mut self, id: u64, timeout: Duration) -> Result<JobStatus, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let status = self.status(id)?;
+            match status.state.as_str() {
+                "done" | "failed" | "cancelled" => return Ok(status),
+                _ if Instant::now() >= deadline => return Err(ClientError::Timeout),
+                _ => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+}

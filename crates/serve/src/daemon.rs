@@ -1,0 +1,173 @@
+//! The TCP daemon: accept loop, per-connection handlers, graceful
+//! shutdown.
+//!
+//! * The listener runs non-blocking and polls a stop flag, so a wire-level
+//!   `Shutdown` request closes the accept loop promptly without signals
+//!   (pure `std` has no signal handling; operators get graceful shutdown
+//!   through the protocol instead).
+//! * Each connection gets a handler thread with a short read timeout;
+//!   idle timeouts poll the same stop flag, so handlers drain quickly
+//!   once shutdown starts.
+//! * Shutdown order: stop accepting → handlers finish → scheduler drains
+//!   (every lane finishes and checkpoints its current round) →
+//!   [`Daemon::run`] returns `Ok(())` and the bin exits 0. Queued work
+//!   stays spooled for the next process.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::proto::{Request, Response};
+use crate::scheduler::Scheduler;
+use crate::spool::Spool;
+use crate::wire::{read_frame, write_frame, WireError};
+
+/// A bound, not-yet-running search daemon.
+pub struct Daemon {
+    listener: TcpListener,
+    scheduler: Arc<Scheduler>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Daemon {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) over `spool_root`, with the
+    /// environment-derived lane count ([`nada_exec::scheduler_lanes`]).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        spool_root: impl Into<std::path::PathBuf>,
+    ) -> io::Result<Self> {
+        Self::bind_with_lanes(addr, spool_root, nada_exec::scheduler_lanes())
+    }
+
+    /// [`Daemon::bind`] with an explicit lane count (`0` = paused
+    /// scheduler; jobs queue but nothing executes).
+    pub fn bind_with_lanes(
+        addr: impl ToSocketAddrs,
+        spool_root: impl Into<std::path::PathBuf>,
+        lanes: usize,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let scheduler = Arc::new(Scheduler::new(Spool::open(spool_root)?, lanes)?);
+        Ok(Self {
+            listener,
+            scheduler,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actually-bound address (resolves `:0` port requests).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The scheduler behind this daemon (tests and benches poke it
+    /// directly).
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.scheduler
+    }
+
+    /// Serves until a `Shutdown` request arrives, then drains the
+    /// scheduler and returns. Every round in flight at shutdown is
+    /// finished and checkpointed first.
+    pub fn run(self) -> io::Result<()> {
+        let mut handlers = Vec::new();
+        while !self.stop.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let scheduler = self.scheduler.clone();
+                    let stop = self.stop.clone();
+                    handlers.push(std::thread::spawn(move || {
+                        let _ = serve_connection(stream, &scheduler, &stop);
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        for handler in handlers {
+            let _ = handler.join();
+        }
+        self.scheduler.shutdown();
+        Ok(())
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    scheduler: &Scheduler,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Some(payload)) => {
+                let response = handle(&payload, scheduler, stop);
+                let shutting_down = matches!(response, Response::ShuttingDown);
+                if write_frame(&mut stream, &response.encode()).is_err() || shutting_down {
+                    return Ok(());
+                }
+            }
+            // Peer hung up cleanly.
+            Ok(None) => return Ok(()),
+            // Idle: poll the stop flag and keep waiting.
+            Err(WireError::Timeout) => {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+            }
+            Err(_) => return Ok(()),
+        }
+    }
+}
+
+fn handle(payload: &str, scheduler: &Scheduler, stop: &AtomicBool) -> Response {
+    let request = match Request::decode(payload) {
+        Ok(request) => request,
+        Err(e) => {
+            return Response::Error {
+                message: format!("bad request: {e}"),
+            }
+        }
+    };
+    match request {
+        Request::Submit(spec) => match scheduler.submit(spec) {
+            Ok(id) => Response::Submitted { id },
+            Err(message) => Response::Error { message },
+        },
+        Request::Status { id } => match scheduler.status(id) {
+            Some(status) => Response::Status(status),
+            None => Response::Error {
+                message: format!("no such job {id}"),
+            },
+        },
+        Request::Result { id } => match scheduler.result(id) {
+            Some(result) => Response::Result {
+                id,
+                result: (*result).clone(),
+            },
+            None => match scheduler.status(id) {
+                Some(status) => Response::Error {
+                    message: format!("job {id} is {}, not done", status.state),
+                },
+                None => Response::Error {
+                    message: format!("no such job {id}"),
+                },
+            },
+        },
+        Request::Cancel { id } => match scheduler.cancel(id) {
+            Ok(()) => Response::Cancelled { id },
+            Err(message) => Response::Error { message },
+        },
+        Request::Shutdown => {
+            stop.store(true, Ordering::SeqCst);
+            Response::ShuttingDown
+        }
+        Request::Ping => Response::Pong,
+    }
+}

@@ -1,0 +1,336 @@
+//! Request/response messages the daemon and clients exchange.
+//!
+//! One frame carries one message: a serde-text map with an `op` (requests)
+//! or `kind` (responses) discriminant. The job spec itself is
+//! [`nada_core::jobspec::JobSpec`] — the same record embedded in driver
+//! checkpoints, so the wire, the spool and the checkpoint all agree on
+//! what a job *is*.
+
+use nada_core::feedback::{HallEntry, RoundSummary};
+use nada_core::jobspec::JobSpec;
+use nada_core::pipeline::SearchStats;
+use serde::value::{Error as CodecError, Value};
+use serde::Serialize;
+
+/// What a client can ask the daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Enqueue a new job; answered with [`Response::Submitted`].
+    Submit(JobSpec),
+    /// Progress of one job.
+    Status { id: u64 },
+    /// The finished result of one job (error if not done yet).
+    Result { id: u64 },
+    /// Cancel a queued or running job.
+    Cancel { id: u64 },
+    /// Graceful shutdown: stop accepting, finish in-flight rounds,
+    /// checkpoint everything, exit 0.
+    Shutdown,
+    /// Liveness probe.
+    Ping,
+}
+
+/// Where a job is in its lifecycle, as reported over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStatus {
+    pub id: u64,
+    /// `queued` | `running` | `done` | `failed` | `cancelled`.
+    pub state: String,
+    /// The failure message when `state == "failed"`.
+    pub error: Option<String>,
+    /// Rounds completed so far.
+    pub next_round: usize,
+    /// Rounds the job is configured to run.
+    pub rounds: usize,
+    /// Score-cache hits observed by this job so far.
+    pub cache_hits: u64,
+    /// Score-cache misses observed by this job so far.
+    pub cache_misses: u64,
+    /// Best full-protocol score across completed rounds.
+    pub best_so_far: Option<f64>,
+}
+
+/// A finished job: the outcome bits plus this tenant's cache counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// The contract the job ran under.
+    pub spec: JobSpec,
+    /// Per-round summaries, round order.
+    pub rounds: Vec<RoundSummary>,
+    /// Top designs across all rounds, best first.
+    pub hall: Vec<HallEntry>,
+    /// Cumulative spend.
+    pub stats: SearchStats,
+    /// Score-cache hits this job observed.
+    pub cache_hits: u64,
+    /// Score-cache misses this job observed.
+    pub cache_misses: u64,
+}
+
+impl JobResult {
+    /// Canonical encoding of the *outcome* alone — rounds, hall, stats —
+    /// excluding the cache counters (which legitimately differ between a
+    /// cold and a warm run) and the spec. Two runs of the same job are
+    /// correct iff these strings are byte-identical.
+    pub fn outcome_encoding(&self) -> String {
+        serde::text::to_string(&Value::Map(vec![
+            ("rounds".into(), self.rounds.to_value()),
+            ("hall".into(), self.hall.to_value()),
+            ("stats".into(), self.stats.to_value()),
+        ]))
+    }
+}
+
+/// What the daemon answers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    Submitted { id: u64 },
+    Status(JobStatus),
+    Result { id: u64, result: JobResult },
+    Cancelled { id: u64 },
+    ShuttingDown,
+    Pong,
+    Error { message: String },
+}
+
+// ---- codec helpers ---------------------------------------------------------
+
+impl Request {
+    pub fn encode(&self) -> String {
+        serde::text::to_string(self)
+    }
+
+    pub fn decode(s: &str) -> Result<Self, CodecError> {
+        serde::text::from_str(s)
+    }
+}
+
+impl Response {
+    pub fn encode(&self) -> String {
+        serde::text::to_string(self)
+    }
+
+    pub fn decode(s: &str) -> Result<Self, CodecError> {
+        serde::text::from_str(s)
+    }
+}
+
+fn op(name: &str, mut fields: Vec<(String, Value)>) -> Value {
+    let mut all = vec![("op".to_string(), Value::Str(name.to_string()))];
+    all.append(&mut fields);
+    Value::Map(all)
+}
+
+impl serde::Serialize for Request {
+    fn to_value(&self) -> Value {
+        match self {
+            Request::Submit(spec) => op("submit", vec![("spec".into(), spec.to_value())]),
+            Request::Status { id } => op("status", vec![("id".into(), id.to_value())]),
+            Request::Result { id } => op("result", vec![("id".into(), id.to_value())]),
+            Request::Cancel { id } => op("cancel", vec![("id".into(), id.to_value())]),
+            Request::Shutdown => op("shutdown", vec![]),
+            Request::Ping => op("ping", vec![]),
+        }
+    }
+}
+
+impl serde::Deserialize for Request {
+    fn from_value(v: &Value) -> Result<Self, CodecError> {
+        let id = || u64::from_value(v.field("id")?);
+        match v.field("op")?.as_str()? {
+            "submit" => Ok(Request::Submit(JobSpec::from_value(v.field("spec")?)?)),
+            "status" => Ok(Request::Status { id: id()? }),
+            "result" => Ok(Request::Result { id: id()? }),
+            "cancel" => Ok(Request::Cancel { id: id()? }),
+            "shutdown" => Ok(Request::Shutdown),
+            "ping" => Ok(Request::Ping),
+            other => Err(CodecError::new(format!("unknown request op `{other}`"))),
+        }
+    }
+}
+
+impl serde::Serialize for JobStatus {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("id".into(), self.id.to_value()),
+            ("state".into(), self.state.to_value()),
+            ("error".into(), self.error.to_value()),
+            ("next_round".into(), self.next_round.to_value()),
+            ("rounds".into(), self.rounds.to_value()),
+            ("cache_hits".into(), self.cache_hits.to_value()),
+            ("cache_misses".into(), self.cache_misses.to_value()),
+            ("best_so_far".into(), self.best_so_far.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for JobStatus {
+    fn from_value(v: &Value) -> Result<Self, CodecError> {
+        Ok(Self {
+            id: u64::from_value(v.field("id")?)?,
+            state: String::from_value(v.field("state")?)?,
+            error: Option::from_value(v.field("error")?)?,
+            next_round: usize::from_value(v.field("next_round")?)?,
+            rounds: usize::from_value(v.field("rounds")?)?,
+            cache_hits: u64::from_value(v.field("cache_hits")?)?,
+            cache_misses: u64::from_value(v.field("cache_misses")?)?,
+            best_so_far: Option::from_value(v.field("best_so_far")?)?,
+        })
+    }
+}
+
+impl serde::Serialize for JobResult {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("spec".into(), self.spec.to_value()),
+            ("rounds".into(), self.rounds.to_value()),
+            ("hall".into(), self.hall.to_value()),
+            ("stats".into(), self.stats.to_value()),
+            ("cache_hits".into(), self.cache_hits.to_value()),
+            ("cache_misses".into(), self.cache_misses.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for JobResult {
+    fn from_value(v: &Value) -> Result<Self, CodecError> {
+        Ok(Self {
+            spec: JobSpec::from_value(v.field("spec")?)?,
+            rounds: Vec::from_value(v.field("rounds")?)?,
+            hall: Vec::from_value(v.field("hall")?)?,
+            stats: SearchStats::from_value(v.field("stats")?)?,
+            cache_hits: u64::from_value(v.field("cache_hits")?)?,
+            cache_misses: u64::from_value(v.field("cache_misses")?)?,
+        })
+    }
+}
+
+fn kind(name: &str, mut fields: Vec<(String, Value)>) -> Value {
+    let mut all = vec![("kind".to_string(), Value::Str(name.to_string()))];
+    all.append(&mut fields);
+    Value::Map(all)
+}
+
+impl serde::Serialize for Response {
+    fn to_value(&self) -> Value {
+        match self {
+            Response::Submitted { id } => kind("submitted", vec![("id".into(), id.to_value())]),
+            Response::Status(status) => kind("status", vec![("status".into(), status.to_value())]),
+            Response::Result { id, result } => kind(
+                "result",
+                vec![
+                    ("id".into(), id.to_value()),
+                    ("result".into(), result.to_value()),
+                ],
+            ),
+            Response::Cancelled { id } => kind("cancelled", vec![("id".into(), id.to_value())]),
+            Response::ShuttingDown => kind("shutting_down", vec![]),
+            Response::Pong => kind("pong", vec![]),
+            Response::Error { message } => {
+                kind("error", vec![("message".into(), message.to_value())])
+            }
+        }
+    }
+}
+
+impl serde::Deserialize for Response {
+    fn from_value(v: &Value) -> Result<Self, CodecError> {
+        match v.field("kind")?.as_str()? {
+            "submitted" => Ok(Response::Submitted {
+                id: u64::from_value(v.field("id")?)?,
+            }),
+            "status" => Ok(Response::Status(JobStatus::from_value(v.field("status")?)?)),
+            "result" => Ok(Response::Result {
+                id: u64::from_value(v.field("id")?)?,
+                result: JobResult::from_value(v.field("result")?)?,
+            }),
+            "cancelled" => Ok(Response::Cancelled {
+                id: u64::from_value(v.field("id")?)?,
+            }),
+            "shutting_down" => Ok(Response::ShuttingDown),
+            "pong" => Ok(Response::Pong),
+            "error" => Ok(Response::Error {
+                message: String::from_value(v.field("message")?)?,
+            }),
+            other => Err(CodecError::new(format!("unknown response kind `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Submit(JobSpec::new("abr", "FCC", 9)),
+            Request::Status { id: 3 },
+            Request::Result { id: 4 },
+            Request::Cancel { id: 5 },
+            Request::Shutdown,
+            Request::Ping,
+        ];
+        for req in reqs {
+            let back = Request::decode(&req.encode()).expect("decode");
+            assert_eq!(req, back);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let result = JobResult {
+            spec: JobSpec::new("cc", "Starlink", 1),
+            rounds: Vec::new(),
+            hall: Vec::new(),
+            stats: SearchStats::default(),
+            cache_hits: 7,
+            cache_misses: 2,
+        };
+        let resps = [
+            Response::Submitted { id: 1 },
+            Response::Status(JobStatus {
+                id: 1,
+                state: "running".into(),
+                error: None,
+                next_round: 1,
+                rounds: 3,
+                cache_hits: 0,
+                cache_misses: 5,
+                best_so_far: Some(-0.25),
+            }),
+            Response::Result { id: 1, result },
+            Response::Cancelled { id: 2 },
+            Response::ShuttingDown,
+            Response::Pong,
+            Response::Error {
+                message: "no such job".into(),
+            },
+        ];
+        for resp in resps {
+            let back = Response::decode(&resp.encode()).expect("decode");
+            assert_eq!(resp, back);
+        }
+    }
+
+    #[test]
+    fn outcome_encoding_ignores_cache_counters() {
+        let mut a = JobResult {
+            spec: JobSpec::new("abr", "FCC", 2),
+            rounds: Vec::new(),
+            hall: vec![HallEntry {
+                round: 0,
+                id: 1,
+                code: "state s { }".into(),
+                score: 0.5,
+            }],
+            stats: SearchStats::default(),
+            cache_hits: 0,
+            cache_misses: 9,
+        };
+        let cold = a.outcome_encoding();
+        a.cache_hits = 9;
+        a.cache_misses = 0;
+        assert_eq!(cold, a.outcome_encoding());
+    }
+}

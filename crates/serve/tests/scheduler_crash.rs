@@ -1,0 +1,255 @@
+//! The daemon's durability contract, tested end to end at the scheduler
+//! layer: kill the scheduler mid-run, restart it on the same spool, and
+//! the finished jobs must be **bit-identical** to an uninterrupted run —
+//! and to a plain `SearchDriver` run outside the daemon entirely.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use nada_core::driver::SearchDriver;
+use nada_core::jobspec::JobSpec;
+use nada_core::llm_registry::{LlmRegistry, LlmRequest, LlmSpec};
+use nada_llm::DesignKind;
+use nada_serve::scheduler::{job_round_seed, Scheduler};
+use nada_serve::spool::Spool;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nada-serve-test-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn job(workload: &str, seed: u64, rounds: usize) -> JobSpec {
+    let mut spec = JobSpec::new(workload, "FCC", seed);
+    spec.rounds = rounds;
+    spec
+}
+
+/// The exact pipeline a daemon job runs, with a private throwaway cache.
+fn build_nada(spec: &JobSpec) -> nada_core::pipeline::Nada {
+    let view = Arc::new(nada_core::score_cache::CacheView::new(Arc::new(
+        nada_core::score_cache::ScoreCache::new(),
+    )));
+    nada_serve::scheduler::build_nada(spec, view).expect("spec is valid")
+}
+
+/// Runs `specs` on a fresh single-lane scheduler over `root` to
+/// completion and returns each job's outcome encoding.
+fn run_to_completion(root: PathBuf, specs: &[JobSpec]) -> Vec<String> {
+    let sched = Scheduler::new(Spool::open(root).unwrap(), 1).unwrap();
+    let ids: Vec<u64> = specs
+        .iter()
+        .map(|s| sched.submit(s.clone()).unwrap())
+        .collect();
+    let encodings = ids
+        .iter()
+        .map(|&id| {
+            let status = sched
+                .wait_terminal(id, Duration::from_secs(300))
+                .expect("job exists");
+            assert_eq!(status.state, "done", "job {id}: {:?}", status.error);
+            sched.result(id).unwrap().outcome_encoding()
+        })
+        .collect();
+    sched.shutdown();
+    encodings
+}
+
+#[test]
+fn crash_mid_run_then_restart_is_bit_identical() {
+    let root = scratch("crash");
+    let specs = [job("abr", 11, 3), job("cc", 23, 3)];
+
+    // Interrupted run: let the first job get at least one round spooled,
+    // then pull the plug (lanes discard un-spooled work and die).
+    let sched = Scheduler::new(Spool::open(root.clone()).unwrap(), 1).unwrap();
+    let ids: Vec<u64> = specs
+        .iter()
+        .map(|s| sched.submit(s.clone()).unwrap())
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let status = sched.status(ids[0]).unwrap();
+        if status.next_round >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "first round never completed");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    sched.simulate_crash();
+
+    // The crash must have landed mid-run: at least one job still lacks a
+    // result on disk, so the restart genuinely resumes from a checkpoint.
+    let spooled = Spool::open(root.clone()).unwrap().scan().unwrap();
+    assert_eq!(spooled.len(), 2);
+    assert!(
+        spooled.iter().any(|j| j.result.is_none()),
+        "crash landed after both jobs finished; nothing left to resume"
+    );
+
+    // Restart on the same spool: recovery re-enqueues the unfinished
+    // jobs from their checkpoints and runs them to completion.
+    let sched = Scheduler::new(Spool::open(root.clone()).unwrap(), 1).unwrap();
+    let resumed: Vec<String> = ids
+        .iter()
+        .map(|&id| {
+            let status = sched
+                .wait_terminal(id, Duration::from_secs(300))
+                .expect("job recovered");
+            assert_eq!(status.state, "done", "job {id}: {:?}", status.error);
+            sched.result(id).unwrap().outcome_encoding()
+        })
+        .collect();
+    sched.shutdown();
+
+    // Reference: the same two jobs, fresh spool, never interrupted.
+    let reference = run_to_completion(scratch("crash-ref"), &specs);
+    assert_eq!(
+        resumed, reference,
+        "crash + resume changed the outcome bits"
+    );
+
+    // Deeper reference: a plain SearchDriver outside the daemon, driven
+    // by the same per-round LLM seeds, must agree too — the scheduler's
+    // resume-per-round turns are pure plumbing.
+    let spec = &specs[0];
+    let nada = build_nada(spec);
+    let mut driver = SearchDriver::new(&nada, DesignKind::State)
+        .with_rounds(spec.rounds)
+        .with_budget(spec.budget)
+        .with_job_spec(spec.clone());
+    let registry = LlmRegistry::builtin();
+    let lane = format!("serve/{}/{}", spec.workload, spec.dataset);
+    let mut factory = |round: usize| {
+        let llm_spec = LlmSpec {
+            backend: spec.llm_backend.clone(),
+            model: spec.llm_model.clone(),
+            cassette: None,
+            record: false,
+            seed: job_round_seed(spec, round),
+        };
+        registry
+            .build(
+                &llm_spec.backend,
+                &LlmRequest {
+                    spec: &llm_spec,
+                    lane: &lane,
+                    round,
+                },
+            )
+            .expect("mock llm builds")
+    };
+    driver.run(&mut factory).expect("direct run succeeds");
+    let ckpt = driver.checkpoint();
+    let direct = nada_serve::proto::JobResult {
+        spec: spec.clone(),
+        rounds: ckpt.summaries.clone(),
+        hall: ckpt.hall.clone(),
+        stats: ckpt.stats,
+        cache_hits: 0,
+        cache_misses: 0,
+    }
+    .outcome_encoding();
+    assert_eq!(
+        resumed[0], direct,
+        "daemon outcome diverged from a plain SearchDriver run"
+    );
+
+    let _ = fs::remove_dir_all(root);
+}
+
+#[test]
+fn shared_cache_across_tenants_changes_counters_not_bits() {
+    let root = scratch("cache");
+    let sched = Scheduler::new(Spool::open(root.clone()).unwrap(), 1).unwrap();
+
+    // Tenant A runs cold; tenant B submits the identical search after A
+    // finishes, so every evaluation B needs is already cached.
+    let spec = job("abr", 7, 2);
+    let a = sched.submit(spec.clone()).unwrap();
+    let status = sched.wait_terminal(a, Duration::from_secs(300)).unwrap();
+    assert_eq!(status.state, "done", "{:?}", status.error);
+
+    let b = sched.submit(spec.clone()).unwrap();
+    let status = sched.wait_terminal(b, Duration::from_secs(300)).unwrap();
+    assert_eq!(status.state, "done", "{:?}", status.error);
+
+    let ra = sched.result(a).unwrap();
+    let rb = sched.result(b).unwrap();
+    assert!(
+        rb.cache_hits > 0,
+        "tenant B repeated tenant A's search but hit the cache 0 times"
+    );
+    assert!(
+        rb.cache_hits > ra.cache_hits,
+        "warm tenant must hit more than the cold one (A {} vs B {})",
+        ra.cache_hits,
+        rb.cache_hits
+    );
+    assert!(
+        rb.cache_misses < ra.cache_misses,
+        "warm tenant must evaluate less than the cold one (A {} vs B {})",
+        ra.cache_misses,
+        rb.cache_misses
+    );
+    assert_eq!(
+        ra.outcome_encoding(),
+        rb.outcome_encoding(),
+        "the cache changed result bits, not just wall-clock"
+    );
+
+    // And the cold run itself matches a scheduler with an empty cache —
+    // the cache layer is invisible except through the counters.
+    let lone = run_to_completion(scratch("cache-ref"), &[spec]);
+    assert_eq!(ra.outcome_encoding(), lone[0]);
+
+    sched.shutdown();
+    let _ = fs::remove_dir_all(root);
+}
+
+#[test]
+fn recovery_refuses_a_checkpoint_from_a_different_job() {
+    let root = scratch("mismatch");
+    let spool = Spool::open(root.clone()).unwrap();
+
+    // Run one real job to get a legitimate checkpoint on disk...
+    let sched = Scheduler::new(spool.clone(), 1).unwrap();
+    let real = job("abr", 3, 2);
+    let id = sched.submit(real.clone()).unwrap();
+    let status = sched.wait_terminal(id, Duration::from_secs(300)).unwrap();
+    assert_eq!(status.state, "done", "{:?}", status.error);
+    sched.shutdown();
+
+    // ...then graft a checkpoint from `real` onto a *different* spec, as
+    // if an operator mixed up spool directories. The checkpoint embeds
+    // its own spec, so recovery must refuse rather than silently train
+    // the wrong job.
+    let mut forged = real.clone();
+    forged.llm_model = "gpt-3.5".to_string();
+    spool.write_spec(9, &forged).unwrap();
+    let sched = Scheduler::new(spool.clone(), 0).unwrap();
+    let partial = sched.submit(real.clone()).unwrap();
+    sched.shutdown();
+
+    // Manually spool a checkpoint belonging to `real` under the forged
+    // job's id.
+    let nada = build_nada(&real);
+    let driver = SearchDriver::new(&nada, DesignKind::State)
+        .with_rounds(real.rounds)
+        .with_budget(real.budget)
+        .with_job_spec(real.clone());
+    spool.write_checkpoint(9, &driver.checkpoint()).unwrap();
+
+    let sched = Scheduler::new(spool, 0).unwrap();
+    let status = sched.status(9).expect("forged job recovered");
+    assert_eq!(status.state, "failed");
+    let err = status.error.expect("mismatch is reported");
+    assert!(err.contains("different job"), "{err}");
+    assert!(err.contains("llm model"), "{err}");
+    // The honest queued job is unaffected.
+    assert_eq!(sched.status(partial).unwrap().state, "queued");
+    sched.shutdown();
+    let _ = fs::remove_dir_all(root);
+}

@@ -1,0 +1,119 @@
+//! Property tests for the framed wire codec: arbitrary payloads survive
+//! arbitrary read fragmentation, and oversized frames are rejected on
+//! both sides.
+
+use proptest::prelude::*;
+
+use nada_serve::wire::{read_frame, write_frame, WireError, MAX_FRAME};
+
+/// A reader that serves its buffer in caller-chosen chunk sizes, cycling
+/// through `chunks` — models a TCP stream delivering partial reads at
+/// every possible boundary.
+struct ChoppyReader {
+    data: Vec<u8>,
+    pos: usize,
+    chunks: Vec<usize>,
+    turn: usize,
+}
+
+impl ChoppyReader {
+    fn new(data: Vec<u8>, chunks: Vec<usize>) -> Self {
+        Self {
+            data,
+            pos: 0,
+            chunks,
+            turn: 0,
+        }
+    }
+}
+
+impl std::io::Read for ChoppyReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        let chunk = self.chunks[self.turn % self.chunks.len()].max(1);
+        self.turn += 1;
+        let n = chunk.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// Payload strings mixing ASCII, escapes-relevant chars and multi-byte
+/// UTF-8 (the frame layer is byte-oriented, but payloads are UTF-8).
+fn payload() -> impl Strategy<Value = String> {
+    const CHARS: &[char] = &[
+        'a', 'z', '0', ' ', '\n', '\t', '"', '\\', '{', '}', '[', ']', '=', 'é', '界', '🦀', '\0',
+    ];
+    proptest::collection::vec(0usize..CHARS.len(), 0..200)
+        .prop_map(|idxs| idxs.into_iter().map(|i| CHARS[i]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn frames_survive_arbitrary_read_fragmentation(
+        payloads in proptest::collection::vec(payload(), 1..6),
+        chunks in proptest::collection::vec(1usize..7, 1..5),
+    ) {
+        let mut stream = Vec::new();
+        for p in &payloads {
+            write_frame(&mut stream, p).expect("in-memory write cannot fail");
+        }
+        let mut reader = ChoppyReader::new(stream, chunks);
+        for p in &payloads {
+            let got = read_frame(&mut reader)
+                .expect("framed payload must decode")
+                .expect("frame must be present");
+            prop_assert_eq!(&got, p);
+        }
+        // After the last frame the reader reports clean EOF, not an error.
+        prop_assert!(read_frame(&mut reader).expect("clean EOF").is_none());
+    }
+
+    #[test]
+    fn oversized_headers_are_rejected_before_allocation(
+        extra in 1u64..=(u32::MAX as u64 - MAX_FRAME as u64),
+        chunk in 1usize..5,
+    ) {
+        let len = (MAX_FRAME as u64 + extra) as u32;
+        let mut reader = ChoppyReader::new(len.to_be_bytes().to_vec(), vec![chunk]);
+        match read_frame(&mut reader) {
+            Err(WireError::Oversized(n)) => prop_assert_eq!(n, len as usize),
+            other => prop_assert!(false, "expected Oversized, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn truncated_frames_error_instead_of_reporting_eof(
+        p in payload(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        // Truncating anywhere strictly inside a frame must be an error —
+        // only a boundary cut (cut == 0) is a clean EOF.
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &p).unwrap();
+        let cut = ((stream.len() as f64) * cut_frac) as usize;
+        prop_assume!(cut > 0 && cut < stream.len());
+        stream.truncate(cut);
+        let mut reader = ChoppyReader::new(stream, vec![3]);
+        prop_assert!(read_frame(&mut reader).is_err());
+    }
+}
+
+#[test]
+fn oversized_writes_are_refused() {
+    let big = "x".repeat(MAX_FRAME + 1);
+    let mut sink = Vec::new();
+    match write_frame(&mut sink, &big) {
+        Err(WireError::Oversized(n)) => assert_eq!(n, MAX_FRAME + 1),
+        other => panic!("expected Oversized, got {other:?}"),
+    }
+    assert!(
+        sink.is_empty(),
+        "nothing may be written for a refused frame"
+    );
+}

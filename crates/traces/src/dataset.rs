@@ -36,6 +36,14 @@ impl DatasetKind {
         }
     }
 
+    /// Inverse of [`DatasetKind::name`], case-insensitively (CLI/wire
+    /// lookups).
+    pub fn from_name(name: &str) -> Option<Self> {
+        DatasetKind::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(name))
+    }
+
     /// Table 1 row for this dataset (paper-reported values).
     pub fn paper_spec(&self) -> DatasetSpec {
         match self {

@@ -26,6 +26,7 @@
 //! | [`earlystop`] | §2.2/§3.4 early-stopping classifiers |
 //! | [`exec`] | deterministic order-preserving parallel map |
 //! | [`core`] | the NADA pipeline: `Workload` trait, generate → filter → train → rank |
+//! | [`serve`] | multi-tenant search daemon: wire protocol, job scheduler, spool, cross-tenant score cache |
 //!
 //! ## Quickstart
 //!
@@ -57,5 +58,6 @@ pub use nada_exec as exec;
 pub use nada_llm as llm;
 pub use nada_llm_http as llm_http;
 pub use nada_nn as nn;
+pub use nada_serve as serve;
 pub use nada_sim as sim;
 pub use nada_traces as traces;
