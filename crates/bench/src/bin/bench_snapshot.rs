@@ -1,7 +1,8 @@
-//! Regenerates `BENCH_pr7.json` — the checked-in wall-clock snapshot for
-//! the search-daemon PR: the A2C update, one full training run
-//! (`train_epoch`), the whole-search wall-clock for both workloads, and
-//! the daemon's submit round-trip latency over a loopback socket.
+//! Regenerates `BENCH_pr8.json` — the checked-in wall-clock snapshot for
+//! the scenario-diversity PR: the A2C update, one full training run
+//! (`train_epoch`), the whole-search wall-clock for both workloads, the
+//! packet-level CC emulation episode, and the daemon's submit round-trip
+//! latency over a loopback socket.
 //!
 //! ```text
 //! bench_snapshot [--out PATH]    # measure and write the snapshot
@@ -22,11 +23,12 @@ use std::time::Instant;
 
 /// The snapshot's key set, in output order. `--check` enforces exactly
 /// these keys; the measuring path emits exactly these keys.
-const KEYS: [&str; 5] = [
+const KEYS: [&str; 6] = [
     "nn/a2c_update_48_steps_ms",
     "train_epoch_ms",
     "search/wallclock_abr_ms",
     "search/wallclock_cc_ms",
+    "sim/emu_cc_episode_240_ticks_ms",
     "serve/submit_roundtrip_ms",
 ];
 
@@ -105,6 +107,23 @@ fn measure_search(cc: bool) -> f64 {
     })
 }
 
+/// One 240-tick CubicLike episode through the packet-level ACK-clocked
+/// CC emulator — the per-episode cost Table 4 pays per trace per seed.
+fn measure_emu_cc_episode() -> f64 {
+    use nada_sim::cc::{run_cc_episode, CcEnv, CcReward, CubicLike};
+    use nada_sim::emu_cc::{run_emu_cc_episode, EmuCcEnv};
+    let ds = TraceDataset::synthesize(DatasetKind::Lte4g, DatasetScale::Tiny, 17);
+    let trace = &ds.test[0];
+    // Sanity anchor, untimed: the emulator must not be pathologically
+    // slower than the fluid model it twins.
+    let mut sim_env = CcEnv::new(trace, 240, CcReward::default(), 17);
+    black_box(run_cc_episode(&mut sim_env, &mut CubicLike::default()));
+    time_ms(200, || {
+        let mut env = EmuCcEnv::new(trace, 240, CcReward::default(), 17);
+        black_box(run_emu_cc_episode(&mut env, &mut CubicLike::default()));
+    })
+}
+
 /// Wire + validation + spool-write latency of one `submit`, measured
 /// against a live daemon with a paused scheduler (0 lanes) so no search
 /// work competes with the protocol path. The submitted job is cancelled
@@ -136,7 +155,7 @@ fn measure_submit_roundtrip() -> f64 {
     ms
 }
 
-fn render(values: &[f64; 5]) -> String {
+fn render(values: &[f64; 6]) -> String {
     let mut out = String::from("{\n");
     for (i, (key, v)) in KEYS.iter().zip(values).enumerate() {
         let sep = if i + 1 < KEYS.len() { "," } else { "" };
@@ -181,7 +200,7 @@ fn main() {
             println!("bench_snapshot: {path} ok ({} keys)", KEYS.len());
         }
         Some("--out") | None => {
-            let default = "BENCH_pr7.json".to_string();
+            let default = "BENCH_pr8.json".to_string();
             let path = if args.first().map(String::as_str) == Some("--out") {
                 args.get(1).unwrap_or(&default)
             } else {
@@ -192,6 +211,7 @@ fn main() {
                 measure_train_epoch(),
                 measure_search(false),
                 measure_search(true),
+                measure_emu_cc_episode(),
                 measure_submit_roundtrip(),
             ];
             let json = render(&values);

@@ -30,6 +30,7 @@ fn main() {
         ("figure5", exp::figure5::run),
         ("ablations", exp::ablations::run),
         ("cc_search", exp::cc_search::run),
+        ("stress", exp::stress::run),
         // The feedback loop needs at least two rounds to feed anything
         // back; a plain `run_all` must still showcase it.
         ("iterate", |opts| {

@@ -15,8 +15,29 @@
 //!
 //! The daemon exits 0 after a wire-level `shutdown` request, once every
 //! in-flight round is finished and checkpointed.
+//!
+//! Besides the builtin workloads (`abr`, `cc`) the daemon registers
+//! `cc-heavy` — congestion control with doubled latency/loss penalties —
+//! as a living example of serving a custom-registered workload.
 
+use nada_core::registry::WorkloadRegistry;
+use nada_core::workload::CcWorkload;
 use nada_serve::Daemon;
+use nada_sim::cc::CcReward;
+use std::sync::Arc;
+
+/// The daemon's workload table: the builtin set plus `cc-heavy`, a CC
+/// variant that pays double for queueing delay and loss.
+fn registry() -> Arc<WorkloadRegistry> {
+    let mut registry = WorkloadRegistry::builtin();
+    registry.register("cc-heavy", |kind| {
+        Box::new(CcWorkload::for_dataset(kind).with_reward(CcReward {
+            latency_penalty: 2.0,
+            loss_penalty: 20.0,
+        }))
+    });
+    Arc::new(registry)
+}
 
 fn usage() -> ! {
     eprintln!("usage: serve [--addr HOST:PORT] [--spool DIR] [--lanes N] [--port-file PATH]");
@@ -46,7 +67,7 @@ fn main() {
         }
     }
 
-    let daemon = match Daemon::bind_with_lanes(&addr, &spool, lanes) {
+    let daemon = match Daemon::bind_with_registry(&addr, &spool, lanes, registry()) {
         Ok(daemon) => daemon,
         Err(e) => {
             eprintln!("serve: cannot start on {addr} over {spool}: {e}");

@@ -1,0 +1,8 @@
+//! Scores the seed design and the best searched design across the
+//! perturbed-trace presets (quick scale by default; `--full` for paper
+//! scale).
+
+fn main() {
+    let opts = nada_bench::cli::parse_args(std::env::args());
+    print!("{}", nada_bench::experiments::stress::run(&opts));
+}

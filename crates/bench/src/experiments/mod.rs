@@ -11,6 +11,7 @@ pub mod figure3;
 pub mod figure4;
 pub mod figure5;
 pub mod iterate;
+pub mod stress;
 pub mod table1;
 pub mod table2;
 pub mod table3;

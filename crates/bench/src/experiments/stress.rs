@@ -1,0 +1,63 @@
+//! Stress study: finalists under perturbed / heavy-traffic conditions.
+//!
+//! The paper scores designs on one fixed test-trace set per dataset; this
+//! study re-scores the seed design and the best searched design across
+//! the perturbation presets ([`nada_traces::PerturbConfig::presets`]) —
+//! AR(1) congestion waves, Poisson outages, amplified jitter, heavy
+//! background load — so a winner that merely overfit the clean traces is
+//! exposed. Reported per design: the clean score, the stress mean, the
+//! worst preset, and each preset's score.
+
+use crate::cli::HarnessOptions;
+use crate::experiments::common::{nada_for, search_states, Model};
+use nada_core::report::{fmt_score, TextTable};
+use nada_dsl::compile_state_with_schema;
+use nada_traces::dataset::DatasetKind;
+use nada_traces::PerturbConfig;
+
+/// Stressed variants generated per test trace, per preset.
+const VARIANTS_PER_TRACE: usize = 2;
+
+/// Runs the stress study on one dataset (FCC, the paper's baseline set).
+pub fn run(opts: &HarnessOptions) -> String {
+    let kind = DatasetKind::Fcc;
+    let nada = nada_for(kind, opts);
+    let arch = nada.workload().seed_arch();
+
+    let preset_names: Vec<&'static str> =
+        PerturbConfig::presets().iter().map(|(n, _)| *n).collect();
+    let mut header = vec!["Method", "Clean", "StressMean", "Worst"];
+    header.extend(preset_names.iter().copied());
+    let mut table = TextTable::new(header);
+
+    let mut score_row = |label: &str, state: &nada_dsl::CompiledState| {
+        let (_, clean) = nada
+            .evaluate_design_full(state, &arch)
+            .expect("design must train");
+        let stress = nada
+            .stress_score(state, &arch, VARIANTS_PER_TRACE)
+            .expect("stress evaluation must run");
+        let mut row = vec![
+            label.to_string(),
+            fmt_score(clean),
+            fmt_score(stress.mean),
+            fmt_score(stress.worst),
+        ];
+        row.extend(stress.per_preset.iter().map(|(_, s)| fmt_score(*s)));
+        table.row(row);
+    };
+
+    score_row("Original", &nada.workload().seed_state());
+    let outcome = search_states(kind, Model::Gpt4, opts);
+    let best_state =
+        compile_state_with_schema(&outcome.best.code, nada.workload().schema().clone())
+            .expect("search winners already passed the compilation check");
+    score_row("Best searched", &best_state);
+
+    format!(
+        "== Stress study: finalists across perturbation presets ({:?} scale, {}) ==\n{}",
+        opts.scale,
+        kind.name(),
+        table.render()
+    )
+}

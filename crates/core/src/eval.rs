@@ -3,7 +3,10 @@
 //! Evaluations run the workload's deterministic environments (for ABR,
 //! Pensieve's `fixed_env.py` semantics — trace start, no delay noise);
 //! emulation evaluations (Table 4) run the same policies through the
-//! workload's emulation-fidelity environments when it has them.
+//! workload's emulation-fidelity environments when it has them. Stressed
+//! evaluations score the same policy across a distribution of perturbed
+//! traces ([`nada_traces::PerturbConfig`]) so finalists are judged on
+//! conditions the search never saw.
 
 use crate::bind::BindingScratch;
 use crate::train::TrainError;
@@ -13,7 +16,7 @@ use nada_nn::{A2cTrainer, FeatureLayout};
 use nada_sim::netenv::NetEnv;
 use nada_sim::prelude::*;
 use nada_traces::dataset::DatasetKind;
-use nada_traces::Trace;
+use nada_traces::{PerturbConfig, Trace};
 
 /// Chunks per test video (Pensieve's 48 × 4 s ≈ 3.2 minutes).
 pub const VIDEO_CHUNKS: usize = 48;
@@ -58,6 +61,53 @@ pub fn evaluate_policy_emu(
         workload
             .emu_env(trace, i)
             .ok_or(TrainError::EmulationUnsupported)
+    })
+}
+
+/// A policy's score across a perturbation distribution: the mean and the
+/// worst per-preset score, plus every `(preset name, score)` pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StressScore {
+    /// Mean score across all presets.
+    pub mean: f64,
+    /// Worst (lowest) per-preset score.
+    pub worst: f64,
+    /// Per-preset scores, in [`PerturbConfig::presets`] order.
+    pub per_preset: Vec<(&'static str, f64)>,
+}
+
+/// Scores the greedy policy on stressed variants of the test traces, one
+/// evaluation per perturbation preset. Each preset wraps up to
+/// `max_traces` traces into `variants` seeded stressed copies and runs
+/// them through the workload's deterministic eval environment, so the
+/// result is reproducible in `(policy, traces, seed)`.
+pub fn evaluate_policy_stressed(
+    trainer: &mut A2cTrainer,
+    state: &CompiledState,
+    workload: &dyn Workload,
+    traces: &[Trace],
+    max_traces: usize,
+    variants: usize,
+    seed: u64,
+) -> Result<StressScore, TrainError> {
+    let base: Vec<Trace> = traces.iter().take(max_traces.max(1)).cloned().collect();
+    let mut per_preset = Vec::new();
+    for (name, cfg) in PerturbConfig::presets() {
+        let stressed = cfg.stressed_set(&base, variants.max(1), seed);
+        let score = run_eval(trainer, state, &stressed, stressed.len(), |trace, i| {
+            Ok(workload.eval_env(trace, i))
+        })?;
+        per_preset.push((name, score));
+    }
+    let mean = per_preset.iter().map(|(_, s)| s).sum::<f64>() / per_preset.len().max(1) as f64;
+    let worst = per_preset
+        .iter()
+        .map(|(_, s)| *s)
+        .fold(f64::INFINITY, f64::min);
+    Ok(StressScore {
+        mean,
+        worst,
+        per_preset,
     })
 }
 
@@ -209,12 +259,33 @@ mod tests {
     }
 
     #[test]
-    fn cc_emulation_is_unsupported() {
+    fn cc_emulation_eval_is_finite_and_deterministic() {
+        // CC gained a packet-level emulation twin; the emu evaluator must
+        // accept it and replay bit-identically (seeded jitter).
         let ds = TraceDataset::synthesize(DatasetKind::Fcc, DatasetScale::Tiny, 4);
         let w = CcWorkload::for_dataset(DatasetKind::Fcc);
         let state = seeds::cc_state();
         let mut t = fresh_trainer(&state, &w);
-        let e = evaluate_policy_emu(&mut t, &state, &w, &ds.test, 2);
-        assert_eq!(e, Err(TrainError::EmulationUnsupported));
+        let a = evaluate_policy_emu(&mut t, &state, &w, &ds.test, 2).unwrap();
+        let b = evaluate_policy_emu(&mut t, &state, &w, &ds.test, 2).unwrap();
+        assert!(a.is_finite());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stressed_eval_covers_every_preset_and_is_deterministic() {
+        let ds = TraceDataset::synthesize(DatasetKind::Fcc, DatasetScale::Tiny, 5);
+        let w = AbrWorkload::for_dataset(DatasetKind::Fcc);
+        let state = seeds::pensieve_state();
+        let mut t = fresh_trainer(&state, &w);
+        let a = evaluate_policy_stressed(&mut t, &state, &w, &ds.test, 2, 2, 17).unwrap();
+        let b = evaluate_policy_stressed(&mut t, &state, &w, &ds.test, 2, 2, 17).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.per_preset.len(), PerturbConfig::presets().len());
+        assert!(a.mean.is_finite());
+        assert!(a.worst <= a.mean);
+        for (name, score) in &a.per_preset {
+            assert!(score.is_finite(), "{name}");
+        }
     }
 }

@@ -518,6 +518,63 @@ impl Nada {
         .collect();
         Ok(median(&scores?))
     }
+
+    /// Trains a design in simulation (multi-seed) and scores the
+    /// resulting policies across the perturbation presets
+    /// ([`nada_traces::PerturbConfig::presets`]), returning the
+    /// per-seed-median [`crate::eval::StressScore`]: mean/worst are
+    /// medians over seeds, per-preset entries are per-preset medians.
+    pub fn stress_score(
+        &self,
+        state: &CompiledState,
+        arch: &ArchConfig,
+        variants: usize,
+    ) -> Result<crate::eval::StressScore, crate::train::TrainError> {
+        let run_cfg = TrainRunConfig::from(&self.cfg);
+        let seeds: Vec<u64> = (0..self.cfg.n_seeds)
+            .map(|i| self.cfg.seed.wrapping_add(2000 + i as u64))
+            .collect();
+        let stress_seed = self.cfg.seed ^ 0x57E5_5000_0000_0003;
+        let per_seed: Result<Vec<crate::eval::StressScore>, _> = pool_map(seeds, &|seed| {
+            let mut session = DesignTrainer::new(
+                self.workload.as_ref(),
+                state,
+                arch,
+                &self.dataset,
+                run_cfg,
+                seed,
+            );
+            session.run_until(run_cfg.train_epochs)?;
+            crate::eval::evaluate_policy_stressed(
+                session.policy_mut(),
+                state,
+                self.workload.as_ref(),
+                &self.dataset.test,
+                run_cfg.eval_traces,
+                variants,
+                stress_seed,
+            )
+        })
+        .into_iter()
+        .collect();
+        let per_seed = per_seed?;
+        let means: Vec<f64> = per_seed.iter().map(|s| s.mean).collect();
+        let worsts: Vec<f64> = per_seed.iter().map(|s| s.worst).collect();
+        let presets = &per_seed[0].per_preset;
+        let per_preset = presets
+            .iter()
+            .enumerate()
+            .map(|(i, (name, _))| {
+                let xs: Vec<f64> = per_seed.iter().map(|s| s.per_preset[i].1).collect();
+                (*name, median(&xs))
+            })
+            .collect();
+        Ok(crate::eval::StressScore {
+            mean: median(&means),
+            worst: median(&worsts),
+            per_preset,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -87,11 +87,18 @@ impl fmt::Display for SnapshotError {
 impl std::error::Error for SnapshotError {}
 
 /// FNV-1a fingerprint of the run-defining parts of a pipeline: workload
-/// name, dataset, and every configuration knob that steers the search.
+/// name *and parameters* ([`crate::workload::Workload::param_fingerprint`]),
+/// dataset, and every configuration knob that steers the search — the
+/// integer counts, the float hyperparameters (hashed by their IEEE-754
+/// bits, so `lr = 1e-3` and `lr = 2e-3` never collide), and the fuzzing
+/// parameters. The cross-tenant score cache and checkpoint/snapshot resume
+/// both trust this fingerprint, so every knob that changes a training or
+/// evaluation result must be folded in here.
 pub fn config_fingerprint(nada: &Nada) -> u64 {
     let cfg = nada.config();
     let mut h = Fnv::new();
     h.write_str(nada.workload().name());
+    h.write_u64(nada.workload().param_fingerprint());
     h.write_str(cfg.dataset.name());
     h.write_str(&format!("{:?}", cfg.scale));
     for n in [
@@ -108,13 +115,30 @@ pub fn config_fingerprint(nada: &Nada) -> u64 {
     ] {
         h.write_u64(n);
     }
+    for f in [
+        cfg.a2c.gamma,
+        cfg.a2c.lr,
+        cfg.a2c.entropy_coeff,
+        cfg.a2c.value_coeff,
+        cfg.a2c.clip_grad_norm,
+        cfg.entropy_end,
+    ] {
+        h.write_u64(u64::from(f.to_bits()));
+    }
+    h.write_u64(u64::from(cfg.a2c.normalize_advantages));
+    h.write_u64(cfg.fuzz.runs as u64);
+    h.write_u64(cfg.fuzz.threshold.to_bits());
+    h.write_u64(cfg.fuzz.seed);
     h.finish()
 }
 
-struct Fnv(u64);
+/// The FNV-1a accumulator behind [`config_fingerprint`]; also used by
+/// workloads to hash their own parameters
+/// ([`crate::workload::Workload::param_fingerprint`]).
+pub(crate) struct Fnv(u64);
 
 impl Fnv {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self(0xcbf2_9ce4_8422_2325)
     }
 
@@ -123,13 +147,13 @@ impl Fnv {
         self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
     }
 
-    fn write_u64(&mut self, n: u64) {
+    pub(crate) fn write_u64(&mut self, n: u64) {
         for b in n.to_le_bytes() {
             self.write_u8(b);
         }
     }
 
-    fn write_str(&mut self, s: &str) {
+    pub(crate) fn write_str(&mut self, s: &str) {
         for b in s.as_bytes() {
             self.write_u8(*b);
         }
@@ -137,7 +161,7 @@ impl Fnv {
         self.write_u8(0xFF);
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }
@@ -494,5 +518,67 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_ne!(a, cc);
+    }
+
+    /// Regression: float knobs (lr here) were once invisible to the
+    /// fingerprint, so runs differing only in lr shared score-cache
+    /// entries and resumed each other's snapshots.
+    #[test]
+    fn lr_only_differences_share_neither_cache_keys_nor_snapshots() {
+        let base = NadaConfig::new(DatasetKind::Fcc, RunScale::Tiny, 1);
+        let mut tuned = base.clone();
+        tuned.a2c.lr = base.a2c.lr * 0.5;
+        let a = Nada::new(base);
+        let b = Nada::new(tuned);
+        let (fa, fb) = (config_fingerprint(&a), config_fingerprint(&b));
+        assert_ne!(fa, fb, "lr must be part of the fingerprint");
+
+        // Distinct fingerprints ⇒ distinct score-cache keys.
+        use crate::score_cache::{full_key, probe_key};
+        assert_ne!(full_key(fa, "s", "arch"), full_key(fb, "s", "arch"));
+        assert_ne!(probe_key(fa, "s", "arch", 7), probe_key(fb, "s", "arch", 7));
+
+        // ... and a snapshot from one refuses to resume against the other.
+        let mut snap = sample_snapshot();
+        snap.fingerprint = fa;
+        let Err(err) = crate::session::SearchSession::resume(&b, snap) else {
+            panic!("resume must refuse a mismatched fingerprint");
+        };
+        assert!(err.to_string().contains("different pipeline"), "{err}");
+    }
+
+    /// Regression: workload-level parameters (CC reward weights) were
+    /// invisible to the fingerprint for the same reason.
+    #[test]
+    fn cc_reward_only_differences_share_neither_cache_keys_nor_snapshots() {
+        use crate::workload::CcWorkload;
+        use nada_sim::cc::CcReward;
+        let cfg = NadaConfig::new(DatasetKind::Fcc, RunScale::Tiny, 1);
+        let a = Nada::with_workload(
+            cfg.clone(),
+            Box::new(CcWorkload::for_dataset(DatasetKind::Fcc)),
+        );
+        let b = Nada::with_workload(
+            cfg,
+            Box::new(
+                CcWorkload::for_dataset(DatasetKind::Fcc).with_reward(CcReward {
+                    latency_penalty: 2.0,
+                    ..CcReward::default()
+                }),
+            ),
+        );
+        let (fa, fb) = (config_fingerprint(&a), config_fingerprint(&b));
+        assert_ne!(fa, fb, "reward weights must be part of the fingerprint");
+
+        use crate::score_cache::{full_key, probe_key};
+        assert_ne!(full_key(fa, "s", "arch"), full_key(fb, "s", "arch"));
+        assert_ne!(probe_key(fa, "s", "arch", 7), probe_key(fb, "s", "arch", 7));
+
+        let mut snap = sample_snapshot();
+        snap.fingerprint = fa;
+        let Err(err) = crate::session::SearchSession::resume(&b, snap) else {
+            panic!("resume must refuse a mismatched fingerprint");
+        };
+        assert!(err.to_string().contains("different pipeline"), "{err}");
     }
 }

@@ -23,6 +23,7 @@ use nada_dsl::{
 use nada_llm::TaskContext;
 use nada_nn::ArchConfig;
 use nada_sim::cc::{CcEnv, CcReward, CC_ACTIONS, CC_FIELDS};
+use nada_sim::emu_cc::EmuCcEnv;
 use nada_sim::netenv::{FieldSpec, NetEnv};
 use nada_sim::prelude::*;
 use nada_traces::dataset::DatasetKind;
@@ -75,6 +76,17 @@ pub trait Workload: Send + Sync {
     /// skip emulation experiments without constructing a trace).
     fn has_emulation(&self) -> bool {
         false
+    }
+
+    /// Fingerprint of workload-level parameters that change training or
+    /// evaluation results (reward weights, episode lengths, …). Folded
+    /// into [`crate::snapshot::config_fingerprint`], so runs differing
+    /// only in these knobs never share score-cache entries or resume each
+    /// other's checkpoints. The default covers parameter-free workloads;
+    /// workloads with tunable knobs must hash every one of them (float
+    /// knobs by their IEEE-754 bits).
+    fn param_fingerprint(&self) -> u64 {
+        0
     }
 
     /// Typical decision steps per training episode — a capacity hint for
@@ -260,6 +272,13 @@ impl CcWorkload {
         self
     }
 
+    /// Overrides the episode length (decision intervals per episode).
+    pub fn with_episode_ticks(mut self, ticks: usize) -> Self {
+        assert!(ticks > 0, "episodes need at least one tick");
+        self.episode_ticks = ticks;
+        self
+    }
+
     /// The reward weights in effect.
     pub fn reward(&self) -> CcReward {
         self.reward
@@ -313,6 +332,27 @@ impl Workload for CcWorkload {
 
     fn eval_env<'a>(&'a self, trace: &'a Trace, _index: usize) -> Box<dyn NetEnv + 'a> {
         Box::new(CcEnv::deterministic(trace, self.episode_ticks, self.reward))
+    }
+
+    fn emu_env<'a>(&'a self, trace: &'a Trace, index: usize) -> Option<Box<dyn NetEnv + 'a>> {
+        Some(Box::new(EmuCcEnv::new(
+            trace,
+            self.episode_ticks,
+            self.reward,
+            0xECC1_0000 + index as u64,
+        )))
+    }
+
+    fn has_emulation(&self) -> bool {
+        true
+    }
+
+    fn param_fingerprint(&self) -> u64 {
+        let mut h = crate::snapshot::Fnv::new();
+        h.write_u64(self.reward.latency_penalty.to_bits());
+        h.write_u64(self.reward.loss_penalty.to_bits());
+        h.write_u64(self.episode_ticks as u64);
+        h.finish()
     }
 
     fn typical_episode_len(&self) -> usize {
@@ -397,13 +437,44 @@ mod tests {
     }
 
     #[test]
-    fn abr_emulation_env_exists_cc_does_not() {
+    fn both_workloads_have_emulation_envs() {
         let trace = Trace::from_uniform("flat", 1.0, &[5.0; 300]).unwrap();
-        let abr = AbrWorkload::for_dataset(DatasetKind::Fcc);
-        assert!(abr.has_emulation());
-        assert!(abr.emu_env(&trace, 0).is_some());
-        let cc = CcWorkload::for_dataset(DatasetKind::Fcc);
-        assert!(!cc.has_emulation());
-        assert!(cc.emu_env(&trace, 0).is_none());
+        for w in [
+            &AbrWorkload::for_dataset(DatasetKind::Fcc) as &dyn Workload,
+            &CcWorkload::for_dataset(DatasetKind::Fcc) as &dyn Workload,
+        ] {
+            assert!(w.has_emulation(), "{}", w.name());
+            let mut env = w.emu_env(&trace, 0).expect("emulation env exists");
+            assert_eq!(env.action_space(), w.n_actions(), "{}", w.name());
+            let obs = env.reset();
+            assert_eq!(
+                nada_sim::netenv::spec_mismatch(w.observation_fields(), &obs),
+                None,
+                "{}",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn param_fingerprint_separates_tuned_cc_workloads() {
+        let base = CcWorkload::for_dataset(DatasetKind::Fcc);
+        let tuned = CcWorkload::for_dataset(DatasetKind::Fcc).with_reward(CcReward {
+            latency_penalty: 2.0,
+            ..Default::default()
+        });
+        let longer = CcWorkload::for_dataset(DatasetKind::Fcc).with_episode_ticks(240);
+        assert_ne!(base.param_fingerprint(), tuned.param_fingerprint());
+        assert_ne!(base.param_fingerprint(), longer.param_fingerprint());
+        assert_eq!(
+            base.param_fingerprint(),
+            CcWorkload::for_dataset(DatasetKind::Fcc).param_fingerprint(),
+            "equal parameters must fingerprint equally"
+        );
+        // Parameter-free workloads use the default.
+        assert_eq!(
+            AbrWorkload::for_dataset(DatasetKind::Fcc).param_fingerprint(),
+            0
+        );
     }
 }

@@ -48,9 +48,30 @@ impl Daemon {
         spool_root: impl Into<std::path::PathBuf>,
         lanes: usize,
     ) -> io::Result<Self> {
+        Self::bind_with_registry(
+            addr,
+            spool_root,
+            lanes,
+            Arc::new(nada_core::registry::WorkloadRegistry::builtin()),
+        )
+    }
+
+    /// [`Daemon::bind_with_lanes`] against a caller-supplied workload
+    /// registry, so workloads registered beyond the builtin set can be
+    /// submitted over the wire.
+    pub fn bind_with_registry(
+        addr: impl ToSocketAddrs,
+        spool_root: impl Into<std::path::PathBuf>,
+        lanes: usize,
+        registry: Arc<nada_core::registry::WorkloadRegistry>,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
-        let scheduler = Arc::new(Scheduler::new(Spool::open(spool_root)?, lanes)?);
+        let scheduler = Arc::new(Scheduler::with_registry(
+            Spool::open(spool_root)?,
+            lanes,
+            registry,
+        )?);
         Ok(Self {
             listener,
             scheduler,

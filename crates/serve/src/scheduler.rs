@@ -100,6 +100,9 @@ struct SchedState {
 struct Inner {
     spool: Spool,
     cache: Arc<ScoreCache>,
+    /// Workloads this scheduler can build jobs for. Defaults to
+    /// [`WorkloadRegistry::builtin`]; daemons may register their own.
+    registry: Arc<WorkloadRegistry>,
     state: Mutex<SchedState>,
     /// Woken on new work *and* on any job state change.
     cv: Condvar,
@@ -123,14 +126,29 @@ impl Scheduler {
     /// and starts `lanes` worker lanes. `lanes == 0` starts no lanes —
     /// jobs queue but nothing executes (used by latency benches and
     /// tests that drive turns manually via restart).
+    ///
+    /// Jobs can name any workload in [`WorkloadRegistry::builtin`]; use
+    /// [`Scheduler::with_registry`] to serve custom-registered workloads.
     pub fn new(spool: Spool, lanes: usize) -> io::Result<Self> {
+        Self::with_registry(spool, lanes, Arc::new(WorkloadRegistry::builtin()))
+    }
+
+    /// Like [`Scheduler::new`], but jobs (including those recovered from
+    /// the spool) are built against the caller's `registry` instead of
+    /// the builtin one, so custom-registered workloads are reachable
+    /// over the wire.
+    pub fn with_registry(
+        spool: Spool,
+        lanes: usize,
+        registry: Arc<WorkloadRegistry>,
+    ) -> io::Result<Self> {
         let cache = Arc::new(ScoreCache::new());
         let mut state = SchedState::default();
         for job in spool.scan()? {
             let view = Arc::new(CacheView::new(cache.clone()));
             let (jstate, result, error, nada) = match job.result {
                 Some(result) => (JobState::Done, Some(Arc::new(result)), None, None),
-                None => match build_nada(&job.spec, view.clone()) {
+                None => match build_nada_with(&registry, &job.spec, view.clone()) {
                     Ok(nada) => (JobState::Queued, None, None, Some(Arc::new(nada))),
                     Err(e) => (JobState::Failed, None, Some(e), None),
                 },
@@ -165,6 +183,7 @@ impl Scheduler {
         let inner = Arc::new(Inner {
             spool,
             cache,
+            registry,
             state: Mutex::new(state),
             cv: Condvar::new(),
             draining: AtomicBool::new(false),
@@ -208,7 +227,7 @@ impl Scheduler {
             return Err(format!("unknown llm backend `{}`", spec.llm_backend));
         }
         let view = Arc::new(CacheView::new(self.inner.cache.clone()));
-        let nada = Arc::new(build_nada(&spec, view.clone())?);
+        let nada = Arc::new(build_nada_with(&self.inner.registry, &spec, view.clone())?);
         let mut state = self.inner.state.lock().unwrap();
         let id = state.next_id;
         state.next_id += 1;
@@ -347,15 +366,26 @@ fn job_status(id: u64, job: &Job) -> JobStatus {
     }
 }
 
-/// Builds the pipeline a job spec describes, with its cache view
-/// attached. Public so tests and benches can construct the exact
-/// pipeline a daemon job would run outside the daemon.
+/// Builds the pipeline a job spec describes against the builtin
+/// workload registry, with its cache view attached. Public so tests
+/// and benches can construct the exact pipeline a default daemon job
+/// would run outside the daemon.
 pub fn build_nada(spec: &JobSpec, view: Arc<CacheView>) -> Result<Nada, String> {
+    build_nada_with(&WorkloadRegistry::builtin(), spec, view)
+}
+
+/// [`build_nada`] against a caller-supplied workload registry — the
+/// form every scheduler path (submit and spool recovery) actually uses.
+pub fn build_nada_with(
+    registry: &WorkloadRegistry,
+    spec: &JobSpec,
+    view: Arc<CacheView>,
+) -> Result<Nada, String> {
     let dataset = DatasetKind::from_name(&spec.dataset)
         .ok_or_else(|| format!("unknown dataset `{}`", spec.dataset))?;
     let scale = RunScale::from_name(&spec.scale)
         .ok_or_else(|| format!("unknown scale `{}`", spec.scale))?;
-    let workload = WorkloadRegistry::builtin()
+    let workload = registry
         .build(&spec.workload, dataset)
         .ok_or_else(|| format!("unknown workload `{}`", spec.workload))?;
     Ok(

@@ -1,0 +1,102 @@
+//! Custom-registered workloads over the wire: a daemon built with its
+//! own [`WorkloadRegistry`] must serve workloads the builtin table has
+//! never heard of — and recover their spooled jobs after a restart.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use nada_core::jobspec::JobSpec;
+use nada_core::registry::WorkloadRegistry;
+use nada_core::workload::CcWorkload;
+use nada_serve::{Client, ClientError, Daemon, Scheduler, Spool};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("nada-serve-registry-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The registry under test: builtins plus a short-episode CC variant
+/// that only this registry knows about.
+fn custom_registry() -> Arc<WorkloadRegistry> {
+    let mut registry = WorkloadRegistry::builtin();
+    registry.register("cc-short", |kind| {
+        Box::new(CcWorkload::for_dataset(kind).with_episode_ticks(60))
+    });
+    Arc::new(registry)
+}
+
+#[test]
+fn daemon_serves_a_custom_registered_workload_end_to_end() {
+    let root = scratch("e2e");
+    let daemon =
+        Daemon::bind_with_registry("127.0.0.1:0", root.clone(), 1, custom_registry()).unwrap();
+    let addr = daemon.local_addr().unwrap();
+    let server = std::thread::spawn(move || daemon.run());
+
+    let mut client = Client::connect(addr).unwrap();
+    let id = client
+        .submit(JobSpec::new("cc-short", "FCC", 21))
+        .expect("custom workload is reachable over the wire");
+    let status = client.wait_terminal(id, Duration::from_secs(300)).unwrap();
+    assert_eq!(status.state, "done", "{:?}", status.error);
+    let result = client.result(id).unwrap();
+    assert!(!result.hall.is_empty(), "a finished search ranks winners");
+
+    client.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+
+    // Leave an *unfinished* custom-workload job in the spool: recovery
+    // must rebuild it, and only a registry that knows the workload can.
+    let unfinished = id + 1;
+    Spool::open(root.clone())
+        .unwrap()
+        .write_spec(unfinished, &JobSpec::new("cc-short", "FCC", 22))
+        .unwrap();
+
+    let recovered =
+        Scheduler::with_registry(Spool::open(root.clone()).unwrap(), 0, custom_registry()).unwrap();
+    assert_eq!(recovered.status(id).unwrap().state, "done");
+    assert_eq!(
+        recovered.status(unfinished).unwrap().state,
+        "queued",
+        "a custom-registry scheduler re-enqueues the recovered job"
+    );
+
+    let stranger = Scheduler::new(Spool::open(root.clone()).unwrap(), 0).unwrap();
+    assert_eq!(
+        stranger.status(id).unwrap().state,
+        "done",
+        "finished jobs load without a rebuild"
+    );
+    let status = stranger.status(unfinished).unwrap();
+    assert_eq!(status.state, "failed", "builtin registry cannot rebuild it");
+    assert!(
+        status
+            .error
+            .unwrap_or_default()
+            .contains("unknown workload"),
+        "the failure names the unknown workload"
+    );
+    let _ = fs::remove_dir_all(root);
+}
+
+#[test]
+fn default_daemon_still_rejects_unregistered_workloads() {
+    let root = scratch("reject");
+    let daemon = Daemon::bind_with_lanes("127.0.0.1:0", root.clone(), 0).unwrap();
+    let addr = daemon.local_addr().unwrap();
+    let server = std::thread::spawn(move || daemon.run());
+
+    let mut client = Client::connect(addr).unwrap();
+    match client.submit(JobSpec::new("cc-short", "FCC", 3)) {
+        Err(ClientError::Daemon(msg)) => assert!(msg.contains("unknown workload"), "{msg}"),
+        other => panic!("expected daemon error, got {other:?}"),
+    }
+    client.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+    let _ = fs::remove_dir_all(root);
+}

@@ -1,0 +1,564 @@
+//! Packet-level congestion-control emulator.
+//!
+//! [`crate::cc::CcEnv`] is a *fluid* model: arrivals, service and ACKs are
+//! real-valued rates settled once per 100 ms tick, with an optimistic
+//! within-tick ACK estimate. The paper's emulation methodology (Table 4)
+//! validates designs in a finer-grained world; [`EmuCcEnv`] is that world
+//! for the CC workload, exactly as [`crate::emulator::EmuTransport`] is for
+//! ABR. It reproduces the *reasons* packet-level scores diverge from the
+//! fluid simulation:
+//!
+//! * **ACK clocking**: the sender may only inject at ACK-round boundaries,
+//!   and a round lasts one (jittered) RTT *plus the current queue delay* —
+//!   a deep queue slows the clock, so window turnover genuinely takes an
+//!   RTT instead of the fluid model's within-tick ACK estimate;
+//! * **whole packets**: injections and link service happen in integer
+//!   packets (fractional link capacity is carried as credit while the
+//!   queue is backlogged and forfeited when it drains);
+//! * **RTT jitter**: each round's RTT is perturbed (Box–Muller), and the
+//!   jitter inflates the latency penalty asymmetrically — `max(rtt/base −
+//!   1, 0)` taxes the slow rounds without refunding the fast ones;
+//! * **handshake**: the first round of every episode is connection setup —
+//!   one RTT in which nothing is delivered.
+//!
+//! The observation schema, action space and reward are identical to
+//! [`crate::cc::CcEnv`] ([`CC_FIELDS`]/[`CC_ACTIONS`]/[`CcReward`]), so any
+//! policy trained in the fluid simulator runs here unchanged. The result,
+//! as in the paper, is lower absolute reward with preserved design
+//! rankings.
+
+use crate::cc::{
+    CcReward, CcTick, BASE_RTT_S, CC_ACTIONS, CC_FIELDS, CC_HISTORY_LEN, CC_PKT_BYTES,
+    INITIAL_CWND_PKTS, MAX_CWND_PKTS, MAX_RTT_S, MIN_CWND_PKTS, QUEUE_CAP_PKTS, SRTT_ALPHA, TICK_S,
+};
+use crate::netenv::{EnvStep, FieldSpec, NetEnv, ObsValue, StepOutcome};
+use nada_traces::{Trace, TraceCursor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Standard deviation of per-round RTT jitter, seconds.
+pub const EMU_RTT_JITTER_S: f64 = 0.004;
+
+/// The packet-level CC environment: same contract as [`crate::cc::CcEnv`],
+/// finer transport underneath.
+#[derive(Debug, Clone)]
+pub struct EmuCcEnv<'a> {
+    trace: &'a Trace,
+    cursor: TraceCursor<'a>,
+    rng: StdRng,
+    reward: CcReward,
+    seed: u64,
+    jitter_s: f64,
+    random_start: bool,
+    total_ticks: usize,
+    // Mutable episode state.
+    tick: usize,
+    cwnd_pkts: f64,
+    /// Whole packets waiting at the bottleneck.
+    queue_pkts: u32,
+    /// Un-ACKed packets: queued, traversing, or with an ACK in flight.
+    inflight_pkts: u32,
+    /// Packets served in the current ACK round; their ACKs free window at
+    /// the next round boundary.
+    ack_pending_pkts: u32,
+    /// Time left in the current ACK round, seconds.
+    round_left_s: f64,
+    /// Fractional link service carried between slices while backlogged.
+    serve_credit: f64,
+    /// The most recent round's full length (jitter + queue delay), the
+    /// RTT packets actually experienced.
+    last_rtt_s: f64,
+    srtt_s: f64,
+    min_rtt_s: f64,
+    throughput_hist: VecDeque<f64>,
+    rtt_hist: VecDeque<f64>,
+    loss_hist: VecDeque<f64>,
+}
+
+impl<'a> EmuCcEnv<'a> {
+    /// Builds a jittered emulation episode starting at a seed-derived
+    /// random trace offset (the Table 4 evaluation configuration,
+    /// mirroring [`crate::emulator::EmuTransport::new`]).
+    pub fn new(trace: &'a Trace, total_ticks: usize, reward: CcReward, seed: u64) -> Self {
+        Self::build(trace, total_ticks, reward, seed, EMU_RTT_JITTER_S, true)
+    }
+
+    /// Builds a jitter-free episode starting at the trace beginning
+    /// (tests and diagnostics).
+    pub fn deterministic(trace: &'a Trace, total_ticks: usize, reward: CcReward) -> Self {
+        Self::build(trace, total_ticks, reward, 0, 0.0, false)
+    }
+
+    fn build(
+        trace: &'a Trace,
+        total_ticks: usize,
+        reward: CcReward,
+        seed: u64,
+        jitter_s: f64,
+        random_start: bool,
+    ) -> Self {
+        assert!(total_ticks > 0, "episodes need at least one tick");
+        let mut env = Self {
+            trace,
+            cursor: TraceCursor::new(trace),
+            rng: StdRng::seed_from_u64(0),
+            reward,
+            seed,
+            jitter_s,
+            random_start,
+            total_ticks,
+            tick: 0,
+            cwnd_pkts: INITIAL_CWND_PKTS,
+            queue_pkts: 0,
+            inflight_pkts: 0,
+            ack_pending_pkts: 0,
+            round_left_s: 0.0,
+            serve_credit: 0.0,
+            last_rtt_s: BASE_RTT_S,
+            srtt_s: BASE_RTT_S,
+            min_rtt_s: BASE_RTT_S,
+            throughput_hist: VecDeque::new(),
+            rtt_hist: VecDeque::new(),
+            loss_hist: VecDeque::new(),
+        };
+        env.reset_episode();
+        env
+    }
+
+    fn reset_episode(&mut self) {
+        self.cursor = if self.random_start {
+            TraceCursor::with_random_start(self.trace, self.seed)
+        } else {
+            TraceCursor::new(self.trace)
+        };
+        self.rng = StdRng::seed_from_u64(self.seed ^ 0xECC1_0000_0000_0019);
+        self.tick = 0;
+        self.cwnd_pkts = INITIAL_CWND_PKTS;
+        self.queue_pkts = 0;
+        self.inflight_pkts = 0;
+        self.ack_pending_pkts = 0;
+        // Connection setup: the first round delivers nothing (the
+        // handshake occupies it), so the episode starts one RTT behind
+        // the fluid model.
+        self.round_left_s = self.jittered_rtt();
+        self.serve_credit = 0.0;
+        self.last_rtt_s = BASE_RTT_S;
+        self.srtt_s = BASE_RTT_S;
+        self.min_rtt_s = BASE_RTT_S;
+        let zeros = || VecDeque::from(vec![0.0; CC_HISTORY_LEN]);
+        self.throughput_hist = zeros();
+        self.rtt_hist = zeros();
+        self.loss_hist = zeros();
+    }
+
+    /// The current congestion window, packets.
+    pub fn cwnd_pkts(&self) -> f64 {
+        self.cwnd_pkts
+    }
+
+    /// Episode length in ticks.
+    pub fn total_ticks(&self) -> usize {
+        self.total_ticks
+    }
+
+    fn jittered_rtt(&mut self) -> f64 {
+        if self.jitter_s == 0.0 {
+            return BASE_RTT_S;
+        }
+        // Box–Muller; clamp so jitter never makes the RTT non-positive.
+        let u1: f64 = self.rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.rng.gen();
+        let g = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (BASE_RTT_S + g * self.jitter_s).max(BASE_RTT_S * 0.25)
+    }
+
+    fn observation(&self) -> Vec<ObsValue> {
+        vec![
+            ObsValue::Vector(self.throughput_hist.iter().copied().collect()),
+            ObsValue::Vector(self.rtt_hist.iter().copied().collect()),
+            ObsValue::Vector(self.loss_hist.iter().copied().collect()),
+            ObsValue::Scalar(self.cwnd_pkts),
+            ObsValue::Scalar(self.min_rtt_s * 1000.0),
+            ObsValue::Scalar((self.total_ticks - self.tick) as f64),
+            ObsValue::Scalar(self.total_ticks as f64),
+        ]
+    }
+
+    /// Allocation-free twin of [`EmuCcEnv::observation`], in
+    /// [`CC_FIELDS`] order.
+    fn write_obs(&self, out: &mut Vec<ObsValue>) {
+        use crate::netenv::{prepare_obs, write_scalar, write_vector};
+        prepare_obs(out, CC_FIELDS.len());
+        write_vector(&mut out[0], self.throughput_hist.iter().copied());
+        write_vector(&mut out[1], self.rtt_hist.iter().copied());
+        write_vector(&mut out[2], self.loss_hist.iter().copied());
+        write_scalar(&mut out[3], self.cwnd_pkts);
+        write_scalar(&mut out[4], self.min_rtt_s * 1000.0);
+        write_scalar(&mut out[5], (self.total_ticks - self.tick) as f64);
+        write_scalar(&mut out[6], self.total_ticks as f64);
+    }
+
+    /// Applies `action` and emulates one tick at packet granularity.
+    ///
+    /// # Panics
+    /// Panics after the episode finished or on an out-of-range action.
+    pub fn tick(&mut self, action: usize) -> CcTick {
+        assert!(self.tick < self.total_ticks, "episode already finished");
+        assert!(action < CC_ACTIONS.len(), "action {action} out of range");
+
+        self.cwnd_pkts = match CC_ACTIONS[action] {
+            crate::cc::CwndAction::Scale(f) => self.cwnd_pkts * f,
+            crate::cc::CwndAction::Add(d) => self.cwnd_pkts + d,
+        }
+        .clamp(MIN_CWND_PKTS, MAX_CWND_PKTS);
+
+        let bw_mbps = self.cursor.current_bandwidth_mbps();
+        self.cursor.advance_time(TICK_S);
+        let cap_rate_pps = bw_mbps * 1e6 / (8.0 * CC_PKT_BYTES);
+
+        let mut served_total: u32 = 0;
+        let mut offered_total: u32 = 0;
+        let mut dropped_total: u32 = 0;
+        let mut remaining_s = TICK_S;
+        while remaining_s > 1e-12 {
+            // Serve the queue for the rest of this round or tick,
+            // whichever ends first.
+            let dt = self.round_left_s.min(remaining_s);
+            let can = cap_rate_pps * dt + self.serve_credit;
+            let serve = (can.floor() as u32).min(self.queue_pkts);
+            self.queue_pkts -= serve;
+            self.ack_pending_pkts += serve;
+            served_total += serve;
+            // Fractional capacity carries over only while backlogged — an
+            // idle link cannot bank service for later.
+            self.serve_credit = if self.queue_pkts > 0 {
+                can - can.floor()
+            } else {
+                0.0
+            };
+            self.round_left_s -= dt;
+            remaining_s -= dt;
+
+            if self.round_left_s <= 1e-12 {
+                // Round boundary: ACKs for everything served during the
+                // finished round arrive and free window.
+                self.inflight_pkts = self.inflight_pkts.saturating_sub(self.ack_pending_pkts);
+                self.ack_pending_pkts = 0;
+                // The sender injects whole packets into its window room.
+                let room = (self.cwnd_pkts.floor() as u32).saturating_sub(self.inflight_pkts);
+                let space = QUEUE_CAP_PKTS as u32 - self.queue_pkts.min(QUEUE_CAP_PKTS as u32);
+                let accepted = room.min(space);
+                let dropped = room - accepted;
+                self.queue_pkts += accepted;
+                self.inflight_pkts += accepted;
+                offered_total += room;
+                dropped_total += dropped;
+                // The next round lasts one jittered RTT plus however long
+                // the queue now delays the ACK clock.
+                let queue_delay = if cap_rate_pps > 0.0 {
+                    f64::from(self.queue_pkts) / cap_rate_pps
+                } else {
+                    MAX_RTT_S
+                };
+                self.last_rtt_s = (self.jittered_rtt() + queue_delay).min(MAX_RTT_S);
+                self.round_left_s = self.last_rtt_s;
+            }
+        }
+
+        let loss_frac = if offered_total > 0 {
+            f64::from(dropped_total) / f64::from(offered_total)
+        } else {
+            0.0
+        };
+        let rtt_s = self.last_rtt_s;
+        self.srtt_s = (1.0 - SRTT_ALPHA) * self.srtt_s + SRTT_ALPHA * rtt_s;
+        self.min_rtt_s = self.min_rtt_s.min(self.srtt_s);
+
+        let throughput_mbps = f64::from(served_total) * CC_PKT_BYTES * 8.0 / TICK_S / 1e6;
+        let reward = self.reward.tick_reward(throughput_mbps, rtt_s, loss_frac);
+
+        push_window(&mut self.throughput_hist, throughput_mbps);
+        push_window(&mut self.rtt_hist, self.srtt_s * 1000.0);
+        push_window(&mut self.loss_hist, loss_frac);
+        self.tick += 1;
+
+        CcTick {
+            throughput_mbps,
+            rtt_s,
+            loss_frac,
+            reward,
+            cwnd_pkts: self.cwnd_pkts,
+            done: self.tick >= self.total_ticks,
+        }
+    }
+}
+
+fn push_window(q: &mut VecDeque<f64>, v: f64) {
+    q.pop_front();
+    q.push_back(v);
+    debug_assert_eq!(q.len(), CC_HISTORY_LEN);
+}
+
+impl NetEnv for EmuCcEnv<'_> {
+    fn observation_spec(&self) -> &'static [FieldSpec] {
+        &CC_FIELDS
+    }
+
+    fn action_space(&self) -> usize {
+        CC_ACTIONS.len()
+    }
+
+    fn reset(&mut self) -> Vec<ObsValue> {
+        self.reset_episode();
+        self.observation()
+    }
+
+    fn step(&mut self, action: usize) -> EnvStep {
+        let t = self.tick(action);
+        EnvStep {
+            obs: self.observation(),
+            reward: t.reward,
+            done: t.done,
+        }
+    }
+
+    fn reset_into(&mut self, obs: &mut Vec<ObsValue>) {
+        self.reset_episode();
+        self.write_obs(obs);
+    }
+
+    fn step_into(&mut self, action: usize, obs: &mut Vec<ObsValue>) -> StepOutcome {
+        let t = self.tick(action);
+        self.write_obs(obs);
+        StepOutcome {
+            reward: t.reward,
+            done: t.done,
+        }
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.total_ticks - self.tick)
+    }
+}
+
+/// Runs `policy` through a whole emulated episode, returning the mean
+/// per-tick reward (the packet-level twin of
+/// [`crate::cc::run_cc_episode`]).
+pub fn run_emu_cc_episode<P: crate::cc::CcPolicy>(env: &mut EmuCcEnv<'_>, policy: &mut P) -> f64 {
+    policy.reset();
+    let mut obs = env.reset();
+    let mut total = 0.0;
+    let mut ticks = 0usize;
+    loop {
+        let action = policy.select(&obs);
+        let step = env.step(action);
+        total += step.reward;
+        ticks += 1;
+        obs = step.obs;
+        if step.done {
+            return total / ticks as f64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::{run_cc_episode, CcEnv, CcPolicy, CubicLike, HoldCwnd};
+    use crate::netenv::spec_mismatch;
+
+    fn flat(mbps: f64) -> Trace {
+        Trace::from_uniform("flat", 1.0, &[mbps; 600]).unwrap()
+    }
+
+    struct AlwaysDouble;
+
+    impl CcPolicy for AlwaysDouble {
+        fn select(&mut self, _obs: &[ObsValue]) -> usize {
+            6
+        }
+
+        fn name(&self) -> &'static str {
+            "AlwaysDouble"
+        }
+    }
+
+    #[test]
+    fn episode_runs_exactly_total_ticks() {
+        let t = flat(10.0);
+        let mut env = EmuCcEnv::deterministic(&t, 50, CcReward::default());
+        env.reset();
+        let mut steps = 0;
+        loop {
+            let s = env.step(3);
+            steps += 1;
+            if s.done {
+                break;
+            }
+        }
+        assert_eq!(steps, 50);
+    }
+
+    #[test]
+    fn observations_match_spec_at_every_step() {
+        let t = flat(5.0);
+        let mut env = EmuCcEnv::new(&t, 30, CcReward::default(), 9);
+        let obs0 = env.reset();
+        assert_eq!(spec_mismatch(&CC_FIELDS, &obs0), None);
+        loop {
+            let s = env.step(5);
+            assert_eq!(spec_mismatch(&CC_FIELDS, &s.obs), None);
+            if s.done {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn throughput_is_capacity_bounded() {
+        let t = flat(8.0);
+        let mut env = EmuCcEnv::deterministic(&t, 100, CcReward::default());
+        env.reset();
+        for _ in 0..100 {
+            let s = env.tick(6);
+            // Whole-packet service can round a hair above the fluid cap
+            // within one tick; one packet of slack covers it.
+            let cap = 8.0 + CC_PKT_BYTES * 8.0 / TICK_S / 1e6;
+            assert!(s.throughput_mbps <= cap, "served {}", s.throughput_mbps);
+        }
+    }
+
+    #[test]
+    fn overdriving_the_link_inflates_rtt_then_drops() {
+        let t = flat(4.0);
+        let mut env = EmuCcEnv::deterministic(&t, 300, CcReward::default());
+        env.reset();
+        let mut saw_inflation = false;
+        let mut saw_loss = false;
+        for _ in 0..300 {
+            let s = env.tick(6);
+            saw_inflation |= s.rtt_s > 2.0 * BASE_RTT_S;
+            saw_loss |= s.loss_frac > 0.0;
+        }
+        assert!(saw_inflation, "queue never built");
+        assert!(saw_loss, "queue never overflowed");
+    }
+
+    #[test]
+    fn seeded_episodes_replay_bit_identically() {
+        let t = flat(6.0);
+        let mut env = EmuCcEnv::new(&t, 40, CcReward::default(), 77);
+        let run = |env: &mut EmuCcEnv<'_>| {
+            let mut rewards = Vec::new();
+            env.reset();
+            for i in 0..40 {
+                rewards.push(env.step(i % CC_ACTIONS.len()).reward);
+            }
+            rewards
+        };
+        let a = run(&mut env);
+        let b = run(&mut env);
+        assert_eq!(a, b, "reset must replay the episode bit-for-bit");
+        let mut fresh = EmuCcEnv::new(&t, 40, CcReward::default(), 77);
+        assert_eq!(a, run(&mut fresh), "same seed, fresh env, same episode");
+    }
+
+    #[test]
+    fn emulation_scores_below_simulation_with_preserved_rankings() {
+        // The Table 4 property at transport level: every policy scores
+        // lower in the packet world than the fluid world, and the policy
+        // ordering is unchanged.
+        let t = flat(6.0);
+        let ticks = 300;
+        let mut sim_scores = Vec::new();
+        let mut emu_scores = Vec::new();
+        let policies: Vec<Box<dyn Fn() -> Box<dyn CcPolicy>>> = vec![
+            Box::new(|| Box::new(CubicLike::default())),
+            Box::new(|| Box::new(HoldCwnd)),
+            Box::new(|| Box::new(AlwaysDouble)),
+        ];
+        for make in &policies {
+            let mut sim_env = CcEnv::deterministic(&t, ticks, CcReward::default());
+            let mut p = make();
+            sim_scores.push(run_cc_episode_dyn(&mut sim_env, p.as_mut()));
+            let mut emu_env = EmuCcEnv::new(&t, ticks, CcReward::default(), 0xE);
+            let mut p = make();
+            emu_scores.push(run_emu_cc_episode_dyn(&mut emu_env, p.as_mut()));
+        }
+        // The strict below-simulation claim holds for policies that
+        // actually control congestion (CubicLike, HoldCwnd). The blasting
+        // policy is *less* catastrophic in the packet world — ACK
+        // self-clocking throttles it once the queue is deep, where the
+        // fluid model lets it keep pacing into the full queue — so its
+        // absolute score is not comparable; only its (last-place) rank is.
+        for (i, (s, e)) in sim_scores.iter().zip(&emu_scores).take(2).enumerate() {
+            assert!(e < s, "policy {i}: emu {e} should be below sim {s}");
+        }
+        let rank = |xs: &[f64]| {
+            let mut idx: Vec<usize> = (0..xs.len()).collect();
+            idx.sort_by(|&a, &b| xs[b].partial_cmp(&xs[a]).unwrap());
+            idx
+        };
+        assert_eq!(rank(&sim_scores), rank(&emu_scores), "rankings must hold");
+    }
+
+    fn run_cc_episode_dyn(env: &mut CcEnv<'_>, policy: &mut dyn CcPolicy) -> f64 {
+        struct Shim<'p>(&'p mut dyn CcPolicy);
+        impl CcPolicy for Shim<'_> {
+            fn select(&mut self, obs: &[ObsValue]) -> usize {
+                self.0.select(obs)
+            }
+            fn reset(&mut self) {
+                self.0.reset()
+            }
+            fn name(&self) -> &'static str {
+                self.0.name()
+            }
+        }
+        run_cc_episode(env, &mut Shim(policy))
+    }
+
+    fn run_emu_cc_episode_dyn(env: &mut EmuCcEnv<'_>, policy: &mut dyn CcPolicy) -> f64 {
+        struct Shim<'p>(&'p mut dyn CcPolicy);
+        impl CcPolicy for Shim<'_> {
+            fn select(&mut self, obs: &[ObsValue]) -> usize {
+                self.0.select(obs)
+            }
+            fn reset(&mut self) {
+                self.0.reset()
+            }
+            fn name(&self) -> &'static str {
+                self.0.name()
+            }
+        }
+        run_emu_cc_episode(env, &mut Shim(policy))
+    }
+
+    #[test]
+    fn in_place_writes_match_allocating_steps() {
+        let t = flat(5.0);
+        let mut a = EmuCcEnv::new(&t, 60, CcReward::default(), 5);
+        let mut b = EmuCcEnv::new(&t, 60, CcReward::default(), 5);
+        let mut obs = vec![ObsValue::Scalar(1.0); 2];
+        let reference = a.reset();
+        b.reset_into(&mut obs);
+        assert_eq!(obs, reference);
+        for i in 0..60 {
+            let step = a.step(i % CC_ACTIONS.len());
+            let out = b.step_into(i % CC_ACTIONS.len(), &mut obs);
+            assert_eq!(obs, step.obs, "step {i}");
+            assert_eq!(out.reward, step.reward, "step {i}");
+            assert_eq!(out.done, step.done, "step {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_invalid_action() {
+        let t = flat(5.0);
+        let mut env = EmuCcEnv::deterministic(&t, 10, CcReward::default());
+        env.reset();
+        let _ = env.step(99);
+    }
+}

@@ -24,7 +24,10 @@
 //! * [`netenv`] — the declared-field environment interface every workload
 //!   implements ([`env::AbrEnv`] and [`cc::CcEnv`]);
 //! * [`cc`] — congestion control: CWND actions over a fluid bottleneck
-//!   model on the same traces, with a Cubic-like baseline.
+//!   model on the same traces, with a Cubic-like baseline;
+//! * [`emu_cc`] — the packet-level CC emulation twin ([`emu_cc::EmuCcEnv`]):
+//!   ACK-clocked whole-packet rounds with RTT jitter, the Table 4
+//!   counterpart of [`emulator::EmuTransport`] for the CC workload.
 //!
 //! ```
 //! use nada_sim::prelude::*;
@@ -40,6 +43,7 @@
 
 pub mod baselines;
 pub mod cc;
+pub mod emu_cc;
 pub mod emulator;
 pub mod env;
 pub mod netenv;
@@ -53,6 +57,7 @@ pub mod video;
 pub mod prelude {
     pub use crate::baselines::{AbrPolicy, Bola, BufferBased, RateBased, RobustMpc};
     pub use crate::cc::{run_cc_episode, CcEnv, CcPolicy, CcReward, CubicLike, CC_FIELDS};
+    pub use crate::emu_cc::{run_emu_cc_episode, EmuCcEnv};
     pub use crate::emulator::EmuTransport;
     pub use crate::env::{AbrEnv, StepResult};
     pub use crate::netenv::{EnvStep, FieldSpec, NetEnv, ObsValue};

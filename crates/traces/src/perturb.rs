@@ -1,0 +1,312 @@
+//! Perturbed / heavy-traffic trace generators.
+//!
+//! The paper scores designs on one fixed trace set per dataset; AutoRNet
+//! (arXiv:2410.17656) argues winners should instead be scored across a
+//! *distribution* of stressed conditions. This module wraps any existing
+//! [`Trace`] into seeded stressed variants so finalists can be evaluated
+//! under conditions the search never saw:
+//!
+//! * **AR(1) scale shifts** — a slow multiplicative log-space envelope
+//!   (congestion epochs, cross-traffic waves) modulates capacity;
+//! * **outage injection** — Poisson-arriving windows where capacity
+//!   collapses to the generator floor (handover failures, tunnels);
+//! * **jitter amplification** — deviations from a rolling local mean are
+//!   magnified, making a smooth trace choppy without moving its center;
+//! * **load multiplier** — the capacity left for this flow is divided by a
+//!   heavy-traffic factor (competing tenants on the bottleneck).
+//!
+//! Every transform is deterministic in `(config, trace, seed)` and clamps
+//! through [`crate::synth::MIN_BANDWIDTH_MBPS`], so stressed variants stay
+//! valid replayable traces.
+
+use crate::model::Trace;
+use crate::synth::ar1::LogAr1;
+use crate::synth::MIN_BANDWIDTH_MBPS;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Half-width of the rolling window (in samples) used as the local mean
+/// for jitter amplification.
+const JITTER_WINDOW: usize = 4;
+
+/// One perturbation distribution over traces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerturbConfig {
+    /// Autocorrelation of the AR(1) scale envelope, in `[0, 1)`.
+    pub scale_rho: f64,
+    /// Innovation std of the AR(1) scale envelope (log space); `0`
+    /// disables the envelope.
+    pub scale_sigma: f64,
+    /// Mean outages per minute of trace time (Poisson); `0` disables
+    /// outage injection.
+    pub outage_rate_per_min: f64,
+    /// Mean outage duration, seconds (exponential).
+    pub outage_duration_s: f64,
+    /// Multiplier on deviations from the rolling local mean; `1` leaves
+    /// jitter unchanged.
+    pub jitter_amp: f64,
+    /// Background-load factor the capacity is divided by; `1` means the
+    /// flow has the link to itself.
+    pub load_multiplier: f64,
+}
+
+impl Default for PerturbConfig {
+    /// The identity: no perturbation at all.
+    fn default() -> Self {
+        Self {
+            scale_rho: 0.0,
+            scale_sigma: 0.0,
+            outage_rate_per_min: 0.0,
+            outage_duration_s: 0.0,
+            jitter_amp: 1.0,
+            load_multiplier: 1.0,
+        }
+    }
+}
+
+impl PerturbConfig {
+    /// Heavy traffic: the link is shared with aggressive cross-traffic —
+    /// halved effective capacity plus slow congestion waves.
+    pub fn heavy_traffic() -> Self {
+        Self {
+            scale_rho: 0.98,
+            scale_sigma: 0.08,
+            load_multiplier: 2.0,
+            ..Self::default()
+        }
+    }
+
+    /// Outage-prone: a nominal link that keeps falling off a cliff
+    /// (handover failures, obstructions) — roughly two multi-second
+    /// outages per minute.
+    pub fn outage_prone() -> Self {
+        Self {
+            outage_rate_per_min: 2.0,
+            outage_duration_s: 3.0,
+            ..Self::default()
+        }
+    }
+
+    /// Jittery: same average capacity, far choppier sample-to-sample —
+    /// amplified local deviations plus a light fast envelope.
+    pub fn jittery() -> Self {
+        Self {
+            scale_rho: 0.6,
+            scale_sigma: 0.12,
+            jitter_amp: 2.5,
+            ..Self::default()
+        }
+    }
+
+    /// Everything at once: the worst plausible network.
+    pub fn worst_case() -> Self {
+        Self {
+            scale_rho: 0.95,
+            scale_sigma: 0.1,
+            outage_rate_per_min: 1.0,
+            outage_duration_s: 2.0,
+            jitter_amp: 1.5,
+            load_multiplier: 1.5,
+        }
+    }
+
+    /// The named stress presets, for harnesses that sweep all of them.
+    pub fn presets() -> Vec<(&'static str, Self)> {
+        vec![
+            ("heavy_traffic", Self::heavy_traffic()),
+            ("outage_prone", Self::outage_prone()),
+            ("jittery", Self::jittery()),
+            ("worst_case", Self::worst_case()),
+        ]
+    }
+
+    /// Produces one stressed variant of `trace`. Deterministic in
+    /// `(self, trace, seed)`; the variant keeps the source timestamps and
+    /// is named `"<source>+stress<seed>"`.
+    pub fn perturb(&self, trace: &Trace, seed: u64) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5732_E550_0000_0011);
+        let points = trace.points();
+        let raw: Vec<f64> = points.iter().map(|p| p.bandwidth_mbps).collect();
+        let max_mbps = raw.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+
+        // Jitter amplification around a rolling local mean.
+        let mut bw: Vec<f64> = (0..raw.len())
+            .map(|i| {
+                if self.jitter_amp == 1.0 {
+                    return raw[i];
+                }
+                let lo = i.saturating_sub(JITTER_WINDOW);
+                let hi = (i + JITTER_WINDOW + 1).min(raw.len());
+                let local = raw[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+                local + self.jitter_amp * (raw[i] - local)
+            })
+            .collect();
+
+        // AR(1) multiplicative scale envelope, mean 1 in linear space.
+        if self.scale_sigma > 0.0 {
+            let envelope = LogAr1::with_mean(1.0, self.scale_rho, self.scale_sigma);
+            let mut x = envelope.init_state(&mut rng);
+            for b in bw.iter_mut() {
+                x = envelope.step(x, &mut rng);
+                *b *= x.exp();
+            }
+        }
+
+        // Poisson outages with exponential durations, walked over the
+        // trace timeline.
+        if self.outage_rate_per_min > 0.0 {
+            let rate_per_s = self.outage_rate_per_min / 60.0;
+            let mut t = next_exponential(&mut rng, rate_per_s);
+            let end = trace.duration_s();
+            while t < end {
+                let dur = next_exponential(&mut rng, 1.0 / self.outage_duration_s.max(1e-6));
+                for (p, b) in points.iter().zip(bw.iter_mut()) {
+                    if p.time_s >= t && p.time_s < t + dur {
+                        *b = 0.0;
+                    }
+                }
+                t += dur + next_exponential(&mut rng, rate_per_s);
+            }
+        }
+
+        // Heavy background load: this flow gets its fair share.
+        let bw: Vec<f64> = bw
+            .iter()
+            .map(|b| (b / self.load_multiplier).clamp(MIN_BANDWIDTH_MBPS, max_mbps.max(1.0)))
+            .collect();
+
+        let stressed: Vec<crate::model::TracePoint> = points
+            .iter()
+            .zip(&bw)
+            .map(|(p, &b)| crate::model::TracePoint::new(p.time_s, b))
+            .collect();
+        Trace::new(format!("{}+stress{seed}", trace.name()), stressed)
+            .expect("perturbation preserves trace invariants")
+    }
+
+    /// Produces `variants_per_trace` stressed variants of every trace in
+    /// `traces`, with seeds derived splitmix-style from `seed` so each
+    /// variant is independent yet reproducible.
+    pub fn stressed_set(
+        &self,
+        traces: &[Trace],
+        variants_per_trace: usize,
+        seed: u64,
+    ) -> Vec<Trace> {
+        let mut out = Vec::with_capacity(traces.len() * variants_per_trace);
+        for (i, trace) in traces.iter().enumerate() {
+            for v in 0..variants_per_trace {
+                let mix = (i * variants_per_trace + v) as u64;
+                out.push(self.perturb(trace, seed ^ mix.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            }
+        }
+        out
+    }
+}
+
+/// Exponential draw with the given rate, via inverse transform.
+fn next_exponential<R: Rng>(rng: &mut R, rate: f64) -> f64 {
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    -u.ln() / rate.max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn source() -> Trace {
+        let bw: Vec<f64> = (0..300).map(|i| 4.0 + (i % 5) as f64 * 0.5).collect();
+        Trace::from_uniform("src", 1.0, &bw).unwrap()
+    }
+
+    #[test]
+    fn identity_config_changes_nothing_but_the_name() {
+        let t = source();
+        let p = PerturbConfig::default().perturb(&t, 7);
+        assert_eq!(p.points().len(), t.points().len());
+        for (a, b) in t.points().iter().zip(p.points()) {
+            assert_eq!(a.time_s, b.time_s);
+            assert_eq!(a.bandwidth_mbps, b.bandwidth_mbps);
+        }
+        assert_eq!(p.name(), "src+stress7");
+    }
+
+    #[test]
+    fn perturbation_is_deterministic_in_seed() {
+        let t = source();
+        let cfg = PerturbConfig::worst_case();
+        assert_eq!(cfg.perturb(&t, 3), cfg.perturb(&t, 3));
+        assert_ne!(
+            cfg.perturb(&t, 3).points(),
+            cfg.perturb(&t, 4).points(),
+            "different seeds must produce different stress"
+        );
+    }
+
+    #[test]
+    fn stressed_traces_stay_valid_and_floored() {
+        let t = source();
+        for (name, cfg) in PerturbConfig::presets() {
+            let p = cfg.perturb(&t, 11);
+            assert!(p.min_mbps() >= MIN_BANDWIDTH_MBPS, "{name}");
+            assert_eq!(p.points().len(), t.points().len(), "{name}");
+            assert!(p.max_mbps().is_finite(), "{name}");
+        }
+    }
+
+    #[test]
+    fn heavy_traffic_reduces_mean_capacity() {
+        let t = source();
+        let p = PerturbConfig::heavy_traffic().perturb(&t, 5);
+        assert!(
+            p.mean_mbps() < 0.8 * t.mean_mbps(),
+            "heavy traffic should cut capacity: {} vs {}",
+            p.mean_mbps(),
+            t.mean_mbps()
+        );
+    }
+
+    #[test]
+    fn outages_floor_some_samples() {
+        let t = source();
+        let p = PerturbConfig::outage_prone().perturb(&t, 9);
+        let floored = p
+            .points()
+            .iter()
+            .filter(|p| p.bandwidth_mbps <= MIN_BANDWIDTH_MBPS)
+            .count();
+        assert!(floored > 0, "an outage-prone minute should contain outages");
+        assert!(
+            floored < p.points().len(),
+            "the link must not be down the whole time"
+        );
+    }
+
+    #[test]
+    fn jitter_amplification_raises_variance_not_center() {
+        let t = source();
+        // ×2 keeps the amplified samples inside the clamp range (the
+        // ceiling is the source max), so the center genuinely holds.
+        let p = PerturbConfig {
+            jitter_amp: 2.0,
+            ..PerturbConfig::default()
+        }
+        .perturb(&t, 2);
+        assert!(p.std_mbps() > 1.5 * t.std_mbps());
+        let drift = (p.mean_mbps() - t.mean_mbps()).abs() / t.mean_mbps();
+        assert!(drift < 0.1, "center drifted {drift}");
+    }
+
+    #[test]
+    fn stressed_set_covers_every_trace_and_variant() {
+        let traces = vec![source(), source().scaled(2.0).unwrap()];
+        let set = PerturbConfig::jittery().stressed_set(&traces, 3, 42);
+        assert_eq!(set.len(), 6);
+        // All variants distinct (seeds diverge per slot).
+        for i in 0..set.len() {
+            for j in i + 1..set.len() {
+                assert_ne!(set[i].points(), set[j].points(), "{i} vs {j}");
+            }
+        }
+    }
+}

@@ -9,6 +9,7 @@
 //! declared bounds).
 
 use nada::sim::cc::{CcEnv, CcReward, MAX_CWND_PKTS, MIN_CWND_PKTS};
+use nada::sim::emu_cc::EmuCcEnv;
 use nada::sim::env::BUFFER_CAP_S;
 use nada::sim::netenv::{field, spec_mismatch, EnvStep, NetEnv, ObsValue};
 use nada::sim::prelude::*;
@@ -73,6 +74,10 @@ fn cc_env(trace: &Trace, seed: u64) -> CcEnv<'_> {
     CcEnv::new(trace, 120, CcReward::default(), seed)
 }
 
+fn emu_cc_env(trace: &Trace, seed: u64) -> EmuCcEnv<'_> {
+    EmuCcEnv::new(trace, 120, CcReward::default(), seed)
+}
+
 #[test]
 fn episodes_terminate_and_observations_match_spec() {
     let trace = test_trace();
@@ -85,6 +90,10 @@ fn episodes_terminate_and_observations_match_spec() {
     let mut cc = cc_env(&trace, 5);
     let cc_steps = drive_episode(&mut cc, 1000);
     assert_eq!(cc_steps.len(), 120, "CC episodes are one tick per step");
+
+    let mut emu = emu_cc_env(&trace, 5);
+    let emu_steps = drive_episode(&mut emu, 1000);
+    assert_eq!(emu_steps.len(), 120, "emulated CC keeps the tick contract");
 }
 
 #[test]
@@ -97,6 +106,7 @@ fn terminal_observations_are_valid_for_bootstrapping() {
             Box::new(abr_env(&manifest, &trace, 9)) as Box<dyn NetEnv>,
         ),
         ("cc", Box::new(cc_env(&trace, 9)) as Box<dyn NetEnv>),
+        ("emu_cc", Box::new(emu_cc_env(&trace, 9)) as Box<dyn NetEnv>),
     ] {
         let mut env = env;
         let steps = drive_episode(env.as_mut(), 1000);
@@ -136,6 +146,13 @@ fn reset_and_reconstruction_replay_identically() {
     let second = drive_episode(&mut ca, 1000);
     assert_eq!(first, second, "CC reset must replay the episode");
 
+    let mut ea = emu_cc_env(&trace, 42);
+    let mut eb = emu_cc_env(&trace, 42);
+    assert_eq!(drive_episode(&mut ea, 1000), drive_episode(&mut eb, 1000));
+    let first = drive_episode(&mut ea, 1000);
+    let second = drive_episode(&mut ea, 1000);
+    assert_eq!(first, second, "emulated CC reset must replay the episode");
+
     // Different seeds: episodes diverge (the trace offset moved).
     let mut c = abr_env(&manifest, &trace, 43);
     assert_ne!(drive_episode(&mut a, 1000), drive_episode(&mut c, 1000));
@@ -172,23 +189,28 @@ fn abr_buffer_stays_within_declared_bounds() {
 fn cc_window_stays_within_declared_bounds() {
     let trace = test_trace();
     for seed in 0..8 {
-        let mut env = cc_env(&trace, seed);
-        let spec = env.observation_spec();
-        env.reset();
-        let n = env.action_space();
-        // Adversarial action pattern: long doubling bursts plus halvings.
-        for i in 0..1000usize {
-            let action = if i % 11 == 0 { 0 } else { (i * 7) % n };
-            let step = env.step(action);
-            let cwnd = field(spec, &step.obs, "cwnd_pkts").as_scalar();
-            assert!(
-                (MIN_CWND_PKTS..=MAX_CWND_PKTS).contains(&cwnd),
-                "cwnd {cwnd} out of declared bounds"
-            );
-            let min_rtt = field(spec, &step.obs, "min_rtt_ms").as_scalar();
-            assert!(min_rtt > 0.0, "min RTT must stay positive");
-            if step.done {
-                break;
+        for mut env in [
+            Box::new(cc_env(&trace, seed)) as Box<dyn NetEnv + '_>,
+            Box::new(emu_cc_env(&trace, seed)) as Box<dyn NetEnv + '_>,
+        ] {
+            let env = env.as_mut();
+            let spec = env.observation_spec();
+            env.reset();
+            let n = env.action_space();
+            // Adversarial action pattern: long doubling bursts plus halvings.
+            for i in 0..1000usize {
+                let action = if i % 11 == 0 { 0 } else { (i * 7) % n };
+                let step = env.step(action);
+                let cwnd = field(spec, &step.obs, "cwnd_pkts").as_scalar();
+                assert!(
+                    (MIN_CWND_PKTS..=MAX_CWND_PKTS).contains(&cwnd),
+                    "cwnd {cwnd} out of declared bounds"
+                );
+                let min_rtt = field(spec, &step.obs, "min_rtt_ms").as_scalar();
+                assert!(min_rtt > 0.0, "min RTT must stay positive");
+                if step.done {
+                    break;
+                }
             }
         }
     }
@@ -211,6 +233,11 @@ fn in_place_observation_writes_match_allocating_steps() {
             "cc",
             Box::new(cc_env(&trace, 77)) as Box<dyn NetEnv + '_>,
             Box::new(cc_env(&trace, 77)) as Box<dyn NetEnv + '_>,
+        ),
+        (
+            "emu_cc",
+            Box::new(emu_cc_env(&trace, 77)) as Box<dyn NetEnv + '_>,
+            Box::new(emu_cc_env(&trace, 77)) as Box<dyn NetEnv + '_>,
         ),
     ] {
         let mut a = alloc_env;
@@ -250,4 +277,11 @@ fn action_spaces_match_workload_declarations() {
     assert_eq!(abr.action_space(), 6);
     let cc = cc_env(&trace, 1);
     assert_eq!(cc.action_space(), nada::sim::cc::CC_ACTIONS.len());
+    let emu = emu_cc_env(&trace, 1);
+    assert_eq!(emu.action_space(), nada::sim::cc::CC_ACTIONS.len());
+    assert_eq!(
+        emu.observation_spec(),
+        cc.observation_spec(),
+        "sim and emu CC must expose the same schema"
+    );
 }

@@ -96,6 +96,38 @@ fn emulation_pipeline_runs_for_trained_designs() {
 }
 
 #[test]
+fn stress_pipeline_scores_every_preset() {
+    let nada = tiny(DatasetKind::Fcc, 17);
+    let state = nada::dsl::seeds::pensieve_state();
+    let arch = nada::dsl::seeds::pensieve_arch();
+    let stress = nada
+        .stress_score(&state, &arch, 1)
+        .expect("stress evaluation must run");
+    assert!(stress.mean.is_finite());
+    assert!(stress.worst <= stress.mean + 1e-12);
+    assert_eq!(
+        stress.per_preset.len(),
+        nada::traces::PerturbConfig::presets().len()
+    );
+}
+
+#[test]
+fn cc_emulation_pipeline_runs_for_trained_designs() {
+    let nada = Nada::with_workload(
+        NadaConfig::new(DatasetKind::Fcc, RunScale::Tiny, 19),
+        Box::new(nada::core::workload::CcWorkload::for_dataset(
+            DatasetKind::Fcc,
+        )),
+    );
+    let state = nada::dsl::seeds::cc_state();
+    let arch = nada::dsl::seeds::cc_arch();
+    let emu = nada
+        .emulation_score(&state, &arch)
+        .expect("CC emulation must run");
+    assert!(emu.is_finite());
+}
+
+#[test]
 fn combination_study_returns_a_winner() {
     let nada = tiny(DatasetKind::Fcc, 13);
     let state = nada::dsl::seeds::pensieve_state();
