@@ -1,8 +1,9 @@
-//! Regenerates `BENCH_pr8.json` — the checked-in wall-clock snapshot for
-//! the scenario-diversity PR: the A2C update, one full training run
+//! Regenerates `BENCH_pr9.json` — the checked-in wall-clock snapshot for
+//! the observability PR: the A2C update, one full training run
 //! (`train_epoch`), the whole-search wall-clock for both workloads, the
-//! packet-level CC emulation episode, and the daemon's submit round-trip
-//! latency over a loopback socket.
+//! packet-level CC emulation episode, the daemon's submit round-trip
+//! latency over a loopback socket, and the telemetry hot path (one
+//! counter record).
 //!
 //! ```text
 //! bench_snapshot [--out PATH]    # measure and write the snapshot
@@ -23,13 +24,14 @@ use std::time::Instant;
 
 /// The snapshot's key set, in output order. `--check` enforces exactly
 /// these keys; the measuring path emits exactly these keys.
-const KEYS: [&str; 6] = [
+const KEYS: [&str; 7] = [
     "nn/a2c_update_48_steps_ms",
     "train_epoch_ms",
     "search/wallclock_abr_ms",
     "search/wallclock_cc_ms",
     "sim/emu_cc_episode_240_ticks_ms",
     "serve/submit_roundtrip_ms",
+    "obs/record_counter_ns",
 ];
 
 /// Mean milliseconds per run: one untimed warm-up, then `iters` timed runs.
@@ -155,7 +157,21 @@ fn measure_submit_roundtrip() -> f64 {
     ms
 }
 
-fn render(values: &[f64; 6]) -> String {
+/// Nanoseconds per `Counter::inc` through a cached handle — the
+/// telemetry hot path every instrumented crate pays. Measured in a tight
+/// loop so the per-call cost (a `Relaxed` fetch_add) dominates.
+fn measure_record_counter() -> f64 {
+    let counter = nada_obs::counter("bench_snapshot_probe_total");
+    const ITERS: u64 = 10_000_000;
+    counter.inc();
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        black_box(&counter).inc();
+    }
+    start.elapsed().as_secs_f64() * 1e9 / ITERS as f64
+}
+
+fn render(values: &[f64; 7]) -> String {
     let mut out = String::from("{\n");
     for (i, (key, v)) in KEYS.iter().zip(values).enumerate() {
         let sep = if i + 1 < KEYS.len() { "," } else { "" };
@@ -200,7 +216,7 @@ fn main() {
             println!("bench_snapshot: {path} ok ({} keys)", KEYS.len());
         }
         Some("--out") | None => {
-            let default = "BENCH_pr8.json".to_string();
+            let default = "BENCH_pr9.json".to_string();
             let path = if args.first().map(String::as_str) == Some("--out") {
                 args.get(1).unwrap_or(&default)
             } else {
@@ -213,6 +229,7 @@ fn main() {
                 measure_search(true),
                 measure_emu_cc_episode(),
                 measure_submit_roundtrip(),
+                measure_record_counter(),
             ];
             let json = render(&values);
             std::fs::write(path, &json).expect("snapshot file must be writable");

@@ -6,8 +6,10 @@
 //!                                    [--seed N] [--llm B] [--model M] [--rounds N]
 //! serve_ctl --addr HOST:PORT  status JOB_ID
 //! serve_ctl --addr HOST:PORT  wait JOB_ID [--timeout-secs N]
+//! serve_ctl --addr HOST:PORT  watch JOB_ID [--timeout-secs N]
 //! serve_ctl --addr HOST:PORT  result JOB_ID
 //! serve_ctl --addr HOST:PORT  cancel JOB_ID
+//! serve_ctl --addr HOST:PORT  stats
 //! serve_ctl --addr HOST:PORT  shutdown
 //! ```
 //!
@@ -24,7 +26,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: serve_ctl (--addr HOST:PORT | --port-file PATH) \
          (ping | submit [spec flags] | status ID | wait ID [--timeout-secs N] | \
-         result ID | cancel ID | shutdown)"
+         watch ID [--timeout-secs N] | result ID | cancel ID | stats | shutdown)"
     );
     std::process::exit(2);
 }
@@ -160,10 +162,53 @@ fn main() {
                 );
             }
         }
+        "watch" => {
+            let id = parse_id(&mut rest);
+            let mut timeout = Duration::from_secs(600);
+            while let Some(flag) = rest.next() {
+                match flag.as_str() {
+                    "--timeout-secs" => {
+                        let secs: u64 = rest
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or_else(|| usage());
+                        timeout = Duration::from_secs(secs);
+                    }
+                    _ => usage(),
+                }
+            }
+            // One line per completed round, pushed by the daemon as
+            // rounds finish — no polling.
+            let status = client
+                .watch(id, timeout, |frame| {
+                    println!(
+                        "round {}/{}: best {:.4} (so far {:.4}) epochs {} cache {}h/{}m",
+                        frame.round + 1,
+                        frame.rounds,
+                        frame.best_score,
+                        frame.best_so_far,
+                        frame.epochs_spent,
+                        frame.cache_hits,
+                        frame.cache_misses
+                    );
+                })
+                .unwrap_or_else(|e| fail(e));
+            print_status(&status);
+            if status.state != "done" {
+                std::process::exit(1);
+            }
+        }
         "cancel" => {
             let id = parse_id(&mut rest);
             client.cancel(id).unwrap_or_else(|e| fail(e));
             println!("job {id}: cancelled");
+        }
+        "stats" => {
+            let report = client.stats().unwrap_or_else(|e| fail(e));
+            // The exposition text is the scrape format; print it verbatim
+            // so `serve_ctl stats | grep` works like a Prometheus scrape.
+            println!("# uptime_secs {}", report.uptime_secs);
+            print!("{}", report.text);
         }
         "shutdown" => {
             client.shutdown().unwrap_or_else(|e| fail(e));

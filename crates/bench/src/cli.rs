@@ -35,6 +35,9 @@ pub struct HarnessOptions {
     pub cassette: Option<String>,
     /// Record every completion into the cassette (`--record`).
     pub record: bool,
+    /// Append one JSON object per search event to this JSONL file
+    /// (`--log-json PATH`) — the machine-readable twin of `--progress`.
+    pub log_json: Option<String>,
 }
 
 impl Default for HarnessOptions {
@@ -51,6 +54,7 @@ impl Default for HarnessOptions {
             model: None,
             cassette: None,
             record: false,
+            log_json: None,
         }
     }
 }
@@ -139,6 +143,12 @@ pub fn parse_args<I: Iterator<Item = String>>(mut args: I) -> HarnessOptions {
                 opts.cassette = Some(v);
             }
             "--record" => opts.record = true,
+            "--log-json" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--log-json needs a path"));
+                opts.log_json = Some(v);
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag `{other}`")),
         }
@@ -165,7 +175,8 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: <harness> [--full | --quick] [--seed N] [--workload NAME] [--progress]\n\
          \x20                [--rounds N] [--checkpoint PATH] [--resume PATH]\n\
-         \x20                [--llm NAME] [--model NAME] [--cassette PATH] [--record]"
+         \x20                [--llm NAME] [--model NAME] [--cassette PATH] [--record]\n\
+         \x20                [--log-json PATH]"
     );
     eprintln!("  --full          paper-scale run (cluster-sized; default is quick)");
     eprintln!("  --seed N        master seed (default 1)");
@@ -184,6 +195,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("  --model NAME    model id (default: the experiment's mock profile)");
     eprintln!("  --cassette PATH on-disk cassette to replay from or record into");
     eprintln!("  --record        record every completion into --cassette");
+    eprintln!("  --log-json PATH append one JSON object per search event to this JSONL file");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 
@@ -258,5 +270,12 @@ mod tests {
         assert_eq!(d.rounds, 1);
         assert_eq!(d.checkpoint, None);
         assert_eq!(d.resume, None);
+    }
+
+    #[test]
+    fn log_json_flag_parses() {
+        let o = parse(&["--log-json", "/tmp/events.jsonl"]);
+        assert_eq!(o.log_json.as_deref(), Some("/tmp/events.jsonl"));
+        assert_eq!(parse(&[]).log_json, None);
     }
 }

@@ -9,13 +9,36 @@
 //! change.
 
 use crate::cli::HarnessOptions;
+use crate::logjson::JsonlObserver;
 use crate::progress::ProgressObserver;
+use nada_core::metrics::MetricsObserver;
 use nada_core::{
     DriverOutcome, JobSpec, LlmRegistry, LlmRequest, LlmSpec, Nada, NadaConfig, SearchDriver,
     SearchOutcome, SearchSession, Workload, WorkloadRegistry,
 };
 use nada_llm::{DesignKind, LlmClient};
 use nada_traces::dataset::DatasetKind;
+use std::sync::{Arc, OnceLock};
+
+/// The one [`MetricsObserver`] every harness search attaches, so
+/// `pipeline_*` metrics accumulate across a whole harness run (and the
+/// `bench_snapshot` observability probe sees real traffic).
+/// Observational only — results are bit-identical with it attached
+/// (pinned by `tests/obs_identity.rs`).
+fn shared_metrics_observer() -> Arc<MetricsObserver> {
+    static OBSERVER: OnceLock<Arc<MetricsObserver>> = OnceLock::new();
+    OBSERVER
+        .get_or_init(|| Arc::new(MetricsObserver::new()))
+        .clone()
+}
+
+/// Attaches a JSONL sink for `--log-json`, failing loudly: a user
+/// pointing telemetry at an unwritable path wants to know before the
+/// search runs, not after.
+fn jsonl_observer(path: &str, label: &str) -> JsonlObserver {
+    JsonlObserver::attach(path, label)
+        .unwrap_or_else(|e| panic!("cannot open --log-json `{path}`: {e}"))
+}
 
 /// The two models the paper evaluates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,12 +142,14 @@ pub fn run_search(
         });
     }
     let mut session = SearchSession::new(nada, kind);
+    let tag = format!("{label}/{}", nada.workload().name());
     if opts.progress {
-        session.observe(ProgressObserver::new(format!(
-            "{label}/{}",
-            nada.workload().name()
-        )));
+        session.observe(ProgressObserver::new(tag.clone()));
     }
+    if let Some(path) = &opts.log_json {
+        session.observe(jsonl_observer(path, &tag));
+    }
+    session.observe(shared_metrics_observer());
     session
         .run(llm)
         .expect("a fresh session runs every stage exactly once")
@@ -190,12 +215,14 @@ pub fn run_driver(
     if let Some(path) = opts.checkpoint.as_ref().or(opts.resume.as_ref()) {
         driver = driver.with_checkpoint_path(path);
     }
+    let tag = format!("{label}/{}", nada.workload().name());
     if opts.progress {
-        driver.observe(ProgressObserver::new(format!(
-            "{label}/{}",
-            nada.workload().name()
-        )));
+        driver.observe(ProgressObserver::new(tag.clone()));
     }
+    if let Some(path) = &opts.log_json {
+        driver.observe(jsonl_observer(path, &tag));
+    }
+    driver.observe(shared_metrics_observer());
     driver
         .run(make_llm)
         .unwrap_or_else(|e| panic!("multi-round search failed: {e}"))

@@ -11,5 +11,6 @@
 
 pub mod cli;
 pub mod experiments;
+pub mod logjson;
 pub mod paper;
 pub mod progress;

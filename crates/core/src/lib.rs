@@ -39,6 +39,8 @@
 //! * [`score_cache`] — the process-wide design-fingerprint → score cache
 //!   deduplicating deterministic evaluations across rounds and tenants;
 //! * [`observer`] — the session's typed event stream;
+//! * [`metrics`] — the [`metrics::MetricsObserver`] bridging that stream
+//!   into the process-wide `nada-obs` registry;
 //! * [`budget`] — graceful mid-stage truncation of a running search;
 //! * [`snapshot`] — serde snapshot/resume for interrupted searches;
 //! * [`pipeline`] — the [`pipeline::Nada`] pipeline handle: per-design
@@ -55,6 +57,7 @@ pub mod eval;
 pub mod feedback;
 pub mod jobspec;
 pub mod llm_registry;
+pub mod metrics;
 pub mod observer;
 pub mod pipeline;
 pub mod prechecks;
@@ -74,6 +77,7 @@ pub use driver::{DriverError, DriverOutcome, SearchDriver};
 pub use feedback::{DriverCheckpoint, HallEntry, HallOfFame, RoundSummary};
 pub use jobspec::JobSpec;
 pub use llm_registry::{LlmBuildError, LlmRegistry, LlmRequest, LlmSpec};
+pub use metrics::MetricsObserver;
 pub use observer::{CollectingObserver, FnObserver, SearchEvent, SearchObserver};
 pub use pipeline::{Nada, PrecheckStats, SearchOutcome, SearchStats};
 pub use registry::WorkloadRegistry;

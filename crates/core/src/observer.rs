@@ -123,6 +123,15 @@ pub trait SearchObserver: Sync {
     fn on_event(&self, event: &SearchEvent);
 }
 
+/// Shared observers: `session.observe(...)`/`driver.observe(...)` take
+/// ownership, so an observer that must outlive one search (a metrics
+/// bridge, a JSONL sink) is attached as an `Arc` clone.
+impl<T: SearchObserver + Send + ?Sized> SearchObserver for std::sync::Arc<T> {
+    fn on_event(&self, event: &SearchEvent) {
+        (**self).on_event(event)
+    }
+}
+
 /// Observer that invokes a closure per event.
 pub struct FnObserver<F: Fn(&SearchEvent) + Sync>(pub F);
 

@@ -28,9 +28,27 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::train::TrainOutcome;
+
+/// Process-wide cache telemetry (`nada-obs`), aggregated across every
+/// view and store in the process. Purely observational — the per-view
+/// counters below stay the per-job source of truth.
+struct CacheMetrics {
+    hits: Arc<nada_obs::Counter>,
+    misses: Arc<nada_obs::Counter>,
+    inserts: Arc<nada_obs::Counter>,
+}
+
+fn cache_metrics() -> &'static CacheMetrics {
+    static METRICS: OnceLock<CacheMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| CacheMetrics {
+        hits: nada_obs::counter("score_cache_hits_total"),
+        misses: nada_obs::counter("score_cache_misses_total"),
+        inserts: nada_obs::counter("score_cache_inserts_total"),
+    })
+}
 
 /// Shared, thread-safe store of deterministic evaluation results.
 #[derive(Default)]
@@ -98,6 +116,7 @@ impl CacheView {
     }
 
     pub(crate) fn insert_full(&self, key: String, value: (Vec<TrainOutcome>, f64)) {
+        cache_metrics().inserts.inc();
         self.shared.full.lock().unwrap().insert(key, value);
     }
 
@@ -108,14 +127,18 @@ impl CacheView {
     }
 
     pub(crate) fn insert_probe(&self, key: String, value: TrainOutcome) {
+        cache_metrics().inserts.inc();
         self.shared.probe.lock().unwrap().insert(key, value);
     }
 
     fn count(&self, hit: bool) {
+        let metrics = cache_metrics();
         if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            metrics.hits.inc();
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            metrics.misses.inc();
         }
     }
 }

@@ -36,6 +36,27 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
+/// Process-wide pool telemetry (`nada-obs` global registry). Handles are
+/// resolved once and cached; recording is a relaxed atomic add, so the
+/// hot path stays lock- and allocation-free. Telemetry is observational
+/// only — nothing here feeds back into scheduling or results.
+struct PoolMetrics {
+    batches: Arc<nada_obs::Counter>,
+    items: Arc<nada_obs::Counter>,
+    queue_depth: Arc<nada_obs::Gauge>,
+    workers_busy: Arc<nada_obs::Gauge>,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| PoolMetrics {
+        batches: nada_obs::counter("workpool_batches_total"),
+        items: nada_obs::counter("workpool_items_total"),
+        queue_depth: nada_obs::gauge("workpool_queue_depth"),
+        workers_busy: nada_obs::gauge("workpool_workers_busy"),
+    })
+}
+
 /// Order-preserving parallel map over an owned vector using scoped threads,
 /// with one worker per available CPU core (capped at the item count).
 pub fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
@@ -288,9 +309,12 @@ impl WorkPool {
             ctx: &ctx as *const MapCtx<'_, F, R> as *const (),
         });
 
+        let metrics = pool_metrics();
+        metrics.batches.inc();
         if !self.workers.is_empty() {
             let mut q = self.shared.queue.lock().expect("pool queue lock");
             q.batches.push_back(batch.clone());
+            metrics.queue_depth.set(q.batches.len() as i64);
             drop(q);
             self.shared.cv.notify_all();
         }
@@ -301,7 +325,10 @@ impl WorkPool {
             if i >= n {
                 break;
             }
+            metrics.workers_busy.inc();
             let panic = unsafe { (batch.run)(batch.ctx, i) };
+            metrics.workers_busy.dec();
+            metrics.items.inc();
             record_done(&batch, panic);
         }
 
@@ -316,6 +343,7 @@ impl WorkPool {
         if !self.workers.is_empty() {
             let mut q = self.shared.queue.lock().expect("pool queue lock");
             q.batches.retain(|b| !Arc::ptr_eq(b, &batch));
+            metrics.queue_depth.set(q.batches.len() as i64);
         }
         drop(batch);
         if let Some(payload) = panic {
@@ -374,6 +402,7 @@ fn worker_loop(shared: &PoolShared) {
         // Claim one item from the oldest batch that still has any, popping
         // exhausted batches along the way (their claimed items may still
         // be running elsewhere; the submitter tracks completion).
+        let metrics = pool_metrics();
         let mut claimed = None;
         while let Some(front) = q.batches.front() {
             let i = front.next.fetch_add(1, Ordering::Relaxed);
@@ -382,11 +411,15 @@ fn worker_loop(shared: &PoolShared) {
                 break;
             }
             q.batches.pop_front();
+            metrics.queue_depth.set(q.batches.len() as i64);
         }
         match claimed {
             Some((batch, i)) => {
                 drop(q);
+                metrics.workers_busy.inc();
                 let panic = unsafe { (batch.run)(batch.ctx, i) };
+                metrics.workers_busy.dec();
+                metrics.items.inc();
                 record_done(&batch, panic);
                 q = shared.queue.lock().expect("pool queue lock");
             }
@@ -565,6 +598,18 @@ mod tests {
         assert!(result.is_err(), "item panic must reach the submitter");
         // The pool must stay usable after a panicked batch.
         assert_eq!(pool.map_indexed(4, |i| i), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn pool_records_batch_and_item_telemetry() {
+        // Metrics are process-global and other tests record concurrently,
+        // so assert deltas are at least what this map contributes.
+        let m = pool_metrics();
+        let (batches0, items0) = (m.batches.get(), m.items.get());
+        let pool = WorkPool::new(2);
+        let _ = pool.map_indexed(64, |i| i);
+        assert!(m.batches.get() > batches0);
+        assert!(m.items.get() >= items0 + 64);
     }
 
     #[test]

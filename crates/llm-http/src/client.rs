@@ -17,7 +17,34 @@ use crate::http::{post_json, Endpoint, HttpError};
 use crate::json::Json;
 use crate::redact::{redact, ApiKey};
 use nada_llm::{Completion, LlmClient, Prompt};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+
+/// Process-wide LLM backend telemetry (`nada-obs`). Counts and timings
+/// only — no request or response *content* ever reaches the registry, so
+/// metrics cannot leak prompts or keys.
+struct HttpMetrics {
+    requests: Arc<nada_obs::Counter>,
+    retries: Arc<nada_obs::Counter>,
+    rate_limited: Arc<nada_obs::Counter>,
+    server_errors: Arc<nada_obs::Counter>,
+    request_bytes: Arc<nada_obs::Counter>,
+    response_bytes: Arc<nada_obs::Counter>,
+    duration: Arc<nada_obs::Histogram>,
+}
+
+fn http_metrics() -> &'static HttpMetrics {
+    static METRICS: OnceLock<HttpMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| HttpMetrics {
+        requests: nada_obs::counter("llm_http_requests_total"),
+        retries: nada_obs::counter("llm_http_retries_total"),
+        rate_limited: nada_obs::counter("llm_http_rate_limited_total"),
+        server_errors: nada_obs::counter("llm_http_server_errors_total"),
+        request_bytes: nada_obs::counter("llm_http_request_bytes_total"),
+        response_bytes: nada_obs::counter("llm_http_response_bytes_total"),
+        duration: nada_obs::latency_histogram("llm_http_request_duration_ns"),
+    })
+}
 
 /// The only environment variable the API key is ever read from.
 pub const API_KEY_ENV: &str = "NADA_API_KEY";
@@ -136,16 +163,30 @@ impl HttpClient {
                 format!("Bearer {}", key.expose()),
             ));
         }
+        let metrics = http_metrics();
         let mut attempt: u32 = 0;
         loop {
             self.requests_sent += 1;
-            let result = post_json(
-                &self.endpoint,
-                "/chat/completions",
-                &headers,
-                &body,
-                self.cfg.timeout,
-            );
+            metrics.requests.inc();
+            metrics.request_bytes.add(body.len() as u64);
+            let result = {
+                let _span = metrics.duration.start_span();
+                post_json(
+                    &self.endpoint,
+                    "/chat/completions",
+                    &headers,
+                    &body,
+                    self.cfg.timeout,
+                )
+            };
+            if let Ok(resp) = &result {
+                metrics.response_bytes.add(resp.body.len() as u64);
+                if resp.status == 429 {
+                    metrics.rate_limited.inc();
+                } else if (500..600).contains(&resp.status) {
+                    metrics.server_errors.inc();
+                }
+            }
             // `Retry-After` (seconds) on a 429 overrides the backoff curve.
             let mut server_delay = None;
             let error = match result {
@@ -184,6 +225,7 @@ impl HttpClient {
                 return Err(self.redact_err(error));
             }
             let delay = server_delay.unwrap_or(self.cfg.backoff * 2u32.pow(attempt));
+            metrics.retries.inc();
             std::thread::sleep(delay);
             attempt += 1;
         }

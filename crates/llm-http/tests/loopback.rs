@@ -45,6 +45,18 @@ fn happy_path_round_trips_a_completion() {
 
 #[test]
 fn server_errors_are_retried_until_success() {
+    // Telemetry counters are process-global and tests run concurrently,
+    // so assert deltas are at least what this client contributes.
+    let requests = nada_obs::counter("llm_http_requests_total");
+    let retries = nada_obs::counter("llm_http_retries_total");
+    let server_errors = nada_obs::counter("llm_http_server_errors_total");
+    let duration = nada_obs::latency_histogram("llm_http_request_duration_ns");
+    let (req0, retry0, err0, dur0) = (
+        requests.get(),
+        retries.get(),
+        server_errors.get(),
+        duration.count(),
+    );
     let server = TestServer::start(vec![
         Scripted::Status(500, r#"{"error":{"message":"boom"}}"#.into()),
         Scripted::Status(503, "overloaded".into()),
@@ -54,6 +66,10 @@ fn server_errors_are_retried_until_success() {
     let completion = client.try_generate(&Prompt::state(CODE)).unwrap();
     assert_eq!(completion.code, format!("{CODE}\n"));
     assert_eq!(client.requests_sent(), 3);
+    assert!(requests.get() >= req0 + 3);
+    assert!(retries.get() >= retry0 + 2);
+    assert!(server_errors.get() >= err0 + 2);
+    assert!(duration.count() >= dur0 + 3);
 }
 
 #[test]

@@ -1,0 +1,204 @@
+//! Prometheus-style text exposition of a [`MetricsSnapshot`], and the
+//! inverse parser.
+//!
+//! The format is the Prometheus text format restricted to what the
+//! registry produces: `# TYPE` comments, bare integer samples, histogram
+//! `_bucket{le="..."}`/`_sum`/`_count` series with **cumulative** bucket
+//! counts (the Prometheus convention; snapshots store non-cumulative).
+//! Because metric names are `[a-z0-9_]` by construction, rendering needs
+//! no escaping and [`parse_exposition`] recovers the snapshot exactly —
+//! pinned by the round-trip tests.
+
+use crate::registry::{HistogramSnapshot, MetricValue, MetricsSnapshot};
+use std::fmt::Write as _;
+
+/// Renders a snapshot in the Prometheus text format.
+pub fn render_exposition(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.entries {
+        match value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+            }
+            MetricValue::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let mut cumulative = 0u64;
+                for (bound, count) in h.bounds.iter().zip(&h.buckets) {
+                    cumulative += count;
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+                }
+                cumulative += h.buckets.last().copied().unwrap_or(0);
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                let _ = writeln!(out, "{name}_sum {}", h.sum);
+                let _ = writeln!(out, "{name}_count {}", h.count);
+            }
+        }
+    }
+    out
+}
+
+/// Parses text produced by [`render_exposition`] back into a snapshot.
+/// Strict by design: this parser exists so tests (and scrapers) can pin
+/// the format, so anything it does not recognize is an error.
+pub fn parse_exposition(text: &str) -> Result<MetricsSnapshot, String> {
+    let mut entries = Vec::new();
+    let mut lines = text.lines().peekable();
+    while let Some(line) = lines.next() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rest = line
+            .strip_prefix("# TYPE ")
+            .ok_or_else(|| format!("expected a `# TYPE` line, got `{line}`"))?;
+        let (name, kind) = rest
+            .split_once(' ')
+            .ok_or_else(|| format!("malformed TYPE line `{line}`"))?;
+        let value = match kind {
+            "counter" => MetricValue::Counter(parse_sample(lines.next(), name)?),
+            "gauge" => {
+                let raw = sample_value(lines.next(), name)?;
+                MetricValue::Gauge(
+                    raw.parse()
+                        .map_err(|_| format!("bad gauge value `{raw}` for `{name}`"))?,
+                )
+            }
+            "histogram" => MetricValue::Histogram(parse_histogram(&mut lines, name)?),
+            other => return Err(format!("unknown metric type `{other}` for `{name}`")),
+        };
+        entries.push((name.to_string(), value));
+    }
+    Ok(MetricsSnapshot { entries })
+}
+
+/// Pulls the value off a `name value` sample line.
+fn sample_value<'a>(line: Option<&'a str>, name: &str) -> Result<&'a str, String> {
+    let line = line.ok_or_else(|| format!("missing sample line for `{name}`"))?;
+    let (sample_name, value) = line
+        .split_once(' ')
+        .ok_or_else(|| format!("malformed sample line `{line}`"))?;
+    if sample_name != name {
+        return Err(format!(
+            "expected a sample of `{name}`, got `{sample_name}`"
+        ));
+    }
+    Ok(value)
+}
+
+fn parse_sample(line: Option<&str>, name: &str) -> Result<u64, String> {
+    let raw = sample_value(line, name)?;
+    raw.parse()
+        .map_err(|_| format!("bad value `{raw}` for `{name}`"))
+}
+
+fn parse_histogram<'a>(
+    lines: &mut std::iter::Peekable<impl Iterator<Item = &'a str>>,
+    name: &str,
+) -> Result<HistogramSnapshot, String> {
+    let bucket_prefix = format!("{name}_bucket{{le=\"");
+    let mut bounds = Vec::new();
+    let mut cumulative = Vec::new();
+    loop {
+        let line = lines
+            .next()
+            .ok_or_else(|| format!("truncated histogram `{name}`"))?;
+        if let Some(rest) = line.strip_prefix(&bucket_prefix) {
+            let (le, count) = rest
+                .split_once("\"} ")
+                .ok_or_else(|| format!("malformed bucket line `{line}`"))?;
+            let count: u64 = count
+                .parse()
+                .map_err(|_| format!("bad bucket count in `{line}`"))?;
+            if le == "+Inf" {
+                cumulative.push(count);
+            } else {
+                bounds.push(
+                    le.parse()
+                        .map_err(|_| format!("bad bucket bound in `{line}`"))?,
+                );
+                cumulative.push(count);
+            }
+        } else {
+            // `_sum` then `_count` close the histogram.
+            let sum = {
+                let raw = line
+                    .strip_prefix(&format!("{name}_sum "))
+                    .ok_or_else(|| format!("expected `{name}_sum`, got `{line}`"))?;
+                raw.parse::<u64>()
+                    .map_err(|_| format!("bad sum in `{line}`"))?
+            };
+            let count = parse_sample(lines.next(), &format!("{name}_count"))?;
+            if cumulative.len() != bounds.len() + 1 {
+                return Err(format!("histogram `{name}` is missing its +Inf bucket"));
+            }
+            // De-cumulate back to the snapshot's per-bucket counts.
+            let mut prev = 0u64;
+            let mut buckets = Vec::with_capacity(cumulative.len());
+            for &c in &cumulative {
+                let d = c
+                    .checked_sub(prev)
+                    .ok_or_else(|| format!("histogram `{name}` has decreasing buckets"))?;
+                prev = c;
+                buckets.push(d);
+            }
+            return Ok(HistogramSnapshot {
+                bounds,
+                buckets,
+                count,
+                sum,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn exposition_round_trips_through_the_parser() {
+        let r = MetricsRegistry::new();
+        r.counter("requests_total").add(17);
+        r.gauge("queue_depth").set(-2);
+        let h = r.histogram("latency_ns", &[1_000, 1_000_000]);
+        h.record(500);
+        h.record(500);
+        h.record(2_000);
+        h.record(5_000_000);
+        let snap = r.snapshot();
+        let text = render_exposition(&snap);
+        let back = parse_exposition(&text).expect("parse back");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn rendered_buckets_are_cumulative() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("h", &[10, 20]);
+        h.record(5);
+        h.record(15);
+        h.record(99);
+        let text = render_exposition(&r.snapshot());
+        assert!(text.contains("h_bucket{le=\"10\"} 1"), "{text}");
+        assert!(text.contains("h_bucket{le=\"20\"} 2"), "{text}");
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("h_sum 119"), "{text}");
+        assert!(text.contains("h_count 3"), "{text}");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_and_parses_empty() {
+        let snap = MetricsSnapshot::default();
+        assert_eq!(parse_exposition(&render_exposition(&snap)).unwrap(), snap);
+    }
+
+    #[test]
+    fn garbage_is_rejected_loudly() {
+        assert!(parse_exposition("nonsense").is_err());
+        assert!(parse_exposition("# TYPE x counter\ny 3").is_err());
+        assert!(parse_exposition("# TYPE h histogram\nh_sum 0").is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! `nada-obs` — process-wide telemetry for the NADA workspace.
+//!
+//! A dependency-free metrics subsystem in the house style: a
+//! [`MetricsRegistry`] of named atomic [`Counter`]s, [`Gauge`]s and
+//! fixed-bucket [`Histogram`]s, plus [`span!`]-style scoped timers.
+//! Everything above `std`, nothing below this crate — `nada-obs` sits at
+//! the bottom of the dependency graph so every layer (the exec pool, the
+//! HTTP LLM client, the pipeline, the serve daemon) can record into one
+//! process-wide registry without cycles.
+//!
+//! # Design rules
+//!
+//! * **Lock-free hot path.** Registration (name → handle) takes a mutex
+//!   once; call sites cache the `Arc` handle in a `OnceLock` and every
+//!   subsequent record is a few `Relaxed` atomic adds — zero allocation,
+//!   zero locks (pinned by `tests/record_alloc.rs`).
+//! * **Observational only.** Nothing here feeds back into the measured
+//!   system. Search results are bit-identical with telemetry hot or cold;
+//!   the workspace pins that with dedicated identity tests.
+//! * **Exact exposition.** Names are `[a-z0-9_]` by construction, so the
+//!   Prometheus-style text format ([`render_exposition`]) needs no
+//!   sanitization and [`parse_exposition`] inverts it exactly.
+//!
+//! # Recording
+//!
+//! ```
+//! // Cache the handle; record for free afterwards.
+//! use std::sync::{Arc, OnceLock};
+//! static REQS: OnceLock<Arc<nada_obs::Counter>> = OnceLock::new();
+//! REQS.get_or_init(|| nada_obs::counter("example_requests_total")).inc();
+//!
+//! // Scoped timing into a default-bucket latency histogram:
+//! {
+//!     let _span = nada_obs::span!("example_request_duration_ns");
+//!     // ... the measured work ...
+//! }
+//! let snap = nada_obs::MetricsRegistry::global().snapshot();
+//! assert!(snap.get("example_requests_total").is_some());
+//! ```
+
+mod expose;
+mod metrics;
+mod registry;
+
+pub use expose::{parse_exposition, render_exposition};
+pub use metrics::{Counter, Gauge, Histogram, SpanTimer};
+pub use registry::{HistogramSnapshot, MetricValue, MetricsRegistry, MetricsSnapshot};
+
+use std::sync::Arc;
+
+/// Default bucket bounds for latency histograms, in nanoseconds:
+/// powers of four from 1 µs to 64 s. Fourteen buckets plus `+Inf` cover
+/// everything from a cache lookup to a paper-scale training round with
+/// ~2x resolution per decade.
+pub const DEFAULT_LATENCY_BOUNDS_NS: [u64; 14] = [
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    256_000,
+    1_000_000,
+    4_000_000,
+    16_000_000,
+    64_000_000,
+    256_000_000,
+    1_000_000_000,
+    4_000_000_000,
+    16_000_000_000,
+    64_000_000_000,
+];
+
+/// [`MetricsRegistry::counter`] on the global registry.
+pub fn counter(name: &str) -> Arc<Counter> {
+    MetricsRegistry::global().counter(name)
+}
+
+/// [`MetricsRegistry::gauge`] on the global registry.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    MetricsRegistry::global().gauge(name)
+}
+
+/// [`MetricsRegistry::histogram`] on the global registry.
+pub fn histogram(name: &str, bounds: &[u64]) -> Arc<Histogram> {
+    MetricsRegistry::global().histogram(name, bounds)
+}
+
+/// A global histogram with [`DEFAULT_LATENCY_BOUNDS_NS`] — the standard
+/// shape for duration metrics (name them `*_duration_ns`).
+pub fn latency_histogram(name: &str) -> Arc<Histogram> {
+    MetricsRegistry::global().histogram(name, &DEFAULT_LATENCY_BOUNDS_NS)
+}
+
+/// Times the enclosing scope into a global latency histogram.
+///
+/// Expands to a [`SpanTimer`] guard backed by a per-call-site cached
+/// handle, so repeated executions never touch the registry mutex. Bind
+/// the result to a named local:
+///
+/// ```
+/// let _span = nada_obs::span!("example_span_duration_ns");
+/// // ... measured until the end of scope ...
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+            ::std::sync::OnceLock::new();
+        HANDLE
+            .get_or_init(|| $crate::latency_histogram($name))
+            .start_span()
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_helpers_share_one_registry() {
+        counter("lib_test_total").add(3);
+        assert_eq!(counter("lib_test_total").get(), 3);
+        let snap = MetricsRegistry::global().snapshot();
+        assert_eq!(snap.get("lib_test_total"), Some(&MetricValue::Counter(3)));
+    }
+
+    #[test]
+    fn span_macro_records_into_the_global_registry() {
+        {
+            let _span = span!("lib_test_span_duration_ns");
+        }
+        {
+            let _span = span!("lib_test_span_duration_ns");
+        }
+        assert_eq!(latency_histogram("lib_test_span_duration_ns").count(), 2);
+    }
+
+    #[test]
+    fn default_latency_bounds_are_strictly_increasing() {
+        assert!(DEFAULT_LATENCY_BOUNDS_NS.windows(2).all(|w| w[0] < w[1]));
+    }
+}

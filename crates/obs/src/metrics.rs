@@ -1,0 +1,247 @@
+//! The three metric instruments: counters, gauges, fixed-bucket
+//! histograms — plus the scoped [`SpanTimer`] that feeds a histogram.
+//!
+//! Every recording operation is a handful of atomic adds on `Relaxed`
+//! ordering: no locks, no allocation, no branching beyond the bucket
+//! scan. Telemetry must never perturb the measured system — recording is
+//! cheap enough to leave on unconditionally, and nothing here feeds back
+//! into search results (pinned by the workspace's bit-identity tests).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed level (queue depth, busy workers, uptime).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the level.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Moves the level by `delta` (negative to decrease).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// The current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram of `u64` samples (latencies in nanoseconds,
+/// by convention — see [`crate::DEFAULT_LATENCY_BOUNDS_NS`]).
+///
+/// Bucket bounds are fixed at registration: `bounds[i]` is the inclusive
+/// upper edge of bucket `i`, and one implicit `+Inf` bucket catches the
+/// rest. [`Histogram::record`] is a linear scan over the bounds (a dozen
+/// or two comparisons) plus three atomic adds — lock-free and
+/// allocation-free, so it is safe on any hot path.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Box<[u64]>,
+    /// `bounds.len() + 1` slots; the last is the `+Inf` bucket.
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// Builds a histogram over `bounds`, which must be non-empty and
+    /// strictly increasing (a malformed instrument is a programming
+    /// error — fail loudly at registration, not silently at scrape).
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "a histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing: {bounds:?}"
+        );
+        Self {
+            bounds: bounds.into(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample: the first bucket whose bound is `>= value`
+    /// takes it, else the `+Inf` bucket.
+    pub fn record(&self, value: u64) {
+        let i = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration as nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Starts a scoped timer that records into this histogram on drop.
+    pub fn start_span(&self) -> SpanTimer<'_> {
+        SpanTimer {
+            histogram: self,
+            start: Instant::now(),
+        }
+    }
+
+    /// The bucket bounds this histogram was built with.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (`bounds.len() + 1` entries, `+Inf` last),
+    /// non-cumulative. Concurrent recorders may land between the loads;
+    /// each individual value is exact at its own load instant.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// Scoped timer from [`Histogram::start_span`]: measures from creation to
+/// drop and records the elapsed nanoseconds. Bind it to a named local
+/// (`let _span = ...`) — `let _ = ...` drops immediately and records ~0.
+#[must_use = "a span records on drop; an unbound span measures nothing"]
+pub struct SpanTimer<'a> {
+    histogram: &'a Histogram,
+    start: Instant,
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        self.histogram.record_duration(self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.set(5);
+        g.inc();
+        g.dec();
+        g.add(-3);
+        assert_eq!(g.get(), 2);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper_edges() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        // Exactly on a bound → that bucket; one past → the next.
+        h.record(0); // <= 10
+        h.record(10); // <= 10 (inclusive edge)
+        h.record(11); // <= 100
+        h.record(100); // <= 100
+        h.record(101); // <= 1000
+        h.record(1000); // <= 1000
+        h.record(1001); // +Inf
+        h.record(u64::MAX); // +Inf
+        assert_eq!(h.bucket_counts(), vec![2, 2, 2, 2]);
+        assert_eq!(h.count(), 8);
+    }
+
+    #[test]
+    fn histogram_sum_and_count_track_samples() {
+        let h = Histogram::new(&[5]);
+        h.record(3);
+        h.record(7);
+        assert_eq!((h.count(), h.sum()), (2, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_are_rejected() {
+        let _ = Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bound")]
+    fn empty_bounds_are_rejected() {
+        let _ = Histogram::new(&[]);
+    }
+
+    #[test]
+    fn span_records_into_the_histogram() {
+        let h = Histogram::new(&[u64::MAX / 2]);
+        {
+            let _span = h.start_span();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 1_000_000, "1ms sleep records >= 1ms of ns");
+    }
+}

@@ -1,0 +1,242 @@
+//! The process-wide metric registry and its snapshot types.
+//!
+//! Registration (name → instrument) takes a mutex once per call site —
+//! call sites cache the returned `Arc` handle (typically in a
+//! `OnceLock`), after which recording never touches the registry again.
+//! Names are restricted to `[a-z0-9_]` so the Prometheus-style exposition
+//! needs no sanitization and round-trips exactly.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+
+/// One registered instrument.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named registry of metrics. One process-wide instance lives behind
+/// [`MetricsRegistry::global`]; dedicated instances are for tests.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    // BTreeMap so snapshots come out name-sorted without a sort pass.
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+/// Asserts the naming convention that keeps exposition exact.
+fn check_name(name: &str) {
+    assert!(
+        !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+            && !name.starts_with(|c: char| c.is_ascii_digit()),
+        "metric name `{name}` must match [a-z_][a-z0-9_]*"
+    );
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry every instrumented crate records into.
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricsRegistry::new)
+    }
+
+    /// Returns the counter `name`, registering it on first use. Panics if
+    /// `name` is already registered as a different kind — two call sites
+    /// disagreeing about an instrument is a bug, not a runtime condition.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        check_name(name);
+        let mut metrics = self.metrics.lock().expect("metrics registry lock");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Returns the gauge `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        check_name(name);
+        let mut metrics = self.metrics.lock().expect("metrics registry lock");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Returns the histogram `name` with `bounds`, registering it on
+    /// first use. Panics on a kind mismatch or if an existing histogram
+    /// was registered with different bounds.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        check_name(name);
+        let mut metrics = self.metrics.lock().expect("metrics registry lock");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(bounds))))
+        {
+            Metric::Histogram(h) => {
+                assert!(
+                    h.bounds() == bounds,
+                    "histogram `{name}` was registered with bounds {:?}, not {bounds:?}",
+                    h.bounds()
+                );
+                h.clone()
+            }
+            other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.lock().expect("metrics registry lock").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A point-in-time copy of every metric, name-sorted. Values are read
+    /// per-atomic, so a histogram scraped mid-record may briefly show
+    /// `count` ahead of its bucket total — fine for telemetry, documented
+    /// so nobody builds invariants on top.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let metrics = self.metrics.lock().expect("metrics registry lock");
+        MetricsSnapshot {
+            entries: metrics
+                .iter()
+                .map(|(name, metric)| {
+                    let value = match metric {
+                        Metric::Counter(c) => MetricValue::Counter(c.get()),
+                        Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Metric::Histogram(h) => MetricValue::Histogram(HistogramSnapshot {
+                            bounds: h.bounds().to_vec(),
+                            buckets: h.bucket_counts(),
+                            count: h.count(),
+                            sum: h.sum(),
+                        }),
+                    };
+                    (name.clone(), value)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a registry, name-sorted.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs in ascending name order.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks one metric up by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+}
+
+/// One metric's value in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(HistogramSnapshot),
+}
+
+/// A histogram's state in a snapshot. `buckets` are non-cumulative and
+/// have `bounds.len() + 1` entries (`+Inf` last).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub bounds: Vec<u64>,
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_once_then_share_the_handle() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("hits_total");
+        let b = r.counter("hits_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        let _ = r.counter("x");
+        let _ = r.gauge("x");
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds")]
+    fn histogram_bounds_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        let _ = r.histogram("h", &[1, 2]);
+        let _ = r.histogram("h", &[1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn invalid_names_are_rejected() {
+        let r = MetricsRegistry::new();
+        let _ = r.counter("bad/name");
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted_and_lookup_works() {
+        let r = MetricsRegistry::new();
+        r.counter("zz").add(1);
+        r.gauge("aa").set(-5);
+        r.histogram("mm", &[10]).record(4);
+        let snap = r.snapshot();
+        let names: Vec<_> = snap.entries.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["aa", "mm", "zz"]);
+        assert_eq!(snap.get("aa"), Some(&MetricValue::Gauge(-5)));
+        assert_eq!(snap.get("zz"), Some(&MetricValue::Counter(1)));
+        assert!(snap.get("absent").is_none());
+        match snap.get("mm") {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.buckets, vec![1, 0]);
+                assert_eq!((h.count, h.sum), (1, 4));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

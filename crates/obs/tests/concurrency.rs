@@ -1,0 +1,87 @@
+//! Concurrent recorders never lose counts.
+//!
+//! The whole point of the lock-free record path is that any number of
+//! threads can hammer one instrument and every increment lands. These
+//! properties drive randomized thread/iteration shapes through counters,
+//! gauges and histograms and check the totals are exact.
+
+use nada_obs::MetricsRegistry;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn concurrent_counter_increments_all_land(threads in 2usize..8, per_thread in 1u64..2_000) {
+        let r = MetricsRegistry::new();
+        let c = r.counter("hits_total");
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..per_thread {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(c.get(), threads as u64 * per_thread);
+    }
+
+    #[test]
+    fn concurrent_histogram_records_preserve_count_and_sum(
+        threads in 2usize..8,
+        per_thread in 1u64..1_000,
+        value in 0u64..100_000,
+    ) {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("latency_ns", &[10, 1_000, 100_000]);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for _ in 0..per_thread {
+                        h.record(value);
+                    }
+                });
+            }
+        });
+        let n = threads as u64 * per_thread;
+        prop_assert_eq!(h.count(), n);
+        prop_assert_eq!(h.sum(), n * value);
+        // Every sample is identical, so exactly one bucket holds them all.
+        prop_assert_eq!(h.bucket_counts().iter().sum::<u64>(), n);
+        prop_assert_eq!(h.bucket_counts().iter().filter(|&&c| c > 0).count(), 1);
+    }
+
+    #[test]
+    fn concurrent_gauge_adds_balance_out(threads in 2usize..8, per_thread in 1u64..2_000) {
+        let r = MetricsRegistry::new();
+        let g = r.gauge("depth");
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let g = g.clone();
+                scope.spawn(move || {
+                    for _ in 0..per_thread {
+                        g.inc();
+                        g.dec();
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(g.get(), 0);
+    }
+}
+
+#[test]
+fn concurrent_registration_yields_one_instrument() {
+    let r = MetricsRegistry::new();
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let r = &r;
+            scope.spawn(move || r.counter("contested_total").inc());
+        }
+    });
+    assert_eq!(r.counter("contested_total").get(), 8);
+    assert_eq!(r.len(), 1);
+}

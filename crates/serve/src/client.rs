@@ -7,8 +7,8 @@ use std::time::{Duration, Instant};
 
 use nada_core::jobspec::JobSpec;
 
-use crate::proto::{JobResult, JobStatus, Request, Response};
-use crate::wire::{read_frame, write_frame};
+use crate::proto::{JobResult, JobStatus, ProgressFrame, Request, Response, StatsReport};
+use crate::wire::{read_frame, write_frame, WireError};
 
 /// What a client call can fail with.
 #[derive(Debug)]
@@ -107,6 +107,60 @@ impl Client {
             Response::Pong => Ok(()),
             other => Err(Box::new(other)),
         })
+    }
+
+    /// Scrapes the daemon's metrics registry plus uptime.
+    pub fn stats(&mut self) -> Result<StatsReport, ClientError> {
+        self.expect(&Request::Stats, |resp| match resp {
+            Response::Stats(report) => Ok(report),
+            other => Err(Box::new(other)),
+        })
+    }
+
+    /// Subscribes to job `id`: the daemon pushes one
+    /// [`ProgressFrame`] per completed round (past rounds replay
+    /// immediately), `on_round` sees each one, and the terminal
+    /// [`JobStatus`] that ends the stream is returned. No polling —
+    /// frames arrive as rounds finish. `Err(Timeout)` if `timeout`
+    /// elapses before the stream ends.
+    pub fn watch(
+        &mut self,
+        id: u64,
+        timeout: Duration,
+        mut on_round: impl FnMut(&ProgressFrame),
+    ) -> Result<JobStatus, ClientError> {
+        let deadline = Instant::now() + timeout;
+        write_frame(&mut self.stream, &Request::Subscribe { id }.encode())
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        // A short read timeout lets the deadline fire even if the
+        // daemon goes quiet mid-stream; restored to blocking after.
+        self.stream
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        let outcome = loop {
+            match read_frame(&mut self.stream) {
+                Ok(Some(payload)) => match Response::decode(&payload) {
+                    Ok(Response::Progress(frame)) => on_round(&frame),
+                    Ok(Response::Status(status)) => break Ok(status),
+                    Ok(Response::Error { message }) => break Err(ClientError::Daemon(message)),
+                    Ok(other) => {
+                        break Err(ClientError::Protocol(format!(
+                            "unexpected response {other:?}"
+                        )))
+                    }
+                    Err(e) => break Err(ClientError::Protocol(e.to_string())),
+                },
+                Ok(None) => break Err(ClientError::Io("daemon closed the connection".into())),
+                Err(WireError::Timeout) => {
+                    if Instant::now() >= deadline {
+                        break Err(ClientError::Timeout);
+                    }
+                }
+                Err(e) => break Err(ClientError::Io(e.to_string())),
+            }
+        };
+        let _ = self.stream.set_read_timeout(None);
+        outcome
     }
 
     /// Asks the daemon to drain and exit.

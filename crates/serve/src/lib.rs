@@ -69,7 +69,7 @@ pub mod wire;
 
 pub use client::{Client, ClientError};
 pub use daemon::Daemon;
-pub use proto::{JobResult, JobStatus, Request, Response};
+pub use proto::{JobResult, JobStatus, MetricEntry, ProgressFrame, Request, Response, StatsReport};
 pub use scheduler::{JobState, Scheduler};
 pub use spool::{Spool, SpooledJob};
 pub use wire::{read_frame, write_frame, WireError, MAX_FRAME};

@@ -28,6 +28,107 @@ pub enum Request {
     Shutdown,
     /// Liveness probe.
     Ping,
+    /// A snapshot of the daemon's process-wide metrics; answered with
+    /// [`Response::Stats`].
+    Stats,
+    /// Stream one [`Response::Progress`] frame per completed feedback
+    /// round of job `id` — including rounds that completed before the
+    /// subscription — then a final [`Response::Status`] once the job is
+    /// terminal. The only request that yields more than one response
+    /// frame.
+    Subscribe { id: u64 },
+}
+
+/// One metric in a [`StatsReport`], flattened to a typed record. The
+/// full bucket layout of histograms lives in the report's Prometheus
+/// `text` exposition; here they carry their `count`/`sum` pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricEntry {
+    pub name: String,
+    /// `counter` | `gauge` | `histogram`.
+    pub kind: String,
+    /// Counter total or gauge level (histograms: the sample count).
+    pub value: f64,
+    /// Histogram sample count (0 for counters/gauges).
+    pub count: u64,
+    /// Histogram sample sum (0 for counters/gauges).
+    pub sum: u64,
+}
+
+/// The daemon's metrics snapshot: typed entries plus the same snapshot
+/// rendered in the Prometheus text format for scrapers and greps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsReport {
+    /// Seconds since the daemon started serving.
+    pub uptime_secs: u64,
+    /// Prometheus-style text exposition of the whole registry.
+    pub text: String,
+    /// The same snapshot as typed records, name-sorted.
+    pub metrics: Vec<MetricEntry>,
+}
+
+impl StatsReport {
+    /// Flattens a registry snapshot into a report.
+    pub fn from_snapshot(uptime_secs: u64, snapshot: &nada_obs::MetricsSnapshot) -> Self {
+        let metrics = snapshot
+            .entries
+            .iter()
+            .map(|(name, value)| match value {
+                nada_obs::MetricValue::Counter(v) => MetricEntry {
+                    name: name.clone(),
+                    kind: "counter".into(),
+                    value: *v as f64,
+                    count: 0,
+                    sum: 0,
+                },
+                nada_obs::MetricValue::Gauge(v) => MetricEntry {
+                    name: name.clone(),
+                    kind: "gauge".into(),
+                    value: *v as f64,
+                    count: 0,
+                    sum: 0,
+                },
+                nada_obs::MetricValue::Histogram(h) => MetricEntry {
+                    name: name.clone(),
+                    kind: "histogram".into(),
+                    value: h.count as f64,
+                    count: h.count,
+                    sum: h.sum,
+                },
+            })
+            .collect();
+        Self {
+            uptime_secs,
+            text: nada_obs::render_exposition(snapshot),
+            metrics,
+        }
+    }
+
+    /// Looks one metric up by name.
+    pub fn get(&self, name: &str) -> Option<&MetricEntry> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+}
+
+/// One completed feedback round, as streamed to a subscribed client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressFrame {
+    /// The job this frame belongs to.
+    pub id: u64,
+    /// Zero-based index of the round that just completed.
+    pub round: usize,
+    /// Rounds the job is configured to run.
+    pub rounds: usize,
+    /// That round's best full-protocol score.
+    pub best_score: f64,
+    /// Best score across rounds `0..=round` (non-decreasing).
+    pub best_so_far: f64,
+    /// Training epochs spent across rounds `0..=round` (cumulative).
+    pub epochs_spent: usize,
+    /// Score-cache hits the job has observed so far.
+    pub cache_hits: u64,
+    /// Score-cache misses the job has observed so far.
+    pub cache_misses: u64,
 }
 
 /// Where a job is in its lifecycle, as reported over the wire.
@@ -84,13 +185,26 @@ impl JobResult {
 /// What the daemon answers.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
-    Submitted { id: u64 },
+    Submitted {
+        id: u64,
+    },
     Status(JobStatus),
-    Result { id: u64, result: JobResult },
-    Cancelled { id: u64 },
+    Result {
+        id: u64,
+        result: JobResult,
+    },
+    Cancelled {
+        id: u64,
+    },
     ShuttingDown,
     Pong,
-    Error { message: String },
+    Stats(StatsReport),
+    /// One completed round, streamed on a [`Request::Subscribe`]d
+    /// connection.
+    Progress(ProgressFrame),
+    Error {
+        message: String,
+    },
 }
 
 // ---- codec helpers ---------------------------------------------------------
@@ -130,6 +244,8 @@ impl serde::Serialize for Request {
             Request::Cancel { id } => op("cancel", vec![("id".into(), id.to_value())]),
             Request::Shutdown => op("shutdown", vec![]),
             Request::Ping => op("ping", vec![]),
+            Request::Stats => op("stats", vec![]),
+            Request::Subscribe { id } => op("subscribe", vec![("id".into(), id.to_value())]),
         }
     }
 }
@@ -144,6 +260,8 @@ impl serde::Deserialize for Request {
             "cancel" => Ok(Request::Cancel { id: id()? }),
             "shutdown" => Ok(Request::Shutdown),
             "ping" => Ok(Request::Ping),
+            "stats" => Ok(Request::Stats),
+            "subscribe" => Ok(Request::Subscribe { id: id()? }),
             other => Err(CodecError::new(format!("unknown request op `{other}`"))),
         }
     }
@@ -205,6 +323,80 @@ impl serde::Deserialize for JobResult {
     }
 }
 
+impl serde::Serialize for MetricEntry {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("name".into(), self.name.to_value()),
+            ("kind".into(), self.kind.to_value()),
+            ("value".into(), self.value.to_value()),
+            ("count".into(), self.count.to_value()),
+            ("sum".into(), self.sum.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for MetricEntry {
+    fn from_value(v: &Value) -> Result<Self, CodecError> {
+        Ok(Self {
+            name: String::from_value(v.field("name")?)?,
+            kind: String::from_value(v.field("kind")?)?,
+            value: f64::from_value(v.field("value")?)?,
+            count: u64::from_value(v.field("count")?)?,
+            sum: u64::from_value(v.field("sum")?)?,
+        })
+    }
+}
+
+impl serde::Serialize for StatsReport {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("uptime_secs".into(), self.uptime_secs.to_value()),
+            ("text".into(), self.text.to_value()),
+            ("metrics".into(), self.metrics.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for StatsReport {
+    fn from_value(v: &Value) -> Result<Self, CodecError> {
+        Ok(Self {
+            uptime_secs: u64::from_value(v.field("uptime_secs")?)?,
+            text: String::from_value(v.field("text")?)?,
+            metrics: Vec::from_value(v.field("metrics")?)?,
+        })
+    }
+}
+
+impl serde::Serialize for ProgressFrame {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("id".into(), self.id.to_value()),
+            ("round".into(), self.round.to_value()),
+            ("rounds".into(), self.rounds.to_value()),
+            ("best_score".into(), self.best_score.to_value()),
+            ("best_so_far".into(), self.best_so_far.to_value()),
+            ("epochs_spent".into(), self.epochs_spent.to_value()),
+            ("cache_hits".into(), self.cache_hits.to_value()),
+            ("cache_misses".into(), self.cache_misses.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for ProgressFrame {
+    fn from_value(v: &Value) -> Result<Self, CodecError> {
+        Ok(Self {
+            id: u64::from_value(v.field("id")?)?,
+            round: usize::from_value(v.field("round")?)?,
+            rounds: usize::from_value(v.field("rounds")?)?,
+            best_score: f64::from_value(v.field("best_score")?)?,
+            best_so_far: f64::from_value(v.field("best_so_far")?)?,
+            epochs_spent: usize::from_value(v.field("epochs_spent")?)?,
+            cache_hits: u64::from_value(v.field("cache_hits")?)?,
+            cache_misses: u64::from_value(v.field("cache_misses")?)?,
+        })
+    }
+}
+
 fn kind(name: &str, mut fields: Vec<(String, Value)>) -> Value {
     let mut all = vec![("kind".to_string(), Value::Str(name.to_string()))];
     all.append(&mut fields);
@@ -226,6 +418,8 @@ impl serde::Serialize for Response {
             Response::Cancelled { id } => kind("cancelled", vec![("id".into(), id.to_value())]),
             Response::ShuttingDown => kind("shutting_down", vec![]),
             Response::Pong => kind("pong", vec![]),
+            Response::Stats(report) => kind("stats", vec![("report".into(), report.to_value())]),
+            Response::Progress(frame) => kind("progress", vec![("frame".into(), frame.to_value())]),
             Response::Error { message } => {
                 kind("error", vec![("message".into(), message.to_value())])
             }
@@ -249,6 +443,12 @@ impl serde::Deserialize for Response {
             }),
             "shutting_down" => Ok(Response::ShuttingDown),
             "pong" => Ok(Response::Pong),
+            "stats" => Ok(Response::Stats(StatsReport::from_value(
+                v.field("report")?,
+            )?)),
+            "progress" => Ok(Response::Progress(ProgressFrame::from_value(
+                v.field("frame")?,
+            )?)),
             "error" => Ok(Response::Error {
                 message: String::from_value(v.field("message")?)?,
             }),
@@ -270,6 +470,8 @@ mod tests {
             Request::Cancel { id: 5 },
             Request::Shutdown,
             Request::Ping,
+            Request::Stats,
+            Request::Subscribe { id: 6 },
         ];
         for req in reqs {
             let back = Request::decode(&req.encode()).expect("decode");
@@ -303,6 +505,27 @@ mod tests {
             Response::Cancelled { id: 2 },
             Response::ShuttingDown,
             Response::Pong,
+            Response::Stats(StatsReport {
+                uptime_secs: 42,
+                text: "# TYPE x counter\nx 3\n".into(),
+                metrics: vec![MetricEntry {
+                    name: "x".into(),
+                    kind: "counter".into(),
+                    value: 3.0,
+                    count: 0,
+                    sum: 0,
+                }],
+            }),
+            Response::Progress(ProgressFrame {
+                id: 9,
+                round: 1,
+                rounds: 3,
+                best_score: -0.5,
+                best_so_far: 0.25,
+                epochs_spent: 120,
+                cache_hits: 4,
+                cache_misses: 11,
+            }),
             Response::Error {
                 message: "no such job".into(),
             },
@@ -311,6 +534,26 @@ mod tests {
             let back = Response::decode(&resp.encode()).expect("decode");
             assert_eq!(resp, back);
         }
+    }
+
+    #[test]
+    fn stats_report_flattens_a_registry_snapshot() {
+        let r = nada_obs::MetricsRegistry::new();
+        r.counter("c_total").add(5);
+        r.gauge("g_level").set(-2);
+        let h = r.histogram("h_ns", &[10, 100]);
+        h.record(7);
+        h.record(70);
+        let report = StatsReport::from_snapshot(33, &r.snapshot());
+        assert_eq!(report.uptime_secs, 33);
+        assert_eq!(report.get("c_total").unwrap().value, 5.0);
+        assert_eq!(report.get("g_level").unwrap().value, -2.0);
+        let hist = report.get("h_ns").unwrap();
+        assert_eq!((hist.count, hist.sum), (2, 77));
+        // The exposition text carries the same snapshot, parseably.
+        let back = nada_obs::parse_exposition(&report.text).expect("parse");
+        assert_eq!(back, r.snapshot());
+        assert!(report.get("absent").is_none());
     }
 
     #[test]

@@ -20,9 +20,10 @@
 //! or `1` degrades to a single lane (fully sequential, like `pool_map`).
 
 use nada_core::driver::SearchDriver;
-use nada_core::feedback::DriverCheckpoint;
+use nada_core::feedback::{DriverCheckpoint, RoundSummary};
 use nada_core::jobspec::JobSpec;
 use nada_core::llm_registry::{LlmRegistry, LlmRequest, LlmSpec};
+use nada_core::metrics::MetricsObserver;
 use nada_core::pipeline::Nada;
 use nada_core::registry::WorkloadRegistry;
 use nada_core::score_cache::{CacheView, ScoreCache};
@@ -33,12 +34,40 @@ use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::proto::{JobResult, JobStatus};
 use crate::spool::Spool;
+
+/// The one [`MetricsObserver`] every scheduler turn attaches: rounds run
+/// in the daemon land in the same `pipeline_*` metrics a local harness
+/// records, and sharing one instance keeps per-call-site registration
+/// off the round hot path. Observational only — attaching it never
+/// changes a job's result bits (pinned by the daemon e2e tests).
+fn shared_metrics_observer() -> Arc<MetricsObserver> {
+    static OBSERVER: OnceLock<Arc<MetricsObserver>> = OnceLock::new();
+    OBSERVER
+        .get_or_init(|| Arc::new(MetricsObserver::new()))
+        .clone()
+}
+
+/// Scheduler-level telemetry handles, resolved once.
+struct SchedMetrics {
+    submitted: Arc<nada_obs::Counter>,
+    turns: Arc<nada_obs::Counter>,
+    round_duration: Arc<nada_obs::Histogram>,
+}
+
+fn sched_metrics() -> &'static SchedMetrics {
+    static METRICS: OnceLock<SchedMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| SchedMetrics {
+        submitted: nada_obs::counter("serve_jobs_submitted_total"),
+        turns: nada_obs::counter("serve_turns_total"),
+        round_duration: nada_obs::latency_histogram("serve_round_duration_ns"),
+    })
+}
 
 /// Per-round seed mix for a job's LLM: the same splitmix-style constant
 /// the bench harnesses use, plus a serve-specific tweak so daemon jobs
@@ -199,7 +228,7 @@ impl Scheduler {
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("nada-serve-lane-{lane}"))
-                    .spawn(move || lane_loop(&inner))
+                    .spawn(move || lane_loop(&inner, lane))
                     .expect("spawn scheduler lane"),
             );
         }
@@ -250,6 +279,7 @@ impl Scheduler {
         );
         state.ready.push_back(id);
         drop(state);
+        sched_metrics().submitted.inc();
         self.inner.cv.notify_all();
         Ok(id)
     }
@@ -264,6 +294,58 @@ impl Scheduler {
     pub fn result(&self, id: u64) -> Option<Arc<JobResult>> {
         let state = self.inner.state.lock().unwrap();
         state.jobs.get(&id).and_then(|job| job.result.clone())
+    }
+
+    /// Status plus the per-round summaries completed so far (from the
+    /// live checkpoint while running, from the result once done) — what
+    /// a `Subscribe` stream replays and extends. `None` for unknown ids.
+    pub fn progress(&self, id: u64) -> Option<(JobStatus, Vec<RoundSummary>)> {
+        let state = self.inner.state.lock().unwrap();
+        state.jobs.get(&id).map(|job| job_progress(id, job))
+    }
+
+    /// Blocks until job `id` has more than `seen` completed rounds, is
+    /// terminal, or `timeout` passes — then returns its progress. The
+    /// scheduler's condvar fires on every round boundary, so subscribers
+    /// ride state changes instead of polling. `None` for unknown ids.
+    pub fn wait_progress(
+        &self,
+        id: u64,
+        seen: usize,
+        timeout: Duration,
+    ) -> Option<(JobStatus, Vec<RoundSummary>)> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.inner.state.lock().unwrap();
+        loop {
+            let job = state.jobs.get(&id)?;
+            let (status, summaries) = job_progress(id, job);
+            if summaries.len() > seen || job.state.is_terminal() {
+                return Some((status, summaries));
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Some((status, summaries));
+            }
+            let (guard, _) = self.inner.cv.wait_timeout(state, left).unwrap();
+            state = guard;
+        }
+    }
+
+    /// How many jobs are in each lifecycle state:
+    /// `(queued, running, done, failed, cancelled)`.
+    pub fn job_counts(&self) -> (usize, usize, usize, usize, usize) {
+        let state = self.inner.state.lock().unwrap();
+        let mut counts = (0, 0, 0, 0, 0);
+        for job in state.jobs.values() {
+            match job.state {
+                JobState::Queued => counts.0 += 1,
+                JobState::Running => counts.1 += 1,
+                JobState::Done => counts.2 += 1,
+                JobState::Failed => counts.3 += 1,
+                JobState::Cancelled => counts.4 += 1,
+            }
+        }
+        counts
     }
 
     /// Requests cancellation. Queued jobs cancel immediately; running
@@ -354,16 +436,34 @@ fn job_status(id: u64, job: &Job) -> JobStatus {
         ),
         (None, None) => (0, None),
     };
+    // Jobs recovered from the spool as done get a fresh (empty) cache
+    // view, but the persisted result still holds the real counters —
+    // prefer those whenever a result exists.
+    let (cache_hits, cache_misses) = match &job.result {
+        Some(result) => (result.cache_hits, result.cache_misses),
+        None => (job.view.hits(), job.view.misses()),
+    };
     JobStatus {
         id,
         state: job.state.name().to_string(),
         error: job.error.clone(),
         next_round,
         rounds: job.spec.rounds,
-        cache_hits: job.view.hits(),
-        cache_misses: job.view.misses(),
+        cache_hits,
+        cache_misses,
         best_so_far,
     }
+}
+
+/// Status plus the completed-round summaries backing it: the live
+/// checkpoint's while the job is in flight, the result's once done.
+fn job_progress(id: u64, job: &Job) -> (JobStatus, Vec<RoundSummary>) {
+    let summaries = match (&job.checkpoint, &job.result) {
+        (Some(ckpt), _) => ckpt.summaries.clone(),
+        (None, Some(result)) => result.rounds.clone(),
+        (None, None) => Vec::new(),
+    };
+    (job_status(id, job), summaries)
 }
 
 /// Builds the pipeline a job spec describes against the builtin
@@ -417,6 +517,8 @@ fn run_one_round(
             .with_budget(spec.budget)
             .with_job_spec(spec.clone()),
     };
+    // Observational only: the metrics observer never changes result bits.
+    driver.observe(shared_metrics_observer());
     if !step_finished(&driver, spec) {
         let round = driver.next_round();
         let llm_spec = LlmSpec {
@@ -453,7 +555,8 @@ fn step_finished(driver: &SearchDriver<'_>, spec: &JobSpec) -> bool {
         || (driver.next_round() > 0 && spec.budget.epochs_exhausted(driver.stats().epochs_spent))
 }
 
-fn lane_loop(inner: &Inner) {
+fn lane_loop(inner: &Inner, lane: usize) {
+    let lane_turns = nada_obs::counter(&format!("serve_lane_{lane}_turns_total"));
     let mut state = inner.state.lock().unwrap();
     loop {
         if inner.draining.load(Ordering::SeqCst) || inner.halted.load(Ordering::SeqCst) {
@@ -483,7 +586,13 @@ fn lane_loop(inner: &Inner) {
         };
         drop(state);
 
-        let step = catch_unwind(AssertUnwindSafe(|| run_one_round(&spec, &nada, ckpt)));
+        let metrics = sched_metrics();
+        metrics.turns.inc();
+        lane_turns.inc();
+        let step = {
+            let _span = metrics.round_duration.start_span();
+            catch_unwind(AssertUnwindSafe(|| run_one_round(&spec, &nada, ckpt)))
+        };
 
         state = inner.state.lock().unwrap();
         if inner.halted.load(Ordering::SeqCst) {

@@ -25,6 +25,7 @@
 //! | [`llm_http`] | dependency-free HTTP/1.1 chat-completions backend + loopback test server |
 //! | [`earlystop`] | §2.2/§3.4 early-stopping classifiers |
 //! | [`exec`] | deterministic order-preserving parallel map |
+//! | [`obs`] | process-wide telemetry: atomic counters/gauges/histograms, span timers, Prometheus-style exposition |
 //! | [`core`] | the NADA pipeline: `Workload` trait, generate → filter → train → rank |
 //! | [`serve`] | multi-tenant search daemon: wire protocol, job scheduler, spool, cross-tenant score cache |
 //!
@@ -58,6 +59,7 @@ pub use nada_exec as exec;
 pub use nada_llm as llm;
 pub use nada_llm_http as llm_http;
 pub use nada_nn as nn;
+pub use nada_obs as obs;
 pub use nada_serve as serve;
 pub use nada_sim as sim;
 pub use nada_traces as traces;
