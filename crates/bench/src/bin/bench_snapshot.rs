@@ -1,9 +1,10 @@
-//! Regenerates `BENCH_pr9.json` — the checked-in wall-clock snapshot for
-//! the observability PR: the A2C update, one full training run
-//! (`train_epoch`), the whole-search wall-clock for both workloads, the
-//! packet-level CC emulation episode, the daemon's submit round-trip
-//! latency over a loopback socket, and the telemetry hot path (one
-//! counter record).
+//! Regenerates `BENCH_pr10.json` — the checked-in wall-clock snapshot:
+//! the A2C update, one full training run (`train_epoch`), the
+//! whole-search wall-clock for both workloads, the packet-level CC
+//! emulation episode, the daemon's submit round-trip latency over a
+//! loopback socket, the telemetry hot path (one counter record), and
+//! the serial-vs-pooled LLM batch wall-clock over a fixed-latency
+//! loopback chat-completions server.
 //!
 //! ```text
 //! bench_snapshot [--out PATH]    # measure and write the snapshot
@@ -24,7 +25,7 @@ use std::time::Instant;
 
 /// The snapshot's key set, in output order. `--check` enforces exactly
 /// these keys; the measuring path emits exactly these keys.
-const KEYS: [&str; 7] = [
+const KEYS: [&str; 9] = [
     "nn/a2c_update_48_steps_ms",
     "train_epoch_ms",
     "search/wallclock_abr_ms",
@@ -32,6 +33,8 @@ const KEYS: [&str; 7] = [
     "sim/emu_cc_episode_240_ticks_ms",
     "serve/submit_roundtrip_ms",
     "obs/record_counter_ns",
+    "llm/serial_generate_wallclock_ms",
+    "llm/pool_generate_wallclock_ms",
 ];
 
 /// Mean milliseconds per run: one untimed warm-up, then `iters` timed runs.
@@ -157,6 +160,45 @@ fn measure_submit_roundtrip() -> f64 {
     ms
 }
 
+/// Wall-clock of one 16-completion batch against a loopback
+/// chat-completions server that serves every request after a fixed
+/// 25 ms latency — the serial keep-alive client vs the connection pool
+/// at width 4. With a latency-dominated backend the pooled figure
+/// should sit near serial/4 (16 round trips vs 4 waves); the ISSUE's
+/// acceptance bar is ≥3×.
+fn measure_llm_generate(pooled: bool) -> f64 {
+    use nada_llm::LlmClient;
+    use nada_llm_http::{
+        ConnPool, Endpoint, HttpClient, HttpConfig, PoolBehavior, PoolServer, PooledClient,
+        RateGovernor,
+    };
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let server = PoolServer::start(PoolBehavior {
+        latency: Duration::from_millis(25),
+        ..PoolBehavior::default()
+    });
+    let cfg = HttpConfig::new(server.base(), "bench-loopback");
+    // Private governor (no RPS cap) and private pool: the probe measures
+    // dispatch, not whatever the process-wide singletons accumulated.
+    let governor = Arc::new(RateGovernor::new(None));
+    let prompt = nada_llm::Prompt::state(nada_dsl::seeds::PENSIEVE_STATE_SOURCE);
+    if pooled {
+        let endpoint = Endpoint::parse(&cfg.base).expect("loopback base parses");
+        let pool = Arc::new(ConnPool::new(endpoint, cfg.timeout, 4));
+        let mut client = PooledClient::with_parts(cfg, pool, governor);
+        time_ms(3, || {
+            black_box(client.generate_batch(&prompt, 16));
+        })
+    } else {
+        let mut client = HttpClient::with_governor(cfg, governor).expect("loopback client builds");
+        time_ms(3, || {
+            black_box(client.generate_batch(&prompt, 16));
+        })
+    }
+}
+
 /// Nanoseconds per `Counter::inc` through a cached handle — the
 /// telemetry hot path every instrumented crate pays. Measured in a tight
 /// loop so the per-call cost (a `Relaxed` fetch_add) dominates.
@@ -171,7 +213,7 @@ fn measure_record_counter() -> f64 {
     start.elapsed().as_secs_f64() * 1e9 / ITERS as f64
 }
 
-fn render(values: &[f64; 7]) -> String {
+fn render(values: &[f64; 9]) -> String {
     let mut out = String::from("{\n");
     for (i, (key, v)) in KEYS.iter().zip(values).enumerate() {
         let sep = if i + 1 < KEYS.len() { "," } else { "" };
@@ -216,7 +258,7 @@ fn main() {
             println!("bench_snapshot: {path} ok ({} keys)", KEYS.len());
         }
         Some("--out") | None => {
-            let default = "BENCH_pr9.json".to_string();
+            let default = "BENCH_pr10.json".to_string();
             let path = if args.first().map(String::as_str) == Some("--out") {
                 args.get(1).unwrap_or(&default)
             } else {
@@ -230,6 +272,8 @@ fn main() {
                 measure_emu_cc_episode(),
                 measure_submit_roundtrip(),
                 measure_record_counter(),
+                measure_llm_generate(false),
+                measure_llm_generate(true),
             ];
             let json = render(&values);
             std::fs::write(path, &json).expect("snapshot file must be writable");

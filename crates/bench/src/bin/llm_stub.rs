@@ -1,0 +1,81 @@
+//! A scripted loopback chat-completions server for CI and local e2e
+//! runs: every request is served after a fixed latency with a valid
+//! fenced design and a `usage` object, and a 429 (with `Retry-After`)
+//! can be injected every k-th arrival so the client's process-wide rate
+//! governor has something real to absorb.
+//!
+//! ```text
+//! llm_stub [--port P] [--latency-ms L] [--rate-limit-every K] [--retry-after S]
+//! ```
+//!
+//! Prints one `llm_stub: listening on http://…` line once bound (the
+//! CI step greps it for the base URL), then serves until killed.
+
+use nada_llm_http::{PoolBehavior, PoolServer};
+use std::time::Duration;
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: llm_stub [--port P] [--latency-ms L] [--rate-limit-every K] [--retry-after S]"
+    );
+    eprintln!("  --port P             bind 127.0.0.1:P (default 0 = ephemeral)");
+    eprintln!("  --latency-ms L       service time per 200 response (default 20)");
+    eprintln!("  --rate-limit-every K answer every K-th request 429 (default off)");
+    eprintln!("  --retry-after S      Retry-After seconds on each 429 (default 1)");
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    args.next()
+        .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+        .parse()
+        .unwrap_or_else(|_| usage(&format!("{flag} needs a number")))
+}
+
+fn main() {
+    let mut port: u16 = 0;
+    let mut latency_ms: u64 = 20;
+    let mut rate_limit_every: Option<usize> = None;
+    let mut retry_after: u64 = 1;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--port" => port = parse(&mut args, "--port"),
+            "--latency-ms" => latency_ms = parse(&mut args, "--latency-ms"),
+            "--rate-limit-every" => {
+                let k: usize = parse(&mut args, "--rate-limit-every");
+                if k == 0 {
+                    usage("--rate-limit-every must be at least 1");
+                }
+                rate_limit_every = Some(k);
+            }
+            "--retry-after" => retry_after = parse(&mut args, "--retry-after"),
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let behavior = PoolBehavior {
+        latency: Duration::from_millis(latency_ms),
+        usage: Some((120, 40)),
+        rate_limit_every,
+        retry_after,
+        ..PoolBehavior::default()
+    };
+    let server = match PoolServer::start_on(port, behavior) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("llm_stub: cannot bind 127.0.0.1:{port}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("llm_stub: listening on {}", server.base());
+    // The accept loop runs on detached threads; park the main thread
+    // until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}

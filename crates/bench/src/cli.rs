@@ -38,6 +38,10 @@ pub struct HarnessOptions {
     /// Append one JSON object per search event to this JSONL file
     /// (`--log-json PATH`) — the machine-readable twin of `--progress`.
     pub log_json: Option<String>,
+    /// Maximum billed LLM tokens across the whole run
+    /// (`--max-tokens-cost N`). Enforced at wave granularity: completions
+    /// already paid for are always kept. Offline backends bill zero.
+    pub max_tokens_cost: Option<u64>,
 }
 
 impl Default for HarnessOptions {
@@ -55,6 +59,7 @@ impl Default for HarnessOptions {
             cassette: None,
             record: false,
             log_json: None,
+            max_tokens_cost: None,
         }
     }
 }
@@ -149,6 +154,18 @@ pub fn parse_args<I: Iterator<Item = String>>(mut args: I) -> HarnessOptions {
                     .unwrap_or_else(|| usage("--log-json needs a path"));
                 opts.log_json = Some(v);
             }
+            "--max-tokens-cost" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--max-tokens-cost needs a value"));
+                let n: u64 = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--max-tokens-cost needs an integer"));
+                if n == 0 {
+                    usage("--max-tokens-cost must be at least 1");
+                }
+                opts.max_tokens_cost = Some(n);
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag `{other}`")),
         }
@@ -176,7 +193,7 @@ fn usage(msg: &str) -> ! {
         "usage: <harness> [--full | --quick] [--seed N] [--workload NAME] [--progress]\n\
          \x20                [--rounds N] [--checkpoint PATH] [--resume PATH]\n\
          \x20                [--llm NAME] [--model NAME] [--cassette PATH] [--record]\n\
-         \x20                [--log-json PATH]"
+         \x20                [--log-json PATH] [--max-tokens-cost N]"
     );
     eprintln!("  --full          paper-scale run (cluster-sized; default is quick)");
     eprintln!("  --seed N        master seed (default 1)");
@@ -196,6 +213,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("  --cassette PATH on-disk cassette to replay from or record into");
     eprintln!("  --record        record every completion into --cassette");
     eprintln!("  --log-json PATH append one JSON object per search event to this JSONL file");
+    eprintln!("  --max-tokens-cost N  stop generating once N billed LLM tokens are spent");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 
@@ -277,5 +295,12 @@ mod tests {
         let o = parse(&["--log-json", "/tmp/events.jsonl"]);
         assert_eq!(o.log_json.as_deref(), Some("/tmp/events.jsonl"));
         assert_eq!(parse(&[]).log_json, None);
+    }
+
+    #[test]
+    fn max_tokens_cost_flag_parses() {
+        let o = parse(&["--max-tokens-cost", "50000"]);
+        assert_eq!(o.max_tokens_cost, Some(50_000));
+        assert_eq!(parse(&[]).max_tokens_cost, None);
     }
 }

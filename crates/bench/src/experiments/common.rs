@@ -13,8 +13,8 @@ use crate::logjson::JsonlObserver;
 use crate::progress::ProgressObserver;
 use nada_core::metrics::MetricsObserver;
 use nada_core::{
-    DriverOutcome, JobSpec, LlmRegistry, LlmRequest, LlmSpec, Nada, NadaConfig, SearchDriver,
-    SearchOutcome, SearchSession, Workload, WorkloadRegistry,
+    Budget, DriverOutcome, JobSpec, LlmRegistry, LlmRequest, LlmSpec, Nada, NadaConfig,
+    SearchDriver, SearchOutcome, SearchSession, Workload, WorkloadRegistry,
 };
 use nada_llm::{DesignKind, LlmClient};
 use nada_traces::dataset::DatasetKind;
@@ -93,7 +93,10 @@ pub fn llm_for(
         record: opts.record,
         seed,
     };
-    LlmRegistry::builtin()
+    // The shared registry, not a private instance: every lane built here
+    // draws from one process-wide connection pool and rate governor when
+    // the backend is `http`.
+    LlmRegistry::shared()
         .build(
             &spec.backend,
             &LlmRequest {
@@ -103,6 +106,15 @@ pub fn llm_for(
             },
         )
         .unwrap_or_else(|e| panic!("cannot build LLM backend for `{lane}`: {e}"))
+}
+
+/// The spending limits the harness flags ask for.
+fn budget_for(opts: &HarnessOptions) -> Budget {
+    let mut budget = Budget::unlimited();
+    if let Some(cap) = opts.max_tokens_cost {
+        budget = budget.with_max_token_cost(cap);
+    }
+    budget
 }
 
 /// Resolves the harness's workload for a dataset through the registry.
@@ -141,7 +153,7 @@ pub fn run_search(
             );
         });
     }
-    let mut session = SearchSession::new(nada, kind);
+    let mut session = SearchSession::new(nada, kind).with_budget(budget_for(opts));
     let tag = format!("{label}/{}", nada.workload().name());
     if opts.progress {
         session.observe(ProgressObserver::new(tag.clone()));
@@ -203,10 +215,17 @@ pub fn run_driver(
                     panic!("checkpoint `{path}` belongs to a different job ({diff})");
                 }
             }
-            resumed.with_rounds(opts.rounds)
+            let resumed = resumed.with_rounds(opts.rounds);
+            // Re-applying the flag tightens (or keeps) the allowance; a
+            // run resumed without it keeps the checkpoint's budget.
+            match opts.max_tokens_cost {
+                Some(_) => resumed.with_budget(budget_for(opts)),
+                None => resumed,
+            }
         }
         None => SearchDriver::new(nada, kind)
             .with_rounds(opts.rounds)
+            .with_budget(budget_for(opts))
             .with_job_spec(expected),
     };
     // `--resume` without `--checkpoint` keeps checkpointing to the file

@@ -22,6 +22,13 @@ pub struct Budget {
     pub max_candidates: Option<usize>,
     /// Maximum training epochs across probe + screen + finalist stages.
     pub max_epochs: Option<usize>,
+    /// Maximum billed LLM tokens (prompt + completion, as reported by the
+    /// backend's `usage` field). Enforced at wave granularity during
+    /// generation: a wave is issued only while spend is under the cap, and
+    /// every completion of an issued wave is kept — paid completions are
+    /// never discarded. Offline backends (mock/replay) bill zero, so the
+    /// cap never fires for them.
+    pub max_token_cost: Option<u64>,
 }
 
 impl Budget {
@@ -42,14 +49,25 @@ impl Budget {
         self
     }
 
+    /// Caps billed LLM tokens spent by generation.
+    pub fn with_max_token_cost(mut self, n: u64) -> Self {
+        self.max_token_cost = Some(n);
+        self
+    }
+
     /// True when `spent_epochs` has reached the epoch allowance.
     pub fn epochs_exhausted(&self, spent_epochs: usize) -> bool {
         self.max_epochs.is_some_and(|cap| spent_epochs >= cap)
     }
 
-    /// True when either limit is set.
+    /// True when `spent_tokens` has reached the token allowance.
+    pub fn tokens_exhausted(&self, spent_tokens: u64) -> bool {
+        self.max_token_cost.is_some_and(|cap| spent_tokens >= cap)
+    }
+
+    /// True when any limit is set.
     pub fn is_limited(&self) -> bool {
-        self.max_candidates.is_some() || self.max_epochs.is_some()
+        self.max_candidates.is_some() || self.max_epochs.is_some() || self.max_token_cost.is_some()
     }
 }
 
@@ -61,7 +79,17 @@ mod tests {
     fn unlimited_never_exhausts() {
         let b = Budget::unlimited();
         assert!(!b.epochs_exhausted(usize::MAX));
+        assert!(!b.tokens_exhausted(u64::MAX));
         assert!(!b.is_limited());
+    }
+
+    #[test]
+    fn token_cap_is_inclusive() {
+        let b = Budget::unlimited().with_max_token_cost(1_000);
+        assert!(!b.tokens_exhausted(999));
+        assert!(b.tokens_exhausted(1_000));
+        assert!(b.tokens_exhausted(1_001));
+        assert!(b.is_limited());
     }
 
     #[test]

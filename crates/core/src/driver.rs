@@ -296,6 +296,10 @@ impl<'a> SearchDriver<'a> {
                 .budget
                 .max_epochs
                 .map(|cap| cap.saturating_sub(self.stats.epochs_spent)),
+            max_token_cost: self
+                .budget
+                .max_token_cost
+                .map(|cap| cap.saturating_sub(self.stats.llm_tokens_spent)),
         };
         let outcome = {
             let mut session = SearchSession::new(self.nada, self.kind).with_budget(round_budget);
@@ -349,7 +353,10 @@ impl<'a> SearchDriver<'a> {
         while self.next_round < self.rounds {
             // Round 0 always runs; later rounds stop once the shared
             // allowance is gone (mirroring the session's own wave rule).
-            if self.next_round > 0 && self.budget.epochs_exhausted(self.stats.epochs_spent) {
+            if self.next_round > 0
+                && (self.budget.epochs_exhausted(self.stats.epochs_spent)
+                    || self.budget.tokens_exhausted(self.stats.llm_tokens_spent))
+            {
                 break;
             }
             let mut llm = make_llm(self.next_round);
@@ -372,6 +379,7 @@ impl<'a> SearchDriver<'a> {
         self.stats.skipped += round.skipped;
         self.stats.epochs_spent += round.epochs_spent;
         self.stats.epochs_saved += round.epochs_saved;
+        self.stats.llm_tokens_spent += round.llm_tokens_spent;
     }
 
     fn write_checkpoint(&self) -> Result<(), DriverError> {

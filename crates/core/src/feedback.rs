@@ -424,6 +424,7 @@ mod tests {
                     skipped: 0,
                     epochs_spent: 120,
                     epochs_saved: 40,
+                    llm_tokens_spent: 0,
                 },
             }],
             stats: SearchStats::default(),

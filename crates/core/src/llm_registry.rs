@@ -8,9 +8,14 @@
 //!   `gpt-3.5`, `perfect`), deterministic in the spec's seed;
 //! * `replay` — a verified [`ReplayClient`] over an on-disk cassette
 //!   (`--cassette PATH` required), the offline-CI path;
-//! * `http` — the real chat-completions backend
-//!   ([`nada_llm_http::HttpClient`]), endpoint from `NADA_API_BASE`, key
-//!   from `NADA_API_KEY` only.
+//! * `http` — the real chat-completions backend over the process-wide
+//!   connection pool ([`nada_llm_http::PooledClient`]): endpoint from
+//!   `NADA_API_BASE`, key from `NADA_API_KEY` only, pool width from
+//!   `NADA_LLM_CONNS` (default: the scheduler-lane count), all dispatch
+//!   gated by the shared rate-limit governor;
+//! * `http-serial` — the same backend over a single connection
+//!   ([`nada_llm_http::HttpClient`]), for debugging or strictly
+//!   sequential endpoints.
 //!
 //! Any generating backend (`mock`, `http`) can be recorded by setting
 //! `record` on the [`LlmSpec`]: the built client is wrapped in a
@@ -21,9 +26,10 @@
 //! `k`'s client and still replay bit-identically.
 
 use nada_llm::{LlmClient, MockLlm, RecordingClient, ReplayClient};
-use nada_llm_http::HttpClient;
+use nada_llm_http::{HttpClient, PooledClient};
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::OnceLock;
 
 /// Everything a harness knows about the LLM it wants, before lane/round
 /// context is applied.
@@ -122,11 +128,27 @@ impl LlmRegistry {
             Ok(Box::new(client) as Box<dyn LlmClient>)
         });
         r.register("http", |req| {
+            let client = PooledClient::from_env(&req.spec.model)
+                .map_err(|e| LlmBuildError(e.to_string()))?;
+            maybe_record(Box::new(client), req)
+        });
+        r.register("http-serial", |req| {
             let client =
                 HttpClient::from_env(&req.spec.model).map_err(|e| LlmBuildError(e.to_string()))?;
             maybe_record(Box::new(client), req)
         });
         r
+    }
+
+    /// The process-wide built-in registry. Daemon lanes and harness
+    /// turns resolve backends through this one instance instead of
+    /// rebuilding a registry per turn — the underlying connection pool
+    /// and rate governor are process-global either way, but sharing the
+    /// registry keeps custom registrations (tests, embedders) visible to
+    /// every lane.
+    pub fn shared() -> &'static LlmRegistry {
+        static SHARED: OnceLock<LlmRegistry> = OnceLock::new();
+        SHARED.get_or_init(LlmRegistry::builtin)
     }
 
     /// Registers a constructor under `name`. A later registration with the
@@ -238,11 +260,23 @@ mod tests {
     #[test]
     fn builtins_resolve_to_their_names() {
         let r = LlmRegistry::builtin();
-        assert_eq!(r.names(), vec!["mock", "replay", "http"]);
+        assert_eq!(r.names(), vec!["mock", "replay", "http", "http-serial"]);
         assert!(r.contains("mock"));
+        assert!(r.contains("http-serial"));
         let spec = LlmSpec::mock("gpt-4", 7);
         let err = build_err(&r, "claude", &req(&spec, "lane", 0));
-        assert!(err.to_string().contains("mock, replay, http"), "{err}");
+        assert!(
+            err.to_string().contains("mock, replay, http, http-serial"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn shared_registry_is_one_instance() {
+        let a = LlmRegistry::shared() as *const LlmRegistry;
+        let b = LlmRegistry::shared() as *const LlmRegistry;
+        assert_eq!(a, b);
+        assert!(LlmRegistry::shared().contains("http"));
     }
 
     #[test]
@@ -322,6 +356,6 @@ mod tests {
         let spec = LlmSpec::mock("gpt-4", 5);
         let client = r.build("mock", &req(&spec, "lane", 0)).unwrap();
         assert_eq!(client.model_name(), "perfect");
-        assert_eq!(r.names(), vec!["mock", "replay", "http"]);
+        assert_eq!(r.names(), vec!["mock", "replay", "http", "http-serial"]);
     }
 }

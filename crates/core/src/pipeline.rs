@@ -118,6 +118,9 @@ pub struct SearchStats {
     pub epochs_spent: usize,
     /// Epochs avoided thanks to early stopping.
     pub epochs_saved: usize,
+    /// Billed LLM tokens (prompt + completion) spent by generation, as
+    /// reported by the backend's `usage` field. Zero for offline backends.
+    pub llm_tokens_spent: u64,
 }
 
 /// Everything a search produces (feeds Tables 3–5 and Figures 3–4).

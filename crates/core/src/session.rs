@@ -267,7 +267,18 @@ impl<'a> SearchSession<'a> {
             prompt = prompt.with_feedback(feedback.clone());
         }
         let kind = self.kind;
-        let completions = llm.generate_batch_while(&prompt, want, &mut |made| made < cap);
+        // Token spend is measured as a delta over the process-wide meter:
+        // live HTTP backends record `usage` there, offline backends bill
+        // zero. The hook gates *wave issuance* — every completion of an
+        // already-issued wave is kept, so paid work is never discarded.
+        let meter = nada_llm::global_token_meter();
+        let tokens_start = meter.snapshot().total();
+        let budget = self.budget;
+        let completions = llm.generate_batch_while(&prompt, want, &mut |made| {
+            let spent = meter.snapshot().total().saturating_sub(tokens_start);
+            made < cap && !budget.tokens_exhausted(spent)
+        });
+        self.stats.llm_tokens_spent += meter.snapshot().total().saturating_sub(tokens_start);
         self.candidates = completions
             .into_iter()
             .enumerate()
@@ -1129,5 +1140,62 @@ mod tests {
         }
         .to_string();
         assert!(done.contains("already finalized"));
+    }
+
+    /// Serializes tests that observe the process-wide token meter, so a
+    /// concurrently billing test never lands inside another's window.
+    static METER_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    /// A backend that bills a fixed number of tokens per completion into
+    /// the process-wide meter, like the live HTTP clients do.
+    struct BillingLlm {
+        inner: MockLlm,
+        per_call: u64,
+    }
+
+    impl LlmClient for BillingLlm {
+        fn model_name(&self) -> &str {
+            self.inner.model_name()
+        }
+
+        fn generate(&mut self, prompt: &nada_llm::Prompt) -> nada_llm::Completion {
+            nada_llm::global_token_meter().record(nada_llm::TokenUsage {
+                prompt_tokens: self.per_call / 2,
+                completion_tokens: self.per_call - self.per_call / 2,
+            });
+            self.inner.generate(prompt)
+        }
+    }
+
+    #[test]
+    fn token_budget_truncates_generation_and_is_accounted() {
+        let _window = METER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let nada = tiny_nada(29);
+        let mut llm = BillingLlm {
+            inner: MockLlm::perfect(29),
+            per_call: 100,
+        };
+        let collector = CollectingObserver::new();
+        let mut session = SearchSession::new(&nada, DesignKind::State)
+            .with_budget(Budget::unlimited().with_max_token_cost(250));
+        session.observe(&collector);
+        // The hook checks spend before each serial completion: 0, 100,
+        // 200 pass; 300 stops the batch. Three candidates out of eight.
+        let n = session.generate(&mut llm).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(session.stats().llm_tokens_spent, 300);
+        assert!(collector.count(|e| matches!(e, SearchEvent::BudgetExhausted { .. })) >= 1);
+    }
+
+    #[test]
+    fn zero_billing_backends_never_trip_the_token_budget() {
+        let _window = METER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let nada = tiny_nada(31);
+        let mut llm = MockLlm::perfect(31);
+        let mut session = SearchSession::new(&nada, DesignKind::State)
+            .with_budget(Budget::unlimited().with_max_token_cost(1));
+        let n = session.generate(&mut llm).unwrap();
+        assert_eq!(n, nada.config().n_candidates);
+        assert_eq!(session.stats().llm_tokens_spent, 0);
     }
 }

@@ -251,6 +251,7 @@ impl serde::Serialize for Budget {
         Value::Map(vec![
             ("max_candidates".into(), self.max_candidates.to_value()),
             ("max_epochs".into(), self.max_epochs.to_value()),
+            ("max_token_cost".into(), self.max_token_cost.to_value()),
         ])
     }
 }
@@ -260,6 +261,11 @@ impl serde::Deserialize for Budget {
         Ok(Self {
             max_candidates: Option::from_value(v.field("max_candidates")?)?,
             max_epochs: Option::from_value(v.field("max_epochs")?)?,
+            // Absent in snapshots written before token budgets existed.
+            max_token_cost: match v.field("max_token_cost") {
+                Ok(val) => Option::from_value(val)?,
+                Err(_) => None,
+            },
         })
     }
 }
@@ -351,6 +357,7 @@ impl serde::Serialize for SearchStats {
             ("skipped".into(), self.skipped.to_value()),
             ("epochs_spent".into(), self.epochs_spent.to_value()),
             ("epochs_saved".into(), self.epochs_saved.to_value()),
+            ("llm_tokens_spent".into(), self.llm_tokens_spent.to_value()),
         ])
     }
 }
@@ -364,6 +371,11 @@ impl serde::Deserialize for SearchStats {
             skipped: usize::from_value(v.field("skipped")?)?,
             epochs_spent: usize::from_value(v.field("epochs_spent")?)?,
             epochs_saved: usize::from_value(v.field("epochs_saved")?)?,
+            // Absent in snapshots written before token accounting existed.
+            llm_tokens_spent: match v.field("llm_tokens_spent") {
+                Ok(val) => u64::from_value(val)?,
+                Err(_) => 0,
+            },
         })
     }
 }
@@ -472,6 +484,7 @@ mod tests {
                 skipped: 3,
                 epochs_spent: 90,
                 epochs_saved: 20,
+                llm_tokens_spent: 512,
             },
         }
     }

@@ -4,19 +4,30 @@
 //! `{base}/chat/completions` as a single-user-message chat request, and
 //! parses `choices[0].message.content` back into a [`Completion`] (fenced
 //! code block → code, preceding prose → reasoning, mirroring the paper's
-//! chain-of-thought responses).
+//! chain-of-thought responses). Requests ride a persistent keep-alive
+//! [`Transport`]; the pooled variant ([`crate::pool::PooledClient`]) fans
+//! waves across several of them through the same crate-private request
+//! engine (`generate_over`).
 //!
 //! Transient failures — 429 rate limits (honoring `Retry-After`), 5xx,
-//! dropped or truncated connections — retry with exponential backoff.
-//! Other 4xx statuses fail fast: retrying a rejected request only burns
-//! quota. The API key is read from `NADA_API_KEY` *only*, and every error
-//! message passes through [`redact`] so the key cannot leak into logs,
-//! cassettes or panics.
+//! dropped or truncated connections — retry with exponential backoff
+//! (exponent capped, delay clamped to [`MAX_BACKOFF`]). A 429 routes its
+//! delay through the shared [`RateGovernor`] so *every* connection pauses,
+//! not just the one that tripped the limit. Other 4xx statuses fail fast:
+//! retrying a rejected request only burns quota. The API key is read from
+//! `NADA_API_KEY` *only*, and every error message passes through
+//! [`redact`] so the key cannot leak into logs, cassettes or panics.
+//!
+//! Responses carrying a chat-completions `usage` object feed the
+//! process-wide token meter (`nada_llm::global_token_meter`) and the
+//! `llm_tokens_prompt_total` / `llm_tokens_completion_total` counters —
+//! the substrate `--max-tokens-cost` budgets are enforced against.
 
-use crate::http::{post_json, Endpoint, HttpError};
+use crate::governor::RateGovernor;
+use crate::http::{Endpoint, HttpError, Transport};
 use crate::json::Json;
 use crate::redact::{redact, ApiKey};
-use nada_llm::{Completion, LlmClient, Prompt};
+use nada_llm::{global_token_meter, Completion, LlmClient, Prompt, TokenUsage};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
@@ -30,6 +41,9 @@ struct HttpMetrics {
     server_errors: Arc<nada_obs::Counter>,
     request_bytes: Arc<nada_obs::Counter>,
     response_bytes: Arc<nada_obs::Counter>,
+    conn_reuse: Arc<nada_obs::Counter>,
+    tokens_prompt: Arc<nada_obs::Counter>,
+    tokens_completion: Arc<nada_obs::Counter>,
     duration: Arc<nada_obs::Histogram>,
 }
 
@@ -42,6 +56,9 @@ fn http_metrics() -> &'static HttpMetrics {
         server_errors: nada_obs::counter("llm_http_server_errors_total"),
         request_bytes: nada_obs::counter("llm_http_request_bytes_total"),
         response_bytes: nada_obs::counter("llm_http_response_bytes_total"),
+        conn_reuse: nada_obs::counter("llm_http_conn_reuse_total"),
+        tokens_prompt: nada_obs::counter("llm_tokens_prompt_total"),
+        tokens_completion: nada_obs::counter("llm_tokens_completion_total"),
         duration: nada_obs::latency_histogram("llm_http_request_duration_ns"),
     })
 }
@@ -52,6 +69,24 @@ pub const API_KEY_ENV: &str = "NADA_API_KEY";
 /// Environment variable naming the chat-completions base URL
 /// (e.g. `http://127.0.0.1:8080/v1`).
 pub const API_BASE_ENV: &str = "NADA_API_BASE";
+
+/// Request header carrying the submission slot of a pooled wave, so
+/// loopback servers (and debugging proxies) can observe dispatch order
+/// even though every request in a wave has an identical body.
+pub const SLOT_HEADER: &str = "X-NADA-Slot";
+
+/// Longest delay the retry curve will ever sleep, whatever the attempt
+/// count or configured base.
+pub const MAX_BACKOFF: Duration = Duration::from_secs(60);
+
+/// The exponential backoff delay for retry `attempt` (0-based), with the
+/// exponent capped and the product clamped so large attempt counts can
+/// neither overflow the multiplication nor sleep unboundedly.
+fn backoff_delay(base: Duration, attempt: u32) -> Duration {
+    let factor = 1u32 << attempt.min(10);
+    base.checked_mul(factor)
+        .map_or(MAX_BACKOFF, |d| d.min(MAX_BACKOFF))
+}
 
 /// Connection and retry knobs for the HTTP backend.
 #[derive(Debug, Clone)]
@@ -65,7 +100,8 @@ pub struct HttpConfig {
     pub api_key: Option<ApiKey>,
     /// Retries after the first attempt (429/5xx/transport errors only).
     pub max_retries: u32,
-    /// Initial backoff; doubles per retry. `Retry-After` overrides it.
+    /// Initial backoff; doubles per retry up to [`MAX_BACKOFF`].
+    /// `Retry-After` overrides it.
     pub backoff: Duration,
     /// Per-request read/write timeout.
     pub timeout: Duration,
@@ -83,28 +119,8 @@ impl HttpConfig {
             timeout: Duration::from_secs(60),
         }
     }
-}
 
-/// A chat-completions client implementing [`LlmClient`].
-#[derive(Debug)]
-pub struct HttpClient {
-    cfg: HttpConfig,
-    endpoint: Endpoint,
-    requests_sent: usize,
-}
-
-impl HttpClient {
-    /// Builds a client, validating the base URL up front.
-    pub fn new(cfg: HttpConfig) -> Result<Self, HttpError> {
-        let endpoint = Endpoint::parse(&cfg.base)?;
-        Ok(Self {
-            cfg,
-            endpoint,
-            requests_sent: 0,
-        })
-    }
-
-    /// Builds a client from the environment: base URL from
+    /// Builds a config from the environment: base URL from
     /// [`API_BASE_ENV`] (required), key from [`API_KEY_ENV`] (optional —
     /// local proxies often need none).
     pub fn from_env(model: &str) -> Result<Self, HttpError> {
@@ -116,7 +132,171 @@ impl HttpClient {
         })?;
         let mut cfg = HttpConfig::new(base, model);
         cfg.api_key = std::env::var(API_KEY_ENV).ok().map(ApiKey::new);
-        Self::new(cfg)
+        Ok(cfg)
+    }
+}
+
+/// Scrubs the API key (when one is configured) out of outward-facing text.
+pub(crate) fn redact_text(key: Option<&ApiKey>, text: &str) -> String {
+    match key {
+        Some(key) => redact(text, key.expose()),
+        None => text.to_string(),
+    }
+}
+
+/// Applies [`redact_text`] to every string an error carries.
+pub(crate) fn redact_http_err(key: Option<&ApiKey>, e: HttpError) -> HttpError {
+    match e {
+        HttpError::BadUrl(m) => HttpError::BadUrl(redact_text(key, &m)),
+        HttpError::Connect(m) => HttpError::Connect(redact_text(key, &m)),
+        HttpError::Io(m) => HttpError::Io(redact_text(key, &m)),
+        HttpError::Malformed(m) => HttpError::Malformed(redact_text(key, &m)),
+        HttpError::Status { code, body } => HttpError::Status {
+            code,
+            body: redact_text(key, &body),
+        },
+        other => other,
+    }
+}
+
+/// One generation over one transport, with retry/backoff — the request
+/// engine shared by the serial [`HttpClient`] and every pooled
+/// connection. `slot` (a wave's submission index) is sent as
+/// [`SLOT_HEADER`] when present; `requests_sent` is incremented once per
+/// wire attempt. Every returned error has already been redacted.
+pub(crate) fn generate_over(
+    transport: &mut Transport,
+    cfg: &HttpConfig,
+    governor: &RateGovernor,
+    prompt: &Prompt,
+    slot: Option<usize>,
+    requests_sent: &mut usize,
+) -> Result<Completion, HttpError> {
+    let body = request_body(&cfg.model, prompt);
+    let mut headers = Vec::new();
+    if let Some(key) = &cfg.api_key {
+        headers.push((
+            "Authorization".to_string(),
+            format!("Bearer {}", key.expose()),
+        ));
+    }
+    if let Some(slot) = slot {
+        headers.push((SLOT_HEADER.to_string(), slot.to_string()));
+    }
+    let metrics = http_metrics();
+    let key = cfg.api_key.as_ref();
+    let mut attempt: u32 = 0;
+    loop {
+        // Wait out any shared pause (and pacing budget) before the wire.
+        governor.acquire();
+        *requests_sent += 1;
+        metrics.requests.inc();
+        metrics.request_bytes.add(body.len() as u64);
+        let result = {
+            let _span = metrics.duration.start_span();
+            transport.post_json("/chat/completions", &headers, &body)
+        };
+        if let Ok(resp) = &result {
+            metrics.response_bytes.add(resp.body.len() as u64);
+            if transport.last_reused() {
+                metrics.conn_reuse.inc();
+            }
+            if resp.status == 429 {
+                metrics.rate_limited.inc();
+            } else if (500..600).contains(&resp.status) {
+                metrics.server_errors.inc();
+            }
+        }
+        // `Retry-After` (seconds) on a 429 overrides the backoff curve.
+        let mut rate_limited = false;
+        let mut server_delay = None;
+        let error = match result {
+            Ok(resp) if resp.status == 200 => {
+                // Redact the *whole* body before anything else touches
+                // it: snippets could otherwise cut the key mid-string
+                // (making `redact` miss it), and a completion echoing
+                // the key must not carry it into cassettes.
+                let (completion, usage) =
+                    completion_from_response(&redact_text(key, &resp.body), prompt)
+                        .map_err(|e| redact_http_err(key, e))?;
+                global_token_meter().record(usage);
+                metrics.tokens_prompt.add(usage.prompt_tokens);
+                metrics.tokens_completion.add(usage.completion_tokens);
+                return Ok(completion);
+            }
+            Ok(resp) if resp.status == 429 || (500..600).contains(&resp.status) => {
+                if resp.status == 429 {
+                    rate_limited = true;
+                    server_delay = resp
+                        .header("retry-after")
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .map(Duration::from_secs);
+                }
+                HttpError::Status {
+                    code: resp.status,
+                    body: snippet(&redact_text(key, &resp.body)),
+                }
+            }
+            Ok(resp) => {
+                // Client errors (bad key, unknown model) are not
+                // transient; retrying only burns quota.
+                return Err(HttpError::Status {
+                    code: resp.status,
+                    body: snippet(&redact_text(key, &resp.body)),
+                });
+            }
+            Err(e @ HttpError::BadUrl(_)) => return Err(redact_http_err(key, e)),
+            Err(e) => e, // connect/io/truncated/malformed: transient
+        };
+        if attempt >= cfg.max_retries {
+            return Err(redact_http_err(key, error));
+        }
+        let delay = server_delay.unwrap_or_else(|| backoff_delay(cfg.backoff, attempt));
+        metrics.retries.inc();
+        if rate_limited {
+            // The backend limits per account, not per connection: pause
+            // *all* dispatch, then wait the pause out like everyone else.
+            governor.pause_for(delay);
+        } else {
+            std::thread::sleep(delay);
+        }
+        attempt += 1;
+    }
+}
+
+/// A chat-completions client implementing [`LlmClient`] over one
+/// persistent connection.
+#[derive(Debug)]
+pub struct HttpClient {
+    cfg: HttpConfig,
+    transport: Transport,
+    governor: Arc<RateGovernor>,
+    requests_sent: usize,
+}
+
+impl HttpClient {
+    /// Builds a client, validating the base URL up front. Dispatch is
+    /// gated by the [process-wide governor](RateGovernor::global).
+    pub fn new(cfg: HttpConfig) -> Result<Self, HttpError> {
+        Self::with_governor(cfg, Arc::clone(RateGovernor::global()))
+    }
+
+    /// Builds a client gated by an explicit governor (tests inject a
+    /// private one so scripted 429s cannot pause unrelated clients).
+    pub fn with_governor(cfg: HttpConfig, governor: Arc<RateGovernor>) -> Result<Self, HttpError> {
+        let endpoint = Endpoint::parse(&cfg.base)?;
+        let transport = Transport::new(endpoint, cfg.timeout);
+        Ok(Self {
+            cfg,
+            transport,
+            governor,
+            requests_sent: 0,
+        })
+    }
+
+    /// Builds a client from the environment (see [`HttpConfig::from_env`]).
+    pub fn from_env(model: &str) -> Result<Self, HttpError> {
+        Self::new(HttpConfig::from_env(model)?)
     }
 
     /// Requests actually sent (includes retries).
@@ -129,106 +309,17 @@ impl HttpClient {
         &self.cfg
     }
 
-    /// Scrubs the API key out of outward-facing text.
-    fn redacted(&self, text: &str) -> String {
-        match &self.cfg.api_key {
-            Some(key) => redact(text, key.expose()),
-            None => text.to_string(),
-        }
-    }
-
-    /// Applies [`HttpClient::redacted`] to every string an error carries.
-    fn redact_err(&self, e: HttpError) -> HttpError {
-        match e {
-            HttpError::BadUrl(m) => HttpError::BadUrl(self.redacted(&m)),
-            HttpError::Connect(m) => HttpError::Connect(self.redacted(&m)),
-            HttpError::Io(m) => HttpError::Io(self.redacted(&m)),
-            HttpError::Malformed(m) => HttpError::Malformed(self.redacted(&m)),
-            HttpError::Status { code, body } => HttpError::Status {
-                code,
-                body: self.redacted(&body),
-            },
-            other => other,
-        }
-    }
-
     /// One generation, with retry/backoff. Every returned error has
     /// already been redacted.
     pub fn try_generate(&mut self, prompt: &Prompt) -> Result<Completion, HttpError> {
-        let body = request_body(&self.cfg.model, prompt);
-        let mut headers = Vec::new();
-        if let Some(key) = &self.cfg.api_key {
-            headers.push((
-                "Authorization".to_string(),
-                format!("Bearer {}", key.expose()),
-            ));
-        }
-        let metrics = http_metrics();
-        let mut attempt: u32 = 0;
-        loop {
-            self.requests_sent += 1;
-            metrics.requests.inc();
-            metrics.request_bytes.add(body.len() as u64);
-            let result = {
-                let _span = metrics.duration.start_span();
-                post_json(
-                    &self.endpoint,
-                    "/chat/completions",
-                    &headers,
-                    &body,
-                    self.cfg.timeout,
-                )
-            };
-            if let Ok(resp) = &result {
-                metrics.response_bytes.add(resp.body.len() as u64);
-                if resp.status == 429 {
-                    metrics.rate_limited.inc();
-                } else if (500..600).contains(&resp.status) {
-                    metrics.server_errors.inc();
-                }
-            }
-            // `Retry-After` (seconds) on a 429 overrides the backoff curve.
-            let mut server_delay = None;
-            let error = match result {
-                Ok(resp) if resp.status == 200 => {
-                    // Redact the *whole* body before anything else touches
-                    // it: snippets could otherwise cut the key mid-string
-                    // (making `redact` miss it), and a completion echoing
-                    // the key must not carry it into cassettes.
-                    return completion_from_response(&self.redacted(&resp.body), prompt)
-                        .map_err(|e| self.redact_err(e));
-                }
-                Ok(resp) if resp.status == 429 || (500..600).contains(&resp.status) => {
-                    if resp.status == 429 {
-                        server_delay = resp
-                            .header("retry-after")
-                            .and_then(|v| v.parse::<u64>().ok())
-                            .map(Duration::from_secs);
-                    }
-                    HttpError::Status {
-                        code: resp.status,
-                        body: snippet(&self.redacted(&resp.body)),
-                    }
-                }
-                Ok(resp) => {
-                    // Client errors (bad key, unknown model) are not
-                    // transient; retrying only burns quota.
-                    return Err(HttpError::Status {
-                        code: resp.status,
-                        body: snippet(&self.redacted(&resp.body)),
-                    });
-                }
-                Err(e @ HttpError::BadUrl(_)) => return Err(self.redact_err(e)),
-                Err(e) => e, // connect/io/truncated/malformed: transient
-            };
-            if attempt >= self.cfg.max_retries {
-                return Err(self.redact_err(error));
-            }
-            let delay = server_delay.unwrap_or(self.cfg.backoff * 2u32.pow(attempt));
-            metrics.retries.inc();
-            std::thread::sleep(delay);
-            attempt += 1;
-        }
+        generate_over(
+            &mut self.transport,
+            &self.cfg,
+            &self.governor,
+            prompt,
+            None,
+            &mut self.requests_sent,
+        )
     }
 }
 
@@ -268,9 +359,14 @@ fn snippet(body: &str) -> String {
     body[..cut].to_string()
 }
 
-/// Extracts `choices[0].message.content` and splits it into a
-/// [`Completion`].
-fn completion_from_response(body: &str, prompt: &Prompt) -> Result<Completion, HttpError> {
+/// Extracts `choices[0].message.content` (split into a [`Completion`])
+/// and the billed token counts from the optional `usage` object —
+/// endpoints that omit `usage` bill zero, which keeps loopback fixtures
+/// and token-less proxies working.
+fn completion_from_response(
+    body: &str,
+    prompt: &Prompt,
+) -> Result<(Completion, TokenUsage), HttpError> {
     let doc = Json::parse(body)
         .map_err(|e| HttpError::Malformed(format!("response body: {e} — {}", snippet(body))))?;
     let content = doc
@@ -282,7 +378,23 @@ fn completion_from_response(body: &str, prompt: &Prompt) -> Result<Completion, H
         .ok_or_else(|| {
             HttpError::Malformed(format!("no choices[0].message.content — {}", snippet(body)))
         })?;
-    Ok(split_content(content, prompt.options.chain_of_thought))
+    let usage = doc
+        .get("usage")
+        .map(|u| TokenUsage {
+            prompt_tokens: u
+                .get("prompt_tokens")
+                .and_then(Json::num)
+                .map_or(0, |n| n.max(0.0) as u64),
+            completion_tokens: u
+                .get("completion_tokens")
+                .and_then(Json::num)
+                .map_or(0, |n| n.max(0.0) as u64),
+        })
+        .unwrap_or_default();
+    Ok((
+        split_content(content, prompt.options.chain_of_thought),
+        usage,
+    ))
 }
 
 /// Splits assistant text into (reasoning, code): the first fenced block is
@@ -337,6 +449,24 @@ mod tests {
     }
 
     #[test]
+    fn backoff_exponent_is_capped_and_delay_clamped() {
+        let base = Duration::from_millis(500);
+        assert_eq!(backoff_delay(base, 0), base);
+        assert_eq!(backoff_delay(base, 1), base * 2);
+        assert_eq!(backoff_delay(base, 2), base * 4);
+        // Pre-fix, attempt 32 hit `2u32.pow(32)` — an overflow panic in
+        // debug and a zero-delay hot loop in release. Now it clamps.
+        for attempt in [7, 10, 11, 31, 32, 100, u32::MAX] {
+            let d = backoff_delay(base, attempt);
+            assert!(d <= MAX_BACKOFF, "attempt {attempt}: {d:?}");
+            assert!(d >= base, "attempt {attempt}: {d:?}");
+        }
+        assert_eq!(backoff_delay(base, u32::MAX), MAX_BACKOFF);
+        // A large base cannot multiply past the clamp either.
+        assert_eq!(backoff_delay(Duration::from_secs(40), 5), MAX_BACKOFF);
+    }
+
+    #[test]
     fn splits_reasoning_and_fenced_code() {
         let c = split_content(
             "Idea: smooth the throughput.\n```\nstate s { feature f = 1.0; }\n```\nthanks!",
@@ -367,8 +497,19 @@ mod tests {
     #[test]
     fn completion_parses_from_chat_response() {
         let body = r#"{"choices":[{"index":0,"message":{"role":"assistant","content":"```\nstate x { feature f = 0.5; }\n```"}}]}"#;
-        let c = completion_from_response(body, &state_prompt()).unwrap();
+        let (c, usage) = completion_from_response(body, &state_prompt()).unwrap();
         assert_eq!(c.code, "state x { feature f = 0.5; }\n");
+        // No usage object: billed zero, not an error.
+        assert_eq!(usage, TokenUsage::default());
+    }
+
+    #[test]
+    fn usage_tokens_are_parsed_from_the_response() {
+        let body = r#"{"choices":[{"index":0,"message":{"role":"assistant","content":"x"}}],"usage":{"prompt_tokens":321,"completion_tokens":45,"total_tokens":366}}"#;
+        let (_, usage) = completion_from_response(body, &state_prompt()).unwrap();
+        assert_eq!(usage.prompt_tokens, 321);
+        assert_eq!(usage.completion_tokens, 45);
+        assert_eq!(usage.total(), 366);
     }
 
     #[test]

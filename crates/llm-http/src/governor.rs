@@ -1,0 +1,223 @@
+//! The process-wide rate-limit governor every LLM connection consults.
+//!
+//! Hosted chat-completions backends rate-limit per account, not per
+//! connection — when one pooled connection sees a 429, hammering the
+//! endpoint from the other N-1 only deepens the penalty. So throttle
+//! state is shared: a single [`RateGovernor`] gates *all* dispatch, and a
+//! `Retry-After` observed anywhere pauses everyone until it elapses.
+//!
+//! Two mechanisms compose:
+//!
+//! * **pause gating** (always on): [`RateGovernor::pause_for`] sets a
+//!   deadline; [`RateGovernor::acquire`] blocks until it passes. Driven by
+//!   429 responses.
+//! * **token bucket** (opt-in): with a requests-per-second budget
+//!   (`NADA_LLM_RPS`, fractional values allowed) each `acquire` also
+//!   spends a token, smoothing request onset so the pool does not trip
+//!   the server's limiter in the first place. Unset means no proactive
+//!   pacing — the governor only reacts to 429s.
+//!
+//! Every pause increments the `llm_pool_throttled_total` counter
+//! (`nada-obs`), which the CI loopback e2e asserts on.
+
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Environment variable holding the proactive requests-per-second budget.
+pub const RPS_ENV: &str = "NADA_LLM_RPS";
+
+/// Token-bucket burst capacity (requests that may start back-to-back
+/// before pacing kicks in).
+const BURST: f64 = 4.0;
+
+#[derive(Debug)]
+struct GovernorState {
+    /// No request may start before this instant (set by 429s).
+    pause_until: Option<Instant>,
+    /// Token bucket, present only when an RPS budget is configured.
+    tokens: f64,
+    last_refill: Instant,
+}
+
+/// A shared rate limiter: pause gating driven by 429 responses plus an
+/// optional proactive token bucket. Clone the [`Arc`] into every
+/// connection of every pool that talks to the same backend — the
+/// [`RateGovernor::global`] instance is what production pools use, so
+/// daemon lanes and concurrent searches in one process share one budget.
+#[derive(Debug)]
+pub struct RateGovernor {
+    state: Mutex<GovernorState>,
+    wakeup: Condvar,
+    /// Requests per second, `None` = no proactive pacing.
+    rps: Option<f64>,
+}
+
+impl RateGovernor {
+    /// A governor with an explicit pacing budget (`None` disables the
+    /// token bucket; pause gating is always active).
+    pub fn new(rps: Option<f64>) -> Self {
+        Self {
+            state: Mutex::new(GovernorState {
+                pause_until: None,
+                tokens: BURST,
+                last_refill: Instant::now(),
+            }),
+            wakeup: Condvar::new(),
+            rps: rps.filter(|r| *r > 0.0),
+        }
+    }
+
+    /// A governor configured from [`RPS_ENV`].
+    pub fn from_env() -> Self {
+        Self::new(
+            std::env::var(RPS_ENV)
+                .ok()
+                .and_then(|v| v.trim().parse::<f64>().ok()),
+        )
+    }
+
+    /// The process-wide governor (configured from the environment on
+    /// first use). All production clients share this one.
+    pub fn global() -> &'static Arc<RateGovernor> {
+        static GOVERNOR: OnceLock<Arc<RateGovernor>> = OnceLock::new();
+        GOVERNOR.get_or_init(|| Arc::new(RateGovernor::from_env()))
+    }
+
+    /// Blocks until dispatch is permitted: any active pause has elapsed
+    /// and (when pacing is configured) a token is available.
+    pub fn acquire(&self) {
+        let mut state = self.state.lock().expect("governor lock");
+        loop {
+            let now = Instant::now();
+            // 1. Honor an active pause.
+            if let Some(until) = state.pause_until {
+                if let Some(remaining) = until.checked_duration_since(now) {
+                    let (next, _) = self
+                        .wakeup
+                        .wait_timeout(state, remaining)
+                        .expect("governor lock");
+                    state = next;
+                    continue;
+                }
+                state.pause_until = None;
+            }
+            // 2. Spend a token when pacing is on.
+            let Some(rps) = self.rps else { return };
+            let elapsed = now.duration_since(state.last_refill).as_secs_f64();
+            state.tokens = (state.tokens + elapsed * rps).min(BURST);
+            state.last_refill = now;
+            if state.tokens >= 1.0 {
+                state.tokens -= 1.0;
+                return;
+            }
+            let wait = Duration::from_secs_f64((1.0 - state.tokens) / rps);
+            let (next, _) = self
+                .wakeup
+                .wait_timeout(state, wait)
+                .expect("governor lock");
+            state = next;
+        }
+    }
+
+    /// Pauses *all* dispatch for `delay` (measured from now). Called when
+    /// any connection sees a 429; an already-longer pause is kept.
+    pub fn pause_for(&self, delay: Duration) {
+        let until = Instant::now() + delay;
+        let mut state = self.state.lock().expect("governor lock");
+        let extended = match state.pause_until {
+            Some(existing) => until > existing,
+            None => true,
+        };
+        if extended {
+            state.pause_until = Some(until);
+            throttled_counter().inc();
+        }
+        drop(state);
+        // Waiters re-check the deadline (their timed waits would find it
+        // anyway; this just makes extension prompt).
+        self.wakeup.notify_all();
+    }
+
+    /// The currently active pause deadline, if any (for tests/telemetry).
+    pub fn paused_until(&self) -> Option<Instant> {
+        let state = self.state.lock().expect("governor lock");
+        state.pause_until.filter(|u| *u > Instant::now())
+    }
+}
+
+impl Default for RateGovernor {
+    fn default() -> Self {
+        Self::new(None)
+    }
+}
+
+fn throttled_counter() -> Arc<nada_obs::Counter> {
+    static COUNTER: OnceLock<Arc<nada_obs::Counter>> = OnceLock::new();
+    Arc::clone(COUNTER.get_or_init(|| nada_obs::counter("llm_pool_throttled_total")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpaced_governor_admits_immediately() {
+        let gov = RateGovernor::new(None);
+        let start = Instant::now();
+        for _ in 0..100 {
+            gov.acquire();
+        }
+        assert!(start.elapsed() < Duration::from_millis(100));
+        assert!(gov.paused_until().is_none());
+    }
+
+    #[test]
+    fn pause_blocks_every_acquirer_until_the_deadline() {
+        let gov = Arc::new(RateGovernor::new(None));
+        gov.pause_for(Duration::from_millis(120));
+        let start = Instant::now();
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let gov = Arc::clone(&gov);
+                std::thread::spawn(move || {
+                    gov.acquire();
+                    start.elapsed()
+                })
+            })
+            .collect();
+        for w in workers {
+            let waited = w.join().unwrap();
+            assert!(
+                waited >= Duration::from_millis(100),
+                "acquire returned after {waited:?}, before the pause elapsed"
+            );
+        }
+    }
+
+    #[test]
+    fn longer_pause_wins_shorter_pause_does_not_shrink() {
+        let gov = RateGovernor::new(None);
+        gov.pause_for(Duration::from_millis(200));
+        let deadline = gov.paused_until().expect("paused");
+        gov.pause_for(Duration::from_millis(10));
+        assert_eq!(gov.paused_until(), Some(deadline));
+        gov.pause_for(Duration::from_millis(500));
+        assert!(gov.paused_until().expect("still paused") > deadline);
+    }
+
+    #[test]
+    fn token_bucket_paces_beyond_the_burst() {
+        // 50 rps, burst 4: ten acquires must spread ≥ 6 tokens of refill
+        // (≈120ms); keep margins loose for CI.
+        let gov = RateGovernor::new(Some(50.0));
+        let start = Instant::now();
+        for _ in 0..10 {
+            gov.acquire();
+        }
+        assert!(
+            start.elapsed() >= Duration::from_millis(100),
+            "10 acquires at 50rps finished in {:?}",
+            start.elapsed()
+        );
+    }
+}

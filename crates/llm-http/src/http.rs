@@ -1,11 +1,18 @@
 //! A dependency-free HTTP/1.1 client over `std::net::TcpStream`.
 //!
 //! The build environment is offline (no `reqwest`/`hyper`), so this is the
-//! whole transport: one `POST` per request on a fresh connection
-//! (`Connection: close`), with `Content-Length` and chunked bodies
-//! supported on the way back. Plain `http://` only — pointing the client
-//! at a TLS endpoint is a configuration error (run a local proxy or an
-//! http-speaking gateway instead).
+//! whole transport. Two shapes are offered:
+//!
+//! * [`post_json`] — one `POST` on a fresh connection
+//!   (`Connection: close`), the original one-shot path;
+//! * [`Transport`] — a persistent keep-alive connection that reads exactly
+//!   one response per request (incremental `Content-Length` and chunked
+//!   framing) and transparently reconnects once when a pooled connection
+//!   has gone stale between waves.
+//!
+//! Plain `http://` only — pointing the client at a TLS endpoint is a
+//! configuration error (run a local proxy or an http-speaking gateway
+//! instead).
 
 use std::fmt;
 use std::io::{Read, Write};
@@ -165,12 +172,266 @@ pub fn post_json(
     parse_response(&raw)
 }
 
-/// Parses a complete HTTP/1.1 response held in memory.
-fn parse_response(raw: &[u8]) -> Result<Response, HttpError> {
-    let header_end = find_header_end(raw)
-        .ok_or_else(|| HttpError::Malformed("no header/body separator".into()))?;
-    let head = std::str::from_utf8(&raw[..header_end])
-        .map_err(|_| HttpError::Malformed("non-utf8 headers".into()))?;
+/// A persistent keep-alive HTTP/1.1 connection to one endpoint.
+///
+/// Unlike [`post_json`] — which opens a fresh TCP connection, sends
+/// `Connection: close` and reads to EOF — a `Transport` keeps the socket
+/// open across requests and reads exactly one framed response per request
+/// (`Content-Length` or chunked). Connection pools hold one `Transport`
+/// per slot; connections are opened lazily on first use and re-opened
+/// transparently (once per request) when the server has closed an idle
+/// connection between waves.
+#[derive(Debug)]
+pub struct Transport {
+    endpoint: Endpoint,
+    timeout: Duration,
+    stream: Option<TcpStream>,
+    /// Unconsumed bytes read past the end of a previous response.
+    pending: Vec<u8>,
+    reused: u64,
+    last_reused: bool,
+}
+
+impl Transport {
+    /// A transport for `endpoint`. No connection is opened until the
+    /// first request.
+    pub fn new(endpoint: Endpoint, timeout: Duration) -> Self {
+        Self {
+            endpoint,
+            timeout,
+            stream: None,
+            pending: Vec::new(),
+            reused: 0,
+            last_reused: false,
+        }
+    }
+
+    /// The endpoint this transport speaks to.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// How many requests rode an already-open connection.
+    pub fn reuse_count(&self) -> u64 {
+        self.reused
+    }
+
+    /// Whether the most recent request reused an open connection.
+    pub fn last_reused(&self) -> bool {
+        self.last_reused
+    }
+
+    /// Sends one `POST` with a JSON body and reads exactly one response,
+    /// leaving the connection open for the next request unless the server
+    /// asked to close it. A request that fails on a *reused* connection is
+    /// retried once on a fresh one — an idle keep-alive socket the server
+    /// has quietly closed is indistinguishable from a live one until the
+    /// write or read fails.
+    pub fn post_json(
+        &mut self,
+        path: &str,
+        headers: &[(String, String)],
+        body: &str,
+    ) -> Result<Response, HttpError> {
+        let reusing = self.stream.is_some();
+        self.last_reused = reusing;
+        match self.request_once(path, headers, body) {
+            Ok(resp) => {
+                if reusing {
+                    self.reused += 1;
+                }
+                Ok(resp)
+            }
+            Err(e) if reusing && matches!(e, HttpError::Io(_) | HttpError::Truncated { .. }) => {
+                // Stale keep-alive connection: reconnect once.
+                self.disconnect();
+                self.last_reused = false;
+                self.request_once(path, headers, body)
+            }
+            Err(e) => {
+                self.disconnect();
+                Err(e)
+            }
+        }
+    }
+
+    /// Drops the connection (the next request reconnects).
+    pub fn disconnect(&mut self) {
+        self.stream = None;
+        self.pending.clear();
+    }
+
+    fn request_once(
+        &mut self,
+        path: &str,
+        headers: &[(String, String)],
+        body: &str,
+    ) -> Result<Response, HttpError> {
+        if self.stream.is_none() {
+            let addr = format!("{}:{}", self.endpoint.host, self.endpoint.port);
+            let stream = TcpStream::connect(&addr)
+                .map_err(|e| HttpError::Connect(format!("{addr}: {e}")))?;
+            stream
+                .set_read_timeout(Some(self.timeout))
+                .map_err(|e| HttpError::Io(e.to_string()))?;
+            stream
+                .set_write_timeout(Some(self.timeout))
+                .map_err(|e| HttpError::Io(e.to_string()))?;
+            self.pending.clear();
+            self.stream = Some(stream);
+        }
+        let full_path = format!("{}{}", self.endpoint.base_path, path);
+        let mut req = format!(
+            "POST {full_path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: keep-alive\r\n",
+            self.endpoint.host,
+            body.len()
+        );
+        for (k, v) in headers {
+            req.push_str(&format!("{k}: {v}\r\n"));
+        }
+        req.push_str("\r\n");
+        req.push_str(body);
+
+        let result = {
+            let stream = self.stream.as_mut().expect("connected above");
+            stream
+                .write_all(req.as_bytes())
+                .map_err(|e| HttpError::Io(e.to_string()))
+                .and_then(|()| read_one_response(stream, &mut self.pending))
+        };
+        match result {
+            Ok(resp) => {
+                let close = resp
+                    .header("connection")
+                    .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+                if close {
+                    self.disconnect();
+                }
+                Ok(resp)
+            }
+            Err(e) => {
+                self.disconnect();
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Reads exactly one HTTP/1.1 response from an open stream. `pending`
+/// holds bytes already read past the previous response; bytes past *this*
+/// response are left in it.
+fn read_one_response(stream: &mut TcpStream, pending: &mut Vec<u8>) -> Result<Response, HttpError> {
+    let header_end = loop {
+        if let Some(pos) = find_header_end(pending) {
+            break pos;
+        }
+        fill(stream, pending, "connection closed before response headers")?;
+    };
+    let (status, headers) = parse_head(&pending[..header_end])?;
+    pending.drain(..header_end + 4);
+
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let body = if chunked {
+        read_chunked_body(stream, pending)?
+    } else if let Some(len) = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+    {
+        take_exact(stream, pending, len)?
+    } else {
+        // No framing: the body runs to EOF (the server will close).
+        let mut rest = std::mem::take(pending);
+        let mut buf = [0u8; 4096];
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => rest.extend_from_slice(&buf[..n]),
+                Err(e) => return Err(HttpError::Io(e.to_string())),
+            }
+        }
+        rest
+    };
+    let body = String::from_utf8(body).map_err(|_| HttpError::Malformed("non-utf8 body".into()))?;
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Reads more bytes into `pending`, failing on EOF.
+fn fill(stream: &mut TcpStream, pending: &mut Vec<u8>, on_eof: &str) -> Result<(), HttpError> {
+    let mut buf = [0u8; 4096];
+    match stream.read(&mut buf) {
+        Ok(0) => Err(HttpError::Io(on_eof.into())),
+        Ok(n) => {
+            pending.extend_from_slice(&buf[..n]);
+            Ok(())
+        }
+        Err(e) => Err(HttpError::Io(e.to_string())),
+    }
+}
+
+/// Takes exactly `n` bytes from `pending`, reading as needed.
+fn take_exact(
+    stream: &mut TcpStream,
+    pending: &mut Vec<u8>,
+    n: usize,
+) -> Result<Vec<u8>, HttpError> {
+    while pending.len() < n {
+        fill(stream, pending, "connection closed mid-body").map_err(|e| match e {
+            HttpError::Io(_) => HttpError::Truncated {
+                expected: n,
+                got: pending.len(),
+            },
+            other => other,
+        })?;
+    }
+    Ok(pending.drain(..n).collect())
+}
+
+/// Takes one CRLF-terminated line from `pending`, reading as needed.
+fn take_line(stream: &mut TcpStream, pending: &mut Vec<u8>) -> Result<String, HttpError> {
+    let end = loop {
+        if let Some(pos) = pending.windows(2).position(|w| w == b"\r\n") {
+            break pos;
+        }
+        fill(stream, pending, "connection closed mid-chunk")?;
+    };
+    let line: Vec<u8> = pending.drain(..end + 2).collect();
+    String::from_utf8(line[..end].to_vec())
+        .map_err(|_| HttpError::Malformed("bad chunk line".into()))
+}
+
+/// Incrementally reads a chunked body until the terminal zero chunk.
+fn read_chunked_body(stream: &mut TcpStream, pending: &mut Vec<u8>) -> Result<Vec<u8>, HttpError> {
+    let mut out = Vec::new();
+    loop {
+        let size_text = take_line(stream, pending)?;
+        let size = usize::from_str_radix(size_text.trim(), 16)
+            .map_err(|_| HttpError::Malformed(format!("bad chunk size `{size_text}`")))?;
+        if size == 0 {
+            // Trailer section: discard lines up to the blank terminator.
+            loop {
+                if take_line(stream, pending)?.is_empty() {
+                    return Ok(out);
+                }
+            }
+        }
+        let chunk = take_exact(stream, pending, size + 2)?;
+        out.extend_from_slice(&chunk[..size]);
+    }
+}
+
+/// Parses the status line + header block (everything before the blank
+/// line) of an HTTP/1.1 response.
+fn parse_head(raw: &[u8]) -> Result<(u16, Vec<(String, String)>), HttpError> {
+    let head =
+        std::str::from_utf8(raw).map_err(|_| HttpError::Malformed("non-utf8 headers".into()))?;
     let mut lines = head.split("\r\n");
     let status_line = lines
         .next()
@@ -196,6 +457,14 @@ fn parse_response(raw: &[u8]) -> Result<Response, HttpError> {
             .ok_or_else(|| HttpError::Malformed(format!("bad header `{line}`")))?;
         headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
     }
+    Ok((status, headers))
+}
+
+/// Parses a complete HTTP/1.1 response held in memory.
+fn parse_response(raw: &[u8]) -> Result<Response, HttpError> {
+    let header_end = find_header_end(raw)
+        .ok_or_else(|| HttpError::Malformed("no header/body separator".into()))?;
+    let (status, headers) = parse_head(&raw[..header_end])?;
 
     let body_bytes = &raw[header_end + 4..];
     let chunked = headers
@@ -313,5 +582,110 @@ mod tests {
     fn malformed_responses_error() {
         assert!(parse_response(b"not http at all").is_err());
         assert!(parse_response(b"HTTP/1.1 abc OK\r\n\r\n").is_err());
+    }
+
+    use std::net::TcpListener;
+
+    fn ok_response(body: &str) -> String {
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    }
+
+    #[test]
+    fn transport_reuses_one_connection_across_requests() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = listener.local_addr().unwrap().port();
+        let server = std::thread::spawn(move || {
+            // One accepted connection serves both requests.
+            let (mut stream, _) = listener.accept().unwrap();
+            for i in 0..2 {
+                let mut buf = [0u8; 4096];
+                let mut raw = Vec::new();
+                while find_header_end(&raw).is_none() {
+                    let n = stream.read(&mut buf).unwrap();
+                    assert!(n > 0, "client hung up early");
+                    raw.extend_from_slice(&buf[..n]);
+                }
+                // Requests are tiny; headers+body arrive together here.
+                stream
+                    .write_all(ok_response(&format!("reply {i}")).as_bytes())
+                    .unwrap();
+            }
+        });
+        let endpoint = Endpoint::parse(&format!("http://127.0.0.1:{port}/v1")).unwrap();
+        let mut t = Transport::new(endpoint, Duration::from_secs(5));
+        let first = t.post_json("/x", &[], "{}").unwrap();
+        assert_eq!(first.body, "reply 0");
+        assert!(!t.last_reused());
+        let second = t.post_json("/x", &[], "{}").unwrap();
+        assert_eq!(second.body, "reply 1");
+        assert!(t.last_reused());
+        assert_eq!(t.reuse_count(), 1);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn transport_reconnects_when_the_idle_connection_went_stale() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = listener.local_addr().unwrap().port();
+        let server = std::thread::spawn(move || {
+            // Two separate connections: each serves one response, and the
+            // first is closed immediately afterwards.
+            for i in 0..2 {
+                let (mut stream, _) = listener.accept().unwrap();
+                let mut buf = [0u8; 4096];
+                let mut raw = Vec::new();
+                while find_header_end(&raw).is_none() {
+                    let n = stream.read(&mut buf).unwrap();
+                    if n == 0 {
+                        return;
+                    }
+                    raw.extend_from_slice(&buf[..n]);
+                }
+                stream
+                    .write_all(ok_response(&format!("reply {i}")).as_bytes())
+                    .unwrap();
+                drop(stream);
+            }
+        });
+        let endpoint = Endpoint::parse(&format!("http://127.0.0.1:{port}/v1")).unwrap();
+        let mut t = Transport::new(endpoint, Duration::from_secs(5));
+        assert_eq!(t.post_json("/x", &[], "{}").unwrap().body, "reply 0");
+        // Give the server's close time to land so the reuse attempt fails.
+        std::thread::sleep(Duration::from_millis(50));
+        let second = t.post_json("/x", &[], "{}").unwrap();
+        assert_eq!(second.body, "reply 1");
+        assert!(!t.last_reused(), "retry went over a fresh connection");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn transport_reads_chunked_keepalive_responses() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = listener.local_addr().unwrap().port();
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 4096];
+            let mut raw = Vec::new();
+            while find_header_end(&raw).is_none() {
+                let n = stream.read(&mut buf).unwrap();
+                if n == 0 {
+                    return;
+                }
+                raw.extend_from_slice(&buf[..n]);
+            }
+            stream
+                .write_all(
+                    b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n\
+                      5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n",
+                )
+                .unwrap();
+        });
+        let endpoint = Endpoint::parse(&format!("http://127.0.0.1:{port}/v1")).unwrap();
+        let mut t = Transport::new(endpoint, Duration::from_secs(5));
+        assert_eq!(t.post_json("/x", &[], "{}").unwrap().body, "hello world");
     }
 }

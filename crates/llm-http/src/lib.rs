@@ -7,15 +7,24 @@
 //! * [`json`] — a minimal hand-rolled JSON encoder/decoder covering the
 //!   chat-completions wire format;
 //! * [`http`] — an HTTP/1.1 client over `std::net::TcpStream`
-//!   (`Content-Length` and chunked bodies, timeouts, `http://` only);
+//!   (`Content-Length` and chunked bodies, timeouts, `http://` only),
+//!   both one-shot and persistent keep-alive ([`Transport`]);
 //! * [`client::HttpClient`] — the OpenAI-style chat-completions adapter
-//!   implementing [`nada_llm::LlmClient`], with retry/backoff and the
-//!   API key sourced from `NADA_API_KEY` alone;
+//!   implementing [`nada_llm::LlmClient`], with retry/backoff (capped
+//!   exponent, clamped delay), token-usage accounting, and the API key
+//!   sourced from `NADA_API_KEY` alone;
+//! * [`pool`] — [`ConnPool`] (N persistent connections, shared
+//!   process-wide per endpoint) and [`PooledClient`] (fans
+//!   `generate_wave` across the pool in submission-order slots);
+//! * [`governor`] — the process-wide [`RateGovernor`]: one 429 anywhere
+//!   pauses every connection, with an optional `NADA_LLM_RPS` token
+//!   bucket for proactive pacing;
 //! * [`redact`](mod@redact) — secret hygiene: the key lives in an [`ApiKey`] wrapper
 //!   and every outward-facing string is scrubbed;
-//! * [`server::TestServer`] — a loopback scripted server so HTTP behavior
-//!   (happy path, 500 retries, truncated bodies, 429 backoff) is
-//!   integration-tested with no real network.
+//! * [`server`] — loopback scripted servers ([`TestServer`] sequential,
+//!   [`PoolServer`] concurrent keep-alive) so HTTP behavior — happy path,
+//!   500 retries, truncated bodies, 429 backoff, wave ordering, shared
+//!   throttling — is integration-tested with no real network.
 //!
 //! Recording a search through `nada_llm::RecordingClient` while this
 //! backend generates produces an on-disk cassette replayable by
@@ -23,13 +32,17 @@
 //! `nada-core` wires together.
 
 pub mod client;
+pub mod governor;
 pub mod http;
 pub mod json;
+pub mod pool;
 pub mod redact;
 pub mod server;
 
-pub use client::{HttpClient, HttpConfig, API_BASE_ENV, API_KEY_ENV};
-pub use http::{Endpoint, HttpError, Response};
+pub use client::{HttpClient, HttpConfig, API_BASE_ENV, API_KEY_ENV, MAX_BACKOFF, SLOT_HEADER};
+pub use governor::{RateGovernor, RPS_ENV};
+pub use http::{Endpoint, HttpError, Response, Transport};
 pub use json::{Json, JsonError};
+pub use pool::{configured_conns, ConnPool, PooledClient, CONNS_ENV};
 pub use redact::{redact, ApiKey, REDACTED};
-pub use server::{Received, Scripted, TestServer};
+pub use server::{PoolArrival, PoolBehavior, PoolServer, Received, Scripted, TestServer};

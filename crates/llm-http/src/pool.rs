@@ -1,0 +1,261 @@
+//! The connection pool and the pooled chat-completions client.
+//!
+//! A [`ConnPool`] holds N persistent keep-alive [`Transport`]s to one
+//! endpoint; a [`PooledClient`] implements [`LlmClient`] on top of it,
+//! reporting `wave_size() == N` and fanning each wave across the
+//! connections with `nada_llm::ParallelGen` — completions land in
+//! submission-order slots, so pooled results are order-stable no matter
+//! how the backend interleaves its responses. Every connection runs the
+//! same request engine as the serial client (retry, redaction, token
+//! accounting) and consults the same [`RateGovernor`], so one 429 pauses
+//! the whole pool.
+//!
+//! Pools are shared process-wide per endpoint ([`ConnPool::shared`]):
+//! daemon lanes that resolve the same base URL reuse one set of sockets
+//! instead of opening `lanes × N` of them. Pool width comes from
+//! [`CONNS_ENV`], defaulting to `nada_exec::scheduler_lanes()` so LLM
+//! concurrency scales with the same knob as everything else in the
+//! process.
+
+use crate::client::{generate_over, HttpConfig};
+use crate::governor::RateGovernor;
+use crate::http::{Endpoint, HttpError, Transport};
+use nada_llm::{Completion, LlmClient, ParallelGen, Prompt, WaveWorker};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Environment variable fixing the pool width (number of persistent
+/// connections / in-flight requests). Unset: `nada_exec::scheduler_lanes()`.
+pub const CONNS_ENV: &str = "NADA_LLM_CONNS";
+
+/// The configured pool width: [`CONNS_ENV`] when set to a positive
+/// integer, else the process's scheduler-lane count.
+pub fn configured_conns() -> usize {
+    std::env::var(CONNS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or_else(nada_exec::scheduler_lanes)
+}
+
+/// N persistent keep-alive connections to one endpoint. Each slot is a
+/// [`Transport`] behind its own lock, so N requests proceed in parallel
+/// while a single wave worker drives each connection at a time.
+#[derive(Debug)]
+pub struct ConnPool {
+    endpoint: Endpoint,
+    slots: Vec<Mutex<Transport>>,
+}
+
+impl ConnPool {
+    /// A private pool of `conns` connections (connections open lazily on
+    /// first use).
+    pub fn new(endpoint: Endpoint, timeout: Duration, conns: usize) -> Self {
+        let conns = conns.max(1);
+        Self {
+            slots: (0..conns)
+                .map(|_| Mutex::new(Transport::new(endpoint.clone(), timeout)))
+                .collect(),
+            endpoint,
+        }
+    }
+
+    /// The process-wide pool for `endpoint`, created with `conns`
+    /// connections on first request. Later callers share the existing
+    /// pool whatever width they asked for — one endpoint, one socket set.
+    pub fn shared(endpoint: &Endpoint, timeout: Duration, conns: usize) -> Arc<ConnPool> {
+        static POOLS: OnceLock<Mutex<HashMap<String, Arc<ConnPool>>>> = OnceLock::new();
+        let key = format!("{}:{}{}", endpoint.host, endpoint.port, endpoint.base_path);
+        let mut pools = POOLS
+            .get_or_init(|| Mutex::new(HashMap::new()))
+            .lock()
+            .expect("pool registry lock");
+        Arc::clone(
+            pools
+                .entry(key)
+                .or_insert_with(|| Arc::new(ConnPool::new(endpoint.clone(), timeout, conns))),
+        )
+    }
+
+    /// Pool width (persistent connections).
+    pub fn size(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The endpoint all connections speak to.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Total requests that rode an already-open connection, across slots.
+    pub fn reuse_count(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| s.lock().expect("conn slot lock").reuse_count())
+            .sum()
+    }
+}
+
+/// One wave worker: drives one pool slot's connection through the shared
+/// request engine.
+struct PoolWorker<'a> {
+    pool: &'a ConnPool,
+    conn: usize,
+    cfg: &'a HttpConfig,
+    governor: &'a RateGovernor,
+    requests_sent: &'a AtomicUsize,
+}
+
+impl WaveWorker for PoolWorker<'_> {
+    fn generate(&mut self, prompt: &Prompt, slot: usize) -> Completion {
+        let mut transport = self.pool.slots[self.conn].lock().expect("conn slot lock");
+        let mut sent = 0usize;
+        let result = generate_over(
+            &mut transport,
+            self.cfg,
+            self.governor,
+            prompt,
+            Some(slot),
+            &mut sent,
+        );
+        self.requests_sent.fetch_add(sent, Ordering::Relaxed);
+        // Same contract as the serial client: the trait is infallible, so
+        // an exhausted backend aborts the search loudly (the panic crosses
+        // the wave scope back to the caller). Already redacted.
+        result.unwrap_or_else(|e| panic!("http LLM backend failed after retries: {e}"))
+    }
+}
+
+/// A chat-completions client that fans waves across a [`ConnPool`].
+#[derive(Debug)]
+pub struct PooledClient {
+    cfg: HttpConfig,
+    pool: Arc<ConnPool>,
+    governor: Arc<RateGovernor>,
+    requests_sent: AtomicUsize,
+}
+
+impl PooledClient {
+    /// Builds a pooled client over the [shared](ConnPool::shared) pool
+    /// for the config's endpoint ([`configured_conns`] wide) and the
+    /// [global governor](RateGovernor::global).
+    pub fn new(cfg: HttpConfig) -> Result<Self, HttpError> {
+        let endpoint = Endpoint::parse(&cfg.base)?;
+        let pool = ConnPool::shared(&endpoint, cfg.timeout, configured_conns());
+        Ok(Self::with_parts(
+            cfg,
+            pool,
+            Arc::clone(RateGovernor::global()),
+        ))
+    }
+
+    /// Builds a pooled client from the environment (base URL from
+    /// `NADA_API_BASE`, key from `NADA_API_KEY`).
+    pub fn from_env(model: &str) -> Result<Self, HttpError> {
+        Self::new(HttpConfig::from_env(model)?)
+    }
+
+    /// Builds a pooled client over an explicit pool and governor (tests
+    /// inject private ones so scripted 429s cannot pause unrelated
+    /// clients and pool width is under the test's control).
+    pub fn with_parts(cfg: HttpConfig, pool: Arc<ConnPool>, governor: Arc<RateGovernor>) -> Self {
+        Self {
+            cfg,
+            pool,
+            governor,
+            requests_sent: AtomicUsize::new(0),
+        }
+    }
+
+    /// Requests actually sent (includes retries), across all connections.
+    pub fn requests_sent(&self) -> usize {
+        self.requests_sent.load(Ordering::Relaxed)
+    }
+
+    /// The pool this client dispatches over.
+    pub fn pool(&self) -> &Arc<ConnPool> {
+        &self.pool
+    }
+
+    /// One generation with a `Result` surface (wave dispatch goes through
+    /// the infallible trait; see [`PooledClient::generate_wave`]).
+    pub fn try_generate(&mut self, prompt: &Prompt) -> Result<Completion, HttpError> {
+        let mut transport = self.pool.slots[0].lock().expect("conn slot lock");
+        let mut sent = 0usize;
+        let result = generate_over(
+            &mut transport,
+            &self.cfg,
+            &self.governor,
+            prompt,
+            None,
+            &mut sent,
+        );
+        self.requests_sent.fetch_add(sent, Ordering::Relaxed);
+        result
+    }
+}
+
+impl LlmClient for PooledClient {
+    fn model_name(&self) -> &str {
+        &self.cfg.model
+    }
+
+    fn generate(&mut self, prompt: &Prompt) -> Completion {
+        self.try_generate(prompt)
+            .unwrap_or_else(|e| panic!("http LLM backend failed after retries: {e}"))
+    }
+
+    fn wave_size(&self) -> usize {
+        self.pool.size()
+    }
+
+    fn generate_wave(&mut self, prompt: &Prompt, count: usize) -> Vec<Completion> {
+        let mut workers: Vec<PoolWorker> = (0..self.pool.size().min(count.max(1)))
+            .map(|conn| PoolWorker {
+                pool: &self.pool,
+                conn,
+                cfg: &self.cfg,
+                governor: &self.governor,
+                requests_sent: &self.requests_sent,
+            })
+            .collect();
+        ParallelGen::dispatch(&mut workers, prompt, count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conn_width_prefers_env_then_lanes() {
+        // Cannot mutate the environment safely under the parallel test
+        // runner; assert the fallback shape instead.
+        let n = configured_conns();
+        assert!(n >= 1);
+        if std::env::var(CONNS_ENV).is_err() {
+            assert_eq!(n, nada_exec::scheduler_lanes());
+        }
+    }
+
+    #[test]
+    fn pools_are_shared_per_endpoint() {
+        let a = Endpoint::parse("http://127.0.0.1:39991/v1").unwrap();
+        let b = Endpoint::parse("http://127.0.0.1:39992/v1").unwrap();
+        let p1 = ConnPool::shared(&a, Duration::from_secs(1), 3);
+        let p2 = ConnPool::shared(&a, Duration::from_secs(1), 7);
+        let p3 = ConnPool::shared(&b, Duration::from_secs(1), 2);
+        assert!(Arc::ptr_eq(&p1, &p2), "same endpoint shares one pool");
+        assert_eq!(p2.size(), 3, "first creation fixes the width");
+        assert!(!Arc::ptr_eq(&p1, &p3));
+        assert_eq!(p3.size(), 2);
+    }
+
+    #[test]
+    fn pool_width_has_a_floor_of_one() {
+        let e = Endpoint::parse("http://127.0.0.1:39993/v1").unwrap();
+        assert_eq!(ConnPool::new(e, Duration::from_secs(1), 0).size(), 1);
+    }
+}

@@ -1,8 +1,12 @@
-//! HTTP behavior against the loopback scripted server — no real network.
+//! HTTP behavior against the loopback scripted servers — no real network.
 
 use nada_llm::{LlmClient, Prompt};
-use nada_llm_http::{ApiKey, HttpClient, HttpConfig, HttpError, Scripted, TestServer, REDACTED};
-use std::time::Duration;
+use nada_llm_http::{
+    ApiKey, ConnPool, Endpoint, HttpClient, HttpConfig, HttpError, PoolBehavior, PoolServer,
+    PooledClient, RateGovernor, Scripted, TestServer, REDACTED,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const CODE: &str = "state s { input buffer_s: scalar; feature b = buffer_s / 10.0; }";
 
@@ -184,4 +188,135 @@ fn unreachable_endpoints_error_after_retries() {
     let err = client.try_generate(&Prompt::state(CODE)).unwrap_err();
     assert!(matches!(err, HttpError::Connect(_)), "{err}");
     assert_eq!(client.requests_sent(), 2);
+}
+
+// ---- pooled client against the concurrent keep-alive server ----------
+
+/// A pooled client of width `conns` over a *private* pool and governor,
+/// so scripted 429s cannot pause other tests' dispatch.
+fn pooled(server_base: String, conns: usize) -> PooledClient {
+    let cfg = fast_cfg(server_base.clone());
+    let endpoint = Endpoint::parse(&server_base).unwrap();
+    let pool = Arc::new(ConnPool::new(endpoint, cfg.timeout, conns));
+    PooledClient::with_parts(cfg, pool, Arc::new(RateGovernor::new(None)))
+}
+
+#[test]
+fn pooled_waves_put_multiple_requests_in_flight() {
+    // The gate holds the first 2 responses until both requests have
+    // arrived: a serial client would stall into the server's safety
+    // timeout; the pool sails through because both are truly in flight.
+    let server = PoolServer::start(PoolBehavior {
+        content: "```\nslot {slot}\n```".into(),
+        gate: Some(2),
+        ..PoolBehavior::default()
+    });
+    let mut client = pooled(server.base(), 2);
+    assert_eq!(client.wave_size(), 2);
+    let start = Instant::now();
+    let out = client.generate_wave(&Prompt::state(CODE), 2);
+    assert!(
+        start.elapsed() < Duration::from_secs(4),
+        "gate was never released — requests were not concurrent"
+    );
+    assert_eq!(server.max_in_flight(), 2, "both requests in flight at once");
+    let codes: Vec<&str> = out.iter().map(|c| c.code.as_str()).collect();
+    assert_eq!(codes, vec!["slot 0\n", "slot 1\n"]);
+}
+
+#[test]
+fn out_of_order_completions_land_in_submission_order() {
+    // All 4 responses are gated, then released latest-arrival-first: the
+    // server completes the wave in reverse, but the client must still
+    // return slot i's completion at position i.
+    let server = PoolServer::start(PoolBehavior {
+        content: "```\nslot {slot}\n```".into(),
+        gate: Some(4),
+        reverse_release: true,
+        ..PoolBehavior::default()
+    });
+    let mut client = pooled(server.base(), 4);
+    let out = client.generate_wave(&Prompt::state(CODE), 4);
+    let codes: Vec<&str> = out.iter().map(|c| c.code.as_str()).collect();
+    assert_eq!(codes, vec!["slot 0\n", "slot 1\n", "slot 2\n", "slot 3\n"]);
+    // Every submission slot reached the wire exactly once.
+    let mut slots: Vec<usize> = server.arrivals().iter().filter_map(|a| a.slot).collect();
+    slots.sort_unstable();
+    assert_eq!(slots, vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn one_rate_limit_throttles_every_connection() {
+    let throttled = nada_obs::counter("llm_pool_throttled_total");
+    let throttled0 = throttled.get();
+    // 8 completions over 4 connections; the very first arrival is 429'd
+    // with Retry-After: 1. The in-service requests (100ms latency) ride
+    // out, but everything dispatched *after* the 429 — the retry and the
+    // whole second half of the batch, on every connection — must wait out
+    // the shared pause.
+    let server = PoolServer::start(PoolBehavior {
+        latency: Duration::from_millis(100),
+        content: "```\nslot {slot}\n```".into(),
+        rate_limit_at: vec![0],
+        retry_after: 1,
+        ..PoolBehavior::default()
+    });
+    let mut client = pooled(server.base(), 4);
+    let out = client.generate_batch(&Prompt::state(CODE), 8);
+    assert_eq!(out.len(), 8);
+    // Slots are per-wave (two waves of 4), and the retry keeps its slot.
+    let codes: Vec<String> = out.into_iter().map(|c| c.code).collect();
+    let want: Vec<String> = (0..8).map(|i| format!("slot {}\n", i % 4)).collect();
+    assert_eq!(codes, want, "retry kept its submission slot");
+
+    assert!(
+        throttled.get() > throttled0,
+        "the shared governor never recorded a pause"
+    );
+    let arrivals = server.arrivals();
+    assert_eq!(arrivals.len(), 9, "8 requests + 1 retry of the 429");
+    let limited = arrivals
+        .iter()
+        .find(|a| a.status == 429)
+        .expect("the injected 429");
+    // Every request dispatched after the 429 honored the shared pause —
+    // including ones on connections that never saw the 429 themselves.
+    let after_pause: Vec<_> = arrivals.iter().filter(|a| a.index >= 4).collect();
+    assert!(after_pause.len() >= 5);
+    for a in &after_pause {
+        let gap = a.at.duration_since(limited.at);
+        assert!(
+            gap >= Duration::from_millis(900),
+            "arrival {} (slot {:?}) dispatched {}ms after the 429 — \
+             the pause was not shared",
+            a.index,
+            a.slot,
+            gap.as_millis()
+        );
+    }
+}
+
+#[test]
+fn pooled_batches_reuse_their_connections_across_waves() {
+    let server = PoolServer::start(PoolBehavior {
+        content: "```\nslot {slot}\n```".into(),
+        usage: Some((100, 20)),
+        ..PoolBehavior::default()
+    });
+    let mut client = pooled(server.base(), 2);
+    let before = nada_llm::global_token_meter().snapshot();
+    let out = client.generate_batch(&Prompt::state(CODE), 6);
+    assert_eq!(out.len(), 6);
+    assert_eq!(client.requests_sent(), 6);
+    // 3 waves of 2 over the same two sockets: at least 4 requests rode an
+    // already-open connection.
+    assert!(
+        client.pool().reuse_count() >= 4,
+        "reuse_count = {}",
+        client.pool().reuse_count()
+    );
+    // The scripted usage object fed the process-wide token meter.
+    let spent = nada_llm::global_token_meter().snapshot();
+    assert!(spent.prompt_tokens >= before.prompt_tokens + 600);
+    assert!(spent.completion_tokens >= before.completion_tokens + 120);
 }

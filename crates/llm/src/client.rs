@@ -1,6 +1,8 @@
 //! The provider-agnostic LLM interface.
 
 use crate::prompt::Prompt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// Which of Pensieve's two components a design targets (paper §2.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
@@ -32,6 +34,75 @@ pub struct Completion {
     pub reasoning: Option<String>,
 }
 
+/// Prompt/completion token counts, as reported by a metered backend's
+/// `usage` field. Offline backends (mock, replay) report zero — their
+/// completions cost nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TokenUsage {
+    /// Tokens the backend billed for the prompt.
+    pub prompt_tokens: u64,
+    /// Tokens the backend billed for the completion.
+    pub completion_tokens: u64,
+}
+
+impl TokenUsage {
+    /// Total billed tokens.
+    pub fn total(&self) -> u64 {
+        self.prompt_tokens + self.completion_tokens
+    }
+
+    /// Element-wise sum.
+    pub fn add(&mut self, other: TokenUsage) {
+        self.prompt_tokens += other.prompt_tokens;
+        self.completion_tokens += other.completion_tokens;
+    }
+}
+
+/// A monotone, thread-safe accumulator of [`TokenUsage`]. Metered
+/// backends (`nada-llm-http`'s clients) record every response's `usage`
+/// into the [process-wide meter](global_token_meter); budget enforcement
+/// (`Budget::tokens_exhausted` in `nada-core`) reads snapshot deltas, so
+/// token caps stop generation *at the wire* — waves beyond the cap are
+/// never dispatched.
+#[derive(Debug, Default)]
+pub struct TokenMeter {
+    prompt: AtomicU64,
+    completion: AtomicU64,
+}
+
+impl TokenMeter {
+    /// A fresh meter at zero (tests; production uses the global one).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one response's reported usage.
+    pub fn record(&self, usage: TokenUsage) {
+        self.prompt
+            .fetch_add(usage.prompt_tokens, Ordering::Relaxed);
+        self.completion
+            .fetch_add(usage.completion_tokens, Ordering::Relaxed);
+    }
+
+    /// The cumulative usage recorded so far.
+    pub fn snapshot(&self) -> TokenUsage {
+        TokenUsage {
+            prompt_tokens: self.prompt.load(Ordering::Relaxed),
+            completion_tokens: self.completion.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The process-wide token meter every metered backend records into.
+/// Per-search budgets read deltas against a snapshot taken when their
+/// generation stage starts; with several searches sharing one process
+/// (daemon lanes) the delta is conservative — shared spend counts against
+/// every lane's cap, which is the right bias for one shared backend.
+pub fn global_token_meter() -> &'static TokenMeter {
+    static METER: OnceLock<TokenMeter> = OnceLock::new();
+    METER.get_or_init(TokenMeter::new)
+}
+
 /// A source of design code blocks. Implemented by [`crate::mock::MockLlm`]
 /// and [`crate::replay::ReplayClient`]; a production HTTP client would
 /// implement the same trait.
@@ -42,19 +113,42 @@ pub trait LlmClient {
     /// Generates one design for the given prompt.
     fn generate(&mut self, prompt: &Prompt) -> Completion;
 
+    /// How many completions this client can have in flight at once — the
+    /// wave width [`LlmClient::generate_batch_while`] dispatches at.
+    /// Sequential backends (mock, replay, plain HTTP) report 1, which
+    /// makes the wave loop bit-identical to the historical one-at-a-time
+    /// path; a pooled backend reports its connection count.
+    fn wave_size(&self) -> usize {
+        1
+    }
+
+    /// Generates one wave of `count` designs for the same prompt,
+    /// returning them in submission order (slot `i` of the result is the
+    /// `i`-th requested completion, regardless of which connection served
+    /// it or when it finished). The default runs sequentially; pooled
+    /// backends override it to fan the wave across live connections.
+    fn generate_wave(&mut self, prompt: &Prompt, count: usize) -> Vec<Completion> {
+        (0..count).map(|_| self.generate(prompt)).collect()
+    }
+
     /// Generates a batch of `n` designs (candidate pools in the paper are
     /// 3 000 designs per model).
     fn generate_batch(&mut self, prompt: &Prompt, n: usize) -> Vec<Completion> {
         self.generate_batch_while(prompt, n, &mut |_| true)
     }
 
-    /// Budget hook: generates up to `n` designs, consulting `more` with the
-    /// count generated so far before each call and stopping early the first
-    /// time it returns `false`.
+    /// Budget hook: generates up to `n` designs in waves of
+    /// [`LlmClient::wave_size`], consulting `more` with the count
+    /// generated so far before each wave and stopping the first time it
+    /// returns `false`.
     ///
     /// Search budgets use this to cap the pool *at the source* — for a
     /// metered HTTP client, candidates beyond the budget are never
-    /// requested, not generated and discarded.
+    /// requested, not generated and discarded. The cap is enforced at
+    /// wave granularity: a wave is only issued while `more` still holds,
+    /// and every completion of an issued wave is kept — paid completions
+    /// are never discarded. With `wave_size() == 1` (every sequential
+    /// backend) this is exactly the historical per-completion check.
     fn generate_batch_while(
         &mut self,
         prompt: &Prompt,
@@ -62,18 +156,27 @@ pub trait LlmClient {
         more: &mut dyn FnMut(usize) -> bool,
     ) -> Vec<Completion> {
         let mut out = Vec::with_capacity(n);
-        for made in 0..n {
-            if !more(made) {
+        while out.len() < n {
+            if !more(out.len()) {
                 break;
             }
-            out.push(self.generate(prompt));
+            let wave = self.wave_size().max(1).min(n - out.len());
+            let completions = self.generate_wave(prompt, wave);
+            let got = completions.len();
+            out.extend(completions);
+            if got < wave {
+                break; // a short wave means the backend has nothing more
+            }
         }
         out
     }
 }
 
 // Boxed clients are clients too, so registries can compose wrappers
-// (e.g. a recorder) around dynamically-selected backends.
+// (e.g. a recorder) around dynamically-selected backends. Every method
+// forwards — wave_size/generate_wave in particular, so a boxed pooled
+// client keeps its concurrency instead of degrading to the serial
+// defaults.
 impl LlmClient for Box<dyn LlmClient + '_> {
     fn model_name(&self) -> &str {
         (**self).model_name()
@@ -81,6 +184,14 @@ impl LlmClient for Box<dyn LlmClient + '_> {
 
     fn generate(&mut self, prompt: &Prompt) -> Completion {
         (**self).generate(prompt)
+    }
+
+    fn wave_size(&self) -> usize {
+        (**self).wave_size()
+    }
+
+    fn generate_wave(&mut self, prompt: &Prompt, count: usize) -> Vec<Completion> {
+        (**self).generate_wave(prompt, count)
     }
 
     fn generate_batch_while(
@@ -134,5 +245,111 @@ mod tests {
         assert_eq!(capped.len(), 2);
         // Candidates beyond the budget were never requested.
         assert_eq!(llm.0, 2);
+    }
+
+    #[test]
+    fn serial_clients_consult_the_hook_before_every_completion() {
+        // With wave_size() == 1 the wave loop is the historical path:
+        // `more(made)` observed for every made in 0..n, in order.
+        let prompt = Prompt::state("seed");
+        let mut llm = Counting(0);
+        let mut observed = Vec::new();
+        let out = llm.generate_batch_while(&prompt, 4, &mut |made| {
+            observed.push(made);
+            true
+        });
+        assert_eq!(out.len(), 4);
+        assert_eq!(observed, vec![0, 1, 2, 3]);
+    }
+
+    /// A client that pretends to hold `conns` connections: waves arrive
+    /// whole, so hook consultations happen only at wave boundaries.
+    struct Waved {
+        conns: usize,
+        generated: usize,
+    }
+
+    impl LlmClient for Waved {
+        fn model_name(&self) -> &str {
+            "waved"
+        }
+
+        fn generate(&mut self, _prompt: &Prompt) -> Completion {
+            self.generated += 1;
+            Completion {
+                code: format!("design {}\n", self.generated),
+                reasoning: None,
+            }
+        }
+
+        fn wave_size(&self) -> usize {
+            self.conns
+        }
+    }
+
+    #[test]
+    fn pooled_clients_cap_at_wave_granularity_without_discarding() {
+        let prompt = Prompt::state("seed");
+        let mut llm = Waved {
+            conns: 3,
+            generated: 0,
+        };
+        let mut observed = Vec::new();
+        // Budget says stop at 4 — but the hook is consulted per wave, so
+        // the wave of 3 that crosses the cap completes and every paid
+        // completion is kept: 3 + 3 = 6, checks at made = 0 and 3 only.
+        let out = llm.generate_batch_while(&prompt, 9, &mut |made| {
+            observed.push(made);
+            made < 4
+        });
+        assert_eq!(observed, vec![0, 3, 6]);
+        assert_eq!(out.len(), 6);
+        assert_eq!(llm.generated, 6, "no generated completion was dropped");
+    }
+
+    #[test]
+    fn final_partial_wave_is_clamped_to_the_batch_size() {
+        let prompt = Prompt::state("seed");
+        let mut llm = Waved {
+            conns: 4,
+            generated: 0,
+        };
+        let out = llm.generate_batch(&prompt, 6);
+        assert_eq!(out.len(), 6);
+        // 4 + 2, never 4 + 4: the trailing wave shrinks to what is owed.
+        assert_eq!(llm.generated, 6);
+    }
+
+    #[test]
+    fn token_meter_accumulates_and_snapshots() {
+        let meter = TokenMeter::new();
+        assert_eq!(meter.snapshot(), TokenUsage::default());
+        meter.record(TokenUsage {
+            prompt_tokens: 10,
+            completion_tokens: 25,
+        });
+        meter.record(TokenUsage {
+            prompt_tokens: 5,
+            completion_tokens: 1,
+        });
+        let snap = meter.snapshot();
+        assert_eq!(snap.prompt_tokens, 15);
+        assert_eq!(snap.completion_tokens, 26);
+        assert_eq!(snap.total(), 41);
+        let mut sum = TokenUsage::default();
+        sum.add(snap);
+        sum.add(snap);
+        assert_eq!(sum.total(), 82);
+    }
+
+    #[test]
+    fn boxed_clients_forward_wave_methods() {
+        let prompt = Prompt::state("seed");
+        let mut boxed: Box<dyn LlmClient> = Box::new(Waved {
+            conns: 3,
+            generated: 0,
+        });
+        assert_eq!(boxed.wave_size(), 3);
+        assert_eq!(boxed.generate_wave(&prompt, 2).len(), 2);
     }
 }

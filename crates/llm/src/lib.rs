@@ -27,13 +27,15 @@
 pub mod cassette;
 pub mod client;
 pub mod mock;
+pub mod parallel;
 pub mod profile;
 pub mod prompt;
 pub mod replay;
 
 pub use cassette::{prompt_fingerprint, Cassette, CassetteEntry, CassetteError};
-pub use client::{Completion, DesignKind, LlmClient};
+pub use client::{global_token_meter, Completion, DesignKind, LlmClient, TokenMeter, TokenUsage};
 pub use mock::MockLlm;
+pub use parallel::{ParallelGen, WaveWorker};
 pub use profile::ModelProfile;
 pub use prompt::{FeedbackContext, FeedbackWinner, Prompt, PromptOptions, TaskContext};
 pub use replay::{RecordingClient, ReplayClient, Transcript};

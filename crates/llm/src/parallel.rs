@@ -1,0 +1,192 @@
+//! `ParallelGen` — the order-preserving wave dispatcher.
+//!
+//! A pooled backend holds N live connections and wants one wave of `k`
+//! completions fanned across them. The dispatch discipline is the same as
+//! `nada-exec`'s `WorkPool`: workers claim submission indices from a
+//! shared counter and land each result in its submission-order slot, so
+//! the caller sees `out[i]` = the `i`-th requested completion no matter
+//! which worker served it or when it finished. The primitive lives here —
+//! below the HTTP crate — so the ordering discipline is testable with
+//! scripted workers and no sockets.
+//!
+//! `nada-llm` cannot depend on `nada-exec` (the exec pool's closures are
+//! `Fn + Sync`, but a wave worker owns mutable per-connection state), so
+//! the dispatcher is its own small scoped-thread loop with the same
+//! guarantees: order preservation, exactly-once claims, and panic
+//! propagation once every claimed slot is accounted for.
+
+use crate::client::Completion;
+use crate::prompt::Prompt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One worker a wave can be fanned across — typically a live pooled
+/// connection plus its retry policy. `generate` receives the submission
+/// slot it is filling so transports can tag requests for diagnostics.
+pub trait WaveWorker: Send {
+    /// Produces the completion for submission slot `slot`.
+    fn generate(&mut self, prompt: &Prompt, slot: usize) -> Completion;
+}
+
+// Closures make convenient scripted workers in tests.
+impl<F: FnMut(&Prompt, usize) -> Completion + Send> WaveWorker for F {
+    fn generate(&mut self, prompt: &Prompt, slot: usize) -> Completion {
+        self(prompt, slot)
+    }
+}
+
+/// The dispatcher. Stateless — [`ParallelGen::dispatch`] is the whole
+/// API; construction exists so callers can name the discipline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ParallelGen;
+
+impl ParallelGen {
+    /// Fans `count` generations of `prompt` across `workers`, returning
+    /// completions in submission order (`out[i]` is slot `i`'s result).
+    ///
+    /// With zero or one workers (or `count <= 1`) the dispatch degrades
+    /// to a sequential loop on the calling thread — no threads spawned,
+    /// bit-identical to serial generation. A panicking worker propagates
+    /// to the caller after the scope joins.
+    ///
+    /// # Panics
+    /// Panics when `workers` is empty and `count > 0` — there is nothing
+    /// to generate with.
+    pub fn dispatch<W: WaveWorker>(
+        workers: &mut [W],
+        prompt: &Prompt,
+        count: usize,
+    ) -> Vec<Completion> {
+        if count == 0 {
+            return Vec::new();
+        }
+        assert!(
+            !workers.is_empty(),
+            "cannot dispatch a wave of {count} across zero workers"
+        );
+        if workers.len() == 1 || count == 1 {
+            let worker = &mut workers[0];
+            return (0..count).map(|i| worker.generate(prompt, i)).collect();
+        }
+
+        let active = workers.len().min(count);
+        let next = AtomicUsize::new(0);
+        let out: Vec<Mutex<Option<Completion>>> = (0..count).map(|_| Mutex::new(None)).collect();
+        let (claims, slots) = (&next, &out);
+        std::thread::scope(|scope| {
+            for worker in workers[..active].iter_mut() {
+                scope.spawn(move || loop {
+                    let slot = claims.fetch_add(1, Ordering::Relaxed);
+                    if slot >= count {
+                        break;
+                    }
+                    let completion = worker.generate(prompt, slot);
+                    *slots[slot].lock().expect("result slot lock") = Some(completion);
+                });
+            }
+        });
+        out.into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("scope joined")
+                    .expect("every claimed slot was filled")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    fn completion(text: String) -> Completion {
+        Completion {
+            code: text,
+            reasoning: None,
+        }
+    }
+
+    #[test]
+    fn empty_wave_dispatches_nothing() {
+        let mut workers: Vec<fn(&Prompt, usize) -> Completion> = Vec::new();
+        // Zero count never touches the (empty) worker set.
+        assert!(ParallelGen::dispatch(&mut workers, &Prompt::state("s"), 0).is_empty());
+    }
+
+    #[test]
+    fn results_land_in_submission_order_despite_completion_order() {
+        // Worker latency inverts completion order: higher slots finish
+        // first. Submission order must survive.
+        let prompt = Prompt::state("s");
+        let mut workers: Vec<_> = (0..4)
+            .map(|_| {
+                |_: &Prompt, slot: usize| {
+                    std::thread::sleep(Duration::from_millis(
+                        40u64.saturating_sub(slot as u64 * 9),
+                    ));
+                    completion(format!("slot {slot}\n"))
+                }
+            })
+            .collect();
+        let out = ParallelGen::dispatch(&mut workers, &prompt, 8);
+        let got: Vec<String> = out.into_iter().map(|c| c.code).collect();
+        let want: Vec<String> = (0..8).map(|i| format!("slot {i}\n")).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn each_slot_is_claimed_exactly_once_across_workers() {
+        let prompt = Prompt::state("s");
+        let claims = AtomicUsize::new(0);
+        let mut workers: Vec<_> = (0..3)
+            .map(|_| {
+                let claims = &claims;
+                move |_: &Prompt, slot: usize| {
+                    claims.fetch_add(1, Ordering::Relaxed);
+                    completion(format!("{slot}\n"))
+                }
+            })
+            .collect();
+        let out = ParallelGen::dispatch(&mut workers, &prompt, 10);
+        assert_eq!(claims.load(Ordering::Relaxed), 10);
+        let distinct: HashSet<String> = out.into_iter().map(|c| c.code).collect();
+        assert_eq!(distinct.len(), 10);
+    }
+
+    #[test]
+    fn single_worker_degrades_to_the_calling_thread() {
+        let prompt = Prompt::state("s");
+        let main_thread = std::thread::current().id();
+        let mut workers = vec![move |_: &Prompt, slot: usize| {
+            assert_eq!(std::thread::current().id(), main_thread);
+            completion(format!("{slot}\n"))
+        }];
+        let out = ParallelGen::dispatch(&mut workers, &prompt, 3);
+        assert_eq!(
+            out.iter().map(|c| c.code.as_str()).collect::<Vec<_>>(),
+            vec!["0\n", "1\n", "2\n"]
+        );
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_the_caller() {
+        let prompt = Prompt::state("s");
+        let result = std::panic::catch_unwind(|| {
+            let mut workers: Vec<_> = (0..2)
+                .map(|_| {
+                    |_: &Prompt, slot: usize| {
+                        if slot == 1 {
+                            panic!("backend exploded");
+                        }
+                        completion("ok\n".to_string())
+                    }
+                })
+                .collect();
+            ParallelGen::dispatch(&mut workers, &prompt, 4)
+        });
+        assert!(result.is_err(), "a dead wave must not return quietly");
+    }
+}

@@ -372,6 +372,18 @@ impl<C: LlmClient> RecordingClient<C> {
         }
     }
 
+    /// Appends one completion to the in-memory recording.
+    fn record(&mut self, prompt: &Prompt, c: &Completion) {
+        self.recorded.push(CassetteEntry {
+            model: self.model.clone(),
+            lane: self.lane.clone(),
+            round: self.round,
+            fingerprint: prompt_fingerprint(prompt),
+            code: c.code.clone(),
+            reasoning: c.reasoning.clone(),
+        });
+    }
+
     /// Stops recording and returns the legacy in-memory transcript form.
     pub fn into_transcript(self) -> Transcript {
         let mut t = Transcript::new();
@@ -409,15 +421,25 @@ impl<C: LlmClient> LlmClient for RecordingClient<C> {
 
     fn generate(&mut self, prompt: &Prompt) -> Completion {
         let c = self.inner.generate(prompt);
-        self.recorded.push(CassetteEntry {
-            model: self.model.clone(),
-            lane: self.lane.clone(),
-            round: self.round,
-            fingerprint: prompt_fingerprint(prompt),
-            code: c.code.clone(),
-            reasoning: c.reasoning.clone(),
-        });
+        self.record(prompt, &c);
         c
+    }
+
+    // Recording must not serialize a pooled backend: the wave fans out
+    // through the inner client's own dispatch, and the completions —
+    // already landed in submission-order slots — are recorded in that
+    // order. A cassette recorded through a pool therefore replays in
+    // exactly the order a serial recording would have produced.
+    fn wave_size(&self) -> usize {
+        self.inner.wave_size()
+    }
+
+    fn generate_wave(&mut self, prompt: &Prompt, count: usize) -> Vec<Completion> {
+        let completions = self.inner.generate_wave(prompt, count);
+        for c in &completions {
+            self.record(prompt, c);
+        }
+        completions
     }
 }
 

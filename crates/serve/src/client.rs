@@ -90,7 +90,7 @@ impl Client {
 
     pub fn result(&mut self, id: u64) -> Result<JobResult, ClientError> {
         self.expect(&Request::Result { id }, |resp| match resp {
-            Response::Result { result, .. } => Ok(result),
+            Response::Result { result, .. } => Ok(*result),
             other => Err(Box::new(other)),
         })
     }

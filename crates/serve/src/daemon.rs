@@ -275,7 +275,7 @@ fn handle(
         Request::Result { id } => match scheduler.result(id) {
             Some(result) => Response::Result {
                 id,
-                result: (*result).clone(),
+                result: Box::new((*result).clone()),
             },
             None => match scheduler.status(id) {
                 Some(status) => Response::Error {

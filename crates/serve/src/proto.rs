@@ -191,7 +191,9 @@ pub enum Response {
     Status(JobStatus),
     Result {
         id: u64,
-        result: JobResult,
+        /// Boxed: a full [`JobResult`] dwarfs every other variant, and
+        /// responses pass through enum-sized channels and stacks.
+        result: Box<JobResult>,
     },
     Cancelled {
         id: u64,
@@ -436,7 +438,7 @@ impl serde::Deserialize for Response {
             "status" => Ok(Response::Status(JobStatus::from_value(v.field("status")?)?)),
             "result" => Ok(Response::Result {
                 id: u64::from_value(v.field("id")?)?,
-                result: JobResult::from_value(v.field("result")?)?,
+                result: Box::new(JobResult::from_value(v.field("result")?)?),
             }),
             "cancelled" => Ok(Response::Cancelled {
                 id: u64::from_value(v.field("id")?)?,
@@ -501,7 +503,10 @@ mod tests {
                 cache_misses: 5,
                 best_so_far: Some(-0.25),
             }),
-            Response::Result { id: 1, result },
+            Response::Result {
+                id: 1,
+                result: Box::new(result),
+            },
             Response::Cancelled { id: 2 },
             Response::ShuttingDown,
             Response::Pong,

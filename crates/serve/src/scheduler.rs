@@ -248,7 +248,7 @@ impl Scheduler {
         if spec.rounds == 0 {
             return Err("a job needs at least one round".to_string());
         }
-        if !LlmRegistry::builtin()
+        if !LlmRegistry::shared()
             .names()
             .iter()
             .any(|n| *n == spec.llm_backend)
@@ -529,7 +529,10 @@ fn run_one_round(
             seed: job_round_seed(spec, round),
         };
         let lane = format!("serve/{}/{}", spec.workload, spec.dataset);
-        let mut llm = LlmRegistry::builtin()
+        // The shared registry gives every lane the same pooled HTTP
+        // factories, so concurrent lanes reuse one connection pool and
+        // one rate governor instead of building private clients.
+        let mut llm = LlmRegistry::shared()
             .build(
                 &llm_spec.backend,
                 &LlmRequest {
